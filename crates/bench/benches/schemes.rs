@@ -1,0 +1,40 @@
+//! Criterion benchmarks of whole simulations.
+//!
+//! These time the *simulator* (wall-clock cost of reproducing one
+//! figure point), useful for keeping the harness fast; the virtual-time
+//! results themselves come from the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibdt_mpicore::{ClusterSpec, Scheme};
+use ibdt_workloads::drivers::pingpong;
+use ibdt_workloads::vector::VectorWorkload;
+use std::hint::black_box;
+
+fn spec(scheme: Scheme) -> ClusterSpec {
+    let mut s = ClusterSpec::default();
+    s.mpi.scheme = scheme;
+    s
+}
+
+fn bench_pingpong_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_pingpong");
+    g.sample_size(10);
+    for (name, scheme) in [
+        ("generic", Scheme::Generic),
+        ("bcspup", Scheme::BcSpup),
+        ("rwgup", Scheme::RwgUp),
+        ("multiw", Scheme::MultiW),
+    ] {
+        let w = VectorWorkload::new(256);
+        g.bench_with_input(BenchmarkId::new(name, 256), &w, |b, w| {
+            b.iter(|| {
+                let r = pingpong(&spec(scheme), &w.ty, 1, 1, 2);
+                black_box(r.one_way_ns)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pingpong_sim);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates the paper's figures as text tables (and optional CSV).
+//!
+//! ```text
+//! figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1|x2|x3|x4|x5|all]
+//!         [--csv DIR]
+//! ```
+//!
+//! With `--csv DIR`, each table is also written as `DIR/<name>.csv`.
+
+use ibdt_bench::{all_figures, fig11, fig12, fig13, fig14, fig2, fig8, fig9, x1, x2, x3, x4, x5, x6, x7, x8};
+use ibdt_bench::Table;
+use std::io::Write as _;
+
+fn emit(tables: Vec<(String, Table)>, csv_dir: Option<&str>) {
+    for (name, t) in tables {
+        println!("{}", t.render());
+        if let Some(dir) = csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{name}.csv");
+            let mut f = std::fs::File::create(&path).expect("create csv file");
+            f.write_all(t.to_csv().as_bytes()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).expect("--csv needs a directory").clone());
+            }
+            other => which.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.push("all".to_owned());
+    }
+
+    let mut tables: Vec<(String, Table)> = Vec::new();
+    for w in &which {
+        match w.as_str() {
+            "fig2" => tables.push(("fig2".into(), fig2())),
+            "fig8" => tables.push(("fig8".into(), fig8())),
+            "fig9" => tables.push(("fig9".into(), fig9())),
+            "fig11" => tables.push(("fig11".into(), fig11())),
+            "fig12" => tables.push(("fig12".into(), fig12())),
+            "fig13" => tables.push(("fig13".into(), fig13())),
+            "fig14" => tables.push(("fig14".into(), fig14())),
+            "x1" => {
+                let (a, b) = x1();
+                tables.push(("x1a".into(), a));
+                tables.push(("x1b".into(), b));
+            }
+            "x2" => tables.push(("x2".into(), x2())),
+            "x3" => tables.push(("x3".into(), x3())),
+            "x4" => tables.push(("x4".into(), x4())),
+            "x5" => tables.push(("x5".into(), x5())),
+            "x6" => tables.push(("x6".into(), x6())),
+            "x7" => tables.push(("x7".into(), x7())),
+            "x8" => tables.push(("x8".into(), x8())),
+            "all" => {
+                let names = [
+                    "fig2", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "x1a", "x1b",
+                    "x2", "x3", "x4", "x5", "x6", "x7", "x8",
+                ];
+                for (n, t) in names.iter().zip(all_figures()) {
+                    tables.push(((*n).into(), t));
+                }
+            }
+            other => {
+                eprintln!("unknown figure '{other}'");
+                eprintln!(
+                    "usage: figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1..x8|all] [--csv DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    emit(tables, csv_dir.as_deref());
+}

@@ -1,0 +1,583 @@
+//! One function per figure of the paper's evaluation (§8), plus the
+//! extension experiments from DESIGN.md.
+//!
+//! Latencies are reported in microseconds, bandwidths in MB/s
+//! (decimal), alltoall times in milliseconds — matching the paper's
+//! axes. Points within a series run as independent deterministic
+//! simulations fanned out by [`ibdt_workloads::sweep::run_sweep`].
+
+use crate::table::Table;
+use ibdt_datatype::Datatype;
+use ibdt_memreg::ogr;
+use ibdt_mpicore::{ClusterSpec, Scheme};
+use ibdt_workloads::drivers::{
+    alltoall_time, bandwidth, pingpong, pingpong_asym, pingpong_contig, pingpong_manual,
+    pingpong_multiple,
+};
+use ibdt_workloads::structdt::struct_datatype;
+use ibdt_workloads::sweep::run_sweep;
+use ibdt_workloads::vector::VectorWorkload;
+
+/// Column counts of the vector micro-benchmark (powers of two, as in
+/// Figs. 2/8/9).
+pub const COLUMNS: [u64; 12] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+
+const WARMUP: u32 = 2;
+const ITERS: u32 = 5;
+/// The paper pushes 100 consecutive messages in the bandwidth test.
+const BW_WINDOW: u32 = 100;
+
+fn spec(scheme: Scheme) -> ClusterSpec {
+    let mut s = ClusterSpec::default();
+    s.mpi.scheme = scheme;
+    s
+}
+
+fn worst_spec(scheme: Scheme) -> ClusterSpec {
+    let mut s = spec(scheme);
+    s.mpi.pindown_cache = false;
+    s.mpi.reuse_internal_bufs = false;
+    s
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+fn mbs(bps: f64) -> f64 {
+    bps / 1e6
+}
+
+fn latency_series(s: ClusterSpec, xs: &[u64]) -> Vec<f64> {
+    run_sweep(xs.to_vec(), |&x| {
+        let w = VectorWorkload::new(x);
+        us(pingpong(&s, &w.ty, 1, WARMUP, ITERS).one_way_ns)
+    })
+}
+
+fn bandwidth_series(s: ClusterSpec, xs: &[u64]) -> Vec<f64> {
+    run_sweep(xs.to_vec(), |&x| {
+        let w = VectorWorkload::new(x);
+        mbs(bandwidth(&s, &w.ty, 1, BW_WINDOW).bytes_per_sec)
+    })
+}
+
+/// Fig. 2 — the motivating example: vector ping-pong latency of
+/// `Contig`, `Datatype`, `Manual`, `Multiple`, and `DT+reg`.
+pub fn fig2() -> Table {
+    let mut t = Table::new(
+        "Fig. 2: Vector datatype transfer latency, 128x4096 int array",
+        "columns",
+        "us",
+        &["Contig", "Datatype", "Manual", "Multiple", "DT+reg"],
+    );
+    let xs = COLUMNS;
+    let contig = run_sweep(xs.to_vec(), |&x| {
+        let w = VectorWorkload::new(x);
+        us(pingpong_contig(&spec(Scheme::Generic), w.size, WARMUP, ITERS).one_way_ns)
+    });
+    let datatype = latency_series(spec(Scheme::Generic), &xs);
+    let manual = run_sweep(xs.to_vec(), |&x| {
+        let w = VectorWorkload::new(x);
+        us(pingpong_manual(&spec(Scheme::Generic), &w, WARMUP, ITERS).one_way_ns)
+    });
+    let multiple = run_sweep(xs.to_vec(), |&x| {
+        let w = VectorWorkload::new(x);
+        us(pingpong_multiple(&spec(Scheme::Generic), &w, WARMUP, ITERS).one_way_ns)
+    });
+    let dt_reg = run_sweep(xs.to_vec(), |&x| {
+        let w = VectorWorkload::new(x);
+        us(pingpong(&worst_spec(Scheme::Generic), &w.ty, 1, WARMUP, ITERS).one_way_ns)
+    });
+    for (i, &x) in xs.iter().enumerate() {
+        t.push(x, vec![contig[i], datatype[i], manual[i], multiple[i], dt_reg[i]]);
+    }
+    t.notes.push(
+        "expected shape: no scheme reaches 1/4 of Contig at mid sizes; Manual slightly \
+         beats Datatype; DT+reg much slower; Multiple wins only at large blocks"
+            .into(),
+    );
+    t
+}
+
+/// Fig. 8 — vector ping-pong latency of the implemented schemes.
+pub fn fig8() -> Table {
+    let mut t = Table::new(
+        "Fig. 8: Latency comparison (vector micro-benchmark)",
+        "columns",
+        "us",
+        &["Generic", "BC-SPUP", "RWG-UP", "Multi-W"],
+    );
+    let series: Vec<Vec<f64>> = [Scheme::Generic, Scheme::BcSpup, Scheme::RwgUp, Scheme::MultiW]
+        .into_iter()
+        .map(|s| latency_series(spec(s), &COLUMNS))
+        .collect();
+    for (i, &x) in COLUMNS.iter().enumerate() {
+        t.push(x, series.iter().map(|v| v[i]).collect());
+    }
+    t.notes.push(
+        "expected: BC-SPUP ~1.5x over Generic at large sizes; RWG-UP up to ~1.8x; \
+         Multi-W up to ~3.4x at large columns, collapsing at small columns"
+            .into(),
+    );
+    t
+}
+
+/// Fig. 9 — vector bandwidth (100-message window).
+pub fn fig9() -> Table {
+    let mut t = Table::new(
+        "Fig. 9: Bandwidth comparison (vector micro-benchmark)",
+        "columns",
+        "MB/s",
+        &["Generic", "BC-SPUP", "RWG-UP", "Multi-W"],
+    );
+    let series: Vec<Vec<f64>> = [Scheme::Generic, Scheme::BcSpup, Scheme::RwgUp, Scheme::MultiW]
+        .into_iter()
+        .map(|s| bandwidth_series(spec(s), &COLUMNS))
+        .collect();
+    for (i, &x) in COLUMNS.iter().enumerate() {
+        t.push(x, series.iter().map(|v| v[i]).collect());
+    }
+    t.notes.push(
+        "expected: BC-SPUP/RWG-UP 1.2-2.0x over Generic; Multi-W 1.4-3.6x above 64 \
+         columns, degraded between 4 and 64 columns"
+            .into(),
+    );
+    t
+}
+
+/// Fig. 11 — `MPI_Alltoall` with the Fig. 10 struct datatype, 8 ranks.
+pub fn fig11() -> Table {
+    let mut t = Table::new(
+        "Fig. 11: MPI_Alltoall performance (struct datatype, 8 processes)",
+        "last_block_ints",
+        "ms",
+        &["Generic", "BC-SPUP", "RWG-UP", "Multi-W"],
+    );
+    let sizes: Vec<u64> = (0..7).map(|k| 2048u64 << k).collect(); // 2048..131072
+    let schemes = [Scheme::Generic, Scheme::BcSpup, Scheme::RwgUp, Scheme::MultiW];
+    // One sweep over the full (size, scheme) grid.
+    let mut grid: Vec<(u64, Scheme)> = Vec::new();
+    for &x in &sizes {
+        for s in schemes {
+            grid.push((x, s));
+        }
+    }
+    let results = run_sweep(grid, |&(x, s)| {
+        let ty = struct_datatype(x);
+        let mut sp = spec(s);
+        sp.nprocs = 8;
+        let (per_op, _) = alltoall_time(&sp, &ty, 1, 3);
+        per_op as f64 / 1e6
+    });
+    for (i, &x) in sizes.iter().enumerate() {
+        t.push(x, (0..4).map(|j| results[i * 4 + j]).collect());
+    }
+    t.notes.push(
+        "expected: all schemes beat Generic; Multi-W avg ~2.0x (min 1.8, max 2.1), \
+         BC-SPUP avg ~1.3x, RWG-UP avg ~1.3x"
+            .into(),
+    );
+    t
+}
+
+/// Fig. 12 — effect of segment unpack in RWG-UP (bandwidth).
+pub fn fig12() -> Table {
+    let mut t = Table::new(
+        "Fig. 12: Effects of segment unpack (RWG-UP bandwidth)",
+        "columns",
+        "MB/s",
+        &["segment unpack", "whole unpack"],
+    );
+    let with = bandwidth_series(spec(Scheme::RwgUp), &COLUMNS);
+    let without = {
+        let mut s = spec(Scheme::RwgUp);
+        s.mpi.segment_unpack = false;
+        bandwidth_series(s, &COLUMNS)
+    };
+    for (i, &x) in COLUMNS.iter().enumerate() {
+        t.push(x, vec![with[i], without[i]]);
+    }
+    t.notes
+        .push("expected: ~1.3x bandwidth from segment unpack at large sizes".into());
+    t
+}
+
+/// Fig. 13 — effect of list descriptor post in Multi-W (bandwidth).
+pub fn fig13() -> Table {
+    let mut t = Table::new(
+        "Fig. 13: Effects of list descriptor post (Multi-W bandwidth)",
+        "columns",
+        "MB/s",
+        &["list post", "single post"],
+    );
+    let list = bandwidth_series(spec(Scheme::MultiW), &COLUMNS);
+    let single = {
+        let mut s = spec(Scheme::MultiW);
+        s.mpi.list_post = false;
+        bandwidth_series(s, &COLUMNS)
+    };
+    for (i, &x) in COLUMNS.iter().enumerate() {
+        t.push(x, vec![list[i], single[i]]);
+    }
+    t.notes
+        .push("expected: list post 1.2-2.0x over single post (avg ~1.6x)".into());
+    t
+}
+
+/// Fig. 14 — worst-case buffer usage: every buffer registered on the
+/// fly (pin-down cache disabled, internal buffers never reused).
+pub fn fig14() -> Table {
+    let mut t = Table::new(
+        "Fig. 14: Latency in the worst case of buffer usage",
+        "columns",
+        "us",
+        &["Generic", "BC-SPUP", "RWG-UP", "Multi-W"],
+    );
+    let series: Vec<Vec<f64>> = [Scheme::Generic, Scheme::BcSpup, Scheme::RwgUp, Scheme::MultiW]
+        .into_iter()
+        .map(|s| latency_series(worst_spec(s), &COLUMNS))
+        .collect();
+    for (i, &x) in COLUMNS.iter().enumerate() {
+        t.push(x, series.iter().map(|v| v[i]).collect());
+    }
+    t.notes.push(
+        "expected: below ~512 columns RWG-UP/Multi-W lose (whole-array registration \
+         dominates); above, they win on reduced copies; BC-SPUP always >= Generic"
+            .into(),
+    );
+    t
+}
+
+/// X1 — P-RRS (designed but not implemented in the paper): symmetric
+/// vector latency vs the other copy-reduced schemes, plus the
+/// asymmetric contiguous-sender case P-RRS targets (§5.2).
+pub fn x1() -> (Table, Table) {
+    let mut sym = Table::new(
+        "X1a: P-RRS vs other schemes (symmetric vector latency)",
+        "columns",
+        "us",
+        &["BC-SPUP", "RWG-UP", "P-RRS"],
+    );
+    let series: Vec<Vec<f64>> = [Scheme::BcSpup, Scheme::RwgUp, Scheme::PRrs]
+        .into_iter()
+        .map(|s| latency_series(spec(s), &COLUMNS))
+        .collect();
+    for (i, &x) in COLUMNS.iter().enumerate() {
+        sym.push(x, series.iter().map(|v| v[i]).collect());
+    }
+    sym.notes.push(
+        "expected (per §5.2): P-RRS trails RWG-UP — RDMA read is slower than write \
+         and pipelining costs an extra control message per segment"
+            .into(),
+    );
+
+    let mut asym = Table::new(
+        "X1b: asymmetric contiguous sender -> vector receiver",
+        "columns",
+        "us",
+        &["BC-SPUP", "RWG-UP", "P-RRS"],
+    );
+    let xs = [16u64, 64, 256, 1024, 2048];
+    let grid: Vec<(u64, Scheme)> = xs
+        .iter()
+        .flat_map(|&x| {
+            [Scheme::BcSpup, Scheme::RwgUp, Scheme::PRrs]
+                .into_iter()
+                .map(move |s| (x, s))
+        })
+        .collect();
+    let res = run_sweep(grid, |&(x, s)| {
+        let w = VectorWorkload::new(x);
+        let contig = Datatype::contiguous(w.size, &Datatype::byte()).expect("contig");
+        us(pingpong_asym(&spec(s), &contig, 1, &w.ty, 1, WARMUP, ITERS).one_way_ns)
+    });
+    for (i, &x) in xs.iter().enumerate() {
+        asym.push(x, (0..3).map(|j| res[i * 3 + j]).collect());
+    }
+    asym.notes.push(
+        "P-RRS avoids receiver unpack; with a contiguous sender there is no pack \
+         either, so it closes on RWG-UP here"
+            .into(),
+    );
+    (sym, asym)
+}
+
+/// X2 — adaptive scheme selection (§6) against every fixed scheme.
+pub fn x2() -> Table {
+    let mut t = Table::new(
+        "X2: Adaptive scheme choice vs fixed schemes (vector latency)",
+        "columns",
+        "us",
+        &["Adaptive", "Generic", "BC-SPUP", "RWG-UP", "Multi-W"],
+    );
+    let series: Vec<Vec<f64>> = [
+        Scheme::Adaptive,
+        Scheme::Generic,
+        Scheme::BcSpup,
+        Scheme::RwgUp,
+        Scheme::MultiW,
+    ]
+    .into_iter()
+    .map(|s| latency_series(spec(s), &COLUMNS))
+    .collect();
+    for (i, &x) in COLUMNS.iter().enumerate() {
+        t.push(x, series.iter().map(|v| v[i]).collect());
+    }
+    t.notes
+        .push("expected: Adaptive tracks the best fixed scheme at every point".into());
+    t
+}
+
+/// X3 — registration strategy ablation: OGR vs per-block vs
+/// whole-extent modelled round-trip cost for the vector layout.
+pub fn x3() -> Table {
+    let mut t = Table::new(
+        "X3: Registration strategy cost (128 x 4KB blocks, variable gap)",
+        "gap_pages",
+        "us",
+        &["per-block", "whole-extent", "OGR"],
+    );
+    let host = ibdt_ibsim::HostConfig::default();
+    // 128 blocks of one page each, separated by a growing gap. Small
+    // gaps favour one big registration; huge gaps favour per-block;
+    // OGR's cost model must track the winner and beat both in between.
+    for gap_pages in [0u64, 1, 2, 8, 32, 64, 128, 512, 2048, 8192] {
+        let stride = (1 + gap_pages) * 4096;
+        let blocks: Vec<(u64, u64)> = (0..128u64).map(|i| (4096 + i * stride, 4096)).collect();
+        let per = ogr::plan_per_block(&blocks, &host.reg).round_trip_ns();
+        let whole = ogr::plan_whole_extent(&blocks, &host.reg).round_trip_ns();
+        let o = ogr::plan(&blocks, &host.reg).round_trip_ns();
+        t.push(gap_pages, vec![us(per), us(whole), us(o)]);
+    }
+    t.notes.push(
+        "OGR must match the better of the two baselines at the extremes and never \
+         lose to either (§5.4.1's trade-off)"
+            .into(),
+    );
+    t
+}
+
+/// X4 — BC-SPUP segment size sweep (the §7.2 tuning knob).
+pub fn x4() -> Table {
+    let mut t = Table::new(
+        "X4: BC-SPUP segment size (1024-column vector)",
+        "segment_KB",
+        "us | MB/s",
+        &["latency_us", "bandwidth_MBs"],
+    );
+    let sizes = [16u64, 32, 64, 128, 256, 512];
+    let res = run_sweep(sizes.to_vec(), |&kb| {
+        let mut s = spec(Scheme::BcSpup);
+        s.mpi.max_seg_size = kb * 1024;
+        let w = VectorWorkload::new(1024);
+        let lat = us(pingpong(&s, &w.ty, 1, WARMUP, ITERS).one_way_ns);
+        let bw = mbs(bandwidth(&s, &w.ty, 1, 30).bytes_per_sec);
+        (lat, bw)
+    });
+    for (i, &kb) in sizes.iter().enumerate() {
+        t.push(kb, vec![res[i].0, res[i].1]);
+    }
+    t.notes.push(
+        "small segments pipeline deeply but pay per-segment overheads; large ones \
+         lose overlap — a shallow optimum in the middle is expected"
+            .into(),
+    );
+    t
+}
+
+/// X5 — the §7.1 eager path: direct pack into eager buffers vs the
+/// original two extra copies.
+pub fn x5() -> Table {
+    let mut t = Table::new(
+        "X5: Small datatype messages in the eager protocol",
+        "columns",
+        "us",
+        &["original (Generic)", "direct pack (new)"],
+    );
+    for &x in &[1u64, 2] {
+        let w = VectorWorkload::new(x);
+        let old = us(pingpong(&spec(Scheme::Generic), &w.ty, 1, WARMUP, ITERS).one_way_ns);
+        let new = us(pingpong(&spec(Scheme::BcSpup), &w.ty, 1, WARMUP, ITERS).one_way_ns);
+        t.push(x, vec![old, new]);
+    }
+    t.notes
+        .push("two copies saved (§7.1): perceivable constant improvement".into());
+    t
+}
+
+/// X6 — the §10 future-work Hybrid scheme: per-block selection within
+/// one message, on datatypes mixing large and small blocks.
+pub fn x6() -> Table {
+    let mut t = Table::new(
+        "X6: Hybrid per-block scheme (mixed 8KiB/small-block struct latency)",
+        "small_block_B",
+        "us",
+        &["BC-SPUP", "Multi-W", "Hybrid"],
+    );
+    // 64 fields alternating 8 KiB and `small` bytes.
+    let smalls = [16u64, 32, 64, 128, 256, 512];
+    let grid: Vec<(u64, Scheme)> = smalls
+        .iter()
+        .flat_map(|&x| {
+            [Scheme::BcSpup, Scheme::MultiW, Scheme::Hybrid]
+                .into_iter()
+                .map(move |s| (x, s))
+        })
+        .collect();
+    let res = run_sweep(grid, |&(small, s)| {
+        let mut fields = Vec::new();
+        let mut displ = 0i64;
+        for i in 0..64 {
+            let len = if i % 2 == 0 { 8192u64 } else { small };
+            fields.push((len, displ, Datatype::byte()));
+            displ += len as i64 + 512;
+        }
+        let ty = Datatype::struct_(&fields).expect("mixed struct");
+        us(pingpong(&spec(s), &ty, 1, WARMUP, ITERS).one_way_ns)
+    });
+    for (i, &x) in smalls.iter().enumerate() {
+        t.push(x, (0..3).map(|j| res[i * 3 + j]).collect());
+    }
+    t.notes.push(
+        "Hybrid writes the 8 KiB blocks directly and packs the small ones; it          should beat both pure strategies across the sweep"
+            .into(),
+    );
+    t
+}
+
+/// X7 — one-sided RMA extension: Put+Fence vs the best two-sided
+/// scheme for the vector layout (the §1 "RMA" consumer of derived
+/// datatypes, built on the Multi-W machinery).
+pub fn x7() -> Table {
+    use ibdt_mpicore::{AppOp, Cluster};
+    let mut t = Table::new(
+        "X7: One-sided Put vs two-sided send (vector latency)",
+        "columns",
+        "us",
+        &["two-sided (Adaptive)", "Put+Fence"],
+    );
+    let xs = [16u64, 64, 256, 1024, 2048];
+    let two = run_sweep(xs.to_vec(), |&x| {
+        let w = VectorWorkload::new(x);
+        us(pingpong(&spec(Scheme::Adaptive), &w.ty, 1, WARMUP, ITERS).one_way_ns)
+    });
+    let one = run_sweep(xs.to_vec(), |&x| {
+        let w = VectorWorkload::new(x);
+        let mut sp = spec(Scheme::Adaptive);
+        sp.mpi.scheme = Scheme::Adaptive;
+        let mut cluster = Cluster::new(sp);
+        let span = w.ty.true_ub() as u64 + 64;
+        let obuf = cluster.alloc(0, span, 4096);
+        let wbuf = cluster.alloc(1, span, 4096);
+        cluster.fill_pattern(0, obuf, span, 1);
+        let mut p0 = vec![AppOp::WinCreate { win: 0, addr: 0, len: 0 }];
+        let mut p1 = vec![AppOp::WinCreate { win: 0, addr: wbuf, len: span }];
+        // Warmup epoch + measured epochs.
+        for it in 0..(WARMUP + ITERS) {
+            if it == WARMUP {
+                p0.push(AppOp::MarkTime { slot: 0 });
+            }
+            p0.push(AppOp::Put {
+                win: 0,
+                target: 1,
+                obuf,
+                ocount: 1,
+                oty: w.ty.clone(),
+                toff: 0,
+                tcount: 1,
+                tty: w.ty.clone(),
+            });
+            p0.push(AppOp::Fence);
+            p1.push(AppOp::Fence);
+        }
+        p0.push(AppOp::MarkTime { slot: 1 });
+        let stats = cluster.run(vec![p0, p1]);
+        us(stats.mark_interval(0, 0, 1) / ITERS as u64)
+    });
+    for (i, &x) in xs.iter().enumerate() {
+        t.push(x, vec![two[i], one[i]]);
+    }
+    t.notes.push(
+        "Put+Fence skips the rendezvous handshake and all receiver work; its cost          is the fence barrier — cheaper for large blocks, pricier for small ones"
+            .into(),
+    );
+    t
+}
+
+/// X8 — cost-model sensitivity: how the headline Multi-W and BC-SPUP
+/// improvement factors respond to the calibration's two main knobs
+/// (host copy bandwidth and link bandwidth). The paper's conclusions
+/// should hold across the plausible hardware range, not only at our
+/// chosen point.
+pub fn x8() -> Table {
+    let mut t = Table::new(
+        "X8: Sensitivity of improvement factors to the cost model (2048 columns)",
+        "copy_MBps",
+        "factor vs Generic",
+        &["MultiW@870MBps", "BCSPUP@870MBps", "MultiW@600MBps", "BCSPUP@600MBps"],
+    );
+    let copies = [700u64, 950, 1200, 1600];
+    let links = [870_000_000u64, 600_000_000];
+    let grid: Vec<(u64, u64, Scheme)> = copies
+        .iter()
+        .flat_map(|&c| {
+            links.iter().flat_map(move |&l| {
+                [Scheme::Generic, Scheme::MultiW, Scheme::BcSpup]
+                    .into_iter()
+                    .map(move |s| (c, l, s))
+            })
+        })
+        .collect();
+    let res = run_sweep(grid.clone(), |&(c, l, s)| {
+        let mut sp = spec(s);
+        sp.host.copy_bw_bps = c * 1_000_000;
+        sp.net.link_bw_bps = l;
+        let w = VectorWorkload::new(2048);
+        pingpong(&sp, &w.ty, 1, WARMUP, ITERS).one_way_ns as f64
+    });
+    let lookup = |c: u64, l: u64, s: Scheme| -> f64 {
+        let idx = grid
+            .iter()
+            .position(|&(gc, gl, gs)| gc == c && gl == l && gs == s)
+            .expect("grid point");
+        res[idx]
+    };
+    for &c in &copies {
+        let row = vec![
+            lookup(c, links[0], Scheme::Generic) / lookup(c, links[0], Scheme::MultiW),
+            lookup(c, links[0], Scheme::Generic) / lookup(c, links[0], Scheme::BcSpup),
+            lookup(c, links[1], Scheme::Generic) / lookup(c, links[1], Scheme::MultiW),
+            lookup(c, links[1], Scheme::Generic) / lookup(c, links[1], Scheme::BcSpup),
+        ];
+        t.push(c, row);
+    }
+    t.notes.push(
+        "the ordering (Multi-W > BC-SPUP > 1) must hold at every grid point; the          absolute factors grow as copies get slower relative to the link — the          paper's 3.4x corresponds to a slower-copy corner of this grid"
+            .into(),
+    );
+    t
+}
+
+/// Every figure, in paper order (extensions last).
+pub fn all_figures() -> Vec<Table> {
+    let (x1a, x1b) = x1();
+    vec![
+        fig2(),
+        fig8(),
+        fig9(),
+        fig11(),
+        fig12(),
+        fig13(),
+        fig14(),
+        x1a,
+        x1b,
+        x2(),
+        x3(),
+        x4(),
+        x5(),
+        x6(),
+        x7(),
+        x8(),
+    ]
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+//! Figure-regeneration library.
+//!
+//! One function per figure of the paper (and per extension experiment),
+//! each returning a [`Table`] whose shape mirrors the published plot:
+//! same x-axis, same series. The `figures` binary prints them; the
+//! integration tests assert the headline relationships; EXPERIMENTS.md
+//! records paper-vs-measured.
+
+pub mod figures;
+pub mod table;
+
+pub use figures::*;
+pub use table::Table;

@@ -1,0 +1,150 @@
+//! Result tables: one x value per row, one series per column.
+
+/// A figure's data: x-axis values against named series.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Figure title.
+    pub title: String,
+    /// Meaning of the x column.
+    pub xlabel: String,
+    /// Unit of the series values (e.g. "us", "MB/s", "ms").
+    pub unit: String,
+    /// Series names, in column order.
+    pub series: Vec<String>,
+    /// `(x, values)` rows; `values.len() == series.len()`.
+    pub rows: Vec<(u64, Vec<f64>)>,
+    /// Free-form notes (expected shape, observed factors).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, xlabel: &str, unit: &str, series: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            xlabel: xlabel.to_owned(),
+            unit: unit.to_owned(),
+            series: series.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn push(&mut self, x: u64, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len(), "row width mismatch");
+        self.rows.push((x, values));
+    }
+
+    /// Value of `series` at `x`.
+    pub fn value(&self, x: u64, series: &str) -> Option<f64> {
+        let col = self.series.iter().position(|s| s == series)?;
+        self.rows
+            .iter()
+            .find(|(rx, _)| *rx == x)
+            .map(|(_, v)| v[col])
+    }
+
+    /// Ratio `a / b` at `x` — improvement factors as the paper states
+    /// them.
+    pub fn ratio(&self, x: u64, a: &str, b: &str) -> Option<f64> {
+        Some(self.value(x, a)? / self.value(x, b)?)
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} [{}]\n", self.title, self.unit));
+        let mut widths: Vec<usize> = self.series.iter().map(|s| s.len().max(10)).collect();
+        for (_, vals) in &self.rows {
+            for (i, v) in vals.iter().enumerate() {
+                widths[i] = widths[i].max(format!("{v:.2}").len());
+            }
+        }
+        out.push_str(&format!("{:>12}", self.xlabel));
+        for (s, w) in self.series.iter().zip(&widths) {
+            out.push_str(&format!("  {s:>w$}"));
+        }
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            out.push_str(&format!("{x:>12}"));
+            for (v, w) in vals.iter().zip(&widths) {
+                out.push_str(&format!("  {:>w$}", format!("{v:.2}")));
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Renders CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.xlabel);
+        for s in &self.series {
+            out.push(',');
+            out.push_str(s);
+        }
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            out.push_str(&x.to_string());
+            for v in vals {
+                out.push_str(&format!(",{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Test", "cols", "us", &["a", "b"]);
+        t.push(1, vec![10.0, 20.0]);
+        t.push(2, vec![30.0, 15.0]);
+        t
+    }
+
+    #[test]
+    fn value_and_ratio() {
+        let t = sample();
+        assert_eq!(t.value(1, "a"), Some(10.0));
+        assert_eq!(t.value(2, "b"), Some(15.0));
+        assert_eq!(t.value(3, "a"), None);
+        assert_eq!(t.value(1, "zzz"), None);
+        assert_eq!(t.ratio(2, "a", "b"), Some(2.0));
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let mut t = sample();
+        t.notes.push("shape holds".into());
+        let r = t.render();
+        assert!(r.contains("Test"));
+        assert!(r.contains("cols"));
+        assert!(r.contains("30.00"));
+        assert!(r.contains("shape holds"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let t = sample();
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "cols,a,b");
+        assert!(lines[1].starts_with("1,10.0000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = sample();
+        t.push(3, vec![1.0]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Smoke tests for the figure harness: the cheap figures run end to end
+//! and their headline relationships hold (the expensive sweeps are
+//! covered by `tests/paper_claims.rs` at single points).
+
+use ibdt_bench::{x3, x5};
+
+#[test]
+fn x3_ogr_never_loses() {
+    let t = x3();
+    assert!(!t.rows.is_empty());
+    for (x, vals) in &t.rows {
+        let (per, whole, ogr) = (vals[0], vals[1], vals[2]);
+        assert!(ogr <= per + 1e-9, "gap {x}: OGR {ogr} > per-block {per}");
+        assert!(ogr <= whole + 1e-9, "gap {x}: OGR {ogr} > whole {whole}");
+    }
+    // Extremes: OGR tracks whole-extent at gap 0 and per-block at huge
+    // gaps.
+    let first = &t.rows.first().unwrap().1;
+    assert!((first[2] - first[1]).abs() < 1e-6);
+    let last = &t.rows.last().unwrap().1;
+    assert!((last[2] - last[0]).abs() < 1e-6);
+}
+
+#[test]
+fn x5_direct_eager_pack_wins() {
+    let t = x5();
+    for (x, vals) in &t.rows {
+        assert!(
+            vals[1] < vals[0],
+            "cols {x}: direct pack {} !< original {}",
+            vals[1],
+            vals[0]
+        );
+    }
+}
+
+#[test]
+fn table_csv_well_formed() {
+    let t = x3();
+    let csv = t.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), t.rows.len() + 1);
+    let cols = lines[0].split(',').count();
+    for l in &lines[1..] {
+        assert_eq!(l.split(',').count(), cols);
+    }
+}

@@ -1,0 +1,235 @@
+//! Flattened layouts, block statistics, and wire serialization.
+//!
+//! A [`FlatLayout`] is the linear list of `<offset, length>` tuples of
+//! §5.4.2 — the representation a Multi-W receiver ships to the sender so
+//! that the sender can aim one RDMA Write per contiguous block. Block
+//! statistics (mean/median block size) drive the adaptive scheme choice
+//! of §6.
+
+use crate::dataloop::BlockCollector;
+use crate::typ::Datatype;
+
+/// Flattened layout of one datatype instance: contiguous blocks in
+/// typemap order, adjacent-in-memory runs merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatLayout {
+    /// `(memory offset relative to buffer address, length)` per block.
+    pub blocks: Vec<(i64, u64)>,
+    /// Total data bytes (sum of block lengths).
+    pub size: u64,
+    /// Type extent (stride between instances).
+    pub extent: i64,
+}
+
+impl FlatLayout {
+    /// Flattens one instance of `ty`.
+    pub fn of(ty: &Datatype) -> FlatLayout {
+        let dl = ty.dataloop();
+        let mut c = BlockCollector::new();
+        dl.emit(0, dl.stream_size(), 0, &mut |o, l| c.push(o, l));
+        FlatLayout {
+            blocks: c.into_blocks(),
+            size: ty.size(),
+            extent: ty.extent(),
+        }
+    }
+
+    /// Expands to `count` instances, instance `i` shifted by
+    /// `i * extent`, merging across instance boundaries when dense.
+    pub fn repeat(&self, count: u64) -> Vec<(i64, u64)> {
+        let mut c = BlockCollector::new();
+        for i in 0..count {
+            let base = i as i64 * self.extent;
+            for &(o, l) in &self.blocks {
+                c.push(base + o, l);
+            }
+        }
+        c.into_blocks()
+    }
+
+    /// Per-block statistics over `count` instances.
+    pub fn stats(&self, count: u64) -> BlockStats {
+        BlockStats::from_blocks(&self.repeat(count))
+    }
+
+    /// Serializes to the wire format sent in rendezvous replies:
+    /// `u64 size | i64 extent | u32 nblocks | (i64 off, u64 len)*`,
+    /// little-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(20 + self.blocks.len() * 16);
+        v.extend_from_slice(&self.size.to_le_bytes());
+        v.extend_from_slice(&self.extent.to_le_bytes());
+        v.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        for &(o, l) in &self.blocks {
+            v.extend_from_slice(&o.to_le_bytes());
+            v.extend_from_slice(&l.to_le_bytes());
+        }
+        v
+    }
+
+    /// Decodes a layout serialized by [`Self::encode`]. Returns `None`
+    /// on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<FlatLayout> {
+        if bytes.len() < 20 {
+            return None;
+        }
+        let size = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        let extent = i64::from_le_bytes(bytes[8..16].try_into().ok()?);
+        let n = u32::from_le_bytes(bytes[16..20].try_into().ok()?) as usize;
+        if bytes.len() != 20 + n * 16 {
+            return None;
+        }
+        let mut blocks = Vec::with_capacity(n);
+        let mut total = 0u64;
+        for i in 0..n {
+            let p = 20 + i * 16;
+            let o = i64::from_le_bytes(bytes[p..p + 8].try_into().ok()?);
+            let l = u64::from_le_bytes(bytes[p + 8..p + 16].try_into().ok()?);
+            total = total.checked_add(l)?;
+            blocks.push((o, l));
+        }
+        if total != size {
+            return None;
+        }
+        Some(FlatLayout {
+            blocks,
+            size,
+            extent,
+        })
+    }
+}
+
+/// Contiguous-block statistics used by adaptive scheme selection (§6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockStats {
+    /// Number of contiguous blocks.
+    pub count: usize,
+    /// Total bytes.
+    pub total: u64,
+    /// Smallest block.
+    pub min: u64,
+    /// Largest block.
+    pub max: u64,
+    /// Mean block size (bytes).
+    pub mean: f64,
+    /// Median block size (bytes).
+    pub median: u64,
+}
+
+impl BlockStats {
+    /// Computes statistics over a block list.
+    pub fn from_blocks(blocks: &[(i64, u64)]) -> BlockStats {
+        if blocks.is_empty() {
+            return BlockStats {
+                count: 0,
+                total: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+            };
+        }
+        let mut lens: Vec<u64> = blocks.iter().map(|&(_, l)| l).collect();
+        lens.sort_unstable();
+        let total: u64 = lens.iter().sum();
+        BlockStats {
+            count: lens.len(),
+            total,
+            min: lens[0],
+            max: *lens.last().unwrap(),
+            mean: total as f64 / lens.len() as f64,
+            median: lens[lens.len() / 2],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_vector() {
+        let t = Datatype::vector(3, 2, 4, &Datatype::int()).unwrap();
+        let f = t.flat();
+        assert_eq!(f.blocks, vec![(0, 8), (16, 8), (32, 8)]);
+        assert_eq!(f.size, 24);
+    }
+
+    #[test]
+    fn repeat_shifts_by_extent() {
+        let t = Datatype::vector(2, 1, 2, &Datatype::int()).unwrap();
+        // blocks (0,4),(8,4); extent = 12. Instance 1 starts at 12, so
+        // its first block (12,4) merges with instance 0's (8,4).
+        let f = t.flat();
+        assert_eq!(f.repeat(2), vec![(0, 4), (8, 8), (20, 4)]);
+    }
+
+    #[test]
+    fn repeat_merges_dense_instances() {
+        let t = Datatype::contiguous(4, &Datatype::int()).unwrap();
+        let f = t.flat();
+        assert_eq!(f.repeat(3), vec![(0, 48)]);
+    }
+
+    #[test]
+    fn repeat_with_resized_gap() {
+        let base = Datatype::contiguous(1, &Datatype::int()).unwrap();
+        let t = Datatype::resized(&base, 0, 16).unwrap();
+        assert_eq!(t.flat().repeat(3), vec![(0, 4), (16, 4), (32, 4)]);
+    }
+
+    #[test]
+    fn stats_of_uniform_blocks() {
+        let t = Datatype::vector(8, 4, 100, &Datatype::int()).unwrap();
+        let s = t.flat().stats(1);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 16);
+        assert_eq!(s.max, 16);
+        assert_eq!(s.median, 16);
+        assert!((s.mean - 16.0).abs() < 1e-9);
+        assert_eq!(s.total, 128);
+    }
+
+    #[test]
+    fn stats_of_mixed_blocks() {
+        let t = Datatype::hindexed(&[(1, 0), (4, 100), (2, 1000)], &Datatype::int()).unwrap();
+        let s = t.flat().stats(1);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 16);
+        assert_eq!(s.median, 8);
+        assert_eq!(s.total, 28);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = BlockStats::from_blocks(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.total, 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = Datatype::hindexed(&[(2, -16), (3, 64)], &Datatype::double()).unwrap();
+        let f = t.flat();
+        let enc = f.encode();
+        let dec = FlatLayout::decode(&enc).unwrap();
+        assert_eq!(*f.as_ref(), dec);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let t = Datatype::vector(2, 1, 2, &Datatype::int()).unwrap();
+        let enc = t.flat().encode();
+        assert!(FlatLayout::decode(&enc[..enc.len() - 1]).is_none());
+        assert!(FlatLayout::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_size_mismatch() {
+        let t = Datatype::vector(2, 1, 2, &Datatype::int()).unwrap();
+        let mut enc = t.flat().encode();
+        enc[0] ^= 0xFF; // corrupt size
+        assert!(FlatLayout::decode(&enc).is_none());
+    }
+}

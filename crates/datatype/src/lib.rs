@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! MPI derived datatype engine.
+//!
+//! Implements the datatype machinery the paper's schemes depend on:
+//!
+//! * [`typ`] — the type constructors of MPI-1 (`contiguous`, `vector`,
+//!   `hvector`, `indexed`, `hindexed`, `indexed_block`, `struct`,
+//!   `resized`, plus `subarray` built from them) with MPI extent/lb/ub
+//!   semantics,
+//! * [`dataloop`] — compilation of a type tree into *dataloops*
+//!   (Ross/Miller/Gropp, ref [26]): a compact loop representation with
+//!   leaf coalescing, used for O(depth) partial traversal,
+//! * [`segment`] — **partial datatype processing** (§4.3.1): packing and
+//!   unpacking of arbitrary stream-offset ranges, which is what lets
+//!   BC-SPUP and RWG-UP start and stop packing at segment boundaries,
+//! * [`flat`] — flattening to `<offset, length>` tuple lists (§5.4.2),
+//!   block statistics for adaptive scheme selection (§6), and the wire
+//!   serialization of layouts sent to the peer in Multi-W,
+//! * [`cache`] — the versioned datatype cache (§5.4.2, after Träff et
+//!   al., ref [14]): type indices, version bumps on index reuse, and the
+//!   sender-side layout cache.
+//!
+//! All offsets are `i64` (MPI displacements may be negative); a buffer
+//! address names the element with offset 0.
+
+pub mod cache;
+pub mod dataloop;
+pub mod flat;
+pub mod prim;
+pub mod segment;
+pub mod typ;
+
+pub use cache::{LayoutCache, TypeRegistry};
+pub use flat::{BlockStats, FlatLayout};
+pub use prim::Primitive;
+pub use segment::Segment;
+pub use typ::{Datatype, TypeError};

@@ -1,0 +1,67 @@
+//! Primitive (basic) MPI datatypes.
+
+/// A primitive MPI datatype, the leaves of every derived type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// `MPI_BYTE` — 1 byte.
+    Byte,
+    /// `MPI_CHAR` — 1 byte.
+    Char,
+    /// `MPI_SHORT` — 2 bytes.
+    Short,
+    /// `MPI_INT` — 4 bytes.
+    Int,
+    /// `MPI_LONG` / `MPI_LONG_LONG` — 8 bytes.
+    Long,
+    /// `MPI_FLOAT` — 4 bytes.
+    Float,
+    /// `MPI_DOUBLE` — 8 bytes.
+    Double,
+}
+
+impl Primitive {
+    /// Size in bytes. Primitives have extent == size and lb == 0.
+    pub const fn size(self) -> u64 {
+        match self {
+            Primitive::Byte | Primitive::Char => 1,
+            Primitive::Short => 2,
+            Primitive::Int | Primitive::Float => 4,
+            Primitive::Long | Primitive::Double => 8,
+        }
+    }
+
+    /// All primitives, for exhaustive tests.
+    pub const ALL: [Primitive; 7] = [
+        Primitive::Byte,
+        Primitive::Char,
+        Primitive::Short,
+        Primitive::Int,
+        Primitive::Long,
+        Primitive::Float,
+        Primitive::Double,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Primitive::Byte.size(), 1);
+        assert_eq!(Primitive::Char.size(), 1);
+        assert_eq!(Primitive::Short.size(), 2);
+        assert_eq!(Primitive::Int.size(), 4);
+        assert_eq!(Primitive::Float.size(), 4);
+        assert_eq!(Primitive::Long.size(), 8);
+        assert_eq!(Primitive::Double.size(), 8);
+    }
+
+    #[test]
+    fn all_is_exhaustive() {
+        assert_eq!(Primitive::ALL.len(), 7);
+        for p in Primitive::ALL {
+            assert!(p.size() >= 1);
+        }
+    }
+}

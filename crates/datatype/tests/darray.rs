@@ -1,0 +1,202 @@
+//! `darray` (block-cyclic distributed array) tests against an
+//! independent reference model of the MPI distribution rules.
+
+use ibdt_datatype::typ::Distribution;
+use ibdt_datatype::Datatype;
+
+/// Reference: global row-major element indices owned by `rank`,
+/// in local-array order.
+fn reference_elements(
+    rank: u32,
+    gsizes: &[u64],
+    distribs: &[Distribution],
+    psizes: &[u32],
+) -> Vec<u64> {
+    let n = gsizes.len();
+    let mut coords = vec![0u32; n];
+    let mut rest = rank;
+    for i in 0..n {
+        let below: u32 = psizes[i + 1..].iter().product();
+        coords[i] = rest / below;
+        rest %= below;
+    }
+    let owned_per_dim: Vec<Vec<u64>> = (0..n)
+        .map(|i| {
+            let (g, p, c) = (gsizes[i], psizes[i] as u64, coords[i] as u64);
+            match distribs[i] {
+                Distribution::None => (0..g).collect(),
+                Distribution::Block(darg) => {
+                    let d = darg.unwrap_or(g.div_ceil(p));
+                    ((c * d).min(g)..((c + 1) * d).min(g)).collect()
+                }
+                Distribution::Cyclic(k) => (0..g).filter(|x| (x / k) % p == c).collect(),
+            }
+        })
+        .collect();
+    // Cartesian product in row-major local order.
+    let mut out = vec![0u64];
+    for (i, owned) in owned_per_dim.iter().enumerate() {
+        let stride: u64 = gsizes[i + 1..].iter().product();
+        let mut next = Vec::with_capacity(out.len() * owned.len());
+        for &base in &out {
+            for &g in owned {
+                next.push(base + g * stride);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn check(
+    size: u32,
+    gsizes: &[u64],
+    distribs: &[Distribution],
+    psizes: &[u32],
+) {
+    let elem = Datatype::int();
+    let total: u64 = gsizes.iter().product::<u64>() * 4;
+    let mut all_owned: Vec<u64> = Vec::new();
+    for rank in 0..size {
+        let t = Datatype::darray(size, rank, gsizes, distribs, psizes, &elem)
+            .unwrap_or_else(|e| panic!("rank {rank}: {e:?}"));
+        // Extent is the whole global array.
+        assert_eq!(t.extent() as u64, total, "extent");
+        // Flattened byte offsets == reference element offsets * 4.
+        let got: Vec<u64> = t
+            .flat()
+            .blocks
+            .iter()
+            .flat_map(|&(o, l)| {
+                assert!(o >= 0 && l % 4 == 0);
+                (0..l / 4).map(move |k| o as u64 + k * 4)
+            })
+            .collect();
+        let want: Vec<u64> = reference_elements(rank, gsizes, distribs, psizes)
+            .into_iter()
+            .map(|e| e * 4)
+            .collect();
+        assert_eq!(got, want, "rank {rank} layout mismatch");
+        all_owned.extend(want);
+    }
+    // Partition: every element owned exactly once across ranks.
+    all_owned.sort_unstable();
+    let expect: Vec<u64> = (0..total / 4).map(|e| e * 4).collect();
+    assert_eq!(all_owned, expect, "distribution is not a partition");
+}
+
+#[test]
+fn block_block_2d() {
+    check(
+        4,
+        &[8, 8],
+        &[Distribution::Block(None), Distribution::Block(None)],
+        &[2, 2],
+    );
+}
+
+#[test]
+fn block_uneven_sizes() {
+    // 7 rows over 3 procs: blocks of 3, 3, 1.
+    check(3, &[7], &[Distribution::Block(None)], &[3]);
+    // Last process may own nothing: 4 rows over 3 procs with block 2.
+    check(3, &[4], &[Distribution::Block(Some(2))], &[3]);
+}
+
+#[test]
+fn cyclic_1d() {
+    check(4, &[16], &[Distribution::Cyclic(1)], &[4]);
+    check(3, &[17], &[Distribution::Cyclic(2)], &[3]);
+    check(2, &[10], &[Distribution::Cyclic(7)], &[2]); // chunk > share
+}
+
+#[test]
+fn cyclic_block_mixed_2d() {
+    check(
+        6,
+        &[12, 10],
+        &[Distribution::Cyclic(2), Distribution::Block(None)],
+        &[3, 2],
+    );
+}
+
+#[test]
+fn none_dimension() {
+    check(
+        2,
+        &[4, 6],
+        &[Distribution::Block(None), Distribution::None],
+        &[2, 1],
+    );
+}
+
+#[test]
+fn three_dims() {
+    check(
+        8,
+        &[4, 4, 4],
+        &[
+            Distribution::Block(None),
+            Distribution::Cyclic(1),
+            Distribution::Block(None),
+        ],
+        &[2, 2, 2],
+    );
+}
+
+#[test]
+fn scalapack_style_2d_block_cyclic() {
+    // The ScaLAPACK canonical case: 2D block-cyclic with 2x2 blocks on
+    // a 2x3 grid.
+    check(
+        6,
+        &[8, 9],
+        &[Distribution::Cyclic(2), Distribution::Cyclic(2)],
+        &[2, 3],
+    );
+}
+
+#[test]
+fn invalid_arguments_rejected() {
+    let e = Datatype::int();
+    let blk = Distribution::Block(Option::None);
+    // Grid does not multiply to size.
+    assert!(Datatype::darray(4, 0, &[8], &[blk], &[3], &e).is_err());
+    // Rank out of range.
+    assert!(Datatype::darray(2, 2, &[8], &[blk], &[2], &e).is_err());
+    // None on a distributed dimension.
+    assert!(Datatype::darray(2, 0, &[8], &[Distribution::None], &[2], &e).is_err());
+    // Block size too small to cover.
+    assert!(Datatype::darray(2, 0, &[8], &[Distribution::Block(Some(2))], &[2], &e).is_err());
+    // Zero cyclic chunk.
+    assert!(Datatype::darray(2, 0, &[8], &[Distribution::Cyclic(0)], &[2], &e).is_err());
+    // Mismatched array lengths.
+    assert!(Datatype::darray(2, 0, &[8, 8], &[blk], &[2], &e).is_err());
+}
+
+#[test]
+fn darray_transfers_through_the_engine() {
+    // A darray type must pack/unpack like any other datatype.
+    use ibdt_datatype::Segment;
+    let t = Datatype::darray(
+        4,
+        2,
+        &[8, 8],
+        &[Distribution::Cyclic(2), Distribution::Block(None)],
+        &[2, 2],
+        &Datatype::int(),
+    )
+    .unwrap();
+    let buf: Vec<u8> = (0..t.extent() as usize).map(|i| (i % 251) as u8).collect();
+    let seg = Segment::new(&t, 1);
+    let n = seg.total_bytes();
+    let mut packed = vec![0u8; n as usize];
+    seg.pack(0, n, &buf, 0, &mut packed).unwrap();
+    let mut restored = vec![0u8; buf.len()];
+    seg.unpack(0, n, &packed, &mut restored, 0).unwrap();
+    seg.for_each_block(0, n, |off, len| {
+        let r = off as usize..(off + len as i64) as usize;
+        assert_eq!(&restored[r.clone()], &buf[r]);
+    })
+    .unwrap();
+}

@@ -1,0 +1,260 @@
+//! Property-based tests for the datatype engine.
+//!
+//! The generator builds a random type tree *together with* an
+//! independent reference model: the flat list of byte offsets each
+//! primitive element occupies, computed directly from the MPI typemap
+//! rules without going through dataloops. Every property then checks the
+//! engine against this reference.
+
+use ibdt_datatype::{Datatype, FlatLayout, Segment};
+use proptest::prelude::*;
+
+/// A datatype plus the byte offsets of its typemap, in pack order.
+#[derive(Debug, Clone)]
+struct Model {
+    ty: Datatype,
+    /// Byte offsets (relative to datatype origin) in pack order.
+    bytes: Vec<i64>,
+}
+
+fn prim_model() -> impl Strategy<Value = Model> {
+    proptest::sample::select(vec![
+        ibdt_datatype::Primitive::Byte,
+        ibdt_datatype::Primitive::Short,
+        ibdt_datatype::Primitive::Int,
+        ibdt_datatype::Primitive::Double,
+    ])
+    .prop_map(|p| {
+        let ty = Datatype::primitive(p);
+        Model {
+            bytes: (0..p.size() as i64).collect(),
+            ty,
+        }
+    })
+}
+
+fn shift(bytes: &[i64], d: i64) -> Vec<i64> {
+    bytes.iter().map(|b| b + d).collect()
+}
+
+fn derived(inner: impl Strategy<Value = Model> + Clone) -> impl Strategy<Value = Model> {
+    let contig = (inner.clone(), 0u64..4).prop_filter_map("contig", |(m, count)| {
+        let ty = Datatype::contiguous(count, &m.ty).ok()?;
+        let ext = m.ty.extent();
+        let mut bytes = Vec::new();
+        for i in 0..count as i64 {
+            bytes.extend(shift(&m.bytes, i * ext));
+        }
+        Some(Model { ty, bytes })
+    });
+    let hvector = (inner.clone(), 1u64..4, 1u64..4, -48i64..64).prop_filter_map(
+        "hvector",
+        |(m, count, blocklen, stride)| {
+            let ty = Datatype::hvector(count, blocklen, stride, &m.ty).ok()?;
+            let ext = m.ty.extent();
+            let mut bytes = Vec::new();
+            for i in 0..count as i64 {
+                for j in 0..blocklen as i64 {
+                    bytes.extend(shift(&m.bytes, i * stride + j * ext));
+                }
+            }
+            Some(Model { ty, bytes })
+        },
+    );
+    let hindexed = (
+        inner.clone(),
+        proptest::collection::vec((0u64..3, -64i64..128), 1..4),
+    )
+        .prop_filter_map("hindexed", |(m, blocks)| {
+            let ty = Datatype::hindexed(&blocks, &m.ty).ok()?;
+            let ext = m.ty.extent();
+            let mut bytes = Vec::new();
+            for &(l, d) in &blocks {
+                for j in 0..l as i64 {
+                    bytes.extend(shift(&m.bytes, d + j * ext));
+                }
+            }
+            Some(Model { ty, bytes })
+        });
+    let strct = (
+        inner.clone(),
+        inner.clone(),
+        0i64..128,
+        1u64..3,
+        1u64..3,
+    )
+        .prop_filter_map("struct", |(a, b, d2, l1, l2)| {
+            let fields = [(l1, 0i64, a.ty.clone()), (l2, d2, b.ty.clone())];
+            let ty = Datatype::struct_(&fields).ok()?;
+            let mut bytes = Vec::new();
+            for (l, d, src) in [(l1, 0i64, &a), (l2, d2, &b)] {
+                let ext = src.ty.extent();
+                for j in 0..l as i64 {
+                    bytes.extend(shift(&src.bytes, d + j * ext));
+                }
+            }
+            Some(Model { ty, bytes })
+        });
+    let resized = (inner, -32i64..32, 0i64..256).prop_filter_map("resized", |(m, lb, ext)| {
+        let ty = Datatype::resized(&m.ty, lb, ext).ok()?;
+        Some(Model { ty, bytes: m.bytes })
+    });
+    prop_oneof![contig, hvector, hindexed, strct, resized]
+}
+
+fn model_strategy() -> impl Strategy<Value = Model> {
+    prim_model().prop_recursive(3, 512, 4, |inner| derived(inner).boxed())
+}
+
+/// Layout of the buffer needed to hold `count` instances: returns
+/// `(buf_base, buf_len)` such that every element fits.
+fn buffer_for(m: &Model, count: u64) -> (usize, usize) {
+    // True bounds (not lb/ub): `resized` may shrink the declared extent
+    // below the data's real span.
+    let ext = m.ty.extent();
+    let lo = m.ty.true_lb().min(0);
+    let hi = (count.saturating_sub(1)) as i64 * ext + m.ty.true_ub().max(0);
+    let base = (-lo) as usize + 16;
+    let len = base + hi.max(0) as usize + 16;
+    (base, len)
+}
+
+/// Reference pack: gather bytes of all instances in typemap order.
+fn reference_pack(m: &Model, count: u64, buf: &[u8], base: usize) -> Vec<u8> {
+    let ext = m.ty.extent();
+    let mut out = Vec::with_capacity((count * m.ty.size()) as usize);
+    for i in 0..count as i64 {
+        for &b in &m.bytes {
+            out.push(buf[(base as i64 + i * ext + b) as usize]);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn size_matches_reference(m in model_strategy()) {
+        prop_assert_eq!(m.ty.size(), m.bytes.len() as u64);
+    }
+
+    #[test]
+    fn bounds_cover_typemap(m in model_strategy()) {
+        // All elements lie within [lb, ub] unless resized shrank them —
+        // the un-resized typemap is what `bytes` models, so check only
+        // that size-consistent blocks exist.
+        let flat = m.ty.flat();
+        let total: u64 = flat.blocks.iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(total, m.ty.size());
+    }
+
+    #[test]
+    fn flat_blocks_match_reference_bytes(m in model_strategy()) {
+        // Expanding the flattened blocks byte-by-byte must equal the
+        // reference typemap byte sequence.
+        let expanded: Vec<i64> = m
+            .ty
+            .flat()
+            .blocks
+            .iter()
+            .flat_map(|&(o, l)| o..o + l as i64)
+            .collect();
+        prop_assert_eq!(&expanded, &m.bytes);
+    }
+
+    #[test]
+    fn whole_pack_matches_reference(
+        (m, count) in model_strategy().prop_flat_map(|m| (Just(m), 1u64..4)),
+        seed in any::<u64>(),
+    ) {
+        let (base, len) = buffer_for(&m, count);
+        let buf: Vec<u8> = (0..len).map(|i| ((i as u64).wrapping_mul(seed | 1) >> 3) as u8).collect();
+        let seg = Segment::new(&m.ty, count);
+        let n = seg.total_bytes();
+        let mut packed = vec![0u8; n as usize];
+        seg.pack(0, n, &buf, base, &mut packed).unwrap();
+        prop_assert_eq!(packed, reference_pack(&m, count, &buf, base));
+    }
+
+    #[test]
+    fn segmented_pack_equals_whole(
+        (m, count) in model_strategy().prop_flat_map(|m| (Just(m), 1u64..4)),
+        cuts in proptest::collection::vec(any::<u16>(), 0..6),
+    ) {
+        let (base, len) = buffer_for(&m, count);
+        let buf: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+        let seg = Segment::new(&m.ty, count);
+        let n = seg.total_bytes();
+        let mut whole = vec![0u8; n as usize];
+        seg.pack(0, n, &buf, base, &mut whole).unwrap();
+
+        let mut points: Vec<u64> = cuts.iter().map(|&c| c as u64 % (n + 1)).collect();
+        points.push(0);
+        points.push(n);
+        points.sort_unstable();
+        let mut pieces = vec![0u8; n as usize];
+        for w in points.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            seg.pack(lo, hi, &buf, base, &mut pieces[lo as usize..hi as usize]).unwrap();
+        }
+        prop_assert_eq!(pieces, whole);
+    }
+
+    #[test]
+    fn unpack_restores_exactly_datatype_bytes(
+        (m, count) in model_strategy().prop_flat_map(|m| (Just(m), 1u64..3)),
+    ) {
+        let (base, len) = buffer_for(&m, count);
+        // Self-overlapping typemaps are legal to send but erroneous to
+        // receive into (MPI-1 §3.12.5); the round-trip property only
+        // holds for non-overlapping layouts.
+        let ext = m.ty.extent();
+        let mut positions: Vec<i64> = (0..count as i64)
+            .flat_map(|i| m.bytes.iter().map(move |&b| i * ext + b))
+            .collect();
+        let total = positions.len();
+        positions.sort_unstable();
+        positions.dedup();
+        prop_assume!(positions.len() == total);
+
+        let seg = Segment::new(&m.ty, count);
+        let n = seg.total_bytes();
+        let stream: Vec<u8> = (0..n).map(|i| (i % 241) as u8).collect();
+        let mut buf = vec![0xEEu8; len];
+        seg.unpack(0, n, &stream, &mut buf, base).unwrap();
+        // Re-pack what we unpacked: must round-trip.
+        let mut repacked = vec![0u8; n as usize];
+        seg.pack(0, n, &buf, base, &mut repacked).unwrap();
+        prop_assert_eq!(&repacked, &stream);
+        // Bytes outside the typemap are untouched.
+        let mut touched = vec![false; len];
+        seg.for_each_block(0, n, |off, l| {
+            for p in off..off + l as i64 {
+                touched[(base as i64 + p) as usize] = true;
+            }
+        }).unwrap();
+        for (i, &t) in touched.iter().enumerate() {
+            if !t {
+                prop_assert_eq!(buf[i], 0xEE, "byte {} was touched", i);
+            }
+        }
+    }
+
+    #[test]
+    fn layout_serialization_roundtrip(m in model_strategy()) {
+        let f = m.ty.flat();
+        let dec = FlatLayout::decode(&f.encode()).unwrap();
+        prop_assert_eq!(f.as_ref().clone(), dec);
+    }
+
+    #[test]
+    fn block_stats_consistent(m in model_strategy(), count in 1u64..4) {
+        let s = m.ty.flat().stats(count);
+        prop_assert_eq!(s.total, count * m.ty.size());
+        if s.count > 0 {
+            prop_assert!(s.min <= s.median && s.median <= s.max);
+            prop_assert!(s.mean >= s.min as f64 && s.mean <= s.max as f64);
+        }
+    }
+}

@@ -1,0 +1,669 @@
+//! The simulated fabric: HCAs, queue pairs, and the switch.
+//!
+//! Topology: `n` nodes, fully connected through one switch, one
+//! reliable-connection queue pair per ordered node pair (as MVAPICH sets
+//! up). Each node has one NIC transmit engine modelled as a FIFO
+//! [`SerialResource`]; serialization on this engine plus a fixed
+//! propagation delay gives RC's per-QP in-order delivery for free.
+//!
+//! Functional behaviour:
+//!
+//! * data is **gathered at post time** from the sender's address space
+//!   (protocols must not mutate a posted buffer before its completion —
+//!   true of verbs as well) and **placed at arrival time**,
+//! * rkey checks happen at the responder, like real IB; failures produce
+//!   an error completion at the requester and move no data,
+//! * a send (or write-with-immediate) arriving at a QP with an empty
+//!   receive queue parks in an RNR queue and is delivered when a
+//!   receive is posted; the RNR counter lets tests assert that the MPI
+//!   layer's flow control avoids this path.
+
+use crate::model::NetConfig;
+use crate::wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge};
+use ibdt_memreg::{AddressSpace, MemError, RegTable};
+use ibdt_simcore::resource::SerialResource;
+use ibdt_simcore::time::Time;
+use std::collections::{HashMap, VecDeque};
+
+/// One rank's memory: address space + registration table.
+#[derive(Debug)]
+pub struct NodeMem {
+    /// Flat memory.
+    pub space: AddressSpace,
+    /// Live registrations (lkey/rkey namespace).
+    pub regs: RegTable,
+}
+
+impl NodeMem {
+    /// Creates a node memory of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            space: AddressSpace::new(capacity),
+            regs: RegTable::new(),
+        }
+    }
+}
+
+/// Events internal to the fabric. The embedding world forwards these to
+/// [`Fabric::handle`] when they fire.
+#[derive(Debug)]
+pub enum NicEvent {
+    /// A transfer arrives at `dst`'s HCA.
+    Arrive {
+        /// Destination node.
+        dst: u32,
+        /// The in-flight transfer.
+        xfer: Transfer,
+    },
+    /// A locally generated completion becomes visible (post-ACK).
+    LocalCqe {
+        /// Node whose CQ receives the entry.
+        node: u32,
+        /// The entry.
+        cqe: Cqe,
+    },
+    /// Re-examine the RNR park queue of `(node, peer)` after a receive
+    /// was posted.
+    RnrRetry {
+        /// Node owning the receive queue.
+        node: u32,
+        /// Peer whose parked transfers should be retried.
+        peer: u32,
+    },
+}
+
+/// An in-flight transfer (one WR's payload).
+#[derive(Debug)]
+pub struct Transfer {
+    src: u32,
+    kind: TransferKind,
+}
+
+#[derive(Debug)]
+enum TransferKind {
+    /// Channel-semantics send payload.
+    Send {
+        wr_id: u64,
+        data: Vec<u8>,
+        signaled: bool,
+    },
+    /// RDMA write payload (optionally with immediate data).
+    Write {
+        wr_id: u64,
+        addr: u64,
+        rkey: u32,
+        data: Vec<u8>,
+        imm: Option<u32>,
+        signaled: bool,
+    },
+    /// RDMA read request.
+    ReadRequest {
+        wr_id: u64,
+        addr: u64,
+        rkey: u32,
+        len: u64,
+        scatter: Vec<Sge>,
+        signaled: bool,
+    },
+    /// RDMA read response carrying the data back.
+    ReadResponse {
+        wr_id: u64,
+        data: Vec<u8>,
+        scatter: Vec<Sge>,
+        signaled: bool,
+    },
+}
+
+#[derive(Debug)]
+struct Node {
+    tx: SerialResource,
+    /// Receive queues, one per peer QP.
+    recvq: HashMap<u32, VecDeque<RecvWr>>,
+    /// Parked transfers awaiting a receive descriptor (RNR).
+    parked: HashMap<u32, VecDeque<Transfer>>,
+    /// NIC-processing finish times of posted-but-unprocessed send WQEs,
+    /// per peer QP (send-queue occupancy accounting).
+    sq_busy: HashMap<u32, VecDeque<Time>>,
+}
+
+/// Fabric statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Work requests processed by transmit engines.
+    pub wqes: u64,
+    /// Payload bytes serialized onto links.
+    pub bytes_on_wire: u64,
+    /// Times a send/write-imm found no receive descriptor posted.
+    pub rnr_events: u64,
+    /// Completions generated.
+    pub cqes: u64,
+}
+
+/// The simulated InfiniBand fabric.
+#[derive(Debug)]
+pub struct Fabric {
+    cfg: NetConfig,
+    nodes: Vec<Node>,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// Creates a fabric of `n` fully connected nodes.
+    pub fn new(n: usize, cfg: NetConfig) -> Self {
+        let nodes = (0..n)
+            .map(|_| Node {
+                tx: SerialResource::new("nic-tx").with_trace(),
+                recvq: HashMap::new(),
+                parked: HashMap::new(),
+                sq_busy: HashMap::new(),
+            })
+            .collect();
+        Self {
+            cfg,
+            nodes,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty fabric.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Cost model in use.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// The transmit engine of `node` (utilization / trace inspection).
+    pub fn tx_engine(&self, node: u32) -> &SerialResource {
+        &self.nodes[node as usize].tx
+    }
+
+    fn validate_sges(
+        &self,
+        node: u32,
+        sges: &[Sge],
+        mem: &NodeMem,
+    ) -> Result<(), PostError> {
+        if sges.len() > self.cfg.max_sge {
+            return Err(PostError::TooManySges {
+                got: sges.len(),
+                max: self.cfg.max_sge,
+            });
+        }
+        debug_assert!((node as usize) < self.nodes.len());
+        for s in sges {
+            mem.regs
+                .check(s.lkey, s.addr, s.len)
+                .map_err(PostError::BadLocalKey)?;
+        }
+        Ok(())
+    }
+
+    fn gather(sges: &[Sge], space: &AddressSpace) -> Vec<u8> {
+        let total: usize = sges.iter().map(|s| s.len as usize).sum();
+        let mut data = Vec::with_capacity(total);
+        for s in sges {
+            data.extend_from_slice(
+                space
+                    .slice(s.addr, s.len)
+                    .expect("sge validated against a live registration"),
+            );
+        }
+        data
+    }
+
+    /// Posts one send work request on the QP `node -> peer`.
+    ///
+    /// `ready_at` is when the descriptor reaches the HCA (the caller has
+    /// already charged the posting CPU time). Completions and arrivals
+    /// are scheduled through `sink`.
+    pub fn post_send<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        ready_at: Time,
+        node: u32,
+        peer: u32,
+        wr: SendWr,
+        mems: &[NodeMem],
+        sink: &mut F,
+    ) -> Result<(), PostError> {
+        self.post_send_inner(ready_at, node, peer, wr, mems, sink, false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn post_send_inner<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        ready_at: Time,
+        node: u32,
+        peer: u32,
+        wr: SendWr,
+        mems: &[NodeMem],
+        sink: &mut F,
+        batched: bool,
+    ) -> Result<(), PostError> {
+        if peer as usize >= self.nodes.len() {
+            return Err(PostError::NoSuchPeer { peer });
+        }
+        let mem = &mems[node as usize];
+        self.validate_sges(node, &wr.sges, mem)?;
+        if matches!(wr.opcode, Opcode::RdmaWrite | Opcode::RdmaWriteImm(_) | Opcode::RdmaRead)
+            && wr.remote.is_none()
+        {
+            return Err(PostError::MissingRemote);
+        }
+
+        let bytes = wr.total_len();
+        let (tx_dur, extra_delay) = match wr.opcode {
+            // A read request is small on the wire; its payload crosses
+            // on the responder's transmit engine.
+            Opcode::RdmaRead => (
+                self.cfg.tx_ns_batched(wr.sges.len(), 0, batched),
+                self.cfg.rdma_read_extra_ns,
+            ),
+            _ => (self.cfg.tx_ns_batched(wr.sges.len(), bytes, batched), 0),
+        };
+        // Send-queue depth: WQEs occupy the queue from post until the
+        // NIC finishes processing them.
+        {
+            let q = self.nodes[node as usize].sq_busy.entry(peer).or_default();
+            while q.front().is_some_and(|&t| t <= ready_at) {
+                q.pop_front();
+            }
+            if q.len() >= self.cfg.sq_depth {
+                return Err(PostError::QueueFull {
+                    depth: self.cfg.sq_depth,
+                });
+            }
+        }
+        let ser_done = self.nodes[node as usize]
+            .tx
+            .reserve_labeled(ready_at, tx_dur, "wire");
+        self.nodes[node as usize]
+            .sq_busy
+            .entry(peer)
+            .or_default()
+            .push_back(ser_done);
+        self.stats.wqes += 1;
+
+        let kind = match wr.opcode {
+            Opcode::Send => {
+                self.stats.bytes_on_wire += bytes;
+                TransferKind::Send {
+                    wr_id: wr.wr_id,
+                    data: Self::gather(&wr.sges, &mem.space),
+                    signaled: wr.signaled,
+                }
+            }
+            Opcode::RdmaWrite | Opcode::RdmaWriteImm(_) => {
+                self.stats.bytes_on_wire += bytes;
+                let (addr, rkey) = wr.remote.expect("checked above");
+                let imm = match wr.opcode {
+                    Opcode::RdmaWriteImm(v) => Some(v),
+                    _ => None,
+                };
+                TransferKind::Write {
+                    wr_id: wr.wr_id,
+                    addr,
+                    rkey,
+                    data: Self::gather(&wr.sges, &mem.space),
+                    imm,
+                    signaled: wr.signaled,
+                }
+            }
+            Opcode::RdmaRead => {
+                let (addr, rkey) = wr.remote.expect("checked above");
+                TransferKind::ReadRequest {
+                    wr_id: wr.wr_id,
+                    addr,
+                    rkey,
+                    len: bytes,
+                    scatter: wr.sges,
+                    signaled: wr.signaled,
+                }
+            }
+        };
+        sink(
+            ser_done + self.cfg.prop_delay_ns + extra_delay,
+            NicEvent::Arrive {
+                dst: peer,
+                xfer: Transfer { src: node, kind },
+            },
+        );
+        Ok(())
+    }
+
+    /// Posts a list of descriptors in one call (the extended interface
+    /// of §7.4). Functionally identical to posting one by one; the CPU
+    /// saving is priced by the caller via
+    /// [`NetConfig::post_list_ns`].
+    pub fn post_send_list<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        ready_at: Time,
+        node: u32,
+        peer: u32,
+        wrs: Vec<SendWr>,
+        mems: &[NodeMem],
+        sink: &mut F,
+    ) -> Result<(), PostError> {
+        for wr in wrs {
+            self.post_send_inner(ready_at, node, peer, wr, mems, sink, true)?;
+        }
+        Ok(())
+    }
+
+    /// Posts a receive descriptor on the QP `node <- peer`.
+    pub fn post_recv<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        now: Time,
+        node: u32,
+        peer: u32,
+        wr: RecvWr,
+        mems: &[NodeMem],
+        sink: &mut F,
+    ) -> Result<(), PostError> {
+        if peer as usize >= self.nodes.len() {
+            return Err(PostError::NoSuchPeer { peer });
+        }
+        self.validate_sges(node, &wr.sges, &mems[node as usize])?;
+        let n = &mut self.nodes[node as usize];
+        n.recvq.entry(peer).or_default().push_back(wr);
+        if n.parked.get(&peer).is_some_and(|q| !q.is_empty()) {
+            sink(now, NicEvent::RnrRetry { node, peer });
+        }
+        Ok(())
+    }
+
+    /// Handles a fabric event, returning completions that become visible
+    /// to the MPI progress engines **now**.
+    pub fn handle<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        now: Time,
+        ev: NicEvent,
+        mems: &mut [NodeMem],
+        sink: &mut F,
+    ) -> Vec<(u32, Cqe)> {
+        match ev {
+            NicEvent::LocalCqe { node, cqe } => {
+                self.stats.cqes += 1;
+                vec![(node, cqe)]
+            }
+            NicEvent::Arrive { dst, xfer } => self.arrive(now, dst, xfer, mems, sink),
+            NicEvent::RnrRetry { node, peer } => {
+                let mut out = Vec::new();
+                loop {
+                    let node_st = &mut self.nodes[node as usize];
+                    let has_recv = node_st.recvq.get(&peer).is_some_and(|q| !q.is_empty());
+                    let Some(q) = node_st.parked.get_mut(&peer) else {
+                        break;
+                    };
+                    if !has_recv || q.is_empty() {
+                        break;
+                    }
+                    let xfer = q.pop_front().expect("checked non-empty");
+                    out.extend(self.arrive(now, node, xfer, mems, sink));
+                }
+                out
+            }
+        }
+    }
+
+    fn arrive<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        now: Time,
+        dst: u32,
+        xfer: Transfer,
+        mems: &mut [NodeMem],
+        sink: &mut F,
+    ) -> Vec<(u32, Cqe)> {
+        let src = xfer.src;
+        let mut out = Vec::new();
+        match xfer.kind {
+            TransferKind::Send { wr_id, data, signaled } => {
+                match self.consume_recv(dst, src, data.len() as u64) {
+                    ConsumeOutcome::NoDescriptor => {
+                        self.stats.rnr_events += 1;
+                        self.park(dst, src, Transfer {
+                            src,
+                            kind: TransferKind::Send { wr_id, data, signaled },
+                        });
+                    }
+                    ConsumeOutcome::TooSmall(rwr) => {
+                        out.push((dst, Cqe {
+                            peer: src,
+                            wr_id: rwr.wr_id,
+                            is_recv: true,
+                            byte_len: 0,
+                            imm: None,
+                            status: CqeStatus::LocalLengthError {
+                                sent: data.len() as u64,
+                                capacity: rwr.capacity(),
+                            },
+                        }));
+                        self.sched_local(sink, src, Cqe {
+                            peer: dst,
+                            wr_id,
+                            is_recv: false,
+                            byte_len: 0,
+                            imm: None,
+                            status: CqeStatus::RemoteAccess(MemError::OutOfBounds {
+                                addr: 0,
+                                len: data.len() as u64,
+                                capacity: rwr.capacity(),
+                            }),
+                        }, now);
+                    }
+                    ConsumeOutcome::Ok(rwr) => {
+                        Self::scatter(&rwr.sges, &data, &mut mems[dst as usize].space);
+                        self.stats.cqes += 1;
+                        out.push((dst, Cqe {
+                            peer: src,
+                            wr_id: rwr.wr_id,
+                            is_recv: true,
+                            byte_len: data.len() as u64,
+                            imm: None,
+                            status: CqeStatus::Success,
+                        }));
+                        if signaled {
+                            self.sched_local(sink, src, Cqe {
+                                peer: dst,
+                                wr_id,
+                                is_recv: false,
+                                byte_len: data.len() as u64,
+                                imm: None,
+                                status: CqeStatus::Success,
+                            }, now);
+                        }
+                    }
+                }
+            }
+            TransferKind::Write { wr_id, addr, rkey, data, imm, signaled } => {
+                // Write-with-immediate consumes a receive descriptor; if
+                // none is posted the transfer parks (RNR), data unplaced.
+                if imm.is_some()
+                    && !self
+                        .nodes[dst as usize]
+                        .recvq
+                        .get(&src)
+                        .is_some_and(|q| !q.is_empty())
+                {
+                    self.stats.rnr_events += 1;
+                    self.park(dst, src, Transfer {
+                        src,
+                        kind: TransferKind::Write { wr_id, addr, rkey, data, imm, signaled },
+                    });
+                    return out;
+                }
+                let mem = &mut mems[dst as usize];
+                match mem.regs.check(rkey, addr, data.len() as u64) {
+                    Err(e) => {
+                        self.sched_local(sink, src, Cqe {
+                            peer: dst,
+                            wr_id,
+                            is_recv: false,
+                            byte_len: 0,
+                            imm: None,
+                            status: CqeStatus::RemoteAccess(e),
+                        }, now);
+                    }
+                    Ok(()) => {
+                        mem.space
+                            .write(addr, &data)
+                            .expect("rkey check guarantees bounds");
+                        if let Some(v) = imm {
+                            let rwr = self.nodes[dst as usize]
+                                .recvq
+                                .get_mut(&src)
+                                .and_then(|q| q.pop_front())
+                                .expect("checked non-empty above");
+                            self.stats.cqes += 1;
+                            out.push((dst, Cqe {
+                                peer: src,
+                                wr_id: rwr.wr_id,
+                                is_recv: true,
+                                byte_len: data.len() as u64,
+                                imm: Some(v),
+                                status: CqeStatus::Success,
+                            }));
+                        }
+                        if signaled {
+                            self.sched_local(sink, src, Cqe {
+                                peer: dst,
+                                wr_id,
+                                is_recv: false,
+                                byte_len: data.len() as u64,
+                                imm: None,
+                                status: CqeStatus::Success,
+                            }, now);
+                        }
+                    }
+                }
+            }
+            TransferKind::ReadRequest { wr_id, addr, rkey, len, scatter, signaled } => {
+                let mem = &mems[dst as usize];
+                match mem.regs.check(rkey, addr, len) {
+                    Err(e) => {
+                        self.sched_local(sink, src, Cqe {
+                            peer: dst,
+                            wr_id,
+                            is_recv: false,
+                            byte_len: 0,
+                            imm: None,
+                            status: CqeStatus::RemoteAccess(e),
+                        }, now);
+                    }
+                    Ok(()) => {
+                        let data = mem
+                            .space
+                            .read(addr, len)
+                            .expect("rkey check guarantees bounds");
+                        // The response occupies the responder's transmit
+                        // engine for its serialization time.
+                        let dur = self.cfg.tx_ns(1, len);
+                        let done = self.nodes[dst as usize]
+                            .tx
+                            .reserve_labeled(now, dur, "wire");
+                        self.stats.wqes += 1;
+                        self.stats.bytes_on_wire += len;
+                        sink(
+                            done + self.cfg.prop_delay_ns,
+                            NicEvent::Arrive {
+                                dst: src,
+                                xfer: Transfer {
+                                    src: dst,
+                                    kind: TransferKind::ReadResponse {
+                                        wr_id,
+                                        data,
+                                        scatter,
+                                        signaled,
+                                    },
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+            TransferKind::ReadResponse { wr_id, data, scatter, signaled } => {
+                Self::scatter(&scatter, &data, &mut mems[dst as usize].space);
+                if signaled {
+                    self.stats.cqes += 1;
+                    out.push((dst, Cqe {
+                        peer: src,
+                        wr_id,
+                        is_recv: false,
+                        byte_len: data.len() as u64,
+                        imm: None,
+                        status: CqeStatus::Success,
+                    }));
+                }
+            }
+        }
+        out
+    }
+
+    fn sched_local<F: FnMut(Time, NicEvent)>(
+        &self,
+        sink: &mut F,
+        node: u32,
+        cqe: Cqe,
+        now: Time,
+    ) {
+        // ACK travels back one propagation delay; then the CQE is
+        // generated.
+        sink(
+            now + self.cfg.prop_delay_ns + self.cfg.cqe_ns,
+            NicEvent::LocalCqe { node, cqe },
+        );
+    }
+
+    fn park(&mut self, dst: u32, src: u32, xfer: Transfer) {
+        self.nodes[dst as usize]
+            .parked
+            .entry(src)
+            .or_default()
+            .push_back(xfer);
+    }
+
+    fn consume_recv(&mut self, dst: u32, src: u32, len: u64) -> ConsumeOutcome {
+        let q = self.nodes[dst as usize].recvq.entry(src).or_default();
+        match q.front() {
+            None => ConsumeOutcome::NoDescriptor,
+            Some(r) if r.capacity() < len => {
+                let rwr = q.pop_front().expect("front exists");
+                ConsumeOutcome::TooSmall(rwr)
+            }
+            Some(_) => ConsumeOutcome::Ok(q.pop_front().expect("front exists")),
+        }
+    }
+
+    fn scatter(sges: &[Sge], data: &[u8], space: &mut AddressSpace) {
+        let mut off = 0usize;
+        for s in sges {
+            if off >= data.len() {
+                break;
+            }
+            let take = (s.len as usize).min(data.len() - off);
+            space
+                .write(s.addr, &data[off..off + take])
+                .expect("sge validated at post");
+            off += take;
+        }
+        debug_assert_eq!(off, data.len(), "scatter capacity checked before");
+    }
+}
+
+enum ConsumeOutcome {
+    NoDescriptor,
+    TooSmall(RecvWr),
+    Ok(RecvWr),
+}

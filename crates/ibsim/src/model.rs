@@ -1,0 +1,227 @@
+//! Cost model configuration.
+//!
+//! Defaults are calibrated to the paper's testbed (§8.1): dual 2.4 GHz
+//! Xeon nodes, Mellanox InfiniHost MT23108 4x HCAs on 133 MHz PCI-X,
+//! InfiniScale switch. Anchor points used for calibration:
+//!
+//! * small-message RDMA write latency ≈ 6 µs end to end,
+//! * peak unidirectional bandwidth ≈ 870 MB/s (PCI-X bound),
+//! * host memory copy ≈ 0.95 GB/s for large blocks — *comparable to the
+//!   network*, which is the premise of the paper's overlap argument,
+//! * registration ≈ 22 µs base (Fig. 2's `DT+reg` penalty),
+//! * descriptor post ≈ 1 µs (each standard post rings a doorbell over
+//!   PCI-X), amortized to ≈ 0.15 µs per descriptor with the extended
+//!   list-post interface (Fig. 13 shows 1.2–2.0× bandwidth from this —
+//!   "posting descriptor is costly and we expect InfiniBand vendors to
+//!   further optimize it", §8.5).
+
+use ibdt_memreg::RegCostModel;
+use ibdt_simcore::time::{transfer_ns, Time};
+
+/// Network / HCA timing parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Link bandwidth, bytes per second (decimal).
+    pub link_bw_bps: u64,
+    /// One-way propagation + switch latency, ns.
+    pub prop_delay_ns: Time,
+    /// NIC processing per singly-posted work request (doorbell handling
+    /// + WQE fetch over PCI-X, packet build, receive-side DMA setup
+    /// folded in), ns.
+    pub wqe_overhead_ns: Time,
+    /// NIC processing per work request posted through the list
+    /// interface — one doorbell covers the batch and WQE fetches
+    /// pipeline, so the per-WQE cost is much lower (§8.5's motivation
+    /// for the extension), ns.
+    pub wqe_overhead_list_ns: Time,
+    /// Additional NIC gather/scatter cost per SGE beyond the first, ns.
+    pub sge_overhead_ns: Time,
+    /// CPU cost of posting one descriptor with the standard interface, ns.
+    pub post_single_ns: Time,
+    /// CPU cost of the first descriptor in a list post, ns.
+    pub post_list_first_ns: Time,
+    /// CPU cost per additional descriptor in a list post, ns.
+    pub post_list_per_ns: Time,
+    /// CPU cost of posting a receive descriptor, ns.
+    pub post_recv_ns: Time,
+    /// Extra latency of an RDMA read versus a write (request round
+    /// trip + responder scheduling), ns. §5.2: "RDMA Read performance is
+    /// always lower than that of RDMA Write".
+    pub rdma_read_extra_ns: Time,
+    /// Cost to generate + poll one completion entry, ns.
+    pub cqe_ns: Time,
+    /// Maximum scatter/gather entries per work request.
+    pub max_sge: usize,
+    /// Send-queue depth per queue pair: work requests that have been
+    /// posted but whose NIC processing has not finished. Posting beyond
+    /// this fails like a real verbs `ENOMEM`.
+    pub sq_depth: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            link_bw_bps: 870_000_000,
+            prop_delay_ns: 1_300,
+            wqe_overhead_ns: 1_500,
+            wqe_overhead_list_ns: 300,
+            sge_overhead_ns: 150,
+            post_single_ns: 1_000,
+            post_list_first_ns: 600,
+            post_list_per_ns: 150,
+            post_recv_ns: 200,
+            rdma_read_extra_ns: 4_000,
+            cqe_ns: 200,
+            max_sge: 64,
+            sq_depth: 4096,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Wire serialization time for `bytes`.
+    pub fn wire_ns(&self, bytes: u64) -> Time {
+        transfer_ns(bytes, self.link_bw_bps)
+    }
+
+    /// NIC engine occupancy for a WR with `nsge` gather entries and
+    /// `bytes` total payload. `batched` selects the list-post WQE cost.
+    pub fn tx_ns_batched(&self, nsge: usize, bytes: u64, batched: bool) -> Time {
+        let wqe = if batched {
+            self.wqe_overhead_list_ns
+        } else {
+            self.wqe_overhead_ns
+        };
+        wqe + self.sge_overhead_ns * (nsge.saturating_sub(1)) as u64 + self.wire_ns(bytes)
+    }
+
+    /// NIC engine occupancy for a singly-posted WR.
+    pub fn tx_ns(&self, nsge: usize, bytes: u64) -> Time {
+        self.tx_ns_batched(nsge, bytes, false)
+    }
+
+    /// CPU cost of posting `n` descriptors one by one.
+    pub fn post_n_single_ns(&self, n: usize) -> Time {
+        self.post_single_ns * n as u64
+    }
+
+    /// CPU cost of posting `n` descriptors with the list interface.
+    pub fn post_list_ns(&self, n: usize) -> Time {
+        if n == 0 {
+            0
+        } else {
+            self.post_list_first_ns + self.post_list_per_ns * (n as u64 - 1)
+        }
+    }
+}
+
+/// Host-side timing parameters (copies, datatype processing, malloc).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostConfig {
+    /// Large-block memory copy bandwidth, bytes per second.
+    pub copy_bw_bps: u64,
+    /// Fixed cost per contiguous block copied (loop overhead, cache-line
+    /// fill, datatype element dispatch), ns. This term is why packing a
+    /// column of 4-byte elements is far slower than a dense memcpy
+    /// (§3.2 observation 1).
+    pub copy_block_overhead_ns: Time,
+    /// Datatype processing cost per contiguous block (stack advance in
+    /// the dataloop engine), ns.
+    pub dt_proc_block_ns: Time,
+    /// Cost of a dynamic buffer allocation (malloc + first-touch page
+    /// faults, ref [7]), ns.
+    pub malloc_ns: Time,
+    /// Cost of freeing a dynamic buffer, ns.
+    pub free_ns: Time,
+    /// Registration cost model.
+    pub reg: RegCostModel,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        Self {
+            copy_bw_bps: 950_000_000,
+            copy_block_overhead_ns: 60,
+            dt_proc_block_ns: 25,
+            malloc_ns: 3_000,
+            free_ns: 1_000,
+            reg: RegCostModel::default(),
+        }
+    }
+}
+
+impl HostConfig {
+    /// CPU time to copy `bytes` spread over `blocks` contiguous blocks
+    /// (a pack or unpack of that shape).
+    pub fn copy_ns(&self, blocks: usize, bytes: u64) -> Time {
+        (self.copy_block_overhead_ns + self.dt_proc_block_ns) * blocks as u64
+            + transfer_ns(bytes, self.copy_bw_bps)
+    }
+
+    /// CPU time for a plain dense copy.
+    pub fn memcpy_ns(&self, bytes: u64) -> Time {
+        self.copy_ns(1, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_matches_bandwidth() {
+        let c = NetConfig::default();
+        // 870 KB at 870 MB/s = 1 ms.
+        assert_eq!(c.wire_ns(870_000), 1_000_000);
+        // 870 bytes at 870 MB/s = 1 µs.
+        assert_eq!(c.wire_ns(870), 1_000);
+    }
+
+    #[test]
+    fn tx_accounts_for_sges() {
+        let c = NetConfig::default();
+        let one = c.tx_ns(1, 0);
+        let four = c.tx_ns(4, 0);
+        assert_eq!(four - one, 3 * c.sge_overhead_ns);
+    }
+
+    #[test]
+    fn list_post_cheaper_than_single() {
+        let c = NetConfig::default();
+        for n in [1usize, 2, 16, 128] {
+            assert!(c.post_list_ns(n) <= c.post_n_single_ns(n));
+        }
+        assert_eq!(c.post_list_ns(0), 0);
+        assert!(c.post_list_ns(1) <= c.post_single_ns);
+    }
+
+    #[test]
+    fn batched_wqes_are_cheaper_on_the_nic() {
+        let c = NetConfig::default();
+        assert!(c.tx_ns_batched(1, 4096, true) < c.tx_ns_batched(1, 4096, false));
+        assert_eq!(
+            c.tx_ns_batched(1, 4096, false) - c.tx_ns_batched(1, 4096, true),
+            c.wqe_overhead_ns - c.wqe_overhead_list_ns
+        );
+    }
+
+    #[test]
+    fn copy_cost_penalizes_small_blocks() {
+        let h = HostConfig::default();
+        let dense = h.copy_ns(1, 64 * 1024);
+        let ragged = h.copy_ns(16 * 1024, 64 * 1024); // 4-byte blocks
+        assert!(ragged > 5 * dense, "ragged {ragged} dense {dense}");
+    }
+
+    #[test]
+    fn copy_vs_network_comparable() {
+        // The paper's premise: memory copy bandwidth is comparable to
+        // link bandwidth (within ~2x).
+        let h = HostConfig::default();
+        let n = NetConfig::default();
+        let copy = h.memcpy_ns(1 << 20) as f64;
+        let wire = n.wire_ns(1 << 20) as f64;
+        let ratio = copy / wire;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+}

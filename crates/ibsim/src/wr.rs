@@ -1,0 +1,190 @@
+//! Work requests, scatter/gather elements, and completions.
+
+use ibdt_memreg::{MemError, Va};
+use std::fmt;
+
+/// One scatter/gather element: a registered local buffer range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sge {
+    /// Local virtual address.
+    pub addr: Va,
+    /// Length in bytes.
+    pub len: u64,
+    /// Local protection key of a registration covering the range.
+    pub lkey: u32,
+}
+
+/// Send-queue operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// Channel-semantics send: consumes a receive descriptor at the
+    /// destination.
+    Send,
+    /// One-sided RDMA write to `(remote_addr, rkey)`.
+    RdmaWrite,
+    /// RDMA write that also consumes a receive descriptor and delivers
+    /// 32 bits of immediate data in the remote completion.
+    RdmaWriteImm(u32),
+    /// One-sided RDMA read from `(remote_addr, rkey)` into the local
+    /// scatter list.
+    RdmaRead,
+}
+
+/// A send work request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendWr {
+    /// Caller-chosen identifier, returned in the completion.
+    pub wr_id: u64,
+    /// Operation.
+    pub opcode: Opcode,
+    /// Local gather list (source for Send/Write, destination for Read).
+    pub sges: Vec<Sge>,
+    /// Remote address and rkey for RDMA operations.
+    pub remote: Option<(Va, u32)>,
+    /// Whether a local completion is generated.
+    pub signaled: bool,
+}
+
+impl SendWr {
+    /// Total payload bytes across the gather list.
+    pub fn total_len(&self) -> u64 {
+        self.sges.iter().map(|s| s.len).sum()
+    }
+}
+
+/// A receive work request (scatter list for incoming sends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvWr {
+    /// Caller-chosen identifier, returned in the completion.
+    pub wr_id: u64,
+    /// Local scatter list.
+    pub sges: Vec<Sge>,
+}
+
+impl RecvWr {
+    /// Total capacity of the scatter list.
+    pub fn capacity(&self) -> u64 {
+        self.sges.iter().map(|s| s.len).sum()
+    }
+}
+
+/// Completion status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CqeStatus {
+    /// Operation completed successfully.
+    Success,
+    /// A local protection check failed.
+    LocalProtection(MemError),
+    /// The responder rejected the remote access (bad rkey / bounds).
+    RemoteAccess(MemError),
+    /// An incoming send overran the receive descriptor's capacity.
+    LocalLengthError {
+        /// Bytes the sender transmitted.
+        sent: u64,
+        /// Capacity of the consumed receive descriptor.
+        capacity: u64,
+    },
+}
+
+impl CqeStatus {
+    /// True for `Success`.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CqeStatus::Success)
+    }
+}
+
+/// A completion queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cqe {
+    /// The peer rank of the queue pair this completion belongs to.
+    pub peer: u32,
+    /// The `wr_id` of the completed work request.
+    pub wr_id: u64,
+    /// True for receive-queue completions (incoming send / write-imm).
+    pub is_recv: bool,
+    /// Bytes transferred (receive completions).
+    pub byte_len: u64,
+    /// Immediate data, when the completion came from `RdmaWriteImm`.
+    pub imm: Option<u32>,
+    /// Status.
+    pub status: CqeStatus,
+}
+
+/// Errors detected synchronously at post time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostError {
+    /// Gather/scatter list longer than the HCA supports.
+    TooManySges {
+        /// Number of SGEs in the request.
+        got: usize,
+        /// HCA limit.
+        max: usize,
+    },
+    /// A local key failed validation.
+    BadLocalKey(MemError),
+    /// An RDMA opcode was posted without remote address info.
+    MissingRemote,
+    /// The destination node does not exist.
+    NoSuchPeer {
+        /// The requested peer id.
+        peer: u32,
+    },
+    /// The queue pair's send queue is full.
+    QueueFull {
+        /// Configured depth.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for PostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PostError::TooManySges { got, max } => {
+                write!(f, "{got} SGEs exceeds HCA limit of {max}")
+            }
+            PostError::BadLocalKey(e) => write!(f, "local key check failed: {e}"),
+            PostError::MissingRemote => write!(f, "RDMA work request lacks remote address"),
+            PostError::NoSuchPeer { peer } => write!(f, "no such peer {peer}"),
+            PostError::QueueFull { depth } => {
+                write!(f, "send queue full (depth {depth})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PostError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wr_total_len_sums_sges() {
+        let wr = SendWr {
+            wr_id: 1,
+            opcode: Opcode::Send,
+            sges: vec![
+                Sge { addr: 0, len: 10, lkey: 1 },
+                Sge { addr: 100, len: 22, lkey: 1 },
+            ],
+            remote: None,
+            signaled: true,
+        };
+        assert_eq!(wr.total_len(), 32);
+    }
+
+    #[test]
+    fn recv_capacity() {
+        let wr = RecvWr {
+            wr_id: 2,
+            sges: vec![Sge { addr: 0, len: 128, lkey: 3 }],
+        };
+        assert_eq!(wr.capacity(), 128);
+    }
+
+    #[test]
+    fn status_is_ok() {
+        assert!(CqeStatus::Success.is_ok());
+        assert!(!CqeStatus::LocalLengthError { sent: 10, capacity: 5 }.is_ok());
+    }
+}

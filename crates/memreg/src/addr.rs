@@ -1,0 +1,222 @@
+//! Per-rank flat address spaces.
+//!
+//! Each simulated process owns an [`AddressSpace`]: a flat byte array
+//! addressed by [`Va`] (virtual address). Every copy the schemes perform
+//! — packing, RDMA placement, unpacking — really moves bytes here, so an
+//! incorrect protocol produces observably wrong data, not just wrong
+//! timings.
+//!
+//! Allocation is a bump allocator with alignment; benchmarks that model
+//! "a fresh buffer every iteration" (Fig. 14) simply keep allocating.
+
+use crate::error::MemError;
+
+/// A virtual address inside one rank's [`AddressSpace`].
+pub type Va = u64;
+
+/// Flat byte memory for one simulated rank.
+#[derive(Debug)]
+pub struct AddressSpace {
+    mem: Vec<u8>,
+    brk: u64,
+    allocs: u64,
+}
+
+impl AddressSpace {
+    /// Creates an address space of `capacity` bytes, zero-initialized.
+    ///
+    /// Address 0 is reserved (never returned by [`Self::alloc`]) so that
+    /// 0 can be used as a null address in protocol messages.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            mem: vec![0u8; capacity as usize],
+            brk: 64, // reserve a null guard region
+            allocs: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.mem.len() as u64
+    }
+
+    /// Bytes still available to the allocator.
+    pub fn remaining(&self) -> u64 {
+        self.capacity() - self.brk
+    }
+
+    /// Number of allocations performed.
+    pub fn alloc_count(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Allocates `len` bytes aligned to `align` (a power of two).
+    pub fn alloc(&mut self, len: u64, align: u64) -> Result<Va, MemError> {
+        debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.brk + align - 1) & !(align - 1);
+        let end = base.checked_add(len).ok_or(MemError::OutOfMemory {
+            requested: len,
+            remaining: self.remaining(),
+        })?;
+        if end > self.capacity() {
+            return Err(MemError::OutOfMemory {
+                requested: len,
+                remaining: self.remaining(),
+            });
+        }
+        self.brk = end;
+        self.allocs += 1;
+        Ok(base)
+    }
+
+    /// Allocates `len` bytes page-aligned (4 KiB).
+    pub fn alloc_page_aligned(&mut self, len: u64) -> Result<Va, MemError> {
+        self.alloc(len, 4096)
+    }
+
+    fn check(&self, addr: Va, len: u64) -> Result<(), MemError> {
+        let end = addr.checked_add(len).ok_or(MemError::OutOfBounds {
+            addr,
+            len,
+            capacity: self.capacity(),
+        })?;
+        if end > self.capacity() {
+            return Err(MemError::OutOfBounds {
+                addr,
+                len,
+                capacity: self.capacity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Immutable view of `[addr, addr+len)`.
+    pub fn slice(&self, addr: Va, len: u64) -> Result<&[u8], MemError> {
+        self.check(addr, len)?;
+        Ok(&self.mem[addr as usize..(addr + len) as usize])
+    }
+
+    /// Mutable view of `[addr, addr+len)`.
+    pub fn slice_mut(&mut self, addr: Va, len: u64) -> Result<&mut [u8], MemError> {
+        self.check(addr, len)?;
+        Ok(&mut self.mem[addr as usize..(addr + len) as usize])
+    }
+
+    /// Copies `data` into memory at `addr`.
+    pub fn write(&mut self, addr: Va, data: &[u8]) -> Result<(), MemError> {
+        self.slice_mut(addr, data.len() as u64)?.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    pub fn read(&self, addr: Va, len: u64) -> Result<Vec<u8>, MemError> {
+        Ok(self.slice(addr, len)?.to_vec())
+    }
+
+    /// Copies `len` bytes within this address space (non-overlapping
+    /// regions; overlapping copies are a protocol bug and panic in debug
+    /// builds).
+    pub fn copy_within(&mut self, src: Va, dst: Va, len: u64) -> Result<(), MemError> {
+        self.check(src, len)?;
+        self.check(dst, len)?;
+        debug_assert!(
+            src + len <= dst || dst + len <= src || src == dst,
+            "overlapping copy_within"
+        );
+        self.mem
+            .copy_within(src as usize..(src + len) as usize, dst as usize);
+        Ok(())
+    }
+
+    /// Fills `[addr, addr+len)` with `byte`.
+    pub fn fill(&mut self, addr: Va, len: u64, byte: u8) -> Result<(), MemError> {
+        self.slice_mut(addr, len)?.fill(byte);
+        Ok(())
+    }
+}
+
+/// Copies bytes between two address spaces — the functional half of an
+/// RDMA operation. `src` and `dst` may belong to different ranks.
+pub fn copy_between(
+    src: &AddressSpace,
+    src_addr: Va,
+    dst: &mut AddressSpace,
+    dst_addr: Va,
+    len: u64,
+) -> Result<(), MemError> {
+    let data = src.slice(src_addr, len)?;
+    dst.slice_mut(dst_addr, len)?.copy_from_slice(data);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut a = AddressSpace::new(1 << 20);
+        let p = a.alloc(10, 1).unwrap();
+        assert!(p >= 64, "null guard respected");
+        let q = a.alloc(10, 4096).unwrap();
+        assert_eq!(q % 4096, 0);
+        assert!(q > p);
+    }
+
+    #[test]
+    fn alloc_exhaustion_errors() {
+        let mut a = AddressSpace::new(1024);
+        assert!(a.alloc(512, 1).is_ok());
+        let err = a.alloc(1024, 1).unwrap_err();
+        assert!(matches!(err, MemError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut a = AddressSpace::new(4096);
+        let p = a.alloc(16, 8).unwrap();
+        a.write(p, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(a.read(p, 4).unwrap(), vec![1, 2, 3, 4]);
+        // untouched memory is zero
+        assert_eq!(a.read(p + 4, 4).unwrap(), vec![0; 4]);
+    }
+
+    #[test]
+    fn out_of_bounds_access_rejected() {
+        let a = AddressSpace::new(128);
+        assert!(matches!(
+            a.slice(120, 16).unwrap_err(),
+            MemError::OutOfBounds { .. }
+        ));
+        // overflow-proof
+        assert!(a.slice(u64::MAX - 4, 8).is_err());
+    }
+
+    #[test]
+    fn copy_within_moves_bytes() {
+        let mut a = AddressSpace::new(4096);
+        let p = a.alloc(64, 8).unwrap();
+        a.write(p, b"hello").unwrap();
+        a.copy_within(p, p + 32, 5).unwrap();
+        assert_eq!(a.read(p + 32, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn copy_between_spaces() {
+        let mut a = AddressSpace::new(4096);
+        let mut b = AddressSpace::new(4096);
+        let pa = a.alloc(8, 8).unwrap();
+        let pb = b.alloc(8, 8).unwrap();
+        a.write(pa, &[9; 8]).unwrap();
+        copy_between(&a, pa, &mut b, pb, 8).unwrap();
+        assert_eq!(b.read(pb, 8).unwrap(), vec![9; 8]);
+    }
+
+    #[test]
+    fn fill_sets_bytes() {
+        let mut a = AddressSpace::new(4096);
+        let p = a.alloc(32, 8).unwrap();
+        a.fill(p, 32, 0xAB).unwrap();
+        assert_eq!(a.read(p, 32).unwrap(), vec![0xAB; 32]);
+    }
+}

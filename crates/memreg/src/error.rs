@@ -1,0 +1,67 @@
+//! Error types for the memory subsystem.
+
+use crate::addr::Va;
+use std::fmt;
+
+/// Errors raised by address-space and registration operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// An access `[addr, addr+len)` fell outside the address space.
+    OutOfBounds {
+        /// Start of the faulting access.
+        addr: Va,
+        /// Length of the faulting access.
+        len: u64,
+        /// Size of the address space.
+        capacity: u64,
+    },
+    /// The bump allocator ran out of space.
+    OutOfMemory {
+        /// Requested allocation size.
+        requested: u64,
+        /// Bytes remaining in the address space.
+        remaining: u64,
+    },
+    /// A key did not name a live registration.
+    BadKey {
+        /// The offending key value.
+        key: u32,
+    },
+    /// The key was live but the access was outside its region — the
+    /// simulated analogue of a protection fault on the HCA.
+    ProtectionFault {
+        /// Key used for the access.
+        key: u32,
+        /// Faulting address.
+        addr: Va,
+        /// Faulting length.
+        len: u64,
+    },
+    /// Attempted to deregister a region that still has users.
+    RegionInUse {
+        /// Key of the busy region.
+        key: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, len, capacity } => write!(
+                f,
+                "access [{addr:#x}, +{len}) out of bounds (capacity {capacity:#x})"
+            ),
+            MemError::OutOfMemory { requested, remaining } => {
+                write!(f, "out of memory: requested {requested}, remaining {remaining}")
+            }
+            MemError::BadKey { key } => write!(f, "stale or invalid memory key {key:#x}"),
+            MemError::ProtectionFault { key, addr, len } => write!(
+                f,
+                "protection fault: key {key:#x} does not cover [{addr:#x}, +{len})"
+            ),
+            MemError::RegionInUse { key } => write!(f, "region {key:#x} still in use"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

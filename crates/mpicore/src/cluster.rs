@@ -1,0 +1,864 @@
+//! The simulated cluster: world driver, program interpreter, public API.
+//!
+//! A [`Cluster`] owns the fabric, every rank's memory and MPI state, and
+//! interprets one [`Program`] per rank. [`Cluster::run`] drives the
+//! discrete-event engine to quiescence and returns [`RunStats`].
+
+use crate::coll;
+use crate::config::MpiConfig;
+use crate::progress::{self, ActiveMsgs, Ctx, Ev};
+use crate::rank::RankState;
+use crate::stats::RunStats;
+use ibdt_datatype::Datatype;
+use ibdt_ibsim::{Fabric, HostConfig, NetConfig, NodeMem, RecvWr, Sge};
+use ibdt_memreg::Va;
+use ibdt_simcore::engine::{Engine, Scheduler, World};
+use ibdt_simcore::time::Time;
+use std::collections::VecDeque;
+
+/// Element-wise reduction operators for [`AppOp::CombineBuffers`] and
+/// the reduction collectives. Elements are interpreted per the
+/// datatype's uniform primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// `dst = src` (internal: seeds an accumulator).
+    Replace,
+    /// `dst = dst + src` (wrapping for integers).
+    Sum,
+    /// `dst = max(dst, src)`.
+    Max,
+}
+
+/// One operation of a rank program.
+#[derive(Debug, Clone)]
+pub enum AppOp {
+    /// Nonblocking send of `count` instances of `ty` at `buf`.
+    Isend {
+        /// Destination rank.
+        peer: u32,
+        /// User buffer address (datatype offset 0).
+        buf: Va,
+        /// Instance count.
+        count: u64,
+        /// Datatype.
+        ty: Datatype,
+        /// Tag.
+        tag: u32,
+    },
+    /// Nonblocking receive.
+    Irecv {
+        /// Source rank.
+        peer: u32,
+        /// User buffer address.
+        buf: Va,
+        /// Instance count.
+        count: u64,
+        /// Datatype.
+        ty: Datatype,
+        /// Tag.
+        tag: u32,
+    },
+    /// Block until every request issued so far on this rank completed.
+    WaitAll,
+    /// Spin the CPU for `ns` virtual nanoseconds (models application
+    /// compute, or manual pack/unpack in the Fig. 2 `Manual` scheme).
+    Compute {
+        /// Busy time.
+        ns: Time,
+    },
+    /// Record the current virtual time under `slot` (benchmark timers).
+    MarkTime {
+        /// Timer slot id.
+        slot: u32,
+    },
+    /// `MPI_Alltoall` with datatypes (expanded to point-to-point ops).
+    Alltoall {
+        /// Send buffer base (block for rank 0).
+        sbuf: Va,
+        /// Receive buffer base.
+        rbuf: Va,
+        /// Instances of `sty` sent to each rank.
+        count: u64,
+        /// Send datatype.
+        sty: Datatype,
+        /// Receive datatype.
+        rty: Datatype,
+    },
+    /// `MPI_Bcast` from `root` (binomial tree).
+    Bcast {
+        /// Root rank.
+        root: u32,
+        /// Buffer.
+        buf: Va,
+        /// Instance count.
+        count: u64,
+        /// Datatype.
+        ty: Datatype,
+    },
+    /// `MPI_Allgather` (ring).
+    Allgather {
+        /// Send buffer (this rank's contribution).
+        sbuf: Va,
+        /// Receive buffer (all contributions, by rank).
+        rbuf: Va,
+        /// Instances per rank.
+        count: u64,
+        /// Datatype (same both sides).
+        ty: Datatype,
+    },
+    /// `MPI_Barrier` (dissemination).
+    Barrier,
+    /// §6's `MPI_Info` analogue: tell the library this buffer will be
+    /// used for many operations, so it is registered (and cached) ahead
+    /// of the first communication.
+    HintReusedBuffer {
+        /// Buffer start.
+        addr: Va,
+        /// Buffer length.
+        len: u64,
+    },
+    /// `MPI_Gather` to `root` (flat algorithm).
+    Gather {
+        /// Root rank.
+        root: u32,
+        /// This rank's contribution.
+        sbuf: Va,
+        /// Root's receive buffer (ignored elsewhere).
+        rbuf: Va,
+        /// Instances per rank.
+        count: u64,
+        /// Datatype.
+        ty: Datatype,
+    },
+    /// `MPI_Scatter` from `root`.
+    Scatter {
+        /// Root rank.
+        root: u32,
+        /// Root's send buffer (ignored elsewhere).
+        sbuf: Va,
+        /// This rank's receive buffer.
+        rbuf: Va,
+        /// Instances per rank.
+        count: u64,
+        /// Datatype.
+        ty: Datatype,
+    },
+    /// `MPI_Reduce` to `root` (binomial tree). `scratch` must hold one
+    /// message and be distinct from `sbuf`/`rbuf`; `sbuf` is clobbered
+    /// on intermediate ranks.
+    Reduce {
+        /// Root rank.
+        root: u32,
+        /// Contribution (accumulator on non-root ranks).
+        sbuf: Va,
+        /// Result buffer on the root.
+        rbuf: Va,
+        /// Scratch buffer for incoming partial results.
+        scratch: Va,
+        /// Instance count.
+        count: u64,
+        /// Datatype (uniform primitive).
+        ty: Datatype,
+        /// Reduction operator.
+        op: ReduceOp,
+    },
+    /// `MPI_Allreduce` (reduce to 0 + bcast).
+    Allreduce {
+        /// Contribution.
+        sbuf: Va,
+        /// Result buffer (valid on every rank afterwards).
+        rbuf: Va,
+        /// Scratch buffer.
+        scratch: Va,
+        /// Instance count.
+        count: u64,
+        /// Datatype (uniform primitive).
+        ty: Datatype,
+        /// Reduction operator.
+        op: ReduceOp,
+    },
+    /// Element-wise combine of two local buffers (the reduction
+    /// building block): `dst[i] = op(dst[i], src[i])` over the
+    /// datatype's elements.
+    CombineBuffers {
+        /// Accumulator buffer.
+        dst: Va,
+        /// Incoming buffer.
+        src: Va,
+        /// Instance count.
+        count: u64,
+        /// Datatype (uniform primitive).
+        ty: Datatype,
+        /// Operator.
+        op: ReduceOp,
+    },
+    /// `MPI_Win_create` (collective): exposes `[addr, addr+len)` for
+    /// one-sided access under window id `win`. Registers the region and
+    /// barriers, after which window information is globally visible.
+    WinCreate {
+        /// Window id (caller-chosen, same on all ranks).
+        win: u32,
+        /// Exposed region start.
+        addr: Va,
+        /// Exposed region length.
+        len: u64,
+    },
+    /// `MPI_Put` with derived datatypes on both sides (one-sided
+    /// Multi-W; completed by the next fence).
+    Put {
+        /// Window id.
+        win: u32,
+        /// Target rank.
+        target: u32,
+        /// Origin buffer.
+        obuf: Va,
+        /// Origin instance count.
+        ocount: u64,
+        /// Origin datatype.
+        oty: Datatype,
+        /// Byte offset of the target layout inside the window.
+        toff: u64,
+        /// Target instance count.
+        tcount: u64,
+        /// Target datatype (an origin-side handle, as in MPI).
+        tty: Datatype,
+    },
+    /// `MPI_Get` (one-sided reads; completed by the next fence).
+    Get {
+        /// Window id.
+        win: u32,
+        /// Target rank.
+        target: u32,
+        /// Origin buffer.
+        obuf: Va,
+        /// Origin instance count.
+        ocount: u64,
+        /// Origin datatype.
+        oty: Datatype,
+        /// Byte offset of the target layout inside the window.
+        toff: u64,
+        /// Target instance count.
+        tcount: u64,
+        /// Target datatype.
+        tty: Datatype,
+    },
+    /// `MPI_Win_fence`: completes this rank's outstanding RMA, releases
+    /// origin registrations, then barriers.
+    Fence,
+}
+
+/// A rank's program.
+pub type Program = Vec<AppOp>;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of ranks.
+    pub nprocs: u32,
+    /// Network cost model.
+    pub net: NetConfig,
+    /// Host cost model.
+    pub host: HostConfig,
+    /// MPI configuration.
+    pub mpi: MpiConfig,
+    /// Per-rank address space capacity in bytes.
+    pub mem_capacity: u64,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        Self {
+            nprocs: 2,
+            net: NetConfig::default(),
+            host: HostConfig::default(),
+            mpi: MpiConfig::default(),
+            mem_capacity: 256 << 20,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Blocked {
+    No,
+    WaitAll,
+    Compute { until: Time },
+    /// Waiting for outstanding one-sided operations to complete.
+    Fence,
+}
+
+#[derive(Debug)]
+struct Interp {
+    prog: VecDeque<AppOp>,
+    blocked: Blocked,
+    finished_at: Option<Time>,
+}
+
+/// The simulated MPI cluster.
+pub struct Cluster {
+    spec: ClusterSpec,
+    fabric: Fabric,
+    mems: Vec<NodeMem>,
+    ranks: Vec<RankState>,
+    active: Vec<ActiveMsgs>,
+    interp: Vec<Interp>,
+    marks: Vec<Vec<(u32, Time)>>,
+    /// One-sided windows: `(win id, rank)` -> entry.
+    windows: std::collections::HashMap<(u32, u32), crate::rma::WinEntry>,
+    ran: bool,
+}
+
+impl Cluster {
+    /// Builds a cluster: memories, MPI state, eager receive rings.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let n = spec.nprocs as usize;
+        let mut fabric = Fabric::new(n, spec.net.clone());
+        let mut mems: Vec<NodeMem> = (0..n).map(|_| NodeMem::new(spec.mem_capacity)).collect();
+        let mut ranks = Vec::with_capacity(n);
+        for r in 0..n as u32 {
+            ranks.push(RankState::new(r, spec.nprocs, &spec.mpi, &mut mems[r as usize]));
+        }
+        // Pre-post the eager receive rings (§3.1's pre-posted internal
+        // buffers).
+        let mut noop = |_t: Time, _e: ibdt_ibsim::NicEvent| {};
+        for r in 0..n as u32 {
+            for peer in 0..spec.nprocs {
+                if peer == r {
+                    continue;
+                }
+                for i in 0..spec.mpi.eager_bufs_per_peer {
+                    let va =
+                        ranks[r as usize].recv_buf_addr(&spec.mpi, ranks[r as usize].eager_region, peer, i);
+                    let lkey = ranks[r as usize].eager_lkey;
+                    fabric
+                        .post_recv(
+                            0,
+                            r,
+                            peer,
+                            RecvWr {
+                                wr_id: va,
+                                sges: vec![Sge {
+                                    addr: va,
+                                    len: spec.mpi.eager_buf_size,
+                                    lkey,
+                                }],
+                            },
+                            &mems,
+                            &mut noop,
+                        )
+                        .expect("initial eager ring post");
+                }
+            }
+        }
+        Self {
+            active: (0..n).map(|_| ActiveMsgs::default()).collect(),
+            interp: Vec::new(),
+            marks: vec![Vec::new(); n],
+            spec,
+            fabric,
+            mems,
+            ranks,
+            windows: std::collections::HashMap::new(),
+            ran: false,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn nprocs(&self) -> u32 {
+        self.spec.nprocs
+    }
+
+    /// Allocates `len` bytes in `rank`'s address space.
+    pub fn alloc(&mut self, rank: u32, len: u64, align: u64) -> Va {
+        self.mems[rank as usize]
+            .space
+            .alloc(len, align)
+            .expect("address space exhausted")
+    }
+
+    /// Writes bytes into a rank's memory (test/bench setup).
+    pub fn write_mem(&mut self, rank: u32, addr: Va, data: &[u8]) {
+        self.mems[rank as usize]
+            .space
+            .write(addr, data)
+            .expect("write within capacity");
+    }
+
+    /// Reads bytes from a rank's memory (verification).
+    pub fn read_mem(&self, rank: u32, addr: Va, len: u64) -> Vec<u8> {
+        self.mems[rank as usize]
+            .space
+            .read(addr, len)
+            .expect("read within capacity")
+    }
+
+    /// Fills a range with a deterministic byte pattern keyed by `seed`.
+    pub fn fill_pattern(&mut self, rank: u32, addr: Va, len: u64, seed: u64) {
+        let data: Vec<u8> = (0..len)
+            .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(seed.wrapping_mul(977))) >> 3) as u8)
+            .collect();
+        self.write_mem(rank, addr, &data);
+    }
+
+    /// Runs one program per rank to quiescence; returns statistics.
+    ///
+    /// A `Cluster` is single-shot: the virtual clock, resource schedules
+    /// and counters all start at zero, so reuse would conflate runs.
+    pub fn run(&mut self, programs: Vec<Program>) -> RunStats {
+        assert!(!self.ran, "Cluster::run is single-shot; build a new cluster");
+        assert_eq!(
+            programs.len(),
+            self.spec.nprocs as usize,
+            "one program per rank"
+        );
+        self.ran = true;
+        self.interp = programs
+            .into_iter()
+            .map(|p| Interp {
+                prog: p.into(),
+                blocked: Blocked::No,
+                finished_at: None,
+            })
+            .collect();
+        let mut engine: Engine<Cluster> = Engine::new();
+        for r in 0..self.spec.nprocs {
+            engine.seed(0, Ev::Resume { rank: r });
+        }
+        // Budget: generous runaway guard proportional to work.
+        let finish = engine.run_to_quiescence(self, 200_000_000);
+        // Sanity: every program must have finished (a hang here is a
+        // protocol deadlock).
+        for (r, it) in self.interp.iter().enumerate() {
+            assert!(
+                it.prog.is_empty() && it.finished_at.is_some(),
+                "rank {r} deadlocked with {} ops left (blocked: {:?})",
+                it.prog.len(),
+                it.blocked
+            );
+            assert!(
+                self.active[r].is_idle(),
+                "rank {r} finished with in-flight rendezvous state"
+            );
+        }
+        self.collect_stats(finish)
+    }
+
+    fn collect_stats(&self, finish: Time) -> RunStats {
+        let n = self.spec.nprocs as usize;
+        let fstats = self.fabric.stats();
+        RunStats {
+            finish_ns: finish,
+            rank_finish_ns: self
+                .interp
+                .iter()
+                .map(|i| i.finished_at.expect("checked in run"))
+                .collect(),
+            counters: self.ranks.iter().map(|r| r.counters).collect(),
+            cpu_busy_ns: self.ranks.iter().map(|r| r.cpu.total_busy()).collect(),
+            reg_ops: (0..n).map(|r| self.mems[r].regs.op_counts()).collect(),
+            pindown: self.ranks.iter().map(|r| r.pindown.stats()).collect(),
+            wqes: fstats.wqes,
+            bytes_on_wire: fstats.bytes_on_wire,
+            rnr_events: fstats.rnr_events,
+            marks: self.marks.clone(),
+            pack_wire_overlap_ns: (0..n)
+                .map(|r| {
+                    let cpu_trace = self.ranks[r].cpu.trace().expect("cpu traced");
+                    let tx_trace = self.fabric.tx_engine(r as u32).trace().expect("tx traced");
+                    cpu_trace.overlap_with("pack", tx_trace, "wire")
+                })
+                .collect(),
+        }
+    }
+
+    /// Post-run access to a rank's CPU span trace (pack/unpack/post/...
+    /// intervals) for overlap analysis and timeline rendering.
+    pub fn cpu_trace(&self, rank: u32) -> &ibdt_simcore::trace::Trace {
+        self.ranks[rank as usize].cpu.trace().expect("cpu traced")
+    }
+
+    /// Post-run access to a rank's NIC transmit-engine span trace.
+    pub fn tx_trace(&self, rank: u32) -> &ibdt_simcore::trace::Trace {
+        self.fabric.tx_engine(rank).trace().expect("tx traced")
+    }
+
+    /// Post-run access to a rank's pack/unpack pool statistics:
+    /// `(pack acquires, pack exhaustions, unpack acquires, unpack
+    /// exhaustions)`.
+    pub fn pool_stats(&self, rank: u32) -> (u64, u64, u64, u64) {
+        let r = &self.ranks[rank as usize];
+        (
+            r.pack_pool.acquires(),
+            r.pack_pool.exhaustions(),
+            r.unpack_pool.acquires(),
+            r.unpack_pool.exhaustions(),
+        )
+    }
+
+    /// Element-wise reduction of two local buffers over a datatype's
+    /// elements. Functional immediately; host time charged on the CPU.
+    fn combine_buffers(
+        &mut self,
+        sched: &mut Scheduler<'_, Ev>,
+        rank: u32,
+        dst: Va,
+        src: Va,
+        count: u64,
+        ty: &Datatype,
+        op: ReduceOp,
+    ) {
+        use ibdt_datatype::{Primitive, Segment};
+        let r = rank as usize;
+        let prim = ty
+            .uniform_primitive()
+            .expect("reductions require a uniform-primitive datatype");
+        let seg = Segment::new(ty, count);
+        let n = seg.total_bytes();
+        let space = &self.mems[r].space;
+        let cap = space.capacity();
+        let mem = space.slice(0, cap).expect("whole space view");
+        let mut a = vec![0u8; n as usize];
+        let mut b = vec![0u8; n as usize];
+        seg.pack(0, n, mem, dst as usize, &mut a)
+            .expect("dst covers the datatype");
+        seg.pack(0, n, mem, src as usize, &mut b)
+            .expect("src covers the datatype");
+        let w = prim.size() as usize;
+        for (da, db) in a.chunks_exact_mut(w).zip(b.chunks_exact(w)) {
+            match (op, prim) {
+                (ReduceOp::Replace, _) => da.copy_from_slice(db),
+                (ReduceOp::Sum, Primitive::Int) => {
+                    let v = i32::from_le_bytes(da.try_into().unwrap())
+                        .wrapping_add(i32::from_le_bytes(db.try_into().unwrap()));
+                    da.copy_from_slice(&v.to_le_bytes());
+                }
+                (ReduceOp::Max, Primitive::Int) => {
+                    let v = i32::from_le_bytes(da.try_into().unwrap())
+                        .max(i32::from_le_bytes(db.try_into().unwrap()));
+                    da.copy_from_slice(&v.to_le_bytes());
+                }
+                (ReduceOp::Sum, Primitive::Double) => {
+                    let v = f64::from_le_bytes(da.try_into().unwrap())
+                        + f64::from_le_bytes(db.try_into().unwrap());
+                    da.copy_from_slice(&v.to_le_bytes());
+                }
+                (ReduceOp::Max, Primitive::Double) => {
+                    let v = f64::from_le_bytes(da.try_into().unwrap())
+                        .max(f64::from_le_bytes(db.try_into().unwrap()));
+                    da.copy_from_slice(&v.to_le_bytes());
+                }
+                (o, p) => panic!("reduction {o:?} unsupported for {p:?}"),
+            }
+        }
+        let space = &mut self.mems[r].space;
+        let mem = space.slice_mut(0, cap).expect("whole space view");
+        seg.unpack(0, n, &a, mem, dst as usize)
+            .expect("dst covers the datatype");
+        // Cost: read both operands, write one, ~1 ns/element ALU.
+        let cost = ibdt_simcore::time::transfer_ns(3 * n, self.spec.host.copy_bw_bps)
+            + n / prim.size();
+        self.ranks[r]
+            .cpu
+            .reserve_labeled(sched.now(), cost, "reduce");
+    }
+
+    /// Fence epilogue: release origin registrations and barrier.
+    fn finish_fence(&mut self, sched: &mut Scheduler<'_, Ev>, rank: u32) {
+        let r = rank as usize;
+        let regs: Vec<_> = self.ranks[r].rma_regs.drain(..).collect();
+        let mut cost = 0;
+        for reg in regs {
+            cost += self.ranks[r]
+                .pindown
+                .release(&mut self.mems[r].regs, &self.spec.host.reg, reg.lkey)
+                .expect("fence releases acquired registrations");
+        }
+        if cost > 0 {
+            self.ranks[r].cpu.reserve_labeled(sched.now(), cost, "dereg");
+        }
+        let ops = coll::barrier(rank, self.spec.nprocs);
+        splice_front(&mut self.interp[r].prog, ops);
+    }
+
+    fn interp_advance(&mut self, sched: &mut Scheduler<'_, Ev>, rank: u32) {
+        let r = rank as usize;
+        loop {
+            match self.interp[r].blocked {
+                Blocked::WaitAll => {
+                    if !self.ranks[r].all_reqs_done() {
+                        return;
+                    }
+                    self.interp[r].blocked = Blocked::No;
+                }
+                Blocked::Compute { until } => {
+                    if sched.now() < until {
+                        return;
+                    }
+                    self.interp[r].blocked = Blocked::No;
+                }
+                Blocked::Fence => {
+                    if self.ranks[r].rma_outstanding > 0 {
+                        return;
+                    }
+                    self.interp[r].blocked = Blocked::No;
+                    self.finish_fence(sched, rank);
+                }
+                Blocked::No => {}
+            }
+            let Some(op) = self.interp[r].prog.pop_front() else {
+                if self.ranks[r].all_reqs_done() && self.interp[r].finished_at.is_none() {
+                    self.interp[r].finished_at = Some(sched.now());
+                }
+                return;
+            };
+            match op {
+                AppOp::Isend { peer, buf, count, ty, tag } => {
+                    let Cluster { fabric, mems, ranks, active, spec, .. } = self;
+                    let mut ctx = Ctx {
+                        fabric,
+                        mems,
+                        net: &spec.net,
+                        host: &spec.host,
+                        cfg: &spec.mpi,
+                        sched,
+                    };
+                    progress::isend(&mut ranks[r], &mut active[r], &mut ctx, peer, buf, count, &ty, tag);
+                }
+                AppOp::Irecv { peer, buf, count, ty, tag } => {
+                    let Cluster { fabric, mems, ranks, active, spec, .. } = self;
+                    let mut ctx = Ctx {
+                        fabric,
+                        mems,
+                        net: &spec.net,
+                        host: &spec.host,
+                        cfg: &spec.mpi,
+                        sched,
+                    };
+                    progress::irecv(&mut ranks[r], &mut active[r], &mut ctx, peer, buf, count, &ty, tag);
+                }
+                AppOp::WaitAll => {
+                    self.interp[r].blocked = Blocked::WaitAll;
+                }
+                AppOp::Compute { ns } => {
+                    let done = self.ranks[r].cpu.reserve_labeled(sched.now(), ns, "compute");
+                    self.interp[r].blocked = Blocked::Compute { until: done };
+                    sched.at(done, Ev::Resume { rank });
+                }
+                AppOp::MarkTime { slot } => {
+                    self.marks[r].push((slot, sched.now()));
+                }
+                AppOp::Alltoall { sbuf, rbuf, count, sty, rty } => {
+                    let ops = coll::alltoall(rank, self.spec.nprocs, sbuf, rbuf, count, &sty, &rty);
+                    splice_front(&mut self.interp[r].prog, ops);
+                }
+                AppOp::Bcast { root, buf, count, ty } => {
+                    let ops = coll::bcast(rank, self.spec.nprocs, root, buf, count, &ty);
+                    splice_front(&mut self.interp[r].prog, ops);
+                }
+                AppOp::Allgather { sbuf, rbuf, count, ty } => {
+                    let ops = coll::allgather(rank, self.spec.nprocs, sbuf, rbuf, count, &ty);
+                    splice_front(&mut self.interp[r].prog, ops);
+                }
+                AppOp::Barrier => {
+                    let ops = coll::barrier(rank, self.spec.nprocs);
+                    splice_front(&mut self.interp[r].prog, ops);
+                }
+                AppOp::Gather { root, sbuf, rbuf, count, ty } => {
+                    let ops = coll::gather(rank, self.spec.nprocs, root, sbuf, rbuf, count, &ty);
+                    splice_front(&mut self.interp[r].prog, ops);
+                }
+                AppOp::Scatter { root, sbuf, rbuf, count, ty } => {
+                    let ops = coll::scatter(rank, self.spec.nprocs, root, sbuf, rbuf, count, &ty);
+                    splice_front(&mut self.interp[r].prog, ops);
+                }
+                AppOp::Reduce { root, sbuf, rbuf, scratch, count, ty, op } => {
+                    let ops = coll::reduce(
+                        rank,
+                        self.spec.nprocs,
+                        root,
+                        sbuf,
+                        rbuf,
+                        scratch,
+                        count,
+                        &ty,
+                        op,
+                    );
+                    splice_front(&mut self.interp[r].prog, ops);
+                }
+                AppOp::Allreduce { sbuf, rbuf, scratch, count, ty, op } => {
+                    let ops = coll::allreduce(
+                        rank,
+                        self.spec.nprocs,
+                        sbuf,
+                        rbuf,
+                        scratch,
+                        count,
+                        &ty,
+                        op,
+                    );
+                    splice_front(&mut self.interp[r].prog, ops);
+                }
+                AppOp::CombineBuffers { dst, src, count, ty, op } => {
+                    self.combine_buffers(sched, rank, dst, src, count, &ty, op);
+                }
+                AppOp::WinCreate { win, addr, len } => {
+                    let Cluster { mems, ranks, spec, windows, .. } = self;
+                    let rs = &mut ranks[r];
+                    let reg = mems[r].regs.register(addr, len);
+                    rs.cpu.reserve_labeled(
+                        sched.now(),
+                        spec.host.reg.reg_cost(addr, len),
+                        "reg",
+                    );
+                    windows.insert((win, rank), crate::rma::WinEntry {
+                        base: addr,
+                        len,
+                        rkey: reg.rkey,
+                    });
+                    // Collective: window info is usable after the
+                    // barrier completes on all ranks.
+                    let ops = coll::barrier(rank, self.spec.nprocs);
+                    splice_front(&mut self.interp[r].prog, ops);
+                }
+                AppOp::Put { win, target, obuf, ocount, oty, toff, tcount, tty } => {
+                    let entry = *self
+                        .windows
+                        .get(&(win, target))
+                        .expect("Put before the target created the window");
+                    let Cluster { fabric, mems, ranks, spec, .. } = self;
+                    let mut ctx = Ctx {
+                        fabric,
+                        mems,
+                        net: &spec.net,
+                        host: &spec.host,
+                        cfg: &spec.mpi,
+                        sched,
+                    };
+                    crate::rma::put(
+                        &mut ranks[r], &mut ctx, target, entry, obuf, ocount, &oty, toff,
+                        tcount, &tty,
+                    );
+                }
+                AppOp::Get { win, target, obuf, ocount, oty, toff, tcount, tty } => {
+                    let entry = *self
+                        .windows
+                        .get(&(win, target))
+                        .expect("Get before the target created the window");
+                    let Cluster { fabric, mems, ranks, spec, .. } = self;
+                    let mut ctx = Ctx {
+                        fabric,
+                        mems,
+                        net: &spec.net,
+                        host: &spec.host,
+                        cfg: &spec.mpi,
+                        sched,
+                    };
+                    crate::rma::get(
+                        &mut ranks[r], &mut ctx, target, entry, obuf, ocount, &oty, toff,
+                        tcount, &tty,
+                    );
+                }
+                AppOp::Fence => {
+                    if self.ranks[r].rma_outstanding > 0 {
+                        self.interp[r].blocked = Blocked::Fence;
+                        return;
+                    }
+                    self.finish_fence(sched, rank);
+                }
+                AppOp::HintReusedBuffer { addr, len } => {
+                    // Register through the pin-down cache and release
+                    // immediately: the cached entry makes the first
+                    // communication on this buffer a registration hit.
+                    let Cluster { mems, ranks, spec, .. } = self;
+                    let rs = &mut ranks[r];
+                    let acq = rs.pindown.acquire(
+                        &mut mems[r].regs,
+                        &spec.host.reg,
+                        addr,
+                        len,
+                    );
+                    let rel = rs
+                        .pindown
+                        .release(&mut mems[r].regs, &spec.host.reg, acq.reg.lkey)
+                        .expect("hint registration releases");
+                    rs.cpu
+                        .reserve_labeled(sched.now(), acq.cost_ns + rel, "hint-reg");
+                }
+            }
+        }
+    }
+
+    /// Schedules interpreter resumption for ranks with fresh
+    /// completions.
+    fn drain_completions(&mut self, sched: &mut Scheduler<'_, Ev>, rank: u32) {
+        let r = rank as usize;
+        if !self.ranks[r].newly_completed.is_empty() || self.ranks[r].rma_event {
+            self.ranks[r].newly_completed.clear();
+            self.ranks[r].rma_event = false;
+            sched.at(sched.now(), Ev::Resume { rank });
+        }
+    }
+}
+
+fn splice_front(prog: &mut VecDeque<AppOp>, ops: Vec<AppOp>) {
+    for op in ops.into_iter().rev() {
+        prog.push_front(op);
+    }
+}
+
+impl World for Cluster {
+    type Event = Ev;
+
+    fn handle(&mut self, sched: &mut Scheduler<'_, Ev>, ev: Ev) {
+        match ev {
+            Ev::Nic(e) => {
+                let completions = {
+                    let Cluster { fabric, mems, .. } = self;
+                    fabric.handle(sched.now(), e, mems, &mut |t, e| sched.at(t, Ev::Nic(e)))
+                };
+                for (node, cqe) in completions {
+                    {
+                        let Cluster { fabric, mems, ranks, active, spec, .. } = self;
+                        let mut ctx = Ctx {
+                            fabric,
+                            mems,
+                            net: &spec.net,
+                            host: &spec.host,
+                            cfg: &spec.mpi,
+                            sched,
+                        };
+                        progress::on_cqe(
+                            &mut ranks[node as usize],
+                            &mut active[node as usize],
+                            &mut ctx,
+                            cqe,
+                        );
+                    }
+                    self.drain_completions(sched, node);
+                }
+            }
+            Ev::Cpu { rank, act } => {
+                {
+                    let Cluster { fabric, mems, ranks, active, spec, .. } = self;
+                    let mut ctx = Ctx {
+                        fabric,
+                        mems,
+                        net: &spec.net,
+                        host: &spec.host,
+                        cfg: &spec.mpi,
+                        sched,
+                    };
+                    progress::on_cpu(
+                        &mut ranks[rank as usize],
+                        &mut active[rank as usize],
+                        &mut ctx,
+                        act,
+                    );
+                }
+                self.drain_completions(sched, rank);
+            }
+            Ev::Resume { rank } => {
+                self.interp_advance(sched, rank);
+            }
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! Collective operations as point-to-point op expansions.
+//!
+//! §8.3 notes that collectives implemented over point-to-point datatype
+//! communication inherit the schemes' improvements (while e.g. MPICH's
+//! Bcast does explicit pack/unpack). These generators produce the
+//! point-to-point programs:
+//!
+//! * [`alltoall`] — post all receives, then all sends, then wait (the
+//!   MPICH "basic" algorithm for large messages),
+//! * [`bcast`] — binomial tree,
+//! * [`allgather`] — ring,
+//! * [`barrier`] — dissemination with zero-byte messages.
+
+use crate::cluster::{AppOp, ReduceOp};
+use ibdt_datatype::Datatype;
+use ibdt_memreg::Va;
+
+/// Tag space reserved for collective traffic.
+pub const COLL_TAG: u32 = 0xC011_0000;
+
+/// Displacement of rank `i`'s block in an alltoall/allgather buffer.
+fn block_disp(ty: &Datatype, count: u64, i: u32) -> i64 {
+    ty.extent() * count as i64 * i as i64
+}
+
+/// `MPI_Alltoall`: every rank sends `count` instances of `sty` to each
+/// rank and receives `count` instances of `rty` from each.
+pub fn alltoall(
+    rank: u32,
+    nprocs: u32,
+    sbuf: Va,
+    rbuf: Va,
+    count: u64,
+    sty: &Datatype,
+    rty: &Datatype,
+) -> Vec<AppOp> {
+    let mut ops = Vec::with_capacity(2 * nprocs as usize + 1);
+    // Post receives first (self included — the self path copies
+    // locally), staggered so that not everyone hammers rank 0 first.
+    for i in 0..nprocs {
+        let src = (rank + i) % nprocs;
+        ops.push(AppOp::Irecv {
+            peer: src,
+            buf: (rbuf as i64 + block_disp(rty, count, src)) as Va,
+            count,
+            ty: rty.clone(),
+            tag: COLL_TAG,
+        });
+    }
+    for i in 0..nprocs {
+        let dst = (rank + i) % nprocs;
+        ops.push(AppOp::Isend {
+            peer: dst,
+            buf: (sbuf as i64 + block_disp(sty, count, dst)) as Va,
+            count,
+            ty: sty.clone(),
+            tag: COLL_TAG,
+        });
+    }
+    ops.push(AppOp::WaitAll);
+    ops
+}
+
+/// `MPI_Bcast`: binomial tree rooted at `root`.
+pub fn bcast(
+    rank: u32,
+    nprocs: u32,
+    root: u32,
+    buf: Va,
+    count: u64,
+    ty: &Datatype,
+) -> Vec<AppOp> {
+    let mut ops = Vec::new();
+    // Work in a rotated space where the root is 0.
+    let vrank = (rank + nprocs - root) % nprocs;
+    let mut mask = 1u32;
+    // Receive phase: find the bit that delivers to us.
+    while mask < nprocs {
+        if vrank & mask != 0 {
+            let src = ((vrank - mask) + root) % nprocs;
+            ops.push(AppOp::Irecv {
+                peer: src,
+                buf,
+                count,
+                ty: ty.clone(),
+                tag: COLL_TAG + 1,
+            });
+            ops.push(AppOp::WaitAll);
+            break;
+        }
+        mask <<= 1;
+    }
+    // Send phase: forward to higher bits.
+    let mut mask = mask >> 1;
+    loop {
+        if mask == 0 {
+            // Root starts with the highest bit below nprocs.
+            if vrank == 0 {
+                let mut m = 1u32;
+                while m < nprocs {
+                    m <<= 1;
+                }
+                mask = m >> 1;
+            } else {
+                break;
+            }
+        }
+        while mask > 0 {
+            if vrank + mask < nprocs {
+                let dst = (vrank + mask + root) % nprocs;
+                ops.push(AppOp::Isend {
+                    peer: dst,
+                    buf,
+                    count,
+                    ty: ty.clone(),
+                    tag: COLL_TAG + 1,
+                });
+            }
+            mask >>= 1;
+        }
+        break;
+    }
+    ops.push(AppOp::WaitAll);
+    ops
+}
+
+/// `MPI_Allgather`: ring algorithm; rank `i`'s contribution ends up at
+/// block `i` of every rank's `rbuf`.
+pub fn allgather(
+    rank: u32,
+    nprocs: u32,
+    sbuf: Va,
+    rbuf: Va,
+    count: u64,
+    ty: &Datatype,
+) -> Vec<AppOp> {
+    let mut ops = Vec::new();
+    // Local copy of own contribution (self-send).
+    ops.push(AppOp::Irecv {
+        peer: rank,
+        buf: (rbuf as i64 + block_disp(ty, count, rank)) as Va,
+        count,
+        ty: ty.clone(),
+        tag: COLL_TAG + 2,
+    });
+    ops.push(AppOp::Isend {
+        peer: rank,
+        buf: sbuf,
+        count,
+        ty: ty.clone(),
+        tag: COLL_TAG + 2,
+    });
+    ops.push(AppOp::WaitAll);
+    let right = (rank + 1) % nprocs;
+    let left = (rank + nprocs - 1) % nprocs;
+    // In step s, forward the block that originated at rank - s.
+    for s in 0..nprocs - 1 {
+        let send_block = (rank + nprocs - s) % nprocs;
+        let recv_block = (rank + nprocs - s - 1) % nprocs;
+        ops.push(AppOp::Irecv {
+            peer: left,
+            buf: (rbuf as i64 + block_disp(ty, count, recv_block)) as Va,
+            count,
+            ty: ty.clone(),
+            tag: COLL_TAG + 2,
+        });
+        ops.push(AppOp::Isend {
+            peer: right,
+            buf: (rbuf as i64 + block_disp(ty, count, send_block)) as Va,
+            count,
+            ty: ty.clone(),
+            tag: COLL_TAG + 2,
+        });
+        ops.push(AppOp::WaitAll);
+    }
+    ops
+}
+
+/// `MPI_Alltoallv`: like [`alltoall`] but with per-destination counts
+/// and byte displacements. `scounts[j]`/`sdispls[j]` describe what this
+/// rank sends to rank `j`; `rcounts[j]`/`rdispls[j]` what it receives
+/// from rank `j`.
+#[allow(clippy::too_many_arguments)]
+pub fn alltoallv(
+    rank: u32,
+    nprocs: u32,
+    sbuf: Va,
+    sdispls: &[i64],
+    scounts: &[u64],
+    sty: &Datatype,
+    rbuf: Va,
+    rdispls: &[i64],
+    rcounts: &[u64],
+    rty: &Datatype,
+) -> Vec<AppOp> {
+    assert_eq!(scounts.len(), nprocs as usize);
+    assert_eq!(rcounts.len(), nprocs as usize);
+    assert_eq!(sdispls.len(), nprocs as usize);
+    assert_eq!(rdispls.len(), nprocs as usize);
+    let mut ops = Vec::with_capacity(2 * nprocs as usize + 1);
+    for i in 0..nprocs {
+        let src = (rank + i) % nprocs;
+        if rcounts[src as usize] > 0 {
+            ops.push(AppOp::Irecv {
+                peer: src,
+                buf: (rbuf as i64 + rdispls[src as usize]) as Va,
+                count: rcounts[src as usize],
+                ty: rty.clone(),
+                tag: COLL_TAG + 4,
+            });
+        }
+    }
+    for i in 0..nprocs {
+        let dst = (rank + i) % nprocs;
+        if scounts[dst as usize] > 0 {
+            ops.push(AppOp::Isend {
+                peer: dst,
+                buf: (sbuf as i64 + sdispls[dst as usize]) as Va,
+                count: scounts[dst as usize],
+                ty: sty.clone(),
+                tag: COLL_TAG + 4,
+            });
+        }
+    }
+    ops.push(AppOp::WaitAll);
+    ops
+}
+
+/// `MPI_Gatherv` to `root`: per-rank counts and root-side byte
+/// displacements.
+#[allow(clippy::too_many_arguments)]
+pub fn gatherv(
+    rank: u32,
+    nprocs: u32,
+    root: u32,
+    sbuf: Va,
+    scount: u64,
+    rbuf: Va,
+    rdispls: &[i64],
+    rcounts: &[u64],
+    ty: &Datatype,
+) -> Vec<AppOp> {
+    let mut ops = Vec::new();
+    if rank == root {
+        assert_eq!(rcounts.len(), nprocs as usize);
+        assert_eq!(rdispls.len(), nprocs as usize);
+        for src in 0..nprocs {
+            if rcounts[src as usize] > 0 {
+                ops.push(AppOp::Irecv {
+                    peer: src,
+                    buf: (rbuf as i64 + rdispls[src as usize]) as Va,
+                    count: rcounts[src as usize],
+                    ty: ty.clone(),
+                    tag: COLL_TAG + 5,
+                });
+            }
+        }
+    }
+    if scount > 0 {
+        ops.push(AppOp::Isend {
+            peer: root,
+            buf: sbuf,
+            count: scount,
+            ty: ty.clone(),
+            tag: COLL_TAG + 5,
+        });
+    }
+    ops.push(AppOp::WaitAll);
+    ops
+}
+
+/// `MPI_Gather` to `root` (flat algorithm: every non-root rank sends
+/// its block; the root receives into per-rank displacements).
+pub fn gather(
+    rank: u32,
+    nprocs: u32,
+    root: u32,
+    sbuf: Va,
+    rbuf: Va,
+    count: u64,
+    ty: &Datatype,
+) -> Vec<AppOp> {
+    let mut ops = Vec::new();
+    if rank == root {
+        for src in 0..nprocs {
+            ops.push(AppOp::Irecv {
+                peer: src,
+                buf: (rbuf as i64 + block_disp(ty, count, src)) as Va,
+                count,
+                ty: ty.clone(),
+                tag: COLL_TAG + 16,
+            });
+        }
+        ops.push(AppOp::Isend {
+            peer: root,
+            buf: sbuf,
+            count,
+            ty: ty.clone(),
+            tag: COLL_TAG + 16,
+        });
+    } else {
+        ops.push(AppOp::Isend {
+            peer: root,
+            buf: sbuf,
+            count,
+            ty: ty.clone(),
+            tag: COLL_TAG + 16,
+        });
+    }
+    ops.push(AppOp::WaitAll);
+    ops
+}
+
+/// `MPI_Scatter` from `root` (flat algorithm).
+pub fn scatter(
+    rank: u32,
+    nprocs: u32,
+    root: u32,
+    sbuf: Va,
+    rbuf: Va,
+    count: u64,
+    ty: &Datatype,
+) -> Vec<AppOp> {
+    let mut ops = Vec::new();
+    if rank == root {
+        for dst in 0..nprocs {
+            ops.push(AppOp::Isend {
+                peer: dst,
+                buf: (sbuf as i64 + block_disp(ty, count, dst)) as Va,
+                count,
+                ty: ty.clone(),
+                tag: COLL_TAG + 17,
+            });
+        }
+    }
+    ops.push(AppOp::Irecv {
+        peer: root,
+        buf: rbuf,
+        count,
+        ty: ty.clone(),
+        tag: COLL_TAG + 17,
+    });
+    ops.push(AppOp::WaitAll);
+    ops
+}
+
+/// `MPI_Reduce` to `root` (binomial tree): combines `count` instances
+/// of `ty` (a primitive-element type) into the root's `rbuf` with `op`.
+/// `scratch` must hold one message (`count * extent` bytes) and be
+/// distinct from both buffers. The caller's `sbuf` is consumed as the
+/// running accumulator on non-leaf ranks, matching MPI's permission to
+/// use the send buffer of intermediate ranks.
+#[allow(clippy::too_many_arguments)]
+pub fn reduce(
+    rank: u32,
+    nprocs: u32,
+    root: u32,
+    sbuf: Va,
+    rbuf: Va,
+    scratch: Va,
+    count: u64,
+    ty: &Datatype,
+    op: ReduceOp,
+) -> Vec<AppOp> {
+    let mut ops = Vec::new();
+    let vrank = (rank + nprocs - root) % nprocs;
+    // Accumulate into the root's rbuf directly; others use sbuf.
+    let acc = if rank == root {
+        ops.push(AppOp::CombineBuffers {
+            dst: rbuf,
+            src: sbuf,
+            count,
+            ty: ty.clone(),
+            op: ReduceOp::Replace,
+        });
+        rbuf
+    } else {
+        sbuf
+    };
+    let mut mask = 1u32;
+    while mask < nprocs {
+        if vrank & mask != 0 {
+            // Send the accumulator up the tree and stop.
+            let dst = ((vrank & !mask) + root) % nprocs;
+            ops.push(AppOp::Isend {
+                peer: dst,
+                buf: acc,
+                count,
+                ty: ty.clone(),
+                tag: COLL_TAG + 18,
+            });
+            ops.push(AppOp::WaitAll);
+            return ops;
+        }
+        if vrank + mask < nprocs {
+            let src = ((vrank + mask) + root) % nprocs;
+            ops.push(AppOp::Irecv {
+                peer: src,
+                buf: scratch,
+                count,
+                ty: ty.clone(),
+                tag: COLL_TAG + 18,
+            });
+            ops.push(AppOp::WaitAll);
+            ops.push(AppOp::CombineBuffers {
+                dst: acc,
+                src: scratch,
+                count,
+                ty: ty.clone(),
+                op,
+            });
+        }
+        mask <<= 1;
+    }
+    ops
+}
+
+/// `MPI_Allreduce` = reduce to rank 0 + bcast.
+#[allow(clippy::too_many_arguments)]
+pub fn allreduce(
+    rank: u32,
+    nprocs: u32,
+    sbuf: Va,
+    rbuf: Va,
+    scratch: Va,
+    count: u64,
+    ty: &Datatype,
+    op: ReduceOp,
+) -> Vec<AppOp> {
+    let mut ops = reduce(rank, nprocs, 0, sbuf, rbuf, scratch, count, ty, op);
+    // Non-root ranks receive the result into rbuf.
+    ops.extend(bcast(rank, nprocs, 0, rbuf, count, ty));
+    ops
+}
+
+/// `MPI_Barrier`: dissemination algorithm with zero-byte messages.
+pub fn barrier(rank: u32, nprocs: u32) -> Vec<AppOp> {
+    let mut ops = Vec::new();
+    let ty = Datatype::byte();
+    let mut step = 1u32;
+    while step < nprocs {
+        let dst = (rank + step) % nprocs;
+        let src = (rank + nprocs - step) % nprocs;
+        ops.push(AppOp::Irecv {
+            peer: src,
+            buf: 0,
+            count: 0,
+            ty: ty.clone(),
+            tag: COLL_TAG + 3 + step,
+        });
+        ops.push(AppOp::Isend {
+            peer: dst,
+            buf: 0,
+            count: 0,
+            ty: ty.clone(),
+            tag: COLL_TAG + 3 + step,
+        });
+        ops.push(AppOp::WaitAll);
+        step <<= 1;
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sends_to(ops: &[AppOp]) -> Vec<u32> {
+        ops.iter()
+            .filter_map(|o| match o {
+                AppOp::Isend { peer, .. } => Some(*peer),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn recvs_from(ops: &[AppOp]) -> Vec<u32> {
+        ops.iter()
+            .filter_map(|o| match o {
+                AppOp::Irecv { peer, .. } => Some(*peer),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn alltoall_touches_every_rank_once() {
+        let ty = Datatype::int();
+        for rank in 0..8 {
+            let ops = alltoall(rank, 8, 1 << 20, 2 << 20, 4, &ty, &ty);
+            let mut s = sends_to(&ops);
+            let mut r = recvs_from(&ops);
+            s.sort_unstable();
+            r.sort_unstable();
+            assert_eq!(s, (0..8).collect::<Vec<_>>());
+            assert_eq!(r, (0..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn alltoall_block_displacements() {
+        let ty = Datatype::int();
+        let ops = alltoall(0, 4, 1000, 2000, 3, &ty, &ty);
+        // Receive for src=2 lands at rbuf + 2*3*4.
+        let found = ops.iter().any(|o| {
+            matches!(o, AppOp::Irecv { peer: 2, buf, .. } if *buf == 2000 + 24)
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn bcast_tree_edges_match() {
+        // Collect (sender, receiver) edges over all ranks; they must
+        // form a tree covering all non-root ranks exactly once.
+        for nprocs in [2u32, 3, 4, 7, 8] {
+            for root in [0u32, 1] {
+                if root >= nprocs {
+                    continue;
+                }
+                let mut recv_count = vec![0u32; nprocs as usize];
+                let mut send_edges: Vec<(u32, u32)> = Vec::new();
+                for rank in 0..nprocs {
+                    let ops = bcast(rank, nprocs, root, 0, 1, &Datatype::int());
+                    for p in recvs_from(&ops) {
+                        recv_count[rank as usize] += 1;
+                        let _ = p;
+                    }
+                    for p in sends_to(&ops) {
+                        send_edges.push((rank, p));
+                    }
+                }
+                assert_eq!(recv_count[root as usize], 0, "root receives nothing");
+                for r in 0..nprocs {
+                    if r != root {
+                        assert_eq!(recv_count[r as usize], 1, "rank {r} gets exactly one copy");
+                    }
+                }
+                // Every send edge must pair with the receiver's recv.
+                assert_eq!(
+                    send_edges.len() as u32,
+                    nprocs - 1,
+                    "nprocs={nprocs} root={root}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_send_matches_recv_peer() {
+        for nprocs in [4u32, 8] {
+            let mut sends: Vec<(u32, u32)> = Vec::new();
+            let mut recvs: Vec<(u32, u32)> = Vec::new();
+            for rank in 0..nprocs {
+                let ops = bcast(rank, nprocs, 0, 0, 1, &Datatype::int());
+                for p in sends_to(&ops) {
+                    sends.push((rank, p));
+                }
+                for p in recvs_from(&ops) {
+                    recvs.push((p, rank));
+                }
+            }
+            sends.sort_unstable();
+            recvs.sort_unstable();
+            assert_eq!(sends, recvs);
+        }
+    }
+
+    #[test]
+    fn allgather_ring_passes_every_block() {
+        let ty = Datatype::int();
+        for nprocs in [2u32, 5, 8] {
+            for rank in 0..nprocs {
+                let ops = allgather(rank, nprocs, 0, 0, 1, &ty);
+                // nprocs-1 ring exchanges + 1 self copy.
+                assert_eq!(sends_to(&ops).len() as u32, nprocs);
+                assert_eq!(recvs_from(&ops).len() as u32, nprocs);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_rounds_are_logarithmic() {
+        for (nprocs, rounds) in [(2u32, 1usize), (4, 2), (8, 3), (5, 3)] {
+            let ops = barrier(0, nprocs);
+            assert_eq!(sends_to(&ops).len(), rounds);
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_local() {
+        assert!(sends_to(&barrier(0, 1)).is_empty());
+        let ops = bcast(0, 1, 0, 0, 1, &Datatype::int());
+        assert!(sends_to(&ops).is_empty());
+    }
+}

@@ -1,0 +1,373 @@
+//! Pure planning helpers for the copy-reduced schemes.
+//!
+//! These functions turn block lists into RDMA work-request plans and are
+//! kept free of protocol state so they can be unit-tested exhaustively:
+//!
+//! * [`chunk_gather`] — split a block list into gather lists of at most
+//!   `max_sge` entries (RWG-UP, §5.1),
+//! * [`plan_multi_w`] — pair the sender's and receiver's block lists
+//!   stream-wise into one RDMA write per *receiver-contiguous* range
+//!   with a sender gather list (Multi-W, §5.3/§5.4.2). The two sides may
+//!   have completely different layouts; blocks are split at every
+//!   boundary mismatch.
+
+use ibdt_memreg::Va;
+
+/// One planned RDMA write: gather `sges` (absolute addresses) into the
+/// contiguous destination `dst`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedWr {
+    /// Source gather list: `(addr, len)` pairs.
+    pub sges: Vec<(Va, u64)>,
+    /// Destination address (contiguous).
+    pub dst: Va,
+    /// Total bytes (== sum of sge lens).
+    pub len: u64,
+}
+
+/// Splits `blocks` into chunks of at most `max_sge` entries, returning
+/// for each chunk its gather list and total length.
+pub fn chunk_gather(blocks: &[(Va, u64)], max_sge: usize) -> Vec<(Vec<(Va, u64)>, u64)> {
+    assert!(max_sge > 0);
+    blocks
+        .chunks(max_sge)
+        .map(|c| (c.to_vec(), c.iter().map(|&(_, l)| l).sum()))
+        .collect()
+}
+
+/// Plans the Multi-W write list.
+///
+/// `snd` and `rcv` are the two sides' contiguous block lists in stream
+/// order (absolute addresses); their total lengths must match. Each
+/// planned write targets one receiver-contiguous byte range and gathers
+/// at most `max_sge` sender pieces; receiver blocks needing more gather
+/// entries are split into multiple writes.
+pub fn plan_multi_w(snd: &[(Va, u64)], rcv: &[(Va, u64)], max_sge: usize) -> Vec<PlannedWr> {
+    assert!(max_sge > 0);
+    debug_assert_eq!(
+        snd.iter().map(|&(_, l)| l).sum::<u64>(),
+        rcv.iter().map(|&(_, l)| l).sum::<u64>(),
+        "sender and receiver type signatures must match in size"
+    );
+    let mut out = Vec::new();
+    let mut si = 0usize; // sender block index
+    let mut soff = 0u64; // offset within sender block
+
+    for &(raddr, rlen) in rcv {
+        let mut covered = 0u64;
+        while covered < rlen {
+            // Build one WR for as much of this receiver block as max_sge
+            // sender pieces cover.
+            let mut sges: Vec<(Va, u64)> = Vec::new();
+            let mut wr_len = 0u64;
+            while covered + wr_len < rlen && sges.len() < max_sge {
+                let (sa, sl) = snd[si];
+                let avail = sl - soff;
+                let need = rlen - covered - wr_len;
+                let take = avail.min(need);
+                sges.push((sa + soff, take));
+                wr_len += take;
+                soff += take;
+                if soff == sl {
+                    si += 1;
+                    soff = 0;
+                }
+            }
+            out.push(PlannedWr {
+                sges,
+                dst: raddr + covered,
+                len: wr_len,
+            });
+            covered += wr_len;
+        }
+    }
+    debug_assert!(si == snd.len() || (si == snd.len() - 1 && soff == 0) || snd[si].1 == soff);
+    out
+}
+
+/// Hybrid-scheme partition of a message's stream (§10 future work:
+/// scheme selection "within different parts of a single datatype
+/// message").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridPart {
+    /// Stream intervals `[lo, hi)` whose receiver block is large
+    /// enough for a direct zero-copy write. Each interval corresponds
+    /// to exactly one receiver-contiguous block.
+    pub direct: Vec<(u64, u64)>,
+    /// Stream intervals that travel packed (small receiver blocks),
+    /// in stream order.
+    pub packed: Vec<(u64, u64)>,
+    /// Total packed bytes (sum of packed interval lengths).
+    pub packed_bytes: u64,
+}
+
+/// Partitions a message by receiver block size: blocks of at least
+/// `threshold` bytes are written directly, the rest is packed. Both
+/// sides compute the same partition from the receiver's block lengths
+/// (shipped in the rendezvous reply), so no extra negotiation is
+/// needed.
+pub fn hybrid_partition(rcv_block_lens: &[u64], threshold: u64) -> HybridPart {
+    let mut direct = Vec::new();
+    let mut packed: Vec<(u64, u64)> = Vec::new();
+    let mut packed_bytes = 0;
+    let mut pos = 0u64;
+    for &len in rcv_block_lens {
+        let iv = (pos, pos + len);
+        if len >= threshold {
+            direct.push(iv);
+        } else {
+            // Merge stream-adjacent packed intervals.
+            match packed.last_mut() {
+                Some((_, hi)) if *hi == iv.0 => *hi = iv.1,
+                _ => packed.push(iv),
+            }
+            packed_bytes += len;
+        }
+        pos += len;
+    }
+    HybridPart {
+        direct,
+        packed,
+        packed_bytes,
+    }
+}
+
+/// Maps a range `[lo, hi)` of the *substream* (the concatenation of
+/// `intervals` in order) back to stream intervals.
+pub fn substream_to_stream(intervals: &[(u64, u64)], lo: u64, hi: u64) -> Vec<(u64, u64)> {
+    debug_assert!(lo <= hi);
+    let mut out = Vec::new();
+    let mut pos = 0u64; // substream position at the start of interval
+    for &(a, b) in intervals {
+        let len = b - a;
+        let end = pos + len;
+        if end > lo && pos < hi {
+            let clip_lo = lo.saturating_sub(pos);
+            let clip_hi = (hi - pos).min(len);
+            if clip_hi > clip_lo {
+                out.push((a + clip_lo, a + clip_hi));
+            }
+        }
+        pos = end;
+        if pos >= hi {
+            break;
+        }
+    }
+    out
+}
+
+/// Immediate-data encoding for rendezvous segments: 16 bits of sequence
+/// number, 16 bits of segment index.
+pub fn imm_of(seq: u64, k: u32) -> u32 {
+    debug_assert!(k <= 0xFFFF, "segment index overflows immediate encoding");
+    (((seq & 0xFFFF) as u32) << 16) | (k & 0xFFFF)
+}
+
+/// Inverse of [`imm_of`]: `(seq16, k)`.
+pub fn imm_parse(imm: u32) -> (u16, u32) {
+    ((imm >> 16) as u16, imm & 0xFFFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_gather_splits_at_limit() {
+        let blocks: Vec<(Va, u64)> = (0..10).map(|i| (i * 100, 8)).collect();
+        let chunks = chunk_gather(&blocks, 4);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].0.len(), 4);
+        assert_eq!(chunks[2].0.len(), 2);
+        assert_eq!(chunks.iter().map(|(_, l)| l).sum::<u64>(), 80);
+    }
+
+    #[test]
+    fn chunk_gather_empty() {
+        assert!(chunk_gather(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn multiw_identical_layouts_one_wr_per_block() {
+        let blocks: Vec<(Va, u64)> = vec![(0, 16), (100, 16), (200, 16)];
+        let rcv: Vec<(Va, u64)> = vec![(1000, 16), (1100, 16), (1200, 16)];
+        let plan = plan_multi_w(&blocks, &rcv, 64);
+        assert_eq!(plan.len(), 3);
+        for (i, wr) in plan.iter().enumerate() {
+            assert_eq!(wr.sges, vec![(i as u64 * 100, 16)]);
+            assert_eq!(wr.dst, 1000 + i as u64 * 100);
+            assert_eq!(wr.len, 16);
+        }
+    }
+
+    #[test]
+    fn multiw_sender_finer_than_receiver_gathers() {
+        // Sender: 4 blocks of 8; receiver: 1 block of 32.
+        let snd: Vec<(Va, u64)> = (0..4).map(|i| (i * 50, 8)).collect();
+        let rcv = vec![(9000, 32)];
+        let plan = plan_multi_w(&snd, &rcv, 64);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].sges.len(), 4);
+        assert_eq!(plan[0].dst, 9000);
+        assert_eq!(plan[0].len, 32);
+    }
+
+    #[test]
+    fn multiw_receiver_finer_than_sender_splits() {
+        // Sender: 1 block of 32; receiver: 4 blocks of 8.
+        let snd = vec![(500u64, 32u64)];
+        let rcv: Vec<(Va, u64)> = (0..4).map(|i| (7000 + i * 100, 8)).collect();
+        let plan = plan_multi_w(&snd, &rcv, 64);
+        assert_eq!(plan.len(), 4);
+        for (i, wr) in plan.iter().enumerate() {
+            assert_eq!(wr.sges, vec![(500 + i as u64 * 8, 8)]);
+            assert_eq!(wr.dst, 7000 + i as u64 * 100);
+        }
+    }
+
+    #[test]
+    fn multiw_misaligned_boundaries() {
+        // Sender blocks 12+20; receiver blocks 8+24. Splits at 8, 12.
+        let snd = vec![(0u64, 12u64), (100, 20)];
+        let rcv = vec![(1000u64, 8u64), (2000, 24)];
+        let plan = plan_multi_w(&snd, &rcv, 64);
+        // WR1: rcv[0] = snd[0][0..8]. WR2: rcv[1] = snd[0][8..12] +
+        // snd[1][0..20].
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].sges, vec![(0, 8)]);
+        assert_eq!(plan[0].dst, 1000);
+        assert_eq!(plan[1].sges, vec![(8, 4), (100, 20)]);
+        assert_eq!(plan[1].dst, 2000);
+        assert_eq!(plan[1].len, 24);
+    }
+
+    #[test]
+    fn multiw_respects_max_sge() {
+        // Receiver one 64-byte block; sender 8 blocks of 8; max_sge 3.
+        let snd: Vec<(Va, u64)> = (0..8).map(|i| (i * 10, 8)).collect();
+        let rcv = vec![(5000u64, 64u64)];
+        let plan = plan_multi_w(&snd, &rcv, 3);
+        assert_eq!(plan.len(), 3); // 3 + 3 + 2 sges
+        assert_eq!(plan[0].sges.len(), 3);
+        assert_eq!(plan[0].dst, 5000);
+        assert_eq!(plan[1].dst, 5000 + 24);
+        assert_eq!(plan[2].sges.len(), 2);
+        let total: u64 = plan.iter().map(|w| w.len).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn multiw_total_preserved_random_shapes() {
+        // Deterministic pseudo-random split of 1 KiB into blocks.
+        let mut s = Vec::new();
+        let mut r = Vec::new();
+        let (mut sa, mut ra) = (0u64, 1 << 20);
+        let mut rem_s = 1024u64;
+        let mut x = 7u64;
+        while rem_s > 0 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let l = (x % 96 + 1).min(rem_s);
+            s.push((sa, l));
+            sa += l + x % 33;
+            rem_s -= l;
+        }
+        let mut rem_r = 1024u64;
+        while rem_r > 0 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let l = (x % 80 + 1).min(rem_r);
+            r.push((ra, l));
+            ra += l + x % 17;
+            rem_r -= l;
+        }
+        let plan = plan_multi_w(&s, &r, 5);
+        let total: u64 = plan.iter().map(|w| w.len).sum();
+        assert_eq!(total, 1024);
+        for wr in &plan {
+            assert!(wr.sges.len() <= 5);
+            assert_eq!(wr.len, wr.sges.iter().map(|&(_, l)| l).sum::<u64>());
+        }
+        // Destination ranges are disjoint and cover the receiver blocks.
+        let mut dsts: Vec<(u64, u64)> = plan.iter().map(|w| (w.dst, w.len)).collect();
+        dsts.sort_unstable();
+        for w in dsts.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn hybrid_partition_splits_by_threshold() {
+        // Blocks: 100, 4000, 50, 50, 8000 with threshold 1024.
+        let p = hybrid_partition(&[100, 4000, 50, 50, 8000], 1024);
+        assert_eq!(p.direct, vec![(100, 4100), (4200, 12200)]);
+        // The two 50-byte blocks are stream-adjacent and merge.
+        assert_eq!(p.packed, vec![(0, 100), (4100, 4200)]);
+        assert_eq!(p.packed_bytes, 200);
+    }
+
+    #[test]
+    fn hybrid_partition_all_large() {
+        let p = hybrid_partition(&[2048, 2048], 1024);
+        assert_eq!(p.direct.len(), 2);
+        assert!(p.packed.is_empty());
+        assert_eq!(p.packed_bytes, 0);
+    }
+
+    #[test]
+    fn hybrid_partition_all_small() {
+        let p = hybrid_partition(&[16, 16, 16], 1024);
+        assert!(p.direct.is_empty());
+        assert_eq!(p.packed, vec![(0, 48)]);
+        assert_eq!(p.packed_bytes, 48);
+    }
+
+    #[test]
+    fn hybrid_partition_empty() {
+        let p = hybrid_partition(&[], 1024);
+        assert!(p.direct.is_empty() && p.packed.is_empty());
+    }
+
+    #[test]
+    fn substream_mapping_whole() {
+        let ivs = [(10u64, 20u64), (50, 55), (100, 130)];
+        // Substream is 10 + 5 + 30 = 45 bytes.
+        assert_eq!(substream_to_stream(&ivs, 0, 45), ivs.to_vec());
+    }
+
+    #[test]
+    fn substream_mapping_partial() {
+        let ivs = [(10u64, 20u64), (50, 55), (100, 130)];
+        // [8, 17) of the substream: last 2 bytes of iv0, all of iv1,
+        // first 2 bytes of iv2.
+        assert_eq!(
+            substream_to_stream(&ivs, 8, 17),
+            vec![(18, 20), (50, 55), (100, 102)]
+        );
+        // Entirely inside one interval: substream [16,18) falls in the
+        // third interval (iv0 covers [0,10), iv1 [10,15), iv2 [15,45)).
+        assert_eq!(substream_to_stream(&ivs, 16, 18), vec![(101, 103)]);
+        assert_eq!(substream_to_stream(&ivs, 11, 13), vec![(51, 53)]);
+        // Empty range.
+        assert!(substream_to_stream(&ivs, 7, 7).is_empty());
+    }
+
+    #[test]
+    fn substream_lengths_preserved() {
+        let ivs = [(0u64, 7u64), (100, 103), (200, 250)];
+        let total = 7 + 3 + 50;
+        for lo in 0..total {
+            for hi in lo..=total {
+                let mapped = substream_to_stream(&ivs, lo, hi);
+                let n: u64 = mapped.iter().map(|(a, b)| b - a).sum();
+                assert_eq!(n, hi - lo, "lo={lo} hi={hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn imm_roundtrip() {
+        let imm = imm_of(0x1_F00D, 7);
+        let (seq16, k) = imm_parse(imm);
+        assert_eq!(seq16, 0xF00D);
+        assert_eq!(k, 7);
+    }
+}

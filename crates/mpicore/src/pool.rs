@@ -1,0 +1,193 @@
+//! Pre-registered segment buffer pools (§4.2, §7.2).
+//!
+//! One large buffer is allocated page-aligned and registered once at MPI
+//! initialization, then carved into fixed-size segment buffers handed
+//! out LIFO (so recently used — cache-warm — buffers are reused first).
+//! Exhaustion is counted; the protocol layer falls back to dynamic
+//! allocation + on-the-fly registration, the second solution of §4.3.3.
+
+use ibdt_memreg::{AddressSpace, MemError, RegTable, Va};
+
+/// A pool of equally sized, pre-registered segment buffers.
+#[derive(Debug)]
+pub struct SegmentPool {
+    seg_size: u64,
+    base: Va,
+    lkey: u32,
+    rkey: u32,
+    free: Vec<Va>,
+    total: usize,
+    exhaustions: u64,
+    acquires: u64,
+}
+
+impl SegmentPool {
+    /// Allocates and registers a pool of `total_size` bytes divided into
+    /// `seg_size`-byte buffers.
+    pub fn new(
+        space: &mut AddressSpace,
+        regs: &mut RegTable,
+        total_size: u64,
+        seg_size: u64,
+    ) -> Result<Self, MemError> {
+        assert!(seg_size > 0, "segment size must be positive");
+        let count = total_size / seg_size;
+        let base = space.alloc_page_aligned(count * seg_size)?;
+        let reg = regs.register(base, count * seg_size);
+        // LIFO with the lowest addresses on top.
+        let free = (0..count).rev().map(|i| base + i * seg_size).collect();
+        Ok(Self {
+            seg_size,
+            base,
+            lkey: reg.lkey,
+            rkey: reg.rkey,
+            free,
+            total: count as usize,
+            exhaustions: 0,
+            acquires: 0,
+        })
+    }
+
+    /// Segment size in bytes.
+    pub fn seg_size(&self) -> u64 {
+        self.seg_size
+    }
+
+    /// Local key of the pool registration.
+    pub fn lkey(&self) -> u32 {
+        self.lkey
+    }
+
+    /// Remote key of the pool registration.
+    pub fn rkey(&self) -> u32 {
+        self.rkey
+    }
+
+    /// Takes one segment buffer, or `None` when exhausted.
+    pub fn acquire(&mut self) -> Option<Va> {
+        match self.free.pop() {
+            Some(va) => {
+                self.acquires += 1;
+                Some(va)
+            }
+            None => {
+                self.exhaustions += 1;
+                None
+            }
+        }
+    }
+
+    /// Takes up to `n` segment buffers (fewer when the pool runs dry).
+    pub fn acquire_up_to(&mut self, n: usize) -> Vec<Va> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.acquire() {
+                Some(va) => out.push(va),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Returns a segment buffer to the pool.
+    pub fn release(&mut self, va: Va) {
+        debug_assert!(
+            va >= self.base
+                && va < self.base + (self.total as u64) * self.seg_size
+                && (va - self.base) % self.seg_size == 0,
+            "released address is not a pool segment"
+        );
+        debug_assert!(!self.free.contains(&va), "double release of pool segment");
+        self.free.push(va);
+    }
+
+    /// Buffers currently available.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total buffers in the pool.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Times [`Self::acquire`] found the pool empty.
+    pub fn exhaustions(&self) -> u64 {
+        self.exhaustions
+    }
+
+    /// Total successful acquires.
+    pub fn acquires(&self) -> u64 {
+        self.acquires
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(total: u64, seg: u64) -> (AddressSpace, RegTable, SegmentPool) {
+        let mut space = AddressSpace::new(1 << 24);
+        let mut regs = RegTable::new();
+        let pool = SegmentPool::new(&mut space, &mut regs, total, seg).unwrap();
+        (space, regs, pool)
+    }
+
+    #[test]
+    fn pool_carves_expected_count() {
+        let (_, _, pool) = fixture(1 << 20, 128 * 1024);
+        assert_eq!(pool.total(), 8);
+        assert_eq!(pool.available(), 8);
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let (_, _, mut pool) = fixture(4 * 4096, 4096);
+        let a = pool.acquire().unwrap();
+        let b = pool.acquire().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(pool.available(), 2);
+        pool.release(a);
+        assert_eq!(pool.available(), 3);
+        // LIFO: the released buffer comes back first.
+        assert_eq!(pool.acquire().unwrap(), a);
+    }
+
+    #[test]
+    fn exhaustion_counted() {
+        let (_, _, mut pool) = fixture(2 * 4096, 4096);
+        assert!(pool.acquire().is_some());
+        assert!(pool.acquire().is_some());
+        assert!(pool.acquire().is_none());
+        assert!(pool.acquire().is_none());
+        assert_eq!(pool.exhaustions(), 2);
+        assert_eq!(pool.acquires(), 2);
+    }
+
+    #[test]
+    fn acquire_up_to_partial() {
+        let (_, _, mut pool) = fixture(3 * 4096, 4096);
+        let got = pool.acquire_up_to(5);
+        assert_eq!(got.len(), 3);
+        assert_eq!(pool.exhaustions(), 1);
+    }
+
+    #[test]
+    fn segments_are_disjoint_and_registered() {
+        let (_, regs, mut pool) = fixture(8 * 4096, 4096);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(va) = pool.acquire() {
+            assert!(seen.insert(va), "duplicate segment");
+            regs.check(pool.lkey(), va, 4096).unwrap();
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not a pool segment")]
+    fn release_of_foreign_address_panics_in_debug() {
+        let (_, _, mut pool) = fixture(2 * 4096, 4096);
+        pool.release(0xDEAD_BEEF);
+    }
+}

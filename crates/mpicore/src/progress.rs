@@ -1,0 +1,2312 @@
+//! The MPI progress engine: eager and rendezvous protocol state
+//! machines for every datatype communication scheme.
+//!
+//! Structure: [`isend`]/[`irecv`] start operations; [`on_cqe`] reacts to
+//! fabric completions (control arrivals, segment immediates, local data
+//! completions); [`on_cpu`] reacts to host-work completions (a segment
+//! packed/unpacked, registration finished). All host work is charged on
+//! the rank's FIFO CPU resource, so pack ∥ wire ∥ unpack overlap — the
+//! paper's central mechanism — emerges from the schedule rather than
+//! being asserted.
+//!
+//! Functional-now, complete-later: memory effects (packing bytes,
+//! placing data) happen at event-processing time; *completion events*
+//! fire when the modelled cost has elapsed. MPI's buffer-ownership rules
+//! make this safe: a correct program never touches a buffer while an
+//! operation that uses it is in flight.
+
+use crate::config::{MpiConfig, Scheme};
+use crate::msg::{CtrlMsg, ReplyBody};
+use crate::plan::{chunk_gather, hybrid_partition, imm_of, imm_parse, plan_multi_w, substream_to_stream};
+use crate::rank::{PostedRecv, RankState, ReqId, ReqKind, Unexpected};
+use ibdt_datatype::{Datatype, FlatLayout, Segment};
+use ibdt_ibsim::{Cqe, Fabric, HostConfig, NetConfig, NicEvent, NodeMem, Opcode, RecvWr, SendWr, Sge};
+use ibdt_memreg::{ogr, Registration, Va};
+use ibdt_simcore::engine::Scheduler;
+use ibdt_simcore::time::Time;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Top-level simulation event for the MPI world.
+#[derive(Debug)]
+pub enum Ev {
+    /// A fabric event (arrivals, local completions, RNR retries).
+    Nic(NicEvent),
+    /// Host work finished on `rank`.
+    Cpu {
+        /// The rank whose CPU finished.
+        rank: u32,
+        /// What finished.
+        act: CpuAct,
+    },
+    /// Re-run the program interpreter of `rank`.
+    Resume {
+        /// The rank to resume.
+        rank: u32,
+    },
+}
+
+/// Host-work completions that drive protocol state forward.
+#[derive(Debug, Clone, Copy)]
+pub enum CpuAct {
+    /// Sender packed segment `k` of message `(peer, seq)`.
+    PackSeg {
+        /// Destination rank of the send.
+        peer: u32,
+        /// Message sequence number.
+        seq: u64,
+        /// Segment index.
+        k: u32,
+    },
+    /// Receiver unpacked segment `k`.
+    UnpackSeg {
+        /// Source rank.
+        peer: u32,
+        /// Sequence number.
+        seq: u64,
+        /// Segment index.
+        k: u32,
+    },
+    /// Receiver unpacked the whole message (Generic / no-segment-unpack
+    /// RWG mode).
+    UnpackAll {
+        /// Source rank.
+        peer: u32,
+        /// Sequence number.
+        seq: u64,
+    },
+    /// Sender finished registering its user buffer (RWG-UP / Multi-W).
+    SenderRegDone {
+        /// Destination rank.
+        peer: u32,
+        /// Sequence number.
+        seq: u64,
+    },
+    /// Receiver finished its rendezvous preparation; the stored reply
+    /// can be sent.
+    ReceiverReady {
+        /// Source rank.
+        peer: u32,
+        /// Sequence number.
+        seq: u64,
+    },
+    /// An eager-path send finished packing (request complete).
+    SendDone {
+        /// The completed request.
+        req: ReqId,
+    },
+    /// An eager-path receive finished unpacking (request complete).
+    RecvDone {
+        /// The completed request.
+        req: ReqId,
+    },
+}
+
+/// Shared mutable context threaded through the protocol functions.
+pub struct Ctx<'a, 'b> {
+    /// The fabric.
+    pub fabric: &'a mut Fabric,
+    /// All ranks' memories.
+    pub mems: &'a mut Vec<NodeMem>,
+    /// Network cost model.
+    pub net: &'a NetConfig,
+    /// Host cost model.
+    pub host: &'a HostConfig,
+    /// MPI configuration.
+    pub cfg: &'a MpiConfig,
+    /// Event scheduler.
+    pub sched: &'a mut Scheduler<'b, Ev>,
+}
+
+impl Ctx<'_, '_> {
+    pub(crate) fn now(&self) -> Time {
+        self.sched.now()
+    }
+
+    pub(crate) fn post_send(&mut self, ready_at: Time, node: u32, peer: u32, wr: SendWr) {
+        let Self { fabric, mems, sched, .. } = self;
+        fabric
+            .post_send(ready_at, node, peer, wr, mems, &mut |t, e| {
+                sched.at(t, Ev::Nic(e))
+            })
+            .expect("protocol posted an invalid work request");
+    }
+
+    pub(crate) fn post_send_list(&mut self, ready_at: Time, node: u32, peer: u32, wrs: Vec<SendWr>) {
+        let Self { fabric, mems, sched, .. } = self;
+        fabric
+            .post_send_list(ready_at, node, peer, wrs, mems, &mut |t, e| {
+                sched.at(t, Ev::Nic(e))
+            })
+            .expect("protocol posted an invalid work request list");
+    }
+
+    fn post_recv(&mut self, now: Time, node: u32, peer: u32, wr: RecvWr) {
+        let Self { fabric, mems, sched, .. } = self;
+        fabric
+            .post_recv(now, node, peer, wr, mems, &mut |t, e| {
+                sched.at(t, Ev::Nic(e))
+            })
+            .expect("protocol posted an invalid receive");
+    }
+
+    fn cpu_event(&mut self, at: Time, rank: u32, act: CpuAct) {
+        self.sched.at(at, Ev::Cpu { rank, act });
+    }
+}
+
+/// Work-request id namespaces (low bits carry a value, high byte the
+/// kind).
+const WR_KIND_SHIFT: u32 = 56;
+const WR_EAGER: u64 = 1 << WR_KIND_SHIFT; // low bits: send ring buffer va
+const WR_DATA: u64 = 2 << WR_KIND_SHIFT; // low bits: seq
+const WR_READ: u64 = 3 << WR_KIND_SHIFT; // low bits: seq
+/// One-sided RMA work requests (completion tracked per fence epoch).
+pub(crate) const WR_RMA: u64 = 4 << WR_KIND_SHIFT;
+const WR_LOW_MASK: u64 = (1 << WR_KIND_SHIFT) - 1;
+
+/// Immediate segment index reserved for the Hybrid completion marker.
+const MARKER_K: u32 = 0xFFFF;
+
+/// Where the sender aims its data, per the rendezvous reply.
+#[derive(Debug)]
+enum SendTargets {
+    /// Generic: one unpack buffer.
+    Buffer { addr: Va, rkey: u32 },
+    /// BC-SPUP / RWG-UP: per-segment unpack buffers.
+    Segments(Vec<(Va, u32)>),
+    /// Multi-W: receiver block list and covering regions.
+    MultiW {
+        rcv_blocks: Vec<(Va, u64)>,
+        regions: Vec<(Va, u64, u32)>,
+    },
+    /// P-RRS: receiver will read; sender announces packed segments.
+    ReadGo,
+    /// Hybrid: details live in [`SendMsg::hybrid`].
+    HybridReady,
+}
+
+/// A pack/unpack staging buffer (pool segment or dynamic fallback).
+#[derive(Debug, Clone, Copy)]
+struct StageBuf {
+    va: Va,
+    len: u64,
+    lkey: u32,
+    rkey: u32,
+    /// True when allocated dynamically (fallback path, §4.3.3).
+    dynamic: bool,
+}
+
+/// Sender-side Hybrid state (§10 future work): the partition of the
+/// stream into direct-write and packed parts, derived from the
+/// receiver's layout.
+#[derive(Debug)]
+struct HybridSend {
+    /// Stream intervals travelling packed, in order.
+    packed_intervals: Vec<(u64, u64)>,
+    /// `(stream lo, stream hi, destination va)` per direct interval.
+    direct: Vec<(u64, u64, Va)>,
+    /// Receiver unpack segment buffers for the packed part.
+    segs: Vec<(u64, u32)>,
+    /// Receiver regions covering the direct destinations.
+    regions: Vec<(Va, u64, u32)>,
+    direct_posted: bool,
+    marker_posted: bool,
+}
+
+/// Sender-side state of one rendezvous message.
+#[derive(Debug)]
+struct SendMsg {
+    req: ReqId,
+    peer: u32,
+    seq: u64,
+    buf: Va,
+    count: u64,
+    ty: Datatype,
+    size: u64,
+    scheme: Scheme,
+    nsegs: u32,
+    seg_size: u64,
+    pack_bufs: Vec<StageBuf>,
+    packed: u32,
+    posted_segs: u32,
+    pack_chain_running: bool,
+    /// Single-block sender (contiguous data): zero-copy paths apply.
+    contig: bool,
+    hybrid: Option<HybridSend>,
+    targets: Option<SendTargets>,
+    reg_done: bool,
+    user_regs: Vec<Registration>,
+    /// P-RRS: completion arrives via Fin instead of a local data CQE.
+    completed: bool,
+}
+
+/// Receiver-side state of one rendezvous message.
+#[derive(Debug)]
+struct RecvMsg {
+    req: ReqId,
+    peer: u32,
+    seq: u64,
+    buf: Va,
+    count: u64,
+    ty: Datatype,
+    size: u64,
+    scheme: Scheme,
+    nsegs: u32,
+    seg_size: u64,
+    unpack_bufs: Vec<StageBuf>,
+    segs_arrived: u32,
+    segs_unpacked: u32,
+    user_regs: Vec<Registration>,
+    pending_reply: Option<Vec<u8>>,
+    /// P-RRS: outstanding RDMA reads and announced segments.
+    reads_outstanding: u32,
+    segs_announced: u32,
+    /// Hybrid: stream intervals of the packed part, and whether the
+    /// completion marker arrived.
+    packed_intervals: Vec<(u64, u64)>,
+    marker_seen: bool,
+    completed: bool,
+}
+
+/// Active rendezvous messages of one rank.
+#[derive(Debug, Default)]
+pub struct ActiveMsgs {
+    sends: HashMap<(u32, u64), SendMsg>,
+    recvs: HashMap<(u32, u64), RecvMsg>,
+    /// Immediate-data demux: `(peer, seq16)` → full sequence number.
+    imm_map: HashMap<(u32, u16), u64>,
+}
+
+impl ActiveMsgs {
+    /// True when no rendezvous transfers are in flight.
+    pub fn is_idle(&self) -> bool {
+        self.sends.is_empty() && self.recvs.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------
+
+/// Starts a nonblocking send.
+pub fn isend(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    buf: Va,
+    count: u64,
+    ty: &Datatype,
+    tag: u32,
+) -> ReqId {
+    assert!(
+        peer != crate::rank::ANY_SOURCE && tag != crate::rank::ANY_TAG,
+        "wildcards are receive-side only"
+    );
+    let req = rs.new_req(ReqKind::Send);
+    let size = count * ty.size();
+    rs.cpu
+        .reserve_labeled(ctx.now(), ctx.cfg.call_overhead_ns, "call");
+
+    if peer == rs.rank {
+        self_send(rs, ctx, req, buf, count, ty, tag);
+        return req;
+    }
+    if size <= ctx.cfg.eager_threshold {
+        eager_send(rs, ctx, req, peer, buf, count, ty, tag, size);
+        return req;
+    }
+
+    rs.counters.rndv_sends += 1;
+    let seq = rs.take_seq(peer);
+    let scheme = ctx.cfg.scheme;
+    // Generic transfers the whole packed message in one piece (Fig. 1);
+    // the segmented schemes use the §7.2 rule.
+    let (seg_size, nsegs) = if scheme == Scheme::Generic {
+        (size, 1)
+    } else {
+        (ctx.cfg.segment_size(size), ctx.cfg.segment_count(size))
+    };
+    let stats = ty.flat().stats(count);
+
+    let start = CtrlMsg::RndvStart {
+        tag,
+        seq,
+        size,
+        scheme: scheme.to_wire(),
+        nsegs,
+        seg_size,
+        blk_min: stats.min,
+        blk_median: stats.median,
+    };
+    send_ctrl(rs, ctx, peer, start.encode(), 0);
+
+    let mut msg = SendMsg {
+        req,
+        peer,
+        seq,
+        buf,
+        count,
+        ty: ty.clone(),
+        size,
+        scheme,
+        nsegs,
+        seg_size,
+        pack_bufs: Vec::new(),
+        packed: 0,
+        posted_segs: 0,
+        pack_chain_running: false,
+        contig: stats.min >= size,
+        hybrid: None,
+        targets: None,
+        reg_done: false,
+        user_regs: Vec::new(),
+        completed: false,
+    };
+
+    // Early work that overlaps the handshake (§4.3.1, §7.3, §7.4).
+    // A single-block (contiguous) send never packs: MVAPICH's standard
+    // rendezvous is zero-copy for contiguous messages (§3.1), so the
+    // sender registers the user buffer and waits for the receiver's
+    // choice.
+    if stats.min >= size {
+        sender_register(rs, ctx, &mut msg);
+        am.sends.insert((peer, seq), msg);
+        return req;
+    }
+    match scheme {
+        Scheme::Generic => {
+            // Dynamic whole-message pack buffer (the original path).
+            let sb = acquire_stage(rs, ctx, size);
+            msg.pack_bufs.push(sb);
+            start_pack_chain(rs, ctx, &mut msg);
+        }
+        Scheme::BcSpup | Scheme::PRrs => {
+            assign_pack_bufs(rs, ctx, &mut msg);
+            start_pack_chain(rs, ctx, &mut msg);
+        }
+        Scheme::RwgUp | Scheme::MultiW => {
+            sender_register(rs, ctx, &mut msg);
+        }
+        Scheme::Hybrid => {
+            // Predict the direct part from the sender's own layout
+            // (symmetric types are the common case) and register those
+            // blocks during the handshake; the reply-time registration
+            // tops up any coverage the receiver's partition adds.
+            let own: Vec<(Va, u64)> = abs_blocks(ty, count, buf)
+                .into_iter()
+                .filter(|&(_, l)| l >= ctx.cfg.hybrid_block_threshold)
+                .collect();
+            if !own.is_empty() {
+                let plan = ogr::plan(&own, &ctx.host.reg);
+                let mut cost = 0;
+                for &(a, l) in &plan.regions {
+                    let acq = rs.pindown.acquire(
+                        &mut ctx.mems[rs.rank as usize].regs,
+                        &ctx.host.reg,
+                        a,
+                        l,
+                    );
+                    cost += acq.cost_ns;
+                    msg.user_regs.push(acq.reg);
+                }
+                let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
+                ctx.cpu_event(done, rs.rank, CpuAct::SenderRegDone { peer, seq });
+            }
+        }
+        Scheme::Adaptive => {
+            // The receiver decides, but the sender predicts from its own
+            // block statistics (§6's MPI_Info-style hint) so the early
+            // work overlaps the handshake. A wrong guess costs only a
+            // cached registration or an unused pool pack.
+            let predicted =
+                adaptive_choose(ctx.cfg, size, stats.min, stats.median, stats.min, stats.median);
+            match predicted {
+                Scheme::RwgUp | Scheme::MultiW | Scheme::PRrs => {
+                    sender_register(rs, ctx, &mut msg);
+                }
+                _ => {
+                    assign_pack_bufs(rs, ctx, &mut msg);
+                    start_pack_chain(rs, ctx, &mut msg);
+                }
+            }
+        }
+    }
+    am.sends.insert((peer, seq), msg);
+    req
+}
+
+/// Starts a nonblocking receive.
+pub fn irecv(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    buf: Va,
+    count: u64,
+    ty: &Datatype,
+    tag: u32,
+) -> ReqId {
+    let req = rs.new_req(ReqKind::Recv);
+    rs.cpu
+        .reserve_labeled(ctx.now(), ctx.cfg.call_overhead_ns, "call");
+
+    match rs.match_unexpected(peer, tag) {
+        Some(Unexpected::Eager { data, .. }) => {
+            eager_deliver(rs, ctx, req, buf, count, ty, &data);
+        }
+        Some(Unexpected::Rndv {
+            peer,
+            seq,
+            size,
+            scheme,
+            nsegs,
+            seg_size,
+            blk_min,
+            blk_median,
+            ..
+        }) => {
+            let posted = PostedRecv {
+                req,
+                peer,
+                tag,
+                buf,
+                count,
+                ty: ty.clone(),
+            };
+            receiver_start(
+                rs, am, ctx, posted, seq, size, scheme, nsegs, seg_size, blk_min, blk_median,
+            );
+        }
+        None => {
+            rs.posted.push_back(PostedRecv {
+                req,
+                peer,
+                tag,
+                buf,
+                count,
+                ty: ty.clone(),
+            });
+        }
+    }
+    req
+}
+
+/// Handles a completion queue entry for `rank`.
+pub fn on_cqe(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, cqe: Cqe) {
+    assert!(
+        cqe.status.is_ok(),
+        "rank {}: completion error from peer {}: {:?}",
+        rs.rank,
+        cqe.peer,
+        cqe.status
+    );
+    if cqe.is_recv {
+        // Charge CQE handling.
+        rs.cpu.reserve_labeled(ctx.now(), ctx.net.cqe_ns, "cqe");
+        match cqe.imm {
+            None => {
+                let va = cqe.wr_id;
+                let bytes = ctx.mems[rs.rank as usize]
+                    .space
+                    .read(va, cqe.byte_len)
+                    .expect("eager buffer readable");
+                repost_eager_recv(rs, ctx, cqe.peer, va);
+                on_ctrl(rs, am, ctx, cqe.peer, &bytes);
+            }
+            Some(imm) => {
+                // Segment arrival notification; the consumed descriptor
+                // is replaced.
+                let va = cqe.wr_id;
+                repost_eager_recv(rs, ctx, cqe.peer, va);
+                on_segment_arrival(rs, am, ctx, cqe.peer, imm, cqe.byte_len);
+            }
+        }
+    } else {
+        match cqe.wr_id & !WR_LOW_MASK {
+            WR_EAGER => {
+                let va = cqe.wr_id & WR_LOW_MASK;
+                rs.eager_send_free.push(va);
+                drain_pending_eager(rs, ctx);
+            }
+            WR_DATA => {
+                let seq = cqe.wr_id & WR_LOW_MASK;
+                sender_data_done(rs, am, ctx, cqe.peer, seq);
+            }
+            WR_READ => {
+                let seq = cqe.wr_id & WR_LOW_MASK;
+                receiver_read_done(rs, am, ctx, cqe.peer, seq);
+            }
+            WR_RMA => {
+                debug_assert!(rs.rma_outstanding > 0);
+                rs.rma_outstanding -= 1;
+                rs.rma_event = true;
+            }
+            other => panic!("unknown WR id namespace {other:#x}"),
+        }
+    }
+}
+
+/// Handles a host-work completion for `rank`.
+pub fn on_cpu(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, act: CpuAct) {
+    match act {
+        CpuAct::SendDone { req } => rs.complete_req(req),
+        CpuAct::RecvDone { req } => rs.complete_req(req),
+        CpuAct::PackSeg { peer, seq, k } => {
+            let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
+                return;
+            };
+            debug_assert_eq!(msg.packed, k, "pack completions out of order");
+            msg.packed = k + 1;
+            msg.pack_chain_running = false;
+            rs.counters.packs += 1;
+            rs.counters.bytes_packed += if msg.scheme == Scheme::Hybrid {
+                let packed_bytes: u64 = msg
+                    .hybrid
+                    .as_ref()
+                    .map(|h| h.packed_intervals.iter().map(|&(a, b)| b - a).sum())
+                    .unwrap_or(0);
+                let lo = k as u64 * msg.seg_size;
+                ((lo + msg.seg_size).min(packed_bytes)).saturating_sub(lo)
+            } else {
+                seg_len(&msg, k)
+            };
+            try_post_ready(rs, ctx, &mut msg);
+            start_pack_chain(rs, ctx, &mut msg);
+            am.sends.insert((peer, seq), msg);
+        }
+        CpuAct::SenderRegDone { peer, seq } => {
+            let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
+                return;
+            };
+            msg.reg_done = true;
+            try_post_ready(rs, ctx, &mut msg);
+            am.sends.insert((peer, seq), msg);
+        }
+        CpuAct::ReceiverReady { peer, seq } => {
+            let Some(msg) = am.recvs.get_mut(&(peer, seq)) else {
+                return;
+            };
+            if let Some(reply) = msg.pending_reply.take() {
+                send_ctrl(rs, ctx, peer, reply, 0);
+            }
+        }
+        CpuAct::UnpackSeg { peer, seq, k } => {
+            let Some(msg) = am.recvs.get_mut(&(peer, seq)) else {
+                return;
+            };
+            let _ = k;
+            msg.segs_unpacked += 1;
+            rs.counters.unpacks += 1;
+            let hybrid_gate = msg.scheme == Scheme::Hybrid && !msg.marker_seen;
+            if msg.segs_unpacked == msg.nsegs && !hybrid_gate {
+                receiver_complete(rs, am, ctx, peer, seq);
+            }
+        }
+        CpuAct::UnpackAll { peer, seq } => {
+            let Some(msg) = am.recvs.get_mut(&(peer, seq)) else {
+                return;
+            };
+            rs.counters.unpacks += 1;
+            msg.segs_unpacked = msg.nsegs;
+            receiver_complete(rs, am, ctx, peer, seq);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Eager path (§7.1)
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn eager_send(
+    rs: &mut RankState,
+    ctx: &mut Ctx<'_, '_>,
+    req: ReqId,
+    peer: u32,
+    buf: Va,
+    count: u64,
+    ty: &Datatype,
+    tag: u32,
+    size: u64,
+) {
+    rs.counters.eager_sends += 1;
+    let seq = rs.take_seq(peer);
+    let seg = Segment::new(ty, count);
+    let payload = pack_to_vec(ctx, rs.rank, &seg, buf, 0, size);
+    let (blocks, _) = seg.block_count_in(0, size).expect("range valid");
+    let mut cost = ctx.host.copy_ns(blocks.max(1), size);
+    if ctx.cfg.scheme == Scheme::Generic {
+        // Original path (Fig. 1): pack into a temporary buffer, then
+        // copy into the eager buffer.
+        cost += ctx.host.malloc_ns + ctx.host.memcpy_ns(size) + ctx.host.free_ns;
+    }
+    rs.counters.packs += 1;
+    rs.counters.bytes_packed += size;
+
+    let hdr = CtrlMsg::EagerData { tag, seq, size }.encode();
+    let mut bytes = hdr;
+    bytes.extend_from_slice(&payload);
+    send_ctrl(rs, ctx, peer, bytes, cost);
+
+    // The send request completes when packing is done (the user buffer
+    // is then reusable).
+    let done = rs.cpu.available_at();
+    ctx.cpu_event(done, rs.rank, CpuAct::SendDone { req });
+}
+
+/// Unpacks an eager payload into the user buffer and schedules request
+/// completion.
+fn eager_deliver(
+    rs: &mut RankState,
+    ctx: &mut Ctx<'_, '_>,
+    req: ReqId,
+    buf: Va,
+    count: u64,
+    ty: &Datatype,
+    data: &[u8],
+) {
+    let seg = Segment::new(ty, count);
+    let size = seg.total_bytes();
+    assert_eq!(data.len() as u64, size, "eager size mismatch");
+    unpack_from_slice(ctx, rs.rank, &seg, buf, 0, size, data);
+    let (blocks, _) = seg.block_count_in(0, size).expect("range valid");
+    let mut cost = ctx.host.copy_ns(blocks.max(1), size);
+    if ctx.cfg.scheme == Scheme::Generic {
+        cost += ctx.host.malloc_ns + ctx.host.memcpy_ns(size) + ctx.host.free_ns;
+    }
+    rs.counters.unpacks += 1;
+    rs.counters.bytes_unpacked += size;
+    let done = rs.cpu.reserve_labeled(ctx.now(), cost, "unpack");
+    ctx.cpu_event(done, rs.rank, CpuAct::RecvDone { req });
+}
+
+fn self_send(
+    rs: &mut RankState,
+    ctx: &mut Ctx<'_, '_>,
+    req: ReqId,
+    buf: Va,
+    count: u64,
+    ty: &Datatype,
+    tag: u32,
+) {
+    let seg = Segment::new(ty, count);
+    let size = seg.total_bytes();
+    let data = pack_to_vec(ctx, rs.rank, &seg, buf, 0, size);
+    let (blocks, _) = seg.block_count_in(0, size).expect("range valid");
+    let cost = ctx.host.copy_ns(blocks.max(1), size);
+    let done = rs.cpu.reserve_labeled(ctx.now(), cost, "pack");
+    ctx.cpu_event(done, rs.rank, CpuAct::SendDone { req });
+
+    let seq = rs.take_seq(rs.rank);
+    if let Some(p) = rs.match_posted(rs.rank, tag) {
+        eager_deliver(rs, ctx, p.req, p.buf, p.count, &p.ty, &data);
+    } else {
+        rs.unexpected.push_back(Unexpected::Eager {
+            peer: rs.rank,
+            tag,
+            seq,
+            data,
+        });
+    }
+}
+
+/// Sends a control/eager message, taking a ring buffer or queueing.
+/// `extra_cpu_ns` is work (e.g. packing) that precedes the post.
+fn send_ctrl(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, bytes: Vec<u8>, extra_cpu_ns: Time) {
+    assert!(
+        bytes.len() as u64 <= ctx.cfg.eager_buf_size,
+        "control message ({} B) exceeds eager buffer",
+        bytes.len()
+    );
+    rs.counters.ctrl_msgs += 1;
+    let label = if extra_cpu_ns > 0 { "pack" } else { "ctrl" };
+    let cost = extra_cpu_ns + ctx.cfg.ctrl_overhead_ns + ctx.net.post_single_ns;
+    let ready = rs.cpu.reserve_labeled(ctx.now(), cost, label);
+    match rs.eager_send_free.pop() {
+        Some(va) => {
+            ctx.mems[rs.rank as usize]
+                .space
+                .write(va, &bytes)
+                .expect("eager ring buffer writable");
+            let wr = SendWr {
+                wr_id: WR_EAGER | va,
+                opcode: Opcode::Send,
+                sges: vec![Sge {
+                    addr: va,
+                    len: bytes.len() as u64,
+                    lkey: rs.eager_lkey,
+                }],
+                remote: None,
+                signaled: true,
+            };
+            ctx.post_send(ready, rs.rank, peer, wr);
+        }
+        None => {
+            rs.eager_pending
+                .push_back(crate::rank::PendingEager { peer, bytes });
+        }
+    }
+}
+
+fn drain_pending_eager(rs: &mut RankState, ctx: &mut Ctx<'_, '_>) {
+    while !rs.eager_pending.is_empty() && !rs.eager_send_free.is_empty() {
+        let p = rs.eager_pending.pop_front().expect("checked non-empty");
+        let va = rs.eager_send_free.pop().expect("checked non-empty");
+        ctx.mems[rs.rank as usize]
+            .space
+            .write(va, &p.bytes)
+            .expect("eager ring buffer writable");
+        let ready = rs.cpu.reserve_labeled(
+            ctx.now(),
+            ctx.cfg.ctrl_overhead_ns + ctx.net.post_single_ns,
+            "ctrl",
+        );
+        let wr = SendWr {
+            wr_id: WR_EAGER | va,
+            opcode: Opcode::Send,
+            sges: vec![Sge {
+                addr: va,
+                len: p.bytes.len() as u64,
+                lkey: rs.eager_lkey,
+            }],
+            remote: None,
+            signaled: true,
+        };
+        ctx.post_send(ready, rs.rank, p.peer, wr);
+    }
+}
+
+fn repost_eager_recv(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, va: Va) {
+    rs.cpu
+        .reserve_labeled(ctx.now(), ctx.net.post_recv_ns, "post-recv");
+    let wr = RecvWr {
+        wr_id: va,
+        sges: vec![Sge {
+            addr: va,
+            len: ctx.cfg.eager_buf_size,
+            lkey: rs.eager_lkey,
+        }],
+    };
+    let now = ctx.now();
+    ctx.post_recv(now, rs.rank, peer, wr);
+}
+
+// ---------------------------------------------------------------------
+// Control message dispatch
+// ---------------------------------------------------------------------
+
+fn on_ctrl(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32, bytes: &[u8]) {
+    rs.cpu
+        .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
+    let (msg, hdr_len) = CtrlMsg::decode(bytes).expect("malformed control message");
+    match msg {
+        CtrlMsg::EagerData { tag, seq, size } => {
+            let payload = &bytes[hdr_len..hdr_len + size as usize];
+            match rs.match_posted(peer, tag) {
+                Some(p) => {
+                    eager_deliver(rs, ctx, p.req, p.buf, p.count, &p.ty, payload);
+                }
+                None => {
+                    // Copy to a dynamic buffer (charged) and queue.
+                    rs.cpu.reserve_labeled(
+                        ctx.now(),
+                        ctx.host.malloc_ns + ctx.host.memcpy_ns(size),
+                        "unexpected",
+                    );
+                    rs.unexpected.push_back(Unexpected::Eager {
+                        peer,
+                        tag,
+                        seq,
+                        data: payload.to_vec(),
+                    });
+                }
+            }
+        }
+        CtrlMsg::RndvStart {
+            tag,
+            seq,
+            size,
+            scheme,
+            nsegs,
+            seg_size,
+            blk_min,
+            blk_median,
+        } => match rs.match_posted(peer, tag) {
+            Some(mut p) => {
+                // The posted receive may carry wildcards; the protocol
+                // needs the concrete source.
+                p.peer = peer;
+                p.tag = tag;
+                receiver_start(
+                    rs, am, ctx, p, seq, size, scheme, nsegs, seg_size, blk_min, blk_median,
+                );
+            }
+            None => rs.unexpected.push_back(Unexpected::Rndv {
+                peer,
+                tag,
+                seq,
+                size,
+                scheme,
+                nsegs,
+                seg_size,
+                blk_min,
+                blk_median,
+            }),
+        },
+        CtrlMsg::RndvReply { seq, scheme, body } => {
+            sender_on_reply(rs, am, ctx, peer, seq, scheme, body);
+        }
+        CtrlMsg::SegReady { seq, k, addr, rkey, len } => {
+            receiver_on_seg_ready(rs, am, ctx, peer, seq, k, addr, rkey, len);
+        }
+        CtrlMsg::Fin { seq } => {
+            sender_on_fin(rs, am, ctx, peer, seq);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Receiver side
+// ---------------------------------------------------------------------
+
+/// Adaptive scheme choice (§6), run on the receiver where both sides'
+/// block statistics are known.
+pub fn adaptive_choose(
+    cfg: &MpiConfig,
+    size: u64,
+    snd_min: u64,
+    snd_median: u64,
+    rcv_min: u64,
+    rcv_median: u64,
+) -> Scheme {
+    let _ = (snd_min, rcv_min);
+    if size < cfg.adaptive_copy_reduced_min {
+        return Scheme::BcSpup;
+    }
+    if snd_median >= cfg.adaptive_multiw_block && rcv_median >= cfg.adaptive_multiw_block {
+        return Scheme::MultiW;
+    }
+    // Asymmetric cases (§5.2): a contiguous sender favours
+    // receiver-driven reads; a contiguous receiver favours gather
+    // writes.
+    if snd_median >= size {
+        return Scheme::PRrs;
+    }
+    if rcv_median >= size {
+        return Scheme::RwgUp;
+    }
+    if rcv_median >= cfg.adaptive_multiw_block {
+        // Large receiver blocks: unpack is cheap, gather write wins.
+        return Scheme::RwgUp;
+    }
+    Scheme::BcSpup
+}
+
+#[allow(clippy::too_many_arguments)]
+fn receiver_start(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    p: PostedRecv,
+    seq: u64,
+    size: u64,
+    scheme_wire: u8,
+    nsegs: u32,
+    seg_size: u64,
+    blk_min: u64,
+    blk_median: u64,
+) {
+    let proposal = Scheme::from_wire(scheme_wire).expect("bad scheme code");
+    let rstats = p.ty.flat().stats(p.count);
+    // Contiguous on both sides: the standard zero-copy rendezvous
+    // (§3.1) — one RDMA write from user buffer to user buffer,
+    // regardless of the configured datatype scheme. Multi-W with a
+    // single block is exactly that path.
+    let both_contiguous = size > 0 && blk_min >= size && rstats.min >= size;
+    let mut scheme = if both_contiguous {
+        Scheme::MultiW
+    } else {
+        match proposal {
+            Scheme::Adaptive => adaptive_choose(
+                ctx.cfg, size, blk_min, blk_median, rstats.min, rstats.median,
+            ),
+            s => s,
+        }
+    };
+    assert_eq!(
+        p.count * p.ty.size(),
+        size,
+        "type signature mismatch between send and receive"
+    );
+
+    let mut msg = RecvMsg {
+        req: p.req,
+        peer: p.peer,
+        seq,
+        buf: p.buf,
+        count: p.count,
+        ty: p.ty,
+        size,
+        scheme,
+        nsegs,
+        seg_size,
+        unpack_bufs: Vec::new(),
+        segs_arrived: 0,
+        segs_unpacked: 0,
+        user_regs: Vec::new(),
+        pending_reply: None,
+        reads_outstanding: 0,
+        segs_announced: 0,
+        packed_intervals: Vec::new(),
+        marker_seen: false,
+        completed: false,
+    };
+    am.imm_map.insert((p.peer, (seq & 0xFFFF) as u16), seq);
+
+    // Multi-W and Hybrid may not fit their reply into an eager buffer
+    // (a "complicated datatype" per §5.3); fall back to BC-SPUP.
+    if scheme == Scheme::MultiW {
+        let reply = build_multiw_reply(rs, ctx, &mut msg);
+        match reply {
+            Some(r) => {
+                let cost = receiver_reg_cost(rs, ctx, &mut msg);
+                msg.pending_reply = Some(r);
+                let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
+                ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
+                am.recvs.insert((msg.peer, seq), msg);
+                return;
+            }
+            None => {
+                scheme = Scheme::BcSpup;
+                msg.scheme = scheme;
+            }
+        }
+    }
+    if scheme == Scheme::Hybrid {
+        match build_hybrid_reply(rs, ctx, &mut msg) {
+            Some(r) => {
+                msg.pending_reply = Some(r);
+                let done = rs
+                    .cpu
+                    .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
+                ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
+                am.recvs.insert((msg.peer, seq), msg);
+                return;
+            }
+            None => {
+                scheme = Scheme::BcSpup;
+                msg.scheme = scheme;
+            }
+        }
+    }
+
+    match scheme {
+        Scheme::Generic => {
+            // One dynamic unpack buffer for the whole message.
+            let sb = acquire_stage(rs, ctx, size);
+            let reply = CtrlMsg::RndvReply {
+                seq,
+                scheme: scheme.to_wire(),
+                body: ReplyBody::Buffer {
+                    addr: sb.va,
+                    rkey: sb.rkey,
+                },
+            };
+            msg.unpack_bufs.push(sb);
+            msg.pending_reply = Some(reply.encode());
+            let done = rs
+                .cpu
+                .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
+            ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
+        }
+        Scheme::BcSpup | Scheme::RwgUp => {
+            let mut segs = Vec::with_capacity(nsegs as usize);
+            for _ in 0..nsegs {
+                let sb = acquire_unpack_seg(rs, ctx);
+                segs.push((sb.va, sb.rkey));
+                msg.unpack_bufs.push(sb);
+            }
+            let reply = CtrlMsg::RndvReply {
+                seq,
+                scheme: scheme.to_wire(),
+                body: ReplyBody::Segments { segs },
+            };
+            msg.pending_reply = Some(reply.encode());
+            let done = rs
+                .cpu
+                .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
+            ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
+        }
+        Scheme::PRrs => {
+            // Register the user buffer for scattered reads.
+            let cost = receiver_reg_cost(rs, ctx, &mut msg);
+            let reply = CtrlMsg::RndvReply {
+                seq,
+                scheme: scheme.to_wire(),
+                body: ReplyBody::ReadGo,
+            };
+            msg.pending_reply = Some(reply.encode());
+            let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
+            ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
+        }
+        Scheme::MultiW | Scheme::Hybrid | Scheme::Adaptive => unreachable!("resolved above"),
+    }
+    am.recvs.insert((msg.peer, seq), msg);
+}
+
+/// Registers the receiver's user buffer via OGR + pin-down cache;
+/// returns the host cost.
+fn receiver_reg_cost(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg) -> Time {
+    let blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
+    let plan = ogr::plan(&blocks, &ctx.host.reg);
+    let mut cost = 0;
+    for &(a, l) in &plan.regions {
+        let acq = rs
+            .pindown
+            .acquire(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, a, l);
+        cost += acq.cost_ns;
+        msg.user_regs.push(acq.reg);
+    }
+    cost
+}
+
+/// Builds the Multi-W reply, or `None` when it cannot fit an eager
+/// buffer.
+fn build_multiw_reply(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg) -> Option<Vec<u8>> {
+    let tag = rs.registry.register(&msg.ty);
+    let key = (msg.peer, tag.index, tag.version);
+    let layout = if rs.sent_layouts.contains(&key) {
+        None
+    } else {
+        Some(msg.ty.flat().as_ref().clone())
+    };
+    // Probe size before committing registrations.
+    let blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
+    let plan = ogr::plan(&blocks, &ctx.host.reg);
+    let probe = CtrlMsg::RndvReply {
+        seq: msg.seq,
+        scheme: Scheme::MultiW.to_wire(),
+        body: ReplyBody::MultiW {
+            base: msg.buf,
+            tag,
+            count: msg.count,
+            layout: layout.clone(),
+            regions: plan.regions.iter().map(|&(a, l)| (a, l, 0)).collect(),
+        },
+    }
+    .encode();
+    if probe.len() as u64 > ctx.cfg.eager_buf_size {
+        return None;
+    }
+    if layout.is_some() {
+        rs.sent_layouts.insert(key);
+    }
+    // Commit: register and fill in real rkeys.
+    let mut regions = Vec::with_capacity(plan.regions.len());
+    let mut cost = 0;
+    for &(a, l) in &plan.regions {
+        let acq = rs
+            .pindown
+            .acquire(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, a, l);
+        cost += acq.cost_ns;
+        msg.user_regs.push(acq.reg);
+        regions.push((a, l, acq.reg.rkey));
+    }
+    // The registration cost is charged by the caller through
+    // receiver_reg_cost's path; charge it here directly instead.
+    rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
+    Some(
+        CtrlMsg::RndvReply {
+            seq: msg.seq,
+            scheme: Scheme::MultiW.to_wire(),
+            body: ReplyBody::MultiW {
+                base: msg.buf,
+                tag,
+                count: msg.count,
+                layout,
+                regions,
+            },
+        }
+        .encode(),
+    )
+}
+
+/// Builds the Hybrid reply: registers the direct blocks, assigns
+/// unpack segments for the packed part, and records the partition on
+/// the receive message. Returns `None` when the reply cannot fit an
+/// eager buffer (fall back to BC-SPUP).
+fn build_hybrid_reply(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg) -> Option<Vec<u8>> {
+    let threshold = ctx.cfg.hybrid_block_threshold;
+    let blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
+    let lens: Vec<u64> = blocks.iter().map(|&(_, l)| l).collect();
+    let part = hybrid_partition(&lens, threshold);
+    let (nsegs_p, seg_size_p) = if part.packed_bytes == 0 {
+        (0u32, 1u64)
+    } else {
+        let ss = ctx.cfg.segment_size(part.packed_bytes).min(ctx.cfg.max_seg_size);
+        (part.packed_bytes.div_ceil(ss) as u32, ss)
+    };
+
+    let tag = rs.registry.register(&msg.ty);
+    let key = (msg.peer, tag.index, tag.version);
+    let layout = if rs.sent_layouts.contains(&key) {
+        None
+    } else {
+        Some(msg.ty.flat().as_ref().clone())
+    };
+    // Probe the reply size with placeholder keys before committing.
+    let direct_blocks: Vec<(Va, u64)> = blocks
+        .iter()
+        .copied()
+        .filter(|&(_, l)| l >= threshold)
+        .collect();
+    let plan = ogr::plan(&direct_blocks, &ctx.host.reg);
+    let probe = CtrlMsg::RndvReply {
+        seq: msg.seq,
+        scheme: Scheme::Hybrid.to_wire(),
+        body: ReplyBody::Hybrid {
+            base: msg.buf,
+            tag,
+            count: msg.count,
+            layout: layout.clone(),
+            regions: plan.regions.iter().map(|&(a, l)| (a, l, 0)).collect(),
+            segs: vec![(0, 0); nsegs_p as usize],
+            threshold,
+        },
+    }
+    .encode();
+    if probe.len() as u64 > ctx.cfg.eager_buf_size {
+        return None;
+    }
+    if layout.is_some() {
+        rs.sent_layouts.insert(key);
+    }
+    // Commit: register direct regions, acquire unpack segments.
+    let mut regions = Vec::with_capacity(plan.regions.len());
+    let mut cost = 0;
+    for &(a, l) in &plan.regions {
+        let acq = rs
+            .pindown
+            .acquire(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, a, l);
+        cost += acq.cost_ns;
+        msg.user_regs.push(acq.reg);
+        regions.push((a, l, acq.reg.rkey));
+    }
+    rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
+    let mut segs = Vec::with_capacity(nsegs_p as usize);
+    for _ in 0..nsegs_p {
+        let sb = acquire_unpack_seg(rs, ctx);
+        segs.push((sb.va, sb.rkey));
+        msg.unpack_bufs.push(sb);
+    }
+    msg.nsegs = nsegs_p;
+    msg.seg_size = seg_size_p;
+    msg.packed_intervals = part.packed;
+    Some(
+        CtrlMsg::RndvReply {
+            seq: msg.seq,
+            scheme: Scheme::Hybrid.to_wire(),
+            body: ReplyBody::Hybrid {
+                base: msg.buf,
+                tag,
+                count: msg.count,
+                layout,
+                regions,
+                segs,
+                threshold,
+            },
+        }
+        .encode(),
+    )
+}
+
+/// A data segment (or whole message) arrived, announced by immediate
+/// data.
+fn on_segment_arrival(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    imm: u32,
+    _byte_len: u64,
+) {
+    let (seq16, k) = imm_parse(imm);
+    let Some(&seq) = am.imm_map.get(&(peer, seq16)) else {
+        panic!("segment arrival for unknown message (peer {peer}, seq16 {seq16})");
+    };
+    let msg = am.recvs.get_mut(&(peer, seq)).expect("imm_map points at live recv");
+    msg.segs_arrived += 1;
+    match msg.scheme {
+        Scheme::Generic => {
+            // Whole message in unpack_bufs[0]: unpack it all.
+            let seg = Segment::new(&msg.ty, msg.count);
+            let data = ctx.mems[rs.rank as usize]
+                .space
+                .read(msg.unpack_bufs[0].va, msg.size)
+                .expect("unpack buffer readable");
+            unpack_from_slice(ctx, rs.rank, &seg, msg.buf, 0, msg.size, &data);
+            let (blocks, _) = seg.block_count_in(0, msg.size).expect("range valid");
+            let cost = ctx.host.copy_ns(blocks.max(1), msg.size);
+            rs.counters.bytes_unpacked += msg.size;
+            let done = rs.cpu.reserve_labeled(ctx.now(), cost, "unpack");
+            ctx.cpu_event(done, rs.rank, CpuAct::UnpackAll { peer, seq });
+        }
+        Scheme::BcSpup | Scheme::RwgUp => {
+            if ctx.cfg.segment_unpack || msg.scheme == Scheme::BcSpup {
+                unpack_segment(rs, ctx, msg, k);
+            } else if msg.segs_arrived == msg.nsegs {
+                // Fig. 12 ablation: unpack everything only after the
+                // last segment arrived.
+                let mut total_cost = 0;
+                for kk in 0..msg.nsegs {
+                    total_cost += unpack_segment_cost_and_do(rs, ctx, msg, kk);
+                }
+                rs.counters.bytes_unpacked += msg.size;
+                let done = rs.cpu.reserve_labeled(ctx.now(), total_cost, "unpack");
+                ctx.cpu_event(done, rs.rank, CpuAct::UnpackAll { peer, seq });
+            }
+        }
+        Scheme::MultiW => {
+            // Zero-copy: data is already in place; the immediate on the
+            // last write is the completion notification.
+            receiver_complete(rs, am, ctx, peer, seq);
+        }
+        Scheme::Hybrid => {
+            if k == MARKER_K {
+                msg.marker_seen = true;
+                if msg.segs_unpacked == msg.nsegs {
+                    receiver_complete(rs, am, ctx, peer, seq);
+                }
+            } else {
+                hybrid_unpack_segment(rs, ctx, msg, k);
+            }
+        }
+        Scheme::PRrs | Scheme::Adaptive => {
+            panic!("unexpected segment arrival for scheme {:?}", msg.scheme)
+        }
+    }
+}
+
+/// Unpacks segment `k` (functional now) and schedules the completion.
+fn unpack_segment(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg, k: u32) {
+    let cost = unpack_segment_cost_and_do(rs, ctx, msg, k);
+    let len = seg_len_r(msg, k);
+    rs.counters.bytes_unpacked += len;
+    let done = rs.cpu.reserve_labeled(ctx.now(), cost, "unpack");
+    ctx.cpu_event(
+        done,
+        rs.rank,
+        CpuAct::UnpackSeg {
+            peer: msg.peer,
+            seq: msg.seq,
+            k,
+        },
+    );
+}
+
+/// Performs the functional unpack of segment `k`, returning its cost.
+fn unpack_segment_cost_and_do(
+    rs: &mut RankState,
+    ctx: &mut Ctx<'_, '_>,
+    msg: &mut RecvMsg,
+    k: u32,
+) -> Time {
+    let rank = rs.rank;
+    let seg = Segment::new(&msg.ty, msg.count);
+    let lo = k as u64 * msg.seg_size;
+    let hi = (lo + msg.seg_size).min(msg.size);
+    let data = ctx.mems[rank as usize]
+        .space
+        .read(msg.unpack_bufs[k as usize].va, hi - lo)
+        .expect("unpack buffer readable");
+    unpack_from_slice(ctx, rank, &seg, msg.buf, lo, hi, &data);
+    let (blocks, _) = seg.block_count_in(lo, hi).expect("range valid");
+    ctx.host.copy_ns(blocks.max(1), hi - lo)
+}
+
+fn seg_len_r(msg: &RecvMsg, k: u32) -> u64 {
+    let lo = k as u64 * msg.seg_size;
+    ((lo + msg.seg_size).min(msg.size)) - lo
+}
+
+/// Unpacks Hybrid packed segment `k` from its pool buffer into the
+/// small-block stream intervals it covers.
+fn hybrid_unpack_segment(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg, k: u32) {
+    let packed_bytes: u64 = msg.packed_intervals.iter().map(|&(a, b)| b - a).sum();
+    let lo = k as u64 * msg.seg_size;
+    let hi = (lo + msg.seg_size).min(packed_bytes);
+    let data = ctx.mems[rs.rank as usize]
+        .space
+        .read(msg.unpack_bufs[k as usize].va, hi - lo)
+        .expect("unpack buffer readable");
+    let stream_ivs = substream_to_stream(&msg.packed_intervals, lo, hi);
+    let seg = Segment::new(&msg.ty, msg.count);
+    let mut cursor = 0usize;
+    let mut blocks = 0usize;
+    for &(a, b) in &stream_ivs {
+        let n = (b - a) as usize;
+        unpack_from_slice(ctx, rs.rank, &seg, msg.buf, a, b, &data[cursor..cursor + n]);
+        cursor += n;
+        let (nb, _) = seg.block_count_in(a, b).expect("range valid");
+        blocks += nb;
+    }
+    rs.counters.bytes_unpacked += hi - lo;
+    let cost = ctx.host.copy_ns(blocks.max(1), hi - lo);
+    let done = rs.cpu.reserve_labeled(ctx.now(), cost, "unpack");
+    ctx.cpu_event(
+        done,
+        rs.rank,
+        CpuAct::UnpackSeg {
+            peer: msg.peer,
+            seq: msg.seq,
+            k,
+        },
+    );
+}
+
+fn receiver_complete(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32, seq: u64) {
+    let Some(mut msg) = am.recvs.remove(&(peer, seq)) else {
+        return;
+    };
+    if msg.completed {
+        return;
+    }
+    msg.completed = true;
+    am.imm_map.remove(&(peer, (seq & 0xFFFF) as u16));
+    release_stage_bufs(rs, ctx, &msg.unpack_bufs, true);
+    let mut cost = 0;
+    for r in &msg.user_regs {
+        cost += rs
+            .pindown
+            .release(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, r.lkey)
+            .expect("release of acquired registration");
+    }
+    if cost > 0 {
+        rs.cpu.reserve_labeled(ctx.now(), cost, "dereg");
+    }
+    if msg.scheme == Scheme::PRrs {
+        // Tell the sender its pack buffers are free.
+        send_ctrl(rs, ctx, peer, CtrlMsg::Fin { seq }.encode(), 0);
+    }
+    rs.complete_req(msg.req);
+}
+
+/// P-RRS: a packed segment is available on the sender; issue reads.
+#[allow(clippy::too_many_arguments)]
+fn receiver_on_seg_ready(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    seq: u64,
+    k: u32,
+    addr: Va,
+    rkey: u32,
+    len: u64,
+) {
+    let Some(msg) = am.recvs.get_mut(&(peer, seq)) else {
+        panic!("SegReady for unknown message");
+    };
+    msg.segs_announced += 1;
+    let lo = k as u64 * msg.seg_size;
+    let hi = lo + len;
+    let segm = Segment::new(&msg.ty, msg.count);
+    let mut blocks: Vec<(Va, u64)> = Vec::new();
+    segm.for_each_block(lo, hi, |off, l| {
+        blocks.push(((msg.buf as i64 + off) as u64, l));
+    })
+    .expect("range valid");
+    let chunks = chunk_gather(&blocks, ctx.net.max_sge);
+    let mut src_off = 0u64;
+    let n = chunks.len();
+    let mut wrs = Vec::with_capacity(n);
+    for (sges, clen) in chunks {
+        let sges = sges
+            .into_iter()
+            .map(|(a, l)| Sge {
+                addr: a,
+                len: l,
+                lkey: lkey_for(&msg.user_regs, a, l),
+            })
+            .collect();
+        wrs.push(SendWr {
+            wr_id: WR_READ | seq,
+            opcode: Opcode::RdmaRead,
+            sges,
+            remote: Some((addr + src_off, rkey)),
+            signaled: true,
+        });
+        src_off += clen;
+    }
+    msg.reads_outstanding += n as u32;
+    rs.counters.data_wrs += n as u64;
+    for wr in wrs {
+        let ready = rs
+            .cpu
+            .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
+        ctx.post_send(ready, rs.rank, peer, wr);
+    }
+}
+
+fn receiver_read_done(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32, seq: u64) {
+    let Some(msg) = am.recvs.get_mut(&(peer, seq)) else {
+        return;
+    };
+    msg.reads_outstanding -= 1;
+    if msg.reads_outstanding == 0 && msg.segs_announced == msg.nsegs {
+        receiver_complete(rs, am, ctx, peer, seq);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sender side
+// ---------------------------------------------------------------------
+
+fn sender_on_reply(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    seq: u64,
+    scheme_wire: u8,
+    body: ReplyBody,
+) {
+    let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
+        panic!("rendezvous reply for unknown message");
+    };
+    let reply_scheme = Scheme::from_wire(scheme_wire).expect("bad scheme code");
+    let proposed = msg.scheme;
+    msg.scheme = reply_scheme;
+
+    msg.targets = Some(match body {
+        ReplyBody::Buffer { addr, rkey } => SendTargets::Buffer { addr, rkey },
+        ReplyBody::Segments { segs } => SendTargets::Segments(segs),
+        ReplyBody::ReadGo => SendTargets::ReadGo,
+        ReplyBody::MultiW {
+            base,
+            tag,
+            count,
+            layout,
+            regions,
+        } => {
+            let layout: Arc<FlatLayout> = match layout {
+                Some(l) => {
+                    let l = Arc::new(l);
+                    rs.layout_cache.insert(peer, tag, l.clone());
+                    l
+                }
+                None => rs
+                    .layout_cache
+                    .lookup(peer, tag)
+                    .expect("receiver promised a cached layout"),
+            };
+            let rcv_blocks = layout
+                .repeat(count)
+                .into_iter()
+                .map(|(o, l)| ((base as i64 + o) as u64, l))
+                .collect();
+            SendTargets::MultiW {
+                rcv_blocks,
+                regions,
+            }
+        }
+        ReplyBody::Hybrid {
+            base,
+            tag,
+            count,
+            layout,
+            regions,
+            segs,
+            threshold,
+        } => {
+            let layout: Arc<FlatLayout> = match layout {
+                Some(l) => {
+                    let l = Arc::new(l);
+                    rs.layout_cache.insert(peer, tag, l.clone());
+                    l
+                }
+                None => rs
+                    .layout_cache
+                    .lookup(peer, tag)
+                    .expect("receiver promised a cached layout"),
+            };
+            let rcv_blocks: Vec<(Va, u64)> = layout
+                .repeat(count)
+                .into_iter()
+                .map(|(o, l)| ((base as i64 + o) as u64, l))
+                .collect();
+            let lens: Vec<u64> = rcv_blocks.iter().map(|&(_, l)| l).collect();
+            let part = hybrid_partition(&lens, threshold);
+            // Each direct interval corresponds to one receiver block;
+            // pair them up by walking the blocks again.
+            let mut direct = Vec::with_capacity(part.direct.len());
+            let mut pos = 0u64;
+            for &(a, l) in &rcv_blocks {
+                if l >= threshold {
+                    direct.push((pos, pos + l, a));
+                }
+                pos += l;
+            }
+            debug_assert_eq!(direct.len(), part.direct.len());
+            let seg_size_p = if part.packed_bytes == 0 {
+                1
+            } else {
+                ctx.cfg
+                    .segment_size(part.packed_bytes)
+                    .min(ctx.cfg.max_seg_size)
+            };
+            msg.nsegs = segs.len() as u32;
+            msg.seg_size = seg_size_p;
+            msg.hybrid = Some(HybridSend {
+                packed_intervals: part.packed,
+                direct,
+                segs,
+                regions,
+                direct_posted: false,
+                marker_posted: false,
+            });
+            SendTargets::HybridReady
+        }
+    });
+
+    let _ = proposed;
+    // Ensure the early work matching the *reply's* scheme is running —
+    // the receiver may have picked differently (adaptive decision,
+    // Multi-W fallback, or the zero-copy contiguous path).
+    match msg.scheme {
+        Scheme::Generic => {
+            if msg.pack_bufs.is_empty() {
+                let sb = acquire_stage(rs, ctx, msg.size);
+                msg.pack_bufs.push(sb);
+                msg.nsegs = 1;
+                msg.seg_size = msg.size;
+                start_pack_chain(rs, ctx, &mut msg);
+            }
+        }
+        Scheme::PRrs if msg.contig => {
+            // Contiguous sender: no packing at all — the receiver reads
+            // straight out of the registered user buffer (§5.2's
+            // asymmetric case, where P-RRS shines).
+            if !msg.reg_done && msg.user_regs.is_empty() {
+                sender_register(rs, ctx, &mut msg);
+            }
+        }
+        Scheme::BcSpup | Scheme::PRrs => {
+            if msg.pack_bufs.is_empty() {
+                // Segmentation is unchanged — nsegs/seg_size were in
+                // the start message and the receiver echoes them.
+                assign_pack_bufs(rs, ctx, &mut msg);
+                start_pack_chain(rs, ctx, &mut msg);
+            }
+        }
+        Scheme::RwgUp | Scheme::MultiW => {
+            if !msg.reg_done && msg.user_regs.is_empty() {
+                sender_register(rs, ctx, &mut msg);
+            }
+        }
+        Scheme::Hybrid => {
+            // hybrid_register runs when the reply body is decoded.
+        }
+        Scheme::Adaptive => unreachable!("reply always carries a concrete scheme"),
+    }
+
+    if msg.scheme == Scheme::Hybrid {
+        hybrid_register(rs, ctx, &mut msg);
+    }
+    try_post_ready(rs, ctx, &mut msg);
+    am.sends.insert((peer, seq), msg);
+}
+
+/// Registers exactly the sender blocks that feed Hybrid direct writes
+/// (the packed part travels through pool buffers and needs no user
+/// registration). Sets `reg_done` synchronously when nothing needs
+/// pinning.
+fn hybrid_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) {
+    let Some(hy) = msg.hybrid.as_ref() else {
+        return;
+    };
+    let seg = Segment::new(&msg.ty, msg.count);
+    let mut blocks: Vec<(Va, u64)> = Vec::new();
+    for &(lo, hi, _) in &hy.direct {
+        seg.for_each_block(lo, hi, |off, l| {
+            blocks.push(((msg.buf as i64 + off) as u64, l));
+        })
+        .expect("range valid");
+    }
+    // Drop blocks already covered by registrations acquired earlier
+    // (e.g. the contiguous-sender fast path).
+    blocks.retain(|&(a, l)| !msg.user_regs.iter().any(|r| r.covers(a, l)));
+    if blocks.is_empty() {
+        // Prediction covered everything (or no direct part): posting
+        // may proceed as soon as any in-flight registration completes.
+        if msg.user_regs.is_empty() {
+            msg.reg_done = true;
+        }
+        return;
+    }
+    // The receiver's partition needs more coverage than predicted.
+    msg.reg_done = false;
+    let plan = ogr::plan(&blocks, &ctx.host.reg);
+    let mut cost = 0;
+    for &(a, l) in &plan.regions {
+        let acq = rs
+            .pindown
+            .acquire(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, a, l);
+        cost += acq.cost_ns;
+        msg.user_regs.push(acq.reg);
+    }
+    let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
+    ctx.cpu_event(
+        done,
+        rs.rank,
+        CpuAct::SenderRegDone {
+            peer: msg.peer,
+            seq: msg.seq,
+        },
+    );
+}
+
+/// Registers the sender's user buffer via OGR (RWG-UP / Multi-W).
+fn sender_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) {
+    let blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
+    let plan = ogr::plan(&blocks, &ctx.host.reg);
+    let mut cost = 0;
+    for &(a, l) in &plan.regions {
+        let acq = rs
+            .pindown
+            .acquire(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, a, l);
+        cost += acq.cost_ns;
+        msg.user_regs.push(acq.reg);
+    }
+    let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
+    ctx.cpu_event(
+        done,
+        rs.rank,
+        CpuAct::SenderRegDone {
+            peer: msg.peer,
+            seq: msg.seq,
+        },
+    );
+}
+
+/// Assigns pack staging buffers for all segments.
+fn assign_pack_bufs(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) {
+    for _ in 0..msg.nsegs {
+        let sb = acquire_pack_seg(rs, ctx);
+        msg.pack_bufs.push(sb);
+    }
+}
+
+/// Starts (or continues) the sender's pack chain: one segment at a time
+/// on the CPU, so posting interleaves with packing (§4.3.1 pipelining).
+fn start_pack_chain(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) {
+    if msg.pack_chain_running || msg.packed >= msg.nsegs {
+        return;
+    }
+    if msg.scheme == Scheme::Hybrid {
+        hybrid_pack_next(rs, ctx, msg);
+        return;
+    }
+    let k = msg.packed;
+    let seg = Segment::new(&msg.ty, msg.count);
+    let lo = k as u64 * msg.seg_size;
+    let hi = (lo + msg.seg_size).min(msg.size);
+    let data = pack_to_vec(ctx, rs.rank, &seg, msg.buf, lo, hi);
+    ctx.mems[rs.rank as usize]
+        .space
+        .write(msg.pack_bufs[k as usize].va, &data)
+        .expect("pack buffer writable");
+    let (blocks, _) = seg.block_count_in(lo, hi).expect("range valid");
+    let cost = ctx.host.copy_ns(blocks.max(1), hi - lo);
+    let done = rs.cpu.reserve_labeled(ctx.now(), cost, "pack");
+    msg.pack_chain_running = true;
+    ctx.cpu_event(
+        done,
+        rs.rank,
+        CpuAct::PackSeg {
+            peer: msg.peer,
+            seq: msg.seq,
+            k,
+        },
+    );
+}
+
+/// Packs the next segment of the Hybrid packed substream: gathers the
+/// small-block stream intervals covering `[k*S, (k+1)*S)` of the
+/// substream into a pool buffer.
+fn hybrid_pack_next(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) {
+    let Some(hy) = msg.hybrid.as_ref() else {
+        return; // partition unknown until the reply arrives
+    };
+    if msg.pack_bufs.is_empty() {
+        return; // buffers assigned when direct writes go out
+    }
+    let k = msg.packed;
+    let packed_bytes: u64 = hy.packed_intervals.iter().map(|&(a, b)| b - a).sum();
+    let lo = k as u64 * msg.seg_size;
+    let hi = (lo + msg.seg_size).min(packed_bytes);
+    let stream_ivs = substream_to_stream(&hy.packed_intervals, lo, hi);
+    let seg = Segment::new(&msg.ty, msg.count);
+    let mut data = Vec::with_capacity((hi - lo) as usize);
+    let mut blocks = 0usize;
+    for &(a, b) in &stream_ivs {
+        let piece = pack_to_vec(ctx, rs.rank, &seg, msg.buf, a, b);
+        data.extend_from_slice(&piece);
+        let (nb, _) = seg.block_count_in(a, b).expect("range valid");
+        blocks += nb;
+    }
+    debug_assert_eq!(data.len() as u64, hi - lo);
+    ctx.mems[rs.rank as usize]
+        .space
+        .write(msg.pack_bufs[k as usize].va, &data)
+        .expect("pack buffer writable");
+    let cost = ctx.host.copy_ns(blocks.max(1), hi - lo);
+    let done = rs.cpu.reserve_labeled(ctx.now(), cost, "pack");
+    msg.pack_chain_running = true;
+    ctx.cpu_event(
+        done,
+        rs.rank,
+        CpuAct::PackSeg {
+            peer: msg.peer,
+            seq: msg.seq,
+            k,
+        },
+    );
+}
+
+fn seg_len(msg: &SendMsg, k: u32) -> u64 {
+    let lo = k as u64 * msg.seg_size;
+    ((lo + msg.seg_size).min(msg.size)) - lo
+}
+
+/// Posts whatever data the current state allows.
+fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) {
+    match (&msg.targets, msg.scheme) {
+        (None, _) => {}
+        (Some(SendTargets::Buffer { addr, rkey }), Scheme::Generic) => {
+            if msg.packed == msg.nsegs && msg.posted_segs == 0 {
+                // Whole message packed into pack_bufs (one buffer per
+                // segment — Generic uses a single whole-size buffer).
+                debug_assert_eq!(msg.nsegs, 1, "Generic packs whole messages");
+                let sb = msg.pack_bufs[0];
+                let ready = rs
+                    .cpu
+                    .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
+                let wr = SendWr {
+                    wr_id: WR_DATA | msg.seq,
+                    opcode: Opcode::RdmaWriteImm(imm_of(msg.seq, 0)),
+                    sges: vec![Sge {
+                        addr: sb.va,
+                        len: msg.size,
+                        lkey: sb.lkey,
+                    }],
+                    remote: Some((*addr, *rkey)),
+                    signaled: true,
+                };
+                rs.counters.data_wrs += 1;
+                ctx.post_send(ready, rs.rank, msg.peer, wr);
+                msg.posted_segs = 1;
+            }
+        }
+        (Some(SendTargets::Segments(segs)), Scheme::BcSpup) => {
+            let segs = segs.clone();
+            while msg.posted_segs < msg.packed {
+                let k = msg.posted_segs;
+                let sb = msg.pack_bufs[k as usize];
+                let len = seg_len(msg, k);
+                let ready = rs
+                    .cpu
+                    .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
+                let wr = SendWr {
+                    wr_id: WR_DATA | msg.seq,
+                    opcode: Opcode::RdmaWriteImm(imm_of(msg.seq, k)),
+                    sges: vec![Sge {
+                        addr: sb.va,
+                        len,
+                        lkey: sb.lkey,
+                    }],
+                    remote: Some((segs[k as usize].0, segs[k as usize].1)),
+                    signaled: k == msg.nsegs - 1,
+                };
+                rs.counters.data_wrs += 1;
+                ctx.post_send(ready, rs.rank, msg.peer, wr);
+                msg.posted_segs += 1;
+            }
+        }
+        (Some(SendTargets::Segments(segs)), Scheme::RwgUp) => {
+            if !msg.reg_done || msg.posted_segs > 0 {
+                return;
+            }
+            let segs = segs.clone();
+            let seg = Segment::new(&msg.ty, msg.count);
+            for k in 0..msg.nsegs {
+                let lo = k as u64 * msg.seg_size;
+                let hi = (lo + msg.seg_size).min(msg.size);
+                let mut blocks: Vec<(Va, u64)> = Vec::new();
+                seg.for_each_block(lo, hi, |off, l| {
+                    blocks.push(((msg.buf as i64 + off) as u64, l));
+                })
+                .expect("range valid");
+                let chunks = chunk_gather(&blocks, ctx.net.max_sge);
+                let nchunks = chunks.len();
+                let mut dst_off = 0u64;
+                for (ci, (raw_sges, clen)) in chunks.into_iter().enumerate() {
+                    let sges = raw_sges
+                        .into_iter()
+                        .map(|(a, l)| Sge {
+                            addr: a,
+                            len: l,
+                            lkey: lkey_for(&msg.user_regs, a, l),
+                        })
+                        .collect();
+                    let last_chunk = ci == nchunks - 1;
+                    let wr = SendWr {
+                        wr_id: WR_DATA | msg.seq,
+                        opcode: if last_chunk {
+                            Opcode::RdmaWriteImm(imm_of(msg.seq, k))
+                        } else {
+                            Opcode::RdmaWrite
+                        },
+                        sges,
+                        remote: Some((segs[k as usize].0 + dst_off, segs[k as usize].1)),
+                        signaled: last_chunk && k == msg.nsegs - 1,
+                    };
+                    dst_off += clen;
+                    rs.counters.data_wrs += 1;
+                    let ready = rs
+                        .cpu
+                        .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
+                    ctx.post_send(ready, rs.rank, msg.peer, wr);
+                }
+            }
+            msg.posted_segs = msg.nsegs;
+        }
+        (Some(SendTargets::ReadGo), Scheme::PRrs) if msg.contig => {
+            // Announce segments pointing directly into the registered
+            // user buffer; nothing was packed.
+            if !msg.reg_done || msg.posted_segs > 0 {
+                return;
+            }
+            let base = msg.buf as i64 + msg.ty.true_lb();
+            for k in 0..msg.nsegs {
+                let addr = (base + (k as u64 * msg.seg_size) as i64) as Va;
+                let len = seg_len(msg, k);
+                let rkey = msg
+                    .user_regs
+                    .iter()
+                    .find(|r| r.covers(addr, len))
+                    .expect("registration covers the contiguous buffer")
+                    .rkey;
+                let ready = CtrlMsg::SegReady {
+                    seq: msg.seq,
+                    k,
+                    addr,
+                    rkey,
+                    len,
+                };
+                send_ctrl(rs, ctx, msg.peer, ready.encode(), 0);
+            }
+            msg.posted_segs = msg.nsegs;
+        }
+        (Some(SendTargets::ReadGo), Scheme::PRrs) => {
+            while msg.posted_segs < msg.packed {
+                let k = msg.posted_segs;
+                let sb = msg.pack_bufs[k as usize];
+                let ready = CtrlMsg::SegReady {
+                    seq: msg.seq,
+                    k,
+                    addr: sb.va,
+                    rkey: sb.rkey,
+                    len: seg_len(msg, k),
+                };
+                send_ctrl(rs, ctx, msg.peer, ready.encode(), 0);
+                msg.posted_segs += 1;
+            }
+        }
+        (Some(SendTargets::MultiW { rcv_blocks, regions }), Scheme::MultiW) => {
+            if !msg.reg_done || msg.posted_segs > 0 {
+                return;
+            }
+            let snd_blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
+            let plan = plan_multi_w(&snd_blocks, rcv_blocks, ctx.net.max_sge);
+            let n = plan.len();
+            assert!(n > 0, "rendezvous messages are never empty");
+            let wrs: Vec<SendWr> = plan
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let sges = p
+                        .sges
+                        .iter()
+                        .map(|&(a, l)| Sge {
+                            addr: a,
+                            len: l,
+                            lkey: lkey_for(&msg.user_regs, a, l),
+                        })
+                        .collect();
+                    let rkey = region_key(regions, p.dst, p.len);
+                    let last = i == n - 1;
+                    SendWr {
+                        wr_id: WR_DATA | msg.seq,
+                        opcode: if last {
+                            Opcode::RdmaWriteImm(imm_of(msg.seq, 0))
+                        } else {
+                            Opcode::RdmaWrite
+                        },
+                        sges,
+                        remote: Some((p.dst, rkey)),
+                        signaled: last,
+                    }
+                })
+                .collect();
+            rs.counters.data_wrs += n as u64;
+            if ctx.cfg.list_post {
+                let ready = rs
+                    .cpu
+                    .reserve_labeled(ctx.now(), ctx.net.post_list_ns(n), "post");
+                ctx.post_send_list(ready, rs.rank, msg.peer, wrs);
+            } else {
+                for wr in wrs {
+                    let ready = rs
+                        .cpu
+                        .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
+                    ctx.post_send(ready, rs.rank, msg.peer, wr);
+                }
+            }
+            msg.posted_segs = msg.nsegs;
+        }
+        (Some(SendTargets::HybridReady), Scheme::Hybrid) => {
+            hybrid_try_post(rs, ctx, msg);
+        }
+        (Some(t), s) => panic!("targets {t:?} inconsistent with scheme {s:?}"),
+    }
+}
+
+/// Hybrid posting: direct gather writes once registration is done, then
+/// packed segments as they become ready, then the completion marker.
+fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) {
+    if !msg.reg_done {
+        return;
+    }
+    let Some(mut hy) = msg.hybrid.take() else {
+        return;
+    };
+    let seg = Segment::new(&msg.ty, msg.count);
+    if !hy.direct_posted {
+        hy.direct_posted = true;
+        let mut wrs: Vec<SendWr> = Vec::new();
+        for &(lo, hi, dst) in &hy.direct {
+            let mut blocks: Vec<(Va, u64)> = Vec::new();
+            seg.for_each_block(lo, hi, |off, l| {
+                blocks.push(((msg.buf as i64 + off) as u64, l));
+            })
+            .expect("range valid");
+            let chunks = chunk_gather(&blocks, ctx.net.max_sge);
+            let mut dst_off = 0u64;
+            for (raw_sges, clen) in chunks {
+                let sges = raw_sges
+                    .into_iter()
+                    .map(|(a, l)| Sge {
+                        addr: a,
+                        len: l,
+                        lkey: lkey_for(&msg.user_regs, a, l),
+                    })
+                    .collect();
+                let rkey = region_key(&hy.regions, dst + dst_off, clen);
+                wrs.push(SendWr {
+                    wr_id: WR_DATA | msg.seq,
+                    opcode: Opcode::RdmaWrite,
+                    sges,
+                    remote: Some((dst + dst_off, rkey)),
+                    signaled: false,
+                });
+                dst_off += clen;
+            }
+        }
+        rs.counters.data_wrs += wrs.len() as u64;
+        if ctx.cfg.list_post {
+            let n = wrs.len();
+            if n > 0 {
+                let ready = rs
+                    .cpu
+                    .reserve_labeled(ctx.now(), ctx.net.post_list_ns(n), "post");
+                ctx.post_send_list(ready, rs.rank, msg.peer, wrs);
+            }
+        } else {
+            for wr in wrs {
+                let ready = rs
+                    .cpu
+                    .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
+                ctx.post_send(ready, rs.rank, msg.peer, wr);
+            }
+        }
+        // Kick off packing of the small-block substream (if any).
+        if msg.nsegs > 0 && msg.pack_bufs.is_empty() {
+            for _ in 0..msg.nsegs {
+                let sb = acquire_pack_seg(rs, ctx);
+                msg.pack_bufs.push(sb);
+            }
+        }
+    }
+    // Post packed segments that are ready, in order.
+    let packed_bytes: u64 = hy.packed_intervals.iter().map(|&(a, b)| b - a).sum();
+    while msg.posted_segs < msg.packed {
+        let k = msg.posted_segs;
+        let lo = k as u64 * msg.seg_size;
+        let hi = (lo + msg.seg_size).min(packed_bytes);
+        let sb = msg.pack_bufs[k as usize];
+        let ready = rs
+            .cpu
+            .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
+        let wr = SendWr {
+            wr_id: WR_DATA | msg.seq,
+            opcode: Opcode::RdmaWriteImm(imm_of(msg.seq, k)),
+            sges: vec![Sge {
+                addr: sb.va,
+                len: hi - lo,
+                lkey: sb.lkey,
+            }],
+            remote: Some((hy.segs[k as usize].0, hy.segs[k as usize].1)),
+            signaled: false,
+        };
+        rs.counters.data_wrs += 1;
+        ctx.post_send(ready, rs.rank, msg.peer, wr);
+        msg.posted_segs += 1;
+    }
+    // Everything out: send the completion marker (ordered last on the
+    // QP, so its arrival implies all data landed).
+    if !hy.marker_posted && msg.posted_segs == msg.nsegs {
+        hy.marker_posted = true;
+        let (maddr, mrkey) = if let Some(&(a, k)) = hy.segs.first() {
+            (a, k)
+        } else {
+            let &(a, _, k) = hy.regions.first().expect("non-empty message has a target");
+            (a, k)
+        };
+        let ready = rs
+            .cpu
+            .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
+        let wr = SendWr {
+            wr_id: WR_DATA | msg.seq,
+            opcode: Opcode::RdmaWriteImm(imm_of(msg.seq, MARKER_K)),
+            sges: Vec::new(),
+            remote: Some((maddr, mrkey)),
+            signaled: true,
+        };
+        rs.counters.data_wrs += 1;
+        ctx.post_send(ready, rs.rank, msg.peer, wr);
+    }
+    msg.hybrid = Some(hy);
+    // Keep the packed-substream pack chain moving (it posts each
+    // segment back through here as it completes).
+    start_pack_chain(rs, ctx, msg);
+}
+
+/// Local completion of the (last) data WR of a rendezvous send.
+fn sender_data_done(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32, seq: u64) {
+    let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
+        return;
+    };
+    debug_assert!(!msg.completed);
+    msg.completed = true;
+    sender_release(rs, ctx, &mut msg);
+    rs.complete_req(msg.req);
+}
+
+/// P-RRS completion: the receiver has read everything.
+fn sender_on_fin(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32, seq: u64) {
+    let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
+        panic!("Fin for unknown message");
+    };
+    debug_assert!(!msg.completed);
+    msg.completed = true;
+    sender_release(rs, ctx, &mut msg);
+    rs.complete_req(msg.req);
+}
+
+fn sender_release(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) {
+    release_stage_bufs(rs, ctx, &msg.pack_bufs, false);
+    let mut cost = 0;
+    for r in &msg.user_regs {
+        cost += rs
+            .pindown
+            .release(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, r.lkey)
+            .expect("release of acquired registration");
+    }
+    if cost > 0 {
+        rs.cpu.reserve_labeled(ctx.now(), cost, "dereg");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Staging buffers (pool with dynamic fallback, §4.3.3)
+// ---------------------------------------------------------------------
+
+fn acquire_pack_seg(rs: &mut RankState, ctx: &mut Ctx<'_, '_>) -> StageBuf {
+    match rs.pack_pool.acquire() {
+        Some(va) => StageBuf {
+            va,
+            len: rs.pack_pool.seg_size(),
+            lkey: rs.pack_pool.lkey(),
+            rkey: rs.pack_pool.rkey(),
+            dynamic: false,
+        },
+        None => {
+            rs.counters.pool_fallbacks += 1;
+            acquire_stage(rs, ctx, ctx.cfg.max_seg_size)
+        }
+    }
+}
+
+fn acquire_unpack_seg(rs: &mut RankState, ctx: &mut Ctx<'_, '_>) -> StageBuf {
+    match rs.unpack_pool.acquire() {
+        Some(va) => StageBuf {
+            va,
+            len: rs.unpack_pool.seg_size(),
+            lkey: rs.unpack_pool.lkey(),
+            rkey: rs.unpack_pool.rkey(),
+            dynamic: false,
+        },
+        None => {
+            rs.counters.pool_fallbacks += 1;
+            acquire_stage(rs, ctx, ctx.cfg.max_seg_size)
+        }
+    }
+}
+
+/// Dynamically allocates and registers a staging buffer of `size`
+/// bytes (the Generic scheme's per-operation buffers, and the pool
+/// fallback). Memory is recycled through a freelist, but malloc/free
+/// costs are charged every time — matching dynamically allocated
+/// buffers in the original implementation. Registration goes through
+/// the pin-down cache when `reuse_internal_bufs` is set ("Datatype" in
+/// Fig. 2 amortizes registration; "DT+reg" registers every operation).
+fn acquire_stage(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, size: u64) -> StageBuf {
+    rs.counters.dynamic_allocs += 1;
+    let va = match rs.internal.free.get_mut(&size).and_then(Vec::pop) {
+        Some(va) => va,
+        None => ctx.mems[rs.rank as usize]
+            .space
+            .alloc_page_aligned(size)
+            .expect("address space exhausted (raise capacity)"),
+    };
+    let mut cost = ctx.host.malloc_ns;
+    let acq = if ctx.cfg.reuse_internal_bufs {
+        rs.pindown
+            .acquire(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, va, size)
+    } else {
+        // "DT+reg": force a fresh registration every operation.
+        let reg = ctx.mems[rs.rank as usize].regs.register(va, size);
+        cost += ctx.host.reg.reg_cost(va, size);
+        ibdt_memreg::cache::Acquire {
+            reg,
+            cost_ns: 0,
+            hit: false,
+        }
+    };
+    cost += acq.cost_ns;
+    rs.cpu.reserve_labeled(ctx.now(), cost, "malloc+reg");
+    StageBuf {
+        va,
+        len: size,
+        lkey: acq.reg.lkey,
+        rkey: acq.reg.rkey,
+        dynamic: true,
+    }
+}
+
+fn release_stage_bufs(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, bufs: &[StageBuf], unpack: bool) {
+    let mut cost = 0;
+    for sb in bufs {
+        if sb.dynamic {
+            cost += ctx.host.free_ns;
+            if ctx.cfg.reuse_internal_bufs {
+                cost += rs
+                    .pindown
+                    .release(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, sb.lkey)
+                    .expect("release of acquired stage registration");
+            } else {
+                let reg = ctx.mems[rs.rank as usize]
+                    .regs
+                    .deregister(ibdt_memreg::MrHandle(sb.lkey))
+                    .expect("stage buffer was registered");
+                cost += ctx.host.reg.dereg_cost(reg.addr, reg.len);
+            }
+            rs.internal.free.entry(sb.len).or_default().push(sb.va);
+        } else if unpack {
+            rs.unpack_pool.release(sb.va);
+        } else {
+            rs.pack_pool.release(sb.va);
+        }
+    }
+    if cost > 0 {
+        rs.cpu.reserve_labeled(ctx.now(), cost, "free");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+/// Absolute-address contiguous blocks of `count` instances at `buf`.
+fn abs_blocks(ty: &Datatype, count: u64, buf: Va) -> Vec<(Va, u64)> {
+    ty.flat()
+        .repeat(count)
+        .into_iter()
+        .map(|(o, l)| ((buf as i64 + o) as u64, l))
+        .collect()
+}
+
+fn lkey_for(regs: &[Registration], addr: Va, len: u64) -> u32 {
+    regs.iter()
+        .find(|r| r.covers(addr, len))
+        .unwrap_or_else(|| panic!("no registration covers [{addr:#x}, +{len})"))
+        .lkey
+}
+
+fn region_key(regions: &[(Va, u64, u32)], addr: Va, len: u64) -> u32 {
+    regions
+        .iter()
+        .find(|&&(a, l, _)| addr >= a && addr + len <= a + l)
+        .unwrap_or_else(|| panic!("no remote region covers [{addr:#x}, +{len})"))
+        .2
+}
+
+/// Functional pack of a stream range into a fresh vector.
+fn pack_to_vec(
+    ctx: &mut Ctx<'_, '_>,
+    rank: u32,
+    seg: &Segment,
+    buf: Va,
+    lo: u64,
+    hi: u64,
+) -> Vec<u8> {
+    let mut out = vec![0u8; (hi - lo) as usize];
+    let space = &ctx.mems[rank as usize].space;
+    let mem = space
+        .slice(0, space.capacity())
+        .expect("whole space view");
+    seg.pack(lo, hi, mem, buf as usize, &mut out)
+        .expect("user buffer covers the datatype");
+    out
+}
+
+/// Functional unpack of a stream range from a slice into the user
+/// buffer.
+fn unpack_from_slice(
+    ctx: &mut Ctx<'_, '_>,
+    rank: u32,
+    seg: &Segment,
+    buf: Va,
+    lo: u64,
+    hi: u64,
+    data: &[u8],
+) {
+    let space = &mut ctx.mems[rank as usize].space;
+    let cap = space.capacity();
+    let mem = space.slice_mut(0, cap).expect("whole space view");
+    seg.unpack(lo, hi, data, mem, buf as usize)
+        .expect("user buffer covers the datatype");
+}

@@ -1,0 +1,416 @@
+//! Per-rank MPI library state.
+//!
+//! Each rank owns a CPU resource (the progress engine's host time), the
+//! eager send ring and pre-posted receive buffers, the pre-registered
+//! pack/unpack segment pools, tag-matching queues, active message
+//! tables, and the registration machinery (pin-down cache, type
+//! registry, layout cache).
+
+use crate::config::MpiConfig;
+use crate::pool::SegmentPool;
+
+/// Wildcard source for receives (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: u32 = u32::MAX;
+/// Wildcard tag for receives (`MPI_ANY_TAG`).
+pub const ANY_TAG: u32 = u32::MAX;
+use ibdt_datatype::{Datatype, LayoutCache, TypeRegistry};
+use ibdt_ibsim::NodeMem;
+use ibdt_memreg::{PindownCache, Va};
+use ibdt_simcore::resource::SerialResource;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A request handle (per-rank, in issue order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReqId(pub u32);
+
+/// Kind of request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// An `Isend`.
+    Send,
+    /// An `Irecv`.
+    Recv,
+}
+
+/// Bookkeeping for one issued request.
+#[derive(Debug)]
+pub struct ReqState {
+    /// What the request is.
+    pub kind: ReqKind,
+    /// Set when the operation completes.
+    pub done: bool,
+}
+
+/// A posted (not yet matched) receive.
+#[derive(Debug)]
+pub struct PostedRecv {
+    /// Request handle.
+    pub req: ReqId,
+    /// Source rank.
+    pub peer: u32,
+    /// Tag to match.
+    pub tag: u32,
+    /// User buffer address (datatype offset 0).
+    pub buf: Va,
+    /// Instance count.
+    pub count: u64,
+    /// Receive datatype.
+    pub ty: Datatype,
+}
+
+/// A message that arrived before its receive was posted.
+#[derive(Debug)]
+pub enum Unexpected {
+    /// An eager message; the payload was copied out of the eager buffer
+    /// (the dynamic-allocation copy MVAPICH also performs).
+    Eager {
+        /// Source rank.
+        peer: u32,
+        /// Tag.
+        tag: u32,
+        /// Sequence number.
+        seq: u64,
+        /// Packed payload.
+        data: Vec<u8>,
+    },
+    /// A rendezvous start waiting for a matching receive.
+    Rndv {
+        /// Source rank.
+        peer: u32,
+        /// Tag.
+        tag: u32,
+        /// Sequence number.
+        seq: u64,
+        /// Packed message size.
+        size: u64,
+        /// Sender's proposed scheme (wire code).
+        scheme: u8,
+        /// Sender's segment count.
+        nsegs: u32,
+        /// Sender's segment size.
+        seg_size: u64,
+        /// Sender-side minimum contiguous block, bytes.
+        blk_min: u64,
+        /// Sender-side median contiguous block, bytes.
+        blk_median: u64,
+    },
+}
+
+/// An eager-path transmission waiting for a send ring buffer.
+#[derive(Debug)]
+pub struct PendingEager {
+    /// Destination rank.
+    pub peer: u32,
+    /// Fully encoded header + payload.
+    pub bytes: Vec<u8>,
+}
+
+/// Dynamically allocated internal buffer freelist entry.
+#[derive(Debug, Default)]
+pub struct InternalBufs {
+    /// Free buffers by exact size.
+    pub free: HashMap<u64, Vec<Va>>,
+}
+
+/// Counters the benchmarks report per rank.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RankCounters {
+    /// Eager messages sent.
+    pub eager_sends: u64,
+    /// Rendezvous messages sent.
+    pub rndv_sends: u64,
+    /// Packs performed (segments).
+    pub packs: u64,
+    /// Unpacks performed (segments).
+    pub unpacks: u64,
+    /// Bytes packed.
+    pub bytes_packed: u64,
+    /// Bytes unpacked.
+    pub bytes_unpacked: u64,
+    /// Dynamic internal-buffer allocations.
+    pub dynamic_allocs: u64,
+    /// Times a pool was exhausted and the dynamic fallback ran.
+    pub pool_fallbacks: u64,
+    /// RDMA data work requests posted.
+    pub data_wrs: u64,
+    /// Control messages sent.
+    pub ctrl_msgs: u64,
+}
+
+/// All state of one rank's MPI library instance.
+#[derive(Debug)]
+pub struct RankState {
+    /// This rank's id.
+    pub rank: u32,
+    /// World size.
+    pub nprocs: u32,
+    /// Host CPU executing the progress engine, pack/unpack, posts.
+    pub cpu: SerialResource,
+    /// Base address of the eager region (send ring + recv buffers).
+    pub eager_region: Va,
+    /// Eager/control send ring buffers (shared across peers).
+    pub eager_send_free: Vec<Va>,
+    /// Sends waiting for a ring buffer.
+    pub eager_pending: VecDeque<PendingEager>,
+    /// lkey covering the eager region (send + recv buffers).
+    pub eager_lkey: u32,
+    /// Pre-registered pack segment pool.
+    pub pack_pool: SegmentPool,
+    /// Pre-registered unpack segment pool.
+    pub unpack_pool: SegmentPool,
+    /// Posted receives, in post order (matched FIFO).
+    pub posted: VecDeque<PostedRecv>,
+    /// Unexpected messages, in arrival order.
+    pub unexpected: VecDeque<Unexpected>,
+    /// Next send sequence number per peer.
+    pub next_seq: Vec<u64>,
+    /// Request table.
+    pub reqs: Vec<ReqState>,
+    /// Requests completed since the interpreter last ran.
+    pub newly_completed: Vec<ReqId>,
+    /// Pin-down registration cache (user + internal buffers).
+    pub pindown: PindownCache,
+    /// Receiver-side datatype registry (type indices, §5.4.2).
+    pub registry: TypeRegistry,
+    /// Sender-side cache of peers' layouts.
+    pub layout_cache: LayoutCache,
+    /// `(peer, index, version)` layouts this rank has already shipped.
+    pub sent_layouts: HashSet<(u32, u32, u32)>,
+    /// Internal dynamic buffer freelist (Generic scheme).
+    pub internal: InternalBufs,
+    /// One-sided operations posted but not yet locally complete (fence
+    /// epoch accounting).
+    pub rma_outstanding: u64,
+    /// Origin-buffer registrations held until the next fence.
+    pub rma_regs: Vec<ibdt_memreg::Registration>,
+    /// Set when an RMA completion arrived (drained by the interpreter
+    /// to re-check a blocked fence).
+    pub rma_event: bool,
+    /// Counters.
+    pub counters: RankCounters,
+}
+
+impl RankState {
+    /// Builds the rank state, allocating eager buffers and pools inside
+    /// `mem` and pre-registering everything. Receive descriptors are
+    /// *not* posted here — the cluster does that (it needs the fabric).
+    pub fn new(rank: u32, nprocs: u32, cfg: &MpiConfig, mem: &mut NodeMem) -> Self {
+        // One region holds the send ring and all per-peer recv buffers.
+        let send_bytes = cfg.eager_send_bufs as u64 * cfg.eager_buf_size;
+        let recv_bytes =
+            (nprocs as u64 - 1) * cfg.eager_bufs_per_peer as u64 * cfg.eager_buf_size;
+        let region = mem
+            .space
+            .alloc_page_aligned(send_bytes + recv_bytes)
+            .expect("address space too small for eager buffers");
+        let reg = mem.regs.register(region, send_bytes + recv_bytes);
+
+        let eager_send_free = (0..cfg.eager_send_bufs as u64)
+            .rev()
+            .map(|i| region + i * cfg.eager_buf_size)
+            .collect();
+
+        let pack_pool = SegmentPool::new(
+            &mut mem.space,
+            &mut mem.regs,
+            cfg.pack_pool_size,
+            cfg.max_seg_size,
+        )
+        .expect("address space too small for pack pool");
+        let unpack_pool = SegmentPool::new(
+            &mut mem.space,
+            &mut mem.regs,
+            cfg.unpack_pool_size,
+            cfg.max_seg_size,
+        )
+        .expect("address space too small for unpack pool");
+
+        Self {
+            rank,
+            nprocs,
+            cpu: SerialResource::new("cpu").with_trace(),
+            eager_region: region,
+            eager_send_free,
+            eager_pending: VecDeque::new(),
+            eager_lkey: reg.lkey,
+            pack_pool,
+            unpack_pool,
+            posted: VecDeque::new(),
+            unexpected: VecDeque::new(),
+            next_seq: vec![0; nprocs as usize],
+            reqs: Vec::new(),
+            newly_completed: Vec::new(),
+            pindown: if cfg.pindown_cache {
+                PindownCache::new(cfg.pindown_capacity)
+            } else {
+                PindownCache::disabled()
+            },
+            registry: TypeRegistry::new(),
+            layout_cache: LayoutCache::new(),
+            sent_layouts: HashSet::new(),
+            internal: InternalBufs::default(),
+            rma_outstanding: 0,
+            rma_regs: Vec::new(),
+            rma_event: false,
+            counters: RankCounters::default(),
+        }
+    }
+
+    /// Start address of the `i`-th receive buffer for `peer`.
+    ///
+    /// Layout: send ring first, then blocks of `eager_bufs_per_peer`
+    /// buffers per peer in increasing peer order (own rank skipped).
+    pub fn recv_buf_addr(&self, cfg: &MpiConfig, region_base: Va, peer: u32, i: usize) -> Va {
+        let send_bytes = cfg.eager_send_bufs as u64 * cfg.eager_buf_size;
+        let peer_slot = if peer < self.rank { peer } else { peer - 1 } as u64;
+        region_base
+            + send_bytes
+            + (peer_slot * cfg.eager_bufs_per_peer as u64 + i as u64) * cfg.eager_buf_size
+    }
+
+    /// Allocates a new request handle.
+    pub fn new_req(&mut self, kind: ReqKind) -> ReqId {
+        let id = ReqId(self.reqs.len() as u32);
+        self.reqs.push(ReqState { kind, done: false });
+        id
+    }
+
+    /// Marks a request complete and queues the interpreter notification.
+    pub fn complete_req(&mut self, req: ReqId) {
+        let st = &mut self.reqs[req.0 as usize];
+        debug_assert!(!st.done, "request completed twice");
+        st.done = true;
+        self.newly_completed.push(req);
+    }
+
+    /// Whether all requests issued so far are done.
+    pub fn all_reqs_done(&self) -> bool {
+        self.reqs.iter().all(|r| r.done)
+    }
+
+    /// Next sequence number for messages to `peer`.
+    pub fn take_seq(&mut self, peer: u32) -> u64 {
+        let s = self.next_seq[peer as usize];
+        self.next_seq[peer as usize] += 1;
+        s
+    }
+
+    /// Finds the first posted receive matching `(peer, tag)` and removes
+    /// it. Posted receives may use [`ANY_SOURCE`] / [`ANY_TAG`]
+    /// wildcards; incoming messages always carry concrete values.
+    pub fn match_posted(&mut self, peer: u32, tag: u32) -> Option<PostedRecv> {
+        let idx = self.posted.iter().position(|p| {
+            (p.peer == peer || p.peer == ANY_SOURCE) && (p.tag == tag || p.tag == ANY_TAG)
+        })?;
+        self.posted.remove(idx)
+    }
+
+    /// Finds the first unexpected message matching `(peer, tag)` and
+    /// removes it. `peer`/`tag` here come from the *receive call* and
+    /// may be wildcards.
+    pub fn match_unexpected(&mut self, peer: u32, tag: u32) -> Option<Unexpected> {
+        let matches = |p: u32, t: u32| {
+            (peer == ANY_SOURCE || p == peer) && (tag == ANY_TAG || t == tag)
+        };
+        let idx = self.unexpected.iter().position(|u| match u {
+            Unexpected::Eager { peer: p, tag: t, .. } => matches(*p, *t),
+            Unexpected::Rndv { peer: p, tag: t, .. } => matches(*p, *t),
+        })?;
+        self.unexpected.remove(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibdt_ibsim::NodeMem;
+
+    fn rank_fixture() -> (NodeMem, RankState, MpiConfig) {
+        let cfg = MpiConfig::default();
+        let mut mem = NodeMem::new(256 << 20);
+        let rs = RankState::new(0, 4, &cfg, &mut mem);
+        (mem, rs, cfg)
+    }
+
+    #[test]
+    fn init_builds_pools_and_ring() {
+        let (_, rs, cfg) = rank_fixture();
+        assert_eq!(rs.eager_send_free.len(), cfg.eager_send_bufs);
+        assert_eq!(
+            rs.pack_pool.total() as u64,
+            cfg.pack_pool_size / cfg.max_seg_size
+        );
+        assert_eq!(rs.next_seq.len(), 4);
+    }
+
+    #[test]
+    fn recv_buf_addresses_disjoint() {
+        let (_, rs, cfg) = rank_fixture();
+        let base = 4096; // arbitrary region base for the address math
+        let mut seen = std::collections::HashSet::new();
+        for peer in [1u32, 2, 3] {
+            for i in 0..cfg.eager_bufs_per_peer {
+                let a = rs.recv_buf_addr(&cfg, base, peer, i);
+                assert!(seen.insert(a), "duplicate recv buffer address");
+            }
+        }
+    }
+
+    #[test]
+    fn request_lifecycle() {
+        let (_, mut rs, _) = rank_fixture();
+        let r0 = rs.new_req(ReqKind::Send);
+        let r1 = rs.new_req(ReqKind::Recv);
+        assert!(!rs.all_reqs_done());
+        rs.complete_req(r0);
+        rs.complete_req(r1);
+        assert!(rs.all_reqs_done());
+        assert_eq!(rs.newly_completed, vec![r0, r1]);
+    }
+
+    #[test]
+    fn seq_numbers_are_per_peer() {
+        let (_, mut rs, _) = rank_fixture();
+        assert_eq!(rs.take_seq(1), 0);
+        assert_eq!(rs.take_seq(1), 1);
+        assert_eq!(rs.take_seq(2), 0);
+    }
+
+    #[test]
+    fn matching_is_fifo_per_peer_tag() {
+        let (_, mut rs, _) = rank_fixture();
+        let t = Datatype::int();
+        for (i, tag) in [(0u32, 5u32), (1, 7), (2, 5)] {
+            let req = rs.new_req(ReqKind::Recv);
+            rs.posted.push_back(PostedRecv {
+                req,
+                peer: 1,
+                tag,
+                buf: 1000 + i as u64,
+                count: 1,
+                ty: t.clone(),
+            });
+        }
+        let m = rs.match_posted(1, 5).unwrap();
+        assert_eq!(m.buf, 1000, "first posted wins");
+        let m2 = rs.match_posted(1, 5).unwrap();
+        assert_eq!(m2.buf, 1002);
+        assert!(rs.match_posted(1, 5).is_none());
+        assert!(rs.match_posted(2, 7).is_none(), "peer must match");
+    }
+
+    #[test]
+    fn unexpected_matching() {
+        let (_, mut rs, _) = rank_fixture();
+        rs.unexpected.push_back(Unexpected::Eager {
+            peer: 2,
+            tag: 9,
+            seq: 0,
+            data: vec![1, 2, 3],
+        });
+        assert!(rs.match_unexpected(2, 8).is_none());
+        let u = rs.match_unexpected(2, 9).unwrap();
+        assert!(matches!(u, Unexpected::Eager { .. }));
+        assert!(rs.unexpected.is_empty());
+    }
+}

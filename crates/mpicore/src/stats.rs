@@ -1,0 +1,50 @@
+//! Run statistics returned by [`Cluster::run`](crate::cluster::Cluster::run).
+
+use crate::rank::RankCounters;
+use ibdt_simcore::time::Time;
+
+/// Aggregate statistics of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Virtual time when the whole run reached quiescence.
+    pub finish_ns: Time,
+    /// Per-rank virtual time when that rank's program finished.
+    pub rank_finish_ns: Vec<Time>,
+    /// Per-rank protocol counters.
+    pub counters: Vec<RankCounters>,
+    /// Per-rank CPU busy time.
+    pub cpu_busy_ns: Vec<Time>,
+    /// Per-rank (register, deregister) operation counts.
+    pub reg_ops: Vec<(u64, u64)>,
+    /// Per-rank pin-down cache (hits, misses, evictions).
+    pub pindown: Vec<(u64, u64, u64)>,
+    /// Fabric: total work requests processed.
+    pub wqes: u64,
+    /// Fabric: payload bytes serialized on links.
+    pub bytes_on_wire: u64,
+    /// Fabric: receiver-not-ready events (should be 0 with sound flow
+    /// control).
+    pub rnr_events: u64,
+    /// Per-rank timer marks recorded by `AppOp::MarkTime`.
+    pub marks: Vec<Vec<(u32, Time)>>,
+    /// Virtual time overlap between sender-side packing and its own
+    /// NIC's wire activity, per rank (the §4.2 pipelining, measurable).
+    pub pack_wire_overlap_ns: Vec<Time>,
+}
+
+impl RunStats {
+    /// Interval between two marks on one rank, panicking when absent —
+    /// benchmark harness convenience.
+    pub fn mark_interval(&self, rank: usize, from_slot: u32, to_slot: u32) -> Time {
+        let find = |slot| {
+            self.marks[rank]
+                .iter()
+                .find(|(s, _)| *s == slot)
+                .unwrap_or_else(|| panic!("mark {slot} missing on rank {rank}"))
+                .1
+        };
+        let (a, b) = (find(from_slot), find(to_slot));
+        assert!(b >= a, "marks out of order");
+        b - a
+    }
+}

@@ -1,0 +1,393 @@
+//! Functional tests for the collective operations, including the
+//! reduction family.
+
+use ibdt_datatype::Datatype;
+use ibdt_mpicore::{AppOp, Cluster, ClusterSpec, Program, ReduceOp, Scheme};
+
+fn spec(scheme: Scheme, nprocs: u32) -> ClusterSpec {
+    let mut s = ClusterSpec::default();
+    s.nprocs = nprocs;
+    s.mpi.scheme = scheme;
+    s
+}
+
+fn ints_to_bytes(v: &[i32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn bytes_to_ints(b: &[u8]) -> Vec<i32> {
+    b.chunks_exact(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[test]
+fn gather_collects_blocks_at_root() {
+    let n = 5u32;
+    let count = 1000u64;
+    let ty = Datatype::int();
+    for root in [0u32, 3] {
+        let mut cluster = Cluster::new(spec(Scheme::BcSpup, n));
+        let bytes = count * 4;
+        let mut sbufs = Vec::new();
+        for r in 0..n {
+            let sb = cluster.alloc(r, bytes, 4096);
+            let vals: Vec<i32> = (0..count as i32).map(|i| i + 10_000 * r as i32).collect();
+            cluster.write_mem(r, sb, &ints_to_bytes(&vals));
+            sbufs.push(sb);
+        }
+        let rbuf = cluster.alloc(root, bytes * n as u64, 4096);
+        let progs: Vec<Program> = (0..n)
+            .map(|r| {
+                vec![AppOp::Gather {
+                    root,
+                    sbuf: sbufs[r as usize],
+                    rbuf: if r == root { rbuf } else { 0 },
+                    count,
+                    ty: ty.clone(),
+                }]
+            })
+            .collect();
+        cluster.run(progs);
+        let got = bytes_to_ints(&cluster.read_mem(root, rbuf, bytes * n as u64));
+        for r in 0..n {
+            for i in 0..count as usize {
+                assert_eq!(
+                    got[r as usize * count as usize + i],
+                    i as i32 + 10_000 * r as i32,
+                    "root {root}, block {r}, element {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scatter_distributes_blocks() {
+    let n = 4u32;
+    let count = 512u64;
+    let ty = Datatype::int();
+    let mut cluster = Cluster::new(spec(Scheme::BcSpup, n));
+    let bytes = count * 4;
+    let sbuf = cluster.alloc(0, bytes * n as u64, 4096);
+    let all: Vec<i32> = (0..(count * n as u64) as i32).collect();
+    cluster.write_mem(0, sbuf, &ints_to_bytes(&all));
+    let mut rbufs = Vec::new();
+    for r in 0..n {
+        rbufs.push(cluster.alloc(r, bytes, 4096));
+    }
+    let progs: Vec<Program> = (0..n)
+        .map(|r| {
+            vec![AppOp::Scatter {
+                root: 0,
+                sbuf: if r == 0 { sbuf } else { 0 },
+                rbuf: rbufs[r as usize],
+                count,
+                ty: ty.clone(),
+            }]
+        })
+        .collect();
+    cluster.run(progs);
+    for r in 0..n {
+        let got = bytes_to_ints(&cluster.read_mem(r, rbufs[r as usize], bytes));
+        let want: Vec<i32> = (0..count as i32).map(|i| i + (r as i32 * count as i32)).collect();
+        assert_eq!(got, want, "rank {r} block");
+    }
+}
+
+#[test]
+fn reduce_sums_across_ranks() {
+    let n = 6u32;
+    let count = 2048u64; // 8 KiB -> rendezvous path carries partials
+    let ty = Datatype::int();
+    for root in [0u32, 4] {
+        let mut cluster = Cluster::new(spec(Scheme::BcSpup, n));
+        let bytes = count * 4;
+        let mut sbufs = Vec::new();
+        let mut scratches = Vec::new();
+        for r in 0..n {
+            let sb = cluster.alloc(r, bytes, 4096);
+            let vals: Vec<i32> = (0..count as i32).map(|i| i * (r as i32 + 1)).collect();
+            cluster.write_mem(r, sb, &ints_to_bytes(&vals));
+            sbufs.push(sb);
+            scratches.push(cluster.alloc(r, bytes, 4096));
+        }
+        let rbuf = cluster.alloc(root, bytes, 4096);
+        let progs: Vec<Program> = (0..n)
+            .map(|r| {
+                vec![AppOp::Reduce {
+                    root,
+                    sbuf: sbufs[r as usize],
+                    rbuf: if r == root { rbuf } else { 0 },
+                    scratch: scratches[r as usize],
+                    count,
+                    ty: ty.clone(),
+                    op: ReduceOp::Sum,
+                }]
+            })
+            .collect();
+        cluster.run(progs);
+        let got = bytes_to_ints(&cluster.read_mem(root, rbuf, bytes));
+        // sum over r of i*(r+1) = i * n(n+1)/2.
+        let factor = (n * (n + 1) / 2) as i32;
+        for (i, &v) in got.iter().enumerate() {
+            assert_eq!(v, i as i32 * factor, "element {i} at root {root}");
+        }
+    }
+}
+
+#[test]
+fn reduce_max_doubles() {
+    let n = 3u32;
+    let count = 64u64;
+    let ty = Datatype::double();
+    let mut cluster = Cluster::new(spec(Scheme::BcSpup, n));
+    let bytes = count * 8;
+    let mut sbufs = Vec::new();
+    let mut scratches = Vec::new();
+    for r in 0..n {
+        let sb = cluster.alloc(r, bytes, 4096);
+        let vals: Vec<u8> = (0..count)
+            .flat_map(|i| (((i as f64) - r as f64 * 10.0).sin()).to_le_bytes())
+            .collect();
+        cluster.write_mem(r, sb, &vals);
+        sbufs.push(sb);
+        scratches.push(cluster.alloc(r, bytes, 4096));
+    }
+    let rbuf = cluster.alloc(0, bytes, 4096);
+    let progs: Vec<Program> = (0..n)
+        .map(|r| {
+            vec![AppOp::Reduce {
+                root: 0,
+                sbuf: sbufs[r as usize],
+                rbuf: if r == 0 { rbuf } else { 0 },
+                scratch: scratches[r as usize],
+                count,
+                ty: ty.clone(),
+                op: ReduceOp::Max,
+            }]
+        })
+        .collect();
+    // Capture inputs before the run mutates accumulators.
+    let inputs: Vec<Vec<f64>> = (0..n)
+        .map(|r| {
+            cluster
+                .read_mem(r, sbufs[r as usize], bytes)
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        })
+        .collect();
+    cluster.run(progs);
+    let got: Vec<f64> = cluster
+        .read_mem(0, rbuf, bytes)
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    for i in 0..count as usize {
+        let want = (0..n as usize).map(|r| inputs[r][i]).fold(f64::MIN, f64::max);
+        assert_eq!(got[i], want, "element {i}");
+    }
+}
+
+#[test]
+fn allreduce_gives_everyone_the_sum() {
+    let n = 4u32;
+    let count = 1024u64;
+    let ty = Datatype::int();
+    let mut cluster = Cluster::new(spec(Scheme::MultiW, n));
+    let bytes = count * 4;
+    let mut sbufs = Vec::new();
+    let mut rbufs = Vec::new();
+    let mut scratches = Vec::new();
+    for r in 0..n {
+        let sb = cluster.alloc(r, bytes, 4096);
+        let vals: Vec<i32> = (0..count as i32).map(|i| i + r as i32).collect();
+        cluster.write_mem(r, sb, &ints_to_bytes(&vals));
+        sbufs.push(sb);
+        rbufs.push(cluster.alloc(r, bytes, 4096));
+        scratches.push(cluster.alloc(r, bytes, 4096));
+    }
+    let progs: Vec<Program> = (0..n)
+        .map(|r| {
+            vec![AppOp::Allreduce {
+                sbuf: sbufs[r as usize],
+                rbuf: rbufs[r as usize],
+                scratch: scratches[r as usize],
+                count,
+                ty: ty.clone(),
+                op: ReduceOp::Sum,
+            }]
+        })
+        .collect();
+    cluster.run(progs);
+    for r in 0..n {
+        let got = bytes_to_ints(&cluster.read_mem(r, rbufs[r as usize], bytes));
+        for (i, &v) in got.iter().enumerate() {
+            // sum over r of (i + r) = n*i + n(n-1)/2.
+            let want = n as i32 * i as i32 + (n * (n - 1) / 2) as i32;
+            assert_eq!(v, want, "rank {r} element {i}");
+        }
+    }
+}
+
+#[test]
+fn gather_with_derived_datatype() {
+    // Gather where each contribution is a noncontiguous vector; the
+    // root's receive blocks are spaced by the type extent.
+    let n = 3u32;
+    let ty = Datatype::vector(16, 2, 8, &Datatype::int()).unwrap();
+    let span = ty.extent() as u64;
+    let mut cluster = Cluster::new(spec(Scheme::BcSpup, n));
+    let mut sbufs = Vec::new();
+    for r in 0..n {
+        let sb = cluster.alloc(r, span + 64, 4096);
+        cluster.fill_pattern(r, sb, span, 50 + r as u64);
+        sbufs.push(sb);
+    }
+    let rbuf = cluster.alloc(0, span * n as u64 + 64, 4096);
+    let progs: Vec<Program> = (0..n)
+        .map(|r| {
+            vec![AppOp::Gather {
+                root: 0,
+                sbuf: sbufs[r as usize],
+                rbuf: if r == 0 { rbuf } else { 0 },
+                count: 1,
+                ty: ty.clone(),
+            }]
+        })
+        .collect();
+    cluster.run(progs);
+    for r in 0..n {
+        let src = cluster.read_mem(r, sbufs[r as usize], span);
+        let dst = cluster.read_mem(0, rbuf + r as u64 * span, span);
+        for (off, len) in ty.flat().repeat(1) {
+            let o = off as usize;
+            assert_eq!(&dst[o..o + len as usize], &src[o..o + len as usize], "rank {r}");
+        }
+    }
+}
+
+#[test]
+fn alltoallv_ragged_counts() {
+    use ibdt_mpicore::coll;
+    // Rank i sends (i + j + 1) ints to rank j; verify with direct ops.
+    let n = 4u32;
+    let ty = Datatype::int();
+    let mut cluster = Cluster::new(spec(Scheme::BcSpup, n));
+    let scount = |i: u32, j: u32| (i + j + 1) as u64 * 200;
+    let mut sbufs = Vec::new();
+    let mut rbufs = Vec::new();
+    let mut sdispls_all = Vec::new();
+    let mut rdispls_all = Vec::new();
+    let mut scounts_all = Vec::new();
+    let mut rcounts_all = Vec::new();
+    for i in 0..n {
+        let scounts: Vec<u64> = (0..n).map(|j| scount(i, j)).collect();
+        let rcounts: Vec<u64> = (0..n).map(|j| scount(j, i)).collect();
+        let mut sdispls = Vec::new();
+        let mut rdispls = Vec::new();
+        let mut acc = 0i64;
+        for &c in &scounts {
+            sdispls.push(acc);
+            acc += c as i64 * 4;
+        }
+        let stotal = acc as u64;
+        acc = 0;
+        for &c in &rcounts {
+            rdispls.push(acc);
+            acc += c as i64 * 4;
+        }
+        let rtotal = acc as u64;
+        let sb = cluster.alloc(i, stotal + 64, 4096);
+        let rb = cluster.alloc(i, rtotal + 64, 4096);
+        cluster.fill_pattern(i, sb, stotal, 900 + i as u64);
+        sbufs.push(sb);
+        rbufs.push(rb);
+        sdispls_all.push(sdispls);
+        rdispls_all.push(rdispls);
+        scounts_all.push(scounts);
+        rcounts_all.push(rcounts);
+    }
+    let progs: Vec<Program> = (0..n)
+        .map(|i| {
+            coll::alltoallv(
+                i,
+                n,
+                sbufs[i as usize],
+                &sdispls_all[i as usize],
+                &scounts_all[i as usize],
+                &ty,
+                rbufs[i as usize],
+                &rdispls_all[i as usize],
+                &rcounts_all[i as usize],
+                &ty,
+            )
+        })
+        .collect();
+    cluster.run(progs);
+    for i in 0..n {
+        for j in 0..n {
+            let len = scount(i, j) * 4;
+            let sent = cluster.read_mem(
+                i,
+                (sbufs[i as usize] as i64 + sdispls_all[i as usize][j as usize]) as u64,
+                len,
+            );
+            let got = cluster.read_mem(
+                j,
+                (rbufs[j as usize] as i64 + rdispls_all[j as usize][i as usize]) as u64,
+                len,
+            );
+            assert_eq!(got, sent, "block {i} -> {j}");
+        }
+    }
+}
+
+#[test]
+fn gatherv_variable_contributions() {
+    use ibdt_mpicore::coll;
+    let n = 5u32;
+    let ty = Datatype::int();
+    let mut cluster = Cluster::new(spec(Scheme::BcSpup, n));
+    let counts: Vec<u64> = (0..n).map(|r| (r as u64 + 1) * 300).collect();
+    let mut displs = Vec::new();
+    let mut acc = 0i64;
+    for &c in &counts {
+        displs.push(acc);
+        acc += c as i64 * 4;
+    }
+    let total = acc as u64;
+    let mut sbufs = Vec::new();
+    for r in 0..n {
+        let sb = cluster.alloc(r, counts[r as usize] * 4 + 64, 4096);
+        cluster.fill_pattern(r, sb, counts[r as usize] * 4, 40 + r as u64);
+        sbufs.push(sb);
+    }
+    let rbuf = cluster.alloc(2, total + 64, 4096);
+    let progs: Vec<Program> = (0..n)
+        .map(|r| {
+            coll::gatherv(
+                r,
+                n,
+                2,
+                sbufs[r as usize],
+                counts[r as usize],
+                if r == 2 { rbuf } else { 0 },
+                &displs,
+                &counts,
+                &ty,
+            )
+        })
+        .collect();
+    cluster.run(progs);
+    for r in 0..n {
+        let sent = cluster.read_mem(r, sbufs[r as usize], counts[r as usize] * 4);
+        let got = cluster.read_mem(
+            2,
+            (rbuf as i64 + displs[r as usize]) as u64,
+            counts[r as usize] * 4,
+        );
+        assert_eq!(got, sent, "contribution from rank {r}");
+    }
+}

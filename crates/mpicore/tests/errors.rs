@@ -1,0 +1,119 @@
+//! Error-path tests: misuse that a real MPI library would flag is a
+//! loud panic in the simulator (silent corruption would invalidate the
+//! benchmarks).
+
+use ibdt_datatype::Datatype;
+use ibdt_mpicore::{AppOp, Cluster, ClusterSpec, Program, ReduceOp, Scheme};
+
+fn two_rank(scheme: Scheme) -> Cluster {
+    let mut spec = ClusterSpec::default();
+    spec.mpi.scheme = scheme;
+    Cluster::new(spec)
+}
+
+#[test]
+#[should_panic(expected = "type signature mismatch")]
+fn mismatched_signatures_panic() {
+    let sty = Datatype::contiguous(4000, &Datatype::int()).unwrap();
+    let rty = Datatype::contiguous(3000, &Datatype::int()).unwrap();
+    let mut cluster = two_rank(Scheme::BcSpup);
+    let sbuf = cluster.alloc(0, 20_000, 4096);
+    let rbuf = cluster.alloc(1, 20_000, 4096);
+    let p0: Program = vec![
+        AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: sty, tag: 0 },
+        AppOp::WaitAll,
+    ];
+    let p1: Program = vec![
+        AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: rty, tag: 0 },
+        AppOp::WaitAll,
+    ];
+    cluster.run(vec![p0, p1]);
+}
+
+#[test]
+#[should_panic(expected = "outside the target window")]
+fn put_outside_window_panics() {
+    let ty = Datatype::contiguous(8192, &Datatype::byte()).unwrap();
+    let mut cluster = two_rank(Scheme::Adaptive);
+    let obuf = cluster.alloc(0, 8192, 4096);
+    let wbuf = cluster.alloc(1, 4096, 4096); // window smaller than put
+    let p0: Program = vec![
+        AppOp::WinCreate { win: 0, addr: 0, len: 0 },
+        AppOp::Put {
+            win: 0,
+            target: 1,
+            obuf,
+            ocount: 1,
+            oty: ty.clone(),
+            toff: 0,
+            tcount: 1,
+            tty: ty.clone(),
+        },
+        AppOp::Fence,
+    ];
+    let p1: Program = vec![
+        AppOp::WinCreate { win: 0, addr: wbuf, len: 4096 },
+        AppOp::Fence,
+    ];
+    cluster.run(vec![p0, p1]);
+}
+
+#[test]
+#[should_panic(expected = "uniform-primitive")]
+fn reduction_on_mixed_struct_panics() {
+    let mixed = Datatype::struct_(&[
+        (1, 0, Datatype::int()),
+        (1, 8, Datatype::double()),
+    ])
+    .unwrap();
+    let mut cluster = two_rank(Scheme::BcSpup);
+    let a = cluster.alloc(0, 4096, 4096);
+    let b = cluster.alloc(0, 4096, 4096);
+    let p0: Program = vec![AppOp::CombineBuffers {
+        dst: a,
+        src: b,
+        count: 1,
+        ty: mixed,
+        op: ReduceOp::Sum,
+    }];
+    cluster.run(vec![p0, vec![]]);
+}
+
+#[test]
+#[should_panic(expected = "wildcards are receive-side only")]
+fn sending_to_wildcard_panics() {
+    use ibdt_mpicore::rank::ANY_SOURCE;
+    let ty = Datatype::int();
+    let mut cluster = two_rank(Scheme::BcSpup);
+    let sbuf = cluster.alloc(0, 64, 8);
+    let p0: Program = vec![AppOp::Isend {
+        peer: ANY_SOURCE,
+        buf: sbuf,
+        count: 1,
+        ty,
+        tag: 0,
+    }];
+    cluster.run(vec![p0, vec![]]);
+}
+
+#[test]
+#[should_panic(expected = "single-shot")]
+fn cluster_cannot_run_twice() {
+    let mut cluster = two_rank(Scheme::BcSpup);
+    cluster.run(vec![vec![], vec![]]);
+    cluster.run(vec![vec![], vec![]]);
+}
+
+#[test]
+#[should_panic(expected = "deadlocked")]
+fn unmatched_receive_deadlocks_loudly() {
+    let ty = Datatype::int();
+    let mut cluster = two_rank(Scheme::BcSpup);
+    let rbuf = cluster.alloc(1, 64, 8);
+    // Receiver waits for a message nobody sends.
+    let p1: Program = vec![
+        AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty, tag: 0 },
+        AppOp::WaitAll,
+    ];
+    cluster.run(vec![vec![], p1]);
+}

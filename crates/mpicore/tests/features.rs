@@ -1,0 +1,349 @@
+//! Feature and resilience tests: buffer-reuse hints (§6), pool
+//! exhaustion fallback (§4.3.3), eager ring exhaustion, self messages,
+//! and multi-peer stress.
+
+use ibdt_datatype::Datatype;
+use ibdt_mpicore::{AppOp, Cluster, ClusterSpec, Program, Scheme};
+
+fn spec_with(scheme: Scheme) -> ClusterSpec {
+    let mut spec = ClusterSpec::default();
+    spec.mpi.scheme = scheme;
+    spec
+}
+
+fn vector_cols(cols: u64) -> Datatype {
+    Datatype::vector(128, cols, 4096, &Datatype::int()).unwrap()
+}
+
+fn one_transfer(spec: ClusterSpec, ty: &Datatype, hint: bool) -> u64 {
+    let mut cluster = Cluster::new(spec);
+    let span = ty.true_ub() as u64 + 64;
+    let sbuf = cluster.alloc(0, span, 4096);
+    let rbuf = cluster.alloc(1, span, 4096);
+    cluster.fill_pattern(0, sbuf, span, 1);
+    let mut p0: Program = Vec::new();
+    let mut p1: Program = Vec::new();
+    if hint {
+        p0.push(AppOp::HintReusedBuffer { addr: sbuf, len: span });
+        p1.push(AppOp::HintReusedBuffer { addr: rbuf, len: span });
+        // Give the hint time to complete before the timed send.
+        p0.push(AppOp::Compute { ns: 300_000 });
+        p1.push(AppOp::Compute { ns: 300_000 });
+    }
+    p0.push(AppOp::MarkTime { slot: 0 });
+    p0.push(AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 });
+    p0.push(AppOp::WaitAll);
+    p0.push(AppOp::Irecv { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 1 });
+    p0.push(AppOp::WaitAll);
+    p0.push(AppOp::MarkTime { slot: 1 });
+    p1.push(AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 });
+    p1.push(AppOp::WaitAll);
+    p1.push(AppOp::Isend { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 1 });
+    p1.push(AppOp::WaitAll);
+    let stats = cluster.run(vec![p0, p1]);
+    stats.mark_interval(0, 0, 1)
+}
+
+#[test]
+fn buffer_hint_speeds_up_cold_copy_reduced_send() {
+    // §6: pre-registering a known-reused buffer moves the registration
+    // off the first message's critical path.
+    let ty = vector_cols(1024);
+    for scheme in [Scheme::MultiW, Scheme::RwgUp, Scheme::Hybrid] {
+        let cold = one_transfer(spec_with(scheme), &ty, false);
+        let hinted = one_transfer(spec_with(scheme), &ty, true);
+        assert!(
+            hinted < cold,
+            "{scheme:?}: hinted {hinted} !< cold {cold}"
+        );
+    }
+}
+
+#[test]
+fn pack_pool_exhaustion_falls_back_dynamically() {
+    // Shrink the pools so a multi-segment BC-SPUP message overflows
+    // them; the dynamic fallback (§4.3.3 second solution) must keep the
+    // transfer correct.
+    let mut spec = spec_with(Scheme::BcSpup);
+    spec.mpi.pack_pool_size = 2 * spec.mpi.max_seg_size; // 2 segments only
+    spec.mpi.unpack_pool_size = 2 * spec.mpi.max_seg_size;
+    let ty = vector_cols(2048); // 1 MiB -> 8 segments
+    let mut cluster = Cluster::new(spec);
+    let span = ty.true_ub() as u64 + 64;
+    let sbuf = cluster.alloc(0, span, 4096);
+    let rbuf = cluster.alloc(1, span, 4096);
+    cluster.fill_pattern(0, sbuf, span, 1);
+    let p0 = vec![
+        AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 },
+        AppOp::WaitAll,
+    ];
+    let p1 = vec![
+        AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 },
+        AppOp::WaitAll,
+    ];
+    let stats = cluster.run(vec![p0, p1]);
+    // Fallback really happened on both sides.
+    assert!(stats.counters[0].pool_fallbacks > 0, "sender never fell back");
+    assert!(stats.counters[1].pool_fallbacks > 0, "receiver never fell back");
+    let src = cluster.read_mem(0, sbuf, span);
+    let dst = cluster.read_mem(1, rbuf, span);
+    for (off, len) in ty.flat().repeat(1) {
+        let o = off as usize;
+        assert_eq!(&dst[o..o + len as usize], &src[o..o + len as usize]);
+    }
+}
+
+#[test]
+fn eager_send_ring_exhaustion_queues() {
+    // A burst of eager messages larger than the send ring must queue
+    // and drain without loss or reordering.
+    let mut spec = spec_with(Scheme::BcSpup);
+    spec.mpi.eager_send_bufs = 4;
+    let ty = Datatype::contiguous(256, &Datatype::byte()).unwrap();
+    let n_msgs = 32u64;
+    let mut cluster = Cluster::new(spec);
+    let sbuf = cluster.alloc(0, 256 * n_msgs, 4096);
+    let rbuf = cluster.alloc(1, 256 * n_msgs, 4096);
+    cluster.fill_pattern(0, sbuf, 256 * n_msgs, 5);
+    let mut p0: Program = Vec::new();
+    let mut p1: Program = Vec::new();
+    for i in 0..n_msgs {
+        p0.push(AppOp::Isend { peer: 1, buf: sbuf + i * 256, count: 1, ty: ty.clone(), tag: 7 });
+        p1.push(AppOp::Irecv { peer: 0, buf: rbuf + i * 256, count: 1, ty: ty.clone(), tag: 7 });
+    }
+    p0.push(AppOp::WaitAll);
+    p1.push(AppOp::WaitAll);
+    cluster.run(vec![p0, p1]);
+    assert_eq!(
+        cluster.read_mem(1, rbuf, 256 * n_msgs),
+        cluster.read_mem(0, sbuf, 256 * n_msgs),
+        "burst messages lost or reordered"
+    );
+}
+
+#[test]
+fn self_messages_any_size() {
+    // Sends to self bypass the network entirely (local copy), for both
+    // eager- and rendezvous-sized payloads.
+    for cols in [1u64, 64, 1024] {
+        let ty = vector_cols(cols);
+        let mut cluster = Cluster::new(spec_with(Scheme::MultiW));
+        let span = ty.true_ub() as u64 + 64;
+        let sbuf = cluster.alloc(0, span, 4096);
+        let rbuf = cluster.alloc(0, span, 4096);
+        cluster.fill_pattern(0, sbuf, span, 9);
+        let p0 = vec![
+            AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 },
+            AppOp::Isend { peer: 0, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 },
+            AppOp::WaitAll,
+        ];
+        let p1 = vec![];
+        let stats = cluster.run(vec![p0, p1]);
+        assert_eq!(stats.bytes_on_wire, 0, "self messages must not hit the wire");
+        let src = cluster.read_mem(0, sbuf, span);
+        let dst = cluster.read_mem(0, rbuf, span);
+        for (off, len) in ty.flat().repeat(1) {
+            let o = off as usize;
+            assert_eq!(&dst[o..o + len as usize], &src[o..o + len as usize]);
+        }
+    }
+}
+
+#[test]
+fn many_peers_concurrent_rendezvous() {
+    // Rank 0 receives large datatype messages from 5 peers at once;
+    // unpack pools and imm demultiplexing must keep them separate.
+    let n = 6u32;
+    let ty = vector_cols(256);
+    let mut spec = spec_with(Scheme::BcSpup);
+    spec.nprocs = n;
+    let mut cluster = Cluster::new(spec);
+    let span = ty.true_ub() as u64 + 64;
+    let mut sbufs = Vec::new();
+    let mut rbufs = Vec::new();
+    for r in 1..n {
+        let sb = cluster.alloc(r, span, 4096);
+        cluster.fill_pattern(r, sb, span, 100 + r as u64);
+        sbufs.push(sb);
+    }
+    for _ in 1..n {
+        rbufs.push(cluster.alloc(0, span, 4096));
+    }
+    let mut progs: Vec<Program> = Vec::new();
+    let mut p0: Program = Vec::new();
+    for r in 1..n {
+        p0.push(AppOp::Irecv {
+            peer: r,
+            buf: rbufs[(r - 1) as usize],
+            count: 1,
+            ty: ty.clone(),
+            tag: 0,
+        });
+    }
+    p0.push(AppOp::WaitAll);
+    progs.push(p0);
+    for r in 1..n {
+        progs.push(vec![
+            AppOp::Isend {
+                peer: 0,
+                buf: sbufs[(r - 1) as usize],
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            },
+            AppOp::WaitAll,
+        ]);
+    }
+    let stats = cluster.run(progs);
+    assert_eq!(stats.rnr_events, 0);
+    for r in 1..n {
+        let src = cluster.read_mem(r, sbufs[(r - 1) as usize], span);
+        let dst = cluster.read_mem(0, rbufs[(r - 1) as usize], span);
+        for (off, len) in ty.flat().repeat(1) {
+            let o = off as usize;
+            assert_eq!(
+                &dst[o..o + len as usize],
+                &src[o..o + len as usize],
+                "stream from rank {r} corrupted"
+            );
+        }
+    }
+}
+
+#[test]
+fn same_tag_messages_match_in_order() {
+    // MPI non-overtaking: two same-tag messages must match posted
+    // receives in order.
+    let ty = vector_cols(64);
+    let mut cluster = Cluster::new(spec_with(Scheme::RwgUp));
+    let span = ty.true_ub() as u64 + 64;
+    let s1 = cluster.alloc(0, span, 4096);
+    let s2 = cluster.alloc(0, span, 4096);
+    let r1 = cluster.alloc(1, span, 4096);
+    let r2 = cluster.alloc(1, span, 4096);
+    cluster.fill_pattern(0, s1, span, 1);
+    cluster.fill_pattern(0, s2, span, 2);
+    let p0 = vec![
+        AppOp::Isend { peer: 1, buf: s1, count: 1, ty: ty.clone(), tag: 5 },
+        AppOp::Isend { peer: 1, buf: s2, count: 1, ty: ty.clone(), tag: 5 },
+        AppOp::WaitAll,
+    ];
+    let p1 = vec![
+        AppOp::Irecv { peer: 0, buf: r1, count: 1, ty: ty.clone(), tag: 5 },
+        AppOp::Irecv { peer: 0, buf: r2, count: 1, ty: ty.clone(), tag: 5 },
+        AppOp::WaitAll,
+    ];
+    cluster.run(vec![p0, p1]);
+    let src1 = cluster.read_mem(0, s1, span);
+    let src2 = cluster.read_mem(0, s2, span);
+    let dst1 = cluster.read_mem(1, r1, span);
+    let dst2 = cluster.read_mem(1, r2, span);
+    for (off, len) in ty.flat().repeat(1) {
+        let o = off as usize..;
+        let o = o.start..o.start + len as usize;
+        assert_eq!(&dst1[o.clone()], &src1[o.clone()], "first recv got second message");
+        assert_eq!(&dst2[o.clone()], &src2[o], "second recv got first message");
+    }
+}
+
+#[test]
+fn layout_cache_survives_many_types() {
+    // Alternate between several datatypes so the receiver registry
+    // assigns multiple indices; the sender cache must keep them apart.
+    let tys: Vec<Datatype> = (4..9).map(|k| vector_cols(1 << k)).collect();
+    let mut cluster = Cluster::new(spec_with(Scheme::MultiW));
+    let span = tys.last().unwrap().true_ub() as u64 + 64;
+    let sbuf = cluster.alloc(0, span, 4096);
+    let rbuf = cluster.alloc(1, span, 4096);
+    cluster.fill_pattern(0, sbuf, span, 3);
+    let mut p0: Program = Vec::new();
+    let mut p1: Program = Vec::new();
+    // Two rounds over all types: round 2 must hit the layout cache.
+    for _ in 0..2 {
+        for ty in &tys {
+            p0.push(AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 });
+            p0.push(AppOp::WaitAll);
+            p1.push(AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 });
+            p1.push(AppOp::WaitAll);
+        }
+    }
+    cluster.run(vec![p0, p1]);
+    // Final message was the largest type; verify it.
+    let ty = tys.last().unwrap();
+    let src = cluster.read_mem(0, sbuf, span);
+    let dst = cluster.read_mem(1, rbuf, span);
+    for (off, len) in ty.flat().repeat(1) {
+        let o = off as usize;
+        assert_eq!(&dst[o..o + len as usize], &src[o..o + len as usize]);
+    }
+}
+
+#[test]
+fn wildcard_receives_match_any_source_and_tag() {
+    use ibdt_mpicore::rank::{ANY_SOURCE, ANY_TAG};
+    // Three senders, one receiver with wildcard receives; both eager
+    // (small) and rendezvous (large) messages.
+    for cols in [1u64, 256] {
+        let ty = vector_cols(cols);
+        let n = 4u32;
+        let mut spec = spec_with(Scheme::BcSpup);
+        spec.nprocs = n;
+        let mut cluster = Cluster::new(spec);
+        let span = ty.true_ub() as u64 + 64;
+        let mut sbufs = Vec::new();
+        for r in 1..n {
+            let sb = cluster.alloc(r, span, 4096);
+            cluster.fill_pattern(r, sb, span, 700 + r as u64);
+            sbufs.push(sb);
+        }
+        let mut rbufs = Vec::new();
+        for _ in 1..n {
+            rbufs.push(cluster.alloc(0, span, 4096));
+        }
+        let mut progs: Vec<Program> = Vec::new();
+        let mut p0: Program = Vec::new();
+        for rb in &rbufs {
+            p0.push(AppOp::Irecv {
+                peer: ANY_SOURCE,
+                buf: *rb,
+                count: 1,
+                ty: ty.clone(),
+                tag: ANY_TAG,
+            });
+        }
+        p0.push(AppOp::WaitAll);
+        progs.push(p0);
+        for r in 1..n {
+            progs.push(vec![
+                AppOp::Isend {
+                    peer: 0,
+                    buf: sbufs[(r - 1) as usize],
+                    count: 1,
+                    ty: ty.clone(),
+                    tag: 40 + r, // distinct tags, all matched by ANY_TAG
+                },
+                AppOp::WaitAll,
+            ]);
+        }
+        cluster.run(progs);
+        // Each receive buffer must hold exactly one sender's stream; the
+        // set of received streams equals the set of sent streams.
+        let gather = |mem: &[u8]| -> Vec<u8> {
+            let mut out = Vec::new();
+            for (off, len) in ty.flat().repeat(1) {
+                out.extend_from_slice(&mem[off as usize..(off + len as i64) as usize]);
+            }
+            out
+        };
+        let mut sent: Vec<Vec<u8>> = (1..n)
+            .map(|r| gather(&cluster.read_mem(r, sbufs[(r - 1) as usize], span)))
+            .collect();
+        let mut got: Vec<Vec<u8>> = rbufs
+            .iter()
+            .map(|rb| gather(&cluster.read_mem(0, *rb, span)))
+            .collect();
+        sent.sort();
+        got.sort();
+        assert_eq!(sent, got, "cols {cols}: wildcard delivery set mismatch");
+    }
+}

@@ -1,0 +1,230 @@
+//! One-sided (MPI-2 RMA) tests: Put/Get with derived datatypes,
+//! fence synchronization, self-target operations.
+
+use ibdt_datatype::Datatype;
+use ibdt_mpicore::{AppOp, Cluster, ClusterSpec, Program};
+
+fn vector_cols(cols: u64) -> Datatype {
+    Datatype::vector(128, cols, 4096, &Datatype::int()).unwrap()
+}
+
+fn cluster(n: u32) -> Cluster {
+    let mut spec = ClusterSpec::default();
+    spec.nprocs = n;
+    Cluster::new(spec)
+}
+
+#[test]
+fn put_moves_noncontiguous_data_one_sided() {
+    let ty = vector_cols(64); // 32 KiB in a 2 MiB span
+    let span = ty.true_ub() as u64 + 64;
+    let mut cluster = cluster(2);
+    let obuf = cluster.alloc(0, span, 4096);
+    let wbuf = cluster.alloc(1, span, 4096);
+    cluster.fill_pattern(0, obuf, span, 31);
+
+    let p0: Program = vec![
+        AppOp::WinCreate { win: 1, addr: 0, len: 0 }, // no exposure needed on origin
+        AppOp::Put {
+            win: 1,
+            target: 1,
+            obuf,
+            ocount: 1,
+            oty: ty.clone(),
+            toff: 0,
+            tcount: 1,
+            tty: ty.clone(),
+        },
+        AppOp::Fence,
+    ];
+    let p1: Program = vec![
+        AppOp::WinCreate { win: 1, addr: wbuf, len: span },
+        AppOp::Fence,
+    ];
+    let stats = cluster.run(vec![p0, p1]);
+    assert_eq!(stats.rnr_events, 0);
+    // The target's CPU moved no data (the only "unpacks" are the
+    // zero-byte barrier messages of WinCreate/Fence).
+    assert_eq!(stats.counters[1].bytes_unpacked, 0);
+
+    let src = cluster.read_mem(0, obuf, span);
+    let dst = cluster.read_mem(1, wbuf, span);
+    for (off, len) in ty.flat().repeat(1) {
+        let o = off as usize;
+        assert_eq!(&dst[o..o + len as usize], &src[o..o + len as usize]);
+    }
+}
+
+#[test]
+fn get_reads_remote_layout() {
+    let ty = vector_cols(32);
+    let span = ty.true_ub() as u64 + 64;
+    let mut cluster = cluster(2);
+    let obuf = cluster.alloc(0, span, 4096);
+    let wbuf = cluster.alloc(1, span, 4096);
+    cluster.fill_pattern(1, wbuf, span, 77);
+
+    let p0: Program = vec![
+        AppOp::WinCreate { win: 3, addr: 0, len: 0 },
+        AppOp::Get {
+            win: 3,
+            target: 1,
+            obuf,
+            ocount: 1,
+            oty: ty.clone(),
+            toff: 0,
+            tcount: 1,
+            tty: ty.clone(),
+        },
+        AppOp::Fence,
+    ];
+    let p1: Program = vec![
+        AppOp::WinCreate { win: 3, addr: wbuf, len: span },
+        AppOp::Fence,
+    ];
+    cluster.run(vec![p0, p1]);
+    let src = cluster.read_mem(1, wbuf, span);
+    let dst = cluster.read_mem(0, obuf, span);
+    for (off, len) in ty.flat().repeat(1) {
+        let o = off as usize;
+        assert_eq!(&dst[o..o + len as usize], &src[o..o + len as usize]);
+    }
+}
+
+#[test]
+fn put_with_asymmetric_layouts() {
+    // Origin contiguous, target vector — the origin-side target
+    // datatype drives the placement, like MPI_Put's target_datatype.
+    let oty = Datatype::contiguous(128 * 64, &Datatype::int()).unwrap();
+    let tty = vector_cols(64);
+    let ospan = oty.size() + 64;
+    let tspan = tty.true_ub() as u64 + 64;
+    let mut cluster = cluster(2);
+    let obuf = cluster.alloc(0, ospan, 4096);
+    let wbuf = cluster.alloc(1, tspan, 4096);
+    cluster.fill_pattern(0, obuf, ospan, 3);
+    let p0: Program = vec![
+        AppOp::WinCreate { win: 0, addr: 0, len: 0 },
+        AppOp::Put {
+            win: 0,
+            target: 1,
+            obuf,
+            ocount: 1,
+            oty: oty.clone(),
+            toff: 0,
+            tcount: 1,
+            tty: tty.clone(),
+        },
+        AppOp::Fence,
+    ];
+    let p1: Program = vec![
+        AppOp::WinCreate { win: 0, addr: wbuf, len: tspan },
+        AppOp::Fence,
+    ];
+    cluster.run(vec![p0, p1]);
+    // Stream equivalence.
+    let src = cluster.read_mem(0, obuf, ospan);
+    let dst = cluster.read_mem(1, wbuf, tspan);
+    let mut s_stream = Vec::new();
+    for (off, len) in oty.flat().repeat(1) {
+        s_stream.extend_from_slice(&src[off as usize..(off + len as i64) as usize]);
+    }
+    let mut t_stream = Vec::new();
+    for (off, len) in tty.flat().repeat(1) {
+        t_stream.extend_from_slice(&dst[off as usize..(off + len as i64) as usize]);
+    }
+    assert_eq!(s_stream, t_stream);
+}
+
+#[test]
+fn multiple_puts_complete_at_fence() {
+    // Ring of 4 ranks, each putting a block into its right neighbour's
+    // window; everyone fences; everyone then reads its own window.
+    let n = 4u32;
+    let block = 64 * 1024u64;
+    let mut cluster = cluster(n);
+    let ty = Datatype::contiguous(block, &Datatype::byte()).unwrap();
+    let mut obufs = Vec::new();
+    let mut wbufs = Vec::new();
+    for r in 0..n {
+        let ob = cluster.alloc(r, block, 4096);
+        let wb = cluster.alloc(r, block, 4096);
+        cluster.fill_pattern(r, ob, block, 400 + r as u64);
+        obufs.push(ob);
+        wbufs.push(wb);
+    }
+    let progs: Vec<Program> = (0..n)
+        .map(|r| {
+            vec![
+                AppOp::WinCreate { win: 9, addr: wbufs[r as usize], len: block },
+                AppOp::Put {
+                    win: 9,
+                    target: (r + 1) % n,
+                    obuf: obufs[r as usize],
+                    ocount: 1,
+                    oty: ty.clone(),
+                    toff: 0,
+                    tcount: 1,
+                    tty: ty.clone(),
+                },
+                AppOp::Fence,
+            ]
+        })
+        .collect();
+    cluster.run(progs);
+    for r in 0..n {
+        let left = (r + n - 1) % n;
+        assert_eq!(
+            cluster.read_mem(r, wbufs[r as usize], block),
+            cluster.read_mem(left, obufs[left as usize], block),
+            "rank {r} window should hold rank {left}'s data"
+        );
+    }
+}
+
+#[test]
+fn self_put_and_get_are_local() {
+    let ty = vector_cols(16);
+    let span = ty.true_ub() as u64 + 64;
+    let mut cluster = cluster(2);
+    let a = cluster.alloc(0, span, 4096);
+    let b = cluster.alloc(0, span, 4096);
+    cluster.fill_pattern(0, a, span, 8);
+    let p0: Program = vec![
+        AppOp::WinCreate { win: 2, addr: b, len: span },
+        AppOp::Put {
+            win: 2,
+            target: 0,
+            obuf: a,
+            ocount: 1,
+            oty: ty.clone(),
+            toff: 0,
+            tcount: 1,
+            tty: ty.clone(),
+        },
+        AppOp::Fence,
+    ];
+    let p1: Program = vec![
+        AppOp::WinCreate { win: 2, addr: 0, len: 0 },
+        AppOp::Fence,
+    ];
+    let stats = cluster.run(vec![p0, p1]);
+    // Self RMA posts no RDMA work requests (barrier control messages
+    // are the only wire traffic).
+    assert_eq!(stats.counters[0].data_wrs, 0, "self RMA stays off the wire");
+    let src = cluster.read_mem(0, a, span);
+    let dst = cluster.read_mem(0, b, span);
+    for (off, len) in ty.flat().repeat(1) {
+        let o = off as usize;
+        assert_eq!(&dst[o..o + len as usize], &src[o..o + len as usize]);
+    }
+}
+
+#[test]
+fn fence_without_rma_is_a_barrier() {
+    let mut cluster = cluster(3);
+    let progs: Vec<Program> = (0..3)
+        .map(|_| vec![AppOp::WinCreate { win: 5, addr: 0, len: 0 }, AppOp::Fence])
+        .collect();
+    cluster.run(progs); // must terminate without deadlock
+}

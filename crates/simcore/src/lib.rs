@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Deterministic discrete-event simulation core.
+//!
+//! This crate provides the virtual-time substrate that the InfiniBand
+//! verbs simulator ([`ibdt-ibsim`]) and the MPI runtime
+//! ([`ibdt-mpicore`]) are built on:
+//!
+//! * [`time`] — virtual nanoseconds and conversion helpers,
+//! * [`queue`] — a total-ordered event queue (`(time, seq)` ordering, so
+//!   identical inputs replay identically),
+//! * [`resource`] — FIFO "busy-until" serial resources modelling a host
+//!   CPU, a NIC processing engine, or a network link,
+//! * [`trace`] — span recording for resources, used to *prove* overlap
+//!   (e.g. that BC-SPUP really pipelines packing against the wire),
+//! * [`engine`] — a small driver loop tying a user "world" to the queue.
+//!
+//! The design goal is reproducibility: a simulation is a pure function of
+//! its inputs. There is no wall-clock, no global state and no
+//! nondeterministic iteration order anywhere in this crate.
+
+pub mod engine;
+pub mod queue;
+pub mod resource;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Engine, World};
+pub use queue::EventQueue;
+pub use resource::SerialResource;
+pub use time::{Time, GIGA, KILO, MEGA};
+pub use trace::{Span, Trace};

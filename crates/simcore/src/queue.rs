@@ -1,0 +1,160 @@
+//! Total-ordered event queue.
+//!
+//! Events are ordered by `(time, seq)` where `seq` is a monotonically
+//! increasing insertion counter. Two events scheduled for the same
+//! virtual instant are therefore delivered in the order they were
+//! scheduled, which makes the whole simulation deterministic without any
+//! reliance on heap tie-breaking behaviour.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue. Ordering is `(time, seq)`; the payload does not
+/// participate in ordering.
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic event queue.
+///
+/// `E` is the caller-defined event payload. The queue never inspects it.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    scheduled: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Schedules `payload` for delivery at absolute virtual time `time`.
+    pub fn schedule(&mut self, time: Time, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+    }
+
+    /// Virtual time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (for statistics).
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(42, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn peek_time_tracks_minimum() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(7, ());
+        q.schedule(3, ());
+        assert_eq!(q.peek_time(), Some(3));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(7));
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, ());
+        q.schedule(2, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_scheduled(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.total_scheduled(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 5);
+        q.schedule(1, 1);
+        assert_eq!(q.pop(), Some((1, 1)));
+        q.schedule(3, 3);
+        q.schedule(2, 2);
+        assert_eq!(q.pop(), Some((2, 2)));
+        assert_eq!(q.pop(), Some((3, 3)));
+        assert_eq!(q.pop(), Some((5, 5)));
+    }
+}

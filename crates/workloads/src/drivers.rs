@@ -1,0 +1,497 @@
+//! Measurement drivers: ping-pong latency, windowed bandwidth,
+//! collective timing, and the Fig. 2 `Manual` / `Multiple` / `Contig`
+//! comparison schemes.
+//!
+//! Every driver verifies data correctness as part of the measurement —
+//! a scheme that corrupted bytes would fail the benchmark, not just
+//! mis-report it.
+
+use crate::vector::VectorWorkload;
+use ibdt_datatype::Datatype;
+use ibdt_mpicore::{AppOp, Cluster, ClusterSpec, Program, RunStats};
+use ibdt_simcore::time::Time;
+
+/// Result of a ping-pong latency measurement.
+#[derive(Debug)]
+pub struct PingPongResult {
+    /// One-way latency (half the round trip), averaged over the
+    /// measured iterations.
+    pub one_way_ns: Time,
+    /// Full run statistics.
+    pub stats: RunStats,
+}
+
+/// Result of a windowed bandwidth measurement.
+#[derive(Debug)]
+pub struct BandwidthResult {
+    /// Achieved bandwidth in bytes per second (decimal).
+    pub bytes_per_sec: f64,
+    /// Virtual time of the measured window.
+    pub interval_ns: Time,
+    /// Full run statistics.
+    pub stats: RunStats,
+}
+
+fn alloc_buffers(cluster: &mut Cluster, ty: &Datatype, count: u64) -> (u64, u64, u64) {
+    let span = ((count.saturating_sub(1)) as i64 * ty.extent() + ty.true_ub()).max(8) as u64 + 64;
+    let b0 = cluster.alloc(0, span, 4096);
+    let b1 = cluster.alloc(1, span, 4096);
+    cluster.fill_pattern(0, b0, span, 13);
+    (b0, b1, span)
+}
+
+fn verify(cluster: &Cluster, ty: &Datatype, count: u64, b0: u64, b1: u64, span: u64) {
+    let src = cluster.read_mem(0, b0, span);
+    let dst = cluster.read_mem(1, b1, span);
+    for (off, len) in ty.flat().repeat(count) {
+        let o = off as usize;
+        assert_eq!(
+            &dst[o..o + len as usize],
+            &src[o..o + len as usize],
+            "benchmark data corruption at offset {off}"
+        );
+    }
+}
+
+/// Ping-pong latency (§3.2 / §8.2): rank 0 sends `count` instances of
+/// `ty` to rank 1, which echoes them back. `warmup` unmeasured round
+/// trips precede `iters` measured ones.
+pub fn pingpong(
+    spec: &ClusterSpec,
+    ty: &Datatype,
+    count: u64,
+    warmup: u32,
+    iters: u32,
+) -> PingPongResult {
+    assert!(iters > 0);
+    let mut cluster = Cluster::new(spec.clone());
+    let (b0, b1, span) = alloc_buffers(&mut cluster, ty, count);
+    let mut p0: Program = Vec::new();
+    let mut p1: Program = Vec::new();
+    for i in 0..warmup + iters {
+        if i == warmup {
+            p0.push(AppOp::MarkTime { slot: 0 });
+        }
+        p0.push(AppOp::Isend { peer: 1, buf: b0, count, ty: ty.clone(), tag: 1 });
+        p0.push(AppOp::WaitAll);
+        p0.push(AppOp::Irecv { peer: 1, buf: b0, count, ty: ty.clone(), tag: 2 });
+        p0.push(AppOp::WaitAll);
+        p1.push(AppOp::Irecv { peer: 0, buf: b1, count, ty: ty.clone(), tag: 1 });
+        p1.push(AppOp::WaitAll);
+        p1.push(AppOp::Isend { peer: 0, buf: b1, count, ty: ty.clone(), tag: 2 });
+        p1.push(AppOp::WaitAll);
+    }
+    p0.push(AppOp::MarkTime { slot: 1 });
+    let stats = cluster.run(vec![p0, p1]);
+    verify(&cluster, ty, count, b0, b1, span);
+    let round = stats.mark_interval(0, 0, 1);
+    PingPongResult {
+        one_way_ns: round / (2 * iters as u64),
+        stats,
+    }
+}
+
+/// Windowed bandwidth (§8.2): "the sender pushes 100 consecutive
+/// datatype messages and then waits for a reply from the receiver when
+/// all messages have been received." Sends are blocking (`MPI_Send`),
+/// matching the original benchmark.
+pub fn bandwidth(spec: &ClusterSpec, ty: &Datatype, count: u64, window: u32) -> BandwidthResult {
+    assert!(window > 0);
+    let mut cluster = Cluster::new(spec.clone());
+    let (b0, b1, span) = alloc_buffers(&mut cluster, ty, count);
+    let reply = Datatype::int();
+    let rbuf0 = cluster.alloc(0, 8, 8);
+    let rbuf1 = cluster.alloc(1, 8, 8);
+
+    let mut p0: Program = Vec::new();
+    let mut p1: Program = Vec::new();
+    // One warmup message to populate caches and pools.
+    p0.push(AppOp::Isend { peer: 1, buf: b0, count, ty: ty.clone(), tag: 1 });
+    p0.push(AppOp::WaitAll);
+    p1.push(AppOp::Irecv { peer: 0, buf: b1, count, ty: ty.clone(), tag: 1 });
+    p1.push(AppOp::WaitAll);
+
+    p0.push(AppOp::MarkTime { slot: 0 });
+    for _ in 0..window {
+        p0.push(AppOp::Isend { peer: 1, buf: b0, count, ty: ty.clone(), tag: 1 });
+        p0.push(AppOp::WaitAll);
+        p1.push(AppOp::Irecv { peer: 0, buf: b1, count, ty: ty.clone(), tag: 1 });
+        p1.push(AppOp::WaitAll);
+    }
+    p1.push(AppOp::Isend { peer: 0, buf: rbuf1, count: 1, ty: reply.clone(), tag: 9 });
+    p1.push(AppOp::WaitAll);
+    p0.push(AppOp::Irecv { peer: 1, buf: rbuf0, count: 1, ty: reply.clone(), tag: 9 });
+    p0.push(AppOp::WaitAll);
+    p0.push(AppOp::MarkTime { slot: 1 });
+
+    let stats = cluster.run(vec![p0, p1]);
+    verify(&cluster, ty, count, b0, b1, span);
+    let interval = stats.mark_interval(0, 0, 1);
+    let bytes = window as u64 * count * ty.size();
+    BandwidthResult {
+        bytes_per_sec: bytes as f64 / (interval as f64 / 1e9),
+        interval_ns: interval,
+        stats,
+    }
+}
+
+/// `MPI_Alltoall` timing (§8.3): `iters` alltoalls of `count` instances
+/// of `ty` per rank pair, barrier-separated; returns the mean time per
+/// operation and the run statistics.
+pub fn alltoall_time(
+    spec: &ClusterSpec,
+    ty: &Datatype,
+    count: u64,
+    iters: u32,
+) -> (Time, RunStats) {
+    assert!(iters > 0);
+    let n = spec.nprocs;
+    let mut cluster = Cluster::new(spec.clone());
+    let block = ty.extent() as u64 * count;
+    let span = block * n as u64 + ty.true_ub().max(0) as u64 + 64;
+    let mut sbufs = Vec::new();
+    let mut rbufs = Vec::new();
+    for r in 0..n {
+        let sb = cluster.alloc(r, span, 4096);
+        let rb = cluster.alloc(r, span, 4096);
+        cluster.fill_pattern(r, sb, span, 17 + r as u64);
+        sbufs.push(sb);
+        rbufs.push(rb);
+    }
+    let progs: Vec<Program> = (0..n)
+        .map(|r| {
+            let mut p: Program = vec![
+                // Warmup round.
+                AppOp::Alltoall {
+                    sbuf: sbufs[r as usize],
+                    rbuf: rbufs[r as usize],
+                    count,
+                    sty: ty.clone(),
+                    rty: ty.clone(),
+                },
+                AppOp::Barrier,
+            ];
+            if r == 0 {
+                p.push(AppOp::MarkTime { slot: 0 });
+            }
+            for _ in 0..iters {
+                p.push(AppOp::Alltoall {
+                    sbuf: sbufs[r as usize],
+                    rbuf: rbufs[r as usize],
+                    count,
+                    sty: ty.clone(),
+                    rty: ty.clone(),
+                });
+            }
+            p.push(AppOp::Barrier);
+            if r == 0 {
+                p.push(AppOp::MarkTime { slot: 1 });
+            }
+            p
+        })
+        .collect();
+    let stats = cluster.run(progs);
+    // Verify the final round's data placement.
+    for i in 0..n {
+        for j in 0..n {
+            let src = cluster.read_mem(i, sbufs[i as usize] + j as u64 * block, block);
+            let dst = cluster.read_mem(j, rbufs[j as usize] + i as u64 * block, block);
+            for (off, len) in ty.flat().repeat(count) {
+                let o = off as usize;
+                assert_eq!(&dst[o..o + len as usize], &src[o..o + len as usize]);
+            }
+        }
+    }
+    let per_op = stats.mark_interval(0, 0, 1) / iters as u64;
+    (per_op, stats)
+}
+
+/// Asymmetric ping-pong: rank 0 sends `scount` instances of `sty`;
+/// rank 1 receives (and echoes) `rcount` instances of `rty`. The type
+/// signatures must carry the same number of bytes. Exercises the §5.2
+/// asymmetric case (e.g. contiguous sender, noncontiguous receiver).
+#[allow(clippy::too_many_arguments)]
+pub fn pingpong_asym(
+    spec: &ClusterSpec,
+    sty: &Datatype,
+    scount: u64,
+    rty: &Datatype,
+    rcount: u64,
+    warmup: u32,
+    iters: u32,
+) -> PingPongResult {
+    assert!(iters > 0);
+    assert_eq!(scount * sty.size(), rcount * rty.size(), "signature mismatch");
+    let mut cluster = Cluster::new(spec.clone());
+    let s_span = ((scount.saturating_sub(1)) as i64 * sty.extent() + sty.true_ub()).max(8) as u64 + 64;
+    let r_span = ((rcount.saturating_sub(1)) as i64 * rty.extent() + rty.true_ub()).max(8) as u64 + 64;
+    let b0 = cluster.alloc(0, s_span, 4096);
+    let b1 = cluster.alloc(1, r_span, 4096);
+    cluster.fill_pattern(0, b0, s_span, 21);
+    let mut p0: Program = Vec::new();
+    let mut p1: Program = Vec::new();
+    for i in 0..warmup + iters {
+        if i == warmup {
+            p0.push(AppOp::MarkTime { slot: 0 });
+        }
+        p0.push(AppOp::Isend { peer: 1, buf: b0, count: scount, ty: sty.clone(), tag: 1 });
+        p0.push(AppOp::WaitAll);
+        p0.push(AppOp::Irecv { peer: 1, buf: b0, count: scount, ty: sty.clone(), tag: 2 });
+        p0.push(AppOp::WaitAll);
+        p1.push(AppOp::Irecv { peer: 0, buf: b1, count: rcount, ty: rty.clone(), tag: 1 });
+        p1.push(AppOp::WaitAll);
+        p1.push(AppOp::Isend { peer: 0, buf: b1, count: rcount, ty: rty.clone(), tag: 2 });
+        p1.push(AppOp::WaitAll);
+    }
+    p0.push(AppOp::MarkTime { slot: 1 });
+    let stats = cluster.run(vec![p0, p1]);
+    // Stream equivalence check.
+    let src = cluster.read_mem(0, b0, s_span);
+    let dst = cluster.read_mem(1, b1, r_span);
+    let gather = |ty: &Datatype, count: u64, mem: &[u8]| -> Vec<u8> {
+        let mut out = Vec::new();
+        for (off, len) in ty.flat().repeat(count) {
+            out.extend_from_slice(&mem[off as usize..(off + len as i64) as usize]);
+        }
+        out
+    };
+    assert_eq!(
+        gather(sty, scount, &src),
+        gather(rty, rcount, &dst),
+        "asymmetric transfer stream mismatch"
+    );
+    let round = stats.mark_interval(0, 0, 1);
+    PingPongResult {
+        one_way_ns: round / (2 * iters as u64),
+        stats,
+    }
+}
+
+/// Fig. 2 `Manual`: the user packs into a contiguous buffer themselves
+/// (cost modelled by [`VectorWorkload::manual_copy_ns`]), sends
+/// contiguously, and the receiver unpacks manually.
+pub fn pingpong_manual(
+    spec: &ClusterSpec,
+    w: &VectorWorkload,
+    warmup: u32,
+    iters: u32,
+) -> PingPongResult {
+    let copy_ns = w.manual_copy_ns(&spec.host);
+    let contig = Datatype::contiguous(w.size, &Datatype::byte()).expect("contig");
+    let mut cluster = Cluster::new(spec.clone());
+    let b0 = cluster.alloc(0, w.size + 64, 4096);
+    let b1 = cluster.alloc(1, w.size + 64, 4096);
+    cluster.fill_pattern(0, b0, w.size, 5);
+    let mut p0: Program = Vec::new();
+    let mut p1: Program = Vec::new();
+    for i in 0..warmup + iters {
+        if i == warmup {
+            p0.push(AppOp::MarkTime { slot: 0 });
+        }
+        // Sender: manual pack, contiguous send; on the reply, manual
+        // unpack.
+        p0.push(AppOp::Compute { ns: copy_ns });
+        p0.push(AppOp::Isend { peer: 1, buf: b0, count: 1, ty: contig.clone(), tag: 1 });
+        p0.push(AppOp::WaitAll);
+        p0.push(AppOp::Irecv { peer: 1, buf: b0, count: 1, ty: contig.clone(), tag: 2 });
+        p0.push(AppOp::WaitAll);
+        p0.push(AppOp::Compute { ns: copy_ns });
+        p1.push(AppOp::Irecv { peer: 0, buf: b1, count: 1, ty: contig.clone(), tag: 1 });
+        p1.push(AppOp::WaitAll);
+        p1.push(AppOp::Compute { ns: 2 * copy_ns }); // unpack + repack
+        p1.push(AppOp::Isend { peer: 0, buf: b1, count: 1, ty: contig.clone(), tag: 2 });
+        p1.push(AppOp::WaitAll);
+    }
+    p0.push(AppOp::MarkTime { slot: 1 });
+    let stats = cluster.run(vec![p0, p1]);
+    let round = stats.mark_interval(0, 0, 1);
+    PingPongResult {
+        one_way_ns: round / (2 * iters as u64),
+        stats,
+    }
+}
+
+/// Fig. 2 `Multiple`: each contiguous block travels as its own MPI
+/// message ("transfers each contiguous block one by one using
+/// individual MPI calls").
+pub fn pingpong_multiple(
+    spec: &ClusterSpec,
+    w: &VectorWorkload,
+    warmup: u32,
+    iters: u32,
+) -> PingPongResult {
+    let block_ty = Datatype::contiguous(w.block_bytes, &Datatype::byte()).expect("contig");
+    let row_stride = 4096u64 * 4;
+    let mut cluster = Cluster::new(spec.clone());
+    let b0 = cluster.alloc(0, w.span, 4096);
+    let b1 = cluster.alloc(1, w.span, 4096);
+    cluster.fill_pattern(0, b0, w.span, 5);
+    let mut p0: Program = Vec::new();
+    let mut p1: Program = Vec::new();
+    for i in 0..warmup + iters {
+        if i == warmup {
+            p0.push(AppOp::MarkTime { slot: 0 });
+        }
+        for r in 0..w.blocks {
+            p0.push(AppOp::Isend {
+                peer: 1,
+                buf: b0 + r * row_stride,
+                count: 1,
+                ty: block_ty.clone(),
+                tag: 1,
+            });
+            p1.push(AppOp::Irecv {
+                peer: 0,
+                buf: b1 + r * row_stride,
+                count: 1,
+                ty: block_ty.clone(),
+                tag: 1,
+            });
+        }
+        p0.push(AppOp::WaitAll);
+        p1.push(AppOp::WaitAll);
+        // Echo direction.
+        for r in 0..w.blocks {
+            p1.push(AppOp::Isend {
+                peer: 0,
+                buf: b1 + r * row_stride,
+                count: 1,
+                ty: block_ty.clone(),
+                tag: 2,
+            });
+            p0.push(AppOp::Irecv {
+                peer: 1,
+                buf: b0 + r * row_stride,
+                count: 1,
+                ty: block_ty.clone(),
+                tag: 2,
+            });
+        }
+        p1.push(AppOp::WaitAll);
+        p0.push(AppOp::WaitAll);
+    }
+    p0.push(AppOp::MarkTime { slot: 1 });
+    let stats = cluster.run(vec![p0, p1]);
+    // Verify the columns landed.
+    let src = cluster.read_mem(0, b0, w.span);
+    let dst = cluster.read_mem(1, b1, w.span);
+    for r in 0..w.blocks {
+        let o = (r * row_stride) as usize;
+        let l = w.block_bytes as usize;
+        assert_eq!(&dst[o..o + l], &src[o..o + l]);
+    }
+    let round = stats.mark_interval(0, 0, 1);
+    PingPongResult {
+        one_way_ns: round / (2 * iters as u64),
+        stats,
+    }
+}
+
+/// Fig. 2 `Contig`: a contiguous transfer of the same number of bytes —
+/// the reference every scheme is compared against.
+pub fn pingpong_contig(
+    spec: &ClusterSpec,
+    bytes: u64,
+    warmup: u32,
+    iters: u32,
+) -> PingPongResult {
+    let ty = Datatype::contiguous(bytes, &Datatype::byte()).expect("contig");
+    pingpong(spec, &ty, 1, warmup, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::VectorWorkload;
+    use ibdt_mpicore::Scheme;
+
+    fn spec(scheme: Scheme) -> ClusterSpec {
+        let mut s = ClusterSpec::default();
+        s.mpi.scheme = scheme;
+        s
+    }
+
+    #[test]
+    fn pingpong_reports_positive_latency() {
+        let w = VectorWorkload::new(16);
+        let r = pingpong(&spec(Scheme::BcSpup), &w.ty, 1, 1, 3);
+        assert!(r.one_way_ns > 1_000);
+        assert_eq!(r.stats.rnr_events, 0);
+    }
+
+    #[test]
+    fn pingpong_warmup_lowers_latency() {
+        // First iteration pays registration; steady state must be
+        // faster than a cold single-shot.
+        let w = VectorWorkload::new(256);
+        let cold = pingpong(&spec(Scheme::MultiW), &w.ty, 1, 0, 1).one_way_ns;
+        let warm = pingpong(&spec(Scheme::MultiW), &w.ty, 1, 2, 4).one_way_ns;
+        assert!(warm < cold, "warm {warm} !< cold {cold}");
+    }
+
+    #[test]
+    fn bandwidth_below_link_rate() {
+        let w = VectorWorkload::new(64);
+        let r = bandwidth(&spec(Scheme::BcSpup), &w.ty, 1, 10);
+        assert!(r.bytes_per_sec > 1e7, "bw {} too low", r.bytes_per_sec);
+        assert!(
+            r.bytes_per_sec < 880e6,
+            "bw {} exceeds the wire",
+            r.bytes_per_sec
+        );
+    }
+
+    #[test]
+    fn alltoall_runs_and_verifies() {
+        let ty = crate::structdt::struct_datatype(512);
+        let mut s = spec(Scheme::BcSpup);
+        s.nprocs = 4;
+        let (per_op, stats) = alltoall_time(&s, &ty, 1, 2);
+        assert!(per_op > 1_000);
+        assert_eq!(stats.rnr_events, 0);
+    }
+
+    #[test]
+    fn manual_beats_generic_datatype_slightly() {
+        let w = VectorWorkload::new(64);
+        let dt = pingpong(&spec(Scheme::Generic), &w.ty, 1, 1, 3).one_way_ns;
+        let manual = pingpong_manual(&spec(Scheme::Generic), &w, 1, 3).one_way_ns;
+        assert!(manual < dt, "manual {manual} !< datatype {dt}");
+        // ... but not by much (same two copies travel the same wire).
+        assert!(manual * 2 > dt, "manual {manual} implausibly fast vs {dt}");
+    }
+
+    #[test]
+    fn multiple_scheme_wins_at_large_blocks_only() {
+        let small = VectorWorkload::new(8); // 32 B blocks
+        let large = VectorWorkload::new(2048); // 8 KiB blocks
+        let s = spec(Scheme::Generic);
+        let dt_small = pingpong(&s, &small.ty, 1, 1, 2).one_way_ns;
+        let mult_small = pingpong_multiple(&s, &small, 1, 2).one_way_ns;
+        assert!(
+            mult_small > dt_small,
+            "multiple {mult_small} should lose at 32-byte blocks vs {dt_small}"
+        );
+        let dt_large = pingpong(&s, &large.ty, 1, 1, 2).one_way_ns;
+        let mult_large = pingpong_multiple(&s, &large, 1, 2).one_way_ns;
+        assert!(
+            mult_large < dt_large,
+            "multiple {mult_large} should win at 8 KiB blocks vs {dt_large}"
+        );
+    }
+
+    #[test]
+    fn contig_is_fastest() {
+        let w = VectorWorkload::new(256);
+        let s = spec(Scheme::Generic);
+        let contig = pingpong_contig(&s, w.size, 1, 2).one_way_ns;
+        let dt = pingpong(&s, &w.ty, 1, 1, 2).one_way_ns;
+        assert!(contig < dt);
+        // Fig. 2: datatype gets no more than ~1/4 of contiguous
+        // performance at sizeable messages.
+        assert!(
+            dt > contig * 2,
+            "generic datatype {dt} should be far slower than contig {contig}"
+        );
+    }
+}

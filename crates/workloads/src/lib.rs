@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Benchmark workloads and measurement drivers.
+//!
+//! Reproduces the paper's measurement methodology:
+//!
+//! * [`vector`] — the §3.2 vector micro-benchmark: `x` columns of a
+//!   128 × 4096 integer array, and the `Manual` / `Multiple` / `Contig`
+//!   comparison schemes of Fig. 2,
+//! * [`structdt`] — the Fig. 10 struct datatype with exponentially
+//!   growing blocks and gaps equal to the first block,
+//! * [`drivers`] — ping-pong latency, windowed bandwidth (100
+//!   consecutive messages, §8.2), and collective timing drivers with
+//!   built-in data verification,
+//! * [`sweep`] — a parallel parameter-sweep runner: independent
+//!   deterministic simulations fan out across OS threads and results
+//!   return in input order.
+
+pub mod drivers;
+pub mod structdt;
+pub mod sweep;
+pub mod vector;
+
+pub use drivers::{
+    alltoall_time, bandwidth, pingpong, pingpong_asym, pingpong_contig, pingpong_manual,
+    pingpong_multiple, BandwidthResult, PingPongResult,
+};
+pub use structdt::struct_datatype;
+pub use vector::{vector_datatype, VectorWorkload};

@@ -1,0 +1,90 @@
+//! Parallel parameter sweeps.
+//!
+//! Each simulation is deterministic and single-threaded, so a sweep
+//! over workload parameters is embarrassingly parallel: inputs fan out
+//! across OS threads, results come back in input order. This is the
+//! only place the crate uses real parallelism — inside a simulation
+//! determinism rules it out.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f` over every input, in parallel, returning results in input
+/// order. `f` must be deterministic per input (it is in this codebase:
+/// simulations take no ambient state).
+pub fn run_sweep<I, R, F>(inputs: Vec<I>, f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(&I) -> R + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if threads <= 1 {
+        return inputs.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&inputs[i]);
+                results.lock().expect("sweep worker panicked")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("all workers joined")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_input_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = run_sweep(inputs, |&x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = run_sweep(Vec::<u32>::new(), |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_input() {
+        assert_eq!(run_sweep(vec![7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // A mildly expensive deterministic function.
+        let f = |&x: &u64| -> u64 {
+            let mut acc = x;
+            for _ in 0..1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let inputs: Vec<u64> = (0..64).collect();
+        let serial: Vec<u64> = inputs.iter().map(f).collect();
+        assert_eq!(run_sweep(inputs, f), serial);
+    }
+}

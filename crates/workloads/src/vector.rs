@@ -1,0 +1,95 @@
+//! The §3.2 vector workload: columns of a two-dimensional
+//! 128 × 4096 integer array.
+
+use ibdt_datatype::Datatype;
+use ibdt_ibsim::HostConfig;
+use ibdt_simcore::time::{transfer_ns, Time};
+
+/// Number of rows in the paper's array.
+pub const ROWS: u64 = 128;
+/// Number of integer columns in the paper's array.
+pub const COLS: u64 = 4096;
+
+/// `MPI_Type_vector(128, x, 4096, MPI_INT)` — `x` columns of the array.
+pub fn vector_datatype(x: u64) -> Datatype {
+    Datatype::vector(ROWS, x, COLS as i64, &Datatype::int())
+        .expect("the paper's vector type is always valid")
+}
+
+/// Everything the Fig. 2 / 8 / 9 benchmarks need to know about one
+/// column count.
+#[derive(Debug, Clone)]
+pub struct VectorWorkload {
+    /// Number of columns transferred.
+    pub columns: u64,
+    /// The derived datatype.
+    pub ty: Datatype,
+    /// Total data bytes.
+    pub size: u64,
+    /// Bytes per contiguous block.
+    pub block_bytes: u64,
+    /// Number of contiguous blocks (= rows).
+    pub blocks: u64,
+    /// Memory span a user buffer must cover.
+    pub span: u64,
+}
+
+impl VectorWorkload {
+    /// Builds the workload for `x` columns.
+    pub fn new(x: u64) -> Self {
+        let ty = vector_datatype(x);
+        VectorWorkload {
+            columns: x,
+            size: ty.size(),
+            block_bytes: x * 4,
+            blocks: ROWS,
+            span: ty.true_ub() as u64 + 64,
+            ty,
+        }
+    }
+
+    /// Host time for a *manual* pack or unpack of this layout: the user
+    /// writes the copy loop themselves, so the datatype-processing
+    /// per-block overhead of the library does not apply (§3.2: "Manual
+    /// performs a little better than Datatype ... because of datatype
+    /// processing overhead").
+    pub fn manual_copy_ns(&self, host: &HostConfig) -> Time {
+        host.copy_block_overhead_ns * self.blocks + transfer_ns(self.size, host.copy_bw_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datatype_matches_paper_example() {
+        let w = VectorWorkload::new(4);
+        assert_eq!(w.size, 128 * 4 * 4);
+        assert_eq!(w.block_bytes, 16);
+        assert_eq!(w.blocks, 128);
+        assert_eq!(w.ty.num_blocks(), 128);
+    }
+
+    #[test]
+    fn full_width_is_contiguous() {
+        // x == 4096 covers the whole array: one dense block.
+        let w = VectorWorkload::new(COLS);
+        assert_eq!(w.ty.num_blocks(), 1);
+        assert!(w.ty.is_contiguous());
+    }
+
+    #[test]
+    fn manual_cheaper_than_library_pack() {
+        let w = VectorWorkload::new(16);
+        let host = HostConfig::default();
+        let lib = host.copy_ns(w.blocks as usize, w.size);
+        assert!(w.manual_copy_ns(&host) < lib);
+    }
+
+    #[test]
+    fn span_covers_all_columns() {
+        let w = VectorWorkload::new(2048);
+        assert!(w.span >= (127 * 4096 + 2048) * 4);
+    }
+}

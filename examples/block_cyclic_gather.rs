@@ -1,0 +1,103 @@
+//! Assembling a ScaLAPACK-style block-cyclic matrix with `darray`.
+//!
+//! A 64 x 60 double matrix lives distributed 2D block-cyclically over a
+//! 2 x 3 process grid (4 x 4 blocks). Each rank stores its share as a
+//! packed local buffer; rank 0 gathers the full matrix by posting one
+//! receive per rank with that rank's **darray datatype** — the datatype
+//! engine scatters each packed contribution straight into the right
+//! global positions, no application-side index arithmetic at all.
+//!
+//! ```text
+//! cargo run --release --example block_cyclic_gather
+//! ```
+
+use ibdt::datatype::typ::Distribution;
+use ibdt::datatype::Datatype;
+use ibdt::mpicore::{AppOp, Cluster, ClusterSpec, Program, Scheme};
+
+const GR: u64 = 64;
+const GC: u64 = 60;
+const EL: u64 = 8;
+const PR: u32 = 2;
+const PC: u32 = 3;
+const P: u32 = PR * PC;
+
+fn main() {
+    let distribs = [Distribution::Cyclic(4), Distribution::Cyclic(4)];
+    let psizes = [PR, PC];
+    let gsizes = [GR, GC];
+
+    let mut spec = ClusterSpec::default();
+    spec.nprocs = P;
+    spec.mpi.scheme = Scheme::Adaptive;
+    let mut cluster = Cluster::new(spec);
+
+    // Per-rank darray types and packed local contributions.
+    let elem = Datatype::double();
+    let mut local_bufs = Vec::new();
+    let mut darrays = Vec::new();
+    for r in 0..P {
+        let ty = Datatype::darray(P, r, &gsizes, &distribs, &psizes, &elem)
+            .expect("valid distribution");
+        // Local data, packed in darray (local-array) order: value =
+        // global element index, so assembly is trivially checkable.
+        let mut local: Vec<u8> = Vec::with_capacity(ty.size() as usize);
+        for (off, len) in ty.flat().blocks.iter() {
+            for k in 0..(len / EL) {
+                let gidx = (*off as u64 + k * EL) / EL;
+                local.extend_from_slice(&(gidx as f64).to_le_bytes());
+            }
+        }
+        let buf = cluster.alloc(r, ty.size() + 64, 4096);
+        cluster.write_mem(r, buf, &local);
+        local_bufs.push(buf);
+        darrays.push(ty);
+    }
+    let global = cluster.alloc(0, GR * GC * EL + 64, 4096);
+
+    let progs: Vec<Program> = (0..P)
+        .map(|r| {
+            let mut p: Program = Vec::new();
+            if r == 0 {
+                for src in 0..P {
+                    // Receive src's packed bytes, scattered by its
+                    // darray type into the global matrix.
+                    p.push(AppOp::Irecv {
+                        peer: src,
+                        buf: global,
+                        count: 1,
+                        ty: darrays[src as usize].clone(),
+                        tag: 1,
+                    });
+                }
+            }
+            let contig = Datatype::contiguous(darrays[r as usize].size(), &Datatype::byte())
+                .expect("contig");
+            p.push(AppOp::Isend {
+                peer: 0,
+                buf: local_bufs[r as usize],
+                count: 1,
+                ty: contig,
+                tag: 1,
+            });
+            p.push(AppOp::WaitAll);
+            p
+        })
+        .collect();
+    let stats = cluster.run(progs);
+
+    // Verify: element g holds the value g.
+    let bytes = cluster.read_mem(0, global, GR * GC * EL);
+    for g in 0..GR * GC {
+        let v = f64::from_le_bytes(bytes[(g * EL) as usize..(g * EL + EL) as usize].try_into().unwrap());
+        assert_eq!(v, g as f64, "global element {g}");
+    }
+    println!(
+        "assembled {}x{} block-cyclic matrix from {} ranks in {:.1} us (virtual)",
+        GR,
+        GC,
+        P,
+        stats.finish_ns as f64 / 1e3
+    );
+    println!("every element landed in its global position — verified");
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # ibdt — MPI derived datatype communication over (simulated) InfiniBand
+//!
+//! Umbrella crate for the reproduction of Wu, Wyckoff & Panda,
+//! *High Performance Implementation of MPI Derived Datatype Communication
+//! over InfiniBand* (IPDPS 2004). It re-exports the workspace crates under
+//! stable module names:
+//!
+//! * [`simcore`] — deterministic discrete-event simulation engine,
+//! * [`memreg`] — simulated host memory, registration costs, pin-down
+//!   cache and Optimistic Group Registration,
+//! * [`datatype`] — the MPI derived datatype engine (dataloops, partial
+//!   pack/unpack, flattening, serialization, datatype cache),
+//! * [`ibsim`] — the InfiniBand Verbs simulator (QP/CQ/MR, RDMA
+//!   write/read, gather/scatter, immediate data, list post),
+//! * [`mpicore`] — the MPI runtime with the paper's datatype
+//!   communication schemes (Generic, BC-SPUP, RWG-UP, P-RRS, Multi-W),
+//! * [`workloads`] — benchmark workload generators and drivers.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and experiment index.
+
+pub use ibdt_datatype as datatype;
+pub use ibdt_ibsim as ibsim;
+pub use ibdt_memreg as memreg;
+pub use ibdt_mpicore as mpicore;
+pub use ibdt_simcore as simcore;
+pub use ibdt_workloads as workloads;

@@ -1,0 +1,176 @@
+//! Cross-crate integration tests asserting the paper's headline claims
+//! on the reproduced system (compact versions of the figure harness).
+
+use ibdt::datatype::Datatype;
+use ibdt::mpicore::{ClusterSpec, Scheme};
+use ibdt::workloads::drivers::{alltoall_time, bandwidth, pingpong, pingpong_contig};
+use ibdt::workloads::structdt::struct_datatype;
+use ibdt::workloads::vector::VectorWorkload;
+
+fn spec(scheme: Scheme) -> ClusterSpec {
+    let mut s = ClusterSpec::default();
+    s.mpi.scheme = scheme;
+    s
+}
+
+fn latency(scheme: Scheme, cols: u64) -> u64 {
+    let w = VectorWorkload::new(cols);
+    pingpong(&spec(scheme), &w.ty, 1, 2, 4).one_way_ns
+}
+
+fn bw(scheme: Scheme, cols: u64) -> f64 {
+    let w = VectorWorkload::new(cols);
+    bandwidth(&spec(scheme), &w.ty, 1, 30).bytes_per_sec
+}
+
+#[test]
+fn abstract_claim_latency_improvement() {
+    // "latency is improved by a factor of up to 3.4" — we require the
+    // reproduction to show at least 2.5x for Multi-W at 2048 columns.
+    let g = latency(Scheme::Generic, 2048);
+    let m = latency(Scheme::MultiW, 2048);
+    let factor = g as f64 / m as f64;
+    assert!(factor > 2.5, "Multi-W latency factor {factor:.2} < 2.5");
+}
+
+#[test]
+fn abstract_claim_bandwidth_improvement() {
+    // "bandwidth by a factor of up to 3.6" — factors compress in our
+    // calibration; require at least 1.6x for Multi-W at 2048 columns
+    // and monotone improvement ordering.
+    let g = bw(Scheme::Generic, 2048);
+    let b = bw(Scheme::BcSpup, 2048);
+    let r = bw(Scheme::RwgUp, 2048);
+    let m = bw(Scheme::MultiW, 2048);
+    assert!(m / g > 1.6, "Multi-W bandwidth factor {:.2} < 1.6", m / g);
+    assert!(b > g && r > b && m > r, "ordering violated: {g:.0} {b:.0} {r:.0} {m:.0}");
+}
+
+#[test]
+fn fig2_no_scheme_reaches_quarter_of_contig() {
+    // At mid sizes the Generic datatype path is far from contiguous
+    // performance (paper: "no more than one quarter"; we require < 40%).
+    for cols in [16u64, 64, 256] {
+        let w = VectorWorkload::new(cols);
+        let contig = pingpong_contig(&spec(Scheme::Generic), w.size, 2, 4).one_way_ns;
+        let dt = latency(Scheme::Generic, cols);
+        assert!(
+            (contig as f64) < 0.4 * dt as f64,
+            "cols {cols}: contig {contig} not well below datatype {dt}"
+        );
+    }
+}
+
+#[test]
+fn fig8_multiw_collapses_on_small_blocks() {
+    // Multi-W must lose to BC-SPUP when blocks are tiny and win when
+    // they are large (the Fig. 8 crossover).
+    assert!(latency(Scheme::MultiW, 8) > latency(Scheme::BcSpup, 8));
+    assert!(latency(Scheme::MultiW, 1024) < latency(Scheme::BcSpup, 1024));
+}
+
+#[test]
+fn fig9_bandwidth_window_bands() {
+    // BC-SPUP in the paper's 1.2-2.0x band at the top of the sweep.
+    let f = bw(Scheme::BcSpup, 2048) / bw(Scheme::Generic, 2048);
+    assert!((1.2..2.6).contains(&f), "BC-SPUP bandwidth factor {f:.2}");
+}
+
+#[test]
+fn fig11_alltoall_all_schemes_beat_generic() {
+    let ty = struct_datatype(8192);
+    let mut base = spec(Scheme::Generic);
+    base.nprocs = 8;
+    let (g, _) = alltoall_time(&base, &ty, 1, 2);
+    for s in [Scheme::BcSpup, Scheme::RwgUp, Scheme::MultiW] {
+        let mut sp = spec(s);
+        sp.nprocs = 8;
+        let (t, _) = alltoall_time(&sp, &ty, 1, 2);
+        assert!(t < g, "{s:?} alltoall {t} !< generic {g}");
+    }
+    // Multi-W approaches the paper's ~2x on this datatype.
+    let mut sp = spec(Scheme::MultiW);
+    sp.nprocs = 8;
+    let (m, _) = alltoall_time(&sp, &ty, 1, 2);
+    assert!(
+        g as f64 / m as f64 > 1.5,
+        "Multi-W alltoall factor {:.2} < 1.5",
+        g as f64 / m as f64
+    );
+}
+
+#[test]
+fn fig12_segment_unpack_helps() {
+    let w = VectorWorkload::new(2048);
+    let with = bandwidth(&spec(Scheme::RwgUp), &w.ty, 1, 30).bytes_per_sec;
+    let mut off = spec(Scheme::RwgUp);
+    off.mpi.segment_unpack = false;
+    let without = bandwidth(&off, &w.ty, 1, 30).bytes_per_sec;
+    let f = with / without;
+    assert!((1.15..2.2).contains(&f), "segment unpack factor {f:.2}");
+}
+
+#[test]
+fn fig13_list_post_helps() {
+    let w = VectorWorkload::new(128);
+    let list = bandwidth(&spec(Scheme::MultiW), &w.ty, 1, 30).bytes_per_sec;
+    let mut single = spec(Scheme::MultiW);
+    single.mpi.list_post = false;
+    let sp = bandwidth(&single, &w.ty, 1, 30).bytes_per_sec;
+    let f = list / sp;
+    assert!((1.2..3.0).contains(&f), "list post factor {f:.2}");
+}
+
+#[test]
+fn fig14_worst_case_crossover() {
+    // With registration on the fly everywhere, copy-reduced schemes
+    // lose at small columns and still win at large ones.
+    let worst = |scheme, cols| {
+        let mut s = spec(scheme);
+        s.mpi.pindown_cache = false;
+        s.mpi.reuse_internal_bufs = false;
+        let w = VectorWorkload::new(cols);
+        pingpong(&s, &w.ty, 1, 2, 4).one_way_ns
+    };
+    assert!(worst(Scheme::MultiW, 16) > worst(Scheme::BcSpup, 16));
+    assert!(worst(Scheme::MultiW, 2048) < worst(Scheme::Generic, 2048));
+    for cols in [16u64, 256, 2048] {
+        assert!(worst(Scheme::BcSpup, cols) <= worst(Scheme::Generic, cols));
+    }
+}
+
+#[test]
+fn adaptive_never_far_from_best() {
+    for cols in [4u64, 32, 128, 512, 2048] {
+        let best = [Scheme::Generic, Scheme::BcSpup, Scheme::RwgUp, Scheme::MultiW]
+            .into_iter()
+            .map(|s| latency(s, cols))
+            .min()
+            .expect("non-empty");
+        let a = latency(Scheme::Adaptive, cols);
+        assert!(
+            a as f64 <= best as f64 * 1.10,
+            "cols {cols}: adaptive {a} vs best {best}"
+        );
+    }
+}
+
+#[test]
+fn prrs_wins_asymmetric_contiguous_sender() {
+    // §5.2: P-RRS targets the contiguous-sender / noncontiguous-receiver
+    // case; with the zero-copy announcement it must beat BC-SPUP there.
+    use ibdt::workloads::drivers::pingpong_asym;
+    let w = VectorWorkload::new(1024);
+    let contig = Datatype::contiguous(w.size, &Datatype::byte()).unwrap();
+    let p = pingpong_asym(&spec(Scheme::PRrs), &contig, 1, &w.ty, 1, 2, 4).one_way_ns;
+    let b = pingpong_asym(&spec(Scheme::BcSpup), &contig, 1, &w.ty, 1, 2, 4).one_way_ns;
+    assert!(p < b, "P-RRS {p} !< BC-SPUP {b} in its target case");
+}
+
+#[test]
+fn eager_direct_pack_beats_original() {
+    // §7.1: two copies saved on the eager path.
+    let old = latency(Scheme::Generic, 1);
+    let new = latency(Scheme::BcSpup, 1);
+    assert!(new < old, "direct eager pack {new} !< original {old}");
+}
