@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Local CI: exactly the checks .github/workflows/ci.yml runs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

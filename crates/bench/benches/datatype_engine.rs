@@ -1,57 +1,77 @@
-//! Criterion micro-benchmarks of the datatype engine itself.
+//! Micro-benchmarks of the datatype engine itself (plain timing
+//! harness — the workspace builds offline, without Criterion).
 //!
 //! These measure *real* work — actual packing of bytes through the
 //! dataloop engine, dataloop compilation, flattening, OGR planning —
 //! not simulated time. They quantify the host-side costs the paper's
 //! §3.2 analysis attributes to datatype processing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ibdt_datatype::{Datatype, Segment};
 use ibdt_memreg::ogr;
 use ibdt_memreg::RegCostModel;
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` over adaptively chosen iteration counts and reports the
+/// best per-iteration time plus optional throughput.
+fn bench(name: &str, bytes: Option<u64>, mut f: impl FnMut()) {
+    // Warmup.
+    for _ in 0..3 {
+        f();
+    }
+    let mut iters = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed();
+        if dt.as_millis() >= 50 || iters >= 1 << 20 {
+            let per = dt.as_nanos() as f64 / iters as f64;
+            match bytes {
+                Some(b) => {
+                    let mbs = b as f64 / per * 1e3; // bytes/ns -> MB/s
+                    println!("{name:<44} {per:>12.0} ns/iter  {mbs:>9.1} MB/s");
+                }
+                None => println!("{name:<44} {per:>12.0} ns/iter"),
+            }
+            return;
+        }
+        iters *= 4;
+    }
+}
 
 fn vector_ty(cols: u64) -> Datatype {
     Datatype::vector(128, cols, 4096, &Datatype::int()).unwrap()
 }
 
-fn bench_pack(c: &mut Criterion) {
-    let mut g = c.benchmark_group("segment_pack");
+fn bench_pack() {
     for cols in [4u64, 64, 1024] {
         let ty = vector_ty(cols);
         let seg = Segment::new(&ty, 1);
         let n = seg.total_bytes();
         let buf = vec![0xA5u8; ty.true_ub() as usize + 64];
         let mut out = vec![0u8; n as usize];
-        g.throughput(Throughput::Bytes(n));
-        g.bench_with_input(BenchmarkId::new("vector_cols", cols), &cols, |b, _| {
-            b.iter(|| {
-                seg.pack(0, n, black_box(&buf), 0, black_box(&mut out)).unwrap();
-            });
+        bench(&format!("segment_pack/vector_cols/{cols}"), Some(n), || {
+            seg.pack(0, n, black_box(&buf), 0, black_box(&mut out)).unwrap();
         });
     }
-    g.finish();
 }
 
-fn bench_unpack(c: &mut Criterion) {
-    let mut g = c.benchmark_group("segment_unpack");
+fn bench_unpack() {
     for cols in [4u64, 64, 1024] {
         let ty = vector_ty(cols);
         let seg = Segment::new(&ty, 1);
         let n = seg.total_bytes();
         let mut buf = vec![0u8; ty.true_ub() as usize + 64];
         let stream = vec![0x5Au8; n as usize];
-        g.throughput(Throughput::Bytes(n));
-        g.bench_with_input(BenchmarkId::new("vector_cols", cols), &cols, |b, _| {
-            b.iter(|| {
-                seg.unpack(0, n, black_box(&stream), black_box(&mut buf), 0).unwrap();
-            });
+        bench(&format!("segment_unpack/vector_cols/{cols}"), Some(n), || {
+            seg.unpack(0, n, black_box(&stream), black_box(&mut buf), 0).unwrap();
         });
     }
-    g.finish();
 }
 
-fn bench_partial_pack(c: &mut Criterion) {
+fn bench_partial_pack() {
     // Partial processing: pack 128 KB segments out of a 2 MB message —
     // the BC-SPUP inner loop.
     let ty = vector_ty(1024);
@@ -60,64 +80,49 @@ fn bench_partial_pack(c: &mut Criterion) {
     let buf = vec![1u8; ty.true_ub() as usize + 64];
     let chunk = 128 * 1024u64;
     let mut out = vec![0u8; chunk as usize];
-    let mut g = c.benchmark_group("partial_pack");
-    g.throughput(Throughput::Bytes(n));
-    g.bench_function("128KB_segments_of_2MB", |b| {
-        b.iter(|| {
-            let mut lo = 0;
-            while lo < n {
-                let hi = (lo + chunk).min(n);
-                seg.pack(lo, hi, black_box(&buf), 0, &mut out[..(hi - lo) as usize])
-                    .unwrap();
-                lo = hi;
-            }
-        });
+    bench("partial_pack/128KB_segments_of_2MB", Some(n), || {
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            seg.pack(lo, hi, black_box(&buf), 0, &mut out[..(hi - lo) as usize])
+                .unwrap();
+            lo = hi;
+        }
     });
-    g.finish();
 }
 
-fn bench_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dataloop");
-    g.bench_function("compile_nested_struct", |b| {
-        b.iter(|| {
-            let s = Datatype::struct_(&[
-                (2, 0, Datatype::int()),
-                (1, 16, Datatype::double()),
-                (3, 32, Datatype::int()),
-            ])
-            .unwrap();
-            let v = Datatype::hvector(16, 2, 128, &s).unwrap();
-            let t = Datatype::contiguous(4, &v).unwrap();
-            black_box(t.dataloop().stream_size())
-        });
+fn bench_compile() {
+    bench("dataloop/compile_nested_struct", None, || {
+        let s = Datatype::struct_(&[
+            (2, 0, Datatype::int()),
+            (1, 16, Datatype::double()),
+            (3, 32, Datatype::int()),
+        ])
+        .unwrap();
+        let v = Datatype::hvector(16, 2, 128, &s).unwrap();
+        let t = Datatype::contiguous(4, &v).unwrap();
+        black_box(t.dataloop().stream_size());
     });
-    g.bench_function("flatten_vector_2048", |b| {
-        b.iter(|| {
-            let t = vector_ty(2048);
-            black_box(t.flat().blocks.len())
-        });
+    bench("dataloop/flatten_vector_2048", None, || {
+        let t = vector_ty(2048);
+        black_box(t.flat().blocks.len());
     });
-    g.finish();
 }
 
-fn bench_ogr(c: &mut Criterion) {
+fn bench_ogr() {
     let model = RegCostModel::default();
-    let mut g = c.benchmark_group("ogr_plan");
     for nblocks in [128usize, 1024, 8192] {
         let blocks: Vec<(u64, u64)> = (0..nblocks as u64).map(|i| (i * 16384, 4096)).collect();
-        g.bench_with_input(BenchmarkId::new("blocks", nblocks), &nblocks, |b, _| {
-            b.iter(|| black_box(ogr::plan(black_box(&blocks), &model).regions.len()));
+        bench(&format!("ogr_plan/blocks/{nblocks}"), None, || {
+            black_box(ogr::plan(black_box(&blocks), &model).regions.len());
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_pack,
-    bench_unpack,
-    bench_partial_pack,
-    bench_compile,
-    bench_ogr
-);
-criterion_main!(benches);
+fn main() {
+    bench_pack();
+    bench_unpack();
+    bench_partial_pack();
+    bench_compile();
+    bench_ogr();
+}

@@ -1,66 +1,78 @@
-//! Criterion benchmarks of the protocol planning paths (real work, not
-//! simulated time): Multi-W write planning, Hybrid partitioning, OGR,
-//! and layout wire encode/decode.
+//! Benchmarks of the protocol planning paths (real work, not simulated
+//! time): Multi-W write planning, Hybrid partitioning, OGR, and layout
+//! wire encode/decode. Plain timing harness — no Criterion offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ibdt_datatype::{Datatype, FlatLayout};
 use ibdt_mpicore::plan::{chunk_gather, hybrid_partition, plan_multi_w};
 use std::hint::black_box;
+use std::time::Instant;
+
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..3 {
+        f();
+    }
+    let mut iters = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed();
+        if dt.as_millis() >= 50 || iters >= 1 << 20 {
+            let per = dt.as_nanos() as f64 / iters as f64;
+            println!("{name:<44} {per:>12.0} ns/iter");
+            return;
+        }
+        iters *= 4;
+    }
+}
 
 fn blocks(n: u64, len: u64, stride: u64, base: u64) -> Vec<(u64, u64)> {
     (0..n).map(|i| (base + i * stride, len)).collect()
 }
 
-fn bench_plan_multi_w(c: &mut Criterion) {
-    let mut g = c.benchmark_group("plan_multi_w");
+fn bench_plan_multi_w() {
     for n in [128u64, 1024, 8192] {
         let snd = blocks(n, 512, 2048, 0);
         // Receiver misaligned: 3 sender blocks per 2 receiver blocks.
         let rcv = blocks(n * 512 / 768, 768, 4096, 1 << 30);
-        g.bench_with_input(BenchmarkId::new("misaligned", n), &n, |b, _| {
-            b.iter(|| black_box(plan_multi_w(black_box(&snd), black_box(&rcv), 64).len()));
+        bench(&format!("plan_multi_w/misaligned/{n}"), || {
+            black_box(plan_multi_w(black_box(&snd), black_box(&rcv), 64).len());
         });
     }
-    g.finish();
 }
 
-fn bench_hybrid_partition(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hybrid_partition");
+fn bench_hybrid_partition() {
     for n in [128usize, 4096] {
         let lens: Vec<u64> = (0..n).map(|i| if i % 2 == 0 { 8192 } else { 64 }).collect();
-        g.bench_with_input(BenchmarkId::new("alternating", n), &n, |b, _| {
-            b.iter(|| black_box(hybrid_partition(black_box(&lens), 1024).packed_bytes));
+        bench(&format!("hybrid_partition/alternating/{n}"), || {
+            black_box(hybrid_partition(black_box(&lens), 1024).packed_bytes);
         });
     }
-    g.finish();
 }
 
-fn bench_chunk_gather(c: &mut Criterion) {
+fn bench_chunk_gather() {
     let bl = blocks(4096, 256, 1024, 0);
-    c.bench_function("chunk_gather_4096_blocks", |b| {
-        b.iter(|| black_box(chunk_gather(black_box(&bl), 64).len()));
+    bench("chunk_gather_4096_blocks", || {
+        black_box(chunk_gather(black_box(&bl), 64).len());
     });
 }
 
-fn bench_layout_wire(c: &mut Criterion) {
+fn bench_layout_wire() {
     let ty = Datatype::vector(2048, 128, 4096, &Datatype::int()).unwrap();
     let flat = ty.flat();
     let enc = flat.encode();
-    let mut g = c.benchmark_group("layout_wire");
-    g.bench_function("encode_2048_blocks", |b| {
-        b.iter(|| black_box(flat.encode().len()));
+    bench("layout_wire/encode_2048_blocks", || {
+        black_box(flat.encode().len());
     });
-    g.bench_function("decode_2048_blocks", |b| {
-        b.iter(|| black_box(FlatLayout::decode(black_box(&enc)).unwrap().blocks.len()));
+    bench("layout_wire/decode_2048_blocks", || {
+        black_box(FlatLayout::decode(black_box(&enc)).unwrap().blocks.len());
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_plan_multi_w,
-    bench_hybrid_partition,
-    bench_chunk_gather,
-    bench_layout_wire
-);
-criterion_main!(benches);
+fn main() {
+    bench_plan_multi_w();
+    bench_hybrid_partition();
+    bench_chunk_gather();
+    bench_layout_wire();
+}

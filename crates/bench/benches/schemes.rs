@@ -1,14 +1,14 @@
-//! Criterion benchmarks of whole simulations.
+//! Benchmarks of whole simulations (plain timing harness).
 //!
 //! These time the *simulator* (wall-clock cost of reproducing one
 //! figure point), useful for keeping the harness fast; the virtual-time
 //! results themselves come from the `figures` binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ibdt_mpicore::{ClusterSpec, Scheme};
 use ibdt_workloads::drivers::pingpong;
 use ibdt_workloads::vector::VectorWorkload;
 use std::hint::black_box;
+use std::time::Instant;
 
 fn spec(scheme: Scheme) -> ClusterSpec {
     let mut s = ClusterSpec::default();
@@ -16,9 +16,7 @@ fn spec(scheme: Scheme) -> ClusterSpec {
     s
 }
 
-fn bench_pingpong_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_pingpong");
-    g.sample_size(10);
+fn main() {
     for (name, scheme) in [
         ("generic", Scheme::Generic),
         ("bcspup", Scheme::BcSpup),
@@ -26,15 +24,15 @@ fn bench_pingpong_sim(c: &mut Criterion) {
         ("multiw", Scheme::MultiW),
     ] {
         let w = VectorWorkload::new(256);
-        g.bench_with_input(BenchmarkId::new(name, 256), &w, |b, w| {
-            b.iter(|| {
-                let r = pingpong(&spec(scheme), &w.ty, 1, 1, 2);
-                black_box(r.one_way_ns)
-            });
-        });
+        // Warmup.
+        black_box(pingpong(&spec(scheme), &w.ty, 1, 1, 2).one_way_ns);
+        let iters = 10;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let r = pingpong(&spec(scheme), &w.ty, 1, 1, 2);
+            black_box(r.one_way_ns);
+        }
+        let per_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+        println!("sim_pingpong/{name}/256 {per_ms:>10.2} ms/iter");
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_pingpong_sim);
-criterion_main!(benches);

@@ -7,7 +7,7 @@
 //!
 //! With `--csv DIR`, each table is also written as `DIR/<name>.csv`.
 
-use ibdt_bench::{all_figures, fig11, fig12, fig13, fig14, fig2, fig8, fig9, x1, x2, x3, x4, x5, x6, x7, x8};
+use ibdt_bench::{all_figures, fig11, fig12, fig13, fig14, fig2, fig8, fig9, x1, x2, x3, x4, x5, x6, x7, x8, x9};
 use ibdt_bench::Table;
 use std::io::Write as _;
 
@@ -65,10 +65,11 @@ fn main() {
             "x6" => tables.push(("x6".into(), x6())),
             "x7" => tables.push(("x7".into(), x7())),
             "x8" => tables.push(("x8".into(), x8())),
+            "x9" => tables.push(("x9".into(), x9())),
             "all" => {
                 let names = [
                     "fig2", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "x1a", "x1b",
-                    "x2", "x3", "x4", "x5", "x6", "x7", "x8",
+                    "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9",
                 ];
                 for (n, t) in names.iter().zip(all_figures()) {
                     tables.push(((*n).into(), t));
@@ -77,7 +78,7 @@ fn main() {
             other => {
                 eprintln!("unknown figure '{other}'");
                 eprintln!(
-                    "usage: figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1..x8|all] [--csv DIR]"
+                    "usage: figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1..x9|all] [--csv DIR]"
                 );
                 std::process::exit(2);
             }

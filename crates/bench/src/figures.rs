@@ -9,7 +9,7 @@
 use crate::table::Table;
 use ibdt_datatype::Datatype;
 use ibdt_memreg::ogr;
-use ibdt_mpicore::{ClusterSpec, Scheme};
+use ibdt_mpicore::{ClusterSpec, FaultPlan, Scheme};
 use ibdt_workloads::drivers::{
     alltoall_time, bandwidth, pingpong, pingpong_asym, pingpong_contig, pingpong_manual,
     pingpong_multiple,
@@ -559,6 +559,67 @@ pub fn x8() -> Table {
     t
 }
 
+/// X9 — robustness ablation: the vector ping-pong under a seeded
+/// fault-plan sweep. Reports the latency penalty of recovery together
+/// with the fault/retry counters the reliability layer exports, so the
+/// CSV shows *why* each point got slower (retransmissions, RNR
+/// backoff) and that no protocol-visible errors leaked through.
+pub fn x9() -> Table {
+    let mut t = Table::new(
+        "X9: Robustness ablation — BC-SPUP latency + recovery counters under faults",
+        "fault_pct",
+        "mixed",
+        &[
+            "latency_us",
+            "drops",
+            "corruptions",
+            "delays",
+            "retransmits",
+            "rnr_backoff_retries",
+            "scheme_fallbacks",
+            "rndv_rerequests",
+            "errors",
+        ],
+    );
+    let rates = [0u64, 2, 5, 10, 15];
+    let rows = run_sweep(rates.to_vec(), |&pct| {
+        let mut sp = spec(Scheme::BcSpup);
+        sp.faults = FaultPlan {
+            seed: 0x0B57_0000 + pct,
+            drop_rate: pct as f64 / 100.0,
+            corrupt_rate: pct as f64 / 200.0,
+            delay_rate: pct as f64 / 100.0,
+            max_delay_ns: 20_000,
+            ..FaultPlan::none()
+        };
+        let w = VectorWorkload::new(256);
+        let r = pingpong(&sp, &w.ty, 1, WARMUP, ITERS);
+        let c = |f: fn(&ibdt_mpicore::rank::RankCounters) -> u64| -> f64 {
+            r.stats.counters.iter().map(f).sum::<u64>() as f64
+        };
+        vec![
+            us(r.one_way_ns),
+            r.stats.drops_injected as f64,
+            r.stats.corruptions_injected as f64,
+            r.stats.delays_injected as f64,
+            r.stats.retransmits as f64,
+            r.stats.rnr_backoff_retries as f64,
+            c(|k| k.scheme_fallbacks),
+            c(|k| k.rndv_rerequests),
+            r.stats.total_errors() as f64,
+        ]
+    });
+    for (&pct, row) in rates.iter().zip(rows) {
+        t.push(pct, row);
+    }
+    t.notes.push(
+        "errors must be 0 at every point (the RC retry budget absorbs these rates); \
+         latency grows with the injected rate while retransmits track drops+corruptions"
+            .into(),
+    );
+    t
+}
+
 /// Every figure, in paper order (extensions last).
 pub fn all_figures() -> Vec<Table> {
     let (x1a, x1b) = x1();
@@ -579,5 +640,6 @@ pub fn all_figures() -> Vec<Table> {
         x6(),
         x7(),
         x8(),
+        x9(),
     ]
 }

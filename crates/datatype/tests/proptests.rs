@@ -1,13 +1,14 @@
-//! Property-based tests for the datatype engine.
+//! Randomized model-based tests for the datatype engine.
 //!
 //! The generator builds a random type tree *together with* an
 //! independent reference model: the flat list of byte offsets each
 //! primitive element occupies, computed directly from the MPI typemap
-//! rules without going through dataloops. Every property then checks the
-//! engine against this reference.
+//! rules without going through dataloops. Every property then checks
+//! the engine against this reference. Driven by [`ibdt_testkit`]
+//! seeded cases (the workspace builds offline, without proptest).
 
 use ibdt_datatype::{Datatype, FlatLayout, Segment};
-use proptest::prelude::*;
+use ibdt_testkit::{cases, Rng};
 
 /// A datatype plus the byte offsets of its typemap, in pack order.
 #[derive(Debug, Clone)]
@@ -17,39 +18,42 @@ struct Model {
     bytes: Vec<i64>,
 }
 
-fn prim_model() -> impl Strategy<Value = Model> {
-    proptest::sample::select(vec![
+fn prim_model(rng: &mut Rng) -> Model {
+    let p = rng.pick(&[
         ibdt_datatype::Primitive::Byte,
         ibdt_datatype::Primitive::Short,
         ibdt_datatype::Primitive::Int,
         ibdt_datatype::Primitive::Double,
-    ])
-    .prop_map(|p| {
-        let ty = Datatype::primitive(p);
-        Model {
-            bytes: (0..p.size() as i64).collect(),
-            ty,
-        }
-    })
+    ]);
+    Model {
+        bytes: (0..p.size() as i64).collect(),
+        ty: Datatype::primitive(p),
+    }
 }
 
 fn shift(bytes: &[i64], d: i64) -> Vec<i64> {
     bytes.iter().map(|b| b + d).collect()
 }
 
-fn derived(inner: impl Strategy<Value = Model> + Clone) -> impl Strategy<Value = Model> {
-    let contig = (inner.clone(), 0u64..4).prop_filter_map("contig", |(m, count)| {
-        let ty = Datatype::contiguous(count, &m.ty).ok()?;
-        let ext = m.ty.extent();
-        let mut bytes = Vec::new();
-        for i in 0..count as i64 {
-            bytes.extend(shift(&m.bytes, i * ext));
+/// One random derived layer over `m`. Mirrors the MPI typemap rules
+/// independently of the engine's dataloop machinery. Returns `None`
+/// when the random parameters are rejected by the constructor.
+fn derive(rng: &mut Rng, m: &Model) -> Option<Model> {
+    match rng.range_u64(0, 5) {
+        0 => {
+            let count = rng.range_u64(0, 4);
+            let ty = Datatype::contiguous(count, &m.ty).ok()?;
+            let ext = m.ty.extent();
+            let mut bytes = Vec::new();
+            for i in 0..count as i64 {
+                bytes.extend(shift(&m.bytes, i * ext));
+            }
+            Some(Model { ty, bytes })
         }
-        Some(Model { ty, bytes })
-    });
-    let hvector = (inner.clone(), 1u64..4, 1u64..4, -48i64..64).prop_filter_map(
-        "hvector",
-        |(m, count, blocklen, stride)| {
+        1 => {
+            let count = rng.range_u64(1, 4);
+            let blocklen = rng.range_u64(1, 4);
+            let stride = rng.range_i64(-48, 64);
             let ty = Datatype::hvector(count, blocklen, stride, &m.ty).ok()?;
             let ext = m.ty.extent();
             let mut bytes = Vec::new();
@@ -59,13 +63,12 @@ fn derived(inner: impl Strategy<Value = Model> + Clone) -> impl Strategy<Value =
                 }
             }
             Some(Model { ty, bytes })
-        },
-    );
-    let hindexed = (
-        inner.clone(),
-        proptest::collection::vec((0u64..3, -64i64..128), 1..4),
-    )
-        .prop_filter_map("hindexed", |(m, blocks)| {
+        }
+        2 => {
+            let nblocks = rng.range_usize(1, 4);
+            let blocks: Vec<(u64, i64)> = (0..nblocks)
+                .map(|_| (rng.range_u64(0, 3), rng.range_i64(-64, 128)))
+                .collect();
             let ty = Datatype::hindexed(&blocks, &m.ty).ok()?;
             let ext = m.ty.extent();
             let mut bytes = Vec::new();
@@ -75,35 +78,44 @@ fn derived(inner: impl Strategy<Value = Model> + Clone) -> impl Strategy<Value =
                 }
             }
             Some(Model { ty, bytes })
-        });
-    let strct = (
-        inner.clone(),
-        inner.clone(),
-        0i64..128,
-        1u64..3,
-        1u64..3,
-    )
-        .prop_filter_map("struct", |(a, b, d2, l1, l2)| {
-            let fields = [(l1, 0i64, a.ty.clone()), (l2, d2, b.ty.clone())];
+        }
+        3 => {
+            // Struct of this model and a fresh independent one.
+            let b = model(rng);
+            let d2 = rng.range_i64(0, 128);
+            let l1 = rng.range_u64(1, 3);
+            let l2 = rng.range_u64(1, 3);
+            let fields = [(l1, 0i64, m.ty.clone()), (l2, d2, b.ty.clone())];
             let ty = Datatype::struct_(&fields).ok()?;
             let mut bytes = Vec::new();
-            for (l, d, src) in [(l1, 0i64, &a), (l2, d2, &b)] {
+            for (l, d, src) in [(l1, 0i64, m), (l2, d2, &b)] {
                 let ext = src.ty.extent();
                 for j in 0..l as i64 {
                     bytes.extend(shift(&src.bytes, d + j * ext));
                 }
             }
             Some(Model { ty, bytes })
-        });
-    let resized = (inner, -32i64..32, 0i64..256).prop_filter_map("resized", |(m, lb, ext)| {
-        let ty = Datatype::resized(&m.ty, lb, ext).ok()?;
-        Some(Model { ty, bytes: m.bytes })
-    });
-    prop_oneof![contig, hvector, hindexed, strct, resized]
+        }
+        _ => {
+            let lb = rng.range_i64(-32, 32);
+            let ext = rng.range_i64(0, 256);
+            let ty = Datatype::resized(&m.ty, lb, ext).ok()?;
+            Some(Model { ty, bytes: m.bytes.clone() })
+        }
+    }
 }
 
-fn model_strategy() -> impl Strategy<Value = Model> {
-    prim_model().prop_recursive(3, 512, 4, |inner| derived(inner).boxed())
+/// Random model: a primitive wrapped in 0..=3 derived layers.
+fn model(rng: &mut Rng) -> Model {
+    let mut m = prim_model(rng);
+    let layers = rng.range_u64(0, 4);
+    for _ in 0..layers {
+        // Rejected parameter combinations keep the previous layer.
+        if let Some(next) = derive(rng, &m) {
+            m = next;
+        }
+    }
+    m
 }
 
 /// Layout of the buffer needed to hold `count` instances: returns
@@ -131,28 +143,33 @@ fn reference_pack(m: &Model, count: u64, buf: &[u8], base: usize) -> Vec<u8> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn size_matches_reference() {
+    cases(0xD7A0_0001, 256, |rng| {
+        let m = model(rng);
+        assert_eq!(m.ty.size(), m.bytes.len() as u64);
+    });
+}
 
-    #[test]
-    fn size_matches_reference(m in model_strategy()) {
-        prop_assert_eq!(m.ty.size(), m.bytes.len() as u64);
-    }
-
-    #[test]
-    fn bounds_cover_typemap(m in model_strategy()) {
+#[test]
+fn bounds_cover_typemap() {
+    cases(0xD7A0_0002, 256, |rng| {
         // All elements lie within [lb, ub] unless resized shrank them —
         // the un-resized typemap is what `bytes` models, so check only
         // that size-consistent blocks exist.
+        let m = model(rng);
         let flat = m.ty.flat();
         let total: u64 = flat.blocks.iter().map(|&(_, l)| l).sum();
-        prop_assert_eq!(total, m.ty.size());
-    }
+        assert_eq!(total, m.ty.size());
+    });
+}
 
-    #[test]
-    fn flat_blocks_match_reference_bytes(m in model_strategy()) {
+#[test]
+fn flat_blocks_match_reference_bytes() {
+    cases(0xD7A0_0003, 256, |rng| {
         // Expanding the flattened blocks byte-by-byte must equal the
         // reference typemap byte sequence.
+        let m = model(rng);
         let expanded: Vec<i64> = m
             .ty
             .flat()
@@ -160,28 +177,33 @@ proptest! {
             .iter()
             .flat_map(|&(o, l)| o..o + l as i64)
             .collect();
-        prop_assert_eq!(&expanded, &m.bytes);
-    }
+        assert_eq!(expanded, m.bytes);
+    });
+}
 
-    #[test]
-    fn whole_pack_matches_reference(
-        (m, count) in model_strategy().prop_flat_map(|m| (Just(m), 1u64..4)),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn whole_pack_matches_reference() {
+    cases(0xD7A0_0004, 256, |rng| {
+        let m = model(rng);
+        let count = rng.range_u64(1, 4);
+        let seed = rng.next_u64();
         let (base, len) = buffer_for(&m, count);
-        let buf: Vec<u8> = (0..len).map(|i| ((i as u64).wrapping_mul(seed | 1) >> 3) as u8).collect();
+        let buf: Vec<u8> = (0..len)
+            .map(|i| ((i as u64).wrapping_mul(seed | 1) >> 3) as u8)
+            .collect();
         let seg = Segment::new(&m.ty, count);
         let n = seg.total_bytes();
         let mut packed = vec![0u8; n as usize];
         seg.pack(0, n, &buf, base, &mut packed).unwrap();
-        prop_assert_eq!(packed, reference_pack(&m, count, &buf, base));
-    }
+        assert_eq!(packed, reference_pack(&m, count, &buf, base));
+    });
+}
 
-    #[test]
-    fn segmented_pack_equals_whole(
-        (m, count) in model_strategy().prop_flat_map(|m| (Just(m), 1u64..4)),
-        cuts in proptest::collection::vec(any::<u16>(), 0..6),
-    ) {
+#[test]
+fn segmented_pack_equals_whole() {
+    cases(0xD7A0_0005, 256, |rng| {
+        let m = model(rng);
+        let count = rng.range_u64(1, 4);
         let (base, len) = buffer_for(&m, count);
         let buf: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
         let seg = Segment::new(&m.ty, count);
@@ -189,22 +211,26 @@ proptest! {
         let mut whole = vec![0u8; n as usize];
         seg.pack(0, n, &buf, base, &mut whole).unwrap();
 
-        let mut points: Vec<u64> = cuts.iter().map(|&c| c as u64 % (n + 1)).collect();
+        let ncuts = rng.range_usize(0, 6);
+        let mut points: Vec<u64> = (0..ncuts).map(|_| rng.range_u64(0, n + 1)).collect();
         points.push(0);
         points.push(n);
         points.sort_unstable();
         let mut pieces = vec![0u8; n as usize];
         for w in points.windows(2) {
             let (lo, hi) = (w[0], w[1]);
-            seg.pack(lo, hi, &buf, base, &mut pieces[lo as usize..hi as usize]).unwrap();
+            seg.pack(lo, hi, &buf, base, &mut pieces[lo as usize..hi as usize])
+                .unwrap();
         }
-        prop_assert_eq!(pieces, whole);
-    }
+        assert_eq!(pieces, whole);
+    });
+}
 
-    #[test]
-    fn unpack_restores_exactly_datatype_bytes(
-        (m, count) in model_strategy().prop_flat_map(|m| (Just(m), 1u64..3)),
-    ) {
+#[test]
+fn unpack_restores_exactly_datatype_bytes() {
+    cases(0xD7A0_0006, 256, |rng| {
+        let m = model(rng);
+        let count = rng.range_u64(1, 3);
         let (base, len) = buffer_for(&m, count);
         // Self-overlapping typemaps are legal to send but erroneous to
         // receive into (MPI-1 §3.12.5); the round-trip property only
@@ -216,7 +242,9 @@ proptest! {
         let total = positions.len();
         positions.sort_unstable();
         positions.dedup();
-        prop_assume!(positions.len() == total);
+        if positions.len() != total {
+            return; // overlapping layout: skip this case
+        }
 
         let seg = Segment::new(&m.ty, count);
         let n = seg.total_bytes();
@@ -226,35 +254,43 @@ proptest! {
         // Re-pack what we unpacked: must round-trip.
         let mut repacked = vec![0u8; n as usize];
         seg.pack(0, n, &buf, base, &mut repacked).unwrap();
-        prop_assert_eq!(&repacked, &stream);
+        assert_eq!(repacked, stream);
         // Bytes outside the typemap are untouched.
         let mut touched = vec![false; len];
         seg.for_each_block(0, n, |off, l| {
             for p in off..off + l as i64 {
                 touched[(base as i64 + p) as usize] = true;
             }
-        }).unwrap();
+        })
+        .unwrap();
         for (i, &t) in touched.iter().enumerate() {
             if !t {
-                prop_assert_eq!(buf[i], 0xEE, "byte {} was touched", i);
+                assert_eq!(buf[i], 0xEE, "byte {i} was touched");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn layout_serialization_roundtrip(m in model_strategy()) {
+#[test]
+fn layout_serialization_roundtrip() {
+    cases(0xD7A0_0007, 256, |rng| {
+        let m = model(rng);
         let f = m.ty.flat();
         let dec = FlatLayout::decode(&f.encode()).unwrap();
-        prop_assert_eq!(f.as_ref().clone(), dec);
-    }
+        assert_eq!(*f.as_ref(), dec);
+    });
+}
 
-    #[test]
-    fn block_stats_consistent(m in model_strategy(), count in 1u64..4) {
+#[test]
+fn block_stats_consistent() {
+    cases(0xD7A0_0008, 256, |rng| {
+        let m = model(rng);
+        let count = rng.range_u64(1, 4);
         let s = m.ty.flat().stats(count);
-        prop_assert_eq!(s.total, count * m.ty.size());
+        assert_eq!(s.total, count * m.ty.size());
         if s.count > 0 {
-            prop_assert!(s.min <= s.median && s.median <= s.max);
-            prop_assert!(s.mean >= s.min as f64 && s.mean <= s.max as f64);
+            assert!(s.min <= s.median && s.median <= s.max);
+            assert!(s.mean >= s.min as f64 && s.mean <= s.max as f64);
         }
-    }
+    });
 }

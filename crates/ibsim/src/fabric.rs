@@ -17,13 +17,34 @@
 //!   receive queue parks in an RNR queue and is delivered when a
 //!   receive is posted; the RNR counter lets tests assert that the MPI
 //!   layer's flow control avoids this path.
+//!
+//! Reliability behaviour (active when a [`FaultPlan`] is installed or
+//! the retry budgets are finite):
+//!
+//! * each wire crossing consults the fault plan; a **dropped** transfer
+//!   is retransmitted after [`NetConfig::transport_timeout_ns`], a
+//!   **corrupted** one after the ICRC NAK round trip — both bounded by
+//!   [`NetConfig::retry_cnt`] attempts, after which the requester gets a
+//!   [`CqeStatus::RetryExceeded`] completion and the QP transitions to
+//!   the error state (outstanding WQEs flush with
+//!   [`CqeStatus::FlushErr`], later posts fail with
+//!   [`PostError::QpError`]),
+//! * RNR parking becomes a **timed NAK/backoff loop** when
+//!   [`NetConfig::rnr_retry`] is finite: delivery retries back off
+//!   exponentially and budget exhaustion errors the sender's QP with
+//!   [`CqeStatus::RnrRetryExceeded`],
+//! * because retransmission can reorder transfers, the receive side
+//!   enforces per-QP sequence order (a reorder buffer standing in for
+//!   RC's go-back-N) whenever fault injection is active, so RC's
+//!   in-order guarantee survives injected loss.
 
+use crate::fault::{Fate, FaultPlan, FaultState};
 use crate::model::NetConfig;
 use crate::wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge};
 use ibdt_memreg::{AddressSpace, MemError, RegTable};
 use ibdt_simcore::resource::SerialResource;
 use ibdt_simcore::time::Time;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// One rank's memory: address space + registration table.
 #[derive(Debug)]
@@ -70,12 +91,31 @@ pub enum NicEvent {
         /// Peer whose parked transfers should be retried.
         peer: u32,
     },
+    /// The requester's transport timer fired for an unacknowledged
+    /// transfer (dropped or NAKed): retransmit or give up.
+    RetryTimeout {
+        /// Ticket of the transfer awaiting retransmission.
+        xfer_id: u64,
+    },
+    /// A timed RNR backoff retry for a parked transfer.
+    RnrTimedRetry {
+        /// Node owning the receive queue.
+        node: u32,
+        /// Peer whose parked transfer is retried.
+        peer: u32,
+        /// Ticket of the parked transfer.
+        park_id: u64,
+    },
 }
 
 /// An in-flight transfer (one WR's payload).
 #[derive(Debug)]
 pub struct Transfer {
     src: u32,
+    /// Per-QP-direction sequence number (RC ordering under faults).
+    seq: u64,
+    /// Transmission attempts so far (0 = first).
+    attempt: u32,
     kind: TransferKind,
 }
 
@@ -114,16 +154,74 @@ enum TransferKind {
     },
 }
 
+impl TransferKind {
+    fn wr_id(&self) -> u64 {
+        match self {
+            TransferKind::Send { wr_id, .. }
+            | TransferKind::Write { wr_id, .. }
+            | TransferKind::ReadRequest { wr_id, .. }
+            | TransferKind::ReadResponse { wr_id, .. } => *wr_id,
+        }
+    }
+
+    /// Payload bytes this transfer occupies on the wire.
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            TransferKind::Send { data, .. }
+            | TransferKind::Write { data, .. }
+            | TransferKind::ReadResponse { data, .. } => data.len() as u64,
+            TransferKind::ReadRequest { .. } => 0,
+        }
+    }
+}
+
+/// A send-queue slot: the WQE occupies the queue until the NIC finishes
+/// processing it at `done`; `wr_id` lets an error transition flush it.
+#[derive(Debug, Clone, Copy)]
+struct SqEntry {
+    done: Time,
+    wr_id: u64,
+}
+
+/// A transfer parked for RNR, with its backoff-retry bookkeeping.
+#[derive(Debug)]
+struct ParkedEntry {
+    id: u64,
+    attempt: u32,
+    xfer: Transfer,
+}
+
+/// A transfer awaiting retransmission after a drop or NAK.
+#[derive(Debug)]
+struct PendingRetry {
+    dst: u32,
+    tx_dur: Time,
+    extra_delay: Time,
+    xfer: Transfer,
+}
+
+impl PendingRetry {
+    /// `(requester, responder)` of the QP this WQE belongs to. A read
+    /// response travels responder→requester, but the WQE lives at the
+    /// requester.
+    fn endpoints(&self) -> (u32, u32) {
+        match self.xfer.kind {
+            TransferKind::ReadResponse { .. } => (self.dst, self.xfer.src),
+            _ => (self.xfer.src, self.dst),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Node {
     tx: SerialResource,
     /// Receive queues, one per peer QP.
     recvq: HashMap<u32, VecDeque<RecvWr>>,
     /// Parked transfers awaiting a receive descriptor (RNR).
-    parked: HashMap<u32, VecDeque<Transfer>>,
-    /// NIC-processing finish times of posted-but-unprocessed send WQEs,
-    /// per peer QP (send-queue occupancy accounting).
-    sq_busy: HashMap<u32, VecDeque<Time>>,
+    parked: HashMap<u32, VecDeque<ParkedEntry>>,
+    /// Posted-but-unprocessed send WQEs per peer QP (send-queue
+    /// occupancy accounting + flush-with-error bookkeeping).
+    sq_busy: HashMap<u32, VecDeque<SqEntry>>,
 }
 
 /// Fabric statistics.
@@ -131,12 +229,28 @@ struct Node {
 pub struct FabricStats {
     /// Work requests processed by transmit engines.
     pub wqes: u64,
-    /// Payload bytes serialized onto links.
+    /// Payload bytes serialized onto links (retransmissions included).
     pub bytes_on_wire: u64,
     /// Times a send/write-imm found no receive descriptor posted.
     pub rnr_events: u64,
     /// Completions generated.
     pub cqes: u64,
+    /// Transfers dropped by fault injection.
+    pub drops_injected: u64,
+    /// Transfers corrupted by fault injection (ICRC NAK path).
+    pub corruptions_injected: u64,
+    /// Transfers delayed by fault injection.
+    pub delays_injected: u64,
+    /// NIC transmit-engine stalls injected.
+    pub stalls_injected: u64,
+    /// Transport retransmissions performed.
+    pub retransmits: u64,
+    /// Timed RNR backoff retries performed.
+    pub rnr_backoff_retries: u64,
+    /// Queue pairs transitioned to the error state.
+    pub qp_errors: u64,
+    /// Work requests flushed with error by a QP transition.
+    pub flushed_wqes: u64,
 }
 
 /// The simulated InfiniBand fabric.
@@ -145,6 +259,20 @@ pub struct Fabric {
     cfg: NetConfig,
     nodes: Vec<Node>,
     stats: FabricStats,
+    /// Fault-decision stream; `None` = lossless fabric, zero overhead.
+    faults: Option<FaultState>,
+    /// Ticket counter for retransmit / park entries.
+    next_id: u64,
+    /// Transfers awaiting retransmission, by ticket.
+    inflight: HashMap<u64, PendingRetry>,
+    /// Directional QPs in the error state `(requester, responder)`.
+    qp_err: HashSet<(u32, u32)>,
+    /// Next sequence number per QP direction `(src, dst)`.
+    tx_seq: HashMap<(u32, u32), u64>,
+    /// Next expected sequence number per QP direction (fault mode).
+    rx_expected: HashMap<(u32, u32), u64>,
+    /// Reorder buffer per QP direction (fault mode).
+    rx_ooo: HashMap<(u32, u32), BTreeMap<u64, Transfer>>,
 }
 
 impl Fabric {
@@ -162,7 +290,36 @@ impl Fabric {
             cfg,
             nodes,
             stats: FabricStats::default(),
+            faults: None,
+            next_id: 0,
+            inflight: HashMap::new(),
+            qp_err: HashSet::new(),
+            tx_seq: HashMap::new(),
+            rx_expected: HashMap::new(),
+            rx_ooo: HashMap::new(),
         }
+    }
+
+    /// Installs a fault plan. An inert plan (all rates zero) removes
+    /// fault processing entirely, keeping the fabric's timing identical
+    /// to one that never had a plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_inert() {
+            None
+        } else {
+            Some(FaultState::new(plan))
+        };
+    }
+
+    /// True when fault injection is active.
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// True when the directional QP `node -> peer` is in the error
+    /// state (retry budget exhausted).
+    pub fn qp_errored(&self, node: u32, peer: u32) -> bool {
+        self.qp_err.contains(&(node, peer))
     }
 
     /// Number of nodes.
@@ -224,6 +381,89 @@ impl Fabric {
         data
     }
 
+    fn alloc_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn alloc_seq(&mut self, src: u32, dst: u32) -> u64 {
+        let s = self.tx_seq.entry((src, dst)).or_insert(0);
+        let seq = *s;
+        *s += 1;
+        seq
+    }
+
+    /// Serializes one transfer onto the sender's transmit engine and
+    /// decides its fate: delivery (possibly jittered), a drop recovered
+    /// by the transport timer, or a corruption recovered by the NAK
+    /// round trip. Returns the serialization finish time.
+    #[allow(clippy::too_many_arguments)]
+    fn launch<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        ready_at: Time,
+        dst: u32,
+        xfer: Transfer,
+        tx_dur: Time,
+        extra_delay: Time,
+        retransmit: bool,
+        sink: &mut F,
+    ) -> Time {
+        let src = xfer.src;
+        if retransmit {
+            self.stats.retransmits += 1;
+            self.stats.bytes_on_wire += xfer.kind.wire_bytes();
+        }
+        let mut start = ready_at;
+        if let Some(fs) = &mut self.faults {
+            if let Some(stall) = fs.stall() {
+                self.stats.stalls_injected += 1;
+                start = self.nodes[src as usize]
+                    .tx
+                    .reserve_labeled(ready_at, stall, "stall");
+            }
+        }
+        let ser_done = self.nodes[src as usize]
+            .tx
+            .reserve_labeled(start, tx_dur, "wire");
+        let arrive_at = ser_done + self.cfg.prop_delay_ns + extra_delay;
+        let fate = match &mut self.faults {
+            Some(fs) => fs.fate(),
+            None => Fate::Deliver { jitter_ns: 0 },
+        };
+        match fate {
+            Fate::Deliver { jitter_ns } => {
+                if jitter_ns > 0 {
+                    self.stats.delays_injected += 1;
+                }
+                sink(arrive_at + jitter_ns, NicEvent::Arrive { dst, xfer });
+            }
+            Fate::Drop => {
+                self.stats.drops_injected += 1;
+                let id = self.alloc_id();
+                self.inflight
+                    .insert(id, PendingRetry { dst, tx_dur, extra_delay, xfer });
+                sink(
+                    ser_done + self.cfg.transport_timeout_ns,
+                    NicEvent::RetryTimeout { xfer_id: id },
+                );
+            }
+            Fate::Corrupt => {
+                self.stats.corruptions_injected += 1;
+                let id = self.alloc_id();
+                self.inflight
+                    .insert(id, PendingRetry { dst, tx_dur, extra_delay, xfer });
+                // Bad ICRC: the payload crossed the wire and the
+                // responder NAKs it; retransmission can start after the
+                // NAK returns.
+                sink(
+                    arrive_at + self.cfg.prop_delay_ns + self.cfg.cqe_ns,
+                    NicEvent::RetryTimeout { xfer_id: id },
+                );
+            }
+        }
+        ser_done
+    }
+
     /// Posts one send work request on the QP `node -> peer`.
     ///
     /// `ready_at` is when the descriptor reaches the HCA (the caller has
@@ -255,6 +495,9 @@ impl Fabric {
         if peer as usize >= self.nodes.len() {
             return Err(PostError::NoSuchPeer { peer });
         }
+        if self.qp_err.contains(&(node, peer)) {
+            return Err(PostError::QpError { peer });
+        }
         let mem = &mems[node as usize];
         self.validate_sges(node, &wr.sges, mem)?;
         if matches!(wr.opcode, Opcode::RdmaWrite | Opcode::RdmaWriteImm(_) | Opcode::RdmaRead)
@@ -277,7 +520,7 @@ impl Fabric {
         // NIC finishes processing them.
         {
             let q = self.nodes[node as usize].sq_busy.entry(peer).or_default();
-            while q.front().is_some_and(|&t| t <= ready_at) {
+            while q.front().is_some_and(|e| e.done <= ready_at) {
                 q.pop_front();
             }
             if q.len() >= self.cfg.sq_depth {
@@ -286,14 +529,6 @@ impl Fabric {
                 });
             }
         }
-        let ser_done = self.nodes[node as usize]
-            .tx
-            .reserve_labeled(ready_at, tx_dur, "wire");
-        self.nodes[node as usize]
-            .sq_busy
-            .entry(peer)
-            .or_default()
-            .push_back(ser_done);
         self.stats.wqes += 1;
 
         let kind = match wr.opcode {
@@ -333,13 +568,15 @@ impl Fabric {
                 }
             }
         };
-        sink(
-            ser_done + self.cfg.prop_delay_ns + extra_delay,
-            NicEvent::Arrive {
-                dst: peer,
-                xfer: Transfer { src: node, kind },
-            },
-        );
+        let seq = self.alloc_seq(node, peer);
+        let xfer = Transfer { src: node, seq, attempt: 0, kind };
+        let wr_id = wr.wr_id;
+        let ser_done = self.launch(ready_at, peer, xfer, tx_dur, extra_delay, false, sink);
+        self.nodes[node as usize]
+            .sq_busy
+            .entry(peer)
+            .or_default()
+            .push_back(SqEntry { done: ser_done, wr_id });
         Ok(())
     }
 
@@ -399,25 +636,211 @@ impl Fabric {
                 vec![(node, cqe)]
             }
             NicEvent::Arrive { dst, xfer } => self.arrive(now, dst, xfer, mems, sink),
-            NicEvent::RnrRetry { node, peer } => {
-                let mut out = Vec::new();
-                loop {
-                    let node_st = &mut self.nodes[node as usize];
-                    let has_recv = node_st.recvq.get(&peer).is_some_and(|q| !q.is_empty());
-                    let Some(q) = node_st.parked.get_mut(&peer) else {
-                        break;
-                    };
-                    if !has_recv || q.is_empty() {
-                        break;
-                    }
-                    let xfer = q.pop_front().expect("checked non-empty");
-                    out.extend(self.arrive(now, node, xfer, mems, sink));
-                }
-                out
+            NicEvent::RnrRetry { node, peer } => self.drain_parked(now, node, peer, mems, sink),
+            NicEvent::RetryTimeout { xfer_id } => self.retry_timeout(now, xfer_id, sink),
+            NicEvent::RnrTimedRetry { node, peer, park_id } => {
+                self.rnr_timed_retry(now, node, peer, park_id, mems, sink)
             }
         }
     }
 
+    /// Transport timer: retransmit the pending transfer, or exhaust the
+    /// retry budget and error the QP.
+    fn retry_timeout<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        now: Time,
+        xfer_id: u64,
+        sink: &mut F,
+    ) -> Vec<(u32, Cqe)> {
+        let Some(mut p) = self.inflight.remove(&xfer_id) else {
+            // Flushed by a QP error transition in the meantime.
+            return Vec::new();
+        };
+        let (requester, responder) = p.endpoints();
+        p.xfer.attempt += 1;
+        if p.xfer.attempt > self.cfg.retry_cnt {
+            let status = CqeStatus::RetryExceeded { attempts: p.xfer.attempt };
+            sink(
+                now + self.cfg.cqe_ns,
+                NicEvent::LocalCqe {
+                    node: requester,
+                    cqe: Cqe {
+                        peer: responder,
+                        wr_id: p.xfer.kind.wr_id(),
+                        is_recv: false,
+                        byte_len: 0,
+                        imm: None,
+                        status,
+                    },
+                },
+            );
+            self.fail_qp(now, requester, responder, sink);
+        } else {
+            let dst = p.dst;
+            self.launch(now, dst, p.xfer, p.tx_dur, p.extra_delay, true, sink);
+        }
+        Vec::new()
+    }
+
+    /// Timed RNR backoff: try delivery again; burn a retry if the
+    /// receiver still has no descriptor; exhaust the budget and error
+    /// the sender's QP when it runs out.
+    fn rnr_timed_retry<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        now: Time,
+        node: u32,
+        peer: u32,
+        park_id: u64,
+        mems: &mut [NodeMem],
+        sink: &mut F,
+    ) -> Vec<(u32, Cqe)> {
+        let out = self.drain_parked(now, node, peer, mems, sink);
+        let Some(q) = self.nodes[node as usize].parked.get_mut(&peer) else {
+            return out;
+        };
+        let Some(pos) = q.iter().position(|p| p.id == park_id) else {
+            // Delivered (or flushed) in the meantime.
+            return out;
+        };
+        self.stats.rnr_backoff_retries += 1;
+        let entry = &mut q[pos];
+        entry.attempt += 1;
+        if entry.attempt > self.cfg.rnr_retry {
+            let entry = q.remove(pos).expect("position just found");
+            let status = CqeStatus::RnrRetryExceeded { attempts: entry.attempt };
+            // The RNR NAK that exhausts the budget travels back to the
+            // sender, whose QP then errors.
+            self.sched_local(
+                sink,
+                peer,
+                Cqe {
+                    peer: node,
+                    wr_id: entry.xfer.kind.wr_id(),
+                    is_recv: false,
+                    byte_len: 0,
+                    imm: None,
+                    status,
+                },
+                now,
+            );
+            self.fail_qp(now, peer, node, sink);
+        } else {
+            let at = now + self.cfg.rnr_backoff_ns(entry.attempt);
+            sink(at, NicEvent::RnrTimedRetry { node, peer, park_id });
+        }
+        out
+    }
+
+    /// Transitions the directional QP `requester -> responder` to the
+    /// error state: outstanding WQEs (send-queue slots, transfers
+    /// awaiting retransmission, parked transfers, reorder-buffer
+    /// residents) flush with [`CqeStatus::FlushErr`]; later posts fail
+    /// with [`PostError::QpError`]; in-flight arrivals are discarded.
+    fn fail_qp<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        now: Time,
+        requester: u32,
+        responder: u32,
+        sink: &mut F,
+    ) {
+        if !self.qp_err.insert((requester, responder)) {
+            return;
+        }
+        self.stats.qp_errors += 1;
+        let mut flushed: HashSet<u64> = HashSet::new();
+        let mut flush_wrs: Vec<u64> = Vec::new();
+
+        // Send-queue slots whose NIC processing hasn't finished.
+        if let Some(q) = self.nodes[requester as usize].sq_busy.get_mut(&responder) {
+            for e in q.drain(..) {
+                if e.done > now && flushed.insert(e.wr_id) {
+                    flush_wrs.push(e.wr_id);
+                }
+            }
+        }
+        // Transfers awaiting retransmission on this QP.
+        let mut ids: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, p)| p.endpoints() == (requester, responder))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let p = self.inflight.remove(&id).expect("id collected above");
+            let wr = p.xfer.kind.wr_id();
+            if flushed.insert(wr) {
+                flush_wrs.push(wr);
+            }
+        }
+        // Transfers parked for RNR at the responder.
+        if let Some(q) = self.nodes[responder as usize].parked.get_mut(&requester) {
+            for e in q.drain(..) {
+                let wr = e.xfer.kind.wr_id();
+                if flushed.insert(wr) {
+                    flush_wrs.push(wr);
+                }
+            }
+        }
+        // Reorder-buffer residents that will never be released.
+        if let Some(buf) = self.rx_ooo.remove(&(requester, responder)) {
+            for (_, x) in buf {
+                let wr = x.kind.wr_id();
+                if flushed.insert(wr) {
+                    flush_wrs.push(wr);
+                }
+            }
+        }
+        self.rx_expected.remove(&(requester, responder));
+
+        self.stats.flushed_wqes += flush_wrs.len() as u64;
+        for wr_id in flush_wrs {
+            sink(
+                now + self.cfg.cqe_ns,
+                NicEvent::LocalCqe {
+                    node: requester,
+                    cqe: Cqe {
+                        peer: responder,
+                        wr_id,
+                        is_recv: false,
+                        byte_len: 0,
+                        imm: None,
+                        status: CqeStatus::FlushErr,
+                    },
+                },
+            );
+        }
+    }
+
+    /// Delivers parked transfers of `(node, peer)` while receive
+    /// descriptors are available.
+    fn drain_parked<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        now: Time,
+        node: u32,
+        peer: u32,
+        mems: &mut [NodeMem],
+        sink: &mut F,
+    ) -> Vec<(u32, Cqe)> {
+        let mut out = Vec::new();
+        loop {
+            let node_st = &mut self.nodes[node as usize];
+            let has_recv = node_st.recvq.get(&peer).is_some_and(|q| !q.is_empty());
+            let Some(q) = node_st.parked.get_mut(&peer) else {
+                break;
+            };
+            if !has_recv || q.is_empty() {
+                break;
+            }
+            let entry = q.pop_front().expect("checked non-empty");
+            out.extend(self.deliver(now, node, entry.xfer, mems, sink));
+        }
+        out
+    }
+
+    /// Entry point for transfers reaching `dst`: discards traffic on
+    /// errored QPs and, when fault injection is active, enforces per-QP
+    /// sequence order through the reorder buffer before delivery.
     fn arrive<F: FnMut(Time, NicEvent)>(
         &mut self,
         now: Time,
@@ -426,17 +849,59 @@ impl Fabric {
         mems: &mut [NodeMem],
         sink: &mut F,
     ) -> Vec<(u32, Cqe)> {
+        let dir = (xfer.src, dst);
+        if self.qp_err.contains(&dir) {
+            // The QP died while this transfer was in flight: flush it.
+            self.stats.flushed_wqes += 1;
+            return Vec::new();
+        }
+        if self.faults.is_none() {
+            return self.deliver(now, dst, xfer, mems, sink);
+        }
+        {
+            let expected = self.rx_expected.entry(dir).or_insert(0);
+            if xfer.seq > *expected {
+                self.rx_ooo.entry(dir).or_default().insert(xfer.seq, xfer);
+                return Vec::new();
+            }
+            debug_assert_eq!(xfer.seq, *expected, "duplicate delivery on RC QP");
+        }
+        let mut out = self.deliver(now, dst, xfer, mems, sink);
+        // Release consecutive reorder-buffer residents.
+        loop {
+            let expected = self.rx_expected.entry(dir).or_insert(0);
+            *expected += 1;
+            let next = *expected;
+            let Some(buf) = self.rx_ooo.get_mut(&dir) else { break };
+            let Some(x) = buf.remove(&next) else { break };
+            out.extend(self.deliver(now, dst, x, mems, sink));
+        }
+        out
+    }
+
+    fn deliver<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        now: Time,
+        dst: u32,
+        xfer: Transfer,
+        mems: &mut [NodeMem],
+        sink: &mut F,
+    ) -> Vec<(u32, Cqe)> {
         let src = xfer.src;
+        let seq = xfer.seq;
+        let attempt = xfer.attempt;
         let mut out = Vec::new();
         match xfer.kind {
             TransferKind::Send { wr_id, data, signaled } => {
                 match self.consume_recv(dst, src, data.len() as u64) {
                     ConsumeOutcome::NoDescriptor => {
                         self.stats.rnr_events += 1;
-                        self.park(dst, src, Transfer {
+                        self.park(now, dst, src, Transfer {
                             src,
+                            seq,
+                            attempt,
                             kind: TransferKind::Send { wr_id, data, signaled },
-                        });
+                        }, sink);
                     }
                     ConsumeOutcome::TooSmall(rwr) => {
                         out.push((dst, Cqe {
@@ -491,17 +956,19 @@ impl Fabric {
                 // Write-with-immediate consumes a receive descriptor; if
                 // none is posted the transfer parks (RNR), data unplaced.
                 if imm.is_some()
-                    && !self
+                    && self
                         .nodes[dst as usize]
                         .recvq
                         .get(&src)
-                        .is_some_and(|q| !q.is_empty())
+                        .is_none_or(|q| q.is_empty())
                 {
                     self.stats.rnr_events += 1;
-                    self.park(dst, src, Transfer {
+                    self.park(now, dst, src, Transfer {
                         src,
+                        seq,
+                        attempt,
                         kind: TransferKind::Write { wr_id, addr, rkey, data, imm, signaled },
-                    });
+                    }, sink);
                     return out;
                 }
                 let mem = &mut mems[dst as usize];
@@ -568,28 +1035,24 @@ impl Fabric {
                             .read(addr, len)
                             .expect("rkey check guarantees bounds");
                         // The response occupies the responder's transmit
-                        // engine for its serialization time.
+                        // engine for its serialization time (and is
+                        // itself subject to fault injection).
                         let dur = self.cfg.tx_ns(1, len);
-                        let done = self.nodes[dst as usize]
-                            .tx
-                            .reserve_labeled(now, dur, "wire");
                         self.stats.wqes += 1;
                         self.stats.bytes_on_wire += len;
-                        sink(
-                            done + self.cfg.prop_delay_ns,
-                            NicEvent::Arrive {
-                                dst: src,
-                                xfer: Transfer {
-                                    src: dst,
-                                    kind: TransferKind::ReadResponse {
-                                        wr_id,
-                                        data,
-                                        scatter,
-                                        signaled,
-                                    },
-                                },
+                        let rseq = self.alloc_seq(dst, src);
+                        let resp = Transfer {
+                            src: dst,
+                            seq: rseq,
+                            attempt: 0,
+                            kind: TransferKind::ReadResponse {
+                                wr_id,
+                                data,
+                                scatter,
+                                signaled,
                             },
-                        );
+                        };
+                        self.launch(now, src, resp, dur, 0, false, sink);
                     }
                 }
             }
@@ -626,12 +1089,30 @@ impl Fabric {
         );
     }
 
-    fn park(&mut self, dst: u32, src: u32, xfer: Transfer) {
+    /// Parks a transfer awaiting a receive descriptor. With a finite
+    /// `rnr_retry` budget the RNR NAK starts a timed backoff loop;
+    /// with the infinite budget (the IB value 7, our default) the
+    /// transfer waits silently until a receive is posted.
+    fn park<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        now: Time,
+        dst: u32,
+        src: u32,
+        xfer: Transfer,
+        sink: &mut F,
+    ) {
+        let id = self.alloc_id();
         self.nodes[dst as usize]
             .parked
             .entry(src)
             .or_default()
-            .push_back(xfer);
+            .push_back(ParkedEntry { id, attempt: 0, xfer });
+        if !self.cfg.rnr_infinite() {
+            sink(
+                now + self.cfg.rnr_backoff_ns(0),
+                NicEvent::RnrTimedRetry { node: dst, peer: src, park_id: id },
+            );
+        }
     }
 
     fn consume_recv(&mut self, dst: u32, src: u32, len: u64) -> ConsumeOutcome {

@@ -1,0 +1,250 @@
+//! Deterministic fault injection for the fabric.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* on the wire: transfers
+//! may be dropped (modelling packet loss the RC transport must recover
+//! from), corrupted (detected by the responder's ICRC, answered with a
+//! NAK and retransmitted), delayed (queueing jitter), and the NIC
+//! transmit engine may stall (PCI-X contention, doorbell storms).
+//!
+//! Every decision comes from a private SplitMix64 stream seeded by
+//! [`FaultPlan::seed`] and consumed in event order, so a given
+//! (workload, plan) pair produces the *same* faults, the same
+//! retransmissions, and the same virtual-time clock on every run —
+//! the property the chaos suite asserts.
+//!
+//! The recovery machinery the plan exercises lives in
+//! [`fabric`](crate::fabric): per-QP retransmit bounded by
+//! [`NetConfig::retry_cnt`](crate::model::NetConfig::retry_cnt), RNR
+//! NAK retry with exponential backoff bounded by
+//! [`NetConfig::rnr_retry`](crate::model::NetConfig::rnr_retry), and
+//! QP error transitions with flush-with-error completions.
+
+use ibdt_simcore::time::Time;
+
+/// What can go wrong on the wire, with what probability.
+///
+/// All rates are probabilities in `[0, 1]` evaluated independently per
+/// wire transfer (retransmissions included — a retried transfer can be
+/// dropped again). The default plan is inert: no faults, and the
+/// fabric skips the fault path entirely, keeping fault-free timing
+/// byte-identical to a fabric without a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the private decision stream.
+    pub seed: u64,
+    /// Probability a transfer vanishes in flight (recovered by the
+    /// sender's transport timeout + retransmit).
+    pub drop_rate: f64,
+    /// Probability a transfer arrives corrupted. The responder's ICRC
+    /// check rejects it and NAKs; the sender retransmits after one
+    /// round trip — cheaper than a drop, but it still burns a retry.
+    pub corrupt_rate: f64,
+    /// Probability a transfer is delayed by queueing jitter.
+    pub delay_rate: f64,
+    /// Maximum injected jitter, ns (uniform in `[1, max]`).
+    pub max_delay_ns: Time,
+    /// Probability the transmit engine stalls before serving a WQE.
+    pub stall_rate: f64,
+    /// Stall duration charged on the transmit engine, ns.
+    pub stall_ns: Time,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay_ns: 0,
+            stall_rate: 0.0,
+            stall_ns: 0,
+        }
+    }
+
+    /// A plan dropping/corrupting/delaying each transfer with the same
+    /// `rate`, with representative jitter and stall magnitudes.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            drop_rate: rate,
+            corrupt_rate: rate,
+            delay_rate: rate,
+            max_delay_ns: 50_000,
+            stall_rate: rate,
+            stall_ns: 20_000,
+        }
+    }
+
+    /// True when no fault can ever fire.
+    pub fn is_inert(&self) -> bool {
+        self.drop_rate <= 0.0
+            && self.corrupt_rate <= 0.0
+            && (self.delay_rate <= 0.0 || self.max_delay_ns == 0)
+            && (self.stall_rate <= 0.0 || self.stall_ns == 0)
+    }
+}
+
+/// The fate of one wire transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fate {
+    /// Arrives intact, `jitter_ns` later than scheduled.
+    Deliver {
+        /// Injected extra delay (0 when no delay fault fired).
+        jitter_ns: Time,
+    },
+    /// Lost in flight; the sender's transport timer must notice.
+    Drop,
+    /// Arrives corrupted; the responder NAKs it.
+    Corrupt,
+}
+
+/// Live fault-decision state: the plan plus its private RNG.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: SplitMix64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let rng = SplitMix64::new(plan.seed);
+        Self { plan, rng }
+    }
+
+    /// Decides the fate of one wire crossing. Consumes a fixed number
+    /// of RNG draws per call so decision streams stay aligned across
+    /// runs regardless of outcome.
+    pub(crate) fn fate(&mut self) -> Fate {
+        let drop = self.rng.chance(self.plan.drop_rate);
+        let corrupt = self.rng.chance(self.plan.corrupt_rate);
+        let delay = self.rng.chance(self.plan.delay_rate);
+        let jitter = self.rng.next_u64();
+        if drop {
+            return Fate::Drop;
+        }
+        if corrupt {
+            return Fate::Corrupt;
+        }
+        if delay && self.plan.max_delay_ns > 0 {
+            return Fate::Deliver {
+                jitter_ns: 1 + jitter % self.plan.max_delay_ns,
+            };
+        }
+        Fate::Deliver { jitter_ns: 0 }
+    }
+
+    /// Decides whether the transmit engine stalls before this WQE, and
+    /// for how long.
+    pub(crate) fn stall(&mut self) -> Option<Time> {
+        if self.rng.chance(self.plan.stall_rate) && self.plan.stall_ns > 0 {
+            Some(self.plan.stall_ns)
+        } else {
+            None
+        }
+    }
+}
+
+/// Minimal SplitMix64 — kept private to the fabric so the simulator
+/// stays dependency-free (the test-only `ibdt-testkit` crate has its
+/// own copy; fault injection is a product feature and must not depend
+/// on dev-only crates).
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        let mut r = Self { state: seed ^ 0xA076_1D64_78BD_642F };
+        let _ = r.next_u64();
+        r
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        // Draw unconditionally so the stream length is outcome-free.
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        p > 0.0 && (p >= 1.0 || u < p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_always_delivers() {
+        let mut st = FaultState::new(FaultPlan::none());
+        for _ in 0..1000 {
+            assert_eq!(st.fate(), Fate::Deliver { jitter_ns: 0 });
+            assert_eq!(st.stall(), None);
+        }
+        assert!(FaultPlan::none().is_inert());
+        assert!(!FaultPlan::uniform(1, 0.1).is_inert());
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::uniform(0xFA17, 0.3);
+        let mut a = FaultState::new(plan.clone());
+        let mut b = FaultState::new(plan);
+        for _ in 0..1000 {
+            assert_eq!(a.fate(), b.fate());
+            assert_eq!(a.stall(), b.stall());
+        }
+    }
+
+    #[test]
+    fn rates_roughly_respected() {
+        let mut st = FaultState::new(FaultPlan {
+            seed: 7,
+            drop_rate: 0.5,
+            ..FaultPlan::none()
+        });
+        let drops = (0..10_000).filter(|_| st.fate() == Fate::Drop).count();
+        assert!((4000..6000).contains(&drops), "drops {drops}");
+    }
+
+    #[test]
+    fn certain_drop_always_drops() {
+        let mut st = FaultState::new(FaultPlan {
+            seed: 1,
+            drop_rate: 1.0,
+            ..FaultPlan::none()
+        });
+        for _ in 0..100 {
+            assert_eq!(st.fate(), Fate::Drop);
+        }
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let mut st = FaultState::new(FaultPlan {
+            seed: 3,
+            delay_rate: 1.0,
+            max_delay_ns: 500,
+            ..FaultPlan::none()
+        });
+        for _ in 0..1000 {
+            match st.fate() {
+                Fate::Deliver { jitter_ns } => assert!((1..=500).contains(&jitter_ns)),
+                other => panic!("unexpected fate {other:?}"),
+            }
+        }
+    }
+}

@@ -30,9 +30,11 @@
 //! engine is a FIFO resource.
 
 pub mod fabric;
+pub mod fault;
 pub mod model;
 pub mod wr;
 
-pub use fabric::{Fabric, NicEvent, NodeMem};
-pub use model::{HostConfig, NetConfig};
+pub use fabric::{Fabric, FabricStats, NicEvent, NodeMem};
+pub use fault::FaultPlan;
+pub use model::{HostConfig, NetConfig, RNR_RETRY_INFINITE};
 pub use wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge};

@@ -25,9 +25,9 @@ pub struct NetConfig {
     pub link_bw_bps: u64,
     /// One-way propagation + switch latency, ns.
     pub prop_delay_ns: Time,
-    /// NIC processing per singly-posted work request (doorbell handling
-    /// + WQE fetch over PCI-X, packet build, receive-side DMA setup
-    /// folded in), ns.
+    /// NIC processing per singly-posted work request (doorbell
+    /// handling, WQE fetch over PCI-X, packet build, receive-side DMA
+    /// setup folded in), ns.
     pub wqe_overhead_ns: Time,
     /// NIC processing per work request posted through the list
     /// interface — one doorbell covers the batch and WQE fetches
@@ -56,7 +56,29 @@ pub struct NetConfig {
     /// posted but whose NIC processing has not finished. Posting beyond
     /// this fails like a real verbs `ENOMEM`.
     pub sq_depth: usize,
+    /// Transport retry budget: retransmissions attempted after a
+    /// transport timeout (lost transfer) or NAK (corrupted transfer)
+    /// before the queue pair transitions to the error state, as the
+    /// `retry_cnt` QP attribute.
+    pub retry_cnt: u32,
+    /// RNR retry budget, as the `rnr_retry` QP attribute. The IB value
+    /// 7 ([`RNR_RETRY_INFINITE`]) means retry forever — the default, so
+    /// a fault-free fabric keeps its classic park-until-posted
+    /// behaviour with no timer traffic.
+    pub rnr_retry: u32,
+    /// Transport timeout: how long the requester waits for an ACK
+    /// before retransmitting, ns (the `timeout` QP attribute; real HCAs
+    /// use `4.096us * 2^timeout`).
+    pub transport_timeout_ns: Time,
+    /// First RNR backoff interval, ns; doubles per retry (bounded
+    /// exponential backoff).
+    pub rnr_backoff_base_ns: Time,
+    /// Upper bound of the RNR backoff interval, ns.
+    pub rnr_backoff_max_ns: Time,
 }
+
+/// The `rnr_retry` value meaning "retry forever" (IB spec §9.7.5.2.8).
+pub const RNR_RETRY_INFINITE: u32 = 7;
 
 impl Default for NetConfig {
     fn default() -> Self {
@@ -74,6 +96,11 @@ impl Default for NetConfig {
             cqe_ns: 200,
             max_sge: 64,
             sq_depth: 4096,
+            retry_cnt: 7,
+            rnr_retry: RNR_RETRY_INFINITE,
+            transport_timeout_ns: 500_000,
+            rnr_backoff_base_ns: 20_000,
+            rnr_backoff_max_ns: 640_000,
         }
     }
 }
@@ -112,6 +139,21 @@ impl NetConfig {
         } else {
             self.post_list_first_ns + self.post_list_per_ns * (n as u64 - 1)
         }
+    }
+
+    /// RNR backoff before delivery attempt `attempt` (0-based):
+    /// exponential from [`rnr_backoff_base_ns`](Self::rnr_backoff_base_ns),
+    /// capped at [`rnr_backoff_max_ns`](Self::rnr_backoff_max_ns).
+    pub fn rnr_backoff_ns(&self, attempt: u32) -> Time {
+        let exp = self
+            .rnr_backoff_base_ns
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        exp.min(self.rnr_backoff_max_ns).max(1)
+    }
+
+    /// True when `rnr_retry` means "retry forever".
+    pub fn rnr_infinite(&self) -> bool {
+        self.rnr_retry >= RNR_RETRY_INFINITE
     }
 }
 
@@ -203,6 +245,22 @@ mod tests {
             c.tx_ns_batched(1, 4096, false) - c.tx_ns_batched(1, 4096, true),
             c.wqe_overhead_ns - c.wqe_overhead_list_ns
         );
+    }
+
+    #[test]
+    fn rnr_backoff_grows_and_caps() {
+        let c = NetConfig::default();
+        assert_eq!(c.rnr_backoff_ns(0), c.rnr_backoff_base_ns);
+        assert_eq!(c.rnr_backoff_ns(1), 2 * c.rnr_backoff_base_ns);
+        assert!(c.rnr_backoff_ns(3) > c.rnr_backoff_ns(2));
+        assert_eq!(c.rnr_backoff_ns(30), c.rnr_backoff_max_ns);
+        assert_eq!(c.rnr_backoff_ns(63), c.rnr_backoff_max_ns);
+        // Shift overflow saturates instead of wrapping.
+        assert_eq!(c.rnr_backoff_ns(200), c.rnr_backoff_max_ns);
+        assert!(c.rnr_infinite());
+        let mut f = c.clone();
+        f.rnr_retry = 3;
+        assert!(!f.rnr_infinite());
     }
 
     #[test]

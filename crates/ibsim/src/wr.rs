@@ -84,6 +84,21 @@ pub enum CqeStatus {
         /// Capacity of the consumed receive descriptor.
         capacity: u64,
     },
+    /// The transport retry budget (`retry_cnt`) was exhausted without
+    /// an ACK; the queue pair has transitioned to the error state.
+    RetryExceeded {
+        /// Transmission attempts made (initial + retries).
+        attempts: u32,
+    },
+    /// The receiver kept answering RNR NAK past the `rnr_retry`
+    /// budget; the queue pair has transitioned to the error state.
+    RnrRetryExceeded {
+        /// Delivery attempts made.
+        attempts: u32,
+    },
+    /// The work request was flushed because its queue pair entered the
+    /// error state before the request completed.
+    FlushErr,
 }
 
 impl CqeStatus {
@@ -134,6 +149,12 @@ pub enum PostError {
         /// Configured depth.
         depth: usize,
     },
+    /// The queue pair is in the error state (retry budget exhausted);
+    /// no further work requests are accepted until it is torn down.
+    QpError {
+        /// Peer of the errored queue pair.
+        peer: u32,
+    },
 }
 
 impl fmt::Display for PostError {
@@ -147,6 +168,9 @@ impl fmt::Display for PostError {
             PostError::NoSuchPeer { peer } => write!(f, "no such peer {peer}"),
             PostError::QueueFull { depth } => {
                 write!(f, "send queue full (depth {depth})")
+            }
+            PostError::QpError { peer } => {
+                write!(f, "queue pair to peer {peer} is in the error state")
             }
         }
     }

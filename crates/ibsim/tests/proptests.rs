@@ -1,10 +1,11 @@
-//! Property-based tests of the fabric: exact-once delivery and RC
-//! per-QP ordering under random traffic.
+//! Randomized tests of the fabric: exact-once delivery and RC per-QP
+//! ordering under random traffic. Seeded via [`ibdt_testkit`] so every
+//! case is replayable offline.
 
 use ibdt_ibsim::{Fabric, NetConfig, NicEvent, NodeMem, Opcode, SendWr, Sge};
 use ibdt_simcore::engine::{Engine, Scheduler, World};
 use ibdt_simcore::time::Time;
-use proptest::prelude::*;
+use ibdt_testkit::{cases, Rng};
 
 struct Harness {
     fabric: Fabric,
@@ -26,16 +27,12 @@ impl World for Harness {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random RDMA writes between 3 nodes: every payload lands exactly
-    /// once at its slot, and local completions per (src, dst) pair come
-    /// back in post order.
-    #[test]
-    fn writes_deliver_exactly_once_in_order(
-        ops in proptest::collection::vec((0u32..3, 0u32..3, 0u64..5_000, 1u64..3000), 1..80),
-    ) {
+/// Random RDMA writes between 3 nodes: every payload lands exactly
+/// once at its slot, and local completions per (src, dst) pair come
+/// back in post order.
+#[test]
+fn writes_deliver_exactly_once_in_order() {
+    cases(0x1B51_0001, 64, |rng: &mut Rng| {
         let n = 3;
         let mut h = Harness {
             fabric: Fabric::new(n, NetConfig::default()),
@@ -53,12 +50,17 @@ proptest! {
             src.push((s, sreg.lkey));
             dst.push((d, dreg.rkey));
         }
+        let nops = rng.range_usize(1, 80);
         let mut evs: Vec<(Time, NicEvent)> = Vec::new();
         let mut slot = 0u64;
         let mut expected: Vec<(usize, u64, u8)> = Vec::new(); // (dst node, slot addr, byte)
         let mut posted_per_pair: std::collections::HashMap<(u32, u32), Vec<u64>> =
             std::collections::HashMap::new();
-        for (i, &(s, d, at, len)) in ops.iter().enumerate() {
+        for i in 0..nops {
+            let s = rng.range_u64(0, 3) as u32;
+            let d = rng.range_u64(0, 3) as u32;
+            let at = rng.range_u64(0, 5_000);
+            let len = rng.range_u64(1, 3000);
             if s == d {
                 continue;
             }
@@ -80,13 +82,13 @@ proptest! {
                 &h.mems,
                 &mut |t, e| evs.push((t, e)),
             );
-            prop_assert!(posted.is_ok());
+            assert!(posted.is_ok());
             // Snapshot semantics: data is captured at post time, so each
             // op uses its own fill value and slot.
             expected.push((d as usize, target, byte));
             posted_per_pair.entry((s, d)).or_default().push(wr_id);
             slot += 1;
-            prop_assert!(slot * 4096 + 4096 <= 1 << 20);
+            assert!(slot * 4096 + 4096 <= 1 << 20);
         }
         let mut eng = Engine::new();
         for (t, e) in evs {
@@ -98,10 +100,10 @@ proptest! {
         // distinct so no op can mask another).
         for &(d, addr, byte) in &expected {
             let got = h.mems[d].space.read(addr, 1).unwrap()[0];
-            prop_assert_eq!(got, byte, "slot {:#x} at node {}", addr, d);
+            assert_eq!(got, byte, "slot {addr:#x} at node {d}");
         }
         // One completion per op.
-        prop_assert_eq!(h.completions.len(), expected.len());
+        assert_eq!(h.completions.len(), expected.len());
         // Per-pair completion order == post order. Completion (node,
         // wr_id) pairs: node is the poster.
         for ((s, _d), wrs) in posted_per_pair {
@@ -111,7 +113,7 @@ proptest! {
                 .filter(|(_, node, wr)| *node == s && wrs.contains(wr))
                 .map(|&(_, _, wr)| wr)
                 .collect();
-            prop_assert_eq!(seen, wrs, "completion order per pair");
+            assert_eq!(seen, wrs, "completion order per pair");
         }
-    }
+    });
 }

@@ -555,9 +555,7 @@ fn list_post_functionally_identical_to_single() {
 #[test]
 fn send_queue_depth_enforced() {
     let mut h = harness(2);
-    let mut cfg = NetConfig::default();
-    cfg.sq_depth = 4;
-    h.fabric = Fabric::new(2, cfg);
+    h.fabric = Fabric::new(2, NetConfig { sq_depth: 4, ..Default::default() });
     let (src, src_key) = reg_buf(&mut h, 0, 4096, Some(1));
     let (dst, _) = reg_buf(&mut h, 1, 1 << 20, None);
     let rkey = h.mems[1].regs.covering(dst, 1).unwrap().rkey;

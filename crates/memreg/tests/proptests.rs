@@ -1,97 +1,114 @@
-//! Property-based tests for the memory subsystem: OGR planning
-//! invariants and pin-down cache consistency.
+//! Randomized tests of the memory subsystem: OGR planning invariants
+//! and pin-down cache consistency, seeded via [`ibdt_testkit`].
 
 use ibdt_memreg::{ogr, PindownCache, RegCostModel, RegTable};
-use proptest::prelude::*;
+use ibdt_testkit::{cases, Rng};
 
-fn blocks_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
-    proptest::collection::vec((0u64..1 << 24, 0u64..1 << 16), 0..40)
+fn random_blocks(rng: &mut Rng) -> Vec<(u64, u64)> {
+    let n = rng.range_usize(0, 40);
+    (0..n)
+        .map(|_| (rng.range_u64(0, 1 << 24), rng.range_u64(0, 1 << 16)))
+        .collect()
 }
 
-fn model_strategy() -> impl Strategy<Value = RegCostModel> {
-    (1u32..4, 1u64..50_000, 0u64..2_000, 1u64..30_000, 0u64..500).prop_map(
-        |(pshift, rb, rp, db, dp)| RegCostModel {
-            page_size: 1 << (10 + pshift),
-            reg_base_ns: rb,
-            reg_per_page_ns: rp,
-            dereg_base_ns: db,
-            dereg_per_page_ns: dp,
-        },
-    )
+fn random_model(rng: &mut Rng) -> RegCostModel {
+    RegCostModel {
+        page_size: 1 << (10 + rng.range_u64(1, 4)),
+        reg_base_ns: rng.range_u64(1, 50_000),
+        reg_per_page_ns: rng.range_u64(0, 2_000),
+        dereg_base_ns: rng.range_u64(1, 30_000),
+        dereg_per_page_ns: rng.range_u64(0, 500),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn ogr_covers_every_block(blocks in blocks_strategy(), model in model_strategy()) {
+#[test]
+fn ogr_covers_every_block() {
+    cases(0x3E60_0001, 512, |rng| {
+        let blocks = random_blocks(rng);
+        let model = random_model(rng);
         let plan = ogr::plan(&blocks, &model);
         for &(a, l) in &blocks {
             if l == 0 {
                 continue;
             }
-            prop_assert!(
+            assert!(
                 plan.regions.iter().any(|&(ra, rl)| a >= ra && a + l <= ra + rl),
-                "block ({a}, {l}) uncovered by {:?}", plan.regions
+                "block ({a}, {l}) uncovered by {:?}",
+                plan.regions
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn ogr_regions_sorted_disjoint(blocks in blocks_strategy(), model in model_strategy()) {
+#[test]
+fn ogr_regions_sorted_disjoint() {
+    cases(0x3E60_0002, 512, |rng| {
+        let blocks = random_blocks(rng);
+        let model = random_model(rng);
         let plan = ogr::plan(&blocks, &model);
         for w in plan.regions.windows(2) {
-            prop_assert!(w[0].0 + w[0].1 <= w[1].0, "regions overlap or unsorted");
+            assert!(w[0].0 + w[0].1 <= w[1].0, "regions overlap or unsorted");
         }
         for &(_, l) in &plan.regions {
-            prop_assert!(l > 0, "empty region in plan");
+            assert!(l > 0, "empty region in plan");
         }
-    }
+    });
+}
 
-    #[test]
-    fn ogr_never_loses_to_baselines(blocks in blocks_strategy(), model in model_strategy()) {
+#[test]
+fn ogr_never_loses_to_baselines() {
+    cases(0x3E60_0003, 512, |rng| {
+        let blocks = random_blocks(rng);
+        let model = random_model(rng);
         let o = ogr::plan(&blocks, &model).round_trip_ns();
         let per = ogr::plan_per_block(&blocks, &model).round_trip_ns();
         let whole = ogr::plan_whole_extent(&blocks, &model).round_trip_ns();
-        prop_assert!(o <= per, "OGR {o} worse than per-block {per}");
-        prop_assert!(o <= whole, "OGR {o} worse than whole-extent {whole}");
-    }
+        assert!(o <= per, "OGR {o} worse than per-block {per}");
+        assert!(o <= whole, "OGR {o} worse than whole-extent {whole}");
+    });
+}
 
-    #[test]
-    fn ogr_cost_fields_consistent(blocks in blocks_strategy(), model in model_strategy()) {
+#[test]
+fn ogr_cost_fields_consistent() {
+    cases(0x3E60_0004, 512, |rng| {
+        let blocks = random_blocks(rng);
+        let model = random_model(rng);
         let plan = ogr::plan(&blocks, &model);
         let reg: u64 = plan.regions.iter().map(|&(a, l)| model.reg_cost(a, l)).sum();
         let dereg: u64 = plan.regions.iter().map(|&(a, l)| model.dereg_cost(a, l)).sum();
-        prop_assert_eq!(plan.reg_cost_ns, reg);
-        prop_assert_eq!(plan.dereg_cost_ns, dereg);
-        prop_assert_eq!(plan.round_trip_ns(), reg + dereg);
-    }
+        assert_eq!(plan.reg_cost_ns, reg);
+        assert_eq!(plan.dereg_cost_ns, dereg);
+        assert_eq!(plan.round_trip_ns(), reg + dereg);
+    });
+}
 
-    #[test]
-    fn pindown_cache_acquire_release_sequences(
-        ops in proptest::collection::vec((0u64..8, 1u64..5000, any::<bool>()), 1..60),
-    ) {
+#[test]
+fn pindown_cache_acquire_release_sequences() {
+    cases(0x3E60_0005, 512, |rng| {
         // Random acquire/release traffic over 8 buffer slots must keep
         // the table and cache consistent, with hits only after misses.
         let model = RegCostModel::default();
         let mut table = RegTable::new();
         let mut cache = PindownCache::new(16 * 4096);
         let mut held: Vec<u32> = Vec::new();
-        for (slot, len, release_first) in ops {
-            if release_first {
+        let nops = rng.range_usize(1, 60);
+        for _ in 0..nops {
+            let slot = rng.range_u64(0, 8);
+            let len = rng.range_u64(1, 5000);
+            if rng.chance(0.5) {
                 if let Some(lkey) = held.pop() {
-                    prop_assert!(cache.release(&mut table, &model, lkey).is_ok());
+                    assert!(cache.release(&mut table, &model, lkey).is_ok());
                 }
             }
             let a = cache.acquire(&mut table, &model, slot * 100_000, len);
             // The registration handed out must be live and covering.
-            prop_assert!(table.check(a.reg.lkey, slot * 100_000, len).is_ok());
+            assert!(table.check(a.reg.lkey, slot * 100_000, len).is_ok());
             held.push(a.reg.lkey);
         }
         // Everything still held must be live.
         for lkey in held {
-            prop_assert!(table.get(lkey).is_some());
-            prop_assert!(cache.release(&mut table, &model, lkey).is_ok());
+            assert!(table.get(lkey).is_some());
+            assert!(cache.release(&mut table, &model, lkey).is_ok());
         }
-    }
+    });
 }

@@ -6,11 +6,12 @@
 
 use crate::coll;
 use crate::config::MpiConfig;
+use crate::error::MpiError;
 use crate::progress::{self, ActiveMsgs, Ctx, Ev};
 use crate::rank::RankState;
 use crate::stats::RunStats;
 use ibdt_datatype::Datatype;
-use ibdt_ibsim::{Fabric, HostConfig, NetConfig, NodeMem, RecvWr, Sge};
+use ibdt_ibsim::{Fabric, FaultPlan, HostConfig, NetConfig, NodeMem, RecvWr, Sge};
 use ibdt_memreg::Va;
 use ibdt_simcore::engine::{Engine, Scheduler, World};
 use ibdt_simcore::time::Time;
@@ -263,6 +264,8 @@ pub struct ClusterSpec {
     pub mpi: MpiConfig,
     /// Per-rank address space capacity in bytes.
     pub mem_capacity: u64,
+    /// Seeded fault-injection plan for the fabric (inert by default).
+    pub faults: FaultPlan,
 }
 
 impl Default for ClusterSpec {
@@ -273,6 +276,7 @@ impl Default for ClusterSpec {
             host: HostConfig::default(),
             mpi: MpiConfig::default(),
             mem_capacity: 256 << 20,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -312,6 +316,7 @@ impl Cluster {
     pub fn new(spec: ClusterSpec) -> Self {
         let n = spec.nprocs as usize;
         let mut fabric = Fabric::new(n, spec.net.clone());
+        fabric.set_fault_plan(spec.faults.clone());
         let mut mems: Vec<NodeMem> = (0..n).map(|_| NodeMem::new(spec.mem_capacity)).collect();
         let mut ranks = Vec::with_capacity(n);
         for r in 0..n as u32 {
@@ -394,7 +399,7 @@ impl Cluster {
     /// Fills a range with a deterministic byte pattern keyed by `seed`.
     pub fn fill_pattern(&mut self, rank: u32, addr: Va, len: u64, seed: u64) {
         let data: Vec<u8> = (0..len)
-            .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(seed.wrapping_mul(977))) >> 3) as u8)
+            .map(|i| ((i.wrapping_mul(2654435761).wrapping_add(seed.wrapping_mul(977))) >> 3) as u8)
             .collect();
         self.write_mem(rank, addr, &data);
     }
@@ -426,10 +431,24 @@ impl Cluster {
         // Budget: generous runaway guard proportional to work.
         let finish = engine.run_to_quiescence(self, 200_000_000);
         // Sanity: every program must have finished (a hang here is a
-        // protocol deadlock).
-        for (r, it) in self.interp.iter().enumerate() {
+        // protocol deadlock) — unless an injected fault surfaced as a
+        // typed error, in which case an incomplete program is the
+        // expected degraded outcome and is recorded as such.
+        let had_errors = (0..self.spec.nprocs as usize).any(|r| {
+            !self.ranks[r].errors.is_empty()
+                || self.ranks[r].reqs.iter().any(|q| q.error.is_some())
+        });
+        for r in 0..self.spec.nprocs as usize {
+            let it = &self.interp[r];
+            let unfinished = !it.prog.is_empty() || it.finished_at.is_none();
+            if had_errors {
+                if unfinished || !self.active[r].is_idle() {
+                    self.ranks[r].errors.push(MpiError::Incomplete);
+                }
+                continue;
+            }
             assert!(
-                it.prog.is_empty() && it.finished_at.is_some(),
+                !unfinished,
                 "rank {r} deadlocked with {} ops left (blocked: {:?})",
                 it.prog.len(),
                 it.blocked
@@ -450,7 +469,7 @@ impl Cluster {
             rank_finish_ns: self
                 .interp
                 .iter()
-                .map(|i| i.finished_at.expect("checked in run"))
+                .map(|i| i.finished_at.unwrap_or(finish))
                 .collect(),
             counters: self.ranks.iter().map(|r| r.counters).collect(),
             cpu_busy_ns: self.ranks.iter().map(|r| r.cpu.total_busy()).collect(),
@@ -459,6 +478,25 @@ impl Cluster {
             wqes: fstats.wqes,
             bytes_on_wire: fstats.bytes_on_wire,
             rnr_events: fstats.rnr_events,
+            drops_injected: fstats.drops_injected,
+            corruptions_injected: fstats.corruptions_injected,
+            delays_injected: fstats.delays_injected,
+            stalls_injected: fstats.stalls_injected,
+            retransmits: fstats.retransmits,
+            rnr_backoff_retries: fstats.rnr_backoff_retries,
+            qp_errors: fstats.qp_errors,
+            flushed_wqes: fstats.flushed_wqes,
+            errors: self
+                .ranks
+                .iter()
+                .map(|rs| {
+                    rs.errors
+                        .iter()
+                        .copied()
+                        .chain(rs.reqs.iter().filter_map(|q| q.error))
+                        .collect()
+                })
+                .collect(),
             marks: self.marks.clone(),
             pack_wire_overlap_ns: (0..n)
                 .map(|r| {
@@ -496,6 +534,7 @@ impl Cluster {
 
     /// Element-wise reduction of two local buffers over a datatype's
     /// elements. Functional immediately; host time charged on the CPU.
+    #[allow(clippy::too_many_arguments)]
     fn combine_buffers(
         &mut self,
         sched: &mut Scheduler<'_, Ev>,

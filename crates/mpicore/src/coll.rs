@@ -92,33 +92,26 @@ pub fn bcast(
     }
     // Send phase: forward to higher bits.
     let mut mask = mask >> 1;
-    loop {
-        if mask == 0 {
-            // Root starts with the highest bit below nprocs.
-            if vrank == 0 {
-                let mut m = 1u32;
-                while m < nprocs {
-                    m <<= 1;
-                }
-                mask = m >> 1;
-            } else {
-                break;
-            }
+    if mask == 0 && vrank == 0 {
+        // Root starts with the highest bit below nprocs.
+        let mut m = 1u32;
+        while m < nprocs {
+            m <<= 1;
         }
-        while mask > 0 {
-            if vrank + mask < nprocs {
-                let dst = (vrank + mask + root) % nprocs;
-                ops.push(AppOp::Isend {
-                    peer: dst,
-                    buf,
-                    count,
-                    ty: ty.clone(),
-                    tag: COLL_TAG + 1,
-                });
-            }
-            mask >>= 1;
+        mask = m >> 1;
+    }
+    while mask > 0 {
+        if vrank + mask < nprocs {
+            let dst = (vrank + mask + root) % nprocs;
+            ops.push(AppOp::Isend {
+                peer: dst,
+                buf,
+                count,
+                ty: ty.clone(),
+                tag: COLL_TAG + 1,
+            });
         }
-        break;
+        mask >>= 1;
     }
     ops.push(AppOp::WaitAll);
     ops

@@ -112,6 +112,19 @@ pub struct MpiConfig {
     pub call_overhead_ns: Time,
     /// Software cost to parse/build one control message, ns.
     pub ctrl_overhead_ns: Time,
+    /// Budget for user-buffer (zero-copy) registrations, bytes per
+    /// rank. When RWG-UP / Multi-W / P-RRS would pin user memory past
+    /// this, the message degrades to a copy-based scheme instead of
+    /// failing — the §4.3.3 graceful-fallback idea applied to
+    /// registration, not just pool, exhaustion.
+    pub reg_budget_bytes: u64,
+    /// Rendezvous-reply timeout, ns: how long the sender waits for the
+    /// receiver's reply before probing again. 0 disables the timer (the
+    /// default — fault-free runs schedule no extra events).
+    pub rndv_reply_timeout_ns: Time,
+    /// Probes sent after reply timeouts before the send fails with
+    /// [`MpiError::ReplyTimeout`](crate::error::MpiError::ReplyTimeout).
+    pub rndv_max_rerequests: u32,
 }
 
 impl Default for MpiConfig {
@@ -136,6 +149,9 @@ impl Default for MpiConfig {
             hybrid_block_threshold: 1024,
             call_overhead_ns: 150,
             ctrl_overhead_ns: 150,
+            reg_budget_bytes: u64::MAX,
+            rndv_reply_timeout_ns: 0,
+            rndv_max_rerequests: 3,
         }
     }
 }

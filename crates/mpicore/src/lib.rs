@@ -30,6 +30,7 @@
 pub mod cluster;
 pub mod coll;
 pub mod config;
+pub mod error;
 pub mod msg;
 pub mod plan;
 pub mod pool;
@@ -40,4 +41,6 @@ pub mod stats;
 
 pub use cluster::{AppOp, Cluster, ClusterSpec, Program, ReduceOp};
 pub use config::{MpiConfig, Scheme};
+pub use error::MpiError;
+pub use ibdt_ibsim::FaultPlan;
 pub use stats::RunStats;

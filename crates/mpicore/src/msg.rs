@@ -70,6 +70,13 @@ pub enum CtrlMsg {
         /// Sequence number.
         seq: u64,
     },
+    /// Sender's reply-timeout probe: "resend your rendezvous reply for
+    /// `seq` if it already went out" (it may have been lost with an
+    /// errored queue pair). Receivers still preparing simply ignore it.
+    RndvProbe {
+        /// Sequence number of the stalled rendezvous.
+        seq: u64,
+    },
 }
 
 /// Scheme-specific rendezvous reply payload.
@@ -129,6 +136,7 @@ const K_START: u8 = 2;
 const K_REPLY: u8 = 3;
 const K_SEGREADY: u8 = 4;
 const K_FIN: u8 = 5;
+const K_PROBE: u8 = 6;
 
 const B_BUFFER: u8 = 1;
 const B_SEGMENTS: u8 = 2;
@@ -297,6 +305,10 @@ impl CtrlMsg {
                 w.u8(K_FIN);
                 w.u64(*seq);
             }
+            CtrlMsg::RndvProbe { seq } => {
+                w.u8(K_PROBE);
+                w.u64(*seq);
+            }
         }
         w.0
     }
@@ -413,6 +425,7 @@ impl CtrlMsg {
                 len: r.u64()?,
             },
             K_FIN => CtrlMsg::Fin { seq: r.u64()? },
+            K_PROBE => CtrlMsg::RndvProbe { seq: r.u64()? },
             _ => return None,
         };
         Some((msg, r.1))
@@ -531,6 +544,7 @@ mod tests {
             len: 65536,
         });
         roundtrip(CtrlMsg::Fin { seq: 3 });
+        roundtrip(CtrlMsg::RndvProbe { seq: 77 });
     }
 
     #[test]

@@ -94,7 +94,7 @@ impl SegmentPool {
         debug_assert!(
             va >= self.base
                 && va < self.base + (self.total as u64) * self.seg_size
-                && (va - self.base) % self.seg_size == 0,
+                && (va - self.base).is_multiple_of(self.seg_size),
             "released address is not a pool segment"
         );
         debug_assert!(!self.free.contains(&va), "double release of pool segment");

@@ -16,11 +16,14 @@
 //! operation that uses it is in flight.
 
 use crate::config::{MpiConfig, Scheme};
+use crate::error::MpiError;
 use crate::msg::{CtrlMsg, ReplyBody};
 use crate::plan::{chunk_gather, hybrid_partition, imm_of, imm_parse, plan_multi_w, substream_to_stream};
 use crate::rank::{PostedRecv, RankState, ReqId, ReqKind, Unexpected};
 use ibdt_datatype::{Datatype, FlatLayout, Segment};
-use ibdt_ibsim::{Cqe, Fabric, HostConfig, NetConfig, NicEvent, NodeMem, Opcode, RecvWr, SendWr, Sge};
+use ibdt_ibsim::{
+    Cqe, Fabric, HostConfig, NetConfig, NicEvent, NodeMem, Opcode, PostError, RecvWr, SendWr, Sge,
+};
 use ibdt_memreg::{ogr, Registration, Va};
 use ibdt_simcore::engine::Scheduler;
 use ibdt_simcore::time::Time;
@@ -100,6 +103,14 @@ pub enum CpuAct {
         /// The completed request.
         req: ReqId,
     },
+    /// The rendezvous-reply timeout fired for message `(peer, seq)`
+    /// (scheduled only when `rndv_reply_timeout_ns > 0`).
+    ReplyTimeout {
+        /// Destination rank of the stalled send.
+        peer: u32,
+        /// Message sequence number.
+        seq: u64,
+    },
 }
 
 /// Shared mutable context threaded through the protocol functions.
@@ -123,22 +134,30 @@ impl Ctx<'_, '_> {
         self.sched.now()
     }
 
-    pub(crate) fn post_send(&mut self, ready_at: Time, node: u32, peer: u32, wr: SendWr) {
+    pub(crate) fn post_send(
+        &mut self,
+        ready_at: Time,
+        node: u32,
+        peer: u32,
+        wr: SendWr,
+    ) -> Result<(), PostError> {
         let Self { fabric, mems, sched, .. } = self;
-        fabric
-            .post_send(ready_at, node, peer, wr, mems, &mut |t, e| {
-                sched.at(t, Ev::Nic(e))
-            })
-            .expect("protocol posted an invalid work request");
+        fabric.post_send(ready_at, node, peer, wr, mems, &mut |t, e| {
+            sched.at(t, Ev::Nic(e))
+        })
     }
 
-    pub(crate) fn post_send_list(&mut self, ready_at: Time, node: u32, peer: u32, wrs: Vec<SendWr>) {
+    pub(crate) fn post_send_list(
+        &mut self,
+        ready_at: Time,
+        node: u32,
+        peer: u32,
+        wrs: Vec<SendWr>,
+    ) -> Result<(), PostError> {
         let Self { fabric, mems, sched, .. } = self;
-        fabric
-            .post_send_list(ready_at, node, peer, wrs, mems, &mut |t, e| {
-                sched.at(t, Ev::Nic(e))
-            })
-            .expect("protocol posted an invalid work request list");
+        fabric.post_send_list(ready_at, node, peer, wrs, mems, &mut |t, e| {
+            sched.at(t, Ev::Nic(e))
+        })
     }
 
     fn post_recv(&mut self, now: Time, node: u32, peer: u32, wr: RecvWr) {
@@ -239,6 +258,18 @@ struct SendMsg {
     user_regs: Vec<Registration>,
     /// P-RRS: completion arrives via Fin instead of a local data CQE.
     completed: bool,
+    /// Set when a data post failed; the caller of [`try_post_ready`]
+    /// aborts the message.
+    failed: Option<MpiError>,
+    /// Rendezvous-reply probes sent so far (§reply timeout).
+    rerequests: u32,
+    /// Multi-W degraded mode: the pinning budget barred registering the
+    /// user buffer, so data is staged through a copy buffer and written
+    /// into the receiver's blocks from there.
+    mw_stage: bool,
+    /// User-buffer bytes this message charged against
+    /// `reg_budget_bytes`.
+    pinned_bytes: u64,
 }
 
 /// Receiver-side state of one rendezvous message.
@@ -267,6 +298,11 @@ struct RecvMsg {
     packed_intervals: Vec<(u64, u64)>,
     marker_seen: bool,
     completed: bool,
+    /// User-buffer bytes this message charged against
+    /// `reg_budget_bytes`.
+    pinned_bytes: u64,
+    /// Copy of the sent reply, kept for probe-triggered resends.
+    reply_copy: Option<Vec<u8>>,
 }
 
 /// Active rendezvous messages of one rank.
@@ -290,6 +326,7 @@ impl ActiveMsgs {
 // ---------------------------------------------------------------------
 
 /// Starts a nonblocking send.
+#[allow(clippy::too_many_arguments)]
 pub fn isend(
     rs: &mut RankState,
     am: &mut ActiveMsgs,
@@ -363,7 +400,15 @@ pub fn isend(
         reg_done: false,
         user_regs: Vec::new(),
         completed: false,
+        failed: None,
+        rerequests: 0,
+        mw_stage: false,
+        pinned_bytes: 0,
     };
+    if ctx.cfg.rndv_reply_timeout_ns > 0 {
+        let at = ctx.now() + ctx.cfg.rndv_reply_timeout_ns;
+        ctx.cpu_event(at, rs.rank, CpuAct::ReplyTimeout { peer, seq });
+    }
 
     // Early work that overlaps the handshake (§4.3.1, §7.3, §7.4).
     // A single-block (contiguous) send never packs: MVAPICH's standard
@@ -371,7 +416,9 @@ pub fn isend(
     // sender registers the user buffer and waits for the receiver's
     // choice.
     if stats.min >= size {
-        sender_register(rs, ctx, &mut msg);
+        // Budget failure is deferred: the reply handler retries and
+        // degrades per-scheme if pinning is still impossible.
+        let _ = sender_register(rs, ctx, &mut msg);
         am.sends.insert((peer, seq), msg);
         return req;
     }
@@ -387,7 +434,7 @@ pub fn isend(
             start_pack_chain(rs, ctx, &mut msg);
         }
         Scheme::RwgUp | Scheme::MultiW => {
-            sender_register(rs, ctx, &mut msg);
+            let _ = sender_register(rs, ctx, &mut msg);
         }
         Scheme::Hybrid => {
             // Predict the direct part from the sender's own layout
@@ -424,7 +471,12 @@ pub fn isend(
                 adaptive_choose(ctx.cfg, size, stats.min, stats.median, stats.min, stats.median);
             match predicted {
                 Scheme::RwgUp | Scheme::MultiW | Scheme::PRrs => {
-                    sender_register(rs, ctx, &mut msg);
+                    if !sender_register(rs, ctx, &mut msg) {
+                        // Pinning budget exhausted: pre-pack instead,
+                        // which every fallback path can consume.
+                        assign_pack_bufs(rs, ctx, &mut msg);
+                        start_pack_chain(rs, ctx, &mut msg);
+                    }
                 }
                 _ => {
                     assign_pack_bufs(rs, ctx, &mut msg);
@@ -438,6 +490,7 @@ pub fn isend(
 }
 
 /// Starts a nonblocking receive.
+#[allow(clippy::too_many_arguments)]
 pub fn irecv(
     rs: &mut RankState,
     am: &mut ActiveMsgs,
@@ -495,13 +548,10 @@ pub fn irecv(
 
 /// Handles a completion queue entry for `rank`.
 pub fn on_cqe(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, cqe: Cqe) {
-    assert!(
-        cqe.status.is_ok(),
-        "rank {}: completion error from peer {}: {:?}",
-        rs.rank,
-        cqe.peer,
-        cqe.status
-    );
+    if !cqe.status.is_ok() {
+        on_cqe_error(rs, am, ctx, cqe);
+        return;
+    }
     if cqe.is_recv {
         // Charge CQE handling.
         rs.cpu.reserve_labeled(ctx.now(), ctx.net.cqe_ns, "cqe");
@@ -548,6 +598,76 @@ pub fn on_cqe(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, cq
     }
 }
 
+/// Handles a failed completion: recover the resources the dead work
+/// request held and fail the owning request with a typed error.
+/// Duplicate flush CQEs (many data WRs share one `wr_id`) find the
+/// message already gone and fall through silently.
+fn on_cqe_error(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, cqe: Cqe) {
+    rs.counters.cqe_errors += 1;
+    let err = MpiError::from_cqe(cqe.peer, cqe.status);
+    if cqe.is_recv {
+        // A flushed eager ring descriptor: the QP is dead, so there is
+        // no point reposting — record the rank-level error.
+        rs.errors.push(err);
+        return;
+    }
+    match cqe.wr_id & !WR_LOW_MASK {
+        WR_EAGER => {
+            let va = cqe.wr_id & WR_LOW_MASK;
+            rs.eager_send_free.push(va);
+            rs.errors.push(err);
+            drain_pending_eager(rs, ctx);
+        }
+        WR_DATA => {
+            let seq = cqe.wr_id & WR_LOW_MASK;
+            if let Some(msg) = am.sends.remove(&(cqe.peer, seq)) {
+                abort_send(rs, ctx, msg, err);
+            }
+        }
+        WR_READ => {
+            let seq = cqe.wr_id & WR_LOW_MASK;
+            abort_recv(rs, am, ctx, cqe.peer, seq, err);
+        }
+        WR_RMA => {
+            rs.rma_outstanding = rs.rma_outstanding.saturating_sub(1);
+            rs.rma_event = true;
+            rs.errors.push(err);
+        }
+        _ => rs.errors.push(err),
+    }
+}
+
+/// Fails a send whose data can no longer be delivered: releases staging
+/// buffers and registrations and completes the request with `err`.
+fn abort_send(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, mut msg: SendMsg, err: MpiError) {
+    if msg.completed {
+        return;
+    }
+    msg.completed = true;
+    sender_release(rs, ctx, &mut msg);
+    rs.fail_req(msg.req, err);
+}
+
+/// Fails a receive: releases unpack buffers and registrations, drops
+/// the immediate-data mapping, and completes the request with `err`.
+/// Silently returns when the message is already gone (duplicate flush).
+fn abort_recv(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    seq: u64,
+    err: MpiError,
+) {
+    let Some(mut msg) = am.recvs.remove(&(peer, seq)) else {
+        return;
+    };
+    msg.completed = true;
+    am.imm_map.remove(&(peer, (seq & 0xFFFF) as u16));
+    receiver_release(rs, ctx, &mut msg);
+    rs.fail_req(msg.req, err);
+}
+
 /// Handles a host-work completion for `rank`.
 pub fn on_cpu(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, act: CpuAct) {
     match act {
@@ -573,6 +693,10 @@ pub fn on_cpu(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, ac
                 seg_len(&msg, k)
             };
             try_post_ready(rs, ctx, &mut msg);
+            if let Some(err) = msg.failed.take() {
+                abort_send(rs, ctx, msg, err);
+                return;
+            }
             start_pack_chain(rs, ctx, &mut msg);
             am.sends.insert((peer, seq), msg);
         }
@@ -582,6 +706,10 @@ pub fn on_cpu(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, ac
             };
             msg.reg_done = true;
             try_post_ready(rs, ctx, &mut msg);
+            if let Some(err) = msg.failed.take() {
+                abort_send(rs, ctx, msg, err);
+                return;
+            }
             am.sends.insert((peer, seq), msg);
         }
         CpuAct::ReceiverReady { peer, seq } => {
@@ -589,8 +717,29 @@ pub fn on_cpu(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, ac
                 return;
             };
             if let Some(reply) = msg.pending_reply.take() {
+                msg.reply_copy = Some(reply.clone());
                 send_ctrl(rs, ctx, peer, reply, 0);
             }
+        }
+        CpuAct::ReplyTimeout { peer, seq } => {
+            let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
+                return;
+            };
+            if msg.targets.is_some() || msg.completed {
+                // The reply arrived in the meantime.
+                am.sends.insert((peer, seq), msg);
+                return;
+            }
+            if msg.rerequests >= ctx.cfg.rndv_max_rerequests {
+                abort_send(rs, ctx, msg, MpiError::ReplyTimeout { peer, seq });
+                return;
+            }
+            msg.rerequests += 1;
+            rs.counters.rndv_rerequests += 1;
+            send_ctrl(rs, ctx, peer, CtrlMsg::RndvProbe { seq }.encode(), 0);
+            let at = ctx.now() + ctx.cfg.rndv_reply_timeout_ns;
+            ctx.cpu_event(at, rs.rank, CpuAct::ReplyTimeout { peer, seq });
+            am.sends.insert((peer, seq), msg);
         }
         CpuAct::UnpackSeg { peer, seq, k } => {
             let Some(msg) = am.recvs.get_mut(&(peer, seq)) else {
@@ -741,7 +890,11 @@ fn send_ctrl(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, bytes: Vec<u8
                 remote: None,
                 signaled: true,
             };
-            ctx.post_send(ready, rs.rank, peer, wr);
+            if let Err(e) = ctx.post_send(ready, rs.rank, peer, wr) {
+                rs.counters.post_errors += 1;
+                rs.errors.push(MpiError::Post { peer, err: e });
+                rs.eager_send_free.push(va);
+            }
         }
         None => {
             rs.eager_pending
@@ -774,7 +927,11 @@ fn drain_pending_eager(rs: &mut RankState, ctx: &mut Ctx<'_, '_>) {
             remote: None,
             signaled: true,
         };
-        ctx.post_send(ready, rs.rank, p.peer, wr);
+        if let Err(e) = ctx.post_send(ready, rs.rank, p.peer, wr) {
+            rs.counters.post_errors += 1;
+            rs.errors.push(MpiError::Post { peer: p.peer, err: e });
+            rs.eager_send_free.push(va);
+        }
     }
 }
 
@@ -800,7 +957,10 @@ fn repost_eager_recv(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, va: V
 fn on_ctrl(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32, bytes: &[u8]) {
     rs.cpu
         .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
-    let (msg, hdr_len) = CtrlMsg::decode(bytes).expect("malformed control message");
+    let Some((msg, hdr_len)) = CtrlMsg::decode(bytes) else {
+        rs.errors.push(MpiError::MalformedCtrl { peer });
+        return;
+    };
     match msg {
         CtrlMsg::EagerData { tag, seq, size } => {
             let payload = &bytes[hdr_len..hdr_len + size as usize];
@@ -864,6 +1024,21 @@ fn on_ctrl(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer:
         CtrlMsg::Fin { seq } => {
             sender_on_fin(rs, am, ctx, peer, seq);
         }
+        CtrlMsg::RndvProbe { seq } => {
+            // The sender suspects its RndvStart or our reply was lost.
+            // Resend the reply if it already went out; otherwise it is
+            // still pending and will go out on its own.
+            let resend = am.recvs.get(&(peer, seq)).and_then(|m| {
+                if m.pending_reply.is_none() {
+                    m.reply_copy.clone()
+                } else {
+                    None
+                }
+            });
+            if let Some(r) = resend {
+                send_ctrl(rs, ctx, peer, r, 0);
+            }
+        }
     }
 }
 
@@ -918,7 +1093,10 @@ fn receiver_start(
     blk_min: u64,
     blk_median: u64,
 ) {
-    let proposal = Scheme::from_wire(scheme_wire).expect("bad scheme code");
+    let Some(proposal) = Scheme::from_wire(scheme_wire) else {
+        rs.fail_req(p.req, MpiError::MalformedCtrl { peer: p.peer });
+        return;
+    };
     let rstats = p.ty.flat().stats(p.count);
     // Contiguous on both sides: the standard zero-copy rendezvous
     // (§3.1) — one RDMA write from user buffer to user buffer,
@@ -962,6 +1140,8 @@ fn receiver_start(
         packed_intervals: Vec::new(),
         marker_seen: false,
         completed: false,
+        pinned_bytes: 0,
+        reply_copy: None,
     };
     am.imm_map.insert((p.peer, (seq & 0xFFFF) as u16), seq);
 
@@ -971,7 +1151,8 @@ fn receiver_start(
         let reply = build_multiw_reply(rs, ctx, &mut msg);
         match reply {
             Some(r) => {
-                let cost = receiver_reg_cost(rs, ctx, &mut msg);
+                // Guaranteed by build_multiw_reply's 2× budget check.
+                let cost = receiver_reg_cost(rs, ctx, &mut msg).unwrap_or(0);
                 msg.pending_reply = Some(r);
                 let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
                 ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
@@ -979,6 +1160,7 @@ fn receiver_start(
                 return;
             }
             None => {
+                rs.counters.scheme_fallbacks += 1;
                 scheme = Scheme::BcSpup;
                 msg.scheme = scheme;
             }
@@ -996,6 +1178,31 @@ fn receiver_start(
                 return;
             }
             None => {
+                rs.counters.scheme_fallbacks += 1;
+                scheme = Scheme::BcSpup;
+                msg.scheme = scheme;
+            }
+        }
+    }
+    if scheme == Scheme::PRrs {
+        // Register the user buffer for scattered reads — unless the
+        // pinning budget is exhausted, in which case degrade to the
+        // copy-based BC-SPUP path (§4.3.3 graceful fallback).
+        match receiver_reg_cost(rs, ctx, &mut msg) {
+            Some(cost) => {
+                let reply = CtrlMsg::RndvReply {
+                    seq,
+                    scheme: scheme.to_wire(),
+                    body: ReplyBody::ReadGo,
+                };
+                msg.pending_reply = Some(reply.encode());
+                let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
+                ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
+                am.recvs.insert((msg.peer, seq), msg);
+                return;
+            }
+            None => {
+                rs.counters.scheme_fallbacks += 1;
                 scheme = Scheme::BcSpup;
                 msg.scheme = scheme;
             }
@@ -1039,37 +1246,48 @@ fn receiver_start(
                 .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
             ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
         }
-        Scheme::PRrs => {
-            // Register the user buffer for scattered reads.
-            let cost = receiver_reg_cost(rs, ctx, &mut msg);
-            let reply = CtrlMsg::RndvReply {
-                seq,
-                scheme: scheme.to_wire(),
-                body: ReplyBody::ReadGo,
-            };
-            msg.pending_reply = Some(reply.encode());
-            let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
-            ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
+        Scheme::MultiW | Scheme::Hybrid | Scheme::PRrs | Scheme::Adaptive => {
+            unreachable!("resolved above")
         }
-        Scheme::MultiW | Scheme::Hybrid | Scheme::Adaptive => unreachable!("resolved above"),
     }
     am.recvs.insert((msg.peer, seq), msg);
 }
 
-/// Registers the receiver's user buffer via OGR + pin-down cache;
-/// returns the host cost.
-fn receiver_reg_cost(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg) -> Time {
-    let blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
-    let plan = ogr::plan(&blocks, &ctx.host.reg);
+/// Acquires pin-down registrations covering `blocks`, charging their
+/// bytes against `reg_budget_bytes`. Returns the host cost, or `None`
+/// when the budget would be exceeded — in which case nothing is
+/// acquired and the caller falls back to a copy-based scheme.
+fn try_acquire_user_regs(
+    rs: &mut RankState,
+    ctx: &mut Ctx<'_, '_>,
+    blocks: &[(Va, u64)],
+    regs_out: &mut Vec<Registration>,
+    pinned_out: &mut u64,
+) -> Option<Time> {
+    let plan = ogr::plan(blocks, &ctx.host.reg);
+    let need: u64 = plan.regions.iter().map(|&(_, l)| l).sum();
+    if rs.pinned_user_bytes.saturating_add(need) > ctx.cfg.reg_budget_bytes {
+        return None;
+    }
+    rs.pinned_user_bytes += need;
+    *pinned_out += need;
     let mut cost = 0;
     for &(a, l) in &plan.regions {
         let acq = rs
             .pindown
             .acquire(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, a, l);
         cost += acq.cost_ns;
-        msg.user_regs.push(acq.reg);
+        regs_out.push(acq.reg);
     }
-    cost
+    Some(cost)
+}
+
+/// Registers the receiver's user buffer via OGR + pin-down cache;
+/// returns the host cost, or `None` when the pinning budget is
+/// exhausted.
+fn receiver_reg_cost(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg) -> Option<Time> {
+    let blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
+    try_acquire_user_regs(rs, ctx, &blocks, &mut msg.user_regs, &mut msg.pinned_bytes)
 }
 
 /// Builds the Multi-W reply, or `None` when it cannot fit an eager
@@ -1085,6 +1303,13 @@ fn build_multiw_reply(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvM
     // Probe size before committing registrations.
     let blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
     let plan = ogr::plan(&blocks, &ctx.host.reg);
+    // Both this commit and the caller's receiver_reg_cost charge the
+    // pinning budget (the pin-down cache refcounts the duplicate
+    // acquire), so require headroom for twice the footprint.
+    let need: u64 = plan.regions.iter().map(|&(_, l)| l).sum();
+    if rs.pinned_user_bytes.saturating_add(need.saturating_mul(2)) > ctx.cfg.reg_budget_bytes {
+        return None;
+    }
     let probe = CtrlMsg::RndvReply {
         seq: msg.seq,
         scheme: Scheme::MultiW.to_wire(),
@@ -1104,6 +1329,8 @@ fn build_multiw_reply(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvM
         rs.sent_layouts.insert(key);
     }
     // Commit: register and fill in real rkeys.
+    rs.pinned_user_bytes += need;
+    msg.pinned_bytes += need;
     let mut regions = Vec::with_capacity(plan.regions.len());
     let mut cost = 0;
     for &(a, l) in &plan.regions {
@@ -1234,9 +1461,14 @@ fn on_segment_arrival(
 ) {
     let (seq16, k) = imm_parse(imm);
     let Some(&seq) = am.imm_map.get(&(peer, seq16)) else {
-        panic!("segment arrival for unknown message (peer {peer}, seq16 {seq16})");
+        // Stale duplicate after the message was aborted or completed.
+        rs.errors.push(MpiError::UnknownMessage { peer, seq: seq16 as u64 });
+        return;
     };
-    let msg = am.recvs.get_mut(&(peer, seq)).expect("imm_map points at live recv");
+    let Some(msg) = am.recvs.get_mut(&(peer, seq)) else {
+        rs.errors.push(MpiError::UnknownMessage { peer, seq });
+        return;
+    };
     msg.segs_arrived += 1;
     match msg.scheme {
         Scheme::Generic => {
@@ -1284,7 +1516,9 @@ fn on_segment_arrival(
             }
         }
         Scheme::PRrs | Scheme::Adaptive => {
-            panic!("unexpected segment arrival for scheme {:?}", msg.scheme)
+            // No write-path segments exist for these schemes; a stray
+            // arrival is a stale duplicate or protocol corruption.
+            rs.errors.push(MpiError::UnknownMessage { peer, seq });
         }
     }
 }
@@ -1375,6 +1609,17 @@ fn receiver_complete(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, 
     }
     msg.completed = true;
     am.imm_map.remove(&(peer, (seq & 0xFFFF) as u16));
+    receiver_release(rs, ctx, &mut msg);
+    if msg.scheme == Scheme::PRrs {
+        // Tell the sender its pack buffers are free.
+        send_ctrl(rs, ctx, peer, CtrlMsg::Fin { seq }.encode(), 0);
+    }
+    rs.complete_req(msg.req);
+}
+
+/// Releases a receive message's staging buffers, user registrations,
+/// and budget charge (shared by completion and abort).
+fn receiver_release(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg) {
     release_stage_bufs(rs, ctx, &msg.unpack_bufs, true);
     let mut cost = 0;
     for r in &msg.user_regs {
@@ -1383,14 +1628,12 @@ fn receiver_complete(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, 
             .release(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, r.lkey)
             .expect("release of acquired registration");
     }
+    msg.user_regs.clear();
     if cost > 0 {
         rs.cpu.reserve_labeled(ctx.now(), cost, "dereg");
     }
-    if msg.scheme == Scheme::PRrs {
-        // Tell the sender its pack buffers are free.
-        send_ctrl(rs, ctx, peer, CtrlMsg::Fin { seq }.encode(), 0);
-    }
-    rs.complete_req(msg.req);
+    rs.pinned_user_bytes = rs.pinned_user_bytes.saturating_sub(msg.pinned_bytes);
+    msg.pinned_bytes = 0;
 }
 
 /// P-RRS: a packed segment is available on the sender; issue reads.
@@ -1407,7 +1650,8 @@ fn receiver_on_seg_ready(
     len: u64,
 ) {
     let Some(msg) = am.recvs.get_mut(&(peer, seq)) else {
-        panic!("SegReady for unknown message");
+        rs.errors.push(MpiError::UnknownMessage { peer, seq });
+        return;
     };
     msg.segs_announced += 1;
     let lo = k as u64 * msg.seg_size;
@@ -1442,11 +1686,19 @@ fn receiver_on_seg_ready(
     }
     msg.reads_outstanding += n as u32;
     rs.counters.data_wrs += n as u64;
+    let mut post_err = None;
     for wr in wrs {
         let ready = rs
             .cpu
             .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
-        ctx.post_send(ready, rs.rank, peer, wr);
+        if let Err(e) = ctx.post_send(ready, rs.rank, peer, wr) {
+            post_err = Some(e);
+            break;
+        }
+    }
+    if let Some(e) = post_err {
+        rs.counters.post_errors += 1;
+        abort_recv(rs, am, ctx, peer, seq, MpiError::Post { peer, err: e });
     }
 }
 
@@ -1474,13 +1726,25 @@ fn sender_on_reply(
     body: ReplyBody,
 ) {
     let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
-        panic!("rendezvous reply for unknown message");
+        // The send was aborted earlier (flush/timeout); the reply is a
+        // stale straggler.
+        rs.errors.push(MpiError::UnknownMessage { peer, seq });
+        return;
     };
-    let reply_scheme = Scheme::from_wire(scheme_wire).expect("bad scheme code");
+    if msg.targets.is_some() {
+        // Duplicate reply: a probe-triggered resend raced the original.
+        am.sends.insert((peer, seq), msg);
+        return;
+    }
+    let Some(reply_scheme) = Scheme::from_wire(scheme_wire) else {
+        rs.errors.push(MpiError::MalformedCtrl { peer });
+        am.sends.insert((peer, seq), msg);
+        return;
+    };
     let proposed = msg.scheme;
     msg.scheme = reply_scheme;
 
-    msg.targets = Some(match body {
+    let targets = match body {
         ReplyBody::Buffer { addr, rkey } => SendTargets::Buffer { addr, rkey },
         ReplyBody::Segments { segs } => SendTargets::Segments(segs),
         ReplyBody::ReadGo => SendTargets::ReadGo,
@@ -1497,10 +1761,17 @@ fn sender_on_reply(
                     rs.layout_cache.insert(peer, tag, l.clone());
                     l
                 }
-                None => rs
-                    .layout_cache
-                    .lookup(peer, tag)
-                    .expect("receiver promised a cached layout"),
+                None => match rs.layout_cache.lookup(peer, tag) {
+                    Some(l) => l,
+                    None => {
+                        // The promised cached layout is gone — the
+                        // reply cannot be acted on.
+                        rs.errors.push(MpiError::MalformedCtrl { peer });
+                        msg.scheme = proposed;
+                        am.sends.insert((peer, seq), msg);
+                        return;
+                    }
+                },
             };
             let rcv_blocks = layout
                 .repeat(count)
@@ -1527,10 +1798,15 @@ fn sender_on_reply(
                     rs.layout_cache.insert(peer, tag, l.clone());
                     l
                 }
-                None => rs
-                    .layout_cache
-                    .lookup(peer, tag)
-                    .expect("receiver promised a cached layout"),
+                None => match rs.layout_cache.lookup(peer, tag) {
+                    Some(l) => l,
+                    None => {
+                        rs.errors.push(MpiError::MalformedCtrl { peer });
+                        msg.scheme = proposed;
+                        am.sends.insert((peer, seq), msg);
+                        return;
+                    }
+                },
             };
             let rcv_blocks: Vec<(Va, u64)> = layout
                 .repeat(count)
@@ -1569,12 +1845,15 @@ fn sender_on_reply(
             });
             SendTargets::HybridReady
         }
-    });
+    };
+    msg.targets = Some(targets);
 
     let _ = proposed;
     // Ensure the early work matching the *reply's* scheme is running —
     // the receiver may have picked differently (adaptive decision,
-    // Multi-W fallback, or the zero-copy contiguous path).
+    // Multi-W fallback, or the zero-copy contiguous path). Where the
+    // reply wants the user buffer pinned and the budget refuses,
+    // degrade to a copy path on this side only (§4.3.3).
     match msg.scheme {
         Scheme::Generic => {
             if msg.pack_bufs.is_empty() {
@@ -1589,8 +1868,16 @@ fn sender_on_reply(
             // Contiguous sender: no packing at all — the receiver reads
             // straight out of the registered user buffer (§5.2's
             // asymmetric case, where P-RRS shines).
-            if !msg.reg_done && msg.user_regs.is_empty() {
-                sender_register(rs, ctx, &mut msg);
+            if !msg.reg_done
+                && msg.user_regs.is_empty()
+                && !sender_register(rs, ctx, &mut msg)
+            {
+                // Cannot pin the user buffer: announce packed pool
+                // segments instead, like a non-contiguous sender.
+                rs.counters.scheme_fallbacks += 1;
+                msg.contig = false;
+                assign_pack_bufs(rs, ctx, &mut msg);
+                start_pack_chain(rs, ctx, &mut msg);
             }
         }
         Scheme::BcSpup | Scheme::PRrs => {
@@ -1601,9 +1888,39 @@ fn sender_on_reply(
                 start_pack_chain(rs, ctx, &mut msg);
             }
         }
-        Scheme::RwgUp | Scheme::MultiW => {
-            if !msg.reg_done && msg.user_regs.is_empty() {
-                sender_register(rs, ctx, &mut msg);
+        Scheme::RwgUp => {
+            if !msg.reg_done
+                && msg.user_regs.is_empty()
+                && !sender_register(rs, ctx, &mut msg)
+            {
+                // Gather writes need the pinned user buffer; fall back
+                // to packed writes into the same segment targets.
+                rs.counters.scheme_fallbacks += 1;
+                msg.scheme = Scheme::BcSpup;
+                if msg.pack_bufs.is_empty() {
+                    assign_pack_bufs(rs, ctx, &mut msg);
+                    start_pack_chain(rs, ctx, &mut msg);
+                }
+            }
+        }
+        Scheme::MultiW => {
+            if !msg.reg_done
+                && msg.user_regs.is_empty()
+                && !sender_register(rs, ctx, &mut msg)
+            {
+                // The receiver's blocks are already pinned on its side;
+                // stage the whole message through a copy buffer and
+                // stream it into those blocks.
+                rs.counters.scheme_fallbacks += 1;
+                msg.mw_stage = true;
+                msg.reg_done = true;
+                if msg.pack_bufs.is_empty() {
+                    msg.nsegs = 1;
+                    msg.seg_size = msg.size.max(1);
+                    let sb = acquire_stage(rs, ctx, msg.size);
+                    msg.pack_bufs.push(sb);
+                }
+                start_pack_chain(rs, ctx, &mut msg);
             }
         }
         Scheme::Hybrid => {
@@ -1616,6 +1933,10 @@ fn sender_on_reply(
         hybrid_register(rs, ctx, &mut msg);
     }
     try_post_ready(rs, ctx, &mut msg);
+    if let Some(err) = msg.failed.take() {
+        abort_send(rs, ctx, msg, err);
+        return;
+    }
     am.sends.insert((peer, seq), msg);
 }
 
@@ -1669,17 +1990,15 @@ fn hybrid_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
 }
 
 /// Registers the sender's user buffer via OGR (RWG-UP / Multi-W).
-fn sender_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) {
+/// Returns `false` — acquiring nothing and scheduling nothing — when
+/// the pinning budget would be exceeded.
+fn sender_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) -> bool {
     let blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
-    let plan = ogr::plan(&blocks, &ctx.host.reg);
-    let mut cost = 0;
-    for &(a, l) in &plan.regions {
-        let acq = rs
-            .pindown
-            .acquire(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, a, l);
-        cost += acq.cost_ns;
-        msg.user_regs.push(acq.reg);
-    }
+    let Some(cost) =
+        try_acquire_user_regs(rs, ctx, &blocks, &mut msg.user_regs, &mut msg.pinned_bytes)
+    else {
+        return false;
+    };
     let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
     ctx.cpu_event(
         done,
@@ -1689,6 +2008,7 @@ fn sender_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
             seq: msg.seq,
         },
     );
+    true
 }
 
 /// Assigns pack staging buffers for all segments.
@@ -1806,7 +2126,11 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                     signaled: true,
                 };
                 rs.counters.data_wrs += 1;
-                ctx.post_send(ready, rs.rank, msg.peer, wr);
+                if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
+                    rs.counters.post_errors += 1;
+                    msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                    return;
+                }
                 msg.posted_segs = 1;
             }
         }
@@ -1831,7 +2155,11 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                     signaled: k == msg.nsegs - 1,
                 };
                 rs.counters.data_wrs += 1;
-                ctx.post_send(ready, rs.rank, msg.peer, wr);
+                if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
+                    rs.counters.post_errors += 1;
+                    msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                    return;
+                }
                 msg.posted_segs += 1;
             }
         }
@@ -1878,7 +2206,11 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                     let ready = rs
                         .cpu
                         .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
-                    ctx.post_send(ready, rs.rank, msg.peer, wr);
+                    if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
+                        rs.counters.post_errors += 1;
+                        msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                        return;
+                    }
                 }
             }
             msg.posted_segs = msg.nsegs;
@@ -1925,6 +2257,67 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                 msg.posted_segs += 1;
             }
         }
+        (Some(SendTargets::MultiW { rcv_blocks, regions }), Scheme::MultiW) if msg.mw_stage => {
+            // Degraded Multi-W: the packed stream sits in pack_bufs;
+            // write it into the receiver's (stream-ordered) blocks.
+            if msg.packed < msg.nsegs || msg.posted_segs > 0 {
+                return;
+            }
+            let mut wrs: Vec<SendWr> = Vec::new();
+            let mut pos = 0u64;
+            for &(dst, l) in rcv_blocks {
+                let mut off = 0u64;
+                while off < l {
+                    let k = ((pos + off) / msg.seg_size) as usize;
+                    let sb = msg.pack_bufs[k];
+                    let in_seg = (pos + off) - k as u64 * msg.seg_size;
+                    let n = (l - off).min(msg.seg_size - in_seg);
+                    let rkey = region_key(regions, dst + off, n);
+                    wrs.push(SendWr {
+                        wr_id: WR_DATA | msg.seq,
+                        opcode: Opcode::RdmaWrite,
+                        sges: vec![Sge {
+                            addr: sb.va + in_seg,
+                            len: n,
+                            lkey: sb.lkey,
+                        }],
+                        remote: Some((dst + off, rkey)),
+                        signaled: false,
+                    });
+                    off += n;
+                }
+                pos += l;
+            }
+            if let Some(last) = wrs.last_mut() {
+                last.opcode = Opcode::RdmaWriteImm(imm_of(msg.seq, 0));
+                last.signaled = true;
+            }
+            let n = wrs.len();
+            assert!(n > 0, "rendezvous messages are never empty");
+            rs.counters.data_wrs += n as u64;
+            if ctx.cfg.list_post {
+                let ready = rs
+                    .cpu
+                    .reserve_labeled(ctx.now(), ctx.net.post_list_ns(n), "post");
+                if let Err(e) = ctx.post_send_list(ready, rs.rank, msg.peer, wrs) {
+                    rs.counters.post_errors += 1;
+                    msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                    return;
+                }
+            } else {
+                for wr in wrs {
+                    let ready = rs
+                        .cpu
+                        .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
+                    if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
+                        rs.counters.post_errors += 1;
+                        msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                        return;
+                    }
+                }
+            }
+            msg.posted_segs = msg.nsegs;
+        }
         (Some(SendTargets::MultiW { rcv_blocks, regions }), Scheme::MultiW) => {
             if !msg.reg_done || msg.posted_segs > 0 {
                 return;
@@ -1966,13 +2359,21 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                 let ready = rs
                     .cpu
                     .reserve_labeled(ctx.now(), ctx.net.post_list_ns(n), "post");
-                ctx.post_send_list(ready, rs.rank, msg.peer, wrs);
+                if let Err(e) = ctx.post_send_list(ready, rs.rank, msg.peer, wrs) {
+                    rs.counters.post_errors += 1;
+                    msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                    return;
+                }
             } else {
                 for wr in wrs {
                     let ready = rs
                         .cpu
                         .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
-                    ctx.post_send(ready, rs.rank, msg.peer, wr);
+                    if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
+                        rs.counters.post_errors += 1;
+                        msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                        return;
+                    }
                 }
             }
             msg.posted_segs = msg.nsegs;
@@ -2032,14 +2433,24 @@ fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
                 let ready = rs
                     .cpu
                     .reserve_labeled(ctx.now(), ctx.net.post_list_ns(n), "post");
-                ctx.post_send_list(ready, rs.rank, msg.peer, wrs);
+                if let Err(e) = ctx.post_send_list(ready, rs.rank, msg.peer, wrs) {
+                    rs.counters.post_errors += 1;
+                    msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                    msg.hybrid = Some(hy);
+                    return;
+                }
             }
         } else {
             for wr in wrs {
                 let ready = rs
                     .cpu
                     .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
-                ctx.post_send(ready, rs.rank, msg.peer, wr);
+                if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
+                    rs.counters.post_errors += 1;
+                    msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                    msg.hybrid = Some(hy);
+                    return;
+                }
             }
         }
         // Kick off packing of the small-block substream (if any).
@@ -2072,7 +2483,12 @@ fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
             signaled: false,
         };
         rs.counters.data_wrs += 1;
-        ctx.post_send(ready, rs.rank, msg.peer, wr);
+        if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
+            rs.counters.post_errors += 1;
+            msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+            msg.hybrid = Some(hy);
+            return;
+        }
         msg.posted_segs += 1;
     }
     // Everything out: send the completion marker (ordered last on the
@@ -2096,7 +2512,12 @@ fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
             signaled: true,
         };
         rs.counters.data_wrs += 1;
-        ctx.post_send(ready, rs.rank, msg.peer, wr);
+        if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
+            rs.counters.post_errors += 1;
+            msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+            msg.hybrid = Some(hy);
+            return;
+        }
     }
     msg.hybrid = Some(hy);
     // Keep the packed-substream pack chain moving (it posts each
@@ -2118,7 +2539,9 @@ fn sender_data_done(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '
 /// P-RRS completion: the receiver has read everything.
 fn sender_on_fin(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32, seq: u64) {
     let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
-        panic!("Fin for unknown message");
+        // The send was already aborted; the Fin is a stale straggler.
+        rs.errors.push(MpiError::UnknownMessage { peer, seq });
+        return;
     };
     debug_assert!(!msg.completed);
     msg.completed = true;
@@ -2135,9 +2558,12 @@ fn sender_release(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
             .release(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, r.lkey)
             .expect("release of acquired registration");
     }
+    msg.user_regs.clear();
     if cost > 0 {
         rs.cpu.reserve_labeled(ctx.now(), cost, "dereg");
     }
+    rs.pinned_user_bytes = rs.pinned_user_bytes.saturating_sub(msg.pinned_bytes);
+    msg.pinned_bytes = 0;
 }
 
 // ---------------------------------------------------------------------

@@ -7,6 +7,7 @@
 //! registry, layout cache).
 
 use crate::config::MpiConfig;
+use crate::error::MpiError;
 use crate::pool::SegmentPool;
 
 /// Wildcard source for receives (`MPI_ANY_SOURCE`).
@@ -39,6 +40,9 @@ pub struct ReqState {
     pub kind: ReqKind,
     /// Set when the operation completes.
     pub done: bool,
+    /// Set instead of clean completion when the operation failed with a
+    /// typed error (fault injection, budget exhaustion).
+    pub error: Option<MpiError>,
 }
 
 /// A posted (not yet matched) receive.
@@ -113,7 +117,7 @@ pub struct InternalBufs {
 }
 
 /// Counters the benchmarks report per rank.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RankCounters {
     /// Eager messages sent.
     pub eager_sends: u64,
@@ -135,6 +139,15 @@ pub struct RankCounters {
     pub data_wrs: u64,
     /// Control messages sent.
     pub ctrl_msgs: u64,
+    /// Messages downgraded per-message to a copy-based scheme
+    /// (registration budget or reply-size pressure).
+    pub scheme_fallbacks: u64,
+    /// Rendezvous-reply probes sent after a reply timeout.
+    pub rndv_rerequests: u64,
+    /// Completions that carried an error status.
+    pub cqe_errors: u64,
+    /// Work-request posts that failed synchronously.
+    pub post_errors: u64,
 }
 
 /// All state of one rank's MPI library instance.
@@ -186,6 +199,12 @@ pub struct RankState {
     /// Set when an RMA completion arrived (drained by the interpreter
     /// to re-check a blocked fence).
     pub rma_event: bool,
+    /// User-buffer bytes currently pinned by budget-tracked zero-copy
+    /// registrations (RWG-UP / Multi-W / P-RRS).
+    pub pinned_user_bytes: u64,
+    /// Rank-level errors not attributable to a single request (flushed
+    /// control traffic, malformed messages, failed RMA).
+    pub errors: Vec<MpiError>,
     /// Counters.
     pub counters: RankCounters,
 }
@@ -252,6 +271,8 @@ impl RankState {
             rma_outstanding: 0,
             rma_regs: Vec::new(),
             rma_event: false,
+            pinned_user_bytes: 0,
+            errors: Vec::new(),
             counters: RankCounters::default(),
         }
     }
@@ -271,7 +292,7 @@ impl RankState {
     /// Allocates a new request handle.
     pub fn new_req(&mut self, kind: ReqKind) -> ReqId {
         let id = ReqId(self.reqs.len() as u32);
-        self.reqs.push(ReqState { kind, done: false });
+        self.reqs.push(ReqState { kind, done: false, error: None });
         id
     }
 
@@ -280,6 +301,20 @@ impl RankState {
         let st = &mut self.reqs[req.0 as usize];
         debug_assert!(!st.done, "request completed twice");
         st.done = true;
+        self.newly_completed.push(req);
+    }
+
+    /// Marks a request failed with `err`. The request still counts as
+    /// done — the program can make progress past it — but carries the
+    /// error. Idempotent: duplicate flush completions sharing one wr_id
+    /// may fail the same request more than once.
+    pub fn fail_req(&mut self, req: ReqId, err: MpiError) {
+        let st = &mut self.reqs[req.0 as usize];
+        if st.done {
+            return;
+        }
+        st.done = true;
+        st.error = Some(err);
         self.newly_completed.push(req);
     }
 

@@ -20,6 +20,7 @@
 //! Both transfers are genuinely one-sided: the target's CPU does no
 //! work — only its HCA places or serves data.
 
+use crate::error::MpiError;
 use crate::plan::plan_multi_w;
 use crate::progress::{Ctx, WR_RMA};
 use crate::rank::RankState;
@@ -190,18 +191,31 @@ fn post_rma(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, target: u32, mut wrs: Vec
     }
     rs.rma_outstanding += 1;
     rs.counters.data_wrs += n as u64;
-    if ctx.cfg.list_post {
+    let res = if ctx.cfg.list_post {
         let ready = rs
             .cpu
             .reserve_labeled(ctx.now(), ctx.net.post_list_ns(n), "post");
-        ctx.post_send_list(ready, rs.rank, target, wrs);
+        ctx.post_send_list(ready, rs.rank, target, wrs)
     } else {
+        let mut res = Ok(());
         for wr in wrs {
             let ready = rs
                 .cpu
                 .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
-            ctx.post_send(ready, rs.rank, target, wr);
+            res = ctx.post_send(ready, rs.rank, target, wr);
+            if res.is_err() {
+                break;
+            }
         }
+        res
+    };
+    if let Err(e) = res {
+        // Undo the epoch charge so the next fence does not hang waiting
+        // for a sentinel completion that will never arrive.
+        rs.counters.post_errors += 1;
+        rs.errors.push(MpiError::Post { peer: target, err: e });
+        rs.rma_outstanding -= 1;
+        rs.rma_event = true;
     }
 }
 

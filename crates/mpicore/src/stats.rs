@@ -1,5 +1,6 @@
 //! Run statistics returned by [`Cluster::run`](crate::cluster::Cluster::run).
 
+use crate::error::MpiError;
 use crate::rank::RankCounters;
 use ibdt_simcore::time::Time;
 
@@ -30,6 +31,25 @@ pub struct RunStats {
     /// Virtual time overlap between sender-side packing and its own
     /// NIC's wire activity, per rank (the §4.2 pipelining, measurable).
     pub pack_wire_overlap_ns: Vec<Time>,
+    /// Fabric: wire transfers dropped by fault injection.
+    pub drops_injected: u64,
+    /// Fabric: wire transfers corrupted by fault injection.
+    pub corruptions_injected: u64,
+    /// Fabric: wire transfers delayed by fault injection.
+    pub delays_injected: u64,
+    /// Fabric: NIC engine stalls injected.
+    pub stalls_injected: u64,
+    /// Fabric: transport retransmissions (timeout or NAK recovery).
+    pub retransmits: u64,
+    /// Fabric: timed RNR retries (finite `rnr_retry` backoff path).
+    pub rnr_backoff_retries: u64,
+    /// Fabric: queue pairs that transitioned to the error state.
+    pub qp_errors: u64,
+    /// Fabric: work requests flushed with error on QP teardown.
+    pub flushed_wqes: u64,
+    /// Per-rank typed protocol errors (request failures and rank-level
+    /// errors). Empty vectors everywhere on a clean run.
+    pub errors: Vec<Vec<MpiError>>,
 }
 
 impl RunStats {
@@ -46,5 +66,16 @@ impl RunStats {
         let (a, b) = (find(from_slot), find(to_slot));
         assert!(b >= a, "marks out of order");
         b - a
+    }
+
+    /// Total typed errors across ranks (0 on a clean run).
+    pub fn total_errors(&self) -> usize {
+        self.errors.iter().map(Vec::len).sum()
+    }
+
+    /// Faults the transport injected and recovered from without any
+    /// protocol-visible error: retransmissions plus timed RNR retries.
+    pub fn faults_recovered(&self) -> u64 {
+        self.retransmits + self.rnr_backoff_retries
     }
 }

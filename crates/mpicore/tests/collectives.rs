@@ -5,8 +5,7 @@ use ibdt_datatype::Datatype;
 use ibdt_mpicore::{AppOp, Cluster, ClusterSpec, Program, ReduceOp, Scheme};
 
 fn spec(scheme: Scheme, nprocs: u32) -> ClusterSpec {
-    let mut s = ClusterSpec::default();
-    s.nprocs = nprocs;
+    let mut s = ClusterSpec { nprocs, ..Default::default() };
     s.mpi.scheme = scheme;
     s
 }

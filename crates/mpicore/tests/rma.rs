@@ -9,9 +9,7 @@ fn vector_cols(cols: u64) -> Datatype {
 }
 
 fn cluster(n: u32) -> Cluster {
-    let mut spec = ClusterSpec::default();
-    spec.nprocs = n;
-    Cluster::new(spec)
+    Cluster::new(ClusterSpec { nprocs: n, ..Default::default() })
 }
 
 #[test]

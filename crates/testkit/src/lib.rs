@@ -1,0 +1,235 @@
+#![warn(missing_docs)]
+//! Deterministic test support with zero dependencies.
+//!
+//! The workspace builds in fully offline environments, so the
+//! randomized test suites cannot pull in `proptest` or `rand`.
+//! This crate provides the small surface they actually need:
+//!
+//! - [`Rng`]: a seeded SplitMix64 generator with range, boolean,
+//!   choice, shuffle, and byte-fill helpers. Identical seeds produce
+//!   identical streams on every platform — the determinism the chaos
+//!   suite asserts on.
+//! - [`cases`]: a seeded-case harness that runs a closure over `n`
+//!   derived seeds and reports the failing seed, so a failure is
+//!   reproducible with a one-line unit test.
+
+/// Seeded deterministic random generator (SplitMix64).
+///
+/// SplitMix64 passes BigCrush, needs only a `u64` of state, and is
+/// trivially portable — more than enough to drive test-case
+/// generation and fault-plan sampling.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from `seed`. Identical seeds yield
+    /// identical streams.
+    pub fn new(seed: u64) -> Self {
+        // Pre-mix so that small consecutive seeds (0, 1, 2, ...) do
+        // not produce correlated leading outputs.
+        let mut r = Rng { state: seed ^ 0x9E37_79B9_7F4A_7C15 };
+        r.next_u64();
+        r
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Multiply-shift bounded generation (Lemire); the tiny bias is
+        // irrelevant for test generation and keeps this branch-free.
+        let wide = (self.next_u64() as u128) * (span as u128);
+        lo + (wide >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi)` over signed integers.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = (hi as i128 - lo as i128) as u64;
+        let off = self.range_u64(0, span);
+        (lo as i128 + off as i128) as i64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare against a 53-bit uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    /// Uniform element reference from a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.range_usize(0, items.len())]
+    }
+
+    /// Uniform copy from a non-empty slice.
+    pub fn pick<T: Copy>(&mut self, items: &[T]) -> T {
+        *self.choose(items)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Fills `buf` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Derives an independent generator (for sub-streams that must not
+    /// perturb the parent's sequence).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+/// Runs `f` once per derived seed, `n` times, panicking with the
+/// failing case index and seed on the first failure.
+///
+/// The closure receives a fresh [`Rng`] per case; to replay case `i`
+/// in isolation, call `f(&mut Rng::new(seed_for(base_seed, i)))`.
+pub fn cases<F: FnMut(&mut Rng)>(base_seed: u64, n: u32, mut f: F) {
+    for i in 0..n {
+        let seed = seed_for(base_seed, i);
+        let mut rng = Rng::new(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("testkit: case {i} of {n} failed (seed {seed:#x}, base {base_seed:#x})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The per-case seed used by [`cases`], exposed for replaying a single
+/// failing case.
+pub fn seed_for(base_seed: u64, case: u32) -> u64 {
+    Rng::new(base_seed ^ ((case as u64) << 32 | 0x5EED)).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_identical_streams() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let s = r.range_i64(-5, 3);
+            assert!((-5..3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut r = Rng::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.range_usize(0, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(9);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2000..4000).contains(&hits), "p=0.3 produced {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_bytes_deterministic() {
+        let mut a = [0u8; 37];
+        let mut b = [0u8; 37];
+        Rng::new(5).fill_bytes(&mut a);
+        Rng::new(5).fill_bytes(&mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom on case 3")]
+    fn cases_propagates_failure() {
+        let mut i = 0;
+        cases(0xDEAD, 10, |_| {
+            if i == 3 {
+                panic!("boom on case 3");
+            }
+            i += 1;
+        });
+    }
+
+    #[test]
+    fn cases_seeds_are_replayable() {
+        let mut first = Vec::new();
+        cases(77, 4, |rng| first.push(rng.next_u64()));
+        for (i, &v) in first.iter().enumerate() {
+            assert_eq!(Rng::new(seed_for(77, i as u32)).next_u64(), v);
+        }
+    }
+}

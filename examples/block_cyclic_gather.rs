@@ -27,8 +27,7 @@ fn main() {
     let psizes = [PR, PC];
     let gsizes = [GR, GC];
 
-    let mut spec = ClusterSpec::default();
-    spec.nprocs = P;
+    let mut spec = ClusterSpec { nprocs: P, ..Default::default() };
     spec.mpi.scheme = Scheme::Adaptive;
     let mut cluster = Cluster::new(spec);
 

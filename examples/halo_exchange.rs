@@ -41,8 +41,7 @@ fn main() {
     println!("{:>10}  {:>14}", "scheme", "per-iteration");
 
     for scheme in [Scheme::Generic, Scheme::BcSpup, Scheme::MultiW, Scheme::Adaptive] {
-        let mut spec = ClusterSpec::default();
-        spec.nprocs = PX * PY;
+        let mut spec = ClusterSpec { nprocs: PX * PY, ..Default::default() };
         spec.mpi.scheme = scheme;
         let mut cluster = Cluster::new(spec);
 

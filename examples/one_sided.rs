@@ -27,8 +27,7 @@ fn main() {
         col_ty.num_blocks()
     );
 
-    let mut spec = ClusterSpec::default();
-    spec.nprocs = P;
+    let mut spec = ClusterSpec { nprocs: P, ..Default::default() };
     spec.mpi.scheme = Scheme::Adaptive;
     let mut cluster = Cluster::new(spec);
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-6c2f476b423bab15.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-6c2f476b423bab15: tests/chaos.rs
+
+tests/chaos.rs:

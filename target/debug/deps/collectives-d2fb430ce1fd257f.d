@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collectives-d2fb430ce1fd257f.d: crates/mpicore/tests/collectives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollectives-d2fb430ce1fd257f.rmeta: crates/mpicore/tests/collectives.rs Cargo.toml
+
+crates/mpicore/tests/collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collectives-e7d8cf7802ef1b7d.d: crates/mpicore/tests/collectives.rs
+
+/root/repo/target/debug/deps/collectives-e7d8cf7802ef1b7d: crates/mpicore/tests/collectives.rs
+
+crates/mpicore/tests/collectives.rs:

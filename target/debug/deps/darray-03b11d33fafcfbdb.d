@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/darray-03b11d33fafcfbdb.d: crates/datatype/tests/darray.rs
+
+/root/repo/target/debug/deps/darray-03b11d33fafcfbdb: crates/datatype/tests/darray.rs
+
+crates/datatype/tests/darray.rs:

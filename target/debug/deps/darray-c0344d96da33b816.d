@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/darray-c0344d96da33b816.d: crates/datatype/tests/darray.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarray-c0344d96da33b816.rmeta: crates/datatype/tests/darray.rs Cargo.toml
+
+crates/datatype/tests/darray.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datatype_engine-5f5038099961c6d0.d: crates/bench/benches/datatype_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatatype_engine-5f5038099961c6d0.rmeta: crates/bench/benches/datatype_engine.rs Cargo.toml
+
+crates/bench/benches/datatype_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/errors-21e006519df66c42.d: crates/mpicore/tests/errors.rs
+
+/root/repo/target/debug/deps/errors-21e006519df66c42: crates/mpicore/tests/errors.rs
+
+crates/mpicore/tests/errors.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/errors-52c4d5e6c8b4f5d1.d: crates/mpicore/tests/errors.rs Cargo.toml
+
+/root/repo/target/debug/deps/liberrors-52c4d5e6c8b4f5d1.rmeta: crates/mpicore/tests/errors.rs Cargo.toml
+
+crates/mpicore/tests/errors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-0422b6d959494a91.d: crates/ibsim/tests/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-0422b6d959494a91.rmeta: crates/ibsim/tests/faults.rs Cargo.toml
+
+crates/ibsim/tests/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

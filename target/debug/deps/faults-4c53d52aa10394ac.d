@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-4c53d52aa10394ac.d: crates/ibsim/tests/faults.rs
+
+/root/repo/target/debug/deps/faults-4c53d52aa10394ac: crates/ibsim/tests/faults.rs
+
+crates/ibsim/tests/faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/features-4cae8b1b4fa57a6e.d: crates/mpicore/tests/features.rs
+
+/root/repo/target/debug/deps/features-4cae8b1b4fa57a6e: crates/mpicore/tests/features.rs
+
+crates/mpicore/tests/features.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/features-d01ad6ecddba4c4e.d: crates/mpicore/tests/features.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfeatures-d01ad6ecddba4c4e.rmeta: crates/mpicore/tests/features.rs Cargo.toml
+
+crates/mpicore/tests/features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-3fa3b379ad32c75d.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-3fa3b379ad32c75d: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

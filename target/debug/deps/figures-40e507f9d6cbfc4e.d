@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-40e507f9d6cbfc4e.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-40e507f9d6cbfc4e: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

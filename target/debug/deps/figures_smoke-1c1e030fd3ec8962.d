@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_smoke-1c1e030fd3ec8962.d: crates/bench/tests/figures_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_smoke-1c1e030fd3ec8962.rmeta: crates/bench/tests/figures_smoke.rs Cargo.toml
+
+crates/bench/tests/figures_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

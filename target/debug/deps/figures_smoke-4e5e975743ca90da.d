@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-4e5e975743ca90da.d: crates/bench/tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-4e5e975743ca90da: crates/bench/tests/figures_smoke.rs
+
+crates/bench/tests/figures_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibdt-22408dee8fa7d8f3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibdt-22408dee8fa7d8f3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

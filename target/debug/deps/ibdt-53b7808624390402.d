@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ibdt-53b7808624390402.d: src/lib.rs
+
+/root/repo/target/debug/deps/libibdt-53b7808624390402.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libibdt-53b7808624390402.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibdt-85debdfca0d324ca.d: src/lib.rs
+
+/root/repo/target/debug/deps/ibdt-85debdfca0d324ca: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ibdt_bench-361d73afbf3b01c4.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/ibdt_bench-361d73afbf3b01c4: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/table.rs:

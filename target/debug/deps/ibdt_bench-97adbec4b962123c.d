@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibdt_bench-97adbec4b962123c.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libibdt_bench-97adbec4b962123c.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libibdt_bench-97adbec4b962123c.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/table.rs:

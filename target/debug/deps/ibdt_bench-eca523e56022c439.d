@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ibdt_bench-eca523e56022c439.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibdt_bench-eca523e56022c439.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibdt_ibsim-1cb533b7c7dd91bf.d: crates/ibsim/src/lib.rs crates/ibsim/src/fabric.rs crates/ibsim/src/fault.rs crates/ibsim/src/model.rs crates/ibsim/src/wr.rs
+
+/root/repo/target/debug/deps/ibdt_ibsim-1cb533b7c7dd91bf: crates/ibsim/src/lib.rs crates/ibsim/src/fabric.rs crates/ibsim/src/fault.rs crates/ibsim/src/model.rs crates/ibsim/src/wr.rs
+
+crates/ibsim/src/lib.rs:
+crates/ibsim/src/fabric.rs:
+crates/ibsim/src/fault.rs:
+crates/ibsim/src/model.rs:
+crates/ibsim/src/wr.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ibdt_ibsim-322ab70447f5e7b6.d: crates/ibsim/src/lib.rs crates/ibsim/src/fabric.rs crates/ibsim/src/fault.rs crates/ibsim/src/model.rs crates/ibsim/src/wr.rs
+
+/root/repo/target/debug/deps/libibdt_ibsim-322ab70447f5e7b6.rlib: crates/ibsim/src/lib.rs crates/ibsim/src/fabric.rs crates/ibsim/src/fault.rs crates/ibsim/src/model.rs crates/ibsim/src/wr.rs
+
+/root/repo/target/debug/deps/libibdt_ibsim-322ab70447f5e7b6.rmeta: crates/ibsim/src/lib.rs crates/ibsim/src/fabric.rs crates/ibsim/src/fault.rs crates/ibsim/src/model.rs crates/ibsim/src/wr.rs
+
+crates/ibsim/src/lib.rs:
+crates/ibsim/src/fabric.rs:
+crates/ibsim/src/fault.rs:
+crates/ibsim/src/model.rs:
+crates/ibsim/src/wr.rs:

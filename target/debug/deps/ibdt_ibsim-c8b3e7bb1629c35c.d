@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ibdt_ibsim-c8b3e7bb1629c35c.d: crates/ibsim/src/lib.rs crates/ibsim/src/fabric.rs crates/ibsim/src/fault.rs crates/ibsim/src/model.rs crates/ibsim/src/wr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibdt_ibsim-c8b3e7bb1629c35c.rmeta: crates/ibsim/src/lib.rs crates/ibsim/src/fabric.rs crates/ibsim/src/fault.rs crates/ibsim/src/model.rs crates/ibsim/src/wr.rs Cargo.toml
+
+crates/ibsim/src/lib.rs:
+crates/ibsim/src/fabric.rs:
+crates/ibsim/src/fault.rs:
+crates/ibsim/src/model.rs:
+crates/ibsim/src/wr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ibdt_ibsim-de5570f1b3c9c481.d: crates/ibsim/src/lib.rs crates/ibsim/src/fabric.rs crates/ibsim/src/fault.rs crates/ibsim/src/model.rs crates/ibsim/src/wr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibdt_ibsim-de5570f1b3c9c481.rmeta: crates/ibsim/src/lib.rs crates/ibsim/src/fabric.rs crates/ibsim/src/fault.rs crates/ibsim/src/model.rs crates/ibsim/src/wr.rs Cargo.toml
+
+crates/ibsim/src/lib.rs:
+crates/ibsim/src/fabric.rs:
+crates/ibsim/src/fault.rs:
+crates/ibsim/src/model.rs:
+crates/ibsim/src/wr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

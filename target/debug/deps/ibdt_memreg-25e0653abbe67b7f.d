@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ibdt_memreg-25e0653abbe67b7f.d: crates/memreg/src/lib.rs crates/memreg/src/addr.rs crates/memreg/src/cache.rs crates/memreg/src/cost.rs crates/memreg/src/error.rs crates/memreg/src/ogr.rs crates/memreg/src/table.rs
+
+/root/repo/target/debug/deps/libibdt_memreg-25e0653abbe67b7f.rlib: crates/memreg/src/lib.rs crates/memreg/src/addr.rs crates/memreg/src/cache.rs crates/memreg/src/cost.rs crates/memreg/src/error.rs crates/memreg/src/ogr.rs crates/memreg/src/table.rs
+
+/root/repo/target/debug/deps/libibdt_memreg-25e0653abbe67b7f.rmeta: crates/memreg/src/lib.rs crates/memreg/src/addr.rs crates/memreg/src/cache.rs crates/memreg/src/cost.rs crates/memreg/src/error.rs crates/memreg/src/ogr.rs crates/memreg/src/table.rs
+
+crates/memreg/src/lib.rs:
+crates/memreg/src/addr.rs:
+crates/memreg/src/cache.rs:
+crates/memreg/src/cost.rs:
+crates/memreg/src/error.rs:
+crates/memreg/src/ogr.rs:
+crates/memreg/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ibdt_memreg-bdec1c0d48889bc5.d: crates/memreg/src/lib.rs crates/memreg/src/addr.rs crates/memreg/src/cache.rs crates/memreg/src/cost.rs crates/memreg/src/error.rs crates/memreg/src/ogr.rs crates/memreg/src/table.rs
+
+/root/repo/target/debug/deps/ibdt_memreg-bdec1c0d48889bc5: crates/memreg/src/lib.rs crates/memreg/src/addr.rs crates/memreg/src/cache.rs crates/memreg/src/cost.rs crates/memreg/src/error.rs crates/memreg/src/ogr.rs crates/memreg/src/table.rs
+
+crates/memreg/src/lib.rs:
+crates/memreg/src/addr.rs:
+crates/memreg/src/cache.rs:
+crates/memreg/src/cost.rs:
+crates/memreg/src/error.rs:
+crates/memreg/src/ogr.rs:
+crates/memreg/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ibdt_memreg-c037630abbfe95da.d: crates/memreg/src/lib.rs crates/memreg/src/addr.rs crates/memreg/src/cache.rs crates/memreg/src/cost.rs crates/memreg/src/error.rs crates/memreg/src/ogr.rs crates/memreg/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibdt_memreg-c037630abbfe95da.rmeta: crates/memreg/src/lib.rs crates/memreg/src/addr.rs crates/memreg/src/cache.rs crates/memreg/src/cost.rs crates/memreg/src/error.rs crates/memreg/src/ogr.rs crates/memreg/src/table.rs Cargo.toml
+
+crates/memreg/src/lib.rs:
+crates/memreg/src/addr.rs:
+crates/memreg/src/cache.rs:
+crates/memreg/src/cost.rs:
+crates/memreg/src/error.rs:
+crates/memreg/src/ogr.rs:
+crates/memreg/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

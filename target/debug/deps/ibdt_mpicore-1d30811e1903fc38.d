@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ibdt_mpicore-1d30811e1903fc38.d: crates/mpicore/src/lib.rs crates/mpicore/src/cluster.rs crates/mpicore/src/coll.rs crates/mpicore/src/config.rs crates/mpicore/src/error.rs crates/mpicore/src/msg.rs crates/mpicore/src/plan.rs crates/mpicore/src/pool.rs crates/mpicore/src/progress.rs crates/mpicore/src/rank.rs crates/mpicore/src/rma.rs crates/mpicore/src/stats.rs
+
+/root/repo/target/debug/deps/libibdt_mpicore-1d30811e1903fc38.rlib: crates/mpicore/src/lib.rs crates/mpicore/src/cluster.rs crates/mpicore/src/coll.rs crates/mpicore/src/config.rs crates/mpicore/src/error.rs crates/mpicore/src/msg.rs crates/mpicore/src/plan.rs crates/mpicore/src/pool.rs crates/mpicore/src/progress.rs crates/mpicore/src/rank.rs crates/mpicore/src/rma.rs crates/mpicore/src/stats.rs
+
+/root/repo/target/debug/deps/libibdt_mpicore-1d30811e1903fc38.rmeta: crates/mpicore/src/lib.rs crates/mpicore/src/cluster.rs crates/mpicore/src/coll.rs crates/mpicore/src/config.rs crates/mpicore/src/error.rs crates/mpicore/src/msg.rs crates/mpicore/src/plan.rs crates/mpicore/src/pool.rs crates/mpicore/src/progress.rs crates/mpicore/src/rank.rs crates/mpicore/src/rma.rs crates/mpicore/src/stats.rs
+
+crates/mpicore/src/lib.rs:
+crates/mpicore/src/cluster.rs:
+crates/mpicore/src/coll.rs:
+crates/mpicore/src/config.rs:
+crates/mpicore/src/error.rs:
+crates/mpicore/src/msg.rs:
+crates/mpicore/src/plan.rs:
+crates/mpicore/src/pool.rs:
+crates/mpicore/src/progress.rs:
+crates/mpicore/src/rank.rs:
+crates/mpicore/src/rma.rs:
+crates/mpicore/src/stats.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ibdt_mpicore-be87458b89d0c54f.d: crates/mpicore/src/lib.rs crates/mpicore/src/cluster.rs crates/mpicore/src/coll.rs crates/mpicore/src/config.rs crates/mpicore/src/error.rs crates/mpicore/src/msg.rs crates/mpicore/src/plan.rs crates/mpicore/src/pool.rs crates/mpicore/src/progress.rs crates/mpicore/src/rank.rs crates/mpicore/src/rma.rs crates/mpicore/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibdt_mpicore-be87458b89d0c54f.rmeta: crates/mpicore/src/lib.rs crates/mpicore/src/cluster.rs crates/mpicore/src/coll.rs crates/mpicore/src/config.rs crates/mpicore/src/error.rs crates/mpicore/src/msg.rs crates/mpicore/src/plan.rs crates/mpicore/src/pool.rs crates/mpicore/src/progress.rs crates/mpicore/src/rank.rs crates/mpicore/src/rma.rs crates/mpicore/src/stats.rs Cargo.toml
+
+crates/mpicore/src/lib.rs:
+crates/mpicore/src/cluster.rs:
+crates/mpicore/src/coll.rs:
+crates/mpicore/src/config.rs:
+crates/mpicore/src/error.rs:
+crates/mpicore/src/msg.rs:
+crates/mpicore/src/plan.rs:
+crates/mpicore/src/pool.rs:
+crates/mpicore/src/progress.rs:
+crates/mpicore/src/rank.rs:
+crates/mpicore/src/rma.rs:
+crates/mpicore/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ibdt_simcore-40460a7c9c48bb76.d: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/queue.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibdt_simcore-40460a7c9c48bb76.rmeta: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/queue.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ibdt_simcore-58ad898787f61c22.d: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/queue.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+/root/repo/target/debug/deps/libibdt_simcore-58ad898787f61c22.rlib: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/queue.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+/root/repo/target/debug/deps/libibdt_simcore-58ad898787f61c22.rmeta: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/queue.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/trace.rs:

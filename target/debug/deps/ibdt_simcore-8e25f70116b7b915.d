@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ibdt_simcore-8e25f70116b7b915.d: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/queue.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+/root/repo/target/debug/deps/ibdt_simcore-8e25f70116b7b915: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/queue.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/trace.rs:

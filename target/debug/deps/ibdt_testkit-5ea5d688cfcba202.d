@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibdt_testkit-5ea5d688cfcba202.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/ibdt_testkit-5ea5d688cfcba202: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

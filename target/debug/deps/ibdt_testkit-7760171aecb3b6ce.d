@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibdt_testkit-7760171aecb3b6ce.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibdt_testkit-7760171aecb3b6ce.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ibdt_testkit-b853eb72513186ea.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libibdt_testkit-b853eb72513186ea.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libibdt_testkit-b853eb72513186ea.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibdt_workloads-3d11c1551473122d.d: crates/workloads/src/lib.rs crates/workloads/src/drivers.rs crates/workloads/src/structdt.rs crates/workloads/src/sweep.rs crates/workloads/src/vector.rs
+
+/root/repo/target/debug/deps/ibdt_workloads-3d11c1551473122d: crates/workloads/src/lib.rs crates/workloads/src/drivers.rs crates/workloads/src/structdt.rs crates/workloads/src/sweep.rs crates/workloads/src/vector.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/drivers.rs:
+crates/workloads/src/structdt.rs:
+crates/workloads/src/sweep.rs:
+crates/workloads/src/vector.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ibdt_workloads-7cd59d56e08b8327.d: crates/workloads/src/lib.rs crates/workloads/src/drivers.rs crates/workloads/src/structdt.rs crates/workloads/src/sweep.rs crates/workloads/src/vector.rs
+
+/root/repo/target/debug/deps/libibdt_workloads-7cd59d56e08b8327.rlib: crates/workloads/src/lib.rs crates/workloads/src/drivers.rs crates/workloads/src/structdt.rs crates/workloads/src/sweep.rs crates/workloads/src/vector.rs
+
+/root/repo/target/debug/deps/libibdt_workloads-7cd59d56e08b8327.rmeta: crates/workloads/src/lib.rs crates/workloads/src/drivers.rs crates/workloads/src/structdt.rs crates/workloads/src/sweep.rs crates/workloads/src/vector.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/drivers.rs:
+crates/workloads/src/structdt.rs:
+crates/workloads/src/sweep.rs:
+crates/workloads/src/vector.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ibdt_workloads-943c55d228d34ae1.d: crates/workloads/src/lib.rs crates/workloads/src/drivers.rs crates/workloads/src/structdt.rs crates/workloads/src/sweep.rs crates/workloads/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibdt_workloads-943c55d228d34ae1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/drivers.rs crates/workloads/src/structdt.rs crates/workloads/src/sweep.rs crates/workloads/src/vector.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/drivers.rs:
+crates/workloads/src/structdt.rs:
+crates/workloads/src/sweep.rs:
+crates/workloads/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

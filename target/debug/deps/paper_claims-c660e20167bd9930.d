@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-c660e20167bd9930.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-c660e20167bd9930: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planning-71733b8cee7da545.d: crates/bench/benches/planning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanning-71733b8cee7da545.rmeta: crates/bench/benches/planning.rs Cargo.toml
+
+crates/bench/benches/planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

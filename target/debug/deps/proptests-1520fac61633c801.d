@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1520fac61633c801.d: crates/datatype/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1520fac61633c801: crates/datatype/tests/proptests.rs
+
+crates/datatype/tests/proptests.rs:

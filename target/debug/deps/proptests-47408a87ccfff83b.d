@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-47408a87ccfff83b.d: crates/datatype/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-47408a87ccfff83b.rmeta: crates/datatype/tests/proptests.rs Cargo.toml
+
+crates/datatype/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6ac46f4c4ab3d5ee.d: crates/simcore/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6ac46f4c4ab3d5ee.rmeta: crates/simcore/tests/proptests.rs Cargo.toml
+
+crates/simcore/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

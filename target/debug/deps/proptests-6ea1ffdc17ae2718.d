@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6ea1ffdc17ae2718.d: crates/simcore/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6ea1ffdc17ae2718: crates/simcore/tests/proptests.rs
+
+crates/simcore/tests/proptests.rs:

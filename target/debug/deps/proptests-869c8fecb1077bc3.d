@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-869c8fecb1077bc3.d: crates/ibsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-869c8fecb1077bc3: crates/ibsim/tests/proptests.rs
+
+crates/ibsim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9c4be3e3e181a340.d: crates/memreg/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9c4be3e3e181a340.rmeta: crates/memreg/tests/proptests.rs Cargo.toml
+
+crates/memreg/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a573e17357354122.d: crates/ibsim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a573e17357354122.rmeta: crates/ibsim/tests/proptests.rs Cargo.toml
+
+crates/ibsim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a8b845fa2a3a7e63.d: crates/memreg/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a8b845fa2a3a7e63: crates/memreg/tests/proptests.rs
+
+crates/memreg/tests/proptests.rs:

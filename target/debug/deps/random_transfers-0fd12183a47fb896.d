@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_transfers-0fd12183a47fb896.d: tests/random_transfers.rs
+
+/root/repo/target/debug/deps/random_transfers-0fd12183a47fb896: tests/random_transfers.rs
+
+tests/random_transfers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_transfers-4996d47380a4d6f2.d: tests/random_transfers.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_transfers-4996d47380a4d6f2.rmeta: tests/random_transfers.rs Cargo.toml
+
+tests/random_transfers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rma-9e2977844fa91f81.d: crates/mpicore/tests/rma.rs Cargo.toml
+
+/root/repo/target/debug/deps/librma-9e2977844fa91f81.rmeta: crates/mpicore/tests/rma.rs Cargo.toml
+
+crates/mpicore/tests/rma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

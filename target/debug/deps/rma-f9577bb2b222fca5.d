@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rma-f9577bb2b222fca5.d: crates/mpicore/tests/rma.rs
+
+/root/repo/target/debug/deps/rma-f9577bb2b222fca5: crates/mpicore/tests/rma.rs
+
+crates/mpicore/tests/rma.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schemes-5fa6a541ab97527e.d: crates/bench/benches/schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschemes-5fa6a541ab97527e.rmeta: crates/bench/benches/schemes.rs Cargo.toml
+
+crates/bench/benches/schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

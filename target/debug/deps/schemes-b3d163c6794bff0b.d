@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schemes-b3d163c6794bff0b.d: crates/mpicore/tests/schemes.rs
+
+/root/repo/target/debug/deps/schemes-b3d163c6794bff0b: crates/mpicore/tests/schemes.rs
+
+crates/mpicore/tests/schemes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schemes-dfcb35bf0b5e6155.d: crates/mpicore/tests/schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschemes-dfcb35bf0b5e6155.rmeta: crates/mpicore/tests/schemes.rs Cargo.toml
+
+crates/mpicore/tests/schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

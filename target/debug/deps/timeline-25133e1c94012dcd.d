@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timeline-25133e1c94012dcd.d: crates/bench/src/bin/timeline.rs
+
+/root/repo/target/debug/deps/timeline-25133e1c94012dcd: crates/bench/src/bin/timeline.rs
+
+crates/bench/src/bin/timeline.rs:

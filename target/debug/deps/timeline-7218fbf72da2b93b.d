@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timeline-7218fbf72da2b93b.d: crates/bench/src/bin/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimeline-7218fbf72da2b93b.rmeta: crates/bench/src/bin/timeline.rs Cargo.toml
+
+crates/bench/src/bin/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

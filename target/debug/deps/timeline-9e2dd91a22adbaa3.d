@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timeline-9e2dd91a22adbaa3.d: crates/bench/src/bin/timeline.rs
+
+/root/repo/target/debug/deps/timeline-9e2dd91a22adbaa3: crates/bench/src/bin/timeline.rs
+
+crates/bench/src/bin/timeline.rs:

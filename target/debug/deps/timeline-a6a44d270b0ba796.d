@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timeline-a6a44d270b0ba796.d: crates/bench/src/bin/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimeline-a6a44d270b0ba796.rmeta: crates/bench/src/bin/timeline.rs Cargo.toml
+
+crates/bench/src/bin/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verbs-6865d8c19e3b16f7.d: crates/ibsim/tests/verbs.rs
+
+/root/repo/target/debug/deps/verbs-6865d8c19e3b16f7: crates/ibsim/tests/verbs.rs
+
+crates/ibsim/tests/verbs.rs:

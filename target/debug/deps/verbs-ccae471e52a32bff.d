@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verbs-ccae471e52a32bff.d: crates/ibsim/tests/verbs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverbs-ccae471e52a32bff.rmeta: crates/ibsim/tests/verbs.rs Cargo.toml
+
+crates/ibsim/tests/verbs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

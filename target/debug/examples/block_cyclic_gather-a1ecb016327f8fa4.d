@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/block_cyclic_gather-a1ecb016327f8fa4.d: examples/block_cyclic_gather.rs
+
+/root/repo/target/debug/examples/block_cyclic_gather-a1ecb016327f8fa4: examples/block_cyclic_gather.rs
+
+examples/block_cyclic_gather.rs:

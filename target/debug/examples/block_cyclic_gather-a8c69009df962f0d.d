@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/block_cyclic_gather-a8c69009df962f0d.d: examples/block_cyclic_gather.rs Cargo.toml
+
+/root/repo/target/debug/examples/libblock_cyclic_gather-a8c69009df962f0d.rmeta: examples/block_cyclic_gather.rs Cargo.toml
+
+examples/block_cyclic_gather.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

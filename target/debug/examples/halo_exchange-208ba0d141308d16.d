@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/halo_exchange-208ba0d141308d16.d: examples/halo_exchange.rs
+
+/root/repo/target/debug/examples/halo_exchange-208ba0d141308d16: examples/halo_exchange.rs
+
+examples/halo_exchange.rs:

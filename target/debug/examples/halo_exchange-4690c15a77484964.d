@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/halo_exchange-4690c15a77484964.d: examples/halo_exchange.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhalo_exchange-4690c15a77484964.rmeta: examples/halo_exchange.rs Cargo.toml
+
+examples/halo_exchange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

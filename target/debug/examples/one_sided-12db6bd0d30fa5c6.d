@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/one_sided-12db6bd0d30fa5c6.d: examples/one_sided.rs Cargo.toml
+
+/root/repo/target/debug/examples/libone_sided-12db6bd0d30fa5c6.rmeta: examples/one_sided.rs Cargo.toml
+
+examples/one_sided.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/one_sided-de019c61e1aa96a0.d: examples/one_sided.rs
+
+/root/repo/target/debug/examples/one_sided-de019c61e1aa96a0: examples/one_sided.rs
+
+examples/one_sided.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bc7bf91f7e456767.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bc7bf91f7e456767: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheme_advisor-69a097f12cb65ad5.d: examples/scheme_advisor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheme_advisor-69a097f12cb65ad5.rmeta: examples/scheme_advisor.rs Cargo.toml
+
+examples/scheme_advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_advisor-843b46aecb05a98e.d: examples/scheme_advisor.rs
+
+/root/repo/target/debug/examples/scheme_advisor-843b46aecb05a98e: examples/scheme_advisor.rs
+
+examples/scheme_advisor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transpose-b6b469097633800a.d: examples/transpose.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtranspose-b6b469097633800a.rmeta: examples/transpose.rs Cargo.toml
+
+examples/transpose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transpose-e97412e1b470ca1b.d: examples/transpose.rs
+
+/root/repo/target/debug/examples/transpose-e97412e1b470ca1b: examples/transpose.rs
+
+examples/transpose.rs:

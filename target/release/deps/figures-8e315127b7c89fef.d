@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-8e315127b7c89fef.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-8e315127b7c89fef: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ibdt-e139fefb29d73a81.d: src/lib.rs
+
+/root/repo/target/release/deps/libibdt-e139fefb29d73a81.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libibdt-e139fefb29d73a81.rmeta: src/lib.rs
+
+src/lib.rs:

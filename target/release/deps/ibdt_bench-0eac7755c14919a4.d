@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ibdt_bench-0eac7755c14919a4.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libibdt_bench-0eac7755c14919a4.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libibdt_bench-0eac7755c14919a4.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ibdt_ibsim-ebede8bf69884507.d: crates/ibsim/src/lib.rs crates/ibsim/src/fabric.rs crates/ibsim/src/fault.rs crates/ibsim/src/model.rs crates/ibsim/src/wr.rs
+
+/root/repo/target/release/deps/libibdt_ibsim-ebede8bf69884507.rlib: crates/ibsim/src/lib.rs crates/ibsim/src/fabric.rs crates/ibsim/src/fault.rs crates/ibsim/src/model.rs crates/ibsim/src/wr.rs
+
+/root/repo/target/release/deps/libibdt_ibsim-ebede8bf69884507.rmeta: crates/ibsim/src/lib.rs crates/ibsim/src/fabric.rs crates/ibsim/src/fault.rs crates/ibsim/src/model.rs crates/ibsim/src/wr.rs
+
+crates/ibsim/src/lib.rs:
+crates/ibsim/src/fabric.rs:
+crates/ibsim/src/fault.rs:
+crates/ibsim/src/model.rs:
+crates/ibsim/src/wr.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ibdt_memreg-2a53827c67989516.d: crates/memreg/src/lib.rs crates/memreg/src/addr.rs crates/memreg/src/cache.rs crates/memreg/src/cost.rs crates/memreg/src/error.rs crates/memreg/src/ogr.rs crates/memreg/src/table.rs
+
+/root/repo/target/release/deps/libibdt_memreg-2a53827c67989516.rlib: crates/memreg/src/lib.rs crates/memreg/src/addr.rs crates/memreg/src/cache.rs crates/memreg/src/cost.rs crates/memreg/src/error.rs crates/memreg/src/ogr.rs crates/memreg/src/table.rs
+
+/root/repo/target/release/deps/libibdt_memreg-2a53827c67989516.rmeta: crates/memreg/src/lib.rs crates/memreg/src/addr.rs crates/memreg/src/cache.rs crates/memreg/src/cost.rs crates/memreg/src/error.rs crates/memreg/src/ogr.rs crates/memreg/src/table.rs
+
+crates/memreg/src/lib.rs:
+crates/memreg/src/addr.rs:
+crates/memreg/src/cache.rs:
+crates/memreg/src/cost.rs:
+crates/memreg/src/error.rs:
+crates/memreg/src/ogr.rs:
+crates/memreg/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ibdt_simcore-406cc61130c0ac6d.d: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/queue.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+/root/repo/target/release/deps/libibdt_simcore-406cc61130c0ac6d.rlib: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/queue.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+/root/repo/target/release/deps/libibdt_simcore-406cc61130c0ac6d.rmeta: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/queue.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ibdt_testkit-3bf5b12180b3ee6b.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libibdt_testkit-3bf5b12180b3ee6b.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libibdt_testkit-3bf5b12180b3ee6b.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

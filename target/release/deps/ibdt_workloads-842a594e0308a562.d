@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ibdt_workloads-842a594e0308a562.d: crates/workloads/src/lib.rs crates/workloads/src/drivers.rs crates/workloads/src/structdt.rs crates/workloads/src/sweep.rs crates/workloads/src/vector.rs
+
+/root/repo/target/release/deps/libibdt_workloads-842a594e0308a562.rlib: crates/workloads/src/lib.rs crates/workloads/src/drivers.rs crates/workloads/src/structdt.rs crates/workloads/src/sweep.rs crates/workloads/src/vector.rs
+
+/root/repo/target/release/deps/libibdt_workloads-842a594e0308a562.rmeta: crates/workloads/src/lib.rs crates/workloads/src/drivers.rs crates/workloads/src/structdt.rs crates/workloads/src/sweep.rs crates/workloads/src/vector.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/drivers.rs:
+crates/workloads/src/structdt.rs:
+crates/workloads/src/sweep.rs:
+crates/workloads/src/vector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timeline-231ae6f68a5d3726.d: crates/bench/src/bin/timeline.rs
+
+/root/repo/target/release/deps/timeline-231ae6f68a5d3726: crates/bench/src/bin/timeline.rs
+
+crates/bench/src/bin/timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_tmp-9afe6b7807d2224c.d: examples/_verify_tmp.rs
+
+/root/repo/target/release/examples/_verify_tmp-9afe6b7807d2224c: examples/_verify_tmp.rs
+
+examples/_verify_tmp.rs:

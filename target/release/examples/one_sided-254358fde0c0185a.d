@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/one_sided-254358fde0c0185a.d: examples/one_sided.rs
+
+/root/repo/target/release/examples/one_sided-254358fde0c0185a: examples/one_sided.rs
+
+examples/one_sided.rs:

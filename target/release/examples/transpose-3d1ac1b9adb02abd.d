@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/transpose-3d1ac1b9adb02abd.d: examples/transpose.rs
+
+/root/repo/target/release/examples/transpose-3d1ac1b9adb02abd: examples/transpose.rs
+
+examples/transpose.rs:

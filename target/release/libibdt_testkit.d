@@ -1,0 +1,1 @@
+/root/repo/target/release/libibdt_testkit.rlib: /root/repo/crates/testkit/src/lib.rs

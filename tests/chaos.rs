@@ -1,0 +1,260 @@
+//! Chaos tests: random derived datatypes × schemes × seeded fault
+//! plans pushed through the full stack. The contract under injected
+//! faults is strict — every message is either delivered byte-exact
+//! (transport recovered transparently) or fails with a typed
+//! [`MpiError`]; panics and silent corruption are both bugs. The same
+//! seed must reproduce the same virtual clock and counters.
+
+use ibdt::datatype::Datatype;
+use ibdt::mpicore::{AppOp, Cluster, ClusterSpec, FaultPlan, MpiError, RunStats, Scheme};
+use ibdt_testkit::{cases, Rng};
+
+fn random_type(rng: &mut Rng) -> Datatype {
+    let byte = Datatype::byte();
+    match rng.range_u64(0, 3) {
+        0 => {
+            let blocklen = rng.range_u64(1, 500);
+            let stride = blocklen + rng.range_u64(0, 500);
+            Datatype::hvector(rng.range_u64(1, 120), blocklen, stride as i64, &byte).unwrap()
+        }
+        1 => {
+            let n = rng.range_usize(1, 20);
+            let mut displ = 0i64;
+            let mut entries = Vec::new();
+            for _ in 0..n {
+                let len = rng.range_u64(1, 400);
+                entries.push((len, displ));
+                displ += (len + rng.range_u64(0, 600)) as i64;
+            }
+            Datatype::hindexed(&entries, &byte).unwrap()
+        }
+        _ => Datatype::contiguous(rng.range_u64(1, 60_000), &byte).unwrap(),
+    }
+}
+
+fn scheme_of(i: u8) -> Scheme {
+    match i % 7 {
+        0 => Scheme::Generic,
+        1 => Scheme::BcSpup,
+        2 => Scheme::RwgUp,
+        3 => Scheme::PRrs,
+        4 => Scheme::MultiW,
+        5 => Scheme::Hybrid,
+        _ => Scheme::Adaptive,
+    }
+}
+
+/// One send/recv pair under `spec`; returns the run stats plus the
+/// source and destination windows for byte comparison.
+fn run_pair(spec: ClusterSpec, ty: &Datatype, count: u64, seed: u64) -> (RunStats, Vec<u8>, Vec<u8>) {
+    let mut cluster = Cluster::new(spec);
+    let span = ((count - 1) as i64 * ty.extent() + ty.true_ub()).max(8) as u64 + 64;
+    let sbuf = cluster.alloc(0, span, 4096);
+    let rbuf = cluster.alloc(1, span, 4096);
+    cluster.fill_pattern(0, sbuf, span, seed);
+    cluster.fill_pattern(1, rbuf, span, seed ^ 0xFFFF);
+    let p0 = vec![
+        AppOp::Isend { peer: 1, buf: sbuf, count, ty: ty.clone(), tag: 1 },
+        AppOp::WaitAll,
+    ];
+    let p1 = vec![
+        AppOp::Irecv { peer: 0, buf: rbuf, count, ty: ty.clone(), tag: 1 },
+        AppOp::WaitAll,
+    ];
+    let stats = cluster.run(vec![p0, p1]);
+    let src = cluster.read_mem(0, sbuf, span);
+    let dst = cluster.read_mem(1, rbuf, span);
+    (stats, src, dst)
+}
+
+fn assert_delivered(ty: &Datatype, count: u64, src: &[u8], dst: &[u8], what: &str) {
+    for (off, len) in ty.flat().repeat(count) {
+        let o = off as usize;
+        assert_eq!(
+            &dst[o..o + len as usize],
+            &src[o..o + len as usize],
+            "{what}: corrupted block at offset {off}"
+        );
+    }
+}
+
+/// Moderate fault rates stay inside the transport's retry budget: the
+/// run must end with zero protocol-visible errors and byte-exact
+/// delivery, and the identical seed must reproduce the identical
+/// virtual clock and counters.
+#[test]
+fn recoverable_chaos_delivers_exactly_and_deterministically() {
+    cases(0xC4A0_0001, 24, |rng| {
+        let ty = random_type(rng);
+        let scheme = scheme_of(rng.next_u64() as u8);
+        let count = rng.range_u64(1, 3);
+        if ty.size() == 0 || ty.size() * count >= 4 << 20 {
+            return;
+        }
+        let pattern_seed = rng.next_u64();
+        let faults = FaultPlan {
+            seed: rng.next_u64(),
+            drop_rate: rng.range_u64(0, 16) as f64 / 100.0,
+            corrupt_rate: rng.range_u64(0, 16) as f64 / 100.0,
+            delay_rate: rng.range_u64(0, 30) as f64 / 100.0,
+            max_delay_ns: 30_000,
+            stall_rate: rng.range_u64(0, 10) as f64 / 100.0,
+            stall_ns: 5_000,
+        };
+        let spec = || {
+            let mut s = ClusterSpec::default();
+            s.mpi.scheme = scheme;
+            s.faults = faults.clone();
+            s
+        };
+        let (stats, src, dst) = run_pair(spec(), &ty, count, pattern_seed);
+        assert_eq!(
+            stats.total_errors(),
+            0,
+            "recoverable fault rates must not surface errors (scheme {scheme:?}): {:?}",
+            stats.errors
+        );
+        assert_delivered(&ty, count, &src, &dst, "chaos delivery");
+
+        // Determinism: replay with the identical seed.
+        let (replay, _, _) = run_pair(spec(), &ty, count, pattern_seed);
+        assert_eq!(stats.finish_ns, replay.finish_ns, "virtual clock diverged");
+        assert_eq!(stats.counters, replay.counters, "protocol counters diverged");
+        assert_eq!(stats.retransmits, replay.retransmits);
+        assert_eq!(stats.drops_injected, replay.drops_injected);
+        assert_eq!(stats.corruptions_injected, replay.corruptions_injected);
+    });
+}
+
+/// Total loss with a tiny retry budget: the run must terminate without
+/// panicking and report typed transport errors on both sides.
+#[test]
+fn unrecoverable_loss_fails_with_typed_errors() {
+    cases(0xC4A0_0002, 10, |rng| {
+        let ty = random_type(rng);
+        let scheme = scheme_of(rng.next_u64() as u8);
+        if ty.size() == 0 || ty.size() >= 2 << 20 {
+            return;
+        }
+        let mut spec = ClusterSpec::default();
+        spec.mpi.scheme = scheme;
+        spec.net.retry_cnt = 1;
+        spec.faults = FaultPlan { seed: rng.next_u64(), drop_rate: 1.0, ..FaultPlan::none() };
+        let (stats, _, _) = run_pair(spec, &ty, 1, 42);
+        assert!(
+            stats.total_errors() > 0,
+            "total loss must surface typed errors (scheme {scheme:?})"
+        );
+        assert!(stats.qp_errors >= 1);
+        let typed = stats.errors.iter().flatten().any(|e| {
+            matches!(
+                e,
+                MpiError::RetryExceeded { .. }
+                    | MpiError::Flushed { .. }
+                    | MpiError::Post { .. }
+                    | MpiError::Incomplete
+            )
+        });
+        assert!(typed, "expected transport-shaped errors, got {:?}", stats.errors);
+    });
+}
+
+/// A registration budget too small for zero-copy pinning must degrade
+/// RWG-UP / P-RRS / Multi-W to a copy-based scheme per message —
+/// recorded in the counters — and still deliver byte-exact.
+#[test]
+fn registration_budget_forces_copy_fallback() {
+    for scheme in [Scheme::RwgUp, Scheme::PRrs, Scheme::MultiW] {
+        let ty = Datatype::hvector(64, 1024, 2048, &Datatype::byte()).unwrap();
+        let mut spec = ClusterSpec::default();
+        spec.mpi.scheme = scheme;
+        spec.mpi.reg_budget_bytes = 4096; // far below the 64 KiB payload
+        let (stats, src, dst) = run_pair(spec, &ty, 1, 7);
+        assert_eq!(
+            stats.total_errors(),
+            0,
+            "budget pressure must degrade, not fail ({scheme:?}): {:?}",
+            stats.errors
+        );
+        let fallbacks: u64 = stats.counters.iter().map(|c| c.scheme_fallbacks).sum();
+        assert!(fallbacks > 0, "{scheme:?} should have recorded a scheme fallback");
+        assert_delivered(&ty, 1, &src, &dst, "budget fallback");
+    }
+}
+
+/// With an ample budget the same messages must NOT fall back (guards
+/// against the budget check being over-eager).
+#[test]
+fn ample_budget_never_falls_back() {
+    for scheme in [Scheme::RwgUp, Scheme::PRrs, Scheme::MultiW] {
+        let ty = Datatype::hvector(64, 1024, 2048, &Datatype::byte()).unwrap();
+        let mut spec = ClusterSpec::default();
+        spec.mpi.scheme = scheme;
+        let (stats, src, dst) = run_pair(spec, &ty, 1, 7);
+        let fallbacks: u64 = stats.counters.iter().map(|c| c.scheme_fallbacks).sum();
+        assert_eq!(fallbacks, 0, "{scheme:?} fell back despite unlimited budget");
+        assert_delivered(&ty, 1, &src, &dst, "no-fallback delivery");
+    }
+}
+
+/// A receiver that is slow to post its receive triggers the
+/// rendezvous-reply timeout: the sender must probe (bounded), the
+/// late reply must still complete the message, and the duplicate-reply
+/// guard must keep the data byte-exact.
+#[test]
+fn slow_receiver_triggers_reply_probe_and_still_delivers() {
+    let ty = Datatype::contiguous(256 * 1024, &Datatype::byte()).unwrap();
+    let mut spec = ClusterSpec::default();
+    spec.mpi.scheme = Scheme::BcSpup;
+    spec.mpi.rndv_reply_timeout_ns = 20_000;
+    spec.mpi.rndv_max_rerequests = 100; // don't abort before the 300µs wake-up
+    let mut cluster = Cluster::new(spec);
+    let span = ty.size() + 64;
+    let sbuf = cluster.alloc(0, span, 4096);
+    let rbuf = cluster.alloc(1, span, 4096);
+    cluster.fill_pattern(0, sbuf, span, 19);
+    let p0 = vec![
+        AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 },
+        AppOp::WaitAll,
+    ];
+    let p1 = vec![
+        // The unexpected RndvStart sits unanswered well past the
+        // sender's reply timeout.
+        AppOp::Compute { ns: 300_000 },
+        AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 },
+        AppOp::WaitAll,
+    ];
+    let stats = cluster.run(vec![p0, p1]);
+    assert_eq!(stats.total_errors(), 0, "probe path must not fail: {:?}", stats.errors);
+    let probes: u64 = stats.counters.iter().map(|c| c.rndv_rerequests).sum();
+    assert!(probes > 0, "sender never probed despite 300µs receive delay");
+    let src = cluster.read_mem(0, sbuf, span);
+    let dst = cluster.read_mem(1, rbuf, span);
+    assert_delivered(&ty, 1, &src, &dst, "reply-timeout delivery");
+}
+
+/// Exhausting the probe budget (receiver never posts) must abort the
+/// send with `ReplyTimeout`, not hang or panic.
+#[test]
+fn exhausted_probe_budget_aborts_with_reply_timeout() {
+    let ty = Datatype::contiguous(64 * 1024, &Datatype::byte()).unwrap();
+    let mut spec = ClusterSpec::default();
+    spec.mpi.scheme = Scheme::BcSpup;
+    spec.mpi.rndv_reply_timeout_ns = 10_000;
+    spec.mpi.rndv_max_rerequests = 2;
+    let mut cluster = Cluster::new(spec);
+    let sbuf = cluster.alloc(0, ty.size(), 4096);
+    let p0 = vec![
+        AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 },
+        AppOp::WaitAll,
+    ];
+    // Rank 1 never posts the receive.
+    let stats = cluster.run(vec![p0, vec![]]);
+    assert!(stats
+        .errors
+        .iter()
+        .flatten()
+        .any(|e| matches!(e, MpiError::ReplyTimeout { peer: 1, .. })));
+    let probes: u64 = stats.counters.iter().map(|c| c.rndv_rerequests).sum();
+    assert_eq!(probes, 2, "probe count must respect rndv_max_rerequests");
+}

@@ -1,11 +1,11 @@
-//! Property-based end-to-end tests: random derived datatypes pushed
+//! Randomized end-to-end tests: random derived datatypes pushed
 //! through the full stack (datatype engine → MPI protocols → simulated
 //! verbs → remote memory) under every scheme, asserting byte-exact
-//! delivery and protocol hygiene.
+//! delivery and protocol hygiene. Seeded via [`ibdt_testkit`].
 
 use ibdt::datatype::Datatype;
 use ibdt::mpicore::{AppOp, Cluster, ClusterSpec, Scheme};
-use proptest::prelude::*;
+use ibdt_testkit::{cases, Rng};
 
 /// Random non-overlapping datatype builder. Kept shallow — the deep
 /// structural fuzzing lives in the datatype crate; here we fuzz the
@@ -18,20 +18,32 @@ enum Shape {
     Contig { len: u64 },
 }
 
-fn shape_strategy() -> impl Strategy<Value = Shape> {
-    prop_oneof![
-        (1u64..200, 1u64..600, 0u64..600).prop_map(|(count, blocklen, extra)| Shape::Vector {
-            count,
-            blocklen,
-            stride: blocklen + extra,
-        }),
-        proptest::collection::vec((1u64..400, 0u64..800), 1..30).prop_map(|raw| {
-            // Convert (len, gap) pairs into non-overlapping blocks.
-            Shape::Indexed { blocks: raw }
-        }),
-        proptest::collection::vec(1u64..2000, 1..10).prop_map(|sizes| Shape::Struct { sizes }),
-        (1u64..100_000).prop_map(|len| Shape::Contig { len }),
-    ]
+fn random_shape(rng: &mut Rng) -> Shape {
+    match rng.range_u64(0, 4) {
+        0 => {
+            let blocklen = rng.range_u64(1, 600);
+            Shape::Vector {
+                count: rng.range_u64(1, 200),
+                blocklen,
+                stride: blocklen + rng.range_u64(0, 600),
+            }
+        }
+        1 => {
+            let n = rng.range_usize(1, 30);
+            Shape::Indexed {
+                blocks: (0..n)
+                    .map(|_| (rng.range_u64(1, 400), rng.range_u64(0, 800)))
+                    .collect(),
+            }
+        }
+        2 => {
+            let n = rng.range_usize(1, 10);
+            Shape::Struct {
+                sizes: (0..n).map(|_| rng.range_u64(1, 2000)).collect(),
+            }
+        }
+        _ => Shape::Contig { len: rng.range_u64(1, 100_000) },
+    }
 }
 
 fn build(shape: &Shape) -> Datatype {
@@ -74,23 +86,17 @@ fn scheme_of(i: u8) -> Scheme {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn any_shape_any_scheme_delivers_exactly(
-        shape in shape_strategy(),
-        scheme_sel in any::<u8>(),
-        count in 1u64..3,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn any_shape_any_scheme_delivers_exactly() {
+    cases(0xE2E0_0001, 48, |rng| {
+        let shape = random_shape(rng);
+        let scheme = scheme_of(rng.next_u64() as u8);
+        let count = rng.range_u64(1, 3);
+        let seed = rng.next_u64();
         let ty = build(&shape);
-        prop_assume!(ty.size() > 0);
-        prop_assume!(ty.size() * count < 8 << 20); // keep sims quick
-        let scheme = scheme_of(scheme_sel);
+        if ty.size() == 0 || ty.size() * count >= 8 << 20 {
+            return; // keep sims quick
+        }
 
         let mut spec = ClusterSpec::default();
         spec.mpi.scheme = scheme;
@@ -110,20 +116,20 @@ proptest! {
             AppOp::WaitAll,
         ];
         let stats = cluster.run(vec![p0, p1]);
-        prop_assert_eq!(stats.rnr_events, 0);
+        assert_eq!(stats.rnr_events, 0);
 
         let src = cluster.read_mem(0, sbuf, span);
         let dst = cluster.read_mem(1, rbuf, span);
         let mut touched = vec![false; span as usize];
         for (off, len) in ty.flat().repeat(count) {
             let o = off as usize;
-            prop_assert_eq!(
+            assert_eq!(
                 &dst[o..o + len as usize],
                 &src[o..o + len as usize],
-                "scheme {:?} corrupted a block", scheme
+                "scheme {scheme:?} corrupted a block"
             );
-            for i in o..o + len as usize {
-                touched[i] = true;
+            for t in touched.iter_mut().skip(o).take(len as usize) {
+                *t = true;
             }
         }
         // Gap bytes untouched: compare against a regenerated garbage
@@ -134,21 +140,23 @@ proptest! {
         let orig = witness.read_mem(1, wbuf, span);
         for (i, &t) in touched.iter().enumerate() {
             if !t {
-                prop_assert_eq!(dst[i], orig[i], "gap byte {} clobbered", i);
+                assert_eq!(dst[i], orig[i], "gap byte {i} clobbered");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn repeated_messages_stay_correct(
-        shape in shape_strategy(),
-        scheme_sel in any::<u8>(),
-    ) {
+#[test]
+fn repeated_messages_stay_correct() {
+    cases(0xE2E0_0002, 48, |rng| {
         // Multiple messages through the same cluster exercise pool
         // recycling, the layout cache, and pin-down reuse.
+        let shape = random_shape(rng);
+        let scheme = scheme_of(rng.next_u64() as u8);
         let ty = build(&shape);
-        prop_assume!(ty.size() > 0 && ty.size() < 2 << 20);
-        let scheme = scheme_of(scheme_sel);
+        if ty.size() == 0 || ty.size() >= 2 << 20 {
+            return;
+        }
         let mut spec = ClusterSpec::default();
         spec.mpi.scheme = scheme;
         let mut cluster = Cluster::new(spec);
@@ -169,7 +177,7 @@ proptest! {
         let dst = cluster.read_mem(1, rbuf, span);
         for (off, len) in ty.flat().repeat(1) {
             let o = off as usize;
-            prop_assert_eq!(&dst[o..o + len as usize], &src[o..o + len as usize]);
+            assert_eq!(&dst[o..o + len as usize], &src[o..o + len as usize]);
         }
-    }
+    });
 }
