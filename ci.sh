@@ -12,4 +12,16 @@ cargo test --workspace -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> bench smoke (hotpath -> BENCH_hotpath.json)"
+./target/release/hotpath > /dev/null
+python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_hotpath.json"))
+assert d, "BENCH_hotpath.json is empty"
+for name, v in d.items():
+    assert "ns_per_op" in v and "bytes_per_sec" in v, f"bad entry {name}"
+print(f"BENCH_hotpath.json OK ({len(d)} entries, "
+      f"repeated-send speedup {d['repeated_send/speedup']['ns_per_op']:.2f}x)")
+EOF
+
 echo "CI OK"

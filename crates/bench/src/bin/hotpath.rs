@@ -1,0 +1,226 @@
+//! Host-side hot-path microbenchmarks for the compiled transfer-plan
+//! subsystem: plan compilation, plan-vs-segment pack, the repeated-send
+//! pack/SGE-build loop (the workload the per-rank plan cache targets),
+//! and an x1-style column sweep of the full stack with the cache on and
+//! off. All numbers are **wall-clock host time** — the virtual clock is
+//! proven unaffected by `tests/plan_equivalence.rs`.
+//!
+//! Writes `BENCH_hotpath.json` in the current directory:
+//! `{ "<name>": { "ns_per_op": f64, "bytes_per_sec": f64 } }`
+//! (`bytes_per_sec` is 0 for benchmarks without a natural byte count).
+
+use ibdt_datatype::{Datatype, Segment, TransferPlan, TypeRegistry};
+use ibdt_mpicore::plan::{chunk_gather, PlanCache};
+use ibdt_mpicore::pool::ScratchPool;
+use ibdt_mpicore::{AppOp, Cluster, ClusterSpec, Scheme};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Report {
+    entries: Vec<(String, f64, f64)>,
+}
+
+impl Report {
+    fn new() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    /// Times `f` adaptively and records + prints the result.
+    fn bench(&mut self, name: &str, bytes: Option<u64>, mut f: impl FnMut()) -> f64 {
+        for _ in 0..3 {
+            f();
+        }
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let dt = t0.elapsed();
+            if dt.as_millis() >= 40 || iters >= 1 << 22 {
+                let per = dt.as_nanos() as f64 / iters as f64;
+                let bps = bytes.map_or(0.0, |b| b as f64 / per * 1e9);
+                match bytes {
+                    Some(_) => println!(
+                        "{name:<52} {per:>12.0} ns/op  {:>9.1} MB/s",
+                        bps / 1e6
+                    ),
+                    None => println!("{name:<52} {per:>12.0} ns/op"),
+                }
+                self.entries.push((name.to_string(), per, bps));
+                return per;
+            }
+            iters *= 4;
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        for (i, (name, per, bps)) in self.entries.iter().enumerate() {
+            s.push_str(&format!(
+                "  \"{name}\": {{ \"ns_per_op\": {per:.1}, \"bytes_per_sec\": {bps:.1} }}"
+            ));
+            s.push_str(if i + 1 == self.entries.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// The paper's workload shape: `MPI_Type_vector(128, cols, 4096, MPI_INT)`.
+fn vector_ty(cols: u64) -> Datatype {
+    Datatype::vector(128, cols, 4096, &Datatype::int()).unwrap()
+}
+
+fn bench_plan_compile(r: &mut Report) {
+    for cols in [4u64, 64, 1024] {
+        let ty = vector_ty(cols);
+        r.bench(&format!("plan_compile/vector_cols/{cols}"), None, || {
+            black_box(TransferPlan::compile(black_box(&ty), 1));
+        });
+    }
+}
+
+fn bench_pack(r: &mut Report) {
+    for cols in [4u64, 64, 1024] {
+        let ty = vector_ty(cols);
+        let plan = TransferPlan::compile(&ty, 1);
+        let seg = Segment::new(&ty, 1);
+        let n = plan.total_bytes();
+        let buf = vec![0xA5u8; ty.true_ub() as usize + 64];
+        let mut out = vec![0u8; n as usize];
+        r.bench(&format!("pack/segment/vector_cols/{cols}"), Some(n), || {
+            seg.pack(0, n, black_box(&buf), 0, black_box(&mut out)).unwrap();
+        });
+        r.bench(&format!("pack/plan/vector_cols/{cols}"), Some(n), || {
+            plan.pack(0, n, black_box(&buf), 0, black_box(&mut out)).unwrap();
+        });
+        let stream = vec![0x5Au8; n as usize];
+        let mut user = vec![0u8; ty.true_ub() as usize + 64];
+        r.bench(&format!("unpack/plan/vector_cols/{cols}"), Some(n), || {
+            plan.unpack(0, n, black_box(&stream), black_box(&mut user), 0).unwrap();
+        });
+    }
+}
+
+/// The tentpole comparison: per-send fixed host work, repeated across
+/// many sends of the SAME (datatype, count) — the steady state of every
+/// figure workload. Two components, mirroring the two hot paths in
+/// `progress.rs`:
+///
+/// * `pack_eager` — the eager path: pack one 1 KiB vector message.
+///   Old: re-instantiate the segment walker + allocate fresh staging.
+///   New: plan-cache hit + scratch-pool staging.
+/// * `sge_build` — the zero-copy descriptor path (RWG-UP / Multi-W):
+///   build the absolute SGE chunk list for the whole message.
+///   Old: re-materialize `flat().repeat(count)` + fresh list.
+///   New: iterate the plan's cached merged blocks into a scratch list.
+///
+/// The bulk byte copy of large packed sends is identical on both paths
+/// (see `pack/segment` vs `pack/plan` above); what the cache removes is
+/// this per-send fixed overhead, so the speedup is measured on it.
+fn bench_repeated_send(r: &mut Report) -> (f64, f64) {
+    let max_sge = 16usize;
+    let base: u64 = 0x10_0000;
+
+    // Eager-style pack: vector(128, 2, 4096) = 128 blocks, 1 KiB total.
+    let ety = vector_ty(2);
+    let n = ety.size();
+    let ebuf = vec![0x3Cu8; ety.true_ub() as usize + 64];
+    let old_pack = r.bench(&format!("repeated_send/pack_eager/old/bytes/{n}"), Some(n), || {
+        let seg = Segment::new(black_box(&ety), 1);
+        let mut staging = vec![0u8; n as usize];
+        seg.pack(0, n, &ebuf, 0, &mut staging).unwrap();
+        // Copy-cost accounting walked every block again.
+        black_box(seg.block_count_in(0, n).unwrap());
+        black_box(staging);
+    });
+    let mut registry = TypeRegistry::new();
+    let mut cache = PlanCache::new(true, 64);
+    let mut scratch = ScratchPool::new();
+    let new_pack = r.bench(&format!("repeated_send/pack_eager/new/bytes/{n}"), Some(n), || {
+        let plan = cache.lookup(&mut registry, black_box(&ety), 1);
+        let mut staging = scratch.take_bytes(n as usize);
+        plan.pack(0, n, &ebuf, 0, &mut staging).unwrap();
+        // O(log blocks) via the prefix-sum index.
+        black_box(plan.block_count_in(0, n).unwrap());
+        scratch.put_bytes(staging);
+    });
+
+    // SGE/descriptor build: vector(128, 64, 4096) × 4 = 512 blocks.
+    let sty = vector_ty(64);
+    let count = 4u64;
+    let old_sge = r.bench("repeated_send/sge_build/old/blocks/512", None, || {
+        // RWG-UP posting instantiated a fresh walker per message, and
+        // isend re-derived the block statistics (a sort for the
+        // median) on every send before building descriptors.
+        black_box(Segment::new(black_box(&sty), count));
+        black_box(black_box(&sty).flat().stats(count));
+        let blocks: Vec<(u64, u64)> = black_box(&sty)
+            .flat()
+            .repeat(count)
+            .into_iter()
+            .map(|(o, l)| ((base as i64 + o) as u64, l))
+            .collect();
+        black_box(chunk_gather(&blocks, max_sge));
+    });
+    let splan = cache.lookup(&mut registry, &sty, count);
+    let new_sge = r.bench("repeated_send/sge_build/new/blocks/512", None, || {
+        black_box(black_box(&splan).stats());
+        let mut blocks = scratch.take_blocks();
+        blocks.extend(
+            black_box(&splan).blocks().iter().map(|&(o, l)| ((base as i64 + o) as u64, l)),
+        );
+        let chunks = chunk_gather(&blocks, max_sge);
+        scratch.put_blocks(blocks);
+        black_box(chunks);
+    });
+
+    (old_pack + old_sge, new_pack + new_sge)
+}
+
+/// x1-style sweep: wall-clock host time of a full simulated ping-pong
+/// per column count, plan cache on vs off. Virtual results are
+/// identical; only the host pays differently.
+fn bench_sweep(r: &mut Report) {
+    for cols in [4u64, 64, 512] {
+        for cache in [true, false] {
+            let label = format!(
+                "sweep_x1/pingpong_cols/{cols}/cache_{}",
+                if cache { "on" } else { "off" }
+            );
+            let ty = vector_ty(cols);
+            r.bench(&label, None, || {
+                let mut spec = ClusterSpec::default();
+                spec.mpi.scheme = Scheme::BcSpup;
+                spec.mpi.plan_cache = cache;
+                let mut cluster = Cluster::new(spec);
+                let span = ty.true_ub() as u64 + 64;
+                let sbuf = cluster.alloc(0, span, 4096);
+                let rbuf = cluster.alloc(1, span, 4096);
+                let mut p0 = Vec::new();
+                let mut p1 = Vec::new();
+                for tag in 0..4 {
+                    p0.push(AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag });
+                    p0.push(AppOp::WaitAll);
+                    p1.push(AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag });
+                    p1.push(AppOp::WaitAll);
+                }
+                black_box(cluster.run(vec![p0, p1]));
+            });
+        }
+    }
+}
+
+fn main() {
+    let mut r = Report::new();
+    bench_plan_compile(&mut r);
+    bench_pack(&mut r);
+    let (old, new) = bench_repeated_send(&mut r);
+    bench_sweep(&mut r);
+    let speedup = old / new;
+    println!("\nrepeated_send speedup (old/new): {speedup:.2}x");
+    r.entries.push(("repeated_send/speedup".into(), speedup, 0.0));
+    std::fs::write("BENCH_hotpath.json", r.to_json()).expect("write BENCH_hotpath.json");
+    println!("wrote BENCH_hotpath.json ({} entries)", r.entries.len());
+}

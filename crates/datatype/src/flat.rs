@@ -36,7 +36,80 @@ impl FlatLayout {
 
     /// Expands to `count` instances, instance `i` shifted by
     /// `i * extent`, merging across instance boundaries when dense.
+    ///
+    /// Within one instance the block list is already canonical (no two
+    /// consecutive blocks are memory-adjacent), so the only possible
+    /// merge is the last block of instance `i` with the first block of
+    /// instance `i + 1` — decidable once, up front. That classifies the
+    /// expansion into three closed forms (single run, plain replication,
+    /// fused boundaries), each emitted with one exact-size allocation
+    /// and no per-block merge scan. Output is bit-identical to feeding
+    /// every block through [`BlockCollector`] (see
+    /// [`Self::repeat_naive`] and the equivalence property test).
     pub fn repeat(&self, count: u64) -> Vec<(i64, u64)> {
+        if count == 0 || self.blocks.is_empty() {
+            return Vec::new();
+        }
+        // The closed forms below assume the canonical shape
+        // `BlockCollector` produces (no zero-length blocks, no two
+        // consecutive blocks memory-adjacent). Layouts built by
+        // [`Self::of`] always are; decoded wire layouts may not be —
+        // those take the reference path.
+        if !self.is_canonical() {
+            return self.repeat_naive(count);
+        }
+        if count == 1 {
+            return self.blocks.clone();
+        }
+        let n = self.blocks.len();
+        let (first_off, first_len) = self.blocks[0];
+        let (last_off, last_len) = *self.blocks.last().unwrap();
+        let fuses = last_off + last_len as i64 == self.extent + first_off;
+        if !fuses {
+            let mut out = Vec::with_capacity(n * count as usize);
+            for i in 0..count {
+                let base = i as i64 * self.extent;
+                out.extend(self.blocks.iter().map(|&(o, l)| (base + o, l)));
+            }
+            return out;
+        }
+        if n == 1 {
+            // Every boundary fuses: the whole message is one run.
+            return vec![(first_off, count * first_len)];
+        }
+        // Boundaries fuse but interiors cannot (a fused run that merged
+        // further would imply two memory-adjacent blocks inside one
+        // instance, contradicting canonical form). Exact shape:
+        // interior blocks, then one fused run per boundary.
+        let mut out = Vec::with_capacity(n * count as usize - (count as usize - 1));
+        out.extend(self.blocks[..n - 1].iter().copied());
+        for i in 0..count - 1 {
+            let base = i as i64 * self.extent;
+            out.push((base + last_off, last_len + first_len));
+            let next = base + self.extent;
+            out.extend(self.blocks[1..n - 1].iter().map(|&(o, l)| (next + o, l)));
+        }
+        let tail = (count - 1) as i64 * self.extent;
+        out.push((tail + last_off, last_len));
+        out
+    }
+
+    /// Whether the block list is in the canonical merged form
+    /// [`BlockCollector`] produces: positive lengths, no two
+    /// consecutive blocks adjacent in memory.
+    fn is_canonical(&self) -> bool {
+        self.blocks.iter().all(|&(_, l)| l > 0)
+            && self
+                .blocks
+                .windows(2)
+                .all(|w| w[0].0 + w[0].1 as i64 != w[1].0)
+    }
+
+    /// Reference implementation of [`Self::repeat`]: every block pushed
+    /// through the merging [`BlockCollector`]. Kept for equivalence
+    /// tests and as the before-side of the hot-path benchmark.
+    #[doc(hidden)]
+    pub fn repeat_naive(&self, count: u64) -> Vec<(i64, u64)> {
         let mut c = BlockCollector::new();
         for i in 0..count {
             let base = i as i64 * self.extent;

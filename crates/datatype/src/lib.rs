@@ -18,7 +18,10 @@
 //!   serialization of layouts sent to the peer in Multi-W,
 //! * [`cache`] — the versioned datatype cache (§5.4.2, after Träff et
 //!   al., ref [14]): type indices, version bumps on index reuse, and the
-//!   sender-side layout cache.
+//!   sender-side layout cache,
+//! * [`plan`] — compiled transfer plans: per-(type, count) precomputed
+//!   run lists with prefix-sum resume indexes, shared across every chunk
+//!   of a message so the hot path never re-walks the dataloop.
 //!
 //! All offsets are `i64` (MPI displacements may be negative); a buffer
 //! address names the element with offset 0.
@@ -26,12 +29,14 @@
 pub mod cache;
 pub mod dataloop;
 pub mod flat;
+pub mod plan;
 pub mod prim;
 pub mod segment;
 pub mod typ;
 
 pub use cache::{LayoutCache, TypeRegistry};
 pub use flat::{BlockStats, FlatLayout};
+pub use plan::TransferPlan;
 pub use prim::Primitive;
 pub use segment::Segment;
 pub use typ::{Datatype, TypeError};

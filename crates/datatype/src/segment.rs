@@ -236,7 +236,7 @@ impl Segment {
     }
 }
 
-fn slice_index(
+pub(crate) fn slice_index(
     buf_len: usize,
     base: usize,
     off: i64,
@@ -250,7 +250,7 @@ fn slice_index(
     Some(start as usize..end as usize)
 }
 
-fn slice_at(buf: &[u8], base: usize, off: i64, len: u64) -> Option<&[u8]> {
+pub(crate) fn slice_at(buf: &[u8], base: usize, off: i64, len: u64) -> Option<&[u8]> {
     slice_index(buf.len(), base, off, len).map(|r| &buf[r])
 }
 

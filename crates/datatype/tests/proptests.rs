@@ -7,7 +7,7 @@
 //! the engine against this reference. Driven by [`ibdt_testkit`]
 //! seeded cases (the workspace builds offline, without proptest).
 
-use ibdt_datatype::{Datatype, FlatLayout, Segment};
+use ibdt_datatype::{Datatype, FlatLayout, Segment, TransferPlan};
 use ibdt_testkit::{cases, Rng};
 
 /// A datatype plus the byte offsets of its typemap, in pack order.
@@ -291,6 +291,86 @@ fn block_stats_consistent() {
         if s.count > 0 {
             assert!(s.min <= s.median && s.median <= s.max);
             assert!(s.mean >= s.min as f64 && s.mean <= s.max as f64);
+        }
+    });
+}
+
+#[test]
+fn repeat_fast_paths_match_naive_collector() {
+    cases(0xD7A0_0009, 512, |rng| {
+        let m = model(rng);
+        let count = rng.range_u64(0, 6);
+        let f = m.ty.flat();
+        assert_eq!(
+            f.repeat(count),
+            f.repeat_naive(count),
+            "type {:?} count {count}",
+            m.ty
+        );
+    });
+}
+
+#[test]
+fn coalesced_and_naive_blocks_cover_identical_bytes() {
+    cases(0xD7A0_000A, 256, |rng| {
+        // The coalesced (merged) list and the naive unmerged emission
+        // must describe exactly the same multiset of memory bytes, in
+        // the same pack order.
+        let m = model(rng);
+        let count = rng.range_u64(1, 4);
+        let seg = Segment::new(&m.ty, count);
+        let mut naive: Vec<i64> = Vec::new();
+        seg.for_each_block(0, seg.total_bytes(), |o, l| {
+            naive.extend(o..o + l as i64);
+        })
+        .unwrap();
+        let coalesced: Vec<i64> = seg
+            .blocks()
+            .iter()
+            .flat_map(|&(o, l)| o..o + l as i64)
+            .collect();
+        assert_eq!(coalesced, naive);
+    });
+}
+
+#[test]
+fn transfer_plan_equals_segment_on_random_schedules() {
+    cases(0xD7A0_000B, 256, |rng| {
+        let m = model(rng);
+        let count = rng.range_u64(1, 5);
+        let seg = Segment::new(&m.ty, count);
+        let plan = TransferPlan::compile(&m.ty, count);
+        assert_eq!(plan.total_bytes(), seg.total_bytes());
+        assert_eq!(plan.blocks(), seg.blocks().as_slice());
+        let n = seg.total_bytes();
+        // Random chunk schedule: blocks, counts, and pack bytes must be
+        // bit-identical per chunk.
+        let ncuts = rng.range_usize(0, 6);
+        let mut points: Vec<u64> = (0..ncuts).map(|_| rng.range_u64(0, n + 1)).collect();
+        points.push(0);
+        points.push(n);
+        points.sort_unstable();
+        let (base, len) = buffer_for(&m, count.max(1));
+        let buf: Vec<u8> = (0..len).map(|i| (i % 239) as u8).collect();
+        for w in points.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mut sb = Vec::new();
+            seg.for_each_block(lo, hi, |o, l| sb.push((o, l))).unwrap();
+            let mut pb = Vec::new();
+            plan.for_each_block(lo, hi, |o, l| pb.push((o, l))).unwrap();
+            assert_eq!(pb, sb, "blocks differ on [{lo},{hi})");
+            assert_eq!(
+                plan.block_count_in(lo, hi).unwrap(),
+                seg.block_count_in(lo, hi).unwrap()
+            );
+            let mut sa = vec![0u8; (hi - lo) as usize];
+            let mut pa = vec![0u8; (hi - lo) as usize];
+            let se = seg.pack(lo, hi, &buf, base, &mut sa);
+            let pe = plan.pack(lo, hi, &buf, base, &mut pa);
+            assert_eq!(se.is_ok(), pe.is_ok());
+            if se.is_ok() {
+                assert_eq!(pa, sa);
+            }
         }
     });
 }

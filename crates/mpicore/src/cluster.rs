@@ -475,6 +475,12 @@ impl Cluster {
             cpu_busy_ns: self.ranks.iter().map(|r| r.cpu.total_busy()).collect(),
             reg_ops: (0..n).map(|r| self.mems[r].regs.op_counts()).collect(),
             pindown: self.ranks.iter().map(|r| r.pindown.stats()).collect(),
+            plan_cache: self.ranks.iter().map(|r| r.plans.stats()).collect(),
+            scratch_pool: self
+                .ranks
+                .iter()
+                .map(|r| (r.scratch.reuses(), r.scratch.allocs()))
+                .collect(),
             wqes: fstats.wqes,
             bytes_on_wire: fstats.bytes_on_wire,
             rnr_events: fstats.rnr_events,

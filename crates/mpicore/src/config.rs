@@ -125,6 +125,14 @@ pub struct MpiConfig {
     /// Probes sent after reply timeouts before the send fails with
     /// [`MpiError::ReplyTimeout`](crate::error::MpiError::ReplyTimeout).
     pub rndv_max_rerequests: u32,
+    /// Enable the per-rank compiled transfer-plan cache. Off forces
+    /// every chunk to recompile its plan — functionally identical and
+    /// virtual-clock identical (plan compilation charges no modelled
+    /// time), just slower in host time; the equivalence tests pin this.
+    pub plan_cache: bool,
+    /// Capacity of the transfer-plan cache in (datatype version, count)
+    /// entries per rank; least-recently-used entries are evicted.
+    pub plan_cache_entries: usize,
 }
 
 impl Default for MpiConfig {
@@ -152,6 +160,8 @@ impl Default for MpiConfig {
             reg_budget_bytes: u64::MAX,
             rndv_reply_timeout_ns: 0,
             rndv_max_rerequests: 3,
+            plan_cache: true,
+            plan_cache_entries: 64,
         }
     }
 }

@@ -11,7 +11,10 @@
 //!   have completely different layouts; blocks are split at every
 //!   boundary mismatch.
 
+use ibdt_datatype::{Datatype, TransferPlan, TypeRegistry};
 use ibdt_memreg::Va;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One planned RDMA write: gather `sges` (absolute addresses) into the
 /// contiguous destination `dst`.
@@ -166,6 +169,99 @@ pub fn imm_of(seq: u64, k: u32) -> u32 {
 /// Inverse of [`imm_of`]: `(seq16, k)`.
 pub fn imm_parse(imm: u32) -> (u16, u32) {
     ((imm >> 16) as u16, imm & 0xFFFF)
+}
+
+
+/// Per-rank LRU cache of compiled [`TransferPlan`]s, keyed by the
+/// §5.4.2 datatype-cache version: `(type index, type version, count)`.
+/// The registry assigns the index/version, so a freed-and-reused type
+/// index can never alias a stale plan — the bumped version changes the
+/// key, exactly as it invalidates the wire-level layout cache.
+///
+/// Compilation charges no modelled (virtual-clock) time — plans only
+/// amortize *host* work — so enabling or disabling the cache cannot
+/// perturb simulated results.
+#[derive(Debug)]
+pub struct PlanCache {
+    enabled: bool,
+    cap: usize,
+    map: HashMap<(u32, u32, u64), (Arc<TransferPlan>, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `cap` plans. A disabled cache
+    /// compiles on every lookup (the equivalence-test baseline).
+    pub fn new(enabled: bool, cap: usize) -> Self {
+        Self {
+            enabled,
+            cap,
+            map: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Returns the plan for `count` instances of `ty`, compiling and
+    /// caching on miss. `registry` supplies the versioned tag the key
+    /// is derived from.
+    pub fn lookup(
+        &mut self,
+        registry: &mut TypeRegistry,
+        ty: &Datatype,
+        count: u64,
+    ) -> Arc<TransferPlan> {
+        if !self.enabled || self.cap == 0 {
+            self.misses += 1;
+            return Arc::new(TransferPlan::compile(ty, count));
+        }
+        let tag = registry.register(ty);
+        let key = (tag.index, tag.version, count);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((plan, last)) = self.map.get_mut(&key) {
+            self.hits += 1;
+            *last = tick;
+            return plan.clone();
+        }
+        self.misses += 1;
+        let plan = Arc::new(TransferPlan::compile(ty, count));
+        if self.map.len() >= self.cap {
+            // Evict the least recently used entry. The cap is small, so
+            // a linear scan beats maintaining an ordered structure.
+            if let Some(&victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (plan.clone(), tick));
+        plan
+    }
+
+    /// `(hits, misses, evictions)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -369,5 +465,87 @@ mod tests {
         let (seq16, k) = imm_parse(imm);
         assert_eq!(seq16, 0xF00D);
         assert_eq!(k, 7);
+    }
+
+    fn vec_ty(stride: i64) -> Datatype {
+        Datatype::vector(4, 8, stride, &Datatype::int()).expect("valid vector")
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeat_lookup() {
+        let mut reg = TypeRegistry::new();
+        let mut pc = PlanCache::new(true, 8);
+        let ty = vec_ty(64);
+        let a = pc.lookup(&mut reg, &ty, 3);
+        let b = pc.lookup(&mut reg, &ty, 3);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup returns the cached Arc");
+        assert_eq!(pc.stats(), (1, 1, 0));
+        // A different count is a different plan.
+        let c = pc.lookup(&mut reg, &ty, 4);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(pc.stats(), (1, 2, 0));
+    }
+
+    #[test]
+    fn plan_cache_disabled_always_misses() {
+        let mut reg = TypeRegistry::new();
+        let mut pc = PlanCache::new(false, 8);
+        let ty = vec_ty(64);
+        let a = pc.lookup(&mut reg, &ty, 3);
+        let b = pc.lookup(&mut reg, &ty, 3);
+        assert!(!Arc::ptr_eq(&a, &b), "disabled cache recompiles every time");
+        assert_eq!(pc.stats(), (0, 2, 0));
+        assert!(pc.is_empty());
+        // Identical output either way.
+        assert_eq!(a.blocks(), b.blocks());
+        assert_eq!(a.total_bytes(), b.total_bytes());
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let mut reg = TypeRegistry::new();
+        let mut pc = PlanCache::new(true, 2);
+        let t1 = vec_ty(64);
+        let t2 = vec_ty(72);
+        let t3 = vec_ty(80);
+        pc.lookup(&mut reg, &t1, 1);
+        pc.lookup(&mut reg, &t2, 1);
+        // Touch t1 so t2 is the LRU entry, then force an eviction.
+        pc.lookup(&mut reg, &t1, 1);
+        pc.lookup(&mut reg, &t3, 1);
+        assert_eq!(pc.len(), 2);
+        let (_, _, evictions) = pc.stats();
+        assert_eq!(evictions, 1);
+        // t1 survived the eviction (t2 was least recently used).
+        let before = pc.stats().0;
+        pc.lookup(&mut reg, &t1, 1);
+        assert_eq!(pc.stats().0, before + 1, "t1 still hits");
+        pc.lookup(&mut reg, &t2, 1);
+        assert_eq!(pc.stats().1, 4, "t2 was evicted and misses");
+    }
+
+    #[test]
+    fn plan_cache_keyed_by_registry_version() {
+        // Two structurally identical but distinct Datatype values get
+        // distinct registry tags, so they occupy distinct cache slots.
+        let mut reg = TypeRegistry::new();
+        let mut pc = PlanCache::new(true, 8);
+        let t1 = vec_ty(64);
+        let t2 = vec_ty(64);
+        pc.lookup(&mut reg, &t1, 2);
+        pc.lookup(&mut reg, &t2, 2);
+        assert_eq!(pc.stats(), (0, 2, 0), "distinct identities never collide");
+        assert_eq!(pc.len(), 2);
+    }
+
+    #[test]
+    fn plan_cache_zero_capacity_never_stores() {
+        let mut reg = TypeRegistry::new();
+        let mut pc = PlanCache::new(true, 0);
+        let ty = vec_ty(64);
+        pc.lookup(&mut reg, &ty, 1);
+        pc.lookup(&mut reg, &ty, 1);
+        assert!(pc.is_empty());
+        assert_eq!(pc.stats(), (0, 2, 0));
     }
 }

@@ -20,7 +20,7 @@ use crate::error::MpiError;
 use crate::msg::{CtrlMsg, ReplyBody};
 use crate::plan::{chunk_gather, hybrid_partition, imm_of, imm_parse, plan_multi_w, substream_to_stream};
 use crate::rank::{PostedRecv, RankState, ReqId, ReqKind, Unexpected};
-use ibdt_datatype::{Datatype, FlatLayout, Segment};
+use ibdt_datatype::{Datatype, FlatLayout, TransferPlan};
 use ibdt_ibsim::{
     Cqe, Fabric, HostConfig, NetConfig, NicEvent, NodeMem, Opcode, PostError, RecvWr, SendWr, Sge,
 };
@@ -365,7 +365,8 @@ pub fn isend(
     } else {
         (ctx.cfg.segment_size(size), ctx.cfg.segment_count(size))
     };
-    let stats = ty.flat().stats(count);
+    let tplan = rs.plan_for(ty, count);
+    let stats = tplan.stats();
 
     let start = CtrlMsg::RndvStart {
         tag,
@@ -441,7 +442,7 @@ pub fn isend(
             // (symmetric types are the common case) and register those
             // blocks during the handshake; the reply-time registration
             // tops up any coverage the receiver's partition adds.
-            let own: Vec<(Va, u64)> = abs_blocks(ty, count, buf)
+            let own: Vec<(Va, u64)> = abs_blocks(&tplan, buf)
                 .into_iter()
                 .filter(|&(_, l)| l >= ctx.cfg.hybrid_block_threshold)
                 .collect();
@@ -782,9 +783,10 @@ fn eager_send(
 ) {
     rs.counters.eager_sends += 1;
     let seq = rs.take_seq(peer);
-    let seg = Segment::new(ty, count);
-    let payload = pack_to_vec(ctx, rs.rank, &seg, buf, 0, size);
-    let (blocks, _) = seg.block_count_in(0, size).expect("range valid");
+    let plan = rs.plan_for(ty, count);
+    let mut payload = rs.scratch.take_bytes(size as usize);
+    pack_range(ctx, rs.rank, &plan, buf, 0, size, &mut payload);
+    let (blocks, _) = plan.block_count_in(0, size).expect("range valid");
     let mut cost = ctx.host.copy_ns(blocks.max(1), size);
     if ctx.cfg.scheme == Scheme::Generic {
         // Original path (Fig. 1): pack into a temporary buffer, then
@@ -797,6 +799,7 @@ fn eager_send(
     let hdr = CtrlMsg::EagerData { tag, seq, size }.encode();
     let mut bytes = hdr;
     bytes.extend_from_slice(&payload);
+    rs.scratch.put_bytes(payload);
     send_ctrl(rs, ctx, peer, bytes, cost);
 
     // The send request completes when packing is done (the user buffer
@@ -816,11 +819,11 @@ fn eager_deliver(
     ty: &Datatype,
     data: &[u8],
 ) {
-    let seg = Segment::new(ty, count);
-    let size = seg.total_bytes();
+    let plan = rs.plan_for(ty, count);
+    let size = plan.total_bytes();
     assert_eq!(data.len() as u64, size, "eager size mismatch");
-    unpack_from_slice(ctx, rs.rank, &seg, buf, 0, size, data);
-    let (blocks, _) = seg.block_count_in(0, size).expect("range valid");
+    unpack_from_slice(ctx, rs.rank, &plan, buf, 0, size, data);
+    let (blocks, _) = plan.block_count_in(0, size).expect("range valid");
     let mut cost = ctx.host.copy_ns(blocks.max(1), size);
     if ctx.cfg.scheme == Scheme::Generic {
         cost += ctx.host.malloc_ns + ctx.host.memcpy_ns(size) + ctx.host.free_ns;
@@ -840,10 +843,12 @@ fn self_send(
     ty: &Datatype,
     tag: u32,
 ) {
-    let seg = Segment::new(ty, count);
-    let size = seg.total_bytes();
-    let data = pack_to_vec(ctx, rs.rank, &seg, buf, 0, size);
-    let (blocks, _) = seg.block_count_in(0, size).expect("range valid");
+    let plan = rs.plan_for(ty, count);
+    let size = plan.total_bytes();
+    // `data` escapes into the unexpected queue, so it cannot come from
+    // the scratch pool.
+    let data = pack_to_vec(ctx, rs.rank, &plan, buf, 0, size);
+    let (blocks, _) = plan.block_count_in(0, size).expect("range valid");
     let cost = ctx.host.copy_ns(blocks.max(1), size);
     let done = rs.cpu.reserve_labeled(ctx.now(), cost, "pack");
     ctx.cpu_event(done, rs.rank, CpuAct::SendDone { req });
@@ -1097,7 +1102,7 @@ fn receiver_start(
         rs.fail_req(p.req, MpiError::MalformedCtrl { peer: p.peer });
         return;
     };
-    let rstats = p.ty.flat().stats(p.count);
+    let rstats = rs.plan_for(&p.ty, p.count).stats();
     // Contiguous on both sides: the standard zero-copy rendezvous
     // (§3.1) — one RDMA write from user buffer to user buffer,
     // regardless of the configured datatype scheme. Multi-W with a
@@ -1286,7 +1291,7 @@ fn try_acquire_user_regs(
 /// returns the host cost, or `None` when the pinning budget is
 /// exhausted.
 fn receiver_reg_cost(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg) -> Option<Time> {
-    let blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
+    let blocks = abs_blocks(&rs.plan_for(&msg.ty, msg.count), msg.buf);
     try_acquire_user_regs(rs, ctx, &blocks, &mut msg.user_regs, &mut msg.pinned_bytes)
 }
 
@@ -1301,7 +1306,7 @@ fn build_multiw_reply(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvM
         Some(msg.ty.flat().as_ref().clone())
     };
     // Probe size before committing registrations.
-    let blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
+    let blocks = abs_blocks(&rs.plan_for(&msg.ty, msg.count), msg.buf);
     let plan = ogr::plan(&blocks, &ctx.host.reg);
     // Both this commit and the caller's receiver_reg_cost charge the
     // pinning budget (the pin-down cache refcounts the duplicate
@@ -1366,7 +1371,7 @@ fn build_multiw_reply(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvM
 /// eager buffer (fall back to BC-SPUP).
 fn build_hybrid_reply(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg) -> Option<Vec<u8>> {
     let threshold = ctx.cfg.hybrid_block_threshold;
-    let blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
+    let blocks = abs_blocks(&rs.plan_for(&msg.ty, msg.count), msg.buf);
     let lens: Vec<u64> = blocks.iter().map(|&(_, l)| l).collect();
     let part = hybrid_partition(&lens, threshold);
     let (nsegs_p, seg_size_p) = if part.packed_bytes == 0 {
@@ -1473,13 +1478,13 @@ fn on_segment_arrival(
     match msg.scheme {
         Scheme::Generic => {
             // Whole message in unpack_bufs[0]: unpack it all.
-            let seg = Segment::new(&msg.ty, msg.count);
+            let plan = rs.plan_for(&msg.ty, msg.count);
             let data = ctx.mems[rs.rank as usize]
                 .space
                 .read(msg.unpack_bufs[0].va, msg.size)
                 .expect("unpack buffer readable");
-            unpack_from_slice(ctx, rs.rank, &seg, msg.buf, 0, msg.size, &data);
-            let (blocks, _) = seg.block_count_in(0, msg.size).expect("range valid");
+            unpack_from_slice(ctx, rs.rank, &plan, msg.buf, 0, msg.size, &data);
+            let (blocks, _) = plan.block_count_in(0, msg.size).expect("range valid");
             let cost = ctx.host.copy_ns(blocks.max(1), msg.size);
             rs.counters.bytes_unpacked += msg.size;
             let done = rs.cpu.reserve_labeled(ctx.now(), cost, "unpack");
@@ -1548,15 +1553,15 @@ fn unpack_segment_cost_and_do(
     k: u32,
 ) -> Time {
     let rank = rs.rank;
-    let seg = Segment::new(&msg.ty, msg.count);
+    let plan = rs.plan_for(&msg.ty, msg.count);
     let lo = k as u64 * msg.seg_size;
     let hi = (lo + msg.seg_size).min(msg.size);
     let data = ctx.mems[rank as usize]
         .space
         .read(msg.unpack_bufs[k as usize].va, hi - lo)
         .expect("unpack buffer readable");
-    unpack_from_slice(ctx, rank, &seg, msg.buf, lo, hi, &data);
-    let (blocks, _) = seg.block_count_in(lo, hi).expect("range valid");
+    unpack_from_slice(ctx, rank, &plan, msg.buf, lo, hi, &data);
+    let (blocks, _) = plan.block_count_in(lo, hi).expect("range valid");
     ctx.host.copy_ns(blocks.max(1), hi - lo)
 }
 
@@ -1576,14 +1581,14 @@ fn hybrid_unpack_segment(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut Re
         .read(msg.unpack_bufs[k as usize].va, hi - lo)
         .expect("unpack buffer readable");
     let stream_ivs = substream_to_stream(&msg.packed_intervals, lo, hi);
-    let seg = Segment::new(&msg.ty, msg.count);
+    let plan = rs.plan_for(&msg.ty, msg.count);
     let mut cursor = 0usize;
     let mut blocks = 0usize;
     for &(a, b) in &stream_ivs {
         let n = (b - a) as usize;
-        unpack_from_slice(ctx, rs.rank, &seg, msg.buf, a, b, &data[cursor..cursor + n]);
+        unpack_from_slice(ctx, rs.rank, &plan, msg.buf, a, b, &data[cursor..cursor + n]);
         cursor += n;
-        let (nb, _) = seg.block_count_in(a, b).expect("range valid");
+        let (nb, _) = plan.block_count_in(a, b).expect("range valid");
         blocks += nb;
     }
     rs.counters.bytes_unpacked += hi - lo;
@@ -1656,13 +1661,15 @@ fn receiver_on_seg_ready(
     msg.segs_announced += 1;
     let lo = k as u64 * msg.seg_size;
     let hi = lo + len;
-    let segm = Segment::new(&msg.ty, msg.count);
-    let mut blocks: Vec<(Va, u64)> = Vec::new();
-    segm.for_each_block(lo, hi, |off, l| {
-        blocks.push(((msg.buf as i64 + off) as u64, l));
+    let plan = rs.plan_for(&msg.ty, msg.count);
+    let mbuf = msg.buf;
+    let mut blocks = rs.scratch.take_blocks();
+    plan.for_each_block(lo, hi, |off, l| {
+        blocks.push(((mbuf as i64 + off) as u64, l));
     })
     .expect("range valid");
     let chunks = chunk_gather(&blocks, ctx.net.max_sge);
+    rs.scratch.put_blocks(blocks);
     let mut src_off = 0u64;
     let n = chunks.len();
     let mut wrs = Vec::with_capacity(n);
@@ -1948,13 +1955,15 @@ fn hybrid_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
     let Some(hy) = msg.hybrid.as_ref() else {
         return;
     };
-    let seg = Segment::new(&msg.ty, msg.count);
-    let mut blocks: Vec<(Va, u64)> = Vec::new();
+    let tplan = rs.plan_for(&msg.ty, msg.count);
+    let mbuf = msg.buf;
+    let mut blocks = rs.scratch.take_blocks();
     for &(lo, hi, _) in &hy.direct {
-        seg.for_each_block(lo, hi, |off, l| {
-            blocks.push(((msg.buf as i64 + off) as u64, l));
-        })
-        .expect("range valid");
+        tplan
+            .for_each_block(lo, hi, |off, l| {
+                blocks.push(((mbuf as i64 + off) as u64, l));
+            })
+            .expect("range valid");
     }
     // Drop blocks already covered by registrations acquired earlier
     // (e.g. the contiguous-sender fast path).
@@ -1962,6 +1971,7 @@ fn hybrid_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
     if blocks.is_empty() {
         // Prediction covered everything (or no direct part): posting
         // may proceed as soon as any in-flight registration completes.
+        rs.scratch.put_blocks(blocks);
         if msg.user_regs.is_empty() {
             msg.reg_done = true;
         }
@@ -1970,6 +1980,7 @@ fn hybrid_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
     // The receiver's partition needs more coverage than predicted.
     msg.reg_done = false;
     let plan = ogr::plan(&blocks, &ctx.host.reg);
+    rs.scratch.put_blocks(blocks);
     let mut cost = 0;
     for &(a, l) in &plan.regions {
         let acq = rs
@@ -1993,7 +2004,7 @@ fn hybrid_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
 /// Returns `false` — acquiring nothing and scheduling nothing — when
 /// the pinning budget would be exceeded.
 fn sender_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) -> bool {
-    let blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
+    let blocks = abs_blocks(&rs.plan_for(&msg.ty, msg.count), msg.buf);
     let Some(cost) =
         try_acquire_user_regs(rs, ctx, &blocks, &mut msg.user_regs, &mut msg.pinned_bytes)
     else {
@@ -2030,15 +2041,17 @@ fn start_pack_chain(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg
         return;
     }
     let k = msg.packed;
-    let seg = Segment::new(&msg.ty, msg.count);
+    let plan = rs.plan_for(&msg.ty, msg.count);
     let lo = k as u64 * msg.seg_size;
     let hi = (lo + msg.seg_size).min(msg.size);
-    let data = pack_to_vec(ctx, rs.rank, &seg, msg.buf, lo, hi);
+    let mut data = rs.scratch.take_bytes((hi - lo) as usize);
+    pack_range(ctx, rs.rank, &plan, msg.buf, lo, hi, &mut data);
     ctx.mems[rs.rank as usize]
         .space
         .write(msg.pack_bufs[k as usize].va, &data)
         .expect("pack buffer writable");
-    let (blocks, _) = seg.block_count_in(lo, hi).expect("range valid");
+    rs.scratch.put_bytes(data);
+    let (blocks, _) = plan.block_count_in(lo, hi).expect("range valid");
     let cost = ctx.host.copy_ns(blocks.max(1), hi - lo);
     let done = rs.cpu.reserve_labeled(ctx.now(), cost, "pack");
     msg.pack_chain_running = true;
@@ -2068,20 +2081,23 @@ fn hybrid_pack_next(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg
     let lo = k as u64 * msg.seg_size;
     let hi = (lo + msg.seg_size).min(packed_bytes);
     let stream_ivs = substream_to_stream(&hy.packed_intervals, lo, hi);
-    let seg = Segment::new(&msg.ty, msg.count);
-    let mut data = Vec::with_capacity((hi - lo) as usize);
+    let plan = rs.plan_for(&msg.ty, msg.count);
+    let mut data = rs.scratch.take_bytes((hi - lo) as usize);
+    let mut cursor = 0usize;
     let mut blocks = 0usize;
     for &(a, b) in &stream_ivs {
-        let piece = pack_to_vec(ctx, rs.rank, &seg, msg.buf, a, b);
-        data.extend_from_slice(&piece);
-        let (nb, _) = seg.block_count_in(a, b).expect("range valid");
+        let n = (b - a) as usize;
+        pack_range(ctx, rs.rank, &plan, msg.buf, a, b, &mut data[cursor..cursor + n]);
+        cursor += n;
+        let (nb, _) = plan.block_count_in(a, b).expect("range valid");
         blocks += nb;
     }
-    debug_assert_eq!(data.len() as u64, hi - lo);
+    debug_assert_eq!(cursor as u64, hi - lo);
     ctx.mems[rs.rank as usize]
         .space
         .write(msg.pack_bufs[k as usize].va, &data)
         .expect("pack buffer writable");
+    rs.scratch.put_bytes(data);
     let cost = ctx.host.copy_ns(blocks.max(1), hi - lo);
     let done = rs.cpu.reserve_labeled(ctx.now(), cost, "pack");
     msg.pack_chain_running = true;
@@ -2168,13 +2184,15 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                 return;
             }
             let segs = segs.clone();
-            let seg = Segment::new(&msg.ty, msg.count);
+            let plan = rs.plan_for(&msg.ty, msg.count);
+            let mbuf = msg.buf;
+            let mut blocks = rs.scratch.take_blocks();
             for k in 0..msg.nsegs {
                 let lo = k as u64 * msg.seg_size;
                 let hi = (lo + msg.seg_size).min(msg.size);
-                let mut blocks: Vec<(Va, u64)> = Vec::new();
-                seg.for_each_block(lo, hi, |off, l| {
-                    blocks.push(((msg.buf as i64 + off) as u64, l));
+                blocks.clear();
+                plan.for_each_block(lo, hi, |off, l| {
+                    blocks.push(((mbuf as i64 + off) as u64, l));
                 })
                 .expect("range valid");
                 let chunks = chunk_gather(&blocks, ctx.net.max_sge);
@@ -2213,6 +2231,7 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                     }
                 }
             }
+            rs.scratch.put_blocks(blocks);
             msg.posted_segs = msg.nsegs;
         }
         (Some(SendTargets::ReadGo), Scheme::PRrs) if msg.contig => {
@@ -2322,7 +2341,7 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
             if !msg.reg_done || msg.posted_segs > 0 {
                 return;
             }
-            let snd_blocks = abs_blocks(&msg.ty, msg.count, msg.buf);
+            let snd_blocks = abs_blocks(&rs.plan_for(&msg.ty, msg.count), msg.buf);
             let plan = plan_multi_w(&snd_blocks, rcv_blocks, ctx.net.max_sge);
             let n = plan.len();
             assert!(n > 0, "rendezvous messages are never empty");
@@ -2394,14 +2413,16 @@ fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
     let Some(mut hy) = msg.hybrid.take() else {
         return;
     };
-    let seg = Segment::new(&msg.ty, msg.count);
     if !hy.direct_posted {
         hy.direct_posted = true;
+        let plan = rs.plan_for(&msg.ty, msg.count);
+        let mbuf = msg.buf;
         let mut wrs: Vec<SendWr> = Vec::new();
+        let mut blocks = rs.scratch.take_blocks();
         for &(lo, hi, dst) in &hy.direct {
-            let mut blocks: Vec<(Va, u64)> = Vec::new();
-            seg.for_each_block(lo, hi, |off, l| {
-                blocks.push(((msg.buf as i64 + off) as u64, l));
+            blocks.clear();
+            plan.for_each_block(lo, hi, |off, l| {
+                blocks.push(((mbuf as i64 + off) as u64, l));
             })
             .expect("range valid");
             let chunks = chunk_gather(&blocks, ctx.net.max_sge);
@@ -2426,6 +2447,7 @@ fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
                 dst_off += clen;
             }
         }
+        rs.scratch.put_blocks(blocks);
         rs.counters.data_wrs += wrs.len() as u64;
         if ctx.cfg.list_post {
             let n = wrs.len();
@@ -2676,12 +2698,11 @@ fn release_stage_bufs(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, bufs: &[StageBu
 // Shared helpers
 // ---------------------------------------------------------------------
 
-/// Absolute-address contiguous blocks of `count` instances at `buf`.
-fn abs_blocks(ty: &Datatype, count: u64, buf: Va) -> Vec<(Va, u64)> {
-    ty.flat()
-        .repeat(count)
-        .into_iter()
-        .map(|(o, l)| ((buf as i64 + o) as u64, l))
+/// Absolute-address contiguous blocks of the plan's message at `buf`.
+fn abs_blocks(plan: &TransferPlan, buf: Va) -> Vec<(Va, u64)> {
+    plan.blocks()
+        .iter()
+        .map(|&(o, l)| ((buf as i64 + o) as u64, l))
         .collect()
 }
 
@@ -2700,22 +2721,37 @@ fn region_key(regions: &[(Va, u64, u32)], addr: Va, len: u64) -> u32 {
         .2
 }
 
-/// Functional pack of a stream range into a fresh vector.
+/// Functional pack of a stream range into a caller-provided buffer of
+/// exactly `hi - lo` bytes (typically scratch-pool storage).
+fn pack_range(
+    ctx: &mut Ctx<'_, '_>,
+    rank: u32,
+    plan: &TransferPlan,
+    buf: Va,
+    lo: u64,
+    hi: u64,
+    out: &mut [u8],
+) {
+    let space = &ctx.mems[rank as usize].space;
+    let mem = space
+        .slice(0, space.capacity())
+        .expect("whole space view");
+    plan.pack(lo, hi, mem, buf as usize, out)
+        .expect("user buffer covers the datatype");
+}
+
+/// Functional pack of a stream range into a fresh vector (used when the
+/// packed bytes must outlive the call, e.g. self-sends).
 fn pack_to_vec(
     ctx: &mut Ctx<'_, '_>,
     rank: u32,
-    seg: &Segment,
+    plan: &TransferPlan,
     buf: Va,
     lo: u64,
     hi: u64,
 ) -> Vec<u8> {
     let mut out = vec![0u8; (hi - lo) as usize];
-    let space = &ctx.mems[rank as usize].space;
-    let mem = space
-        .slice(0, space.capacity())
-        .expect("whole space view");
-    seg.pack(lo, hi, mem, buf as usize, &mut out)
-        .expect("user buffer covers the datatype");
+    pack_range(ctx, rank, plan, buf, lo, hi, &mut out);
     out
 }
 
@@ -2724,7 +2760,7 @@ fn pack_to_vec(
 fn unpack_from_slice(
     ctx: &mut Ctx<'_, '_>,
     rank: u32,
-    seg: &Segment,
+    plan: &TransferPlan,
     buf: Va,
     lo: u64,
     hi: u64,
@@ -2733,6 +2769,6 @@ fn unpack_from_slice(
     let space = &mut ctx.mems[rank as usize].space;
     let cap = space.capacity();
     let mem = space.slice_mut(0, cap).expect("whole space view");
-    seg.unpack(lo, hi, data, mem, buf as usize)
+    plan.unpack(lo, hi, data, mem, buf as usize)
         .expect("user buffer covers the datatype");
 }

@@ -8,13 +8,14 @@
 
 use crate::config::MpiConfig;
 use crate::error::MpiError;
-use crate::pool::SegmentPool;
+use crate::plan::PlanCache;
+use crate::pool::{ScratchPool, SegmentPool};
 
 /// Wildcard source for receives (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: u32 = u32::MAX;
 /// Wildcard tag for receives (`MPI_ANY_TAG`).
 pub const ANY_TAG: u32 = u32::MAX;
-use ibdt_datatype::{Datatype, LayoutCache, TypeRegistry};
+use ibdt_datatype::{Datatype, LayoutCache, TransferPlan, TypeRegistry};
 use ibdt_ibsim::NodeMem;
 use ibdt_memreg::{PindownCache, Va};
 use ibdt_simcore::resource::SerialResource;
@@ -187,6 +188,10 @@ pub struct RankState {
     pub registry: TypeRegistry,
     /// Sender-side cache of peers' layouts.
     pub layout_cache: LayoutCache,
+    /// Compiled transfer plans keyed by the registry's versioned tags.
+    pub plans: PlanCache,
+    /// Reusable host-side scratch buffers (pack staging, SGE lists).
+    pub scratch: ScratchPool,
     /// `(peer, index, version)` layouts this rank has already shipped.
     pub sent_layouts: HashSet<(u32, u32, u32)>,
     /// Internal dynamic buffer freelist (Generic scheme).
@@ -266,6 +271,8 @@ impl RankState {
             },
             registry: TypeRegistry::new(),
             layout_cache: LayoutCache::new(),
+            plans: PlanCache::new(cfg.plan_cache, cfg.plan_cache_entries),
+            scratch: ScratchPool::new(),
             sent_layouts: HashSet::new(),
             internal: InternalBufs::default(),
             rma_outstanding: 0,
@@ -287,6 +294,14 @@ impl RankState {
         region_base
             + send_bytes
             + (peer_slot * cfg.eager_bufs_per_peer as u64 + i as u64) * cfg.eager_buf_size
+    }
+
+    /// Returns the compiled transfer plan for `count` instances of
+    /// `ty`, consulting the per-rank plan cache (keyed by the §5.4.2
+    /// datatype-cache version). Every hot-path chunk, descriptor build,
+    /// and pack/unpack goes through here.
+    pub fn plan_for(&mut self, ty: &Datatype, count: u64) -> std::sync::Arc<TransferPlan> {
+        self.plans.lookup(&mut self.registry, ty, count)
     }
 
     /// Allocates a new request handle.

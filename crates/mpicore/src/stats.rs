@@ -19,6 +19,10 @@ pub struct RunStats {
     pub reg_ops: Vec<(u64, u64)>,
     /// Per-rank pin-down cache (hits, misses, evictions).
     pub pindown: Vec<(u64, u64, u64)>,
+    /// Per-rank transfer-plan cache (hits, misses, evictions).
+    pub plan_cache: Vec<(u64, u64, u64)>,
+    /// Per-rank scratch-buffer pool (reuses, fresh allocations).
+    pub scratch_pool: Vec<(u64, u64)>,
     /// Fabric: total work requests processed.
     pub wqes: u64,
     /// Fabric: payload bytes serialized on links.

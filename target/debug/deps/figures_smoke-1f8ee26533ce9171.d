@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-1f8ee26533ce9171.d: crates/bench/tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-1f8ee26533ce9171: crates/bench/tests/figures_smoke.rs
+
+crates/bench/tests/figures_smoke.rs:

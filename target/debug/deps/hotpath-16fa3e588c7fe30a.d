@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath-16fa3e588c7fe30a.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/debug/deps/hotpath-16fa3e588c7fe30a: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

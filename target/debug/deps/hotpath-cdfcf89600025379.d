@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath-cdfcf89600025379.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/debug/deps/hotpath-cdfcf89600025379: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hotpath-e4874f49ff6cca99.d: crates/bench/src/bin/hotpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhotpath-e4874f49ff6cca99.rmeta: crates/bench/src/bin/hotpath.rs Cargo.toml
+
+crates/bench/src/bin/hotpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

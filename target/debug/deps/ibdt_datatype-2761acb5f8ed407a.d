@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/ibdt_datatype-2761acb5f8ed407a.d: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
+/root/repo/target/debug/deps/ibdt_datatype-2761acb5f8ed407a.d: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/plan.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
 
-/root/repo/target/debug/deps/ibdt_datatype-2761acb5f8ed407a: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
+/root/repo/target/debug/deps/ibdt_datatype-2761acb5f8ed407a: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/plan.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
 
 crates/datatype/src/lib.rs:
 crates/datatype/src/cache.rs:
 crates/datatype/src/dataloop.rs:
 crates/datatype/src/flat.rs:
+crates/datatype/src/plan.rs:
 crates/datatype/src/prim.rs:
 crates/datatype/src/segment.rs:
 crates/datatype/src/typ.rs:

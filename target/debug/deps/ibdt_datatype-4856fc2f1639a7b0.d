@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/ibdt_datatype-4856fc2f1639a7b0.d: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
+/root/repo/target/debug/deps/ibdt_datatype-4856fc2f1639a7b0.d: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/plan.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
 
-/root/repo/target/debug/deps/libibdt_datatype-4856fc2f1639a7b0.rlib: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
+/root/repo/target/debug/deps/libibdt_datatype-4856fc2f1639a7b0.rlib: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/plan.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
 
-/root/repo/target/debug/deps/libibdt_datatype-4856fc2f1639a7b0.rmeta: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
+/root/repo/target/debug/deps/libibdt_datatype-4856fc2f1639a7b0.rmeta: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/plan.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
 
 crates/datatype/src/lib.rs:
 crates/datatype/src/cache.rs:
 crates/datatype/src/dataloop.rs:
 crates/datatype/src/flat.rs:
+crates/datatype/src/plan.rs:
 crates/datatype/src/prim.rs:
 crates/datatype/src/segment.rs:
 crates/datatype/src/typ.rs:

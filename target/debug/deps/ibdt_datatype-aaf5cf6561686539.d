@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/ibdt_datatype-aaf5cf6561686539.d: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs Cargo.toml
+/root/repo/target/debug/deps/ibdt_datatype-aaf5cf6561686539.d: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/plan.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs Cargo.toml
 
-/root/repo/target/debug/deps/libibdt_datatype-aaf5cf6561686539.rmeta: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs Cargo.toml
+/root/repo/target/debug/deps/libibdt_datatype-aaf5cf6561686539.rmeta: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/plan.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs Cargo.toml
 
 crates/datatype/src/lib.rs:
 crates/datatype/src/cache.rs:
 crates/datatype/src/dataloop.rs:
 crates/datatype/src/flat.rs:
+crates/datatype/src/plan.rs:
 crates/datatype/src/prim.rs:
 crates/datatype/src/segment.rs:
 crates/datatype/src/typ.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_equivalence-5744a308bb882417.d: tests/plan_equivalence.rs
+
+/root/repo/target/debug/deps/plan_equivalence-5744a308bb882417: tests/plan_equivalence.rs
+
+tests/plan_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_equivalence-7444d892803a2b3e.d: tests/plan_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_equivalence-7444d892803a2b3e.rmeta: tests/plan_equivalence.rs Cargo.toml
+
+tests/plan_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-60256437030d6a8c.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-60256437030d6a8c: tests/chaos.rs
+
+tests/chaos.rs:

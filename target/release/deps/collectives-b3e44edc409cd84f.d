@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collectives-b3e44edc409cd84f.d: crates/mpicore/tests/collectives.rs
+
+/root/repo/target/release/deps/collectives-b3e44edc409cd84f: crates/mpicore/tests/collectives.rs
+
+crates/mpicore/tests/collectives.rs:

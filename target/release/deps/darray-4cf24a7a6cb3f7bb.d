@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/darray-4cf24a7a6cb3f7bb.d: crates/datatype/tests/darray.rs
+
+/root/repo/target/release/deps/darray-4cf24a7a6cb3f7bb: crates/datatype/tests/darray.rs
+
+crates/datatype/tests/darray.rs:

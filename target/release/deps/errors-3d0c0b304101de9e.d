@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/errors-3d0c0b304101de9e.d: crates/mpicore/tests/errors.rs
+
+/root/repo/target/release/deps/errors-3d0c0b304101de9e: crates/mpicore/tests/errors.rs
+
+crates/mpicore/tests/errors.rs:

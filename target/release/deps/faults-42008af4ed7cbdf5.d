@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/faults-42008af4ed7cbdf5.d: crates/ibsim/tests/faults.rs
+
+/root/repo/target/release/deps/faults-42008af4ed7cbdf5: crates/ibsim/tests/faults.rs
+
+crates/ibsim/tests/faults.rs:

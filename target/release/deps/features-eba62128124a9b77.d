@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/features-eba62128124a9b77.d: crates/mpicore/tests/features.rs
+
+/root/repo/target/release/deps/features-eba62128124a9b77: crates/mpicore/tests/features.rs
+
+crates/mpicore/tests/features.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-f84baef15a248322.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-f84baef15a248322: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures_smoke-c532e9e57de5f98a.d: crates/bench/tests/figures_smoke.rs
+
+/root/repo/target/release/deps/figures_smoke-c532e9e57de5f98a: crates/bench/tests/figures_smoke.rs
+
+crates/bench/tests/figures_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotpath-48a6332c2003203b.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/release/deps/hotpath-48a6332c2003203b: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

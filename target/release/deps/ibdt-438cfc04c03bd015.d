@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ibdt-438cfc04c03bd015.d: src/lib.rs
+
+/root/repo/target/release/deps/ibdt-438cfc04c03bd015: src/lib.rs
+
+src/lib.rs:

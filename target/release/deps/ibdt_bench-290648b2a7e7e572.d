@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ibdt_bench-290648b2a7e7e572.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/ibdt_bench-290648b2a7e7e572: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/table.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/ibdt_datatype-aa5456c35739d4e8.d: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
+/root/repo/target/release/deps/ibdt_datatype-aa5456c35739d4e8.d: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/plan.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
 
-/root/repo/target/release/deps/libibdt_datatype-aa5456c35739d4e8.rlib: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
+/root/repo/target/release/deps/libibdt_datatype-aa5456c35739d4e8.rlib: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/plan.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
 
-/root/repo/target/release/deps/libibdt_datatype-aa5456c35739d4e8.rmeta: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
+/root/repo/target/release/deps/libibdt_datatype-aa5456c35739d4e8.rmeta: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/plan.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
 
 crates/datatype/src/lib.rs:
 crates/datatype/src/cache.rs:
 crates/datatype/src/dataloop.rs:
 crates/datatype/src/flat.rs:
+crates/datatype/src/plan.rs:
 crates/datatype/src/prim.rs:
 crates/datatype/src/segment.rs:
 crates/datatype/src/typ.rs:

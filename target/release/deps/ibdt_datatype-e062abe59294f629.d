@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ibdt_datatype-e062abe59294f629.d: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/plan.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
+
+/root/repo/target/release/deps/ibdt_datatype-e062abe59294f629: crates/datatype/src/lib.rs crates/datatype/src/cache.rs crates/datatype/src/dataloop.rs crates/datatype/src/flat.rs crates/datatype/src/plan.rs crates/datatype/src/prim.rs crates/datatype/src/segment.rs crates/datatype/src/typ.rs
+
+crates/datatype/src/lib.rs:
+crates/datatype/src/cache.rs:
+crates/datatype/src/dataloop.rs:
+crates/datatype/src/flat.rs:
+crates/datatype/src/plan.rs:
+crates/datatype/src/prim.rs:
+crates/datatype/src/segment.rs:
+crates/datatype/src/typ.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ibdt_memreg-31226ff7ea0a85c6.d: crates/memreg/src/lib.rs crates/memreg/src/addr.rs crates/memreg/src/cache.rs crates/memreg/src/cost.rs crates/memreg/src/error.rs crates/memreg/src/ogr.rs crates/memreg/src/table.rs
+
+/root/repo/target/release/deps/ibdt_memreg-31226ff7ea0a85c6: crates/memreg/src/lib.rs crates/memreg/src/addr.rs crates/memreg/src/cache.rs crates/memreg/src/cost.rs crates/memreg/src/error.rs crates/memreg/src/ogr.rs crates/memreg/src/table.rs
+
+crates/memreg/src/lib.rs:
+crates/memreg/src/addr.rs:
+crates/memreg/src/cache.rs:
+crates/memreg/src/cost.rs:
+crates/memreg/src/error.rs:
+crates/memreg/src/ogr.rs:
+crates/memreg/src/table.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ibdt_mpicore-69d5bdb091a5fe80.d: crates/mpicore/src/lib.rs crates/mpicore/src/cluster.rs crates/mpicore/src/coll.rs crates/mpicore/src/config.rs crates/mpicore/src/error.rs crates/mpicore/src/msg.rs crates/mpicore/src/plan.rs crates/mpicore/src/pool.rs crates/mpicore/src/progress.rs crates/mpicore/src/rank.rs crates/mpicore/src/rma.rs crates/mpicore/src/stats.rs
+
+/root/repo/target/release/deps/ibdt_mpicore-69d5bdb091a5fe80: crates/mpicore/src/lib.rs crates/mpicore/src/cluster.rs crates/mpicore/src/coll.rs crates/mpicore/src/config.rs crates/mpicore/src/error.rs crates/mpicore/src/msg.rs crates/mpicore/src/plan.rs crates/mpicore/src/pool.rs crates/mpicore/src/progress.rs crates/mpicore/src/rank.rs crates/mpicore/src/rma.rs crates/mpicore/src/stats.rs
+
+crates/mpicore/src/lib.rs:
+crates/mpicore/src/cluster.rs:
+crates/mpicore/src/coll.rs:
+crates/mpicore/src/config.rs:
+crates/mpicore/src/error.rs:
+crates/mpicore/src/msg.rs:
+crates/mpicore/src/plan.rs:
+crates/mpicore/src/pool.rs:
+crates/mpicore/src/progress.rs:
+crates/mpicore/src/rank.rs:
+crates/mpicore/src/rma.rs:
+crates/mpicore/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ibdt_simcore-1e1d6c0d06c8c604.d: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/queue.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+/root/repo/target/release/deps/ibdt_simcore-1e1d6c0d06c8c604: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/queue.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/trace.rs:

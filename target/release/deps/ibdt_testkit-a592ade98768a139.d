@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ibdt_testkit-a592ade98768a139.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/ibdt_testkit-a592ade98768a139: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ibdt_workloads-3094efb4b67ffdd3.d: crates/workloads/src/lib.rs crates/workloads/src/drivers.rs crates/workloads/src/structdt.rs crates/workloads/src/sweep.rs crates/workloads/src/vector.rs
+
+/root/repo/target/release/deps/ibdt_workloads-3094efb4b67ffdd3: crates/workloads/src/lib.rs crates/workloads/src/drivers.rs crates/workloads/src/structdt.rs crates/workloads/src/sweep.rs crates/workloads/src/vector.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/drivers.rs:
+crates/workloads/src/structdt.rs:
+crates/workloads/src/sweep.rs:
+crates/workloads/src/vector.rs:

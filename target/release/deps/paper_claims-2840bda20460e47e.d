@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-2840bda20460e47e.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-2840bda20460e47e: tests/paper_claims.rs
+
+tests/paper_claims.rs:

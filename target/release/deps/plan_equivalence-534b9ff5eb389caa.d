@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plan_equivalence-534b9ff5eb389caa.d: tests/plan_equivalence.rs
+
+/root/repo/target/release/deps/plan_equivalence-534b9ff5eb389caa: tests/plan_equivalence.rs
+
+tests/plan_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-1a2368dd5370799a.d: crates/memreg/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-1a2368dd5370799a: crates/memreg/tests/proptests.rs
+
+crates/memreg/tests/proptests.rs:

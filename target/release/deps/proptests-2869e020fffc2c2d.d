@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-2869e020fffc2c2d.d: crates/ibsim/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-2869e020fffc2c2d: crates/ibsim/tests/proptests.rs
+
+crates/ibsim/tests/proptests.rs:

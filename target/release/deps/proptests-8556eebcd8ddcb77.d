@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-8556eebcd8ddcb77.d: crates/simcore/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-8556eebcd8ddcb77: crates/simcore/tests/proptests.rs
+
+crates/simcore/tests/proptests.rs:

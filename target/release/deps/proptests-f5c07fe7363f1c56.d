@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f5c07fe7363f1c56.d: crates/datatype/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f5c07fe7363f1c56: crates/datatype/tests/proptests.rs
+
+crates/datatype/tests/proptests.rs:

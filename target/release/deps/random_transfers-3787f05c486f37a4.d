@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/random_transfers-3787f05c486f37a4.d: tests/random_transfers.rs
+
+/root/repo/target/release/deps/random_transfers-3787f05c486f37a4: tests/random_transfers.rs
+
+tests/random_transfers.rs:

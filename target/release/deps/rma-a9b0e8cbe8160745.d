@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rma-a9b0e8cbe8160745.d: crates/mpicore/tests/rma.rs
+
+/root/repo/target/release/deps/rma-a9b0e8cbe8160745: crates/mpicore/tests/rma.rs
+
+crates/mpicore/tests/rma.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/schemes-8b3e2fc771986c6e.d: crates/mpicore/tests/schemes.rs
+
+/root/repo/target/release/deps/schemes-8b3e2fc771986c6e: crates/mpicore/tests/schemes.rs
+
+crates/mpicore/tests/schemes.rs:

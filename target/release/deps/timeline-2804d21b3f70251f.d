@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timeline-2804d21b3f70251f.d: crates/bench/src/bin/timeline.rs
+
+/root/repo/target/release/deps/timeline-2804d21b3f70251f: crates/bench/src/bin/timeline.rs
+
+crates/bench/src/bin/timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/verbs-432ebfd14d9b46a1.d: crates/ibsim/tests/verbs.rs
+
+/root/repo/target/release/deps/verbs-432ebfd14d9b46a1: crates/ibsim/tests/verbs.rs
+
+crates/ibsim/tests/verbs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/block_cyclic_gather-1c37f1241af067c7.d: examples/block_cyclic_gather.rs
+
+/root/repo/target/release/examples/block_cyclic_gather-1c37f1241af067c7: examples/block_cyclic_gather.rs
+
+examples/block_cyclic_gather.rs:

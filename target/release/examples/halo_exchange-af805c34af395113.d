@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/halo_exchange-af805c34af395113.d: examples/halo_exchange.rs
+
+/root/repo/target/release/examples/halo_exchange-af805c34af395113: examples/halo_exchange.rs
+
+examples/halo_exchange.rs:

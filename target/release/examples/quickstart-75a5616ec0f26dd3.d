@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-75a5616ec0f26dd3.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-75a5616ec0f26dd3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scheme_advisor-d2cef79075db3f83.d: examples/scheme_advisor.rs
+
+/root/repo/target/release/examples/scheme_advisor-d2cef79075db3f83: examples/scheme_advisor.rs
+
+examples/scheme_advisor.rs:

@@ -1,0 +1,226 @@
+//! Transfer-plan cache equivalence: the compiled-plan cache and the
+//! scratch pools are host-side optimizations only. Toggling the cache
+//! (or shrinking it until it thrashes) must change NOTHING observable
+//! in the simulation — byte-exact delivery, identical virtual clock,
+//! identical protocol counters and wire traffic — with and without
+//! injected transport faults.
+
+use ibdt::datatype::Datatype;
+use ibdt::mpicore::{AppOp, Cluster, ClusterSpec, FaultPlan, RunStats, Scheme};
+use ibdt_testkit::{cases, Rng};
+
+fn random_type(rng: &mut Rng) -> Datatype {
+    let byte = Datatype::byte();
+    match rng.range_u64(0, 4) {
+        0 => {
+            let blocklen = rng.range_u64(1, 500);
+            let stride = blocklen + rng.range_u64(0, 500);
+            Datatype::hvector(rng.range_u64(1, 120), blocklen, stride as i64, &byte).unwrap()
+        }
+        1 => {
+            let n = rng.range_usize(1, 20);
+            let mut displ = 0i64;
+            let mut entries = Vec::new();
+            for _ in 0..n {
+                let len = rng.range_u64(1, 400);
+                entries.push((len, displ));
+                displ += (len + rng.range_u64(0, 600)) as i64;
+            }
+            Datatype::hindexed(&entries, &byte).unwrap()
+        }
+        2 => {
+            // Nested: vector of vectors, the paper's matrix-column shape.
+            let inner =
+                Datatype::hvector(rng.range_u64(1, 8), rng.range_u64(1, 64), 96, &byte).unwrap();
+            Datatype::contiguous(rng.range_u64(1, 16), &inner).unwrap()
+        }
+        _ => Datatype::contiguous(rng.range_u64(1, 60_000), &byte).unwrap(),
+    }
+}
+
+fn scheme_of(i: u8) -> Scheme {
+    match i % 7 {
+        0 => Scheme::Generic,
+        1 => Scheme::BcSpup,
+        2 => Scheme::RwgUp,
+        3 => Scheme::PRrs,
+        4 => Scheme::MultiW,
+        5 => Scheme::Hybrid,
+        _ => Scheme::Adaptive,
+    }
+}
+
+/// `nmsgs` back-to-back send/recv pairs of the same datatype under
+/// `spec`; returns stats plus both memory windows.
+fn run_pairs(
+    spec: ClusterSpec,
+    ty: &Datatype,
+    count: u64,
+    nmsgs: u32,
+    seed: u64,
+) -> (RunStats, Vec<u8>, Vec<u8>) {
+    let mut cluster = Cluster::new(spec);
+    let span = ((count - 1) as i64 * ty.extent() + ty.true_ub()).max(8) as u64 + 64;
+    let sbuf = cluster.alloc(0, span, 4096);
+    let rbuf = cluster.alloc(1, span, 4096);
+    cluster.fill_pattern(0, sbuf, span, seed);
+    cluster.fill_pattern(1, rbuf, span, seed ^ 0xFFFF);
+    let mut p0 = Vec::new();
+    let mut p1 = Vec::new();
+    for tag in 0..nmsgs {
+        p0.push(AppOp::Isend { peer: 1, buf: sbuf, count, ty: ty.clone(), tag });
+        p0.push(AppOp::WaitAll);
+        p1.push(AppOp::Irecv { peer: 0, buf: rbuf, count, ty: ty.clone(), tag });
+        p1.push(AppOp::WaitAll);
+    }
+    let stats = cluster.run(vec![p0, p1]);
+    let src = cluster.read_mem(0, sbuf, span);
+    let dst = cluster.read_mem(1, rbuf, span);
+    (stats, src, dst)
+}
+
+fn assert_delivered(ty: &Datatype, count: u64, src: &[u8], dst: &[u8], what: &str) {
+    for (off, len) in ty.flat().repeat(count) {
+        let o = off as usize;
+        assert_eq!(
+            &dst[o..o + len as usize],
+            &src[o..o + len as usize],
+            "{what}: corrupted block at offset {off}"
+        );
+    }
+}
+
+fn assert_same_observables(a: &RunStats, b: &RunStats, what: &str) {
+    assert_eq!(a.finish_ns, b.finish_ns, "{what}: virtual clock diverged");
+    assert_eq!(a.rank_finish_ns, b.rank_finish_ns, "{what}: per-rank clocks diverged");
+    assert_eq!(a.counters, b.counters, "{what}: protocol counters diverged");
+    assert_eq!(a.cpu_busy_ns, b.cpu_busy_ns, "{what}: CPU busy time diverged");
+    assert_eq!(a.wqes, b.wqes, "{what}: WQE count diverged");
+    assert_eq!(a.bytes_on_wire, b.bytes_on_wire, "{what}: wire bytes diverged");
+    assert_eq!(a.reg_ops, b.reg_ops, "{what}: registration ops diverged");
+    assert_eq!(a.pindown, b.pindown, "{what}: pin-down cache behavior diverged");
+    assert_eq!(a.retransmits, b.retransmits, "{what}: retransmits diverged");
+    assert_eq!(a.drops_injected, b.drops_injected, "{what}: fault injection diverged");
+    assert_eq!(a.corruptions_injected, b.corruptions_injected, "{what}: corruption diverged");
+    assert_eq!(
+        a.errors.iter().map(Vec::len).collect::<Vec<_>>(),
+        b.errors.iter().map(Vec::len).collect::<Vec<_>>(),
+        "{what}: error counts diverged"
+    );
+}
+
+/// Random datatype × scheme × message schedule: byte delivery and every
+/// virtual-clock observable must be identical with the plan cache on,
+/// off, and thrashing (capacity 1).
+#[test]
+fn plan_cache_toggle_is_observationally_equivalent() {
+    cases(0x914A_0001, 18, |rng| {
+        let ty = random_type(rng);
+        let scheme = scheme_of(rng.next_u64() as u8);
+        let count = rng.range_u64(1, 3);
+        if ty.size() == 0 || ty.size() * count >= 2 << 20 {
+            return;
+        }
+        let nmsgs = rng.range_u64(1, 4) as u32;
+        let pattern_seed = rng.next_u64();
+        let spec = |cache: bool, entries: usize| {
+            let mut s = ClusterSpec::default();
+            s.mpi.scheme = scheme;
+            s.mpi.plan_cache = cache;
+            s.mpi.plan_cache_entries = entries;
+            s
+        };
+        let (on, src_on, dst_on) = run_pairs(spec(true, 64), &ty, count, nmsgs, pattern_seed);
+        let (off, _, dst_off) = run_pairs(spec(false, 64), &ty, count, nmsgs, pattern_seed);
+        let (tiny, _, dst_tiny) = run_pairs(spec(true, 1), &ty, count, nmsgs, pattern_seed);
+        assert_eq!(on.total_errors(), 0, "clean run must not error: {:?}", on.errors);
+        assert_delivered(&ty, count, &src_on, &dst_on, "cache-on delivery");
+        assert_eq!(dst_on, dst_off, "cache off changed delivered bytes");
+        assert_eq!(dst_on, dst_tiny, "thrashing cache changed delivered bytes");
+        assert_same_observables(&on, &off, "on vs off");
+        assert_same_observables(&on, &tiny, "on vs capacity-1");
+        // Only the host-side cache statistics may differ: disabled
+        // lookups are all misses and never hit.
+        let (hits_off, misses_off): (u64, u64) =
+            off.plan_cache.iter().fold((0, 0), |(h, m), &(a, b, _)| (h + a, m + b));
+        assert_eq!(hits_off, 0, "disabled cache cannot hit");
+        assert!(misses_off > 0, "sends must have consulted the plan path");
+    });
+}
+
+/// The same equivalence must hold while the transport is dropping,
+/// corrupting, and delaying packets: retransmission schedules are
+/// derived from the virtual clock, so a host-only cache cannot move
+/// them.
+#[test]
+fn plan_cache_equivalence_under_fault_injection() {
+    cases(0x914A_0002, 12, |rng| {
+        let ty = random_type(rng);
+        let scheme = scheme_of(rng.next_u64() as u8);
+        let count = rng.range_u64(1, 3);
+        if ty.size() == 0 || ty.size() * count >= 2 << 20 {
+            return;
+        }
+        let pattern_seed = rng.next_u64();
+        let faults = FaultPlan {
+            seed: rng.next_u64(),
+            drop_rate: rng.range_u64(0, 16) as f64 / 100.0,
+            corrupt_rate: rng.range_u64(0, 16) as f64 / 100.0,
+            delay_rate: rng.range_u64(0, 30) as f64 / 100.0,
+            max_delay_ns: 30_000,
+            stall_rate: rng.range_u64(0, 10) as f64 / 100.0,
+            stall_ns: 5_000,
+        };
+        let spec = |cache: bool| {
+            let mut s = ClusterSpec::default();
+            s.mpi.scheme = scheme;
+            s.mpi.plan_cache = cache;
+            s.faults = faults.clone();
+            s
+        };
+        let (on, src_on, dst_on) = run_pairs(spec(true), &ty, count, 2, pattern_seed);
+        let (off, _, dst_off) = run_pairs(spec(false), &ty, count, 2, pattern_seed);
+        assert_eq!(on.total_errors(), 0, "recoverable rates must not error: {:?}", on.errors);
+        assert_delivered(&ty, count, &src_on, &dst_on, "faulty cache-on delivery");
+        assert_eq!(dst_on, dst_off, "cache toggle changed bytes under faults");
+        assert_same_observables(&on, &off, "faulty on vs off");
+        assert!(
+            on.retransmits == off.retransmits && on.delays_injected == off.delays_injected,
+            "fault schedule must be untouched by a host-side cache"
+        );
+    });
+}
+
+/// Repeated sends of one datatype hit the plan cache and reuse scratch
+/// buffers; the counters must show it (this pins the optimization ON,
+/// not just its equivalence).
+#[test]
+fn repeated_sends_hit_plan_cache_and_scratch_pool() {
+    let ty = Datatype::hvector(64, 256, 512, &Datatype::byte()).unwrap();
+    for scheme in [
+        Scheme::Generic,
+        Scheme::BcSpup,
+        Scheme::RwgUp,
+        Scheme::PRrs,
+        Scheme::MultiW,
+        Scheme::Hybrid,
+    ] {
+        let mut spec = ClusterSpec::default();
+        spec.mpi.scheme = scheme;
+        let (stats, src, dst) = run_pairs(spec, &ty, 4, 6, 11);
+        assert_eq!(stats.total_errors(), 0, "{scheme:?}: {:?}", stats.errors);
+        assert_delivered(&ty, 4, &src, &dst, "repeated-send delivery");
+        let hits: u64 = stats.plan_cache.iter().map(|&(h, _, _)| h).sum();
+        let misses: u64 = stats.plan_cache.iter().map(|&(_, m, _)| m).sum();
+        assert!(hits > 0, "{scheme:?}: repeated sends never hit the plan cache");
+        assert!(misses >= 1, "{scheme:?}: first lookup must miss");
+        assert!(
+            hits > misses,
+            "{scheme:?}: steady state should be hit-dominated (hits {hits}, misses {misses})"
+        );
+        let reuses: u64 = stats.scratch_pool.iter().map(|&(r, _)| r).sum();
+        if matches!(scheme, Scheme::Generic | Scheme::BcSpup | Scheme::PRrs) {
+            assert!(reuses > 0, "{scheme:?}: pack staging never reused scratch buffers");
+        }
+    }
+}
