@@ -1,7 +1,19 @@
 #!/usr/bin/env bash
 # Local CI: exactly the checks .github/workflows/ci.yml runs.
+#
+# `./ci.sh --chaos` additionally replays the chaos suites under a
+# fixed seed matrix (the `chaos` job in CI); a failure prints the
+# IBDT_CHAOS_SEED value that reproduces it.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+CHAOS=0
+for arg in "$@"; do
+  case "$arg" in
+    --chaos) CHAOS=1 ;;
+    *) echo "unknown argument: $arg (supported: --chaos)" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -23,5 +35,15 @@ for name, v in d.items():
 print(f"BENCH_hotpath.json OK ({len(d)} entries, "
       f"repeated-send speedup {d['repeated_send/speedup']['ns_per_op']:.2f}x)")
 EOF
+
+if [[ "$CHAOS" == 1 ]]; then
+  # Same matrix as the `chaos` CI job: each seed re-derives every
+  # fault plan in the chaos suites, so four seeds exercise four
+  # disjoint fault schedules per test.
+  for seed in 0x1 0xBEEF 0xC4A0 0xFEED; do
+    echo "==> chaos matrix: IBDT_CHAOS_SEED=$seed"
+    IBDT_CHAOS_SEED=$seed cargo test -q --test chaos --test chaos_coll
+  done
+fi
 
 echo "CI OK"

@@ -53,7 +53,8 @@ fn bench_pack() {
         let buf = vec![0xA5u8; ty.true_ub() as usize + 64];
         let mut out = vec![0u8; n as usize];
         bench(&format!("segment_pack/vector_cols/{cols}"), Some(n), || {
-            seg.pack(0, n, black_box(&buf), 0, black_box(&mut out)).unwrap();
+            seg.pack(0, n, black_box(&buf), 0, black_box(&mut out))
+                .unwrap();
         });
     }
 }
@@ -65,9 +66,14 @@ fn bench_unpack() {
         let n = seg.total_bytes();
         let mut buf = vec![0u8; ty.true_ub() as usize + 64];
         let stream = vec![0x5Au8; n as usize];
-        bench(&format!("segment_unpack/vector_cols/{cols}"), Some(n), || {
-            seg.unpack(0, n, black_box(&stream), black_box(&mut buf), 0).unwrap();
-        });
+        bench(
+            &format!("segment_unpack/vector_cols/{cols}"),
+            Some(n),
+            || {
+                seg.unpack(0, n, black_box(&stream), black_box(&mut buf), 0)
+                    .unwrap();
+            },
+        );
     }
 }
 

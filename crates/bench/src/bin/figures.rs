@@ -7,8 +7,11 @@
 //!
 //! With `--csv DIR`, each table is also written as `DIR/<name>.csv`.
 
-use ibdt_bench::{all_figures, fig11, fig12, fig13, fig14, fig2, fig8, fig9, x1, x2, x3, x4, x5, x6, x7, x8, x9};
 use ibdt_bench::Table;
+use ibdt_bench::{
+    all_figures, fig11, fig12, fig13, fig14, fig2, fig8, fig9, x1, x10, x2, x3, x4, x5, x6, x7, x8,
+    x9,
+};
 use std::io::Write as _;
 
 fn emit(tables: Vec<(String, Table)>, csv_dir: Option<&str>) {
@@ -66,10 +69,11 @@ fn main() {
             "x7" => tables.push(("x7".into(), x7())),
             "x8" => tables.push(("x8".into(), x8())),
             "x9" => tables.push(("x9".into(), x9())),
+            "x10" => tables.push(("x10".into(), x10())),
             "all" => {
                 let names = [
-                    "fig2", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "x1a", "x1b",
-                    "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9",
+                    "fig2", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "x1a", "x1b", "x2",
+                    "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10",
                 ];
                 for (n, t) in names.iter().zip(all_figures()) {
                     tables.push(((*n).into(), t));
@@ -78,7 +82,7 @@ fn main() {
             other => {
                 eprintln!("unknown figure '{other}'");
                 eprintln!(
-                    "usage: figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1..x9|all] [--csv DIR]"
+                    "usage: figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1..x10|all] [--csv DIR]"
                 );
                 std::process::exit(2);
             }

@@ -22,7 +22,9 @@ struct Report {
 
 impl Report {
     fn new() -> Self {
-        Self { entries: Vec::new() }
+        Self {
+            entries: Vec::new(),
+        }
     }
 
     /// Times `f` adaptively and records + prints the result.
@@ -41,10 +43,7 @@ impl Report {
                 let per = dt.as_nanos() as f64 / iters as f64;
                 let bps = bytes.map_or(0.0, |b| b as f64 / per * 1e9);
                 match bytes {
-                    Some(_) => println!(
-                        "{name:<52} {per:>12.0} ns/op  {:>9.1} MB/s",
-                        bps / 1e6
-                    ),
+                    Some(_) => println!("{name:<52} {per:>12.0} ns/op  {:>9.1} MB/s", bps / 1e6),
                     None => println!("{name:<52} {per:>12.0} ns/op"),
                 }
                 self.entries.push((name.to_string(), per, bps));
@@ -60,7 +59,11 @@ impl Report {
             s.push_str(&format!(
                 "  \"{name}\": {{ \"ns_per_op\": {per:.1}, \"bytes_per_sec\": {bps:.1} }}"
             ));
-            s.push_str(if i + 1 == self.entries.len() { "\n" } else { ",\n" });
+            s.push_str(if i + 1 == self.entries.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
         }
         s.push_str("}\n");
         s
@@ -90,15 +93,18 @@ fn bench_pack(r: &mut Report) {
         let buf = vec![0xA5u8; ty.true_ub() as usize + 64];
         let mut out = vec![0u8; n as usize];
         r.bench(&format!("pack/segment/vector_cols/{cols}"), Some(n), || {
-            seg.pack(0, n, black_box(&buf), 0, black_box(&mut out)).unwrap();
+            seg.pack(0, n, black_box(&buf), 0, black_box(&mut out))
+                .unwrap();
         });
         r.bench(&format!("pack/plan/vector_cols/{cols}"), Some(n), || {
-            plan.pack(0, n, black_box(&buf), 0, black_box(&mut out)).unwrap();
+            plan.pack(0, n, black_box(&buf), 0, black_box(&mut out))
+                .unwrap();
         });
         let stream = vec![0x5Au8; n as usize];
         let mut user = vec![0u8; ty.true_ub() as usize + 64];
         r.bench(&format!("unpack/plan/vector_cols/{cols}"), Some(n), || {
-            plan.unpack(0, n, black_box(&stream), black_box(&mut user), 0).unwrap();
+            plan.unpack(0, n, black_box(&stream), black_box(&mut user), 0)
+                .unwrap();
         });
     }
 }
@@ -127,25 +133,33 @@ fn bench_repeated_send(r: &mut Report) -> (f64, f64) {
     let ety = vector_ty(2);
     let n = ety.size();
     let ebuf = vec![0x3Cu8; ety.true_ub() as usize + 64];
-    let old_pack = r.bench(&format!("repeated_send/pack_eager/old/bytes/{n}"), Some(n), || {
-        let seg = Segment::new(black_box(&ety), 1);
-        let mut staging = vec![0u8; n as usize];
-        seg.pack(0, n, &ebuf, 0, &mut staging).unwrap();
-        // Copy-cost accounting walked every block again.
-        black_box(seg.block_count_in(0, n).unwrap());
-        black_box(staging);
-    });
+    let old_pack = r.bench(
+        &format!("repeated_send/pack_eager/old/bytes/{n}"),
+        Some(n),
+        || {
+            let seg = Segment::new(black_box(&ety), 1);
+            let mut staging = vec![0u8; n as usize];
+            seg.pack(0, n, &ebuf, 0, &mut staging).unwrap();
+            // Copy-cost accounting walked every block again.
+            black_box(seg.block_count_in(0, n).unwrap());
+            black_box(staging);
+        },
+    );
     let mut registry = TypeRegistry::new();
     let mut cache = PlanCache::new(true, 64);
     let mut scratch = ScratchPool::new();
-    let new_pack = r.bench(&format!("repeated_send/pack_eager/new/bytes/{n}"), Some(n), || {
-        let plan = cache.lookup(&mut registry, black_box(&ety), 1);
-        let mut staging = scratch.take_bytes(n as usize);
-        plan.pack(0, n, &ebuf, 0, &mut staging).unwrap();
-        // O(log blocks) via the prefix-sum index.
-        black_box(plan.block_count_in(0, n).unwrap());
-        scratch.put_bytes(staging);
-    });
+    let new_pack = r.bench(
+        &format!("repeated_send/pack_eager/new/bytes/{n}"),
+        Some(n),
+        || {
+            let plan = cache.lookup(&mut registry, black_box(&ety), 1);
+            let mut staging = scratch.take_bytes(n as usize);
+            plan.pack(0, n, &ebuf, 0, &mut staging).unwrap();
+            // O(log blocks) via the prefix-sum index.
+            black_box(plan.block_count_in(0, n).unwrap());
+            scratch.put_bytes(staging);
+        },
+    );
 
     // SGE/descriptor build: vector(128, 64, 4096) × 4 = 512 blocks.
     let sty = vector_ty(64);
@@ -169,7 +183,10 @@ fn bench_repeated_send(r: &mut Report) -> (f64, f64) {
         black_box(black_box(&splan).stats());
         let mut blocks = scratch.take_blocks();
         blocks.extend(
-            black_box(&splan).blocks().iter().map(|&(o, l)| ((base as i64 + o) as u64, l)),
+            black_box(&splan)
+                .blocks()
+                .iter()
+                .map(|&(o, l)| ((base as i64 + o) as u64, l)),
         );
         let chunks = chunk_gather(&blocks, max_sge);
         scratch.put_blocks(blocks);
@@ -201,9 +218,21 @@ fn bench_sweep(r: &mut Report) {
                 let mut p0 = Vec::new();
                 let mut p1 = Vec::new();
                 for tag in 0..4 {
-                    p0.push(AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag });
+                    p0.push(AppOp::Isend {
+                        peer: 1,
+                        buf: sbuf,
+                        count: 1,
+                        ty: ty.clone(),
+                        tag,
+                    });
                     p0.push(AppOp::WaitAll);
-                    p1.push(AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag });
+                    p1.push(AppOp::Irecv {
+                        peer: 0,
+                        buf: rbuf,
+                        count: 1,
+                        ty: ty.clone(),
+                        tag,
+                    });
                     p1.push(AppOp::WaitAll);
                 }
                 black_box(cluster.run(vec![p0, p1]));
@@ -220,7 +249,8 @@ fn main() {
     bench_sweep(&mut r);
     let speedup = old / new;
     println!("\nrepeated_send speedup (old/new): {speedup:.2}x");
-    r.entries.push(("repeated_send/speedup".into(), speedup, 0.0));
+    r.entries
+        .push(("repeated_send/speedup".into(), speedup, 0.0));
     std::fs::write("BENCH_hotpath.json", r.to_json()).expect("write BENCH_hotpath.json");
     println!("wrote BENCH_hotpath.json ({} entries)", r.entries.len());
 }

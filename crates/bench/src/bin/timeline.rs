@@ -19,7 +19,9 @@ fn lane(trace: &Trace, t0: u64, t1: u64, classify: fn(&str) -> Option<char>) -> 
     let mut row = vec![' '; WIDTH];
     let span = (t1 - t0).max(1) as f64;
     for s in trace.spans() {
-        let Some(ch) = classify(s.label) else { continue };
+        let Some(ch) = classify(s.label) else {
+            continue;
+        };
         if s.end <= t0 || s.start >= t1 {
             continue;
         }
@@ -78,11 +80,23 @@ fn main() {
         let rbuf = cluster.alloc(1, span, 4096);
         cluster.fill_pattern(0, sbuf, span, 1);
         let p0 = vec![
-            AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 },
+            AppOp::Isend {
+                peer: 1,
+                buf: sbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            },
             AppOp::WaitAll,
         ];
         let p1 = vec![
-            AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 },
+            AppOp::Irecv {
+                peer: 0,
+                buf: rbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            },
             AppOp::WaitAll,
         ];
         let stats = cluster.run(vec![p0, p1]);

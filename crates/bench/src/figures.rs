@@ -9,10 +9,10 @@
 use crate::table::Table;
 use ibdt_datatype::Datatype;
 use ibdt_memreg::ogr;
-use ibdt_mpicore::{ClusterSpec, FaultPlan, Scheme};
+use ibdt_mpicore::{ClusterSpec, FaultPlan, LinkFault, Scheme};
 use ibdt_workloads::drivers::{
     alltoall_time, bandwidth, pingpong, pingpong_asym, pingpong_contig, pingpong_manual,
-    pingpong_multiple,
+    pingpong_multiple, PingPongResult,
 };
 use ibdt_workloads::structdt::struct_datatype;
 use ibdt_workloads::sweep::run_sweep;
@@ -90,7 +90,10 @@ pub fn fig2() -> Table {
         us(pingpong(&worst_spec(Scheme::Generic), &w.ty, 1, WARMUP, ITERS).one_way_ns)
     });
     for (i, &x) in xs.iter().enumerate() {
-        t.push(x, vec![contig[i], datatype[i], manual[i], multiple[i], dt_reg[i]]);
+        t.push(
+            x,
+            vec![contig[i], datatype[i], manual[i], multiple[i], dt_reg[i]],
+        );
     }
     t.notes.push(
         "expected shape: no scheme reaches 1/4 of Contig at mid sizes; Manual slightly \
@@ -108,10 +111,15 @@ pub fn fig8() -> Table {
         "us",
         &["Generic", "BC-SPUP", "RWG-UP", "Multi-W"],
     );
-    let series: Vec<Vec<f64>> = [Scheme::Generic, Scheme::BcSpup, Scheme::RwgUp, Scheme::MultiW]
-        .into_iter()
-        .map(|s| latency_series(spec(s), &COLUMNS))
-        .collect();
+    let series: Vec<Vec<f64>> = [
+        Scheme::Generic,
+        Scheme::BcSpup,
+        Scheme::RwgUp,
+        Scheme::MultiW,
+    ]
+    .into_iter()
+    .map(|s| latency_series(spec(s), &COLUMNS))
+    .collect();
     for (i, &x) in COLUMNS.iter().enumerate() {
         t.push(x, series.iter().map(|v| v[i]).collect());
     }
@@ -131,10 +139,15 @@ pub fn fig9() -> Table {
         "MB/s",
         &["Generic", "BC-SPUP", "RWG-UP", "Multi-W"],
     );
-    let series: Vec<Vec<f64>> = [Scheme::Generic, Scheme::BcSpup, Scheme::RwgUp, Scheme::MultiW]
-        .into_iter()
-        .map(|s| bandwidth_series(spec(s), &COLUMNS))
-        .collect();
+    let series: Vec<Vec<f64>> = [
+        Scheme::Generic,
+        Scheme::BcSpup,
+        Scheme::RwgUp,
+        Scheme::MultiW,
+    ]
+    .into_iter()
+    .map(|s| bandwidth_series(spec(s), &COLUMNS))
+    .collect();
     for (i, &x) in COLUMNS.iter().enumerate() {
         t.push(x, series.iter().map(|v| v[i]).collect());
     }
@@ -155,7 +168,12 @@ pub fn fig11() -> Table {
         &["Generic", "BC-SPUP", "RWG-UP", "Multi-W"],
     );
     let sizes: Vec<u64> = (0..7).map(|k| 2048u64 << k).collect(); // 2048..131072
-    let schemes = [Scheme::Generic, Scheme::BcSpup, Scheme::RwgUp, Scheme::MultiW];
+    let schemes = [
+        Scheme::Generic,
+        Scheme::BcSpup,
+        Scheme::RwgUp,
+        Scheme::MultiW,
+    ];
     // One sweep over the full (size, scheme) grid.
     let mut grid: Vec<(u64, Scheme)> = Vec::new();
     for &x in &sizes {
@@ -234,10 +252,15 @@ pub fn fig14() -> Table {
         "us",
         &["Generic", "BC-SPUP", "RWG-UP", "Multi-W"],
     );
-    let series: Vec<Vec<f64>> = [Scheme::Generic, Scheme::BcSpup, Scheme::RwgUp, Scheme::MultiW]
-        .into_iter()
-        .map(|s| latency_series(worst_spec(s), &COLUMNS))
-        .collect();
+    let series: Vec<Vec<f64>> = [
+        Scheme::Generic,
+        Scheme::BcSpup,
+        Scheme::RwgUp,
+        Scheme::MultiW,
+    ]
+    .into_iter()
+    .map(|s| latency_series(worst_spec(s), &COLUMNS))
+    .collect();
     for (i, &x) in COLUMNS.iter().enumerate() {
         t.push(x, series.iter().map(|v| v[i]).collect());
     }
@@ -471,8 +494,16 @@ pub fn x7() -> Table {
         let obuf = cluster.alloc(0, span, 4096);
         let wbuf = cluster.alloc(1, span, 4096);
         cluster.fill_pattern(0, obuf, span, 1);
-        let mut p0 = vec![AppOp::WinCreate { win: 0, addr: 0, len: 0 }];
-        let mut p1 = vec![AppOp::WinCreate { win: 0, addr: wbuf, len: span }];
+        let mut p0 = vec![AppOp::WinCreate {
+            win: 0,
+            addr: 0,
+            len: 0,
+        }];
+        let mut p1 = vec![AppOp::WinCreate {
+            win: 0,
+            addr: wbuf,
+            len: span,
+        }];
         // Warmup epoch + measured epochs.
         for it in 0..(WARMUP + ITERS) {
             if it == WARMUP {
@@ -515,7 +546,12 @@ pub fn x8() -> Table {
         "X8: Sensitivity of improvement factors to the cost model (2048 columns)",
         "copy_MBps",
         "factor vs Generic",
-        &["MultiW@870MBps", "BCSPUP@870MBps", "MultiW@600MBps", "BCSPUP@600MBps"],
+        &[
+            "MultiW@870MBps",
+            "BCSPUP@870MBps",
+            "MultiW@600MBps",
+            "BCSPUP@600MBps",
+        ],
     );
     let copies = [700u64, 950, 1200, 1600];
     let links = [870_000_000u64, 600_000_000];
@@ -620,6 +656,87 @@ pub fn x9() -> Table {
     t
 }
 
+/// X10 — connection-lifecycle ablation: one vector round-trip with a
+/// link failure injected mid-transfer, per scheme. Three latencies are
+/// compared — fault-free, APM path migration, and full QP
+/// re-establishment (APM disabled) — together with the recovery
+/// counters the connection manager exports, so the CSV shows which
+/// mechanism absorbed the failure and that no errors surfaced.
+pub fn x10() -> Table {
+    let mut t = Table::new(
+        "X10: Connection lifecycle — failover latency + recovery counters per scheme",
+        "scheme_idx",
+        "mixed",
+        &[
+            "clean_us",
+            "apm_us",
+            "reconnect_us",
+            "migrations",
+            "qp_reestablished",
+            "resumed_chunks",
+            "errors",
+        ],
+    );
+    let schemes = [
+        Scheme::Generic,
+        Scheme::BcSpup,
+        Scheme::RwgUp,
+        Scheme::PRrs,
+        Scheme::MultiW,
+        Scheme::Adaptive,
+    ];
+    let fault = LinkFault {
+        at_ns: 30_000,
+        node: 0,
+        port: 0,
+        down_ns: 5_000_000,
+    };
+    let idx: Vec<u64> = (0..schemes.len() as u64).collect();
+    let rows = run_sweep(idx.clone(), |&i| {
+        let w = VectorWorkload::new(256);
+        let one_way = |sp: &ClusterSpec| pingpong(sp, &w.ty, 1, 0, 1);
+
+        let clean = one_way(&spec(schemes[i as usize]));
+
+        let mut apm = spec(schemes[i as usize]);
+        apm.faults = FaultPlan {
+            seed: 0x0C10_0000 + i,
+            link_faults: vec![fault],
+            ..FaultPlan::none()
+        };
+        let apm_r = one_way(&apm);
+
+        let mut rec = apm.clone();
+        rec.net.apm_enabled = false;
+        let rec_r = one_way(&rec);
+
+        let sum = |r: &PingPongResult, f: fn(&ibdt_mpicore::rank::RankCounters) -> u64| -> f64 {
+            r.stats.counters.iter().map(f).sum::<u64>() as f64
+        };
+        vec![
+            us(clean.one_way_ns),
+            us(apm_r.one_way_ns),
+            us(rec_r.one_way_ns),
+            apm_r.stats.migrations as f64,
+            sum(&rec_r, |k| k.qp_reestablished),
+            sum(&rec_r, |k| k.resumed_chunks),
+            (clean.stats.total_errors() + apm_r.stats.total_errors() + rec_r.stats.total_errors())
+                as f64,
+        ]
+    });
+    for (&i, row) in idx.iter().zip(rows) {
+        t.push(i, row);
+    }
+    t.notes.push(
+        "schemes in row order: Generic, BC-SPUP, RWG-UP, P-RRS, Multi-W, Adaptive; \
+         errors must be 0 everywhere; apm_us <= reconnect_us at every row — path \
+         migration mostly hides inside pack/compute overlap, while re-establishment \
+         pays the reconnect delay plus the resume round-trip"
+            .into(),
+    );
+    t
+}
+
 /// Every figure, in paper order (extensions last).
 pub fn all_figures() -> Vec<Table> {
     let (x1a, x1b) = x1();
@@ -641,5 +758,6 @@ pub fn all_figures() -> Vec<Table> {
         x7(),
         x8(),
         x9(),
+        x10(),
     ]
 }

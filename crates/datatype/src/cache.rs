@@ -73,7 +73,10 @@ impl TypeRegistry {
                 version: 1,
             }));
             self.by_type.insert(ty.id(), idx);
-            TypeTag { index: idx, version: 1 }
+            TypeTag {
+                index: idx,
+                version: 1,
+            }
         }
     }
 
@@ -190,7 +193,10 @@ mod tests {
     fn layout_cache_hit_and_miss() {
         let mut c = LayoutCache::new();
         let t = Datatype::vector(2, 1, 2, &Datatype::int()).unwrap();
-        let tag = TypeTag { index: 0, version: 1 };
+        let tag = TypeTag {
+            index: 0,
+            version: 1,
+        };
         assert!(c.lookup(3, tag).is_none());
         c.insert(3, tag, t.flat().clone());
         assert!(c.lookup(3, tag).is_some());
@@ -203,9 +209,15 @@ mod tests {
     fn version_mismatch_evicts() {
         let mut c = LayoutCache::new();
         let t = Datatype::int();
-        let tag_v1 = TypeTag { index: 7, version: 1 };
+        let tag_v1 = TypeTag {
+            index: 7,
+            version: 1,
+        };
         c.insert(0, tag_v1, t.flat().clone());
-        let tag_v2 = TypeTag { index: 7, version: 2 };
+        let tag_v2 = TypeTag {
+            index: 7,
+            version: 2,
+        };
         assert!(c.lookup(0, tag_v2).is_none(), "stale version must miss");
         assert!(c.is_empty(), "stale entry evicted");
         // Even the old version now misses (entry gone).

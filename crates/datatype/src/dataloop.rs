@@ -101,9 +101,7 @@ impl Dataloop {
                 let entries = fields
                     .iter()
                     .filter(|(l, _, t)| l * t.size() > 0)
-                    .map(|(l, d, t)| {
-                        (*d, Self::strided(*l, t.extent(), Self::compile(t), t))
-                    })
+                    .map(|(l, d, t)| (*d, Self::strided(*l, t.extent(), Self::compile(t), t)))
                     .collect();
                 Self::seq(entries)
             }
@@ -377,11 +375,7 @@ mod tests {
 
     #[test]
     fn zero_size_fields_skipped() {
-        let t = Datatype::struct_(&[
-            (0, 0, Datatype::int()),
-            (1, 8, Datatype::int()),
-        ])
-        .unwrap();
+        let t = Datatype::struct_(&[(0, 0, Datatype::int()), (1, 8, Datatype::int())]).unwrap();
         let dl = Dataloop::compile(&t);
         assert_eq!(blocks_of(&dl, 0, 4), vec![(8, 4)]);
     }
@@ -399,10 +393,7 @@ mod tests {
     fn negative_stride_emit() {
         let t = Datatype::vector(3, 1, -2, &Datatype::int()).unwrap();
         let dl = Dataloop::compile(&t);
-        assert_eq!(
-            blocks_of(&dl, 0, 12),
-            vec![(0, 4), (-8, 4), (-16, 4)]
-        );
+        assert_eq!(blocks_of(&dl, 0, 12), vec![(0, 4), (-8, 4), (-16, 4)]);
     }
 
     #[test]

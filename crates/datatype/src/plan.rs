@@ -419,7 +419,8 @@ mod tests {
             let mut lo = 0usize;
             while lo < n {
                 let hi = (lo + chunk).min(n);
-                seg.pack(lo as u64, hi as u64, &buf, 0, &mut a[lo..hi]).unwrap();
+                seg.pack(lo as u64, hi as u64, &buf, 0, &mut a[lo..hi])
+                    .unwrap();
                 plan.pack(lo as u64, hi as u64, &buf, 0, &mut b[lo..hi])
                     .unwrap();
                 lo = hi;

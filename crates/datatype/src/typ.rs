@@ -66,9 +66,7 @@ pub(crate) enum TypeKind {
         child: Datatype,
     },
     /// Heterogeneous fields: `(blocklen, byte displacement, type)`.
-    Struct {
-        fields: Vec<(u64, i64, Datatype)>,
-    },
+    Struct { fields: Vec<(u64, i64, Datatype)> },
     /// Child with overridden lb/extent.
     Resized { child: Datatype },
 }
@@ -179,7 +177,12 @@ impl Datatype {
     /// assert_eq!(t.num_blocks(), 128);          // one block per row
     /// assert!(!t.is_contiguous());
     /// ```
-    pub fn vector(count: u64, blocklen: u64, stride: i64, child: &Datatype) -> Result<Self, TypeError> {
+    pub fn vector(
+        count: u64,
+        blocklen: u64,
+        stride: i64,
+        child: &Datatype,
+    ) -> Result<Self, TypeError> {
         let stride_bytes = ck(stride as i128 * child.extent() as i128)?;
         Self::hvector(count, blocklen, stride_bytes, child)
     }
@@ -205,7 +208,11 @@ impl Datatype {
                 (0, child.lb(), child.ub()),
                 (block_last, child.lb(), child.ub()),
                 (row_last, child.lb(), child.ub()),
-                (ck(row_last as i128 + block_last as i128)?, child.lb(), child.ub()),
+                (
+                    ck(row_last as i128 + block_last as i128)?,
+                    child.lb(),
+                    child.ub(),
+                ),
             ])?
         };
         Self::build(
@@ -234,7 +241,11 @@ impl Datatype {
     }
 
     /// `MPI_Type_create_indexed_block(blocklen, displs, child)`.
-    pub fn indexed_block(blocklen: u64, displs: &[i64], child: &Datatype) -> Result<Self, TypeError> {
+    pub fn indexed_block(
+        blocklen: u64,
+        displs: &[i64],
+        child: &Datatype,
+    ) -> Result<Self, TypeError> {
         let blocks: Vec<(u64, i64)> = displs.iter().map(|&d| (blocklen, d)).collect();
         Self::indexed(&blocks, child)
     }
@@ -253,7 +264,11 @@ impl Datatype {
             spans.push((displ, child.lb(), child.ub()));
             spans.push((last, child.lb(), child.ub()));
         }
-        let (lb, ub) = if spans.is_empty() { (0, 0) } else { span_union(&spans)? };
+        let (lb, ub) = if spans.is_empty() {
+            (0, 0)
+        } else {
+            span_union(&spans)?
+        };
         Self::build(
             TypeKind::Hindexed {
                 blocks: blocks.to_vec(),
@@ -281,7 +296,11 @@ impl Datatype {
             spans.push((*displ, ty.lb(), ty.ub()));
             spans.push((last, ty.lb(), ty.ub()));
         }
-        let (lb, ub) = if spans.is_empty() { (0, 0) } else { span_union(&spans)? };
+        let (lb, ub) = if spans.is_empty() {
+            (0, 0)
+        } else {
+            span_union(&spans)?
+        };
         Self::build(
             TypeKind::Struct {
                 fields: fields.to_vec(),
@@ -472,7 +491,12 @@ impl Datatype {
     /// (`MPI_Type_get_true_extent`). Unlike [`Self::lb`], this is never
     /// moved by `resized`. Zero for empty types.
     pub fn true_lb(&self) -> i64 {
-        self.flat().blocks.iter().map(|&(o, _)| o).min().unwrap_or(0)
+        self.flat()
+            .blocks
+            .iter()
+            .map(|&(o, _)| o)
+            .min()
+            .unwrap_or(0)
     }
 
     /// True upper bound: one past the largest byte offset holding data.
@@ -679,11 +703,7 @@ mod tests {
     #[test]
     fn struct_mixed_fields() {
         // { int[2] at 0, double at 16 }
-        let t = Datatype::struct_(&[
-            (2, 0, Datatype::int()),
-            (1, 16, Datatype::double()),
-        ])
-        .unwrap();
+        let t = Datatype::struct_(&[(2, 0, Datatype::int()), (1, 16, Datatype::double())]).unwrap();
         assert_eq!(t.size(), 16);
         assert_eq!(t.lb(), 0);
         assert_eq!(t.ub(), 24);
@@ -750,17 +770,10 @@ mod tests {
         assert_eq!(Datatype::int().uniform_primitive(), Some(Primitive::Int));
         let v = Datatype::vector(4, 2, 8, &Datatype::double()).unwrap();
         assert_eq!(v.uniform_primitive(), Some(Primitive::Double));
-        let mixed = Datatype::struct_(&[
-            (1, 0, Datatype::int()),
-            (1, 8, Datatype::double()),
-        ])
-        .unwrap();
+        let mixed =
+            Datatype::struct_(&[(1, 0, Datatype::int()), (1, 8, Datatype::double())]).unwrap();
         assert_eq!(mixed.uniform_primitive(), None);
-        let same = Datatype::struct_(&[
-            (1, 0, Datatype::int()),
-            (2, 8, Datatype::int()),
-        ])
-        .unwrap();
+        let same = Datatype::struct_(&[(1, 0, Datatype::int()), (2, 8, Datatype::int())]).unwrap();
         assert_eq!(same.uniform_primitive(), Some(Primitive::Int));
     }
 

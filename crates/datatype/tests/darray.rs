@@ -48,12 +48,7 @@ fn reference_elements(
     out
 }
 
-fn check(
-    size: u32,
-    gsizes: &[u64],
-    distribs: &[Distribution],
-    psizes: &[u32],
-) {
+fn check(size: u32, gsizes: &[u64], distribs: &[Distribution], psizes: &[u32]) {
     let elem = Datatype::int();
     let total: u64 = gsizes.iter().product::<u64>() * 4;
     let mut all_owned: Vec<u64> = Vec::new();

@@ -100,7 +100,10 @@ fn derive(rng: &mut Rng, m: &Model) -> Option<Model> {
             let lb = rng.range_i64(-32, 32);
             let ext = rng.range_i64(0, 256);
             let ty = Datatype::resized(&m.ty, lb, ext).ok()?;
-            Some(Model { ty, bytes: m.bytes.clone() })
+            Some(Model {
+                ty,
+                bytes: m.bytes.clone(),
+            })
         }
     }
 }
@@ -170,13 +173,12 @@ fn flat_blocks_match_reference_bytes() {
         // Expanding the flattened blocks byte-by-byte must equal the
         // reference typemap byte sequence.
         let m = model(rng);
-        let expanded: Vec<i64> = m
-            .ty
-            .flat()
-            .blocks
-            .iter()
-            .flat_map(|&(o, l)| o..o + l as i64)
-            .collect();
+        let expanded: Vec<i64> =
+            m.ty.flat()
+                .blocks
+                .iter()
+                .flat_map(|&(o, l)| o..o + l as i64)
+                .collect();
         assert_eq!(expanded, m.bytes);
     });
 }

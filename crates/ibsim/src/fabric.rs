@@ -37,6 +37,24 @@
 //!   enforces per-QP sequence order (a reorder buffer standing in for
 //!   RC's go-back-N) whenever fault injection is active, so RC's
 //!   in-order guarantee survives injected loss.
+//!
+//! Connection lifecycle (see DESIGN.md §10):
+//!
+//! * every directional QP walks the verbs state machine
+//!   RESET→INIT→RTR→RTS (plus SQD, SQE and ERR); fabrics start with all
+//!   QPs implicitly in RTS, matching MVAPICH's connect-at-init,
+//! * transport exhaustion or a dead port moves a QP to ERR, flushing
+//!   outstanding WQEs with [`CqeStatus::FlushErr`]; the embedding MPI
+//!   layer tears the QP down ([`Fabric::reestablish_qp`]) and re-drives,
+//! * each node has two ports (0 = primary, 1 = alternate); a QP's path
+//!   uses the same port number at both ends. When the port under a QP's
+//!   current path dies and APM is enabled, the QP fails over to the
+//!   alternate path after [`NetConfig::apm_migration_ns`]; otherwise it
+//!   errors,
+//! * each (re)incarnation of a QP carries an epoch; traffic from a
+//!   previous incarnation that is still in flight when the QP is reset
+//!   is discarded on arrival, so re-driven traffic can never be
+//!   duplicated by a stale packet.
 
 use crate::fault::{Fate, FaultPlan, FaultState};
 use crate::model::NetConfig;
@@ -45,6 +63,7 @@ use ibdt_memreg::{AddressSpace, MemError, RegTable};
 use ibdt_simcore::resource::SerialResource;
 use ibdt_simcore::time::Time;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
 
 /// One rank's memory: address space + registration table.
 #[derive(Debug)]
@@ -106,7 +125,59 @@ pub enum NicEvent {
         /// Ticket of the parked transfer.
         park_id: u64,
     },
+    /// A port fails (scheduled from [`FaultPlan::link_faults`]). QPs
+    /// whose current path crosses it migrate (APM) or error.
+    PortDown {
+        /// Node whose port fails.
+        node: u32,
+        /// Failing port (0 = primary, 1 = alternate).
+        port: u8,
+    },
+    /// A failed port comes back. Migrated QPs stay on their alternate
+    /// path (as real APM does); errored QPs wait for re-establishment.
+    PortUp {
+        /// Node whose port recovers.
+        node: u32,
+        /// Recovering port.
+        port: u8,
+    },
 }
+
+/// Queue-pair lifecycle states (IB spec §10.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpState {
+    /// Freshly created or torn down; accepts nothing.
+    Reset,
+    /// Initialized: receive descriptors may be posted.
+    Init,
+    /// Ready to receive.
+    Rtr,
+    /// Ready to send — the only state accepting send work requests.
+    Rts,
+    /// Send-queue drained (administrative quiesce).
+    Sqd,
+    /// Send-queue error (a non-flush completion error halted the SQ).
+    Sqe,
+    /// Error: outstanding WQEs flushed, posts rejected.
+    Err,
+}
+
+/// A rejected queue-pair state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QpTransitionError {
+    /// State the QP was in.
+    pub from: QpState,
+    /// Requested target state.
+    pub to: QpState,
+}
+
+impl fmt::Display for QpTransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal QP transition {:?} -> {:?}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for QpTransitionError {}
 
 /// An in-flight transfer (one WR's payload).
 #[derive(Debug)]
@@ -116,6 +187,10 @@ pub struct Transfer {
     seq: u64,
     /// Transmission attempts so far (0 = first).
     attempt: u32,
+    /// Connection incarnation of the QP that launched this transfer;
+    /// a stale epoch at arrival means the QP was reset mid-flight and
+    /// the transfer is discarded.
+    epoch: u32,
     kind: TransferKind,
 }
 
@@ -251,6 +326,8 @@ pub struct FabricStats {
     pub qp_errors: u64,
     /// Work requests flushed with error by a QP transition.
     pub flushed_wqes: u64,
+    /// Automatic Path Migration failovers performed.
+    pub migrations: u64,
 }
 
 /// The simulated InfiniBand fabric.
@@ -273,6 +350,22 @@ pub struct Fabric {
     rx_expected: HashMap<(u32, u32), u64>,
     /// Reorder buffer per QP direction (fault mode).
     rx_ooo: HashMap<(u32, u32), BTreeMap<u64, Transfer>>,
+    /// Explicit QP lifecycle states; an absent entry means RTS (the
+    /// fabric connects every pair at creation, as MVAPICH does).
+    qp_state: HashMap<(u32, u32), QpState>,
+    /// Connection incarnation per QP direction (bumped on reset).
+    conn_epoch: HashMap<(u32, u32), u32>,
+    /// Ports currently down, as `(node, port)`.
+    ports_down: HashSet<(u32, u8)>,
+    /// Port carrying each QP direction's current path; absent = 0.
+    qp_path: HashMap<(u32, u32), u8>,
+    /// APM failover in progress: sends on the direction stall until
+    /// this instant.
+    migrating_until: HashMap<(u32, u32), Time>,
+    /// Per-node reliability counters (retransmits, RNR backoff retries,
+    /// QP errors, flushed WQEs, migrations, injected fates) attributed
+    /// to the requester/transmitter.
+    node_stats: Vec<FabricStats>,
 }
 
 impl Fabric {
@@ -297,6 +390,12 @@ impl Fabric {
             tx_seq: HashMap::new(),
             rx_expected: HashMap::new(),
             rx_ooo: HashMap::new(),
+            qp_state: HashMap::new(),
+            conn_epoch: HashMap::new(),
+            ports_down: HashSet::new(),
+            qp_path: HashMap::new(),
+            migrating_until: HashMap::new(),
+            node_stats: vec![FabricStats::default(); n],
         }
     }
 
@@ -320,6 +419,164 @@ impl Fabric {
     /// state (retry budget exhausted).
     pub fn qp_errored(&self, node: u32, peer: u32) -> bool {
         self.qp_err.contains(&(node, peer))
+    }
+
+    /// Lifecycle state of the directional QP `node -> peer`.
+    pub fn qp_state(&self, node: u32, peer: u32) -> QpState {
+        self.qp_state
+            .get(&(node, peer))
+            .copied()
+            .unwrap_or(QpState::Rts)
+    }
+
+    /// Connection incarnation of the directional QP `node -> peer`
+    /// (bumped each time the QP is torn down to RESET).
+    pub fn qp_epoch(&self, node: u32, peer: u32) -> u32 {
+        self.epoch_of((node, peer))
+    }
+
+    /// True when `port` of `node` is currently down.
+    pub fn port_down(&self, node: u32, port: u8) -> bool {
+        self.ports_down.contains(&(node, port))
+    }
+
+    /// Port carrying the current path of the directional QP
+    /// `node -> peer` (0 = primary until a migration happens).
+    pub fn qp_port(&self, node: u32, peer: u32) -> u8 {
+        self.qp_path.get(&(node, peer)).copied().unwrap_or(0)
+    }
+
+    /// The installed fault plan, when fault injection is active.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
+    }
+
+    /// The `(time, event)` pairs the embedder must seed into its engine
+    /// to realize the installed plan's [`FaultPlan::link_faults`].
+    pub fn link_fault_events(&self) -> Vec<(Time, NicEvent)> {
+        let Some(fs) = &self.faults else {
+            return Vec::new();
+        };
+        let mut evs = Vec::new();
+        for lf in &fs.plan().link_faults {
+            evs.push((
+                lf.at_ns,
+                NicEvent::PortDown {
+                    node: lf.node,
+                    port: lf.port,
+                },
+            ));
+            evs.push((
+                lf.at_ns + lf.down_ns,
+                NicEvent::PortUp {
+                    node: lf.node,
+                    port: lf.port,
+                },
+            ));
+        }
+        evs
+    }
+
+    /// Requests a lifecycle transition on the directional QP
+    /// `node -> peer` (the verbs `ibv_modify_qp`). Legal transitions
+    /// are the spec's: RESET→INIT→RTR→RTS, RTS⇄SQD, SQE→RTS, any→ERR,
+    /// any→RESET. Entering ERR flushes outstanding WQEs (error CQEs
+    /// through `sink`); entering RESET silently releases everything and
+    /// bumps the connection epoch.
+    pub fn modify_qp<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        now: Time,
+        node: u32,
+        peer: u32,
+        target: QpState,
+        sink: &mut F,
+    ) -> Result<(), QpTransitionError> {
+        let from = self.qp_state(node, peer);
+        let legal = matches!(
+            (from, target),
+            (QpState::Reset, QpState::Init)
+                | (QpState::Init, QpState::Rtr)
+                | (QpState::Rtr, QpState::Rts)
+                | (QpState::Rts, QpState::Sqd)
+                | (QpState::Sqd, QpState::Rts)
+                | (QpState::Sqe, QpState::Rts)
+                | (_, QpState::Err)
+                | (_, QpState::Reset)
+        );
+        if !legal {
+            return Err(QpTransitionError { from, to: target });
+        }
+        match target {
+            QpState::Err => self.fail_qp(now, node, peer, sink),
+            QpState::Reset => self.reset_qp(node, peer),
+            other => {
+                self.qp_state.insert((node, peer), other);
+            }
+        }
+        Ok(())
+    }
+
+    /// Tears the directional QP `node -> peer` down to RESET: drops all
+    /// connection state (send-queue slots, retransmit timers, parked
+    /// and reordered transfers, sequence numbers) without generating
+    /// completions, clears the error flag, bumps the connection epoch
+    /// so stale in-flight traffic is discarded on arrival, and
+    /// re-selects a live port for the path. Posted receive descriptors
+    /// survive (the re-established connection re-uses them, equivalent
+    /// to the CM re-posting identical descriptors).
+    pub fn reset_qp(&mut self, node: u32, peer: u32) {
+        let dir = (node, peer);
+        self.qp_err.remove(&dir);
+        self.qp_state.insert(dir, QpState::Reset);
+        *self.conn_epoch.entry(dir).or_insert(0) += 1;
+        self.tx_seq.remove(&dir);
+        self.rx_expected.remove(&dir);
+        self.rx_ooo.remove(&dir);
+        self.migrating_until.remove(&dir);
+        self.nodes[node as usize].sq_busy.remove(&peer);
+        if let Some(q) = self.nodes[peer as usize].parked.get_mut(&node) {
+            q.clear();
+        }
+        let ids: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, p)| p.endpoints() == dir)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            self.inflight.remove(&id);
+        }
+        // Prefer a path whose port is up at both ends.
+        let port = [0u8, 1]
+            .into_iter()
+            .find(|&p| {
+                !self.ports_down.contains(&(node, p)) && !self.ports_down.contains(&(peer, p))
+            })
+            .unwrap_or(0);
+        self.qp_path.insert(dir, port);
+    }
+
+    /// Convenience for the MPI connection manager: the full
+    /// RESET→INIT→RTR→RTS handshake on the directional QP
+    /// `node -> peer`, compressed to one call (the caller charges the
+    /// handshake latency on its own clock before invoking this).
+    pub fn reestablish_qp(&mut self, node: u32, peer: u32) {
+        self.reset_qp(node, peer);
+        let dir = (node, peer);
+        self.qp_state.insert(dir, QpState::Rts);
+    }
+
+    /// Per-node reliability counters, indexed by node id. Only the
+    /// counters attributable to one side are maintained here
+    /// (retransmits, RNR backoff retries, QP errors, flushed WQEs,
+    /// migrations, injected drop/corrupt/delay/stall fates); the
+    /// aggregate [`Fabric::stats`] remains authoritative for the rest.
+    pub fn node_stats(&self) -> &[FabricStats] {
+        &self.node_stats
+    }
+
+    fn epoch_of(&self, dir: (u32, u32)) -> u32 {
+        self.conn_epoch.get(&dir).copied().unwrap_or(0)
     }
 
     /// Number of nodes.
@@ -347,12 +604,7 @@ impl Fabric {
         &self.nodes[node as usize].tx
     }
 
-    fn validate_sges(
-        &self,
-        node: u32,
-        sges: &[Sge],
-        mem: &NodeMem,
-    ) -> Result<(), PostError> {
+    fn validate_sges(&self, node: u32, sges: &[Sge], mem: &NodeMem) -> Result<(), PostError> {
         if sges.len() > self.cfg.max_sge {
             return Err(PostError::TooManySges {
                 got: sges.len(),
@@ -411,15 +663,30 @@ impl Fabric {
         let src = xfer.src;
         if retransmit {
             self.stats.retransmits += 1;
+            self.node_stats[src as usize].retransmits += 1;
             self.stats.bytes_on_wire += xfer.kind.wire_bytes();
         }
         let mut start = ready_at;
+        // An APM failover in progress stalls the direction's sends
+        // until the alternate path is validated.
+        if !self.migrating_until.is_empty() {
+            if let Some(&until) = self.migrating_until.get(&(src, dst)) {
+                if until > start {
+                    start = until;
+                } else {
+                    self.migrating_until.remove(&(src, dst));
+                }
+            }
+        }
         if let Some(fs) = &mut self.faults {
             if let Some(stall) = fs.stall() {
                 self.stats.stalls_injected += 1;
-                start = self.nodes[src as usize]
-                    .tx
-                    .reserve_labeled(ready_at, stall, "stall");
+                self.node_stats[src as usize].stalls_injected += 1;
+                start = self.nodes[src as usize].tx.reserve_labeled(
+                    ready_at.max(start),
+                    stall,
+                    "stall",
+                );
             }
         }
         let ser_done = self.nodes[src as usize]
@@ -434,14 +701,23 @@ impl Fabric {
             Fate::Deliver { jitter_ns } => {
                 if jitter_ns > 0 {
                     self.stats.delays_injected += 1;
+                    self.node_stats[src as usize].delays_injected += 1;
                 }
                 sink(arrive_at + jitter_ns, NicEvent::Arrive { dst, xfer });
             }
             Fate::Drop => {
                 self.stats.drops_injected += 1;
+                self.node_stats[src as usize].drops_injected += 1;
                 let id = self.alloc_id();
-                self.inflight
-                    .insert(id, PendingRetry { dst, tx_dur, extra_delay, xfer });
+                self.inflight.insert(
+                    id,
+                    PendingRetry {
+                        dst,
+                        tx_dur,
+                        extra_delay,
+                        xfer,
+                    },
+                );
                 sink(
                     ser_done + self.cfg.transport_timeout_ns,
                     NicEvent::RetryTimeout { xfer_id: id },
@@ -449,9 +725,17 @@ impl Fabric {
             }
             Fate::Corrupt => {
                 self.stats.corruptions_injected += 1;
+                self.node_stats[src as usize].corruptions_injected += 1;
                 let id = self.alloc_id();
-                self.inflight
-                    .insert(id, PendingRetry { dst, tx_dur, extra_delay, xfer });
+                self.inflight.insert(
+                    id,
+                    PendingRetry {
+                        dst,
+                        tx_dur,
+                        extra_delay,
+                        xfer,
+                    },
+                );
                 // Bad ICRC: the payload crossed the wire and the
                 // responder NAKs it; retransmission can start after the
                 // NAK returns.
@@ -498,10 +782,23 @@ impl Fabric {
         if self.qp_err.contains(&(node, peer)) {
             return Err(PostError::QpError { peer });
         }
+        if !self.qp_state.is_empty() && !matches!(self.qp_state(node, peer), QpState::Rts) {
+            return Err(PostError::QpNotReady { peer });
+        }
+        if !self.ports_down.is_empty() && !self.ensure_path(ready_at, node, peer) {
+            // The current path's port is down and no alternate is
+            // available: the send could only time out, so the QP errors
+            // immediately (the transport retry budget would drain
+            // against a dead link).
+            self.fail_qp(ready_at, node, peer, sink);
+            return Err(PostError::QpError { peer });
+        }
         let mem = &mems[node as usize];
         self.validate_sges(node, &wr.sges, mem)?;
-        if matches!(wr.opcode, Opcode::RdmaWrite | Opcode::RdmaWriteImm(_) | Opcode::RdmaRead)
-            && wr.remote.is_none()
+        if matches!(
+            wr.opcode,
+            Opcode::RdmaWrite | Opcode::RdmaWriteImm(_) | Opcode::RdmaRead
+        ) && wr.remote.is_none()
         {
             return Err(PostError::MissingRemote);
         }
@@ -569,14 +866,24 @@ impl Fabric {
             }
         };
         let seq = self.alloc_seq(node, peer);
-        let xfer = Transfer { src: node, seq, attempt: 0, kind };
+        let epoch = self.epoch_of((node, peer));
+        let xfer = Transfer {
+            src: node,
+            seq,
+            attempt: 0,
+            epoch,
+            kind,
+        };
         let wr_id = wr.wr_id;
         let ser_done = self.launch(ready_at, peer, xfer, tx_dur, extra_delay, false, sink);
         self.nodes[node as usize]
             .sq_busy
             .entry(peer)
             .or_default()
-            .push_back(SqEntry { done: ser_done, wr_id });
+            .push_back(SqEntry {
+                done: ser_done,
+                wr_id,
+            });
         Ok(())
     }
 
@@ -638,10 +945,83 @@ impl Fabric {
             NicEvent::Arrive { dst, xfer } => self.arrive(now, dst, xfer, mems, sink),
             NicEvent::RnrRetry { node, peer } => self.drain_parked(now, node, peer, mems, sink),
             NicEvent::RetryTimeout { xfer_id } => self.retry_timeout(now, xfer_id, sink),
-            NicEvent::RnrTimedRetry { node, peer, park_id } => {
-                self.rnr_timed_retry(now, node, peer, park_id, mems, sink)
+            NicEvent::RnrTimedRetry {
+                node,
+                peer,
+                park_id,
+            } => self.rnr_timed_retry(now, node, peer, park_id, mems, sink),
+            NicEvent::PortDown { node, port } => {
+                self.handle_port_down(now, node, port, sink);
+                Vec::new()
+            }
+            NicEvent::PortUp { node, port } => {
+                self.ports_down.remove(&(node, port));
+                Vec::new()
             }
         }
+    }
+
+    /// A port died: every RTS queue pair whose current path crosses it
+    /// either migrates to the alternate path (APM) or errors.
+    fn handle_port_down<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        now: Time,
+        node: u32,
+        port: u8,
+        sink: &mut F,
+    ) {
+        self.ports_down.insert((node, port));
+        let n = self.nodes.len() as u32;
+        for other in 0..n {
+            if other == node {
+                continue;
+            }
+            for dir in [(node, other), (other, node)] {
+                if self.qp_err.contains(&dir)
+                    || !matches!(self.qp_state(dir.0, dir.1), QpState::Rts)
+                    || self.qp_path.get(&dir).copied().unwrap_or(0) != port
+                {
+                    continue;
+                }
+                let alt = 1 - port;
+                if self.cfg.apm_enabled
+                    && !self.ports_down.contains(&(dir.0, alt))
+                    && !self.ports_down.contains(&(dir.1, alt))
+                {
+                    self.migrate(now, dir, alt);
+                } else {
+                    self.fail_qp(now, dir.0, dir.1, sink);
+                }
+            }
+        }
+    }
+
+    /// True when the direction has a usable path, migrating to the
+    /// alternate port on the fly if the current one is down (lazy APM:
+    /// covers a QP re-established while its old port is still dark).
+    fn ensure_path(&mut self, now: Time, node: u32, peer: u32) -> bool {
+        let dir = (node, peer);
+        let port = self.qp_path.get(&dir).copied().unwrap_or(0);
+        if !self.ports_down.contains(&(node, port)) && !self.ports_down.contains(&(peer, port)) {
+            return true;
+        }
+        let alt = 1 - port;
+        if self.cfg.apm_enabled
+            && !self.ports_down.contains(&(node, alt))
+            && !self.ports_down.contains(&(peer, alt))
+        {
+            self.migrate(now, dir, alt);
+            return true;
+        }
+        false
+    }
+
+    fn migrate(&mut self, now: Time, dir: (u32, u32), alt: u8) {
+        self.qp_path.insert(dir, alt);
+        self.migrating_until
+            .insert(dir, now + self.cfg.apm_migration_ns);
+        self.stats.migrations += 1;
+        self.node_stats[dir.0 as usize].migrations += 1;
     }
 
     /// Transport timer: retransmit the pending transfer, or exhaust the
@@ -659,7 +1039,9 @@ impl Fabric {
         let (requester, responder) = p.endpoints();
         p.xfer.attempt += 1;
         if p.xfer.attempt > self.cfg.retry_cnt {
-            let status = CqeStatus::RetryExceeded { attempts: p.xfer.attempt };
+            let status = CqeStatus::RetryExceeded {
+                attempts: p.xfer.attempt,
+            };
             sink(
                 now + self.cfg.cqe_ns,
                 NicEvent::LocalCqe {
@@ -703,11 +1085,14 @@ impl Fabric {
             return out;
         };
         self.stats.rnr_backoff_retries += 1;
+        self.node_stats[peer as usize].rnr_backoff_retries += 1;
         let entry = &mut q[pos];
         entry.attempt += 1;
         if entry.attempt > self.cfg.rnr_retry {
             let entry = q.remove(pos).expect("position just found");
-            let status = CqeStatus::RnrRetryExceeded { attempts: entry.attempt };
+            let status = CqeStatus::RnrRetryExceeded {
+                attempts: entry.attempt,
+            };
             // The RNR NAK that exhausts the budget travels back to the
             // sender, whose QP then errors.
             self.sched_local(
@@ -726,7 +1111,14 @@ impl Fabric {
             self.fail_qp(now, peer, node, sink);
         } else {
             let at = now + self.cfg.rnr_backoff_ns(entry.attempt);
-            sink(at, NicEvent::RnrTimedRetry { node, peer, park_id });
+            sink(
+                at,
+                NicEvent::RnrTimedRetry {
+                    node,
+                    peer,
+                    park_id,
+                },
+            );
         }
         out
     }
@@ -746,7 +1138,9 @@ impl Fabric {
         if !self.qp_err.insert((requester, responder)) {
             return;
         }
+        self.qp_state.insert((requester, responder), QpState::Err);
         self.stats.qp_errors += 1;
+        self.node_stats[requester as usize].qp_errors += 1;
         let mut flushed: HashSet<u64> = HashSet::new();
         let mut flush_wrs: Vec<u64> = Vec::new();
 
@@ -794,6 +1188,7 @@ impl Fabric {
         self.rx_expected.remove(&(requester, responder));
 
         self.stats.flushed_wqes += flush_wrs.len() as u64;
+        self.node_stats[requester as usize].flushed_wqes += flush_wrs.len() as u64;
         for wr_id in flush_wrs {
             sink(
                 now + self.cfg.cqe_ns,
@@ -850,9 +1245,17 @@ impl Fabric {
         sink: &mut F,
     ) -> Vec<(u32, Cqe)> {
         let dir = (xfer.src, dst);
+        if xfer.epoch != self.epoch_of(dir) {
+            // Launched by a previous incarnation of this QP (reset
+            // while the transfer was in flight): stale, discard.
+            self.stats.flushed_wqes += 1;
+            self.node_stats[xfer.src as usize].flushed_wqes += 1;
+            return Vec::new();
+        }
         if self.qp_err.contains(&dir) {
             // The QP died while this transfer was in flight: flush it.
             self.stats.flushed_wqes += 1;
+            self.node_stats[xfer.src as usize].flushed_wqes += 1;
             return Vec::new();
         }
         if self.faults.is_none() {
@@ -872,7 +1275,9 @@ impl Fabric {
             let expected = self.rx_expected.entry(dir).or_insert(0);
             *expected += 1;
             let next = *expected;
-            let Some(buf) = self.rx_ooo.get_mut(&dir) else { break };
+            let Some(buf) = self.rx_ooo.get_mut(&dir) else {
+                break;
+            };
             let Some(x) = buf.remove(&next) else { break };
             out.extend(self.deliver(now, dst, x, mems, sink));
         }
@@ -890,21 +1295,38 @@ impl Fabric {
         let src = xfer.src;
         let seq = xfer.seq;
         let attempt = xfer.attempt;
+        let epoch = xfer.epoch;
         let mut out = Vec::new();
         match xfer.kind {
-            TransferKind::Send { wr_id, data, signaled } => {
-                match self.consume_recv(dst, src, data.len() as u64) {
-                    ConsumeOutcome::NoDescriptor => {
-                        self.stats.rnr_events += 1;
-                        self.park(now, dst, src, Transfer {
+            TransferKind::Send {
+                wr_id,
+                data,
+                signaled,
+            } => match self.consume_recv(dst, src, data.len() as u64) {
+                ConsumeOutcome::NoDescriptor => {
+                    self.stats.rnr_events += 1;
+                    self.park(
+                        now,
+                        dst,
+                        src,
+                        Transfer {
                             src,
                             seq,
                             attempt,
-                            kind: TransferKind::Send { wr_id, data, signaled },
-                        }, sink);
-                    }
-                    ConsumeOutcome::TooSmall(rwr) => {
-                        out.push((dst, Cqe {
+                            epoch,
+                            kind: TransferKind::Send {
+                                wr_id,
+                                data,
+                                signaled,
+                            },
+                        },
+                        sink,
+                    );
+                }
+                ConsumeOutcome::TooSmall(rwr) => {
+                    out.push((
+                        dst,
+                        Cqe {
                             peer: src,
                             wr_id: rwr.wr_id,
                             is_recv: true,
@@ -914,8 +1336,12 @@ impl Fabric {
                                 sent: data.len() as u64,
                                 capacity: rwr.capacity(),
                             },
-                        }));
-                        self.sched_local(sink, src, Cqe {
+                        },
+                    ));
+                    self.sched_local(
+                        sink,
+                        src,
+                        Cqe {
                             peer: dst,
                             wr_id,
                             is_recv: false,
@@ -926,62 +1352,101 @@ impl Fabric {
                                 len: data.len() as u64,
                                 capacity: rwr.capacity(),
                             }),
-                        }, now);
-                    }
-                    ConsumeOutcome::Ok(rwr) => {
-                        Self::scatter(&rwr.sges, &data, &mut mems[dst as usize].space);
-                        self.stats.cqes += 1;
-                        out.push((dst, Cqe {
+                        },
+                        now,
+                    );
+                }
+                ConsumeOutcome::Ok(rwr) => {
+                    Self::scatter(&rwr.sges, &data, &mut mems[dst as usize].space);
+                    self.stats.cqes += 1;
+                    out.push((
+                        dst,
+                        Cqe {
                             peer: src,
                             wr_id: rwr.wr_id,
                             is_recv: true,
                             byte_len: data.len() as u64,
                             imm: None,
                             status: CqeStatus::Success,
-                        }));
-                        if signaled {
-                            self.sched_local(sink, src, Cqe {
+                        },
+                    ));
+                    if signaled {
+                        self.sched_local(
+                            sink,
+                            src,
+                            Cqe {
                                 peer: dst,
                                 wr_id,
                                 is_recv: false,
                                 byte_len: data.len() as u64,
                                 imm: None,
                                 status: CqeStatus::Success,
-                            }, now);
-                        }
+                            },
+                            now,
+                        );
                     }
                 }
-            }
-            TransferKind::Write { wr_id, addr, rkey, data, imm, signaled } => {
+            },
+            TransferKind::Write {
+                wr_id,
+                addr,
+                rkey,
+                data,
+                imm,
+                signaled,
+            } => {
                 // Write-with-immediate consumes a receive descriptor; if
                 // none is posted the transfer parks (RNR), data unplaced.
                 if imm.is_some()
-                    && self
-                        .nodes[dst as usize]
+                    && self.nodes[dst as usize]
                         .recvq
                         .get(&src)
                         .is_none_or(|q| q.is_empty())
                 {
                     self.stats.rnr_events += 1;
-                    self.park(now, dst, src, Transfer {
+                    self.park(
+                        now,
+                        dst,
                         src,
-                        seq,
-                        attempt,
-                        kind: TransferKind::Write { wr_id, addr, rkey, data, imm, signaled },
-                    }, sink);
+                        Transfer {
+                            src,
+                            seq,
+                            attempt,
+                            epoch,
+                            kind: TransferKind::Write {
+                                wr_id,
+                                addr,
+                                rkey,
+                                data,
+                                imm,
+                                signaled,
+                            },
+                        },
+                        sink,
+                    );
                     return out;
                 }
                 let mem = &mut mems[dst as usize];
                 match mem.regs.check(rkey, addr, data.len() as u64) {
                     Err(e) => {
-                        self.sched_local(sink, src, Cqe {
-                            peer: dst,
-                            wr_id,
-                            is_recv: false,
-                            byte_len: 0,
-                            imm: None,
-                            status: CqeStatus::RemoteAccess(e),
-                        }, now);
+                        self.sched_local(
+                            sink,
+                            src,
+                            Cqe {
+                                peer: dst,
+                                wr_id,
+                                is_recv: false,
+                                byte_len: 0,
+                                imm: None,
+                                status: CqeStatus::RemoteAccess(e),
+                            },
+                            now,
+                        );
+                        // The responder NAKs the access; on RC that
+                        // terminates the connection — later WQEs must
+                        // not complete (they would let the requester
+                        // believe partially-rejected data all landed).
+                        self.fail_qp(now, src, dst, sink);
                     }
                     Ok(()) => {
                         mem.space
@@ -994,40 +1459,63 @@ impl Fabric {
                                 .and_then(|q| q.pop_front())
                                 .expect("checked non-empty above");
                             self.stats.cqes += 1;
-                            out.push((dst, Cqe {
-                                peer: src,
-                                wr_id: rwr.wr_id,
-                                is_recv: true,
-                                byte_len: data.len() as u64,
-                                imm: Some(v),
-                                status: CqeStatus::Success,
-                            }));
+                            out.push((
+                                dst,
+                                Cqe {
+                                    peer: src,
+                                    wr_id: rwr.wr_id,
+                                    is_recv: true,
+                                    byte_len: data.len() as u64,
+                                    imm: Some(v),
+                                    status: CqeStatus::Success,
+                                },
+                            ));
                         }
                         if signaled {
-                            self.sched_local(sink, src, Cqe {
-                                peer: dst,
-                                wr_id,
-                                is_recv: false,
-                                byte_len: data.len() as u64,
-                                imm: None,
-                                status: CqeStatus::Success,
-                            }, now);
+                            self.sched_local(
+                                sink,
+                                src,
+                                Cqe {
+                                    peer: dst,
+                                    wr_id,
+                                    is_recv: false,
+                                    byte_len: data.len() as u64,
+                                    imm: None,
+                                    status: CqeStatus::Success,
+                                },
+                                now,
+                            );
                         }
                     }
                 }
             }
-            TransferKind::ReadRequest { wr_id, addr, rkey, len, scatter, signaled } => {
+            TransferKind::ReadRequest {
+                wr_id,
+                addr,
+                rkey,
+                len,
+                scatter,
+                signaled,
+            } => {
                 let mem = &mems[dst as usize];
                 match mem.regs.check(rkey, addr, len) {
                     Err(e) => {
-                        self.sched_local(sink, src, Cqe {
-                            peer: dst,
-                            wr_id,
-                            is_recv: false,
-                            byte_len: 0,
-                            imm: None,
-                            status: CqeStatus::RemoteAccess(e),
-                        }, now);
+                        self.sched_local(
+                            sink,
+                            src,
+                            Cqe {
+                                peer: dst,
+                                wr_id,
+                                is_recv: false,
+                                byte_len: 0,
+                                imm: None,
+                                status: CqeStatus::RemoteAccess(e),
+                            },
+                            now,
+                        );
+                        // RC semantics: a remote-access NAK errors the
+                        // requesting queue pair (see the Write arm).
+                        self.fail_qp(now, src, dst, sink);
                     }
                     Ok(()) => {
                         let data = mem
@@ -1041,10 +1529,12 @@ impl Fabric {
                         self.stats.wqes += 1;
                         self.stats.bytes_on_wire += len;
                         let rseq = self.alloc_seq(dst, src);
+                        let repoch = self.epoch_of((dst, src));
                         let resp = Transfer {
                             src: dst,
                             seq: rseq,
                             attempt: 0,
+                            epoch: repoch,
                             kind: TransferKind::ReadResponse {
                                 wr_id,
                                 data,
@@ -1056,31 +1546,33 @@ impl Fabric {
                     }
                 }
             }
-            TransferKind::ReadResponse { wr_id, data, scatter, signaled } => {
+            TransferKind::ReadResponse {
+                wr_id,
+                data,
+                scatter,
+                signaled,
+            } => {
                 Self::scatter(&scatter, &data, &mut mems[dst as usize].space);
                 if signaled {
                     self.stats.cqes += 1;
-                    out.push((dst, Cqe {
-                        peer: src,
-                        wr_id,
-                        is_recv: false,
-                        byte_len: data.len() as u64,
-                        imm: None,
-                        status: CqeStatus::Success,
-                    }));
+                    out.push((
+                        dst,
+                        Cqe {
+                            peer: src,
+                            wr_id,
+                            is_recv: false,
+                            byte_len: data.len() as u64,
+                            imm: None,
+                            status: CqeStatus::Success,
+                        },
+                    ));
                 }
             }
         }
         out
     }
 
-    fn sched_local<F: FnMut(Time, NicEvent)>(
-        &self,
-        sink: &mut F,
-        node: u32,
-        cqe: Cqe,
-        now: Time,
-    ) {
+    fn sched_local<F: FnMut(Time, NicEvent)>(&self, sink: &mut F, node: u32, cqe: Cqe, now: Time) {
         // ACK travels back one propagation delay; then the CQE is
         // generated.
         sink(
@@ -1106,11 +1598,19 @@ impl Fabric {
             .parked
             .entry(src)
             .or_default()
-            .push_back(ParkedEntry { id, attempt: 0, xfer });
+            .push_back(ParkedEntry {
+                id,
+                attempt: 0,
+                xfer,
+            });
         if !self.cfg.rnr_infinite() {
             sink(
                 now + self.cfg.rnr_backoff_ns(0),
-                NicEvent::RnrTimedRetry { node: dst, peer: src, park_id: id },
+                NicEvent::RnrTimedRetry {
+                    node: dst,
+                    peer: src,
+                    park_id: id,
+                },
             );
         }
     }

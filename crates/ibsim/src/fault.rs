@@ -21,6 +21,29 @@
 
 use ibdt_simcore::time::Time;
 
+/// A scheduled link failure: `port` of `node` goes down at `at_ns` and
+/// comes back `down_ns` later.
+///
+/// Unlike the per-packet rates, link faults are *scheduled events*: the
+/// embedder seeds [`PortDown`](crate::fabric::NicEvent::PortDown) /
+/// [`PortUp`](crate::fabric::NicEvent::PortUp) events obtained from
+/// [`Fabric::link_fault_events`](crate::fabric::Fabric::link_fault_events)
+/// into its engine. When the port carrying a queue pair's current path
+/// goes down, the QP either migrates to its alternate path (APM, if
+/// [`NetConfig::apm_enabled`](crate::model::NetConfig::apm_enabled)) or
+/// transitions to the error state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Virtual time the port fails.
+    pub at_ns: Time,
+    /// Node whose port fails.
+    pub node: u32,
+    /// Which of the node's two ports fails (0 = primary, 1 = alternate).
+    pub port: u8,
+    /// How long the port stays down.
+    pub down_ns: Time,
+}
+
 /// What can go wrong on the wire, with what probability.
 ///
 /// All rates are probabilities in `[0, 1]` evaluated independently per
@@ -47,6 +70,13 @@ pub struct FaultPlan {
     pub stall_rate: f64,
     /// Stall duration charged on the transmit engine, ns.
     pub stall_ns: Time,
+    /// Scheduled port failures (link-down fault events).
+    pub link_faults: Vec<LinkFault>,
+    /// Probability that a freshly exchanged zero-copy registration is
+    /// evicted before the remote writes land (the §5.4.2 pin-down-cache
+    /// race). Consumed deterministically by the MPI layer, not by the
+    /// fabric's decision stream.
+    pub evict_rate: f64,
 }
 
 impl Default for FaultPlan {
@@ -66,6 +96,8 @@ impl FaultPlan {
             max_delay_ns: 0,
             stall_rate: 0.0,
             stall_ns: 0,
+            link_faults: Vec::new(),
+            evict_rate: 0.0,
         }
     }
 
@@ -80,6 +112,8 @@ impl FaultPlan {
             max_delay_ns: 50_000,
             stall_rate: rate,
             stall_ns: 20_000,
+            link_faults: Vec::new(),
+            evict_rate: 0.0,
         }
     }
 
@@ -89,6 +123,8 @@ impl FaultPlan {
             && self.corrupt_rate <= 0.0
             && (self.delay_rate <= 0.0 || self.max_delay_ns == 0)
             && (self.stall_rate <= 0.0 || self.stall_ns == 0)
+            && self.link_faults.is_empty()
+            && self.evict_rate <= 0.0
     }
 }
 
@@ -117,6 +153,11 @@ impl FaultState {
     pub(crate) fn new(plan: FaultPlan) -> Self {
         let rng = SplitMix64::new(plan.seed);
         Self { plan, rng }
+    }
+
+    /// The plan driving this decision stream.
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
     }
 
     /// Decides the fate of one wire crossing. Consumes a fixed number
@@ -163,7 +204,9 @@ struct SplitMix64 {
 
 impl SplitMix64 {
     fn new(seed: u64) -> Self {
-        let mut r = Self { state: seed ^ 0xA076_1D64_78BD_642F };
+        let mut r = Self {
+            state: seed ^ 0xA076_1D64_78BD_642F,
+        };
         let _ = r.next_u64();
         r
     }

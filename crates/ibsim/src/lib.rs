@@ -34,7 +34,7 @@ pub mod fault;
 pub mod model;
 pub mod wr;
 
-pub use fabric::{Fabric, FabricStats, NicEvent, NodeMem};
-pub use fault::FaultPlan;
+pub use fabric::{Fabric, FabricStats, NicEvent, NodeMem, QpState, QpTransitionError};
+pub use fault::{FaultPlan, LinkFault};
 pub use model::{HostConfig, NetConfig, RNR_RETRY_INFINITE};
 pub use wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge};

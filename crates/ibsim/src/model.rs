@@ -75,6 +75,13 @@ pub struct NetConfig {
     pub rnr_backoff_base_ns: Time,
     /// Upper bound of the RNR backoff interval, ns.
     pub rnr_backoff_max_ns: Time,
+    /// Automatic Path Migration: when the port carrying a QP's current
+    /// path goes down, fail over to the alternate path instead of
+    /// erroring the QP (IB spec §17.2.8).
+    pub apm_enabled: bool,
+    /// Latency of an APM failover: the QP's sends stall this long while
+    /// the HCA revalidates the alternate path, ns.
+    pub apm_migration_ns: Time,
 }
 
 /// The `rnr_retry` value meaning "retry forever" (IB spec §9.7.5.2.8).
@@ -101,6 +108,8 @@ impl Default for NetConfig {
             transport_timeout_ns: 500_000,
             rnr_backoff_base_ns: 20_000,
             rnr_backoff_max_ns: 640_000,
+            apm_enabled: true,
+            apm_migration_ns: 50_000,
         }
     }
 }

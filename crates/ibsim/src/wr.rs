@@ -155,6 +155,12 @@ pub enum PostError {
         /// Peer of the errored queue pair.
         peer: u32,
     },
+    /// The queue pair exists but is not in RTS (mid-handshake or
+    /// drained); send work requests are not accepted yet.
+    QpNotReady {
+        /// Peer of the not-yet-ready queue pair.
+        peer: u32,
+    },
 }
 
 impl fmt::Display for PostError {
@@ -172,6 +178,9 @@ impl fmt::Display for PostError {
             PostError::QpError { peer } => {
                 write!(f, "queue pair to peer {peer} is in the error state")
             }
+            PostError::QpNotReady { peer } => {
+                write!(f, "queue pair to peer {peer} is not in RTS")
+            }
         }
     }
 }
@@ -188,8 +197,16 @@ mod tests {
             wr_id: 1,
             opcode: Opcode::Send,
             sges: vec![
-                Sge { addr: 0, len: 10, lkey: 1 },
-                Sge { addr: 100, len: 22, lkey: 1 },
+                Sge {
+                    addr: 0,
+                    len: 10,
+                    lkey: 1,
+                },
+                Sge {
+                    addr: 100,
+                    len: 22,
+                    lkey: 1,
+                },
             ],
             remote: None,
             signaled: true,
@@ -201,7 +218,11 @@ mod tests {
     fn recv_capacity() {
         let wr = RecvWr {
             wr_id: 2,
-            sges: vec![Sge { addr: 0, len: 128, lkey: 3 }],
+            sges: vec![Sge {
+                addr: 0,
+                len: 128,
+                lkey: 3,
+            }],
         };
         assert_eq!(wr.capacity(), 128);
     }
@@ -209,6 +230,10 @@ mod tests {
     #[test]
     fn status_is_ok() {
         assert!(CqeStatus::Success.is_ok());
-        assert!(!CqeStatus::LocalLengthError { sent: 10, capacity: 5 }.is_ok());
+        assert!(!CqeStatus::LocalLengthError {
+            sent: 10,
+            capacity: 5
+        }
+        .is_ok());
     }
 }

@@ -4,8 +4,8 @@
 //! completions plus a flushed queue pair — never as silent corruption.
 
 use ibdt_ibsim::{
-    Cqe, CqeStatus, Fabric, FaultPlan, NetConfig, NicEvent, NodeMem, Opcode, PostError, RecvWr,
-    SendWr, Sge,
+    Cqe, CqeStatus, Fabric, FaultPlan, LinkFault, NetConfig, NicEvent, NodeMem, Opcode, PostError,
+    QpState, RecvWr, SendWr, Sge,
 };
 use ibdt_simcore::engine::{Engine, Scheduler, World};
 use ibdt_simcore::time::Time;
@@ -59,7 +59,14 @@ fn send_one(h: &mut Harness, eng: &mut Engine<Harness>, len: u64, wr_id: u64) ->
             base,
             1,
             0,
-            RecvWr { wr_id: wr_id + 1000, sges: vec![Sge { addr: dst, len, lkey: dst_key }] },
+            RecvWr {
+                wr_id: wr_id + 1000,
+                sges: vec![Sge {
+                    addr: dst,
+                    len,
+                    lkey: dst_key,
+                }],
+            },
             &h.mems,
             &mut |t, e| sink.push((t, e)),
         )
@@ -72,7 +79,11 @@ fn send_one(h: &mut Harness, eng: &mut Engine<Harness>, len: u64, wr_id: u64) ->
             SendWr {
                 wr_id,
                 opcode: Opcode::Send,
-                sges: vec![Sge { addr: src, len, lkey: src_key }],
+                sges: vec![Sge {
+                    addr: src,
+                    len,
+                    lkey: src_key,
+                }],
                 remote: None,
                 signaled: true,
             },
@@ -89,7 +100,11 @@ fn send_one(h: &mut Harness, eng: &mut Engine<Harness>, len: u64, wr_id: u64) ->
 
 #[test]
 fn drops_are_retransmitted_transparently() {
-    let faults = FaultPlan { seed: 11, drop_rate: 0.3, ..FaultPlan::none() };
+    let faults = FaultPlan {
+        seed: 11,
+        drop_rate: 0.3,
+        ..FaultPlan::none()
+    };
     let mut h = harness(2, NetConfig::default(), faults);
     let mut eng = Engine::new();
     for i in 0..8 {
@@ -105,7 +120,11 @@ fn drops_are_retransmitted_transparently() {
 
 #[test]
 fn corruption_recovers_via_icrc_nak() {
-    let faults = FaultPlan { seed: 23, corrupt_rate: 0.4, ..FaultPlan::none() };
+    let faults = FaultPlan {
+        seed: 23,
+        corrupt_rate: 0.4,
+        ..FaultPlan::none()
+    };
     let mut h = harness(2, NetConfig::default(), faults);
     let mut eng = Engine::new();
     for i in 0..8 {
@@ -157,19 +176,34 @@ fn stalls_push_completions_later() {
         send_one(&mut h, &mut eng, 8192, 1);
         eng.now()
     };
-    let faults = FaultPlan { seed: 3, stall_rate: 1.0, stall_ns: 100_000, ..FaultPlan::none() };
+    let faults = FaultPlan {
+        seed: 3,
+        stall_rate: 1.0,
+        stall_ns: 100_000,
+        ..FaultPlan::none()
+    };
     let mut h = harness(2, NetConfig::default(), faults);
     let mut eng = Engine::new();
     let (_, dst) = send_one(&mut h, &mut eng, 8192, 1);
     assert_eq!(h.mems[1].space.read(dst, 8192).unwrap(), vec![0x5A; 8192]);
     assert!(h.fabric.stats().stalls_injected > 0);
-    assert!(eng.now() >= clean + 100_000, "stall did not slow the NIC engine");
+    assert!(
+        eng.now() >= clean + 100_000,
+        "stall did not slow the NIC engine"
+    );
 }
 
 #[test]
 fn certain_loss_exhausts_retry_and_flushes_the_qp() {
-    let faults = FaultPlan { seed: 5, drop_rate: 1.0, ..FaultPlan::none() };
-    let cfg = NetConfig { retry_cnt: 2, ..NetConfig::default() };
+    let faults = FaultPlan {
+        seed: 5,
+        drop_rate: 1.0,
+        ..FaultPlan::none()
+    };
+    let cfg = NetConfig {
+        retry_cnt: 2,
+        ..NetConfig::default()
+    };
     let mut h = harness(2, cfg.clone(), faults);
     let mut eng = Engine::new();
     let (src, src_key) = reg_buf(&mut h, 0, 4096, Some(0x5A));
@@ -180,7 +214,14 @@ fn certain_loss_exhausts_retry_and_flushes_the_qp() {
             0,
             1,
             0,
-            RecvWr { wr_id: 9, sges: vec![Sge { addr: dst, len: 4096, lkey: dst_key }] },
+            RecvWr {
+                wr_id: 9,
+                sges: vec![Sge {
+                    addr: dst,
+                    len: 4096,
+                    lkey: dst_key,
+                }],
+            },
             &h.mems,
             &mut |t, e| sink.push((t, e)),
         )
@@ -196,7 +237,11 @@ fn certain_loss_exhausts_retry_and_flushes_the_qp() {
                 SendWr {
                     wr_id,
                     opcode: Opcode::Send,
-                    sges: vec![Sge { addr: src, len: 2048, lkey: src_key }],
+                    sges: vec![Sge {
+                        addr: src,
+                        len: 2048,
+                        lkey: src_key,
+                    }],
                     remote: None,
                     signaled: true,
                 },
@@ -214,12 +259,22 @@ fn certain_loss_exhausts_retry_and_flushes_the_qp() {
     assert!(st.qp_errors >= 1);
     assert!(st.flushed_wqes >= 1);
     assert!(h.fabric.qp_errored(0, 1));
-    let first = h.log.iter().find(|(_, n, c)| *n == 0 && c.wr_id == 1).unwrap();
+    let first = h
+        .log
+        .iter()
+        .find(|(_, n, c)| *n == 0 && c.wr_id == 1)
+        .unwrap();
     assert_eq!(
         first.2.status,
-        CqeStatus::RetryExceeded { attempts: cfg.retry_cnt + 1 }
+        CqeStatus::RetryExceeded {
+            attempts: cfg.retry_cnt + 1
+        }
     );
-    let second = h.log.iter().find(|(_, n, c)| *n == 0 && c.wr_id == 2).unwrap();
+    let second = h
+        .log
+        .iter()
+        .find(|(_, n, c)| *n == 0 && c.wr_id == 2)
+        .unwrap();
     assert_eq!(second.2.status, CqeStatus::FlushErr);
     // Untouched destination: no partial delivery leaked through.
     assert_eq!(h.mems[1].space.read(dst, 4096).unwrap(), vec![0x00; 4096]);
@@ -232,7 +287,11 @@ fn certain_loss_exhausts_retry_and_flushes_the_qp() {
         SendWr {
             wr_id: 3,
             opcode: Opcode::Send,
-            sges: vec![Sge { addr: src, len: 64, lkey: src_key }],
+            sges: vec![Sge {
+                addr: src,
+                len: 64,
+                lkey: src_key,
+            }],
             remote: None,
             signaled: true,
         },
@@ -247,7 +306,10 @@ fn finite_rnr_budget_backs_off_then_errors() {
     // No receive descriptor will ever be posted; with a finite
     // `rnr_retry` the transfer must back off the configured number of
     // times and then complete with `RnrRetryExceeded`.
-    let cfg = NetConfig { rnr_retry: 3, ..NetConfig::default() };
+    let cfg = NetConfig {
+        rnr_retry: 3,
+        ..NetConfig::default()
+    };
     let mut h = harness(2, cfg, FaultPlan::none());
     let mut eng = Engine::new();
     let (src, src_key) = reg_buf(&mut h, 0, 1024, Some(0x11));
@@ -260,7 +322,11 @@ fn finite_rnr_budget_backs_off_then_errors() {
             SendWr {
                 wr_id: 77,
                 opcode: Opcode::Send,
-                sges: vec![Sge { addr: src, len: 1024, lkey: src_key }],
+                sges: vec![Sge {
+                    addr: src,
+                    len: 1024,
+                    lkey: src_key,
+                }],
                 remote: None,
                 signaled: true,
             },
@@ -277,13 +343,20 @@ fn finite_rnr_budget_backs_off_then_errors() {
     assert!(st.rnr_events >= 1);
     assert!(st.rnr_backoff_retries >= 1);
     assert!(st.qp_errors >= 1);
-    let cqe = h.log.iter().find(|(_, n, c)| *n == 0 && c.wr_id == 77).unwrap();
+    let cqe = h
+        .log
+        .iter()
+        .find(|(_, n, c)| *n == 0 && c.wr_id == 77)
+        .unwrap();
     assert!(matches!(cqe.2.status, CqeStatus::RnrRetryExceeded { .. }));
 }
 
 #[test]
 fn rnr_backoff_delivers_once_receiver_catches_up() {
-    let cfg = NetConfig { rnr_retry: 6, ..NetConfig::default() };
+    let cfg = NetConfig {
+        rnr_retry: 6,
+        ..NetConfig::default()
+    };
     let mut h = harness(2, cfg, FaultPlan::none());
     let mut eng = Engine::new();
     let (src, src_key) = reg_buf(&mut h, 0, 512, Some(0x33));
@@ -297,7 +370,11 @@ fn rnr_backoff_delivers_once_receiver_catches_up() {
             SendWr {
                 wr_id: 5,
                 opcode: Opcode::Send,
-                sges: vec![Sge { addr: src, len: 512, lkey: src_key }],
+                sges: vec![Sge {
+                    addr: src,
+                    len: 512,
+                    lkey: src_key,
+                }],
                 remote: None,
                 signaled: true,
             },
@@ -318,7 +395,14 @@ fn rnr_backoff_delivers_once_receiver_catches_up() {
             eng.now(),
             1,
             0,
-            RecvWr { wr_id: 6, sges: vec![Sge { addr: dst, len: 512, lkey: dst_key }] },
+            RecvWr {
+                wr_id: 6,
+                sges: vec![Sge {
+                    addr: dst,
+                    len: 512,
+                    lkey: dst_key,
+                }],
+            },
             &h.mems,
             &mut |t, e| sink.push((t, e)),
         )
@@ -332,7 +416,11 @@ fn rnr_backoff_delivers_once_receiver_catches_up() {
     let st = h.fabric.stats();
     assert_eq!(st.qp_errors, 0);
     assert!(st.rnr_backoff_retries >= 1);
-    let cqe = h.log.iter().find(|(_, n, c)| *n == 0 && c.wr_id == 5).unwrap();
+    let cqe = h
+        .log
+        .iter()
+        .find(|(_, n, c)| *n == 0 && c.wr_id == 5)
+        .unwrap();
     assert!(cqe.2.status.is_ok());
 }
 
@@ -347,6 +435,7 @@ fn fault_injection_is_deterministic() {
             max_delay_ns: 40_000,
             stall_rate: 0.1,
             stall_ns: 10_000,
+            ..FaultPlan::none()
         };
         let mut h = harness(2, NetConfig::default(), faults);
         let mut eng = Engine::new();
@@ -370,7 +459,11 @@ fn fault_injection_is_deterministic() {
 #[test]
 fn inert_plan_changes_nothing() {
     let run = |faults: Option<FaultPlan>| {
-        let mut h = harness(2, NetConfig::default(), faults.unwrap_or_else(FaultPlan::none));
+        let mut h = harness(
+            2,
+            NetConfig::default(),
+            faults.unwrap_or_else(FaultPlan::none),
+        );
         let mut eng = Engine::new();
         for i in 0..4 {
             send_one(&mut h, &mut eng, 4096, i);
@@ -379,9 +472,245 @@ fn inert_plan_changes_nothing() {
     };
     // `FaultPlan::none()` (rates all zero) must be bit-identical to a
     // fabric that never had a plan installed.
-    let (t_with, s_with) = run(Some(FaultPlan { seed: 1234, ..FaultPlan::none() }));
+    let (t_with, s_with) = run(Some(FaultPlan {
+        seed: 1234,
+        ..FaultPlan::none()
+    }));
     let (t_none, s_none) = run(None);
     assert_eq!(t_with, t_none);
     assert_eq!(s_with, s_none);
     assert_eq!(s_with.drops_injected + s_with.corruptions_injected, 0);
+}
+
+// ---------------------------------------------------------------------
+// QP lifecycle, APM, and connection epochs
+// ---------------------------------------------------------------------
+
+#[test]
+fn qp_state_machine_enforces_legal_transitions() {
+    let mut h = harness(2, NetConfig::default(), FaultPlan::none());
+    let mut sink = |_t: Time, _e: NicEvent| {};
+    // Tear 0->1 down; the spec's establishment ladder must be walked in
+    // order from there.
+    h.fabric
+        .modify_qp(0, 0, 1, QpState::Reset, &mut sink)
+        .unwrap();
+    assert_eq!(h.fabric.qp_state(0, 1), QpState::Reset);
+    // Skipping straight to RTS (or RTR) from RESET is illegal.
+    let err = h
+        .fabric
+        .modify_qp(0, 0, 1, QpState::Rts, &mut sink)
+        .unwrap_err();
+    assert_eq!((err.from, err.to), (QpState::Reset, QpState::Rts));
+    assert!(h
+        .fabric
+        .modify_qp(0, 0, 1, QpState::Rtr, &mut sink)
+        .is_err());
+    // RESET -> INIT -> RTR -> RTS is legal.
+    h.fabric
+        .modify_qp(0, 0, 1, QpState::Init, &mut sink)
+        .unwrap();
+    h.fabric
+        .modify_qp(0, 0, 1, QpState::Rtr, &mut sink)
+        .unwrap();
+    // A send posted before RTS is rejected synchronously.
+    let (src, src_key) = reg_buf(&mut h, 0, 64, Some(1));
+    let err = h.fabric.post_send(
+        0,
+        0,
+        1,
+        SendWr {
+            wr_id: 1,
+            opcode: Opcode::Send,
+            sges: vec![Sge {
+                addr: src,
+                len: 64,
+                lkey: src_key,
+            }],
+            remote: None,
+            signaled: true,
+        },
+        &h.mems,
+        &mut |_, _| {},
+    );
+    assert!(matches!(err, Err(PostError::QpNotReady { peer: 1 })));
+    h.fabric
+        .modify_qp(0, 0, 1, QpState::Rtr, &mut sink)
+        .unwrap_err(); // RTR->RTR illegal
+    h.fabric
+        .modify_qp(0, 0, 1, QpState::Rts, &mut sink)
+        .unwrap();
+    // RTS <-> SQD (administrative drain) and any -> ERR are legal.
+    h.fabric
+        .modify_qp(0, 0, 1, QpState::Sqd, &mut sink)
+        .unwrap();
+    h.fabric
+        .modify_qp(0, 0, 1, QpState::Rts, &mut sink)
+        .unwrap();
+    h.fabric
+        .modify_qp(0, 0, 1, QpState::Err, &mut sink)
+        .unwrap();
+    assert!(h.fabric.qp_errored(0, 1));
+    // ERR only leaves through RESET.
+    assert!(h
+        .fabric
+        .modify_qp(0, 0, 1, QpState::Rts, &mut sink)
+        .is_err());
+    h.fabric
+        .modify_qp(0, 0, 1, QpState::Reset, &mut sink)
+        .unwrap();
+    assert!(!h.fabric.qp_errored(0, 1));
+}
+
+#[test]
+fn apm_migrates_on_port_down_and_delivery_continues() {
+    // Lossless plan with one scheduled port failure on the sender's
+    // primary port, early enough to land among the transfers.
+    let faults = FaultPlan {
+        seed: 1,
+        link_faults: vec![LinkFault {
+            at_ns: 5_000,
+            node: 0,
+            port: 0,
+            down_ns: 10_000_000,
+        }],
+        ..FaultPlan::none()
+    };
+    let mut h = harness(2, NetConfig::default(), faults);
+    let mut eng = Engine::new();
+    for (t, e) in h.fabric.link_fault_events() {
+        eng.seed(t, e);
+    }
+    for i in 0..6 {
+        let (src, dst) = send_one(&mut h, &mut eng, 8192, i);
+        let a = h.mems[0].space.read(src, 8192).unwrap();
+        let b = h.mems[1].space.read(dst, 8192).unwrap();
+        assert_eq!(a, b, "transfer {i} corrupted across the failover");
+    }
+    let st = h.fabric.stats();
+    assert!(
+        st.migrations >= 1,
+        "port-down with APM enabled must migrate"
+    );
+    assert_eq!(st.qp_errors, 0, "APM failover must not error the QP");
+    assert_eq!(
+        h.fabric.qp_port(0, 1),
+        1,
+        "path must now ride the alternate port"
+    );
+    // Every send completed successfully.
+    assert!(h.log.iter().all(|(_, _, c)| c.status.is_ok()));
+}
+
+#[test]
+fn port_down_without_apm_errors_qp_and_reestablish_recovers() {
+    let cfg = NetConfig {
+        apm_enabled: false,
+        ..NetConfig::default()
+    };
+    let mut h = harness(2, cfg, FaultPlan::none());
+    let mut eng = Engine::new();
+    // Seed only the failure (no recovery): the primary port stays dark
+    // for the whole test.
+    eng.seed(1_000, NicEvent::PortDown { node: 0, port: 0 });
+    eng.run_to_quiescence(&mut h, 10_000);
+    assert!(
+        h.fabric.qp_errored(0, 1),
+        "no APM: the QP on the dead port must error"
+    );
+    assert!(h.fabric.stats().qp_errors >= 1);
+    assert_eq!(h.fabric.stats().migrations, 0);
+    // The connection manager re-establishes the pair; RESET re-selects
+    // the live alternate port, so traffic flows again immediately.
+    h.fabric.reestablish_qp(0, 1);
+    h.fabric.reestablish_qp(1, 0);
+    assert_eq!(h.fabric.qp_state(0, 1), QpState::Rts);
+    assert_eq!(h.fabric.qp_port(0, 1), 1);
+    let (src, dst) = send_one(&mut h, &mut eng, 4096, 77);
+    let a = h.mems[0].space.read(src, 4096).unwrap();
+    let b = h.mems[1].space.read(dst, 4096).unwrap();
+    assert_eq!(a, b, "re-established QP must deliver");
+}
+
+#[test]
+fn stale_epoch_traffic_is_discarded_on_arrival() {
+    // Activate the fault path (epochs are only tracked there) without
+    // injecting any fates.
+    let faults = FaultPlan {
+        seed: 3,
+        delay_rate: 0.0,
+        link_faults: vec![LinkFault {
+            at_ns: 1,
+            node: 1,
+            port: 1,
+            down_ns: 1,
+        }],
+        ..FaultPlan::none()
+    };
+    let mut h = harness(2, NetConfig::default(), faults);
+    let mut eng = Engine::new();
+    let (src, src_key) = reg_buf(&mut h, 0, 4096, Some(0x5A));
+    let (dst, dst_key) = reg_buf(&mut h, 1, 4096, Some(0x00));
+    let mut sink = Vec::new();
+    h.fabric
+        .post_recv(
+            0,
+            1,
+            0,
+            RecvWr {
+                wr_id: 9,
+                sges: vec![Sge {
+                    addr: dst,
+                    len: 4096,
+                    lkey: dst_key,
+                }],
+            },
+            &h.mems,
+            &mut |t, e| sink.push((t, e)),
+        )
+        .unwrap();
+    h.fabric
+        .post_send(
+            0,
+            0,
+            1,
+            SendWr {
+                wr_id: 1,
+                opcode: Opcode::Send,
+                sges: vec![Sge {
+                    addr: src,
+                    len: 4096,
+                    lkey: src_key,
+                }],
+                remote: None,
+                signaled: true,
+            },
+            &h.mems,
+            &mut |t, e| sink.push((t, e)),
+        )
+        .unwrap();
+    // The transfer is in flight; tear the connection down and bring it
+    // back before the wire events run. The old-epoch arrival must be
+    // discarded silently — no data placement, no completion.
+    h.fabric.reestablish_qp(0, 1);
+    for (t, e) in sink {
+        eng.seed(t, e);
+    }
+    eng.run_to_quiescence(&mut h, 10_000);
+    assert_eq!(
+        h.mems[1].space.read(dst, 4096).unwrap(),
+        vec![0x00; 4096],
+        "stale-epoch payload must not be placed"
+    );
+    assert!(
+        h.log
+            .iter()
+            .all(|(_, _, c)| !c.status.is_ok() || c.wr_id != 1),
+        "stale-epoch transfer must not complete successfully: {:?}",
+        h.log
+    );
+    assert!(
+        h.fabric.stats().flushed_wqes >= 1,
+        "the discard is accounted"
+    );
 }

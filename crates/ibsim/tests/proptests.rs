@@ -65,7 +65,10 @@ fn writes_deliver_exactly_once_in_order() {
                 continue;
             }
             let byte = (i % 251) as u8 + 1;
-            h.mems[s as usize].space.fill(src[s as usize].0, len, byte).unwrap();
+            h.mems[s as usize]
+                .space
+                .fill(src[s as usize].0, len, byte)
+                .unwrap();
             let target = dst[d as usize].0 + slot * 4096;
             let wr_id = i as u64;
             let posted = h.fabric.post_send(
@@ -75,7 +78,11 @@ fn writes_deliver_exactly_once_in_order() {
                 SendWr {
                     wr_id,
                     opcode: Opcode::RdmaWrite,
-                    sges: vec![Sge { addr: src[s as usize].0, len, lkey: src[s as usize].1 }],
+                    sges: vec![Sge {
+                        addr: src[s as usize].0,
+                        len,
+                        lkey: src[s as usize].1,
+                    }],
                     remote: Some((target, dst[d as usize].1)),
                     signaled: true,
                 },

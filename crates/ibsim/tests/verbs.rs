@@ -1,6 +1,8 @@
 //! Integration tests driving the verbs simulator through the DES engine.
 
-use ibdt_ibsim::{Cqe, CqeStatus, Fabric, NetConfig, NicEvent, NodeMem, Opcode, PostError, RecvWr, SendWr, Sge};
+use ibdt_ibsim::{
+    Cqe, CqeStatus, Fabric, NetConfig, NicEvent, NodeMem, Opcode, PostError, RecvWr, SendWr, Sge,
+};
 use ibdt_simcore::engine::{Engine, Scheduler, World};
 use ibdt_simcore::time::Time;
 
@@ -54,7 +56,21 @@ fn send_recv_moves_data() {
 
     let mut sink_events = Vec::new();
     h.fabric
-        .post_recv(0, 1, 0, RecvWr { wr_id: 7, sges: vec![Sge { addr: dst, len: 4096, lkey: dst_key }] }, &h.mems, &mut |t, e| sink_events.push((t, e)))
+        .post_recv(
+            0,
+            1,
+            0,
+            RecvWr {
+                wr_id: 7,
+                sges: vec![Sge {
+                    addr: dst,
+                    len: 4096,
+                    lkey: dst_key,
+                }],
+            },
+            &h.mems,
+            &mut |t, e| sink_events.push((t, e)),
+        )
         .unwrap();
     h.fabric
         .post_send(
@@ -64,7 +80,11 @@ fn send_recv_moves_data() {
             SendWr {
                 wr_id: 42,
                 opcode: Opcode::Send,
-                sges: vec![Sge { addr: src, len: 4096, lkey: src_key }],
+                sges: vec![Sge {
+                    addr: src,
+                    len: 4096,
+                    lkey: src_key,
+                }],
                 remote: None,
                 signaled: true,
             },
@@ -83,7 +103,11 @@ fn send_recv_moves_data() {
     assert_eq!(recv.2.wr_id, 7);
     assert_eq!(recv.2.byte_len, 4096);
     assert!(recv.2.status.is_ok());
-    let send = h.log.iter().find(|(_, n, c)| *n == 0 && !c.is_recv).unwrap();
+    let send = h
+        .log
+        .iter()
+        .find(|(_, n, c)| *n == 0 && !c.is_recv)
+        .unwrap();
     assert_eq!(send.2.wr_id, 42);
     // Sender completion is after receiver delivery (ACK round trip).
     assert!(send.0 > recv.0);
@@ -106,7 +130,11 @@ fn send_without_recv_parks_until_posted() {
             SendWr {
                 wr_id: 1,
                 opcode: Opcode::Send,
-                sges: vec![Sge { addr: src, len: 64, lkey: src_key }],
+                sges: vec![Sge {
+                    addr: src,
+                    len: 64,
+                    lkey: src_key,
+                }],
                 remote: None,
                 signaled: true,
             },
@@ -127,14 +155,34 @@ fn send_without_recv_parks_until_posted() {
     let now = eng.now() + 10_000;
     let mut evs = Vec::new();
     h.fabric
-        .post_recv(now, 1, 0, RecvWr { wr_id: 2, sges: vec![Sge { addr: dst, len: 64, lkey: dst_key }] }, &h.mems, &mut |t, e| evs.push((t, e)))
+        .post_recv(
+            now,
+            1,
+            0,
+            RecvWr {
+                wr_id: 2,
+                sges: vec![Sge {
+                    addr: dst,
+                    len: 64,
+                    lkey: dst_key,
+                }],
+            },
+            &h.mems,
+            &mut |t, e| evs.push((t, e)),
+        )
         .unwrap();
     for (t, e) in evs {
         eng.seed(t, e);
     }
     run(&mut h, &mut eng);
     assert_eq!(h.mems[1].space.read(dst, 64).unwrap(), vec![9; 64]);
-    assert_eq!(h.log.iter().filter(|(_, n, c)| *n == 1 && c.is_recv).count(), 1);
+    assert_eq!(
+        h.log
+            .iter()
+            .filter(|(_, n, c)| *n == 1 && c.is_recv)
+            .count(),
+        1
+    );
 }
 
 #[test]
@@ -154,7 +202,11 @@ fn rdma_write_places_data_without_recv() {
             SendWr {
                 wr_id: 5,
                 opcode: Opcode::RdmaWrite,
-                sges: vec![Sge { addr: src, len: 1024, lkey: src_key }],
+                sges: vec![Sge {
+                    addr: src,
+                    len: 1024,
+                    lkey: src_key,
+                }],
                 remote: Some((dst, rkey)),
                 signaled: true,
             },
@@ -196,9 +248,21 @@ fn rdma_write_gather_concatenates_blocks() {
                 wr_id: 9,
                 opcode: Opcode::RdmaWrite,
                 sges: vec![
-                    Sge { addr: src, len: 16, lkey: src_key },
-                    Sge { addr: src + 1000, len: 16, lkey: src_key },
-                    Sge { addr: src + 2000, len: 16, lkey: src_key },
+                    Sge {
+                        addr: src,
+                        len: 16,
+                        lkey: src_key,
+                    },
+                    Sge {
+                        addr: src + 1000,
+                        len: 16,
+                        lkey: src_key,
+                    },
+                    Sge {
+                        addr: src + 2000,
+                        len: 16,
+                        lkey: src_key,
+                    },
                 ],
                 remote: Some((dst, rkey)),
                 signaled: false,
@@ -229,7 +293,21 @@ fn write_with_immediate_notifies_receiver() {
     let mut evs = Vec::new();
     // Immediate consumes a receive descriptor (buffers unused).
     h.fabric
-        .post_recv(0, 1, 0, RecvWr { wr_id: 70, sges: vec![Sge { addr: dst, len: 0, lkey: dst_key }] }, &h.mems, &mut |t, e| evs.push((t, e)))
+        .post_recv(
+            0,
+            1,
+            0,
+            RecvWr {
+                wr_id: 70,
+                sges: vec![Sge {
+                    addr: dst,
+                    len: 0,
+                    lkey: dst_key,
+                }],
+            },
+            &h.mems,
+            &mut |t, e| evs.push((t, e)),
+        )
         .unwrap();
     h.fabric
         .post_send(
@@ -239,7 +317,11 @@ fn write_with_immediate_notifies_receiver() {
             SendWr {
                 wr_id: 71,
                 opcode: Opcode::RdmaWriteImm(0xBEEF),
-                sges: vec![Sge { addr: src, len: 128, lkey: src_key }],
+                sges: vec![Sge {
+                    addr: src,
+                    len: 128,
+                    lkey: src_key,
+                }],
                 remote: Some((dst, rkey)),
                 signaled: false,
             },
@@ -274,7 +356,11 @@ fn bad_rkey_is_a_remote_access_error() {
             SendWr {
                 wr_id: 3,
                 opcode: Opcode::RdmaWrite,
-                sges: vec![Sge { addr: src, len: 64, lkey: src_key }],
+                sges: vec![Sge {
+                    addr: src,
+                    len: 64,
+                    lkey: src_key,
+                }],
                 remote: Some((dst, 0xDEAD)),
                 signaled: true,
             },
@@ -286,7 +372,11 @@ fn bad_rkey_is_a_remote_access_error() {
         eng.seed(t, e);
     }
     run(&mut h, &mut eng);
-    assert_eq!(h.mems[1].space.read(dst, 64).unwrap(), vec![0; 64], "no data placed");
+    assert_eq!(
+        h.mems[1].space.read(dst, 64).unwrap(),
+        vec![0; 64],
+        "no data placed"
+    );
     assert_eq!(h.log.len(), 1);
     assert!(matches!(h.log[0].2.status, CqeStatus::RemoteAccess(_)));
 }
@@ -310,8 +400,16 @@ fn rdma_read_scatters_remote_data() {
                 wr_id: 11,
                 opcode: Opcode::RdmaRead,
                 sges: vec![
-                    Sge { addr: local, len: 100, lkey: local_key },
-                    Sge { addr: local + 2048, len: 156, lkey: local_key },
+                    Sge {
+                        addr: local,
+                        len: 100,
+                        lkey: local_key,
+                    },
+                    Sge {
+                        addr: local + 2048,
+                        len: 156,
+                        lkey: local_key,
+                    },
                 ],
                 remote: Some((remote, rkey)),
                 signaled: true,
@@ -325,7 +423,10 @@ fn rdma_read_scatters_remote_data() {
     }
     run(&mut h, &mut eng);
     assert_eq!(h.mems[0].space.read(local, 100).unwrap(), vec![0x33; 100]);
-    assert_eq!(h.mems[0].space.read(local + 2048, 156).unwrap(), vec![0x33; 156]);
+    assert_eq!(
+        h.mems[0].space.read(local + 2048, 156).unwrap(),
+        vec![0x33; 156]
+    );
     assert_eq!(h.log.len(), 1);
     assert!(h.log[0].2.status.is_ok());
 }
@@ -348,7 +449,11 @@ fn rdma_read_slower_than_write() {
                 SendWr {
                     wr_id: 1,
                     opcode,
-                    sges: vec![Sge { addr: a, len: 8192, lkey: ka }],
+                    sges: vec![Sge {
+                        addr: a,
+                        len: 8192,
+                        lkey: ka,
+                    }],
                     remote: Some((b, rkey)),
                     signaled: true,
                 },
@@ -385,7 +490,11 @@ fn tx_engine_serializes_back_to_back_messages() {
                 SendWr {
                     wr_id: i,
                     opcode: Opcode::RdmaWrite,
-                    sges: vec![Sge { addr: src, len: 1 << 20, lkey: src_key }],
+                    sges: vec![Sge {
+                        addr: src,
+                        len: 1 << 20,
+                        lkey: src_key,
+                    }],
                     remote: Some((dst + i * (1 << 20), rkey)),
                     signaled: true,
                 },
@@ -418,7 +527,14 @@ fn post_errors_detected_synchronously() {
     let wr = SendWr {
         wr_id: 0,
         opcode: Opcode::Send,
-        sges: vec![Sge { addr: src, len: 1, lkey: src_key }; cfg.max_sge + 1],
+        sges: vec![
+            Sge {
+                addr: src,
+                len: 1,
+                lkey: src_key
+            };
+            cfg.max_sge + 1
+        ],
         remote: None,
         signaled: false,
     };
@@ -431,7 +547,11 @@ fn post_errors_detected_synchronously() {
     let wr = SendWr {
         wr_id: 0,
         opcode: Opcode::Send,
-        sges: vec![Sge { addr: src, len: 64, lkey: 0x999 }],
+        sges: vec![Sge {
+            addr: src,
+            len: 64,
+            lkey: 0x999,
+        }],
         remote: None,
         signaled: false,
     };
@@ -444,7 +564,11 @@ fn post_errors_detected_synchronously() {
     let wr = SendWr {
         wr_id: 0,
         opcode: Opcode::RdmaWrite,
-        sges: vec![Sge { addr: src, len: 64, lkey: src_key }],
+        sges: vec![Sge {
+            addr: src,
+            len: 64,
+            lkey: src_key,
+        }],
         remote: None,
         signaled: false,
     };
@@ -457,7 +581,11 @@ fn post_errors_detected_synchronously() {
     let wr = SendWr {
         wr_id: 0,
         opcode: Opcode::Send,
-        sges: vec![Sge { addr: src, len: 64, lkey: src_key }],
+        sges: vec![Sge {
+            addr: src,
+            len: 64,
+            lkey: src_key,
+        }],
         remote: None,
         signaled: false,
     };
@@ -476,7 +604,21 @@ fn oversized_send_errors_both_sides() {
 
     let mut evs = Vec::new();
     h.fabric
-        .post_recv(0, 1, 0, RecvWr { wr_id: 1, sges: vec![Sge { addr: dst, len: 64, lkey: dst_key }] }, &h.mems, &mut |t, e| evs.push((t, e)))
+        .post_recv(
+            0,
+            1,
+            0,
+            RecvWr {
+                wr_id: 1,
+                sges: vec![Sge {
+                    addr: dst,
+                    len: 64,
+                    lkey: dst_key,
+                }],
+            },
+            &h.mems,
+            &mut |t, e| evs.push((t, e)),
+        )
         .unwrap();
     h.fabric
         .post_send(
@@ -486,7 +628,11 @@ fn oversized_send_errors_both_sides() {
             SendWr {
                 wr_id: 2,
                 opcode: Opcode::Send,
-                sges: vec![Sge { addr: src, len: 256, lkey: src_key }],
+                sges: vec![Sge {
+                    addr: src,
+                    len: 256,
+                    lkey: src_key,
+                }],
                 remote: None,
                 signaled: true,
             },
@@ -499,7 +645,13 @@ fn oversized_send_errors_both_sides() {
     }
     run(&mut h, &mut eng);
     let recv_err = h.log.iter().find(|(_, n, _)| *n == 1).unwrap();
-    assert!(matches!(recv_err.2.status, CqeStatus::LocalLengthError { sent: 256, capacity: 64 }));
+    assert!(matches!(
+        recv_err.2.status,
+        CqeStatus::LocalLengthError {
+            sent: 256,
+            capacity: 64
+        }
+    ));
     let send_err = h.log.iter().find(|(_, n, _)| *n == 0).unwrap();
     assert!(!send_err.2.status.is_ok());
 }
@@ -511,7 +663,10 @@ fn list_post_functionally_identical_to_single() {
         let mut eng = Engine::new();
         let (src, src_key) = reg_buf(&mut h, 0, 4096, None);
         for i in 0..4u64 {
-            h.mems[0].space.fill(src + i * 1024, 1024, i as u8 + 1).unwrap();
+            h.mems[0]
+                .space
+                .fill(src + i * 1024, 1024, i as u8 + 1)
+                .unwrap();
         }
         let (dst, _) = reg_buf(&mut h, 1, 4096, None);
         let rkey = h.mems[1].regs.covering(dst, 1).unwrap().rkey;
@@ -519,7 +674,11 @@ fn list_post_functionally_identical_to_single() {
             .map(|i| SendWr {
                 wr_id: i,
                 opcode: Opcode::RdmaWrite,
-                sges: vec![Sge { addr: src + i * 1024, len: 1024, lkey: src_key }],
+                sges: vec![Sge {
+                    addr: src + i * 1024,
+                    len: 1024,
+                    lkey: src_key,
+                }],
                 remote: Some((dst + i * 1024, rkey)),
                 signaled: i == 3,
             })
@@ -555,7 +714,13 @@ fn list_post_functionally_identical_to_single() {
 #[test]
 fn send_queue_depth_enforced() {
     let mut h = harness(2);
-    h.fabric = Fabric::new(2, NetConfig { sq_depth: 4, ..Default::default() });
+    h.fabric = Fabric::new(
+        2,
+        NetConfig {
+            sq_depth: 4,
+            ..Default::default()
+        },
+    );
     let (src, src_key) = reg_buf(&mut h, 0, 4096, Some(1));
     let (dst, _) = reg_buf(&mut h, 1, 1 << 20, None);
     let rkey = h.mems[1].regs.covering(dst, 1).unwrap().rkey;
@@ -571,7 +736,11 @@ fn send_queue_depth_enforced() {
             SendWr {
                 wr_id: i,
                 opcode: Opcode::RdmaWrite,
-                sges: vec![Sge { addr: src, len: 4096, lkey: src_key }],
+                sges: vec![Sge {
+                    addr: src,
+                    len: 4096,
+                    lkey: src_key,
+                }],
                 remote: Some((dst + i * 4096, rkey)),
                 signaled: false,
             },
@@ -597,7 +766,11 @@ fn send_queue_depth_enforced() {
         SendWr {
             wr_id: 99,
             opcode: Opcode::RdmaWrite,
-            sges: vec![Sge { addr: src, len: 4096, lkey: src_key }],
+            sges: vec![Sge {
+                addr: src,
+                len: 4096,
+                lkey: src_key,
+            }],
             remote: Some((dst, rkey)),
             signaled: false,
         },

@@ -104,7 +104,8 @@ impl AddressSpace {
 
     /// Copies `data` into memory at `addr`.
     pub fn write(&mut self, addr: Va, data: &[u8]) -> Result<(), MemError> {
-        self.slice_mut(addr, data.len() as u64)?.copy_from_slice(data);
+        self.slice_mut(addr, data.len() as u64)?
+            .copy_from_slice(data);
         Ok(())
     }
 

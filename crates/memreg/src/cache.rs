@@ -146,6 +146,25 @@ impl PindownCache {
         Ok(0)
     }
 
+    /// Forcibly evicts the cached entry holding `lkey`, deregistering
+    /// it even while in use. This models the §5.4.2 race where the
+    /// pin-down cache reclaims a region an in-flight zero-copy scheme
+    /// still references: the key dies in the table, so a remote access
+    /// against it fails its rkey check, and a later [`release`] of the
+    /// key reports [`MemError::BadKey`] (which the holder must treat as
+    /// "already evicted"). Returns true when an entry was evicted.
+    ///
+    /// [`release`]: PindownCache::release
+    pub fn force_evict(&mut self, table: &mut RegTable, lkey: u32) -> bool {
+        let Some(pos) = self.entries.iter().position(|e| e.reg.lkey == lkey) else {
+            return false;
+        };
+        let victim = self.entries.swap_remove(pos);
+        let _ = table.deregister(MrHandle(victim.reg.lkey));
+        self.evictions += 1;
+        true
+    }
+
     /// Evicts idle LRU entries until idle pinned bytes fit the capacity.
     fn evict_excess(&mut self, table: &mut RegTable, model: &RegCostModel) -> Time {
         let mut cost = 0;

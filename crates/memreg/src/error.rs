@@ -47,12 +47,22 @@ pub enum MemError {
 impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemError::OutOfBounds { addr, len, capacity } => write!(
+            MemError::OutOfBounds {
+                addr,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "access [{addr:#x}, +{len}) out of bounds (capacity {capacity:#x})"
             ),
-            MemError::OutOfMemory { requested, remaining } => {
-                write!(f, "out of memory: requested {requested}, remaining {remaining}")
+            MemError::OutOfMemory {
+                requested,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "out of memory: requested {requested}, remaining {remaining}"
+                )
             }
             MemError::BadKey { key } => write!(f, "stale or invalid memory key {key:#x}"),
             MemError::ProtectionFault { key, addr, len } => write!(

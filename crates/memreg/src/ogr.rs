@@ -175,7 +175,10 @@ mod tests {
         let blocks = vec![(0u64, 4096u64), (1 << 20, 4096), (2 << 20, 4096)];
         let p = plan(&blocks, &m);
         assert_eq!(p.regions.len(), 3);
-        assert_eq!(p.round_trip_ns(), plan_per_block(&blocks, &m).round_trip_ns());
+        assert_eq!(
+            p.round_trip_ns(),
+            plan_per_block(&blocks, &m).round_trip_ns()
+        );
     }
 
     #[test]
@@ -223,7 +226,9 @@ mod tests {
         let p = plan(&blocks, &m);
         for &(a, l) in &blocks {
             assert!(
-                p.regions.iter().any(|&(ra, rl)| a >= ra && a + l <= ra + rl),
+                p.regions
+                    .iter()
+                    .any(|&(ra, rl)| a >= ra && a + l <= ra + rl),
                 "block ({a},{l}) not covered"
             );
         }

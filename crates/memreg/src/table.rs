@@ -30,7 +30,10 @@ pub struct Registration {
 impl Registration {
     /// True when `[addr, addr+len)` lies inside this region.
     pub fn covers(&self, addr: Va, len: u64) -> bool {
-        addr >= self.addr && addr.checked_add(len).is_some_and(|end| end <= self.addr + self.len)
+        addr >= self.addr
+            && addr
+                .checked_add(len)
+                .is_some_and(|end| end <= self.addr + self.len)
     }
 }
 
@@ -76,7 +79,7 @@ impl RegTable {
         self.live
             .remove(&handle.0)
             .ok_or(MemError::BadKey { key: handle.0 })
-        .inspect(|_| self.dereg_ops += 1)
+            .inspect(|_| self.dereg_ops += 1)
     }
 
     /// Looks up a live registration by key.
@@ -188,7 +191,12 @@ mod tests {
 
     #[test]
     fn covers_handles_overflow() {
-        let r = Registration { addr: 0, len: 10, lkey: 1, rkey: 1 };
+        let r = Registration {
+            addr: 0,
+            len: 10,
+            lkey: 1,
+            rkey: 1,
+        };
         assert!(!r.covers(u64::MAX - 1, 5));
     }
 

@@ -32,7 +32,9 @@ fn ogr_covers_every_block() {
                 continue;
             }
             assert!(
-                plan.regions.iter().any(|&(ra, rl)| a >= ra && a + l <= ra + rl),
+                plan.regions
+                    .iter()
+                    .any(|&(ra, rl)| a >= ra && a + l <= ra + rl),
                 "block ({a}, {l}) uncovered by {:?}",
                 plan.regions
             );
@@ -74,8 +76,16 @@ fn ogr_cost_fields_consistent() {
         let blocks = random_blocks(rng);
         let model = random_model(rng);
         let plan = ogr::plan(&blocks, &model);
-        let reg: u64 = plan.regions.iter().map(|&(a, l)| model.reg_cost(a, l)).sum();
-        let dereg: u64 = plan.regions.iter().map(|&(a, l)| model.dereg_cost(a, l)).sum();
+        let reg: u64 = plan
+            .regions
+            .iter()
+            .map(|&(a, l)| model.reg_cost(a, l))
+            .sum();
+        let dereg: u64 = plan
+            .regions
+            .iter()
+            .map(|&(a, l)| model.dereg_cost(a, l))
+            .sum();
         assert_eq!(plan.reg_cost_ns, reg);
         assert_eq!(plan.dereg_cost_ns, dereg);
         assert_eq!(plan.round_trip_ns(), reg + dereg);

@@ -285,7 +285,9 @@ impl Default for ClusterSpec {
 enum Blocked {
     No,
     WaitAll,
-    Compute { until: Time },
+    Compute {
+        until: Time,
+    },
     /// Waiting for outstanding one-sided operations to complete.
     Fence,
 }
@@ -320,7 +322,12 @@ impl Cluster {
         let mut mems: Vec<NodeMem> = (0..n).map(|_| NodeMem::new(spec.mem_capacity)).collect();
         let mut ranks = Vec::with_capacity(n);
         for r in 0..n as u32 {
-            ranks.push(RankState::new(r, spec.nprocs, &spec.mpi, &mut mems[r as usize]));
+            ranks.push(RankState::new(
+                r,
+                spec.nprocs,
+                &spec.mpi,
+                &mut mems[r as usize],
+            ));
         }
         // Pre-post the eager receive rings (§3.1's pre-posted internal
         // buffers).
@@ -331,8 +338,12 @@ impl Cluster {
                     continue;
                 }
                 for i in 0..spec.mpi.eager_bufs_per_peer {
-                    let va =
-                        ranks[r as usize].recv_buf_addr(&spec.mpi, ranks[r as usize].eager_region, peer, i);
+                    let va = ranks[r as usize].recv_buf_addr(
+                        &spec.mpi,
+                        ranks[r as usize].eager_region,
+                        peer,
+                        i,
+                    );
                     let lkey = ranks[r as usize].eager_lkey;
                     fabric
                         .post_recv(
@@ -399,7 +410,11 @@ impl Cluster {
     /// Fills a range with a deterministic byte pattern keyed by `seed`.
     pub fn fill_pattern(&mut self, rank: u32, addr: Va, len: u64, seed: u64) {
         let data: Vec<u8> = (0..len)
-            .map(|i| ((i.wrapping_mul(2654435761).wrapping_add(seed.wrapping_mul(977))) >> 3) as u8)
+            .map(|i| {
+                ((i.wrapping_mul(2654435761)
+                    .wrapping_add(seed.wrapping_mul(977)))
+                    >> 3) as u8
+            })
             .collect();
         self.write_mem(rank, addr, &data);
     }
@@ -409,7 +424,10 @@ impl Cluster {
     /// A `Cluster` is single-shot: the virtual clock, resource schedules
     /// and counters all start at zero, so reuse would conflate runs.
     pub fn run(&mut self, programs: Vec<Program>) -> RunStats {
-        assert!(!self.ran, "Cluster::run is single-shot; build a new cluster");
+        assert!(
+            !self.ran,
+            "Cluster::run is single-shot; build a new cluster"
+        );
         assert_eq!(
             programs.len(),
             self.spec.nprocs as usize,
@@ -428,16 +446,33 @@ impl Cluster {
         for r in 0..self.spec.nprocs {
             engine.seed(0, Ev::Resume { rank: r });
         }
-        // Budget: generous runaway guard proportional to work.
-        let finish = engine.run_to_quiescence(self, 200_000_000);
+        // Realize the fault plan's scheduled link failures as engine
+        // events (port down / port up at their virtual instants).
+        for (t, e) in self.fabric.link_fault_events() {
+            engine.seed(t, Ev::Nic(e));
+        }
+        // Budget: generous runaway guard proportional to work. With
+        // fault injection active the guard doubles as a watchdog — an
+        // exhausted budget becomes a typed `Incomplete` error on every
+        // unfinished rank instead of a panic, so a chaos plan that
+        // wedges the protocol still terminates with a diagnosis.
+        let faulty = self.fabric.faults_active();
+        let (finish, exhausted) = engine.run_bounded(self, 200_000_000);
+        assert!(
+            !exhausted || faulty,
+            "simulation exceeded its event budget at t={finish} without fault \
+             injection — protocol livelock"
+        );
         // Sanity: every program must have finished (a hang here is a
         // protocol deadlock) — unless an injected fault surfaced as a
-        // typed error, in which case an incomplete program is the
-        // expected degraded outcome and is recorded as such.
-        let had_errors = (0..self.spec.nprocs as usize).any(|r| {
-            !self.ranks[r].errors.is_empty()
-                || self.ranks[r].reqs.iter().any(|q| q.error.is_some())
-        });
+        // typed error or tripped the watchdog, in which case an
+        // incomplete program is the expected degraded outcome and is
+        // recorded as such.
+        let had_errors = exhausted
+            || (0..self.spec.nprocs as usize).any(|r| {
+                !self.ranks[r].errors.is_empty()
+                    || self.ranks[r].reqs.iter().any(|q| q.error.is_some())
+            });
         for r in 0..self.spec.nprocs as usize {
             let it = &self.interp[r];
             let unfinished = !it.prog.is_empty() || it.finished_at.is_none();
@@ -492,6 +527,8 @@ impl Cluster {
             rnr_backoff_retries: fstats.rnr_backoff_retries,
             qp_errors: fstats.qp_errors,
             flushed_wqes: fstats.flushed_wqes,
+            migrations: fstats.migrations,
+            fabric_per_rank: self.fabric.node_stats().to_vec(),
             errors: self
                 .ranks
                 .iter()
@@ -599,8 +636,8 @@ impl Cluster {
         seg.unpack(0, n, &a, mem, dst as usize)
             .expect("dst covers the datatype");
         // Cost: read both operands, write one, ~1 ns/element ALU.
-        let cost = ibdt_simcore::time::transfer_ns(3 * n, self.spec.host.copy_bw_bps)
-            + n / prim.size();
+        let cost =
+            ibdt_simcore::time::transfer_ns(3 * n, self.spec.host.copy_bw_bps) + n / prim.size();
         self.ranks[r]
             .cpu
             .reserve_labeled(sched.now(), cost, "reduce");
@@ -618,7 +655,9 @@ impl Cluster {
                 .expect("fence releases acquired registrations");
         }
         if cost > 0 {
-            self.ranks[r].cpu.reserve_labeled(sched.now(), cost, "dereg");
+            self.ranks[r]
+                .cpu
+                .reserve_labeled(sched.now(), cost, "dereg");
         }
         let ops = coll::barrier(rank, self.spec.nprocs);
         splice_front(&mut self.interp[r].prog, ops);
@@ -656,8 +695,21 @@ impl Cluster {
                 return;
             };
             match op {
-                AppOp::Isend { peer, buf, count, ty, tag } => {
-                    let Cluster { fabric, mems, ranks, active, spec, .. } = self;
+                AppOp::Isend {
+                    peer,
+                    buf,
+                    count,
+                    ty,
+                    tag,
+                } => {
+                    let Cluster {
+                        fabric,
+                        mems,
+                        ranks,
+                        active,
+                        spec,
+                        ..
+                    } = self;
                     let mut ctx = Ctx {
                         fabric,
                         mems,
@@ -666,10 +718,32 @@ impl Cluster {
                         cfg: &spec.mpi,
                         sched,
                     };
-                    progress::isend(&mut ranks[r], &mut active[r], &mut ctx, peer, buf, count, &ty, tag);
+                    progress::isend(
+                        &mut ranks[r],
+                        &mut active[r],
+                        &mut ctx,
+                        peer,
+                        buf,
+                        count,
+                        &ty,
+                        tag,
+                    );
                 }
-                AppOp::Irecv { peer, buf, count, ty, tag } => {
-                    let Cluster { fabric, mems, ranks, active, spec, .. } = self;
+                AppOp::Irecv {
+                    peer,
+                    buf,
+                    count,
+                    ty,
+                    tag,
+                } => {
+                    let Cluster {
+                        fabric,
+                        mems,
+                        ranks,
+                        active,
+                        spec,
+                        ..
+                    } = self;
                     let mut ctx = Ctx {
                         fabric,
                         mems,
@@ -678,28 +752,55 @@ impl Cluster {
                         cfg: &spec.mpi,
                         sched,
                     };
-                    progress::irecv(&mut ranks[r], &mut active[r], &mut ctx, peer, buf, count, &ty, tag);
+                    progress::irecv(
+                        &mut ranks[r],
+                        &mut active[r],
+                        &mut ctx,
+                        peer,
+                        buf,
+                        count,
+                        &ty,
+                        tag,
+                    );
                 }
                 AppOp::WaitAll => {
                     self.interp[r].blocked = Blocked::WaitAll;
                 }
                 AppOp::Compute { ns } => {
-                    let done = self.ranks[r].cpu.reserve_labeled(sched.now(), ns, "compute");
+                    let done = self.ranks[r]
+                        .cpu
+                        .reserve_labeled(sched.now(), ns, "compute");
                     self.interp[r].blocked = Blocked::Compute { until: done };
                     sched.at(done, Ev::Resume { rank });
                 }
                 AppOp::MarkTime { slot } => {
                     self.marks[r].push((slot, sched.now()));
                 }
-                AppOp::Alltoall { sbuf, rbuf, count, sty, rty } => {
+                AppOp::Alltoall {
+                    sbuf,
+                    rbuf,
+                    count,
+                    sty,
+                    rty,
+                } => {
                     let ops = coll::alltoall(rank, self.spec.nprocs, sbuf, rbuf, count, &sty, &rty);
                     splice_front(&mut self.interp[r].prog, ops);
                 }
-                AppOp::Bcast { root, buf, count, ty } => {
+                AppOp::Bcast {
+                    root,
+                    buf,
+                    count,
+                    ty,
+                } => {
                     let ops = coll::bcast(rank, self.spec.nprocs, root, buf, count, &ty);
                     splice_front(&mut self.interp[r].prog, ops);
                 }
-                AppOp::Allgather { sbuf, rbuf, count, ty } => {
+                AppOp::Allgather {
+                    sbuf,
+                    rbuf,
+                    count,
+                    ty,
+                } => {
                     let ops = coll::allgather(rank, self.spec.nprocs, sbuf, rbuf, count, &ty);
                     splice_front(&mut self.interp[r].prog, ops);
                 }
@@ -707,15 +808,35 @@ impl Cluster {
                     let ops = coll::barrier(rank, self.spec.nprocs);
                     splice_front(&mut self.interp[r].prog, ops);
                 }
-                AppOp::Gather { root, sbuf, rbuf, count, ty } => {
+                AppOp::Gather {
+                    root,
+                    sbuf,
+                    rbuf,
+                    count,
+                    ty,
+                } => {
                     let ops = coll::gather(rank, self.spec.nprocs, root, sbuf, rbuf, count, &ty);
                     splice_front(&mut self.interp[r].prog, ops);
                 }
-                AppOp::Scatter { root, sbuf, rbuf, count, ty } => {
+                AppOp::Scatter {
+                    root,
+                    sbuf,
+                    rbuf,
+                    count,
+                    ty,
+                } => {
                     let ops = coll::scatter(rank, self.spec.nprocs, root, sbuf, rbuf, count, &ty);
                     splice_front(&mut self.interp[r].prog, ops);
                 }
-                AppOp::Reduce { root, sbuf, rbuf, scratch, count, ty, op } => {
+                AppOp::Reduce {
+                    root,
+                    sbuf,
+                    rbuf,
+                    scratch,
+                    count,
+                    ty,
+                    op,
+                } => {
                     let ops = coll::reduce(
                         rank,
                         self.spec.nprocs,
@@ -729,7 +850,14 @@ impl Cluster {
                     );
                     splice_front(&mut self.interp[r].prog, ops);
                 }
-                AppOp::Allreduce { sbuf, rbuf, scratch, count, ty, op } => {
+                AppOp::Allreduce {
+                    sbuf,
+                    rbuf,
+                    scratch,
+                    count,
+                    ty,
+                    op,
+                } => {
                     let ops = coll::allreduce(
                         rank,
                         self.spec.nprocs,
@@ -742,34 +870,61 @@ impl Cluster {
                     );
                     splice_front(&mut self.interp[r].prog, ops);
                 }
-                AppOp::CombineBuffers { dst, src, count, ty, op } => {
+                AppOp::CombineBuffers {
+                    dst,
+                    src,
+                    count,
+                    ty,
+                    op,
+                } => {
                     self.combine_buffers(sched, rank, dst, src, count, &ty, op);
                 }
                 AppOp::WinCreate { win, addr, len } => {
-                    let Cluster { mems, ranks, spec, windows, .. } = self;
+                    let Cluster {
+                        mems,
+                        ranks,
+                        spec,
+                        windows,
+                        ..
+                    } = self;
                     let rs = &mut ranks[r];
                     let reg = mems[r].regs.register(addr, len);
-                    rs.cpu.reserve_labeled(
-                        sched.now(),
-                        spec.host.reg.reg_cost(addr, len),
-                        "reg",
+                    rs.cpu
+                        .reserve_labeled(sched.now(), spec.host.reg.reg_cost(addr, len), "reg");
+                    windows.insert(
+                        (win, rank),
+                        crate::rma::WinEntry {
+                            base: addr,
+                            len,
+                            rkey: reg.rkey,
+                        },
                     );
-                    windows.insert((win, rank), crate::rma::WinEntry {
-                        base: addr,
-                        len,
-                        rkey: reg.rkey,
-                    });
                     // Collective: window info is usable after the
                     // barrier completes on all ranks.
                     let ops = coll::barrier(rank, self.spec.nprocs);
                     splice_front(&mut self.interp[r].prog, ops);
                 }
-                AppOp::Put { win, target, obuf, ocount, oty, toff, tcount, tty } => {
+                AppOp::Put {
+                    win,
+                    target,
+                    obuf,
+                    ocount,
+                    oty,
+                    toff,
+                    tcount,
+                    tty,
+                } => {
                     let entry = *self
                         .windows
                         .get(&(win, target))
                         .expect("Put before the target created the window");
-                    let Cluster { fabric, mems, ranks, spec, .. } = self;
+                    let Cluster {
+                        fabric,
+                        mems,
+                        ranks,
+                        spec,
+                        ..
+                    } = self;
                     let mut ctx = Ctx {
                         fabric,
                         mems,
@@ -779,16 +934,39 @@ impl Cluster {
                         sched,
                     };
                     crate::rma::put(
-                        &mut ranks[r], &mut ctx, target, entry, obuf, ocount, &oty, toff,
-                        tcount, &tty,
+                        &mut ranks[r],
+                        &mut ctx,
+                        target,
+                        entry,
+                        obuf,
+                        ocount,
+                        &oty,
+                        toff,
+                        tcount,
+                        &tty,
                     );
                 }
-                AppOp::Get { win, target, obuf, ocount, oty, toff, tcount, tty } => {
+                AppOp::Get {
+                    win,
+                    target,
+                    obuf,
+                    ocount,
+                    oty,
+                    toff,
+                    tcount,
+                    tty,
+                } => {
                     let entry = *self
                         .windows
                         .get(&(win, target))
                         .expect("Get before the target created the window");
-                    let Cluster { fabric, mems, ranks, spec, .. } = self;
+                    let Cluster {
+                        fabric,
+                        mems,
+                        ranks,
+                        spec,
+                        ..
+                    } = self;
                     let mut ctx = Ctx {
                         fabric,
                         mems,
@@ -798,8 +976,16 @@ impl Cluster {
                         sched,
                     };
                     crate::rma::get(
-                        &mut ranks[r], &mut ctx, target, entry, obuf, ocount, &oty, toff,
-                        tcount, &tty,
+                        &mut ranks[r],
+                        &mut ctx,
+                        target,
+                        entry,
+                        obuf,
+                        ocount,
+                        &oty,
+                        toff,
+                        tcount,
+                        &tty,
                     );
                 }
                 AppOp::Fence => {
@@ -813,14 +999,13 @@ impl Cluster {
                     // Register through the pin-down cache and release
                     // immediately: the cached entry makes the first
                     // communication on this buffer a registration hit.
-                    let Cluster { mems, ranks, spec, .. } = self;
+                    let Cluster {
+                        mems, ranks, spec, ..
+                    } = self;
                     let rs = &mut ranks[r];
-                    let acq = rs.pindown.acquire(
-                        &mut mems[r].regs,
-                        &spec.host.reg,
-                        addr,
-                        len,
-                    );
+                    let acq = rs
+                        .pindown
+                        .acquire(&mut mems[r].regs, &spec.host.reg, addr, len);
                     let rel = rs
                         .pindown
                         .release(&mut mems[r].regs, &spec.host.reg, acq.reg.lkey)
@@ -862,7 +1047,14 @@ impl World for Cluster {
                 };
                 for (node, cqe) in completions {
                     {
-                        let Cluster { fabric, mems, ranks, active, spec, .. } = self;
+                        let Cluster {
+                            fabric,
+                            mems,
+                            ranks,
+                            active,
+                            spec,
+                            ..
+                        } = self;
                         let mut ctx = Ctx {
                             fabric,
                             mems,
@@ -883,7 +1075,14 @@ impl World for Cluster {
             }
             Ev::Cpu { rank, act } => {
                 {
-                    let Cluster { fabric, mems, ranks, active, spec, .. } = self;
+                    let Cluster {
+                        fabric,
+                        mems,
+                        ranks,
+                        active,
+                        spec,
+                        ..
+                    } = self;
                     let mut ctx = Ctx {
                         fabric,
                         mems,

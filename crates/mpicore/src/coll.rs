@@ -62,14 +62,7 @@ pub fn alltoall(
 }
 
 /// `MPI_Bcast`: binomial tree rooted at `root`.
-pub fn bcast(
-    rank: u32,
-    nprocs: u32,
-    root: u32,
-    buf: Va,
-    count: u64,
-    ty: &Datatype,
-) -> Vec<AppOp> {
+pub fn bcast(rank: u32, nprocs: u32, root: u32, buf: Va, count: u64, ty: &Datatype) -> Vec<AppOp> {
     let mut ops = Vec::new();
     // Work in a rotated space where the root is 0.
     let vrank = (rank + nprocs - root) % nprocs;
@@ -495,9 +488,9 @@ mod tests {
         let ty = Datatype::int();
         let ops = alltoall(0, 4, 1000, 2000, 3, &ty, &ty);
         // Receive for src=2 lands at rbuf + 2*3*4.
-        let found = ops.iter().any(|o| {
-            matches!(o, AppOp::Irecv { peer: 2, buf, .. } if *buf == 2000 + 24)
-        });
+        let found = ops
+            .iter()
+            .any(|o| matches!(o, AppOp::Irecv { peer: 2, buf, .. } if *buf == 2000 + 24));
         assert!(found);
     }
 

@@ -73,6 +73,21 @@ pub enum MpiError {
         /// Referenced sequence number (or 16-bit imm tag).
         seq: u64,
     },
+    /// The connection manager exhausted its re-establishment budget:
+    /// the queue pair to `peer` kept dying faster than it could be
+    /// recovered.
+    ConnectionLost {
+        /// Peer of the unrecoverable connection.
+        peer: u32,
+        /// Re-establishment attempts made.
+        attempts: u32,
+    },
+    /// A registration the protocol relied on was missing or evicted
+    /// (pin-down cache race, §5.4.2) and no fallback path applied.
+    Registration {
+        /// Peer of the affected transfer.
+        peer: u32,
+    },
     /// The rank's program could not finish after an earlier error left
     /// a transfer permanently incomplete.
     Incomplete,
@@ -100,19 +115,31 @@ impl fmt::Display for MpiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MpiError::RetryExceeded { peer, attempts } => {
-                write!(f, "transport retry budget exhausted to rank {peer} after {attempts} attempts")
+                write!(
+                    f,
+                    "transport retry budget exhausted to rank {peer} after {attempts} attempts"
+                )
             }
             MpiError::RnrRetryExceeded { peer, attempts } => {
-                write!(f, "RNR retry budget exhausted to rank {peer} after {attempts} attempts")
+                write!(
+                    f,
+                    "RNR retry budget exhausted to rank {peer} after {attempts} attempts"
+                )
             }
             MpiError::Flushed { peer } => {
-                write!(f, "work request flushed on errored queue pair to rank {peer}")
+                write!(
+                    f,
+                    "work request flushed on errored queue pair to rank {peer}"
+                )
             }
             MpiError::RemoteAccess { peer } => {
                 write!(f, "remote access rejected by rank {peer}")
             }
             MpiError::LengthError { peer } => {
-                write!(f, "local protection/length error on queue pair to rank {peer}")
+                write!(
+                    f,
+                    "local protection/length error on queue pair to rank {peer}"
+                )
             }
             MpiError::Post { peer, err } => {
                 write!(f, "post to rank {peer} failed: {err}")
@@ -124,10 +151,28 @@ impl fmt::Display for MpiError {
                 write!(f, "malformed control message from rank {peer}")
             }
             MpiError::UnknownMessage { peer, seq } => {
-                write!(f, "message from rank {peer} references unknown transfer {seq}")
+                write!(
+                    f,
+                    "message from rank {peer} references unknown transfer {seq}"
+                )
+            }
+            MpiError::ConnectionLost { peer, attempts } => {
+                write!(
+                    f,
+                    "connection to rank {peer} lost after {attempts} re-establishment attempts"
+                )
+            }
+            MpiError::Registration { peer } => {
+                write!(
+                    f,
+                    "required registration missing/evicted on transfer with rank {peer}"
+                )
             }
             MpiError::Incomplete => {
-                write!(f, "program could not finish after an earlier transfer error")
+                write!(
+                    f,
+                    "program could not finish after an earlier transfer error"
+                )
             }
         }
     }
@@ -143,14 +188,23 @@ mod tests {
     fn cqe_mapping() {
         assert_eq!(
             MpiError::from_cqe(3, CqeStatus::RetryExceeded { attempts: 8 }),
-            MpiError::RetryExceeded { peer: 3, attempts: 8 }
+            MpiError::RetryExceeded {
+                peer: 3,
+                attempts: 8
+            }
         );
         assert_eq!(
             MpiError::from_cqe(1, CqeStatus::FlushErr),
             MpiError::Flushed { peer: 1 }
         );
         assert_eq!(
-            MpiError::from_cqe(2, CqeStatus::LocalLengthError { sent: 9, capacity: 4 }),
+            MpiError::from_cqe(
+                2,
+                CqeStatus::LocalLengthError {
+                    sent: 9,
+                    capacity: 4
+                }
+            ),
             MpiError::LengthError { peer: 2 }
         );
     }

@@ -42,5 +42,5 @@ pub mod stats;
 pub use cluster::{AppOp, Cluster, ClusterSpec, Program, ReduceOp};
 pub use config::{MpiConfig, Scheme};
 pub use error::MpiError;
-pub use ibdt_ibsim::FaultPlan;
+pub use ibdt_ibsim::{FabricStats, FaultPlan, LinkFault};
 pub use stats::RunStats;

@@ -77,6 +77,26 @@ pub enum CtrlMsg {
         /// Sequence number of the stalled rendezvous.
         seq: u64,
     },
+    /// Connection-recovery resume request, sent after a queue pair is
+    /// re-established. Sender → receiver: "report how far `seq` got and
+    /// resend your reply". Receiver → sender (P-RRS): "re-announce your
+    /// packed segments for `seq`".
+    RndvResume {
+        /// Sequence number of the interrupted rendezvous.
+        seq: u64,
+    },
+    /// Receiver's answer to [`CtrlMsg::RndvResume`]: the contiguous
+    /// chunk prefix that already arrived (the sender restarts from this
+    /// boundary), or `done` when the transfer had already completed.
+    RndvResumeAck {
+        /// Sequence number.
+        seq: u64,
+        /// Segments `0..from_k` arrived and are safe to skip.
+        from_k: u32,
+        /// True when the receiver completed the transfer before the
+        /// connection died; the sender can complete immediately.
+        done: bool,
+    },
 }
 
 /// Scheme-specific rendezvous reply payload.
@@ -137,6 +157,8 @@ const K_REPLY: u8 = 3;
 const K_SEGREADY: u8 = 4;
 const K_FIN: u8 = 5;
 const K_PROBE: u8 = 6;
+const K_RESUME: u8 = 7;
+const K_RESUME_ACK: u8 = 8;
 
 const B_BUFFER: u8 = 1;
 const B_SEGMENTS: u8 = 2;
@@ -293,7 +315,13 @@ impl CtrlMsg {
                     }
                 }
             }
-            CtrlMsg::SegReady { seq, k, addr, rkey, len } => {
+            CtrlMsg::SegReady {
+                seq,
+                k,
+                addr,
+                rkey,
+                len,
+            } => {
                 w.u8(K_SEGREADY);
                 w.u64(*seq);
                 w.u32(*k);
@@ -308,6 +336,16 @@ impl CtrlMsg {
             CtrlMsg::RndvProbe { seq } => {
                 w.u8(K_PROBE);
                 w.u64(*seq);
+            }
+            CtrlMsg::RndvResume { seq } => {
+                w.u8(K_RESUME);
+                w.u64(*seq);
+            }
+            CtrlMsg::RndvResumeAck { seq, from_k, done } => {
+                w.u8(K_RESUME_ACK);
+                w.u64(*seq);
+                w.u32(*from_k);
+                w.u8(u8::from(*done));
             }
         }
         w.0
@@ -426,6 +464,12 @@ impl CtrlMsg {
             },
             K_FIN => CtrlMsg::Fin { seq: r.u64()? },
             K_PROBE => CtrlMsg::RndvProbe { seq: r.u64()? },
+            K_RESUME => CtrlMsg::RndvResume { seq: r.u64()? },
+            K_RESUME_ACK => CtrlMsg::RndvResumeAck {
+                seq: r.u64()?,
+                from_k: r.u32()?,
+                done: r.u8()? != 0,
+            },
             _ => return None,
         };
         Some((msg, r.1))
@@ -455,7 +499,11 @@ mod tests {
 
     #[test]
     fn eager_payload_offset() {
-        let m = CtrlMsg::EagerData { tag: 1, seq: 2, size: 3 };
+        let m = CtrlMsg::EagerData {
+            tag: 1,
+            seq: 2,
+            size: 3,
+        };
         let mut enc = m.encode();
         let hdr = enc.len();
         enc.extend_from_slice(&[9, 9, 9]);
@@ -483,7 +531,10 @@ mod tests {
         roundtrip(CtrlMsg::RndvReply {
             seq: 5,
             scheme: 0,
-            body: ReplyBody::Buffer { addr: 0xABCD, rkey: 42 },
+            body: ReplyBody::Buffer {
+                addr: 0xABCD,
+                rkey: 42,
+            },
         });
     }
 
@@ -506,7 +557,10 @@ mod tests {
             scheme: 4,
             body: ReplyBody::MultiW {
                 base: 0x40000,
-                tag: TypeTag { index: 3, version: 2 },
+                tag: TypeTag {
+                    index: 3,
+                    version: 2,
+                },
                 count: 5,
                 layout: Some(t.flat().as_ref().clone()),
                 regions: vec![(0x40000, 4096, 77)],
@@ -521,7 +575,10 @@ mod tests {
             scheme: 4,
             body: ReplyBody::MultiW {
                 base: 0x40000,
-                tag: TypeTag { index: 3, version: 2 },
+                tag: TypeTag {
+                    index: 3,
+                    version: 2,
+                },
                 count: 1,
                 layout: None,
                 regions: vec![(0x40000, 4096, 77), (0x80000, 64, 78)],
@@ -545,6 +602,17 @@ mod tests {
         });
         roundtrip(CtrlMsg::Fin { seq: 3 });
         roundtrip(CtrlMsg::RndvProbe { seq: 77 });
+        roundtrip(CtrlMsg::RndvResume { seq: 78 });
+        roundtrip(CtrlMsg::RndvResumeAck {
+            seq: 79,
+            from_k: 3,
+            done: false,
+        });
+        roundtrip(CtrlMsg::RndvResumeAck {
+            seq: 80,
+            from_k: 0,
+            done: true,
+        });
     }
 
     #[test]
@@ -555,7 +623,10 @@ mod tests {
             scheme: 6,
             body: ReplyBody::Hybrid {
                 base: 0x9000,
-                tag: TypeTag { index: 1, version: 3 },
+                tag: TypeTag {
+                    index: 1,
+                    version: 3,
+                },
                 count: 2,
                 layout: Some(t.flat().as_ref().clone()),
                 regions: vec![(0x9000, 8192, 5)],
@@ -568,7 +639,10 @@ mod tests {
             scheme: 6,
             body: ReplyBody::Hybrid {
                 base: 0x9000,
-                tag: TypeTag { index: 1, version: 3 },
+                tag: TypeTag {
+                    index: 1,
+                    version: 3,
+                },
                 count: 2,
                 layout: None,
                 regions: vec![],

@@ -171,7 +171,6 @@ pub fn imm_parse(imm: u32) -> (u16, u32) {
     ((imm >> 16) as u16, imm & 0xFFFF)
 }
 
-
 /// Per-rank LRU cache of compiled [`TransferPlan`]s, keyed by the
 /// §5.4.2 datatype-cache version: `(type index, type version, count)`.
 /// The registry assigns the index/version, so a freed-and-reused type

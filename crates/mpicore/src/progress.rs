@@ -18,7 +18,9 @@
 use crate::config::{MpiConfig, Scheme};
 use crate::error::MpiError;
 use crate::msg::{CtrlMsg, ReplyBody};
-use crate::plan::{chunk_gather, hybrid_partition, imm_of, imm_parse, plan_multi_w, substream_to_stream};
+use crate::plan::{
+    chunk_gather, hybrid_partition, imm_of, imm_parse, plan_multi_w, substream_to_stream,
+};
 use crate::rank::{PostedRecv, RankState, ReqId, ReqKind, Unexpected};
 use ibdt_datatype::{Datatype, FlatLayout, TransferPlan};
 use ibdt_ibsim::{
@@ -27,7 +29,7 @@ use ibdt_ibsim::{
 use ibdt_memreg::{ogr, Registration, Va};
 use ibdt_simcore::engine::Scheduler;
 use ibdt_simcore::time::Time;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Top-level simulation event for the MPI world.
@@ -111,6 +113,12 @@ pub enum CpuAct {
         /// Message sequence number.
         seq: u64,
     },
+    /// The connection-manager handshake to `peer` finished: the queue
+    /// pair is re-established and suspended traffic can be re-driven.
+    Reconnect {
+        /// The reconnected peer.
+        peer: u32,
+    },
 }
 
 /// Shared mutable context threaded through the protocol functions.
@@ -141,7 +149,12 @@ impl Ctx<'_, '_> {
         peer: u32,
         wr: SendWr,
     ) -> Result<(), PostError> {
-        let Self { fabric, mems, sched, .. } = self;
+        let Self {
+            fabric,
+            mems,
+            sched,
+            ..
+        } = self;
         fabric.post_send(ready_at, node, peer, wr, mems, &mut |t, e| {
             sched.at(t, Ev::Nic(e))
         })
@@ -154,14 +167,24 @@ impl Ctx<'_, '_> {
         peer: u32,
         wrs: Vec<SendWr>,
     ) -> Result<(), PostError> {
-        let Self { fabric, mems, sched, .. } = self;
+        let Self {
+            fabric,
+            mems,
+            sched,
+            ..
+        } = self;
         fabric.post_send_list(ready_at, node, peer, wrs, mems, &mut |t, e| {
             sched.at(t, Ev::Nic(e))
         })
     }
 
     fn post_recv(&mut self, now: Time, node: u32, peer: u32, wr: RecvWr) {
-        let Self { fabric, mems, sched, .. } = self;
+        let Self {
+            fabric,
+            mems,
+            sched,
+            ..
+        } = self;
         fabric
             .post_recv(now, node, peer, wr, mems, &mut |t, e| {
                 sched.at(t, Ev::Nic(e))
@@ -239,6 +262,9 @@ struct SendMsg {
     req: ReqId,
     peer: u32,
     seq: u64,
+    /// Match tag, kept so a §5.4.2 renegotiation can re-send the
+    /// rendezvous start verbatim.
+    tag: u32,
     buf: Va,
     count: u64,
     ty: Datatype,
@@ -270,6 +296,13 @@ struct SendMsg {
     /// User-buffer bytes this message charged against
     /// `reg_budget_bytes`.
     pinned_bytes: u64,
+    /// Set after a protection-fault fallback (§5.4.2): the message was
+    /// renegotiated once as BC-SPUP; a second remote-access error is
+    /// fatal.
+    renegotiated: bool,
+    /// Stale pack completions to discard after a renegotiation reset
+    /// the pack pipeline.
+    drop_packs: u32,
 }
 
 /// Receiver-side state of one rendezvous message.
@@ -303,6 +336,12 @@ struct RecvMsg {
     pinned_bytes: u64,
     /// Copy of the sent reply, kept for probe-triggered resends.
     reply_copy: Option<Vec<u8>>,
+    /// Segment indices already written (dedup across recovery
+    /// re-drives: a resumed sender may repeat delivered segments).
+    segs_seen: HashSet<u32>,
+    /// Stale unpack completions to discard after a renegotiation reset
+    /// the unpack pipeline.
+    drop_unpacks: u32,
 }
 
 /// Active rendezvous messages of one rank.
@@ -384,6 +423,7 @@ pub fn isend(
         req,
         peer,
         seq,
+        tag,
         buf,
         count,
         ty: ty.clone(),
@@ -405,6 +445,8 @@ pub fn isend(
         rerequests: 0,
         mw_stage: false,
         pinned_bytes: 0,
+        renegotiated: false,
+        drop_packs: 0,
     };
     if ctx.cfg.rndv_reply_timeout_ns > 0 {
         let at = ctx.now() + ctx.cfg.rndv_reply_timeout_ns;
@@ -468,8 +510,14 @@ pub fn isend(
             // block statistics (§6's MPI_Info-style hint) so the early
             // work overlaps the handshake. A wrong guess costs only a
             // cached registration or an unused pool pack.
-            let predicted =
-                adaptive_choose(ctx.cfg, size, stats.min, stats.median, stats.min, stats.median);
+            let predicted = adaptive_choose(
+                ctx.cfg,
+                size,
+                stats.min,
+                stats.median,
+                stats.min,
+                stats.median,
+            );
             match predicted {
                 Scheme::RwgUp | Scheme::MultiW | Scheme::PRrs => {
                     if !sender_register(rs, ctx, &mut msg) {
@@ -594,7 +642,16 @@ pub fn on_cqe(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, cq
                 rs.rma_outstanding -= 1;
                 rs.rma_event = true;
             }
-            other => panic!("unknown WR id namespace {other:#x}"),
+            other => {
+                // A WR id outside every known namespace is a protocol
+                // bug; surface it as a typed error instead of tearing
+                // the whole simulation down.
+                debug_assert!(false, "unknown WR id namespace {other:#x}");
+                rs.errors.push(MpiError::UnknownMessage {
+                    peer: cqe.peer,
+                    seq: cqe.wr_id & WR_LOW_MASK,
+                });
+            }
         }
     }
 }
@@ -605,29 +662,73 @@ pub fn on_cqe(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, cq
 /// message already gone and fall through silently.
 fn on_cqe_error(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, cqe: Cqe) {
     rs.counters.cqe_errors += 1;
-    let err = MpiError::from_cqe(cqe.peer, cqe.status);
+    let mut err = MpiError::from_cqe(cqe.peer, cqe.status);
     if cqe.is_recv {
-        // A flushed eager ring descriptor: the QP is dead, so there is
-        // no point reposting — record the rank-level error.
+        // A failed receive completion (bad eager length): the
+        // descriptor is consumed — record the rank-level error.
         rs.errors.push(err);
         return;
     }
-    match cqe.wr_id & !WR_LOW_MASK {
+    let peer = cqe.peer;
+    let kind = cqe.wr_id & !WR_LOW_MASK;
+    let low = cqe.wr_id & WR_LOW_MASK;
+    // Transport-class failures (flush, retry exhaustion) hand the
+    // affected traffic to the connection manager instead of failing
+    // the owning requests; the reconnect event re-drives it.
+    if ctx.cfg.recovery && recoverable(&err) && matches!(kind, WR_EAGER | WR_DATA | WR_READ) {
+        if ensure_reconnect(rs, ctx, peer) {
+            let r = rs.reconn.get_mut(&peer).expect("entry ensured above");
+            match kind {
+                WR_EAGER => r.eager_slots.push(low),
+                WR_DATA => {
+                    if am.sends.contains_key(&(peer, low)) {
+                        r.sends.insert(low);
+                    }
+                }
+                _ => {
+                    if am.recvs.contains_key(&(peer, low)) {
+                        r.recvs.insert(low);
+                    }
+                }
+            }
+            return;
+        }
+        let attempts = rs.reconn.get(&peer).map_or(0, |r| r.attempts);
+        err = MpiError::ConnectionLost { peer, attempts };
+    }
+    match kind {
         WR_EAGER => {
-            let va = cqe.wr_id & WR_LOW_MASK;
-            rs.eager_send_free.push(va);
+            rs.eager_send_free.push(low);
             rs.errors.push(err);
             drain_pending_eager(rs, ctx);
         }
         WR_DATA => {
-            let seq = cqe.wr_id & WR_LOW_MASK;
-            if let Some(msg) = am.sends.remove(&(cqe.peer, seq)) {
+            // §5.4.2: a remote-access error on a zero-copy write means
+            // the receiver's registration was evicted under the
+            // transfer. Renegotiate the message as BC-SPUP once
+            // instead of failing it.
+            if matches!(err, MpiError::RemoteAccess { .. }) {
+                match am.sends.get(&(peer, low)) {
+                    Some(m)
+                        if ctx.cfg.recovery
+                            && !m.renegotiated
+                            && matches!(m.scheme, Scheme::MultiW | Scheme::Hybrid) =>
+                    {
+                        renegotiate_send(rs, am, ctx, peer, low);
+                        return;
+                    }
+                    Some(m) if m.renegotiated => {
+                        err = MpiError::Registration { peer };
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(msg) = am.sends.remove(&(peer, low)) {
                 abort_send(rs, ctx, msg, err);
             }
         }
         WR_READ => {
-            let seq = cqe.wr_id & WR_LOW_MASK;
-            abort_recv(rs, am, ctx, cqe.peer, seq, err);
+            abort_recv(rs, am, ctx, peer, low, err);
         }
         WR_RMA => {
             rs.rma_outstanding = rs.rma_outstanding.saturating_sub(1);
@@ -678,6 +779,13 @@ pub fn on_cpu(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, ac
             let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
                 return;
             };
+            if msg.drop_packs > 0 {
+                // Stale completion from a pack pipeline a renegotiation
+                // tore down; the new pipeline runs its own chain.
+                msg.drop_packs -= 1;
+                am.sends.insert((peer, seq), msg);
+                return;
+            }
             debug_assert_eq!(msg.packed, k, "pack completions out of order");
             msg.packed = k + 1;
             msg.pack_chain_running = false;
@@ -695,7 +803,7 @@ pub fn on_cpu(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, ac
             };
             try_post_ready(rs, ctx, &mut msg);
             if let Some(err) = msg.failed.take() {
-                abort_send(rs, ctx, msg, err);
+                resolve_send_failure(rs, am, ctx, msg, err);
                 return;
             }
             start_pack_chain(rs, ctx, &mut msg);
@@ -708,7 +816,7 @@ pub fn on_cpu(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, ac
             msg.reg_done = true;
             try_post_ready(rs, ctx, &mut msg);
             if let Some(err) = msg.failed.take() {
-                abort_send(rs, ctx, msg, err);
+                resolve_send_failure(rs, am, ctx, msg, err);
                 return;
             }
             am.sends.insert((peer, seq), msg);
@@ -747,6 +855,12 @@ pub fn on_cpu(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, ac
                 return;
             };
             let _ = k;
+            if msg.drop_unpacks > 0 {
+                // Stale completion from before a renegotiation reset
+                // the unpack pipeline.
+                msg.drop_unpacks -= 1;
+                return;
+            }
             msg.segs_unpacked += 1;
             rs.counters.unpacks += 1;
             let hybrid_gate = msg.scheme == Scheme::Hybrid && !msg.marker_seen;
@@ -758,10 +872,15 @@ pub fn on_cpu(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, ac
             let Some(msg) = am.recvs.get_mut(&(peer, seq)) else {
                 return;
             };
+            if msg.drop_unpacks > 0 {
+                msg.drop_unpacks -= 1;
+                return;
+            }
             rs.counters.unpacks += 1;
             msg.segs_unpacked = msg.nsegs;
             receiver_complete(rs, am, ctx, peer, seq);
         }
+        CpuAct::Reconnect { peer } => do_reconnect(rs, am, ctx, peer),
     }
 }
 
@@ -868,7 +987,13 @@ fn self_send(
 
 /// Sends a control/eager message, taking a ring buffer or queueing.
 /// `extra_cpu_ns` is work (e.g. packing) that precedes the post.
-fn send_ctrl(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, bytes: Vec<u8>, extra_cpu_ns: Time) {
+fn send_ctrl(
+    rs: &mut RankState,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    bytes: Vec<u8>,
+    extra_cpu_ns: Time,
+) {
     assert!(
         bytes.len() as u64 <= ctx.cfg.eager_buf_size,
         "control message ({} B) exceeds eager buffer",
@@ -896,9 +1021,22 @@ fn send_ctrl(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, bytes: Vec<u8
                 signaled: true,
             };
             if let Err(e) = ctx.post_send(ready, rs.rank, peer, wr) {
+                rs.eager_send_free.push(va);
+                // A dead QP suspends the message with the connection
+                // manager; it is re-sent after re-establishment.
+                if ctx.cfg.recovery
+                    && matches!(e, PostError::QpError { .. } | PostError::QpNotReady { .. })
+                    && ensure_reconnect(rs, ctx, peer)
+                {
+                    rs.reconn
+                        .get_mut(&peer)
+                        .expect("entry ensured above")
+                        .pending_ctrl
+                        .push(bytes);
+                    return;
+                }
                 rs.counters.post_errors += 1;
                 rs.errors.push(MpiError::Post { peer, err: e });
-                rs.eager_send_free.push(va);
             }
         }
         None => {
@@ -933,9 +1071,23 @@ fn drain_pending_eager(rs: &mut RankState, ctx: &mut Ctx<'_, '_>) {
             signaled: true,
         };
         if let Err(e) = ctx.post_send(ready, rs.rank, p.peer, wr) {
-            rs.counters.post_errors += 1;
-            rs.errors.push(MpiError::Post { peer: p.peer, err: e });
             rs.eager_send_free.push(va);
+            if ctx.cfg.recovery
+                && matches!(e, PostError::QpError { .. } | PostError::QpNotReady { .. })
+                && ensure_reconnect(rs, ctx, p.peer)
+            {
+                rs.reconn
+                    .get_mut(&p.peer)
+                    .expect("entry ensured above")
+                    .pending_ctrl
+                    .push(p.bytes);
+                continue;
+            }
+            rs.counters.post_errors += 1;
+            rs.errors.push(MpiError::Post {
+                peer: p.peer,
+                err: e,
+            });
         }
     }
 }
@@ -959,7 +1111,13 @@ fn repost_eager_recv(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, va: V
 // Control message dispatch
 // ---------------------------------------------------------------------
 
-fn on_ctrl(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32, bytes: &[u8]) {
+fn on_ctrl(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    bytes: &[u8],
+) {
     rs.cpu
         .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
     let Some((msg, hdr_len)) = CtrlMsg::decode(bytes) else {
@@ -998,32 +1156,48 @@ fn on_ctrl(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer:
             seg_size,
             blk_min,
             blk_median,
-        } => match rs.match_posted(peer, tag) {
-            Some(mut p) => {
-                // The posted receive may carry wildcards; the protocol
-                // needs the concrete source.
-                p.peer = peer;
-                p.tag = tag;
-                receiver_start(
-                    rs, am, ctx, p, seq, size, scheme, nsegs, seg_size, blk_min, blk_median,
-                );
+        } => {
+            if am.recvs.contains_key(&(peer, seq)) {
+                // A duplicate start for a live transfer: a flushed
+                // original was never delivered (flush precludes
+                // delivery), so this is exclusively the sender's
+                // §5.4.2 protection-fault renegotiation.
+                receiver_renegotiate(rs, am, ctx, peer, seq, size, nsegs, seg_size);
+                return;
             }
-            None => rs.unexpected.push_back(Unexpected::Rndv {
-                peer,
-                tag,
-                seq,
-                size,
-                scheme,
-                nsegs,
-                seg_size,
-                blk_min,
-                blk_median,
-            }),
-        },
+            match rs.match_posted(peer, tag) {
+                Some(mut p) => {
+                    // The posted receive may carry wildcards; the protocol
+                    // needs the concrete source.
+                    p.peer = peer;
+                    p.tag = tag;
+                    receiver_start(
+                        rs, am, ctx, p, seq, size, scheme, nsegs, seg_size, blk_min, blk_median,
+                    );
+                }
+                None => rs.unexpected.push_back(Unexpected::Rndv {
+                    peer,
+                    tag,
+                    seq,
+                    size,
+                    scheme,
+                    nsegs,
+                    seg_size,
+                    blk_min,
+                    blk_median,
+                }),
+            }
+        }
         CtrlMsg::RndvReply { seq, scheme, body } => {
             sender_on_reply(rs, am, ctx, peer, seq, scheme, body);
         }
-        CtrlMsg::SegReady { seq, k, addr, rkey, len } => {
+        CtrlMsg::SegReady {
+            seq,
+            k,
+            addr,
+            rkey,
+            len,
+        } => {
             receiver_on_seg_ready(rs, am, ctx, peer, seq, k, addr, rkey, len);
         }
         CtrlMsg::Fin { seq } => {
@@ -1044,7 +1218,124 @@ fn on_ctrl(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer:
                 send_ctrl(rs, ctx, peer, r, 0);
             }
         }
+        CtrlMsg::RndvResume { seq } => {
+            on_resume_request(rs, am, ctx, peer, seq);
+        }
+        CtrlMsg::RndvResumeAck { seq, from_k, done } => {
+            on_resume_ack(rs, am, ctx, peer, seq, from_k, done);
+        }
     }
+}
+
+/// A recovering peer asks where to restart transfer `seq`. Answered
+/// from the receiver's acknowledged-prefix state; for P-RRS the local
+/// *sender* re-announces its packed segments instead.
+fn on_resume_request(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    seq: u64,
+) {
+    if let Some(msg) = am.recvs.get(&(peer, seq)) {
+        // Per-QP FIFO delivery plus flush-kills-the-suffix means the
+        // arrived count is exactly the delivered contiguous prefix for
+        // the segment-ordered schemes; Multi-W/Hybrid restart from the
+        // beginning (their writes are idempotent and the completion
+        // marker is posted last).
+        let from_k = match msg.scheme {
+            Scheme::BcSpup | Scheme::RwgUp => msg.segs_arrived,
+            _ => 0,
+        };
+        let ack = CtrlMsg::RndvResumeAck {
+            seq,
+            from_k,
+            done: false,
+        };
+        send_ctrl(rs, ctx, peer, ack.encode(), 0);
+        return;
+    }
+    if rs.done_seqs.contains(&(peer, seq)) {
+        let ack = CtrlMsg::RndvResumeAck {
+            seq,
+            from_k: 0,
+            done: true,
+        };
+        send_ctrl(rs, ctx, peer, ack.encode(), 0);
+        return;
+    }
+    if am.sends.contains_key(&(peer, seq)) {
+        // P-RRS: the recovering receiver drives the reads; re-announce
+        // every packed segment (re-reads are idempotent).
+        let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
+            return;
+        };
+        msg.posted_segs = 0;
+        try_post_ready(rs, ctx, &mut msg);
+        if let Some(err) = msg.failed.take() {
+            resolve_send_failure(rs, am, ctx, msg, err);
+            return;
+        }
+        am.sends.insert((peer, seq), msg);
+        return;
+    }
+    if !ctx.fabric.faults_active() {
+        rs.errors.push(MpiError::UnknownMessage { peer, seq });
+    }
+}
+
+/// The peer answered our resume request: skip the acknowledged prefix
+/// and re-drive the rest (or finish outright when the transfer had
+/// already completed remotely).
+fn on_resume_ack(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    seq: u64,
+    from_k: u32,
+    done: bool,
+) {
+    let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
+        return;
+    };
+    if done {
+        // Everything (including the receiver-side completion) landed
+        // before the failure; only our completion CQE was lost.
+        msg.completed = true;
+        sender_release(rs, ctx, &mut msg);
+        rs.complete_req(msg.req);
+        return;
+    }
+    rs.counters.resumed_chunks += from_k as u64;
+    msg.posted_segs = from_k.min(msg.nsegs);
+    if msg.posted_segs >= msg.nsegs && matches!(msg.scheme, Scheme::BcSpup | Scheme::RwgUp) {
+        // Every segment already reached the receiver; only the final
+        // (signaled) completion was lost to the flush. The sender's
+        // data duty is done.
+        msg.completed = true;
+        sender_release(rs, ctx, &mut msg);
+        rs.complete_req(msg.req);
+        return;
+    }
+    if let Some(hy) = msg.hybrid.as_mut() {
+        // Hybrid restarts whole phases: direct writes and the marker
+        // are idempotent.
+        hy.direct_posted = false;
+        hy.marker_posted = false;
+    }
+    try_post_ready(rs, ctx, &mut msg);
+    if let Some(err) = msg.failed.take() {
+        resolve_send_failure(rs, am, ctx, msg, err);
+        return;
+    }
+    // Restart staging only for schemes that stage: RWG-UP (and the
+    // contiguous P-RRS sender) gathers straight from the pinned user
+    // buffer and owns no pack buffers.
+    if !msg.pack_bufs.is_empty() || msg.hybrid.is_some() {
+        start_pack_chain(rs, ctx, &mut msg);
+    }
+    am.sends.insert((peer, seq), msg);
 }
 
 // ---------------------------------------------------------------------
@@ -1113,7 +1404,12 @@ fn receiver_start(
     } else {
         match proposal {
             Scheme::Adaptive => adaptive_choose(
-                ctx.cfg, size, blk_min, blk_median, rstats.min, rstats.median,
+                ctx.cfg,
+                size,
+                blk_min,
+                blk_median,
+                rstats.min,
+                rstats.median,
             ),
             s => s,
         }
@@ -1147,6 +1443,8 @@ fn receiver_start(
         completed: false,
         pinned_bytes: 0,
         reply_copy: None,
+        segs_seen: HashSet::new(),
+        drop_unpacks: 0,
     };
     am.imm_map.insert((p.peer, (seq & 0xFFFF) as u16), seq);
 
@@ -1158,9 +1456,17 @@ fn receiver_start(
             Some(r) => {
                 // Guaranteed by build_multiw_reply's 2× budget check.
                 let cost = receiver_reg_cost(rs, ctx, &mut msg).unwrap_or(0);
+                maybe_evict_reply_reg(rs, ctx, &msg);
                 msg.pending_reply = Some(r);
                 let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
-                ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
+                ctx.cpu_event(
+                    done,
+                    rs.rank,
+                    CpuAct::ReceiverReady {
+                        peer: msg.peer,
+                        seq,
+                    },
+                );
                 am.recvs.insert((msg.peer, seq), msg);
                 return;
             }
@@ -1174,11 +1480,19 @@ fn receiver_start(
     if scheme == Scheme::Hybrid {
         match build_hybrid_reply(rs, ctx, &mut msg) {
             Some(r) => {
+                maybe_evict_reply_reg(rs, ctx, &msg);
                 msg.pending_reply = Some(r);
                 let done = rs
                     .cpu
                     .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
-                ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
+                ctx.cpu_event(
+                    done,
+                    rs.rank,
+                    CpuAct::ReceiverReady {
+                        peer: msg.peer,
+                        seq,
+                    },
+                );
                 am.recvs.insert((msg.peer, seq), msg);
                 return;
             }
@@ -1202,7 +1516,14 @@ fn receiver_start(
                 };
                 msg.pending_reply = Some(reply.encode());
                 let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
-                ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
+                ctx.cpu_event(
+                    done,
+                    rs.rank,
+                    CpuAct::ReceiverReady {
+                        peer: msg.peer,
+                        seq,
+                    },
+                );
                 am.recvs.insert((msg.peer, seq), msg);
                 return;
             }
@@ -1231,7 +1552,14 @@ fn receiver_start(
             let done = rs
                 .cpu
                 .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
-            ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
+            ctx.cpu_event(
+                done,
+                rs.rank,
+                CpuAct::ReceiverReady {
+                    peer: msg.peer,
+                    seq,
+                },
+            );
         }
         Scheme::BcSpup | Scheme::RwgUp => {
             let mut segs = Vec::with_capacity(nsegs as usize);
@@ -1249,7 +1577,14 @@ fn receiver_start(
             let done = rs
                 .cpu
                 .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
-            ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer: msg.peer, seq });
+            ctx.cpu_event(
+                done,
+                rs.rank,
+                CpuAct::ReceiverReady {
+                    peer: msg.peer,
+                    seq,
+                },
+            );
         }
         Scheme::MultiW | Scheme::Hybrid | Scheme::PRrs | Scheme::Adaptive => {
             unreachable!("resolved above")
@@ -1297,7 +1632,11 @@ fn receiver_reg_cost(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMs
 
 /// Builds the Multi-W reply, or `None` when it cannot fit an eager
 /// buffer.
-fn build_multiw_reply(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg) -> Option<Vec<u8>> {
+fn build_multiw_reply(
+    rs: &mut RankState,
+    ctx: &mut Ctx<'_, '_>,
+    msg: &mut RecvMsg,
+) -> Option<Vec<u8>> {
     let tag = rs.registry.register(&msg.ty);
     let key = (msg.peer, tag.index, tag.version);
     let layout = if rs.sent_layouts.contains(&key) {
@@ -1369,7 +1708,11 @@ fn build_multiw_reply(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvM
 /// unpack segments for the packed part, and records the partition on
 /// the receive message. Returns `None` when the reply cannot fit an
 /// eager buffer (fall back to BC-SPUP).
-fn build_hybrid_reply(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg) -> Option<Vec<u8>> {
+fn build_hybrid_reply(
+    rs: &mut RankState,
+    ctx: &mut Ctx<'_, '_>,
+    msg: &mut RecvMsg,
+) -> Option<Vec<u8>> {
     let threshold = ctx.cfg.hybrid_block_threshold;
     let blocks = abs_blocks(&rs.plan_for(&msg.ty, msg.count), msg.buf);
     let lens: Vec<u64> = blocks.iter().map(|&(_, l)| l).collect();
@@ -1377,7 +1720,10 @@ fn build_hybrid_reply(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvM
     let (nsegs_p, seg_size_p) = if part.packed_bytes == 0 {
         (0u32, 1u64)
     } else {
-        let ss = ctx.cfg.segment_size(part.packed_bytes).min(ctx.cfg.max_seg_size);
+        let ss = ctx
+            .cfg
+            .segment_size(part.packed_bytes)
+            .min(ctx.cfg.max_seg_size);
         (part.packed_bytes.div_ceil(ss) as u32, ss)
     };
 
@@ -1467,13 +1813,27 @@ fn on_segment_arrival(
     let (seq16, k) = imm_parse(imm);
     let Some(&seq) = am.imm_map.get(&(peer, seq16)) else {
         // Stale duplicate after the message was aborted or completed.
-        rs.errors.push(MpiError::UnknownMessage { peer, seq: seq16 as u64 });
+        // Under fault injection a recovery re-drive can legitimately
+        // repeat traffic; only protocol-clean runs treat it as an error.
+        if !ctx.fabric.faults_active() {
+            rs.errors.push(MpiError::UnknownMessage {
+                peer,
+                seq: seq16 as u64,
+            });
+        }
         return;
     };
     let Some(msg) = am.recvs.get_mut(&(peer, seq)) else {
-        rs.errors.push(MpiError::UnknownMessage { peer, seq });
+        if !ctx.fabric.faults_active() {
+            rs.errors.push(MpiError::UnknownMessage { peer, seq });
+        }
         return;
     };
+    if k != MARKER_K && !msg.segs_seen.insert(k) {
+        // A resumed sender repeated a segment that already landed
+        // (idempotent RDMA write): count it once.
+        return;
+    }
     msg.segs_arrived += 1;
     match msg.scheme {
         Scheme::Generic => {
@@ -1586,7 +1946,15 @@ fn hybrid_unpack_segment(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut Re
     let mut blocks = 0usize;
     for &(a, b) in &stream_ivs {
         let n = (b - a) as usize;
-        unpack_from_slice(ctx, rs.rank, &plan, msg.buf, a, b, &data[cursor..cursor + n]);
+        unpack_from_slice(
+            ctx,
+            rs.rank,
+            &plan,
+            msg.buf,
+            a,
+            b,
+            &data[cursor..cursor + n],
+        );
         cursor += n;
         let (nb, _) = plan.block_count_in(a, b).expect("range valid");
         blocks += nb;
@@ -1605,7 +1973,13 @@ fn hybrid_unpack_segment(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut Re
     );
 }
 
-fn receiver_complete(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32, seq: u64) {
+fn receiver_complete(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    seq: u64,
+) {
     let Some(mut msg) = am.recvs.remove(&(peer, seq)) else {
         return;
     };
@@ -1614,6 +1988,9 @@ fn receiver_complete(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, 
     }
     msg.completed = true;
     am.imm_map.remove(&(peer, (seq & 0xFFFF) as u16));
+    // Remember completion so a recovering sender's resume request can
+    // be answered with `done` instead of a renegotiation.
+    rs.done_seqs.insert((peer, seq));
     receiver_release(rs, ctx, &mut msg);
     if msg.scheme == Scheme::PRrs {
         // Tell the sender its pack buffers are free.
@@ -1628,10 +2005,13 @@ fn receiver_release(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg
     release_stage_bufs(rs, ctx, &msg.unpack_bufs, true);
     let mut cost = 0;
     for r in &msg.user_regs {
-        cost += rs
-            .pindown
-            .release(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, r.lkey)
-            .expect("release of acquired registration");
+        // `BadKey` = force-evicted under the transfer (§5.4.2).
+        if let Ok(c) =
+            rs.pindown
+                .release(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, r.lkey)
+        {
+            cost += c;
+        }
     }
     msg.user_regs.clear();
     if cost > 0 {
@@ -1655,9 +2035,16 @@ fn receiver_on_seg_ready(
     len: u64,
 ) {
     let Some(msg) = am.recvs.get_mut(&(peer, seq)) else {
-        rs.errors.push(MpiError::UnknownMessage { peer, seq });
+        if !ctx.fabric.faults_active() {
+            rs.errors.push(MpiError::UnknownMessage { peer, seq });
+        }
         return;
     };
+    if !msg.segs_seen.insert(k) {
+        // Duplicate announcement from a recovery re-drive (the reset
+        // below re-counts distinct segments only).
+        return;
+    }
     msg.segs_announced += 1;
     let lo = k as u64 * msg.seg_size;
     let hi = lo + len;
@@ -1704,16 +2091,37 @@ fn receiver_on_seg_ready(
         }
     }
     if let Some(e) = post_err {
+        // A dead QP hands the read-driven transfer to the connection
+        // manager instead of failing the receive.
+        if ctx.cfg.recovery
+            && matches!(e, PostError::QpError { .. } | PostError::QpNotReady { .. })
+            && ensure_reconnect(rs, ctx, peer)
+        {
+            rs.reconn
+                .get_mut(&peer)
+                .expect("entry ensured above")
+                .recvs
+                .insert(seq);
+            return;
+        }
         rs.counters.post_errors += 1;
         abort_recv(rs, am, ctx, peer, seq, MpiError::Post { peer, err: e });
     }
 }
 
-fn receiver_read_done(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32, seq: u64) {
+fn receiver_read_done(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    seq: u64,
+) {
     let Some(msg) = am.recvs.get_mut(&(peer, seq)) else {
         return;
     };
-    msg.reads_outstanding -= 1;
+    // Saturating: a recovery reset may have zeroed the counter while a
+    // straggling completion was already in flight.
+    msg.reads_outstanding = msg.reads_outstanding.saturating_sub(1);
     if msg.reads_outstanding == 0 && msg.segs_announced == msg.nsegs {
         receiver_complete(rs, am, ctx, peer, seq);
     }
@@ -1733,9 +2141,11 @@ fn sender_on_reply(
     body: ReplyBody,
 ) {
     let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
-        // The send was aborted earlier (flush/timeout); the reply is a
-        // stale straggler.
-        rs.errors.push(MpiError::UnknownMessage { peer, seq });
+        // The send was aborted earlier (flush/timeout) or already
+        // completed; the reply is a stale straggler.
+        if !ctx.fabric.faults_active() {
+            rs.errors.push(MpiError::UnknownMessage { peer, seq });
+        }
         return;
     };
     if msg.targets.is_some() {
@@ -1875,10 +2285,7 @@ fn sender_on_reply(
             // Contiguous sender: no packing at all — the receiver reads
             // straight out of the registered user buffer (§5.2's
             // asymmetric case, where P-RRS shines).
-            if !msg.reg_done
-                && msg.user_regs.is_empty()
-                && !sender_register(rs, ctx, &mut msg)
-            {
+            if !msg.reg_done && msg.user_regs.is_empty() && !sender_register(rs, ctx, &mut msg) {
                 // Cannot pin the user buffer: announce packed pool
                 // segments instead, like a non-contiguous sender.
                 rs.counters.scheme_fallbacks += 1;
@@ -1896,10 +2303,7 @@ fn sender_on_reply(
             }
         }
         Scheme::RwgUp => {
-            if !msg.reg_done
-                && msg.user_regs.is_empty()
-                && !sender_register(rs, ctx, &mut msg)
-            {
+            if !msg.reg_done && msg.user_regs.is_empty() && !sender_register(rs, ctx, &mut msg) {
                 // Gather writes need the pinned user buffer; fall back
                 // to packed writes into the same segment targets.
                 rs.counters.scheme_fallbacks += 1;
@@ -1911,10 +2315,7 @@ fn sender_on_reply(
             }
         }
         Scheme::MultiW => {
-            if !msg.reg_done
-                && msg.user_regs.is_empty()
-                && !sender_register(rs, ctx, &mut msg)
-            {
+            if !msg.reg_done && msg.user_regs.is_empty() && !sender_register(rs, ctx, &mut msg) {
                 // The receiver's blocks are already pinned on its side;
                 // stage the whole message through a copy buffer and
                 // stream it into those blocks.
@@ -1941,7 +2342,7 @@ fn sender_on_reply(
     }
     try_post_ready(rs, ctx, &mut msg);
     if let Some(err) = msg.failed.take() {
-        abort_send(rs, ctx, msg, err);
+        resolve_send_failure(rs, am, ctx, msg, err);
         return;
     }
     am.sends.insert((peer, seq), msg);
@@ -2087,7 +2488,15 @@ fn hybrid_pack_next(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg
     let mut blocks = 0usize;
     for &(a, b) in &stream_ivs {
         let n = (b - a) as usize;
-        pack_range(ctx, rs.rank, &plan, msg.buf, a, b, &mut data[cursor..cursor + n]);
+        pack_range(
+            ctx,
+            rs.rank,
+            &plan,
+            msg.buf,
+            a,
+            b,
+            &mut data[cursor..cursor + n],
+        );
         cursor += n;
         let (nb, _) = plan.block_count_in(a, b).expect("range valid");
         blocks += nb;
@@ -2144,7 +2553,10 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                 rs.counters.data_wrs += 1;
                 if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
                     rs.counters.post_errors += 1;
-                    msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                    msg.failed = Some(MpiError::Post {
+                        peer: msg.peer,
+                        err: e,
+                    });
                     return;
                 }
                 msg.posted_segs = 1;
@@ -2173,21 +2585,27 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                 rs.counters.data_wrs += 1;
                 if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
                     rs.counters.post_errors += 1;
-                    msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                    msg.failed = Some(MpiError::Post {
+                        peer: msg.peer,
+                        err: e,
+                    });
                     return;
                 }
                 msg.posted_segs += 1;
             }
         }
         (Some(SendTargets::Segments(segs)), Scheme::RwgUp) => {
-            if !msg.reg_done || msg.posted_segs > 0 {
+            // Resume-aware: after a connection recovery `posted_segs`
+            // holds the receiver-acknowledged prefix, and the gather
+            // writes restart from that segment boundary.
+            if !msg.reg_done || msg.posted_segs >= msg.nsegs {
                 return;
             }
             let segs = segs.clone();
             let plan = rs.plan_for(&msg.ty, msg.count);
             let mbuf = msg.buf;
             let mut blocks = rs.scratch.take_blocks();
-            for k in 0..msg.nsegs {
+            for k in msg.posted_segs..msg.nsegs {
                 let lo = k as u64 * msg.seg_size;
                 let hi = (lo + msg.seg_size).min(msg.size);
                 blocks.clear();
@@ -2226,7 +2644,10 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                         .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
                     if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
                         rs.counters.post_errors += 1;
-                        msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                        msg.failed = Some(MpiError::Post {
+                            peer: msg.peer,
+                            err: e,
+                        });
                         return;
                     }
                 }
@@ -2276,7 +2697,13 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                 msg.posted_segs += 1;
             }
         }
-        (Some(SendTargets::MultiW { rcv_blocks, regions }), Scheme::MultiW) if msg.mw_stage => {
+        (
+            Some(SendTargets::MultiW {
+                rcv_blocks,
+                regions,
+            }),
+            Scheme::MultiW,
+        ) if msg.mw_stage => {
             // Degraded Multi-W: the packed stream sits in pack_bufs;
             // write it into the receiver's (stream-ordered) blocks.
             if msg.packed < msg.nsegs || msg.posted_segs > 0 {
@@ -2320,7 +2747,10 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                     .reserve_labeled(ctx.now(), ctx.net.post_list_ns(n), "post");
                 if let Err(e) = ctx.post_send_list(ready, rs.rank, msg.peer, wrs) {
                     rs.counters.post_errors += 1;
-                    msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                    msg.failed = Some(MpiError::Post {
+                        peer: msg.peer,
+                        err: e,
+                    });
                     return;
                 }
             } else {
@@ -2330,14 +2760,23 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                         .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
                     if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
                         rs.counters.post_errors += 1;
-                        msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                        msg.failed = Some(MpiError::Post {
+                            peer: msg.peer,
+                            err: e,
+                        });
                         return;
                     }
                 }
             }
             msg.posted_segs = msg.nsegs;
         }
-        (Some(SendTargets::MultiW { rcv_blocks, regions }), Scheme::MultiW) => {
+        (
+            Some(SendTargets::MultiW {
+                rcv_blocks,
+                regions,
+            }),
+            Scheme::MultiW,
+        ) => {
             if !msg.reg_done || msg.posted_segs > 0 {
                 return;
             }
@@ -2380,7 +2819,10 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                     .reserve_labeled(ctx.now(), ctx.net.post_list_ns(n), "post");
                 if let Err(e) = ctx.post_send_list(ready, rs.rank, msg.peer, wrs) {
                     rs.counters.post_errors += 1;
-                    msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                    msg.failed = Some(MpiError::Post {
+                        peer: msg.peer,
+                        err: e,
+                    });
                     return;
                 }
             } else {
@@ -2390,7 +2832,10 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                         .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
                     if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
                         rs.counters.post_errors += 1;
-                        msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                        msg.failed = Some(MpiError::Post {
+                            peer: msg.peer,
+                            err: e,
+                        });
                         return;
                     }
                 }
@@ -2400,7 +2845,13 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
         (Some(SendTargets::HybridReady), Scheme::Hybrid) => {
             hybrid_try_post(rs, ctx, msg);
         }
-        (Some(t), s) => panic!("targets {t:?} inconsistent with scheme {s:?}"),
+        (Some(t), s) => {
+            debug_assert!(false, "targets {t:?} inconsistent with scheme {s:?}");
+            msg.failed = Some(MpiError::UnknownMessage {
+                peer: msg.peer,
+                seq: msg.seq,
+            });
+        }
     }
 }
 
@@ -2457,7 +2908,10 @@ fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
                     .reserve_labeled(ctx.now(), ctx.net.post_list_ns(n), "post");
                 if let Err(e) = ctx.post_send_list(ready, rs.rank, msg.peer, wrs) {
                     rs.counters.post_errors += 1;
-                    msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                    msg.failed = Some(MpiError::Post {
+                        peer: msg.peer,
+                        err: e,
+                    });
                     msg.hybrid = Some(hy);
                     return;
                 }
@@ -2469,7 +2923,10 @@ fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
                     .reserve_labeled(ctx.now(), ctx.net.post_single_ns, "post");
                 if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
                     rs.counters.post_errors += 1;
-                    msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+                    msg.failed = Some(MpiError::Post {
+                        peer: msg.peer,
+                        err: e,
+                    });
                     msg.hybrid = Some(hy);
                     return;
                 }
@@ -2507,7 +2964,10 @@ fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
         rs.counters.data_wrs += 1;
         if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
             rs.counters.post_errors += 1;
-            msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+            msg.failed = Some(MpiError::Post {
+                peer: msg.peer,
+                err: e,
+            });
             msg.hybrid = Some(hy);
             return;
         }
@@ -2519,9 +2979,18 @@ fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
         hy.marker_posted = true;
         let (maddr, mrkey) = if let Some(&(a, k)) = hy.segs.first() {
             (a, k)
-        } else {
-            let &(a, _, k) = hy.regions.first().expect("non-empty message has a target");
+        } else if let Some(&(a, _, k)) = hy.regions.first() {
             (a, k)
+        } else {
+            // A rendezvous message always has a target; fail typed
+            // rather than panicking on the protocol violation.
+            debug_assert!(false, "non-empty message has no hybrid target");
+            msg.failed = Some(MpiError::UnknownMessage {
+                peer: msg.peer,
+                seq: msg.seq,
+            });
+            msg.hybrid = Some(hy);
+            return;
         };
         let ready = rs
             .cpu
@@ -2536,7 +3005,10 @@ fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
         rs.counters.data_wrs += 1;
         if let Err(e) = ctx.post_send(ready, rs.rank, msg.peer, wr) {
             rs.counters.post_errors += 1;
-            msg.failed = Some(MpiError::Post { peer: msg.peer, err: e });
+            msg.failed = Some(MpiError::Post {
+                peer: msg.peer,
+                err: e,
+            });
             msg.hybrid = Some(hy);
             return;
         }
@@ -2548,7 +3020,13 @@ fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
 }
 
 /// Local completion of the (last) data WR of a rendezvous send.
-fn sender_data_done(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32, seq: u64) {
+fn sender_data_done(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    seq: u64,
+) {
     let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
         return;
     };
@@ -2559,10 +3037,18 @@ fn sender_data_done(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '
 }
 
 /// P-RRS completion: the receiver has read everything.
-fn sender_on_fin(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32, seq: u64) {
+fn sender_on_fin(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    seq: u64,
+) {
     let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
         // The send was already aborted; the Fin is a stale straggler.
-        rs.errors.push(MpiError::UnknownMessage { peer, seq });
+        if !ctx.fabric.faults_active() {
+            rs.errors.push(MpiError::UnknownMessage { peer, seq });
+        }
         return;
     };
     debug_assert!(!msg.completed);
@@ -2575,10 +3061,14 @@ fn sender_release(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
     release_stage_bufs(rs, ctx, &msg.pack_bufs, false);
     let mut cost = 0;
     for r in &msg.user_regs {
-        cost += rs
-            .pindown
-            .release(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, r.lkey)
-            .expect("release of acquired registration");
+        // A `BadKey` means the pin-down cache force-evicted the region
+        // under the transfer (§5.4.2) — already deregistered.
+        if let Ok(c) =
+            rs.pindown
+                .release(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, r.lkey)
+        {
+            cost += c;
+        }
     }
     msg.user_regs.clear();
     if cost > 0 {
@@ -2642,8 +3132,12 @@ fn acquire_stage(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, size: u64) -> StageB
     };
     let mut cost = ctx.host.malloc_ns;
     let acq = if ctx.cfg.reuse_internal_bufs {
-        rs.pindown
-            .acquire(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, va, size)
+        rs.pindown.acquire(
+            &mut ctx.mems[rs.rank as usize].regs,
+            &ctx.host.reg,
+            va,
+            size,
+        )
     } else {
         // "DT+reg": force a fresh registration every operation.
         let reg = ctx.mems[rs.rank as usize].regs.register(va, size);
@@ -2671,15 +3165,18 @@ fn release_stage_bufs(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, bufs: &[StageBu
         if sb.dynamic {
             cost += ctx.host.free_ns;
             if ctx.cfg.reuse_internal_bufs {
-                cost += rs
-                    .pindown
-                    .release(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, sb.lkey)
-                    .expect("release of acquired stage registration");
-            } else {
-                let reg = ctx.mems[rs.rank as usize]
-                    .regs
-                    .deregister(ibdt_memreg::MrHandle(sb.lkey))
-                    .expect("stage buffer was registered");
+                // `BadKey` = already evicted under the transfer; the
+                // deregistration was paid by the evictor.
+                if let Ok(c) =
+                    rs.pindown
+                        .release(&mut ctx.mems[rs.rank as usize].regs, &ctx.host.reg, sb.lkey)
+                {
+                    cost += c;
+                }
+            } else if let Ok(reg) = ctx.mems[rs.rank as usize]
+                .regs
+                .deregister(ibdt_memreg::MrHandle(sb.lkey))
+            {
                 cost += ctx.host.reg.dereg_cost(reg.addr, reg.len);
             }
             rs.internal.free.entry(sb.len).or_default().push(sb.va);
@@ -2706,19 +3203,22 @@ fn abs_blocks(plan: &TransferPlan, buf: Va) -> Vec<(Va, u64)> {
         .collect()
 }
 
+/// Local key covering the range. A missing covering registration is a
+/// protocol bug; the sentinel key makes the fabric reject the post with
+/// a typed [`PostError`] instead of panicking here.
 fn lkey_for(regs: &[Registration], addr: Va, len: u64) -> u32 {
     regs.iter()
         .find(|r| r.covers(addr, len))
-        .unwrap_or_else(|| panic!("no registration covers [{addr:#x}, +{len})"))
-        .lkey
+        .map_or(u32::MAX, |r| r.lkey)
 }
 
+/// Remote key covering the range; the sentinel key fails the
+/// responder's rkey check with a typed remote-access completion.
 fn region_key(regions: &[(Va, u64, u32)], addr: Va, len: u64) -> u32 {
     regions
         .iter()
         .find(|&&(a, l, _)| addr >= a && addr + len <= a + l)
-        .unwrap_or_else(|| panic!("no remote region covers [{addr:#x}, +{len})"))
-        .2
+        .map_or(u32::MAX, |r| r.2)
 }
 
 /// Functional pack of a stream range into a caller-provided buffer of
@@ -2733,9 +3233,7 @@ fn pack_range(
     out: &mut [u8],
 ) {
     let space = &ctx.mems[rank as usize].space;
-    let mem = space
-        .slice(0, space.capacity())
-        .expect("whole space view");
+    let mem = space.slice(0, space.capacity()).expect("whole space view");
     plan.pack(lo, hi, mem, buf as usize, out)
         .expect("user buffer covers the datatype");
 }
@@ -2771,4 +3269,363 @@ fn unpack_from_slice(
     let mem = space.slice_mut(0, cap).expect("whole space view");
     plan.unpack(lo, hi, data, mem, buf as usize)
         .expect("user buffer covers the datatype");
+}
+
+// ---------------------------------------------------------------------
+// Connection manager: QP-death detection, re-establishment, re-drive
+// ---------------------------------------------------------------------
+
+/// True for transport-class failures the connection manager can recover
+/// from by re-establishing the queue pair (as opposed to protocol
+/// errors, which no reconnect can fix).
+fn recoverable(err: &MpiError) -> bool {
+    matches!(
+        err,
+        MpiError::Flushed { .. }
+            | MpiError::RetryExceeded { .. }
+            | MpiError::RnrRetryExceeded { .. }
+            | MpiError::Post {
+                err: PostError::QpError { .. } | PostError::QpNotReady { .. },
+                ..
+            }
+    )
+}
+
+/// Ensures a reconnect handshake to `peer` is scheduled, modelling the
+/// connection manager's out-of-band exchange with `reconnect_ns`
+/// latency. Returns `false` when the re-establishment budget is
+/// exhausted — the caller then fails the traffic with
+/// [`MpiError::ConnectionLost`].
+fn ensure_reconnect(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32) -> bool {
+    let rank = rs.rank;
+    let at = ctx.now() + ctx.cfg.reconnect_ns;
+    let r = rs.reconn.entry(peer).or_default();
+    if r.attempts >= ctx.cfg.max_reconnects {
+        return false;
+    }
+    if !r.active {
+        r.active = true;
+        ctx.cpu_event(at, rank, CpuAct::Reconnect { peer });
+    }
+    true
+}
+
+/// Routes a failed send either into the connection manager (suspended,
+/// re-driven after reconnect) or into a typed abort.
+fn resolve_send_failure(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    msg: SendMsg,
+    err: MpiError,
+) {
+    let peer = msg.peer;
+    if ctx.cfg.recovery && recoverable(&err) {
+        if ensure_reconnect(rs, ctx, peer) {
+            rs.reconn
+                .get_mut(&peer)
+                .expect("entry ensured above")
+                .sends
+                .insert(msg.seq);
+            am.sends.insert((peer, msg.seq), msg);
+            return;
+        }
+        let attempts = rs.reconn.get(&peer).map_or(0, |r| r.attempts);
+        abort_send(rs, ctx, msg, MpiError::ConnectionLost { peer, attempts });
+        return;
+    }
+    abort_send(rs, ctx, msg, err);
+}
+
+/// The reconnect handshake to `peer` finished: re-establish the errored
+/// QP directions and re-drive everything the failure suspended, in
+/// deterministic order (ring slots, queued control, sends, receives).
+fn do_reconnect(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32) {
+    let Some(mut r) = rs.reconn.remove(&peer) else {
+        return;
+    };
+    r.active = false;
+    r.attempts += 1;
+    for (a, b) in [(rs.rank, peer), (peer, rs.rank)] {
+        if ctx.fabric.qp_errored(a, b) {
+            ctx.fabric.reestablish_qp(a, b);
+        }
+    }
+    rs.counters.qp_reestablished += 1;
+    let eager_slots = std::mem::take(&mut r.eager_slots);
+    let pending_ctrl = std::mem::take(&mut r.pending_ctrl);
+    let sends: Vec<u64> = r.sends.iter().copied().collect();
+    let recvs: Vec<u64> = r.recvs.iter().copied().collect();
+    r.sends.clear();
+    r.recvs.clear();
+    // The entry (with its attempt count) stays: a connection that keeps
+    // dying must eventually fail typed instead of looping forever.
+    rs.reconn.insert(peer, r);
+    for va in eager_slots {
+        resend_eager_slot(rs, ctx, peer, va);
+    }
+    for bytes in pending_ctrl {
+        send_ctrl(rs, ctx, peer, bytes, 0);
+    }
+    for seq in sends {
+        resume_send(rs, am, ctx, peer, seq);
+    }
+    for seq in recvs {
+        resume_recv(rs, am, ctx, peer, seq);
+    }
+}
+
+/// Re-posts a flushed eager/control send from its ring slot. The slot
+/// still holds the encoded bytes, and a flushed WQE was never delivered
+/// (flush precludes delivery), so the re-post cannot duplicate a
+/// message the peer already consumed. The wire length is recovered from
+/// the encoded header.
+fn resend_eager_slot(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, va: Va) {
+    let bytes = ctx.mems[rs.rank as usize]
+        .space
+        .read(va, ctx.cfg.eager_buf_size)
+        .expect("eager ring buffer readable");
+    let Some((m, hdr_len)) = CtrlMsg::decode(&bytes) else {
+        // Not a decodable message (protocol bug): return the slot to
+        // the ring rather than resending garbage.
+        rs.eager_send_free.push(va);
+        drain_pending_eager(rs, ctx);
+        return;
+    };
+    let len = match m {
+        CtrlMsg::EagerData { size, .. } => hdr_len as u64 + size,
+        _ => hdr_len as u64,
+    };
+    let ready = rs.cpu.reserve_labeled(
+        ctx.now(),
+        ctx.cfg.ctrl_overhead_ns + ctx.net.post_single_ns,
+        "ctrl",
+    );
+    let wr = SendWr {
+        wr_id: WR_EAGER | va,
+        opcode: Opcode::Send,
+        sges: vec![Sge {
+            addr: va,
+            len,
+            lkey: rs.eager_lkey,
+        }],
+        remote: None,
+        signaled: true,
+    };
+    if let Err(e) = ctx.post_send(ready, rs.rank, peer, wr) {
+        if ctx.cfg.recovery
+            && matches!(e, PostError::QpError { .. } | PostError::QpNotReady { .. })
+            && ensure_reconnect(rs, ctx, peer)
+        {
+            rs.reconn
+                .get_mut(&peer)
+                .expect("entry ensured above")
+                .eager_slots
+                .push(va);
+            return;
+        }
+        rs.eager_send_free.push(va);
+        rs.counters.post_errors += 1;
+        rs.errors.push(MpiError::Post { peer, err: e });
+    }
+}
+
+/// Re-drives a suspended rendezvous send after re-establishment.
+fn resume_send(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    seq: u64,
+) {
+    let Some(msg) = am.sends.get(&(peer, seq)) else {
+        return;
+    };
+    if msg.completed {
+        return;
+    }
+    match &msg.targets {
+        None => {
+            // No reply yet. The start itself may have been flushed (it
+            // was re-posted from its ring slot just before this call);
+            // probe so the receiver resends a reply that crossed the
+            // failure.
+            send_ctrl(rs, ctx, peer, CtrlMsg::RndvProbe { seq }.encode(), 0);
+        }
+        Some(SendTargets::ReadGo) => {
+            // P-RRS: re-announce every packed segment; the recovering
+            // receiver deduplicates and re-reads idempotently.
+            let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
+                return;
+            };
+            msg.posted_segs = 0;
+            try_post_ready(rs, ctx, &mut msg);
+            if let Some(err) = msg.failed.take() {
+                resolve_send_failure(rs, am, ctx, msg, err);
+                return;
+            }
+            am.sends.insert((peer, seq), msg);
+        }
+        Some(_) => {
+            // Data-bearing schemes restart from the receiver's
+            // acknowledged chunk boundary — ask where that is.
+            send_ctrl(rs, ctx, peer, CtrlMsg::RndvResume { seq }.encode(), 0);
+        }
+    }
+}
+
+/// Re-drives a suspended read-driven (P-RRS) receive: reset the
+/// announcement bookkeeping and ask the sender to re-announce. Repeated
+/// reads are idempotent, so restarting from zero is always safe.
+fn resume_recv(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    seq: u64,
+) {
+    let Some(msg) = am.recvs.get_mut(&(peer, seq)) else {
+        return;
+    };
+    if msg.completed {
+        return;
+    }
+    msg.reads_outstanding = 0;
+    msg.segs_announced = 0;
+    msg.segs_seen.clear();
+    send_ctrl(rs, ctx, peer, CtrlMsg::RndvResume { seq }.encode(), 0);
+}
+
+/// §5.4.2 protection fault: the receiver's pinned region vanished under
+/// a zero-copy transfer (remote-access NAK on our write). Fall back to
+/// the copy-based BC-SPUP path by renegotiating the message once.
+fn renegotiate_send(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    seq: u64,
+) {
+    let Some(mut msg) = am.sends.remove(&(peer, seq)) else {
+        return;
+    };
+    rs.counters.protection_fallbacks += 1;
+    msg.renegotiated = true;
+    // Tear down the zero-copy generation: registrations, staging, and
+    // any pack pipeline still in flight.
+    sender_release(rs, ctx, &mut msg);
+    msg.pack_bufs.clear();
+    if msg.pack_chain_running {
+        msg.drop_packs += 1;
+        msg.pack_chain_running = false;
+    }
+    msg.reg_done = false;
+    msg.hybrid = None;
+    msg.mw_stage = false;
+    msg.targets = None;
+    msg.posted_segs = 0;
+    msg.packed = 0;
+    msg.scheme = Scheme::BcSpup;
+    msg.seg_size = ctx.cfg.segment_size(msg.size);
+    msg.nsegs = ctx.cfg.segment_count(msg.size);
+    // A duplicate start for a live transfer is the renegotiation signal
+    // (a flushed original was never delivered, so no ambiguity).
+    let stats = rs.plan_for(&msg.ty, msg.count).stats();
+    let start = CtrlMsg::RndvStart {
+        tag: msg.tag,
+        seq,
+        size: msg.size,
+        scheme: Scheme::BcSpup.to_wire(),
+        nsegs: msg.nsegs,
+        seg_size: msg.seg_size,
+        blk_min: stats.min,
+        blk_median: stats.median,
+    };
+    send_ctrl(rs, ctx, peer, start.encode(), 0);
+    assign_pack_bufs(rs, ctx, &mut msg);
+    start_pack_chain(rs, ctx, &mut msg);
+    am.sends.insert((peer, seq), msg);
+}
+
+/// Receiver side of the §5.4.2 fallback: rebuild a live receive as
+/// BC-SPUP after the sender renegotiated (its geometry arrives with the
+/// duplicate start).
+#[allow(clippy::too_many_arguments)]
+fn receiver_renegotiate(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    seq: u64,
+    size: u64,
+    nsegs: u32,
+    seg_size: u64,
+) {
+    let Some(mut msg) = am.recvs.remove(&(peer, seq)) else {
+        return;
+    };
+    debug_assert_eq!(msg.size, size, "renegotiated size changed");
+    // Unpack completions still in flight belong to the torn-down
+    // generation (arrived-but-not-unpacked packed segments).
+    msg.drop_unpacks += msg.segs_arrived.saturating_sub(msg.segs_unpacked);
+    receiver_release(rs, ctx, &mut msg);
+    msg.unpack_bufs.clear();
+    msg.scheme = Scheme::BcSpup;
+    msg.nsegs = nsegs;
+    msg.seg_size = seg_size;
+    msg.segs_arrived = 0;
+    msg.segs_unpacked = 0;
+    msg.segs_seen.clear();
+    msg.packed_intervals.clear();
+    msg.marker_seen = false;
+    msg.reads_outstanding = 0;
+    msg.segs_announced = 0;
+    msg.reply_copy = None;
+    let mut segs = Vec::with_capacity(nsegs as usize);
+    for _ in 0..nsegs {
+        let sb = acquire_unpack_seg(rs, ctx);
+        segs.push((sb.va, sb.rkey));
+        msg.unpack_bufs.push(sb);
+    }
+    let reply = CtrlMsg::RndvReply {
+        seq,
+        scheme: Scheme::BcSpup.to_wire(),
+        body: ReplyBody::Segments { segs },
+    };
+    msg.pending_reply = Some(reply.encode());
+    let done = rs
+        .cpu
+        .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
+    ctx.cpu_event(done, rs.rank, CpuAct::ReceiverReady { peer, seq });
+    am.recvs.insert((peer, seq), msg);
+}
+
+/// Deterministic §5.4.2 eviction injection: with `evict_rate` set in
+/// the fault plan, force-evict the first user registration backing a
+/// zero-copy reply right after it is pinned. The draw hashes the plan
+/// seed with the transfer identity, so it reproduces across runs and is
+/// independent of event interleaving (the fabric's own decision stream
+/// is untouched).
+fn maybe_evict_reply_reg(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &RecvMsg) {
+    let (rate, seed) = match ctx.fabric.fault_plan() {
+        Some(p) => (p.evict_rate, p.seed),
+        None => return,
+    };
+    if rate <= 0.0 || msg.user_regs.is_empty() {
+        return;
+    }
+    let ident = ((rs.rank as u64) << 40) ^ ((msg.peer as u64) << 20) ^ msg.seq;
+    let mut h = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ident | 1));
+    // SplitMix64 finalizer: decorrelate the identity hash.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    if rate >= 1.0 || u < rate {
+        let _ = rs
+            .pindown
+            .force_evict(&mut ctx.mems[rs.rank as usize].regs, msg.user_regs[0].lkey);
+    }
 }

@@ -19,7 +19,7 @@ use ibdt_datatype::{Datatype, LayoutCache, TransferPlan, TypeRegistry};
 use ibdt_ibsim::NodeMem;
 use ibdt_memreg::{PindownCache, Va};
 use ibdt_simcore::resource::SerialResource;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 /// A request handle (per-rank, in issue order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,6 +110,32 @@ pub struct PendingEager {
     pub bytes: Vec<u8>,
 }
 
+/// Connection-manager bookkeeping for one peer whose queue pair died.
+///
+/// Populated between failure detection (flushed completions, transport
+/// retry exhaustion, `QpError` at post) and the re-establishment event;
+/// drained when the connection comes back up and suspended traffic is
+/// re-driven.
+#[derive(Debug, Default)]
+pub struct ReconnState {
+    /// True while a reconnect event is scheduled for this peer.
+    pub active: bool,
+    /// Re-establishment attempts made so far.
+    pub attempts: u32,
+    /// Eager ring slots whose sends were flushed; the payload bytes are
+    /// still in the ring, so the slots are re-posted verbatim.
+    pub eager_slots: Vec<Va>,
+    /// Encoded control messages that hit a dead QP at post time and
+    /// must be re-sent after re-establishment.
+    pub pending_ctrl: Vec<Vec<u8>>,
+    /// Sequence numbers of suspended outgoing rendezvous sends
+    /// (ordered so re-drive order is deterministic).
+    pub sends: BTreeSet<u64>,
+    /// Sequence numbers of suspended incoming transfers this rank
+    /// drives (P-RRS reads), ordered for deterministic re-drive.
+    pub recvs: BTreeSet<u64>,
+}
+
 /// Dynamically allocated internal buffer freelist entry.
 #[derive(Debug, Default)]
 pub struct InternalBufs {
@@ -149,6 +175,14 @@ pub struct RankCounters {
     pub cqe_errors: u64,
     /// Work-request posts that failed synchronously.
     pub post_errors: u64,
+    /// Queue pairs re-established by the connection manager.
+    pub qp_reestablished: u64,
+    /// Rendezvous chunks skipped on resume because the receiver had
+    /// already unpacked them before the connection died.
+    pub resumed_chunks: u64,
+    /// Zero-copy transfers renegotiated down to BC-SPUP after a remote
+    /// protection fault (pin-down cache eviction race, §5.4.2).
+    pub protection_fallbacks: u64,
 }
 
 /// All state of one rank's MPI library instance.
@@ -207,6 +241,12 @@ pub struct RankState {
     /// User-buffer bytes currently pinned by budget-tracked zero-copy
     /// registrations (RWG-UP / Multi-W / P-RRS).
     pub pinned_user_bytes: u64,
+    /// Connection-manager state per peer with a dead/rebuilding QP.
+    pub reconn: HashMap<u32, ReconnState>,
+    /// `(peer, seq)` of rendezvous receives already fully delivered —
+    /// consulted when a resumed sender asks about a transfer whose FIN
+    /// was lost to the failure.
+    pub done_seqs: HashSet<(u32, u64)>,
     /// Rank-level errors not attributable to a single request (flushed
     /// control traffic, malformed messages, failed RMA).
     pub errors: Vec<MpiError>,
@@ -221,8 +261,7 @@ impl RankState {
     pub fn new(rank: u32, nprocs: u32, cfg: &MpiConfig, mem: &mut NodeMem) -> Self {
         // One region holds the send ring and all per-peer recv buffers.
         let send_bytes = cfg.eager_send_bufs as u64 * cfg.eager_buf_size;
-        let recv_bytes =
-            (nprocs as u64 - 1) * cfg.eager_bufs_per_peer as u64 * cfg.eager_buf_size;
+        let recv_bytes = (nprocs as u64 - 1) * cfg.eager_bufs_per_peer as u64 * cfg.eager_buf_size;
         let region = mem
             .space
             .alloc_page_aligned(send_bytes + recv_bytes)
@@ -279,6 +318,8 @@ impl RankState {
             rma_regs: Vec::new(),
             rma_event: false,
             pinned_user_bytes: 0,
+            reconn: HashMap::new(),
+            done_seqs: HashSet::new(),
             errors: Vec::new(),
             counters: RankCounters::default(),
         }
@@ -307,7 +348,11 @@ impl RankState {
     /// Allocates a new request handle.
     pub fn new_req(&mut self, kind: ReqKind) -> ReqId {
         let id = ReqId(self.reqs.len() as u32);
-        self.reqs.push(ReqState { kind, done: false, error: None });
+        self.reqs.push(ReqState {
+            kind,
+            done: false,
+            error: None,
+        });
         id
     }
 
@@ -359,12 +404,15 @@ impl RankState {
     /// removes it. `peer`/`tag` here come from the *receive call* and
     /// may be wildcards.
     pub fn match_unexpected(&mut self, peer: u32, tag: u32) -> Option<Unexpected> {
-        let matches = |p: u32, t: u32| {
-            (peer == ANY_SOURCE || p == peer) && (tag == ANY_TAG || t == tag)
-        };
+        let matches =
+            |p: u32, t: u32| (peer == ANY_SOURCE || p == peer) && (tag == ANY_TAG || t == tag);
         let idx = self.unexpected.iter().position(|u| match u {
-            Unexpected::Eager { peer: p, tag: t, .. } => matches(*p, *t),
-            Unexpected::Rndv { peer: p, tag: t, .. } => matches(*p, *t),
+            Unexpected::Eager {
+                peer: p, tag: t, ..
+            } => matches(*p, *t),
+            Unexpected::Rndv {
+                peer: p, tag: t, ..
+            } => matches(*p, *t),
         })?;
         self.unexpected.remove(idx)
     }

@@ -25,8 +25,8 @@ use crate::plan::plan_multi_w;
 use crate::progress::{Ctx, WR_RMA};
 use crate::rank::RankState;
 use ibdt_datatype::{Datatype, Segment};
-use ibdt_memreg::{ogr, Va};
 use ibdt_ibsim::{Opcode, SendWr, Sge};
+use ibdt_memreg::{ogr, Va};
 
 /// Window metadata as seen by every rank: one entry per rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,7 +116,11 @@ pub fn put(
             sges: p
                 .sges
                 .iter()
-                .map(|&(a, l)| Sge { addr: a, len: l, lkey: lkey_for(rs, a, l) })
+                .map(|&(a, l)| Sge {
+                    addr: a,
+                    len: l,
+                    lkey: lkey_for(rs, a, l),
+                })
                 .collect(),
             remote: Some((p.dst, win.rkey)),
             signaled: false,
@@ -171,7 +175,11 @@ pub fn get(
             sges: p
                 .sges
                 .iter()
-                .map(|&(a, l)| Sge { addr: a, len: l, lkey: lkey_for(rs, a, l) })
+                .map(|&(a, l)| Sge {
+                    addr: a,
+                    len: l,
+                    lkey: lkey_for(rs, a, l),
+                })
                 .collect(),
             remote: Some((p.dst, win.rkey)),
             signaled: false,
@@ -213,7 +221,10 @@ fn post_rma(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, target: u32, mut wrs: Vec
         // Undo the epoch charge so the next fence does not hang waiting
         // for a sentinel completion that will never arrive.
         rs.counters.post_errors += 1;
-        rs.errors.push(MpiError::Post { peer: target, err: e });
+        rs.errors.push(MpiError::Post {
+            peer: target,
+            err: e,
+        });
         rs.rma_outstanding -= 1;
         rs.rma_event = true;
     }
@@ -259,7 +270,11 @@ mod tests {
 
     #[test]
     fn win_entry_is_plain_data() {
-        let w = WinEntry { base: 0x1000, len: 4096, rkey: 7 };
+        let w = WinEntry {
+            base: 0x1000,
+            len: 4096,
+            rkey: 7,
+        };
         assert_eq!(w, w);
     }
 

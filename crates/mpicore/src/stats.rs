@@ -2,6 +2,7 @@
 
 use crate::error::MpiError;
 use crate::rank::RankCounters;
+use ibdt_ibsim::FabricStats;
 use ibdt_simcore::time::Time;
 
 /// Aggregate statistics of one simulation run.
@@ -51,6 +52,12 @@ pub struct RunStats {
     pub qp_errors: u64,
     /// Fabric: work requests flushed with error on QP teardown.
     pub flushed_wqes: u64,
+    /// Fabric: Automatic Path Migration failovers performed.
+    pub migrations: u64,
+    /// Per-rank fabric reliability counters (retransmits, RNR backoff
+    /// retries, QP errors, flushed WQEs, migrations, injected fates),
+    /// attributed to the requester/transmitter node.
+    pub fabric_per_rank: Vec<FabricStats>,
     /// Per-rank typed protocol errors (request failures and rank-level
     /// errors). Empty vectors everywhere on a clean run.
     pub errors: Vec<Vec<MpiError>>,

@@ -5,7 +5,10 @@ use ibdt_datatype::Datatype;
 use ibdt_mpicore::{AppOp, Cluster, ClusterSpec, Program, ReduceOp, Scheme};
 
 fn spec(scheme: Scheme, nprocs: u32) -> ClusterSpec {
-    let mut s = ClusterSpec { nprocs, ..Default::default() };
+    let mut s = ClusterSpec {
+        nprocs,
+        ..Default::default()
+    };
     s.mpi.scheme = scheme;
     s
 }
@@ -89,7 +92,9 @@ fn scatter_distributes_blocks() {
     cluster.run(progs);
     for r in 0..n {
         let got = bytes_to_ints(&cluster.read_mem(r, rbufs[r as usize], bytes));
-        let want: Vec<i32> = (0..count as i32).map(|i| i + (r as i32 * count as i32)).collect();
+        let want: Vec<i32> = (0..count as i32)
+            .map(|i| i + (r as i32 * count as i32))
+            .collect();
         assert_eq!(got, want, "rank {r} block");
     }
 }
@@ -184,7 +189,9 @@ fn reduce_max_doubles() {
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
         .collect();
     for i in 0..count as usize {
-        let want = (0..n as usize).map(|r| inputs[r][i]).fold(f64::MIN, f64::max);
+        let want = (0..n as usize)
+            .map(|r| inputs[r][i])
+            .fold(f64::MIN, f64::max);
         assert_eq!(got[i], want, "element {i}");
     }
 }
@@ -262,7 +269,11 @@ fn gather_with_derived_datatype() {
         let dst = cluster.read_mem(0, rbuf + r as u64 * span, span);
         for (off, len) in ty.flat().repeat(1) {
             let o = off as usize;
-            assert_eq!(&dst[o..o + len as usize], &src[o..o + len as usize], "rank {r}");
+            assert_eq!(
+                &dst[o..o + len as usize],
+                &src[o..o + len as usize],
+                "rank {r}"
+            );
         }
     }
 }

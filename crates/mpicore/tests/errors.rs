@@ -20,11 +20,23 @@ fn mismatched_signatures_panic() {
     let sbuf = cluster.alloc(0, 20_000, 4096);
     let rbuf = cluster.alloc(1, 20_000, 4096);
     let p0: Program = vec![
-        AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: sty, tag: 0 },
+        AppOp::Isend {
+            peer: 1,
+            buf: sbuf,
+            count: 1,
+            ty: sty,
+            tag: 0,
+        },
         AppOp::WaitAll,
     ];
     let p1: Program = vec![
-        AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: rty, tag: 0 },
+        AppOp::Irecv {
+            peer: 0,
+            buf: rbuf,
+            count: 1,
+            ty: rty,
+            tag: 0,
+        },
         AppOp::WaitAll,
     ];
     cluster.run(vec![p0, p1]);
@@ -38,7 +50,11 @@ fn put_outside_window_panics() {
     let obuf = cluster.alloc(0, 8192, 4096);
     let wbuf = cluster.alloc(1, 4096, 4096); // window smaller than put
     let p0: Program = vec![
-        AppOp::WinCreate { win: 0, addr: 0, len: 0 },
+        AppOp::WinCreate {
+            win: 0,
+            addr: 0,
+            len: 0,
+        },
         AppOp::Put {
             win: 0,
             target: 1,
@@ -52,7 +68,11 @@ fn put_outside_window_panics() {
         AppOp::Fence,
     ];
     let p1: Program = vec![
-        AppOp::WinCreate { win: 0, addr: wbuf, len: 4096 },
+        AppOp::WinCreate {
+            win: 0,
+            addr: wbuf,
+            len: 4096,
+        },
         AppOp::Fence,
     ];
     cluster.run(vec![p0, p1]);
@@ -61,11 +81,7 @@ fn put_outside_window_panics() {
 #[test]
 #[should_panic(expected = "uniform-primitive")]
 fn reduction_on_mixed_struct_panics() {
-    let mixed = Datatype::struct_(&[
-        (1, 0, Datatype::int()),
-        (1, 8, Datatype::double()),
-    ])
-    .unwrap();
+    let mixed = Datatype::struct_(&[(1, 0, Datatype::int()), (1, 8, Datatype::double())]).unwrap();
     let mut cluster = two_rank(Scheme::BcSpup);
     let a = cluster.alloc(0, 4096, 4096);
     let b = cluster.alloc(0, 4096, 4096);
@@ -112,7 +128,13 @@ fn unmatched_receive_deadlocks_loudly() {
     let rbuf = cluster.alloc(1, 64, 8);
     // Receiver waits for a message nobody sends.
     let p1: Program = vec![
-        AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty, tag: 0 },
+        AppOp::Irecv {
+            peer: 0,
+            buf: rbuf,
+            count: 1,
+            ty,
+            tag: 0,
+        },
         AppOp::WaitAll,
     ];
     cluster.run(vec![vec![], p1]);

@@ -24,21 +24,51 @@ fn one_transfer(spec: ClusterSpec, ty: &Datatype, hint: bool) -> u64 {
     let mut p0: Program = Vec::new();
     let mut p1: Program = Vec::new();
     if hint {
-        p0.push(AppOp::HintReusedBuffer { addr: sbuf, len: span });
-        p1.push(AppOp::HintReusedBuffer { addr: rbuf, len: span });
+        p0.push(AppOp::HintReusedBuffer {
+            addr: sbuf,
+            len: span,
+        });
+        p1.push(AppOp::HintReusedBuffer {
+            addr: rbuf,
+            len: span,
+        });
         // Give the hint time to complete before the timed send.
         p0.push(AppOp::Compute { ns: 300_000 });
         p1.push(AppOp::Compute { ns: 300_000 });
     }
     p0.push(AppOp::MarkTime { slot: 0 });
-    p0.push(AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 });
+    p0.push(AppOp::Isend {
+        peer: 1,
+        buf: sbuf,
+        count: 1,
+        ty: ty.clone(),
+        tag: 0,
+    });
     p0.push(AppOp::WaitAll);
-    p0.push(AppOp::Irecv { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 1 });
+    p0.push(AppOp::Irecv {
+        peer: 1,
+        buf: sbuf,
+        count: 1,
+        ty: ty.clone(),
+        tag: 1,
+    });
     p0.push(AppOp::WaitAll);
     p0.push(AppOp::MarkTime { slot: 1 });
-    p1.push(AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 });
+    p1.push(AppOp::Irecv {
+        peer: 0,
+        buf: rbuf,
+        count: 1,
+        ty: ty.clone(),
+        tag: 0,
+    });
     p1.push(AppOp::WaitAll);
-    p1.push(AppOp::Isend { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 1 });
+    p1.push(AppOp::Isend {
+        peer: 0,
+        buf: rbuf,
+        count: 1,
+        ty: ty.clone(),
+        tag: 1,
+    });
     p1.push(AppOp::WaitAll);
     let stats = cluster.run(vec![p0, p1]);
     stats.mark_interval(0, 0, 1)
@@ -52,10 +82,7 @@ fn buffer_hint_speeds_up_cold_copy_reduced_send() {
     for scheme in [Scheme::MultiW, Scheme::RwgUp, Scheme::Hybrid] {
         let cold = one_transfer(spec_with(scheme), &ty, false);
         let hinted = one_transfer(spec_with(scheme), &ty, true);
-        assert!(
-            hinted < cold,
-            "{scheme:?}: hinted {hinted} !< cold {cold}"
-        );
+        assert!(hinted < cold, "{scheme:?}: hinted {hinted} !< cold {cold}");
     }
 }
 
@@ -74,17 +101,35 @@ fn pack_pool_exhaustion_falls_back_dynamically() {
     let rbuf = cluster.alloc(1, span, 4096);
     cluster.fill_pattern(0, sbuf, span, 1);
     let p0 = vec![
-        AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 },
+        AppOp::Isend {
+            peer: 1,
+            buf: sbuf,
+            count: 1,
+            ty: ty.clone(),
+            tag: 0,
+        },
         AppOp::WaitAll,
     ];
     let p1 = vec![
-        AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 },
+        AppOp::Irecv {
+            peer: 0,
+            buf: rbuf,
+            count: 1,
+            ty: ty.clone(),
+            tag: 0,
+        },
         AppOp::WaitAll,
     ];
     let stats = cluster.run(vec![p0, p1]);
     // Fallback really happened on both sides.
-    assert!(stats.counters[0].pool_fallbacks > 0, "sender never fell back");
-    assert!(stats.counters[1].pool_fallbacks > 0, "receiver never fell back");
+    assert!(
+        stats.counters[0].pool_fallbacks > 0,
+        "sender never fell back"
+    );
+    assert!(
+        stats.counters[1].pool_fallbacks > 0,
+        "receiver never fell back"
+    );
     let src = cluster.read_mem(0, sbuf, span);
     let dst = cluster.read_mem(1, rbuf, span);
     for (off, len) in ty.flat().repeat(1) {
@@ -108,8 +153,20 @@ fn eager_send_ring_exhaustion_queues() {
     let mut p0: Program = Vec::new();
     let mut p1: Program = Vec::new();
     for i in 0..n_msgs {
-        p0.push(AppOp::Isend { peer: 1, buf: sbuf + i * 256, count: 1, ty: ty.clone(), tag: 7 });
-        p1.push(AppOp::Irecv { peer: 0, buf: rbuf + i * 256, count: 1, ty: ty.clone(), tag: 7 });
+        p0.push(AppOp::Isend {
+            peer: 1,
+            buf: sbuf + i * 256,
+            count: 1,
+            ty: ty.clone(),
+            tag: 7,
+        });
+        p1.push(AppOp::Irecv {
+            peer: 0,
+            buf: rbuf + i * 256,
+            count: 1,
+            ty: ty.clone(),
+            tag: 7,
+        });
     }
     p0.push(AppOp::WaitAll);
     p1.push(AppOp::WaitAll);
@@ -133,13 +190,28 @@ fn self_messages_any_size() {
         let rbuf = cluster.alloc(0, span, 4096);
         cluster.fill_pattern(0, sbuf, span, 9);
         let p0 = vec![
-            AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 },
-            AppOp::Isend { peer: 0, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 },
+            AppOp::Irecv {
+                peer: 0,
+                buf: rbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            },
+            AppOp::Isend {
+                peer: 0,
+                buf: sbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            },
             AppOp::WaitAll,
         ];
         let p1 = vec![];
         let stats = cluster.run(vec![p0, p1]);
-        assert_eq!(stats.bytes_on_wire, 0, "self messages must not hit the wire");
+        assert_eq!(
+            stats.bytes_on_wire, 0,
+            "self messages must not hit the wire"
+        );
         let src = cluster.read_mem(0, sbuf, span);
         let dst = cluster.read_mem(0, rbuf, span);
         for (off, len) in ty.flat().repeat(1) {
@@ -224,13 +296,37 @@ fn same_tag_messages_match_in_order() {
     cluster.fill_pattern(0, s1, span, 1);
     cluster.fill_pattern(0, s2, span, 2);
     let p0 = vec![
-        AppOp::Isend { peer: 1, buf: s1, count: 1, ty: ty.clone(), tag: 5 },
-        AppOp::Isend { peer: 1, buf: s2, count: 1, ty: ty.clone(), tag: 5 },
+        AppOp::Isend {
+            peer: 1,
+            buf: s1,
+            count: 1,
+            ty: ty.clone(),
+            tag: 5,
+        },
+        AppOp::Isend {
+            peer: 1,
+            buf: s2,
+            count: 1,
+            ty: ty.clone(),
+            tag: 5,
+        },
         AppOp::WaitAll,
     ];
     let p1 = vec![
-        AppOp::Irecv { peer: 0, buf: r1, count: 1, ty: ty.clone(), tag: 5 },
-        AppOp::Irecv { peer: 0, buf: r2, count: 1, ty: ty.clone(), tag: 5 },
+        AppOp::Irecv {
+            peer: 0,
+            buf: r1,
+            count: 1,
+            ty: ty.clone(),
+            tag: 5,
+        },
+        AppOp::Irecv {
+            peer: 0,
+            buf: r2,
+            count: 1,
+            ty: ty.clone(),
+            tag: 5,
+        },
         AppOp::WaitAll,
     ];
     cluster.run(vec![p0, p1]);
@@ -241,7 +337,11 @@ fn same_tag_messages_match_in_order() {
     for (off, len) in ty.flat().repeat(1) {
         let o = off as usize..;
         let o = o.start..o.start + len as usize;
-        assert_eq!(&dst1[o.clone()], &src1[o.clone()], "first recv got second message");
+        assert_eq!(
+            &dst1[o.clone()],
+            &src1[o.clone()],
+            "first recv got second message"
+        );
         assert_eq!(&dst2[o.clone()], &src2[o], "second recv got first message");
     }
 }
@@ -261,9 +361,21 @@ fn layout_cache_survives_many_types() {
     // Two rounds over all types: round 2 must hit the layout cache.
     for _ in 0..2 {
         for ty in &tys {
-            p0.push(AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 });
+            p0.push(AppOp::Isend {
+                peer: 1,
+                buf: sbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            });
             p0.push(AppOp::WaitAll);
-            p1.push(AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 });
+            p1.push(AppOp::Irecv {
+                peer: 0,
+                buf: rbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            });
             p1.push(AppOp::WaitAll);
         }
     }

@@ -9,7 +9,10 @@ fn vector_cols(cols: u64) -> Datatype {
 }
 
 fn cluster(n: u32) -> Cluster {
-    Cluster::new(ClusterSpec { nprocs: n, ..Default::default() })
+    Cluster::new(ClusterSpec {
+        nprocs: n,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -22,7 +25,11 @@ fn put_moves_noncontiguous_data_one_sided() {
     cluster.fill_pattern(0, obuf, span, 31);
 
     let p0: Program = vec![
-        AppOp::WinCreate { win: 1, addr: 0, len: 0 }, // no exposure needed on origin
+        AppOp::WinCreate {
+            win: 1,
+            addr: 0,
+            len: 0,
+        }, // no exposure needed on origin
         AppOp::Put {
             win: 1,
             target: 1,
@@ -36,7 +43,11 @@ fn put_moves_noncontiguous_data_one_sided() {
         AppOp::Fence,
     ];
     let p1: Program = vec![
-        AppOp::WinCreate { win: 1, addr: wbuf, len: span },
+        AppOp::WinCreate {
+            win: 1,
+            addr: wbuf,
+            len: span,
+        },
         AppOp::Fence,
     ];
     let stats = cluster.run(vec![p0, p1]);
@@ -63,7 +74,11 @@ fn get_reads_remote_layout() {
     cluster.fill_pattern(1, wbuf, span, 77);
 
     let p0: Program = vec![
-        AppOp::WinCreate { win: 3, addr: 0, len: 0 },
+        AppOp::WinCreate {
+            win: 3,
+            addr: 0,
+            len: 0,
+        },
         AppOp::Get {
             win: 3,
             target: 1,
@@ -77,7 +92,11 @@ fn get_reads_remote_layout() {
         AppOp::Fence,
     ];
     let p1: Program = vec![
-        AppOp::WinCreate { win: 3, addr: wbuf, len: span },
+        AppOp::WinCreate {
+            win: 3,
+            addr: wbuf,
+            len: span,
+        },
         AppOp::Fence,
     ];
     cluster.run(vec![p0, p1]);
@@ -102,7 +121,11 @@ fn put_with_asymmetric_layouts() {
     let wbuf = cluster.alloc(1, tspan, 4096);
     cluster.fill_pattern(0, obuf, ospan, 3);
     let p0: Program = vec![
-        AppOp::WinCreate { win: 0, addr: 0, len: 0 },
+        AppOp::WinCreate {
+            win: 0,
+            addr: 0,
+            len: 0,
+        },
         AppOp::Put {
             win: 0,
             target: 1,
@@ -116,7 +139,11 @@ fn put_with_asymmetric_layouts() {
         AppOp::Fence,
     ];
     let p1: Program = vec![
-        AppOp::WinCreate { win: 0, addr: wbuf, len: tspan },
+        AppOp::WinCreate {
+            win: 0,
+            addr: wbuf,
+            len: tspan,
+        },
         AppOp::Fence,
     ];
     cluster.run(vec![p0, p1]);
@@ -154,7 +181,11 @@ fn multiple_puts_complete_at_fence() {
     let progs: Vec<Program> = (0..n)
         .map(|r| {
             vec![
-                AppOp::WinCreate { win: 9, addr: wbufs[r as usize], len: block },
+                AppOp::WinCreate {
+                    win: 9,
+                    addr: wbufs[r as usize],
+                    len: block,
+                },
                 AppOp::Put {
                     win: 9,
                     target: (r + 1) % n,
@@ -189,7 +220,11 @@ fn self_put_and_get_are_local() {
     let b = cluster.alloc(0, span, 4096);
     cluster.fill_pattern(0, a, span, 8);
     let p0: Program = vec![
-        AppOp::WinCreate { win: 2, addr: b, len: span },
+        AppOp::WinCreate {
+            win: 2,
+            addr: b,
+            len: span,
+        },
         AppOp::Put {
             win: 2,
             target: 0,
@@ -203,7 +238,11 @@ fn self_put_and_get_are_local() {
         AppOp::Fence,
     ];
     let p1: Program = vec![
-        AppOp::WinCreate { win: 2, addr: 0, len: 0 },
+        AppOp::WinCreate {
+            win: 2,
+            addr: 0,
+            len: 0,
+        },
         AppOp::Fence,
     ];
     let stats = cluster.run(vec![p0, p1]);
@@ -222,7 +261,16 @@ fn self_put_and_get_are_local() {
 fn fence_without_rma_is_a_barrier() {
     let mut cluster = cluster(3);
     let progs: Vec<Program> = (0..3)
-        .map(|_| vec![AppOp::WinCreate { win: 5, addr: 0, len: 0 }, AppOp::Fence])
+        .map(|_| {
+            vec![
+                AppOp::WinCreate {
+                    win: 5,
+                    addr: 0,
+                    len: 0,
+                },
+                AppOp::Fence,
+            ]
+        })
         .collect();
     cluster.run(progs); // must terminate without deadlock
 }

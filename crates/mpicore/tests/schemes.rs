@@ -43,11 +43,23 @@ fn transfer_and_verify(scheme: Scheme, ty: &Datatype, count: u64) -> u64 {
     cluster.fill_pattern(1, rbuf, span, 7); // distinct garbage
 
     let p0: Program = vec![
-        AppOp::Isend { peer: 1, buf: sbuf, count, ty: ty.clone(), tag: 5 },
+        AppOp::Isend {
+            peer: 1,
+            buf: sbuf,
+            count,
+            ty: ty.clone(),
+            tag: 5,
+        },
         AppOp::WaitAll,
     ];
     let p1: Program = vec![
-        AppOp::Irecv { peer: 0, buf: rbuf, count, ty: ty.clone(), tag: 5 },
+        AppOp::Irecv {
+            peer: 0,
+            buf: rbuf,
+            count,
+            ty: ty.clone(),
+            tag: 5,
+        },
         AppOp::WaitAll,
     ];
     let stats = cluster.run(vec![p0, p1]);
@@ -176,11 +188,23 @@ fn asymmetric_types_same_signature() {
         let rbuf = cluster.alloc(1, r_span, 4096);
         cluster.fill_pattern(0, sbuf, s_span, 3);
         let p0 = vec![
-            AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: sty.clone(), tag: 1 },
+            AppOp::Isend {
+                peer: 1,
+                buf: sbuf,
+                count: 1,
+                ty: sty.clone(),
+                tag: 1,
+            },
             AppOp::WaitAll,
         ];
         let p1 = vec![
-            AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: rty.clone(), tag: 1 },
+            AppOp::Irecv {
+                peer: 0,
+                buf: rbuf,
+                count: 1,
+                ty: rty.clone(),
+                tag: 1,
+            },
             AppOp::WaitAll,
         ];
         cluster.run(vec![p0, p1]);
@@ -213,13 +237,37 @@ fn ping_pong_bidirectional() {
         let mut p0: Program = vec![];
         let mut p1: Program = vec![];
         for _ in 0..iters {
-            p0.push(AppOp::Isend { peer: 1, buf: b0, count: 1, ty: ty.clone(), tag: 0 });
+            p0.push(AppOp::Isend {
+                peer: 1,
+                buf: b0,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            });
             p0.push(AppOp::WaitAll);
-            p0.push(AppOp::Irecv { peer: 1, buf: b0, count: 1, ty: ty.clone(), tag: 0 });
+            p0.push(AppOp::Irecv {
+                peer: 1,
+                buf: b0,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            });
             p0.push(AppOp::WaitAll);
-            p1.push(AppOp::Irecv { peer: 0, buf: b1, count: 1, ty: ty.clone(), tag: 0 });
+            p1.push(AppOp::Irecv {
+                peer: 0,
+                buf: b1,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            });
             p1.push(AppOp::WaitAll);
-            p1.push(AppOp::Isend { peer: 0, buf: b1, count: 1, ty: ty.clone(), tag: 0 });
+            p1.push(AppOp::Isend {
+                peer: 0,
+                buf: b1,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            });
             p1.push(AppOp::WaitAll);
         }
         let stats = cluster.run(vec![p0, p1]);
@@ -250,13 +298,25 @@ fn unexpected_messages_match_later() {
             let rbuf = cluster.alloc(1, span, 4096);
             cluster.fill_pattern(0, sbuf, span, 9);
             let p0 = vec![
-                AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 2 },
+                AppOp::Isend {
+                    peer: 1,
+                    buf: sbuf,
+                    count: 1,
+                    ty: ty.clone(),
+                    tag: 2,
+                },
                 AppOp::WaitAll,
             ];
             // The receiver computes for a long time before posting.
             let p1 = vec![
                 AppOp::Compute { ns: 300_000 },
-                AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 2 },
+                AppOp::Irecv {
+                    peer: 0,
+                    buf: rbuf,
+                    count: 1,
+                    ty: ty.clone(),
+                    tag: 2,
+                },
                 AppOp::WaitAll,
             ];
             cluster.run(vec![p0, p1]);
@@ -283,13 +343,37 @@ fn tag_matching_orders_messages() {
     cluster.fill_pattern(0, s1, span, 100);
     cluster.fill_pattern(0, s2, span, 200);
     let p0 = vec![
-        AppOp::Isend { peer: 1, buf: s1, count: 1, ty: ty.clone(), tag: 10 },
-        AppOp::Isend { peer: 1, buf: s2, count: 1, ty: ty.clone(), tag: 20 },
+        AppOp::Isend {
+            peer: 1,
+            buf: s1,
+            count: 1,
+            ty: ty.clone(),
+            tag: 10,
+        },
+        AppOp::Isend {
+            peer: 1,
+            buf: s2,
+            count: 1,
+            ty: ty.clone(),
+            tag: 20,
+        },
         AppOp::WaitAll,
     ];
     let p1 = vec![
-        AppOp::Irecv { peer: 0, buf: r2, count: 1, ty: ty.clone(), tag: 20 },
-        AppOp::Irecv { peer: 0, buf: r1, count: 1, ty: ty.clone(), tag: 10 },
+        AppOp::Irecv {
+            peer: 0,
+            buf: r2,
+            count: 1,
+            ty: ty.clone(),
+            tag: 20,
+        },
+        AppOp::Irecv {
+            peer: 0,
+            buf: r1,
+            count: 1,
+            ty: ty.clone(),
+            tag: 10,
+        },
         AppOp::WaitAll,
     ];
     cluster.run(vec![p0, p1]);
@@ -315,9 +399,21 @@ fn multiw_layout_cache_reused_across_messages() {
     let mut p0 = vec![];
     let mut p1 = vec![];
     for _ in 0..3 {
-        p0.push(AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 });
+        p0.push(AppOp::Isend {
+            peer: 1,
+            buf: sbuf,
+            count: 1,
+            ty: ty.clone(),
+            tag: 0,
+        });
         p0.push(AppOp::WaitAll);
-        p1.push(AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 });
+        p1.push(AppOp::Irecv {
+            peer: 0,
+            buf: rbuf,
+            count: 1,
+            ty: ty.clone(),
+            tag: 0,
+        });
         p1.push(AppOp::WaitAll);
     }
     cluster.run(vec![p0, p1]);
@@ -341,7 +437,12 @@ fn alltoall_all_schemes_4_ranks() {
     // Small struct datatype alltoall across 4 ranks with data checks.
     let ty = Datatype::vector(32, 8, 64, &Datatype::int()).unwrap(); // 1 KiB data
     let n = 4u32;
-    for s in [Scheme::Generic, Scheme::BcSpup, Scheme::RwgUp, Scheme::MultiW] {
+    for s in [
+        Scheme::Generic,
+        Scheme::BcSpup,
+        Scheme::RwgUp,
+        Scheme::MultiW,
+    ] {
         let mut cluster = Cluster::new(spec_with(s, n));
         let block_span = ty.extent() as u64;
         let span = block_span * n as u64 + 64;
@@ -356,15 +457,13 @@ fn alltoall_all_schemes_4_ranks() {
         }
         let progs: Vec<Program> = (0..n)
             .map(|r| {
-                vec![
-                    AppOp::Alltoall {
-                        sbuf: sbufs[r as usize],
-                        rbuf: rbufs[r as usize],
-                        count: 1,
-                        sty: ty.clone(),
-                        rty: ty.clone(),
-                    },
-                ]
+                vec![AppOp::Alltoall {
+                    sbuf: sbufs[r as usize],
+                    rbuf: rbufs[r as usize],
+                    count: 1,
+                    sty: ty.clone(),
+                    rty: ty.clone(),
+                }]
             })
             .collect();
         let stats = cluster.run(progs);
@@ -372,8 +471,10 @@ fn alltoall_all_schemes_4_ranks() {
         // Verify: rank j's block i == rank i's block j (sent data).
         for i in 0..n {
             for j in 0..n {
-                let src = cluster.read_mem(i, sbufs[i as usize] + j as u64 * block_span, block_span);
-                let dst = cluster.read_mem(j, rbufs[j as usize] + i as u64 * block_span, block_span);
+                let src =
+                    cluster.read_mem(i, sbufs[i as usize] + j as u64 * block_span, block_span);
+                let dst =
+                    cluster.read_mem(j, rbufs[j as usize] + i as u64 * block_span, block_span);
                 for (off, len) in ty.flat().repeat(1) {
                     let o = off as usize;
                     assert_eq!(
@@ -408,7 +509,12 @@ fn bcast_and_allgather_and_barrier() {
     let progs: Vec<Program> = (0..n)
         .map(|r| {
             vec![
-                AppOp::Bcast { root: 2, buf: bufs[r as usize], count: 1, ty: ty.clone() },
+                AppOp::Bcast {
+                    root: 2,
+                    buf: bufs[r as usize],
+                    count: 1,
+                    ty: ty.clone(),
+                },
                 AppOp::Barrier,
                 AppOp::Allgather {
                     sbuf: bufs[r as usize],
@@ -484,11 +590,23 @@ fn bcspup_overlaps_pack_with_wire() {
         let rbuf = cluster.alloc(1, span, 4096);
         cluster.fill_pattern(0, sbuf, span, 1);
         let p0 = vec![
-            AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 },
+            AppOp::Isend {
+                peer: 1,
+                buf: sbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            },
             AppOp::WaitAll,
         ];
         let p1 = vec![
-            AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 },
+            AppOp::Irecv {
+                peer: 0,
+                buf: rbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            },
             AppOp::WaitAll,
         ];
         cluster.run(vec![p0, p1]).pack_wire_overlap_ns[0]
@@ -541,11 +659,23 @@ fn worst_case_registration_hurts_copy_reduced_small() {
         let rbuf = cluster.alloc(1, span, 4096);
         cluster.fill_pattern(0, sbuf, span, 1);
         let p0 = vec![
-            AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 },
+            AppOp::Isend {
+                peer: 1,
+                buf: sbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            },
             AppOp::WaitAll,
         ];
         let p1 = vec![
-            AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 },
+            AppOp::Irecv {
+                peer: 0,
+                buf: rbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            },
             AppOp::WaitAll,
         ];
         cluster.run(vec![p0, p1]).finish_ns
@@ -564,7 +694,11 @@ fn mixed_ty() -> Datatype {
     let mut displ = 0i64;
     for i in 0..64 {
         let len = if i % 2 == 0 { 8192u64 } else { 32 };
-        fields.push((len, displ, Datatype::primitive(ibdt_datatype::Primitive::Byte)));
+        fields.push((
+            len,
+            displ,
+            Datatype::primitive(ibdt_datatype::Primitive::Byte),
+        ));
         displ += len as i64 + 512;
     }
     Datatype::struct_(&fields).unwrap()

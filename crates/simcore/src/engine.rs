@@ -105,16 +105,29 @@ impl<W: World> Engine<W> {
     /// events forever produces a panic with a diagnostic rather than a
     /// silent hang.
     pub fn run_to_quiescence(&mut self, world: &mut W, max_events: u64) -> Time {
+        let (now, exhausted) = self.run_bounded(world, max_events);
+        if exhausted {
+            panic!(
+                "simulation exceeded {max_events} events at t={now} — \
+                 likely a protocol livelock"
+            );
+        }
+        now
+    }
+
+    /// Like [`Engine::run_to_quiescence`], but hands the budget decision
+    /// back to the embedder: returns `(final_time, exhausted)` where
+    /// `exhausted` is true when `max_events` were delivered with the
+    /// queue still non-empty. A fault-injecting embedder treats an
+    /// exhausted budget as a watchdog trip (typed error on the
+    /// unfinished work) rather than a panic.
+    pub fn run_bounded(&mut self, world: &mut W, max_events: u64) -> (Time, bool) {
         while self.step(world) {
             if self.handled > max_events {
-                panic!(
-                    "simulation exceeded {max_events} events at t={} — \
-                     likely a protocol livelock",
-                    self.now
-                );
+                return (self.now, true);
             }
         }
-        self.now
+        (self.now, false)
     }
 
     /// True when no events are pending.

@@ -96,9 +96,21 @@ mod tests {
 
     #[test]
     fn span_overlap_rules() {
-        let a = Span { start: 0, end: 10, label: "a" };
-        let b = Span { start: 5, end: 15, label: "b" };
-        let c = Span { start: 10, end: 20, label: "c" };
+        let a = Span {
+            start: 0,
+            end: 10,
+            label: "a",
+        };
+        let b = Span {
+            start: 5,
+            end: 15,
+            label: "b",
+        };
+        let c = Span {
+            start: 10,
+            end: 20,
+            label: "c",
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c)); // touching endpoints do not overlap
         assert!(b.overlaps(&c));
@@ -139,10 +151,18 @@ mod tests {
 
     #[test]
     fn zero_length_span() {
-        let s = Span { start: 5, end: 5, label: "z" };
+        let s = Span {
+            start: 5,
+            end: 5,
+            label: "z",
+        };
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
-        let other = Span { start: 0, end: 10, label: "w" };
+        let other = Span {
+            start: 0,
+            end: 10,
+            label: "w",
+        };
         assert!(!s.overlaps(&other));
     }
 }

@@ -29,7 +29,9 @@ impl Rng {
     pub fn new(seed: u64) -> Self {
         // Pre-mix so that small consecutive seeds (0, 1, 2, ...) do
         // not produce correlated leading outputs.
-        let mut r = Rng { state: seed ^ 0x9E37_79B9_7F4A_7C15 };
+        let mut r = Rng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        };
         r.next_u64();
         r
     }
@@ -118,11 +120,36 @@ impl Rng {
     }
 }
 
+/// Base seed for a chaos suite: `default`, unless the
+/// `IBDT_CHAOS_SEED` environment variable overrides it.
+///
+/// The variable accepts decimal (`12345`) or `0x`-prefixed hex
+/// (`0xC4A00001`); an unparsable value panics rather than silently
+/// running the default matrix. This is how a CI failure is replayed
+/// locally: the harness prints the failing base seed, and
+/// `IBDT_CHAOS_SEED=<that> cargo test` reruns the exact fault plans.
+pub fn chaos_seed(default: u64) -> u64 {
+    match std::env::var("IBDT_CHAOS_SEED") {
+        Err(_) => default,
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16)
+            } else {
+                s.parse()
+            };
+            parsed.unwrap_or_else(|e| panic!("IBDT_CHAOS_SEED={s:?} is not a u64: {e}"))
+        }
+    }
+}
+
 /// Runs `f` once per derived seed, `n` times, panicking with the
 /// failing case index and seed on the first failure.
 ///
 /// The closure receives a fresh [`Rng`] per case; to replay case `i`
-/// in isolation, call `f(&mut Rng::new(seed_for(base_seed, i)))`.
+/// in isolation, call `f(&mut Rng::new(seed_for(base_seed, i)))`, or
+/// rerun the whole suite with `IBDT_CHAOS_SEED=<base>` when the suite
+/// derives its base seed through [`chaos_seed`].
 pub fn cases<F: FnMut(&mut Rng)>(base_seed: u64, n: u32, mut f: F) {
     for i in 0..n {
         let seed = seed_for(base_seed, i);
@@ -130,6 +157,7 @@ pub fn cases<F: FnMut(&mut Rng)>(base_seed: u64, n: u32, mut f: F) {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
         if let Err(payload) = outcome {
             eprintln!("testkit: case {i} of {n} failed (seed {seed:#x}, base {base_seed:#x})");
+            eprintln!("testkit: set IBDT_CHAOS_SEED={base_seed:#x} to reproduce this suite");
             std::panic::resume_unwind(payload);
         }
     }
@@ -222,6 +250,19 @@ mod tests {
             }
             i += 1;
         });
+    }
+
+    #[test]
+    fn chaos_seed_env_override() {
+        // Single test owning the variable — keep all assertions here so
+        // parallel test threads never race on the process environment.
+        std::env::remove_var("IBDT_CHAOS_SEED");
+        assert_eq!(chaos_seed(7), 7);
+        std::env::set_var("IBDT_CHAOS_SEED", "0xDEAD");
+        assert_eq!(chaos_seed(7), 0xDEAD);
+        std::env::set_var("IBDT_CHAOS_SEED", "12345");
+        assert_eq!(chaos_seed(7), 12345);
+        std::env::remove_var("IBDT_CHAOS_SEED");
     }
 
     #[test]

@@ -72,13 +72,37 @@ pub fn pingpong(
         if i == warmup {
             p0.push(AppOp::MarkTime { slot: 0 });
         }
-        p0.push(AppOp::Isend { peer: 1, buf: b0, count, ty: ty.clone(), tag: 1 });
+        p0.push(AppOp::Isend {
+            peer: 1,
+            buf: b0,
+            count,
+            ty: ty.clone(),
+            tag: 1,
+        });
         p0.push(AppOp::WaitAll);
-        p0.push(AppOp::Irecv { peer: 1, buf: b0, count, ty: ty.clone(), tag: 2 });
+        p0.push(AppOp::Irecv {
+            peer: 1,
+            buf: b0,
+            count,
+            ty: ty.clone(),
+            tag: 2,
+        });
         p0.push(AppOp::WaitAll);
-        p1.push(AppOp::Irecv { peer: 0, buf: b1, count, ty: ty.clone(), tag: 1 });
+        p1.push(AppOp::Irecv {
+            peer: 0,
+            buf: b1,
+            count,
+            ty: ty.clone(),
+            tag: 1,
+        });
         p1.push(AppOp::WaitAll);
-        p1.push(AppOp::Isend { peer: 0, buf: b1, count, ty: ty.clone(), tag: 2 });
+        p1.push(AppOp::Isend {
+            peer: 0,
+            buf: b1,
+            count,
+            ty: ty.clone(),
+            tag: 2,
+        });
         p1.push(AppOp::WaitAll);
     }
     p0.push(AppOp::MarkTime { slot: 1 });
@@ -106,21 +130,57 @@ pub fn bandwidth(spec: &ClusterSpec, ty: &Datatype, count: u64, window: u32) -> 
     let mut p0: Program = Vec::new();
     let mut p1: Program = Vec::new();
     // One warmup message to populate caches and pools.
-    p0.push(AppOp::Isend { peer: 1, buf: b0, count, ty: ty.clone(), tag: 1 });
+    p0.push(AppOp::Isend {
+        peer: 1,
+        buf: b0,
+        count,
+        ty: ty.clone(),
+        tag: 1,
+    });
     p0.push(AppOp::WaitAll);
-    p1.push(AppOp::Irecv { peer: 0, buf: b1, count, ty: ty.clone(), tag: 1 });
+    p1.push(AppOp::Irecv {
+        peer: 0,
+        buf: b1,
+        count,
+        ty: ty.clone(),
+        tag: 1,
+    });
     p1.push(AppOp::WaitAll);
 
     p0.push(AppOp::MarkTime { slot: 0 });
     for _ in 0..window {
-        p0.push(AppOp::Isend { peer: 1, buf: b0, count, ty: ty.clone(), tag: 1 });
+        p0.push(AppOp::Isend {
+            peer: 1,
+            buf: b0,
+            count,
+            ty: ty.clone(),
+            tag: 1,
+        });
         p0.push(AppOp::WaitAll);
-        p1.push(AppOp::Irecv { peer: 0, buf: b1, count, ty: ty.clone(), tag: 1 });
+        p1.push(AppOp::Irecv {
+            peer: 0,
+            buf: b1,
+            count,
+            ty: ty.clone(),
+            tag: 1,
+        });
         p1.push(AppOp::WaitAll);
     }
-    p1.push(AppOp::Isend { peer: 0, buf: rbuf1, count: 1, ty: reply.clone(), tag: 9 });
+    p1.push(AppOp::Isend {
+        peer: 0,
+        buf: rbuf1,
+        count: 1,
+        ty: reply.clone(),
+        tag: 9,
+    });
     p1.push(AppOp::WaitAll);
-    p0.push(AppOp::Irecv { peer: 1, buf: rbuf0, count: 1, ty: reply.clone(), tag: 9 });
+    p0.push(AppOp::Irecv {
+        peer: 1,
+        buf: rbuf0,
+        count: 1,
+        ty: reply.clone(),
+        tag: 9,
+    });
     p0.push(AppOp::WaitAll);
     p0.push(AppOp::MarkTime { slot: 1 });
 
@@ -221,10 +281,16 @@ pub fn pingpong_asym(
     iters: u32,
 ) -> PingPongResult {
     assert!(iters > 0);
-    assert_eq!(scount * sty.size(), rcount * rty.size(), "signature mismatch");
+    assert_eq!(
+        scount * sty.size(),
+        rcount * rty.size(),
+        "signature mismatch"
+    );
     let mut cluster = Cluster::new(spec.clone());
-    let s_span = ((scount.saturating_sub(1)) as i64 * sty.extent() + sty.true_ub()).max(8) as u64 + 64;
-    let r_span = ((rcount.saturating_sub(1)) as i64 * rty.extent() + rty.true_ub()).max(8) as u64 + 64;
+    let s_span =
+        ((scount.saturating_sub(1)) as i64 * sty.extent() + sty.true_ub()).max(8) as u64 + 64;
+    let r_span =
+        ((rcount.saturating_sub(1)) as i64 * rty.extent() + rty.true_ub()).max(8) as u64 + 64;
     let b0 = cluster.alloc(0, s_span, 4096);
     let b1 = cluster.alloc(1, r_span, 4096);
     cluster.fill_pattern(0, b0, s_span, 21);
@@ -234,13 +300,37 @@ pub fn pingpong_asym(
         if i == warmup {
             p0.push(AppOp::MarkTime { slot: 0 });
         }
-        p0.push(AppOp::Isend { peer: 1, buf: b0, count: scount, ty: sty.clone(), tag: 1 });
+        p0.push(AppOp::Isend {
+            peer: 1,
+            buf: b0,
+            count: scount,
+            ty: sty.clone(),
+            tag: 1,
+        });
         p0.push(AppOp::WaitAll);
-        p0.push(AppOp::Irecv { peer: 1, buf: b0, count: scount, ty: sty.clone(), tag: 2 });
+        p0.push(AppOp::Irecv {
+            peer: 1,
+            buf: b0,
+            count: scount,
+            ty: sty.clone(),
+            tag: 2,
+        });
         p0.push(AppOp::WaitAll);
-        p1.push(AppOp::Irecv { peer: 0, buf: b1, count: rcount, ty: rty.clone(), tag: 1 });
+        p1.push(AppOp::Irecv {
+            peer: 0,
+            buf: b1,
+            count: rcount,
+            ty: rty.clone(),
+            tag: 1,
+        });
         p1.push(AppOp::WaitAll);
-        p1.push(AppOp::Isend { peer: 0, buf: b1, count: rcount, ty: rty.clone(), tag: 2 });
+        p1.push(AppOp::Isend {
+            peer: 0,
+            buf: b1,
+            count: rcount,
+            ty: rty.clone(),
+            tag: 2,
+        });
         p1.push(AppOp::WaitAll);
     }
     p0.push(AppOp::MarkTime { slot: 1 });
@@ -291,15 +381,39 @@ pub fn pingpong_manual(
         // Sender: manual pack, contiguous send; on the reply, manual
         // unpack.
         p0.push(AppOp::Compute { ns: copy_ns });
-        p0.push(AppOp::Isend { peer: 1, buf: b0, count: 1, ty: contig.clone(), tag: 1 });
+        p0.push(AppOp::Isend {
+            peer: 1,
+            buf: b0,
+            count: 1,
+            ty: contig.clone(),
+            tag: 1,
+        });
         p0.push(AppOp::WaitAll);
-        p0.push(AppOp::Irecv { peer: 1, buf: b0, count: 1, ty: contig.clone(), tag: 2 });
+        p0.push(AppOp::Irecv {
+            peer: 1,
+            buf: b0,
+            count: 1,
+            ty: contig.clone(),
+            tag: 2,
+        });
         p0.push(AppOp::WaitAll);
         p0.push(AppOp::Compute { ns: copy_ns });
-        p1.push(AppOp::Irecv { peer: 0, buf: b1, count: 1, ty: contig.clone(), tag: 1 });
+        p1.push(AppOp::Irecv {
+            peer: 0,
+            buf: b1,
+            count: 1,
+            ty: contig.clone(),
+            tag: 1,
+        });
         p1.push(AppOp::WaitAll);
         p1.push(AppOp::Compute { ns: 2 * copy_ns }); // unpack + repack
-        p1.push(AppOp::Isend { peer: 0, buf: b1, count: 1, ty: contig.clone(), tag: 2 });
+        p1.push(AppOp::Isend {
+            peer: 0,
+            buf: b1,
+            count: 1,
+            ty: contig.clone(),
+            tag: 2,
+        });
         p1.push(AppOp::WaitAll);
     }
     p0.push(AppOp::MarkTime { slot: 1 });
@@ -389,12 +503,7 @@ pub fn pingpong_multiple(
 
 /// Fig. 2 `Contig`: a contiguous transfer of the same number of bytes —
 /// the reference every scheme is compared against.
-pub fn pingpong_contig(
-    spec: &ClusterSpec,
-    bytes: u64,
-    warmup: u32,
-    iters: u32,
-) -> PingPongResult {
+pub fn pingpong_contig(spec: &ClusterSpec, bytes: u64, warmup: u32, iters: u32) -> PingPongResult {
     let ty = Datatype::contiguous(bytes, &Datatype::byte()).expect("contig");
     pingpong(spec, &ty, 1, warmup, iters)
 }

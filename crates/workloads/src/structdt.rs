@@ -9,7 +9,10 @@ use ibdt_datatype::Datatype;
 /// Builds the Fig. 10 struct: blocks of 1, 2, 4, … ints up to
 /// `last_block_ints`, each followed by a gap equal to the block itself.
 pub fn struct_datatype(last_block_ints: u64) -> Datatype {
-    assert!(last_block_ints.is_power_of_two(), "paper uses powers of two");
+    assert!(
+        last_block_ints.is_power_of_two(),
+        "paper uses powers of two"
+    );
     let mut fields = Vec::new();
     let mut displ = 0i64;
     let mut ints = 1u64;

@@ -27,7 +27,10 @@ fn main() {
     let psizes = [PR, PC];
     let gsizes = [GR, GC];
 
-    let mut spec = ClusterSpec { nprocs: P, ..Default::default() };
+    let mut spec = ClusterSpec {
+        nprocs: P,
+        ..Default::default()
+    };
     spec.mpi.scheme = Scheme::Adaptive;
     let mut cluster = Cluster::new(spec);
 
@@ -36,8 +39,8 @@ fn main() {
     let mut local_bufs = Vec::new();
     let mut darrays = Vec::new();
     for r in 0..P {
-        let ty = Datatype::darray(P, r, &gsizes, &distribs, &psizes, &elem)
-            .expect("valid distribution");
+        let ty =
+            Datatype::darray(P, r, &gsizes, &distribs, &psizes, &elem).expect("valid distribution");
         // Local data, packed in darray (local-array) order: value =
         // global element index, so assembly is trivially checkable.
         let mut local: Vec<u8> = Vec::with_capacity(ty.size() as usize);
@@ -88,7 +91,11 @@ fn main() {
     // Verify: element g holds the value g.
     let bytes = cluster.read_mem(0, global, GR * GC * EL);
     for g in 0..GR * GC {
-        let v = f64::from_le_bytes(bytes[(g * EL) as usize..(g * EL + EL) as usize].try_into().unwrap());
+        let v = f64::from_le_bytes(
+            bytes[(g * EL) as usize..(g * EL + EL) as usize]
+                .try_into()
+                .unwrap(),
+        );
         assert_eq!(v, g as f64, "global element {g}");
     }
     println!(

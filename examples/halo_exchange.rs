@@ -36,12 +36,24 @@ fn main() {
     let col_ty = Datatype::vector(N, 1, W as i64, &Datatype::double()).expect("column type");
     println!(
         "tile {}x{} doubles; column halo = vector({}, 1, {}) -> {} blocks of 8 B",
-        N, N, N, W, col_ty.num_blocks()
+        N,
+        N,
+        N,
+        W,
+        col_ty.num_blocks()
     );
     println!("{:>10}  {:>14}", "scheme", "per-iteration");
 
-    for scheme in [Scheme::Generic, Scheme::BcSpup, Scheme::MultiW, Scheme::Adaptive] {
-        let mut spec = ClusterSpec { nprocs: PX * PY, ..Default::default() };
+    for scheme in [
+        Scheme::Generic,
+        Scheme::BcSpup,
+        Scheme::MultiW,
+        Scheme::Adaptive,
+    ] {
+        let mut spec = ClusterSpec {
+            nprocs: PX * PY,
+            ..Default::default()
+        };
         spec.mpi.scheme = scheme;
         let mut cluster = Cluster::new(spec);
 
@@ -78,16 +90,64 @@ fn main() {
                         p.push(AppOp::MarkTime { slot: 0 });
                     }
                     // Receive into halo cells.
-                    p.push(AppOp::Irecv { peer: left, buf: tile + at(1, 0), count: 1, ty: col_ty.clone(), tag: 1 });
-                    p.push(AppOp::Irecv { peer: right, buf: tile + at(1, W - 1), count: 1, ty: col_ty.clone(), tag: 2 });
-                    p.push(AppOp::Irecv { peer: up, buf: tile + at(0, 1), count: 1, ty: row_ty.clone(), tag: 3 });
-                    p.push(AppOp::Irecv { peer: down, buf: tile + at(W - 1, 1), count: 1, ty: row_ty.clone(), tag: 4 });
+                    p.push(AppOp::Irecv {
+                        peer: left,
+                        buf: tile + at(1, 0),
+                        count: 1,
+                        ty: col_ty.clone(),
+                        tag: 1,
+                    });
+                    p.push(AppOp::Irecv {
+                        peer: right,
+                        buf: tile + at(1, W - 1),
+                        count: 1,
+                        ty: col_ty.clone(),
+                        tag: 2,
+                    });
+                    p.push(AppOp::Irecv {
+                        peer: up,
+                        buf: tile + at(0, 1),
+                        count: 1,
+                        ty: row_ty.clone(),
+                        tag: 3,
+                    });
+                    p.push(AppOp::Irecv {
+                        peer: down,
+                        buf: tile + at(W - 1, 1),
+                        count: 1,
+                        ty: row_ty.clone(),
+                        tag: 4,
+                    });
                     // Send edges: my right edge is my right neighbour's
                     // left halo, and so on (torus symmetry).
-                    p.push(AppOp::Isend { peer: right, buf: tile + at(1, N), count: 1, ty: col_ty.clone(), tag: 1 });
-                    p.push(AppOp::Isend { peer: left, buf: tile + at(1, 1), count: 1, ty: col_ty.clone(), tag: 2 });
-                    p.push(AppOp::Isend { peer: down, buf: tile + at(N, 1), count: 1, ty: row_ty.clone(), tag: 3 });
-                    p.push(AppOp::Isend { peer: up, buf: tile + at(1, 1), count: 1, ty: row_ty.clone(), tag: 4 });
+                    p.push(AppOp::Isend {
+                        peer: right,
+                        buf: tile + at(1, N),
+                        count: 1,
+                        ty: col_ty.clone(),
+                        tag: 1,
+                    });
+                    p.push(AppOp::Isend {
+                        peer: left,
+                        buf: tile + at(1, 1),
+                        count: 1,
+                        ty: col_ty.clone(),
+                        tag: 2,
+                    });
+                    p.push(AppOp::Isend {
+                        peer: down,
+                        buf: tile + at(N, 1),
+                        count: 1,
+                        ty: row_ty.clone(),
+                        tag: 3,
+                    });
+                    p.push(AppOp::Isend {
+                        peer: up,
+                        buf: tile + at(1, 1),
+                        count: 1,
+                        ty: row_ty.clone(),
+                        tag: 4,
+                    });
                     p.push(AppOp::WaitAll);
                     // A little local compute between iterations.
                     p.push(AppOp::Compute { ns: 20_000 });

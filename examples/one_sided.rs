@@ -27,7 +27,10 @@ fn main() {
         col_ty.num_blocks()
     );
 
-    let mut spec = ClusterSpec { nprocs: P, ..Default::default() };
+    let mut spec = ClusterSpec {
+        nprocs: P,
+        ..Default::default()
+    };
     spec.mpi.scheme = Scheme::Adaptive;
     let mut cluster = Cluster::new(spec);
 
@@ -53,7 +56,11 @@ fn main() {
             let right = (r + 1) % P;
             let left = (r + P - 1) % P;
             let tile = tiles[r as usize];
-            let mut p: Program = vec![AppOp::WinCreate { win: 0, addr: tile, len: tile_bytes }];
+            let mut p: Program = vec![AppOp::WinCreate {
+                win: 0,
+                addr: tile,
+                len: tile_bytes,
+            }];
             for it in 0..iters {
                 if r == 0 && it == iters - 1 {
                     p.push(AppOp::MarkTime { slot: 0 });

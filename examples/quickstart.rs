@@ -42,21 +42,57 @@ fn main() {
 
         // One warmup transfer, then a timed one.
         let p0 = vec![
-            AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 },
+            AppOp::Isend {
+                peer: 1,
+                buf: sbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            },
             AppOp::WaitAll,
             AppOp::MarkTime { slot: 0 },
-            AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 },
+            AppOp::Isend {
+                peer: 1,
+                buf: sbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            },
             AppOp::WaitAll,
-            AppOp::Irecv { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 1 },
+            AppOp::Irecv {
+                peer: 1,
+                buf: sbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 1,
+            },
             AppOp::WaitAll,
             AppOp::MarkTime { slot: 1 },
         ];
         let p1 = vec![
-            AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 },
+            AppOp::Irecv {
+                peer: 0,
+                buf: rbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            },
             AppOp::WaitAll,
-            AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 },
+            AppOp::Irecv {
+                peer: 0,
+                buf: rbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            },
             AppOp::WaitAll,
-            AppOp::Isend { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 1 },
+            AppOp::Isend {
+                peer: 0,
+                buf: rbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 1,
+            },
             AppOp::WaitAll,
         ];
         let stats = cluster.run(vec![p0, p1]);

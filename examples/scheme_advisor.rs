@@ -42,7 +42,14 @@ fn main() {
     );
 
     let cfg = MpiConfig::default();
-    let advice = adaptive_choose(&cfg, ty.size(), stats.min, stats.median, stats.min, stats.median);
+    let advice = adaptive_choose(
+        &cfg,
+        ty.size(),
+        stats.min,
+        stats.median,
+        stats.min,
+        stats.median,
+    );
 
     println!("{:>10}  {:>12}", "scheme", "latency");
     let mut best = (Scheme::Generic, u64::MAX);
@@ -70,7 +77,9 @@ fn main() {
     if advice == best.0 {
         println!("the adaptive rule matches the measurement");
     } else {
-        println!("note: the adaptive rule is a heuristic on block statistics; \
-                  the measured optimum can differ near crossovers");
+        println!(
+            "note: the adaptive rule is a heuristic on block statistics; \
+                  the measured optimum can differ near crossovers"
+        );
     }
 }

@@ -40,8 +40,16 @@ fn main() {
     );
     println!("{:>10}  {:>14}", "scheme", "alltoall time");
 
-    for scheme in [Scheme::Generic, Scheme::BcSpup, Scheme::RwgUp, Scheme::MultiW] {
-        let mut spec = ClusterSpec { nprocs: P, ..Default::default() };
+    for scheme in [
+        Scheme::Generic,
+        Scheme::BcSpup,
+        Scheme::RwgUp,
+        Scheme::MultiW,
+    ] {
+        let mut spec = ClusterSpec {
+            nprocs: P,
+            ..Default::default()
+        };
         spec.mpi.scheme = scheme;
         let mut cluster = Cluster::new(spec);
 

@@ -43,7 +43,10 @@ fn abstract_claim_bandwidth_improvement() {
     let r = bw(Scheme::RwgUp, 2048);
     let m = bw(Scheme::MultiW, 2048);
     assert!(m / g > 1.6, "Multi-W bandwidth factor {:.2} < 1.6", m / g);
-    assert!(b > g && r > b && m > r, "ordering violated: {g:.0} {b:.0} {r:.0} {m:.0}");
+    assert!(
+        b > g && r > b && m > r,
+        "ordering violated: {g:.0} {b:.0} {r:.0} {m:.0}"
+    );
 }
 
 #[test]
@@ -142,11 +145,16 @@ fn fig14_worst_case_crossover() {
 #[test]
 fn adaptive_never_far_from_best() {
     for cols in [4u64, 32, 128, 512, 2048] {
-        let best = [Scheme::Generic, Scheme::BcSpup, Scheme::RwgUp, Scheme::MultiW]
-            .into_iter()
-            .map(|s| latency(s, cols))
-            .min()
-            .expect("non-empty");
+        let best = [
+            Scheme::Generic,
+            Scheme::BcSpup,
+            Scheme::RwgUp,
+            Scheme::MultiW,
+        ]
+        .into_iter()
+        .map(|s| latency(s, cols))
+        .min()
+        .expect("non-empty");
         let a = latency(Scheme::Adaptive, cols);
         assert!(
             a as f64 <= best as f64 * 1.10,

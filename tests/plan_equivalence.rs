@@ -68,9 +68,21 @@ fn run_pairs(
     let mut p0 = Vec::new();
     let mut p1 = Vec::new();
     for tag in 0..nmsgs {
-        p0.push(AppOp::Isend { peer: 1, buf: sbuf, count, ty: ty.clone(), tag });
+        p0.push(AppOp::Isend {
+            peer: 1,
+            buf: sbuf,
+            count,
+            ty: ty.clone(),
+            tag,
+        });
         p0.push(AppOp::WaitAll);
-        p1.push(AppOp::Irecv { peer: 0, buf: rbuf, count, ty: ty.clone(), tag });
+        p1.push(AppOp::Irecv {
+            peer: 0,
+            buf: rbuf,
+            count,
+            ty: ty.clone(),
+            tag,
+        });
         p1.push(AppOp::WaitAll);
     }
     let stats = cluster.run(vec![p0, p1]);
@@ -92,16 +104,34 @@ fn assert_delivered(ty: &Datatype, count: u64, src: &[u8], dst: &[u8], what: &st
 
 fn assert_same_observables(a: &RunStats, b: &RunStats, what: &str) {
     assert_eq!(a.finish_ns, b.finish_ns, "{what}: virtual clock diverged");
-    assert_eq!(a.rank_finish_ns, b.rank_finish_ns, "{what}: per-rank clocks diverged");
+    assert_eq!(
+        a.rank_finish_ns, b.rank_finish_ns,
+        "{what}: per-rank clocks diverged"
+    );
     assert_eq!(a.counters, b.counters, "{what}: protocol counters diverged");
-    assert_eq!(a.cpu_busy_ns, b.cpu_busy_ns, "{what}: CPU busy time diverged");
+    assert_eq!(
+        a.cpu_busy_ns, b.cpu_busy_ns,
+        "{what}: CPU busy time diverged"
+    );
     assert_eq!(a.wqes, b.wqes, "{what}: WQE count diverged");
-    assert_eq!(a.bytes_on_wire, b.bytes_on_wire, "{what}: wire bytes diverged");
+    assert_eq!(
+        a.bytes_on_wire, b.bytes_on_wire,
+        "{what}: wire bytes diverged"
+    );
     assert_eq!(a.reg_ops, b.reg_ops, "{what}: registration ops diverged");
-    assert_eq!(a.pindown, b.pindown, "{what}: pin-down cache behavior diverged");
+    assert_eq!(
+        a.pindown, b.pindown,
+        "{what}: pin-down cache behavior diverged"
+    );
     assert_eq!(a.retransmits, b.retransmits, "{what}: retransmits diverged");
-    assert_eq!(a.drops_injected, b.drops_injected, "{what}: fault injection diverged");
-    assert_eq!(a.corruptions_injected, b.corruptions_injected, "{what}: corruption diverged");
+    assert_eq!(
+        a.drops_injected, b.drops_injected,
+        "{what}: fault injection diverged"
+    );
+    assert_eq!(
+        a.corruptions_injected, b.corruptions_injected,
+        "{what}: corruption diverged"
+    );
     assert_eq!(
         a.errors.iter().map(Vec::len).collect::<Vec<_>>(),
         b.errors.iter().map(Vec::len).collect::<Vec<_>>(),
@@ -133,7 +163,12 @@ fn plan_cache_toggle_is_observationally_equivalent() {
         let (on, src_on, dst_on) = run_pairs(spec(true, 64), &ty, count, nmsgs, pattern_seed);
         let (off, _, dst_off) = run_pairs(spec(false, 64), &ty, count, nmsgs, pattern_seed);
         let (tiny, _, dst_tiny) = run_pairs(spec(true, 1), &ty, count, nmsgs, pattern_seed);
-        assert_eq!(on.total_errors(), 0, "clean run must not error: {:?}", on.errors);
+        assert_eq!(
+            on.total_errors(),
+            0,
+            "clean run must not error: {:?}",
+            on.errors
+        );
         assert_delivered(&ty, count, &src_on, &dst_on, "cache-on delivery");
         assert_eq!(dst_on, dst_off, "cache off changed delivered bytes");
         assert_eq!(dst_on, dst_tiny, "thrashing cache changed delivered bytes");
@@ -141,8 +176,10 @@ fn plan_cache_toggle_is_observationally_equivalent() {
         assert_same_observables(&on, &tiny, "on vs capacity-1");
         // Only the host-side cache statistics may differ: disabled
         // lookups are all misses and never hit.
-        let (hits_off, misses_off): (u64, u64) =
-            off.plan_cache.iter().fold((0, 0), |(h, m), &(a, b, _)| (h + a, m + b));
+        let (hits_off, misses_off): (u64, u64) = off
+            .plan_cache
+            .iter()
+            .fold((0, 0), |(h, m), &(a, b, _)| (h + a, m + b));
         assert_eq!(hits_off, 0, "disabled cache cannot hit");
         assert!(misses_off > 0, "sends must have consulted the plan path");
     });
@@ -170,6 +207,8 @@ fn plan_cache_equivalence_under_fault_injection() {
             max_delay_ns: 30_000,
             stall_rate: rng.range_u64(0, 10) as f64 / 100.0,
             stall_ns: 5_000,
+            link_faults: Vec::new(),
+            evict_rate: 0.0,
         };
         let spec = |cache: bool| {
             let mut s = ClusterSpec::default();
@@ -180,7 +219,12 @@ fn plan_cache_equivalence_under_fault_injection() {
         };
         let (on, src_on, dst_on) = run_pairs(spec(true), &ty, count, 2, pattern_seed);
         let (off, _, dst_off) = run_pairs(spec(false), &ty, count, 2, pattern_seed);
-        assert_eq!(on.total_errors(), 0, "recoverable rates must not error: {:?}", on.errors);
+        assert_eq!(
+            on.total_errors(),
+            0,
+            "recoverable rates must not error: {:?}",
+            on.errors
+        );
         assert_delivered(&ty, count, &src_on, &dst_on, "faulty cache-on delivery");
         assert_eq!(dst_on, dst_off, "cache toggle changed bytes under faults");
         assert_same_observables(&on, &off, "faulty on vs off");
@@ -212,7 +256,10 @@ fn repeated_sends_hit_plan_cache_and_scratch_pool() {
         assert_delivered(&ty, 4, &src, &dst, "repeated-send delivery");
         let hits: u64 = stats.plan_cache.iter().map(|&(h, _, _)| h).sum();
         let misses: u64 = stats.plan_cache.iter().map(|&(_, m, _)| m).sum();
-        assert!(hits > 0, "{scheme:?}: repeated sends never hit the plan cache");
+        assert!(
+            hits > 0,
+            "{scheme:?}: repeated sends never hit the plan cache"
+        );
         assert!(misses >= 1, "{scheme:?}: first lookup must miss");
         assert!(
             hits > misses,
@@ -220,7 +267,10 @@ fn repeated_sends_hit_plan_cache_and_scratch_pool() {
         );
         let reuses: u64 = stats.scratch_pool.iter().map(|&(r, _)| r).sum();
         if matches!(scheme, Scheme::Generic | Scheme::BcSpup | Scheme::PRrs) {
-            assert!(reuses > 0, "{scheme:?}: pack staging never reused scratch buffers");
+            assert!(
+                reuses > 0,
+                "{scheme:?}: pack staging never reused scratch buffers"
+            );
         }
     }
 }

@@ -12,10 +12,20 @@ use ibdt_testkit::{cases, Rng};
 /// *protocols* with realistic shapes.
 #[derive(Debug, Clone)]
 enum Shape {
-    Vector { count: u64, blocklen: u64, stride: u64 },
-    Indexed { blocks: Vec<(u64, u64)> },
-    Struct { sizes: Vec<u64> },
-    Contig { len: u64 },
+    Vector {
+        count: u64,
+        blocklen: u64,
+        stride: u64,
+    },
+    Indexed {
+        blocks: Vec<(u64, u64)>,
+    },
+    Struct {
+        sizes: Vec<u64>,
+    },
+    Contig {
+        len: u64,
+    },
 }
 
 fn random_shape(rng: &mut Rng) -> Shape {
@@ -42,16 +52,20 @@ fn random_shape(rng: &mut Rng) -> Shape {
                 sizes: (0..n).map(|_| rng.range_u64(1, 2000)).collect(),
             }
         }
-        _ => Shape::Contig { len: rng.range_u64(1, 100_000) },
+        _ => Shape::Contig {
+            len: rng.range_u64(1, 100_000),
+        },
     }
 }
 
 fn build(shape: &Shape) -> Datatype {
     let byte = Datatype::byte();
     match shape {
-        Shape::Vector { count, blocklen, stride } => {
-            Datatype::hvector(*count, *blocklen, *stride as i64, &byte).unwrap()
-        }
+        Shape::Vector {
+            count,
+            blocklen,
+            stride,
+        } => Datatype::hvector(*count, *blocklen, *stride as i64, &byte).unwrap(),
         Shape::Indexed { blocks } => {
             let mut displ = 0i64;
             let mut entries = Vec::new();
@@ -108,11 +122,23 @@ fn any_shape_any_scheme_delivers_exactly() {
         cluster.fill_pattern(1, rbuf, span, seed ^ 0xFFFF);
 
         let p0 = vec![
-            AppOp::Isend { peer: 1, buf: sbuf, count, ty: ty.clone(), tag: 3 },
+            AppOp::Isend {
+                peer: 1,
+                buf: sbuf,
+                count,
+                ty: ty.clone(),
+                tag: 3,
+            },
             AppOp::WaitAll,
         ];
         let p1 = vec![
-            AppOp::Irecv { peer: 0, buf: rbuf, count, ty: ty.clone(), tag: 3 },
+            AppOp::Irecv {
+                peer: 0,
+                buf: rbuf,
+                count,
+                ty: ty.clone(),
+                tag: 3,
+            },
             AppOp::WaitAll,
         ];
         let stats = cluster.run(vec![p0, p1]);
@@ -167,9 +193,21 @@ fn repeated_messages_stay_correct() {
         let mut p0 = Vec::new();
         let mut p1 = Vec::new();
         for _ in 0..4 {
-            p0.push(AppOp::Isend { peer: 1, buf: sbuf, count: 1, ty: ty.clone(), tag: 0 });
+            p0.push(AppOp::Isend {
+                peer: 1,
+                buf: sbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            });
             p0.push(AppOp::WaitAll);
-            p1.push(AppOp::Irecv { peer: 0, buf: rbuf, count: 1, ty: ty.clone(), tag: 0 });
+            p1.push(AppOp::Irecv {
+                peer: 0,
+                buf: rbuf,
+                count: 1,
+                ty: ty.clone(),
+                tag: 0,
+            });
             p1.push(AppOp::WaitAll);
         }
         cluster.run(vec![p0, p1]);
