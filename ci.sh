@@ -4,14 +4,20 @@
 # `./ci.sh --chaos` additionally replays the chaos suites under a
 # fixed seed matrix (the `chaos` job in CI); a failure prints the
 # IBDT_CHAOS_SEED value that reproduces it.
+#
+# `./ci.sh --bench-gate` compares a fresh hotpath run against the
+# committed BENCH_hotpath.json and fails on a >15% regression of any
+# gated metric (the `bench-gate` job in CI).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 CHAOS=0
+BENCH_GATE=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
-    *) echo "unknown argument: $arg (supported: --chaos)" >&2; exit 2 ;;
+    --bench-gate) BENCH_GATE=1 ;;
+    *) echo "unknown argument: $arg (supported: --chaos, --bench-gate)" >&2; exit 2 ;;
   esac
 done
 
@@ -35,6 +41,15 @@ for name, v in d.items():
 print(f"BENCH_hotpath.json OK ({len(d)} entries, "
       f"repeated-send speedup {d['repeated_send/speedup']['ns_per_op']:.2f}x)")
 EOF
+
+if [[ "$BENCH_GATE" == 1 ]]; then
+  echo "==> bench gate (>15% regression vs committed BENCH_hotpath.json fails)"
+  # The smoke run above overwrote the working-tree JSON; gate against
+  # the committed baseline, which is what every refresh was measured
+  # into.
+  git show HEAD:BENCH_hotpath.json > target/bench_baseline.json
+  python3 tools/bench_gate.py target/bench_baseline.json BENCH_hotpath.json
+fi
 
 if [[ "$CHAOS" == 1 ]]; then
   # Same matrix as the `chaos` CI job: each seed re-derives every

@@ -28,29 +28,44 @@ impl Report {
     }
 
     /// Times `f` adaptively and records + prints the result.
+    ///
+    /// Calibrates an iteration count to a ~15 ms pass, then takes the
+    /// **best of several passes**: on a shared/virtualized host the
+    /// minimum is the only robust location estimate (interference only
+    /// ever adds time), and the committed JSON doubles as a CI
+    /// regression gate, so a noise spike must not look like a
+    /// regression.
     fn bench(&mut self, name: &str, bytes: Option<u64>, mut f: impl FnMut()) -> f64 {
         for _ in 0..3 {
             f();
         }
         let mut iters = 1u64;
-        loop {
+        let per_pass = loop {
             let t0 = Instant::now();
             for _ in 0..iters {
                 f();
             }
             let dt = t0.elapsed();
-            if dt.as_millis() >= 40 || iters >= 1 << 22 {
-                let per = dt.as_nanos() as f64 / iters as f64;
-                let bps = bytes.map_or(0.0, |b| b as f64 / per * 1e9);
-                match bytes {
-                    Some(_) => println!("{name:<52} {per:>12.0} ns/op  {:>9.1} MB/s", bps / 1e6),
-                    None => println!("{name:<52} {per:>12.0} ns/op"),
-                }
-                self.entries.push((name.to_string(), per, bps));
-                return per;
+            if dt.as_millis() >= 15 || iters >= 1 << 22 {
+                break dt.as_nanos() as f64 / iters as f64;
             }
             iters *= 4;
+        };
+        let mut per = per_pass;
+        for _ in 0..4 {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            per = per.min(t0.elapsed().as_nanos() as f64 / iters as f64);
         }
+        let bps = bytes.map_or(0.0, |b| b as f64 / per * 1e9);
+        match bytes {
+            Some(_) => println!("{name:<52} {per:>12.0} ns/op  {:>9.1} MB/s", bps / 1e6),
+            None => println!("{name:<52} {per:>12.0} ns/op"),
+        }
+        self.entries.push((name.to_string(), per, bps));
+        per
     }
 
     fn to_json(&self) -> String {
@@ -75,6 +90,38 @@ fn vector_ty(cols: u64) -> Datatype {
     Datatype::vector(128, cols, 4096, &Datatype::int()).unwrap()
 }
 
+/// 64-byte-aligned buffer. Large `malloc` blocks land at `base ≡ 16
+/// (mod 64)` (mmap chunk header), which would let allocator luck
+/// decide whether the kernels' wide stores split cache lines — pin the
+/// alignment so runs are comparable.
+struct AlignedBuf {
+    raw: Vec<u8>,
+    off: usize,
+    len: usize,
+}
+
+impl AlignedBuf {
+    fn new(len: usize, fill: u8) -> Self {
+        let raw = vec![fill; len + 64];
+        let off = raw.as_ptr().align_offset(64);
+        AlignedBuf { raw, off, len }
+    }
+}
+
+impl std::ops::Deref for AlignedBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.raw[self.off..self.off + self.len]
+    }
+}
+
+impl std::ops::DerefMut for AlignedBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let (off, len) = (self.off, self.len);
+        &mut self.raw[off..off + len]
+    }
+}
+
 fn bench_plan_compile(r: &mut Report) {
     for cols in [4u64, 64, 1024] {
         let ty = vector_ty(cols);
@@ -90,23 +137,149 @@ fn bench_pack(r: &mut Report) {
         let plan = TransferPlan::compile(&ty, 1);
         let seg = Segment::new(&ty, 1);
         let n = plan.total_bytes();
-        let buf = vec![0xA5u8; ty.true_ub() as usize + 64];
-        let mut out = vec![0u8; n as usize];
+        let buf = AlignedBuf::new(ty.true_ub() as usize + 64, 0xA5);
+        let mut out = AlignedBuf::new(n as usize, 0);
         r.bench(&format!("pack/segment/vector_cols/{cols}"), Some(n), || {
-            seg.pack(0, n, black_box(&buf), 0, black_box(&mut out))
+            seg.pack(0, n, black_box(&buf[..]), 0, black_box(&mut out[..]))
                 .unwrap();
         });
         r.bench(&format!("pack/plan/vector_cols/{cols}"), Some(n), || {
-            plan.pack(0, n, black_box(&buf), 0, black_box(&mut out))
+            plan.pack(0, n, black_box(&buf[..]), 0, black_box(&mut out[..]))
                 .unwrap();
         });
-        let stream = vec![0x5Au8; n as usize];
-        let mut user = vec![0u8; ty.true_ub() as usize + 64];
+        let stream = AlignedBuf::new(n as usize, 0x5A);
+        let mut user = AlignedBuf::new(ty.true_ub() as usize + 64, 0);
         r.bench(&format!("unpack/plan/vector_cols/{cols}"), Some(n), || {
-            plan.unpack(0, n, black_box(&stream), black_box(&mut user), 0)
+            plan.unpack(0, n, black_box(&stream[..]), black_box(&mut user[..]), 0)
                 .unwrap();
         });
     }
+}
+
+/// Copy-kernel microbenches: one shape per kernel class, pack and
+/// unpack, against the naive segment walk on the same shape. The label
+/// carries the kernel the plan compiler actually selected, so a
+/// classification regression shows up as a renamed metric.
+fn bench_kernels(r: &mut Report) {
+    let shapes: Vec<(&str, Datatype, u64)> = vec![
+        ("contig", Datatype::contiguous(4096, &Datatype::byte()).unwrap(), 1),
+        ("const_stride", vector_ty(64), 1),
+        // Pad the vector's extent so repetitions don't butt up against
+        // the last row (adjacent seams would merge into unequal blocks
+        // and demote the shape to Generic).
+        (
+            "two_level",
+            Datatype::resized(
+                &vector_ty(64),
+                0,
+                Datatype::vector(128, 64, 4096, &Datatype::int())
+                    .unwrap()
+                    .extent()
+                    + 4096,
+            )
+            .unwrap(),
+            4,
+        ),
+        (
+            "generic",
+            Datatype::hindexed(
+                &[(48, 0), (16, 640), (96, 1280), (32, 4096), (48, 6144)],
+                &Datatype::byte(),
+            )
+            .unwrap(),
+            8,
+        ),
+    ];
+    for (shape, ty, count) in &shapes {
+        let plan = TransferPlan::compile(ty, *count);
+        let seg = Segment::new(ty, *count);
+        let n = plan.total_bytes();
+        let kernel = format!("{:?}", plan.kernel());
+        let kernel = kernel.split([' ', '{']).next().unwrap_or("?");
+        let span = (ty.true_ub() as u64 + ty.extent().unsigned_abs() * count) as usize + 64;
+        let buf = AlignedBuf::new(span, 0xA5);
+        let mut out = AlignedBuf::new(n as usize, 0);
+        r.bench(
+            &format!("kernel/pack/{shape}/{kernel}/bytes/{n}"),
+            Some(n),
+            || {
+                plan.pack(0, n, black_box(&buf[..]), 0, black_box(&mut out[..]))
+                    .unwrap();
+            },
+        );
+        let stream = AlignedBuf::new(n as usize, 0x5A);
+        let mut user = AlignedBuf::new(span, 0);
+        r.bench(
+            &format!("kernel/unpack/{shape}/{kernel}/bytes/{n}"),
+            Some(n),
+            || {
+                plan.unpack(0, n, black_box(&stream[..]), black_box(&mut user[..]), 0)
+                    .unwrap();
+            },
+        );
+        r.bench(
+            &format!("kernel/pack_naive/{shape}/bytes/{n}"),
+            Some(n),
+            || {
+                seg.pack(0, n, black_box(&buf[..]), 0, black_box(&mut out[..]))
+                    .unwrap();
+            },
+        );
+    }
+}
+
+/// Event-queue microbenches: the timing wheel against the retired
+/// binary heap on an identical deterministic schedule/pop churn (a mix
+/// of near-future inserts and batch pops, the simulator's access
+/// pattern).
+fn bench_queue(r: &mut Report) {
+    use ibdt_simcore::{EventQueue, HeapQueue};
+    const OPS: usize = 4096;
+    fn churn(mut next: impl FnMut(&mut u64, u64) -> Option<(u64, u32)>) {
+        // xorshift-driven mix: 3 schedules per 2 pops, horizon 1–64 µs.
+        let mut s = 0x9E37_79B9u64;
+        let mut clock = 0u64;
+        let mut n = 0usize;
+        while n < OPS {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if let Some((t, _)) = next(&mut clock, s) {
+                clock = t;
+            }
+            n += 1;
+        }
+    }
+    r.bench(&format!("queue/wheel/churn/ops/{OPS}"), None, || {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut pending = 0u64;
+        churn(|clock, s| {
+            if s % 5 < 3 || pending == 0 {
+                q.schedule(*clock + 1 + (s >> 8) % 64_000, s as u32);
+                pending += 1;
+                None
+            } else {
+                pending -= 1;
+                black_box(q.pop())
+            }
+        });
+        black_box(q.len());
+    });
+    r.bench(&format!("queue/heap/churn/ops/{OPS}"), None, || {
+        let mut q: HeapQueue<u32> = HeapQueue::new();
+        let mut pending = 0u64;
+        churn(|clock, s| {
+            if s % 5 < 3 || pending == 0 {
+                q.schedule(*clock + 1 + (s >> 8) % 64_000, s as u32);
+                pending += 1;
+                None
+            } else {
+                pending -= 1;
+                black_box(q.pop())
+            }
+        });
+        black_box(q.len());
+    });
 }
 
 /// The tentpole comparison: per-send fixed host work, repeated across
@@ -245,6 +418,8 @@ fn main() {
     let mut r = Report::new();
     bench_plan_compile(&mut r);
     bench_pack(&mut r);
+    bench_kernels(&mut r);
+    bench_queue(&mut r);
     let (old, new) = bench_repeated_send(&mut r);
     bench_sweep(&mut r);
     let speedup = old / new;

@@ -1,0 +1,378 @@
+//! Specialized copy kernels for compiled transfer plans.
+//!
+//! A [`TransferPlan`](crate::TransferPlan) classifies its merged block
+//! list once at compile time into a [`CopyKernel`]; pack and unpack
+//! then execute the same kernel symmetrically. The classification is
+//! purely a *copy strategy* — it never changes which bytes move or the
+//! stream order, only how the inner loop is shaped:
+//!
+//! * [`CopyKernel::Contig`] — the whole message is one dense block; a
+//!   single `memcpy` each way.
+//! * [`CopyKernel::ConstStride`] — uniform-length blocks at a constant
+//!   stride (the 1-D vector shape): a tight loop with the offset
+//!   computed by multiplication, no per-block table walk.
+//! * [`CopyKernel::TwoLevel`] — groups of uniform blocks at an inner
+//!   stride, repeated at an outer stride (2-D vector shapes such as
+//!   `hvector(vector)`): two nested loops, both strides constant.
+//! * [`CopyKernel::Generic`] — anything irregular: walk the merged
+//!   block list.
+//!
+//! All kernels copy through [`copy_block`], which specializes small
+//! word-multiple lengths into unrolled `u64` moves — the common case
+//! for vector types over `int`/`double` where a block is 8–64 bytes
+//! and a `memcpy` call would be mostly dispatch overhead.
+
+/// Copy strategy selected from a merged block list at plan-compile
+/// time. See the module docs for the shapes each variant captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyKernel {
+    /// Single dense block: one `memcpy`.
+    Contig,
+    /// `n` blocks of `block` bytes, each `stride` bytes after the
+    /// previous one.
+    ConstStride {
+        /// Uniform block length in bytes.
+        block: u64,
+        /// Signed distance between consecutive block offsets.
+        stride: i64,
+    },
+    /// `outer_n` groups of `inner_n` blocks of `block` bytes; blocks
+    /// within a group are `inner_stride` apart, groups are
+    /// `outer_stride` apart.
+    TwoLevel {
+        /// Uniform block length in bytes.
+        block: u64,
+        /// Blocks per inner group.
+        inner_n: u64,
+        /// Signed distance between blocks within a group.
+        inner_stride: i64,
+        /// Signed distance between group origins.
+        outer_stride: i64,
+    },
+    /// Irregular layout: iterate the merged block list.
+    Generic,
+}
+
+impl CopyKernel {
+    /// Classifies a merged block list. `blocks` must be the canonical
+    /// merged form (adjacent blocks coalesced) — the same list the
+    /// plan's descriptor builds use, so the classification and the
+    /// copies always agree on shape.
+    pub fn select(blocks: &[(i64, u64)]) -> CopyKernel {
+        if blocks.len() <= 1 {
+            return CopyKernel::Contig;
+        }
+        let block = blocks[0].1;
+        if blocks.iter().any(|&(_, l)| l != block) {
+            return CopyKernel::Generic;
+        }
+        let first = blocks[0].0;
+        let stride = blocks[1].0 - first;
+        // Constant stride: every consecutive gap equals the first.
+        let break_at = blocks
+            .windows(2)
+            .position(|w| w[1].0 - w[0].0 != stride)
+            .map(|i| i + 1);
+        let Some(inner_n) = break_at else {
+            return CopyKernel::ConstStride { block, stride };
+        };
+        // Two-level: the first `inner_n` blocks set the inner stride;
+        // check the whole list matches (group, lane) decomposition.
+        if !blocks.len().is_multiple_of(inner_n) {
+            return CopyKernel::Generic;
+        }
+        let outer_stride = blocks[inner_n].0 - first;
+        let fits = blocks.iter().enumerate().all(|(i, &(o, _))| {
+            let g = (i / inner_n) as i64;
+            let l = (i % inner_n) as i64;
+            o == first + g * outer_stride + l * stride
+        });
+        if fits {
+            CopyKernel::TwoLevel {
+                block,
+                inner_n: inner_n as u64,
+                inner_stride: stride,
+                outer_stride,
+            }
+        } else {
+            CopyKernel::Generic
+        }
+    }
+
+    /// Short static name, for stats and bench labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CopyKernel::Contig => "contig",
+            CopyKernel::ConstStride { .. } => "const_stride",
+            CopyKernel::TwoLevel { .. } => "two_level",
+            CopyKernel::Generic => "generic",
+        }
+    }
+}
+
+/// Copies `len` bytes from `src` to `dst`, specializing small
+/// word-multiple lengths into unrolled `u64` moves.
+///
+/// # Safety
+/// Both pointers must be valid for `len` bytes and the ranges must not
+/// overlap. Alignment is not required (`read_unaligned` /
+/// `write_unaligned`).
+#[inline]
+pub unsafe fn copy_block(src: *const u8, dst: *mut u8, len: usize) {
+    match len {
+        4 => {
+            let w = (src as *const u32).read_unaligned();
+            (dst as *mut u32).write_unaligned(w);
+        }
+        8 => {
+            let w = (src as *const u64).read_unaligned();
+            (dst as *mut u64).write_unaligned(w);
+        }
+        _ if len.is_multiple_of(16) && len <= 128 => {
+            let mut i = 0;
+            while i < len {
+                let w = (src.add(i) as *const u128).read_unaligned();
+                (dst.add(i) as *mut u128).write_unaligned(w);
+                i += 16;
+            }
+        }
+        _ if len.is_multiple_of(8) && len <= 64 => {
+            let mut i = 0;
+            while i < len {
+                let w = (src.add(i) as *const u64).read_unaligned();
+                (dst.add(i) as *mut u64).write_unaligned(w);
+                i += 8;
+            }
+        }
+        _ => std::ptr::copy_nonoverlapping(src, dst, len),
+    }
+}
+
+/// Issues a best-effort cache prefetch for the line at `p`. No-op on
+/// architectures without an exposed prefetch intrinsic. The address is
+/// never dereferenced, so pointers just past (or outside) a buffer are
+/// fine.
+#[inline(always)]
+pub fn prefetch(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(p as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Write-intent variant of [`prefetch`] (`prefetchw` where supported):
+/// pulls the line in exclusive state so an upcoming store skips the
+/// read-for-ownership round trip — strided *writes* are otherwise
+/// twice the cost of strided reads of the same footprint.
+#[inline(always)]
+pub fn prefetch_write(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_ET0};
+        _mm_prefetch::<_MM_HINT_ET0>(p as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Prefetches every cache line of the `len`-byte block at `p` —
+/// [`prefetch`] with read intent when `PACK` (the strided side is
+/// read), [`prefetch_write`] otherwise (the strided side is written).
+/// Multi-line blocks (e.g. 256 B = 4 lines) need all their lines
+/// requested; fetching only the first leaves the rest to demand
+/// misses.
+#[inline(always)]
+pub fn prefetch_block<const PACK: bool>(p: *const u8, len: usize) {
+    let mut l = 0usize;
+    loop {
+        if PACK {
+            prefetch(p.wrapping_add(l));
+        } else {
+            prefetch_write(p.wrapping_add(l));
+        }
+        l += 64;
+        if l >= len {
+            break;
+        }
+    }
+}
+
+/// Minimum uniform block length for the vectorized strided path:
+/// below this the unrolled word moves in [`copy_block`] are already a
+/// handful of instructions and the wide-store loop has nothing to add.
+pub const SIMD_MIN_BLOCK: usize = 32;
+
+/// Strided copy between a contiguous stream and `n` uniform
+/// `block`-byte views `stride` bytes apart, with 32-byte AVX2 vector
+/// moves. `PACK` reads the strided side into the stream; `!PACK`
+/// scatters the stream out to the strided side.
+///
+/// The payoff is on unpack: wide stores that straddle a cache line pay
+/// a split-store penalty on every line (measured ~1.8× on the strided
+/// vector shape), so each block's destination is walked up to a
+/// 32-byte boundary with [`copy_block`] before the vector loop. Loads
+/// tolerate misalignment, so pack skips the head walk.
+///
+/// Returns `false` without copying when AVX2 is unavailable or the
+/// block is too short to benefit — the caller keeps its scalar loop as
+/// the fallback.
+///
+/// # Safety
+/// `stream` must be valid for `n * block` bytes; every strided view
+/// `strided + i*stride .. + block` must be in-bounds writable (unpack)
+/// or readable (pack) memory; ranges must not overlap the stream.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub unsafe fn copy_strided_simd<const PACK: bool>(
+    strided: *mut u8,
+    stream: *mut u8,
+    block: usize,
+    stride: i64,
+    n: usize,
+) -> bool {
+    if !simd_strided_ok(block) {
+        return false;
+    }
+    strided_avx2::<PACK>(strided, stream, block, stride as isize, n);
+    true
+}
+
+/// True when [`copy_strided_simd`] would take the vector path for
+/// `block`-byte blocks — lets a caller with several strided runs (the
+/// two-level kernel) decide once instead of per run.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub fn simd_strided_ok(block: usize) -> bool {
+    block >= SIMD_MIN_BLOCK && std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn strided_avx2<const PACK: bool>(
+    strided: *mut u8,
+    stream: *mut u8,
+    block: usize,
+    stride: isize,
+    n: usize,
+) {
+    use core::arch::x86_64::{__m256i, _mm256_loadu_si256, _mm256_storeu_si256};
+    let mut s = stream;
+    for i in 0..n {
+        let mut u = strided.offset(i as isize * stride);
+        let mut rem = block;
+        if !PACK {
+            // Align the store side; the body's 32-byte stores then
+            // never split a cache line.
+            let head = u.align_offset(32).min(rem);
+            if head > 0 {
+                copy_block(s as *const u8, u, head);
+                s = s.add(head);
+                u = u.add(head);
+                rem -= head;
+            }
+        }
+        while rem >= 32 {
+            let v = if PACK {
+                _mm256_loadu_si256(u as *const __m256i)
+            } else {
+                _mm256_loadu_si256(s as *const __m256i)
+            };
+            if PACK {
+                _mm256_storeu_si256(s as *mut __m256i, v);
+            } else {
+                _mm256_storeu_si256(u as *mut __m256i, v);
+            }
+            s = s.add(32);
+            u = u.add(32);
+            rem -= 32;
+        }
+        if rem > 0 {
+            if PACK {
+                copy_block(u as *const u8, s, rem);
+            } else {
+                copy_block(s as *const u8, u, rem);
+            }
+            s = s.add(rem);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_contig_for_single_block() {
+        assert_eq!(CopyKernel::select(&[(0, 48)]), CopyKernel::Contig);
+        assert_eq!(CopyKernel::select(&[]), CopyKernel::Contig);
+    }
+
+    #[test]
+    fn selects_const_stride_for_vector() {
+        let blocks: Vec<(i64, u64)> = (0..128).map(|i| (i * 16384, 16)).collect();
+        assert_eq!(
+            CopyKernel::select(&blocks),
+            CopyKernel::ConstStride {
+                block: 16,
+                stride: 16384
+            }
+        );
+    }
+
+    #[test]
+    fn selects_const_stride_with_negative_stride() {
+        let blocks: Vec<(i64, u64)> = (0..4).map(|i| (-i * 32, 8)).collect();
+        assert_eq!(
+            CopyKernel::select(&blocks),
+            CopyKernel::ConstStride {
+                block: 8,
+                stride: -32
+            }
+        );
+    }
+
+    #[test]
+    fn selects_two_level_for_vector_of_vectors() {
+        // 3 groups of 4 blocks: inner stride 8, outer stride 100.
+        let mut blocks = Vec::new();
+        for g in 0..3i64 {
+            for l in 0..4i64 {
+                blocks.push((g * 100 + l * 8, 4u64));
+            }
+        }
+        assert_eq!(
+            CopyKernel::select(&blocks),
+            CopyKernel::TwoLevel {
+                block: 4,
+                inner_n: 4,
+                inner_stride: 8,
+                outer_stride: 100
+            }
+        );
+    }
+
+    #[test]
+    fn selects_generic_for_mixed_lengths_or_ragged_offsets() {
+        assert_eq!(
+            CopyKernel::select(&[(0, 4), (8, 8), (24, 4)]),
+            CopyKernel::Generic
+        );
+        assert_eq!(
+            CopyKernel::select(&[(0, 4), (8, 4), (24, 4), (28, 4)]),
+            CopyKernel::Generic
+        );
+    }
+
+    #[test]
+    fn copy_block_matches_memcpy_for_all_small_lengths() {
+        for len in 0..100usize {
+            let src: Vec<u8> = (0..len).map(|i| (i * 7 + 3) as u8).collect();
+            let mut dst = vec![0u8; len];
+            unsafe { copy_block(src.as_ptr(), dst.as_mut_ptr(), len) };
+            assert_eq!(src, dst, "len={len}");
+        }
+    }
+}

@@ -21,7 +21,10 @@
 //!   sender-side layout cache,
 //! * [`plan`] — compiled transfer plans: per-(type, count) precomputed
 //!   run lists with prefix-sum resume indexes, shared across every chunk
-//!   of a message so the hot path never re-walks the dataloop.
+//!   of a message so the hot path never re-walks the dataloop,
+//! * [`kernel`] — specialized copy kernels (contiguous, constant-stride,
+//!   two-level blocked, generic) classified from the merged block list
+//!   at plan-compile time and executed symmetrically by pack and unpack.
 //!
 //! All offsets are `i64` (MPI displacements may be negative); a buffer
 //! address names the element with offset 0.
@@ -29,6 +32,7 @@
 pub mod cache;
 pub mod dataloop;
 pub mod flat;
+pub mod kernel;
 pub mod plan;
 pub mod prim;
 pub mod segment;
@@ -36,6 +40,7 @@ pub mod typ;
 
 pub use cache::{LayoutCache, TypeRegistry};
 pub use flat::{BlockStats, FlatLayout};
+pub use kernel::CopyKernel;
 pub use plan::TransferPlan;
 pub use prim::Primitive;
 pub use segment::Segment;

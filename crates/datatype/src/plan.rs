@@ -27,6 +27,9 @@
 
 use crate::dataloop::Dataloop;
 use crate::flat::BlockStats;
+use crate::kernel::{copy_block, prefetch_block, CopyKernel};
+#[cfg(target_arch = "x86_64")]
+use crate::kernel::{copy_strided_simd, simd_strided_ok};
 use crate::segment::{slice_at, slice_index, SegmentError};
 use crate::typ::Datatype;
 use std::fmt;
@@ -50,6 +53,16 @@ pub struct TransferPlan {
     /// Merged whole-message blocks: identical to
     /// `ty.flat().repeat(count)`.
     merged: Vec<(i64, u64)>,
+    /// Exclusive prefix sums of merged block lengths; length
+    /// `merged.len() + 1`, last element = `total_bytes`. Lets any
+    /// `[lo, hi)` copy resume mid-list in `O(log blocks)`.
+    merged_prefix: Vec<u64>,
+    /// Copy strategy classified from `merged` at compile time.
+    kernel: CopyKernel,
+    /// Smallest block offset over `merged` (0 when empty).
+    min_off: i128,
+    /// Largest block end (`off + len`) over `merged` (0 when empty).
+    max_end: i128,
     stats: BlockStats,
     max_burst: u64,
 }
@@ -85,6 +98,25 @@ impl TransferPlan {
         debug_assert_eq!(acc, inst_size);
         let merged = ty.flat().repeat(count);
         let stats = BlockStats::from_blocks(&merged);
+        let mut merged_prefix = Vec::with_capacity(merged.len() + 1);
+        let mut macc = 0u64;
+        merged_prefix.push(0);
+        let mut min_off = 0i128;
+        let mut max_end = 0i128;
+        for (i, &(o, l)) in merged.iter().enumerate() {
+            macc += l;
+            merged_prefix.push(macc);
+            let (s, e) = (o as i128, o as i128 + l as i128);
+            if i == 0 {
+                min_off = s;
+                max_end = e;
+            } else {
+                min_off = min_off.min(s);
+                max_end = max_end.max(e);
+            }
+        }
+        debug_assert_eq!(macc, count * inst_size);
+        let kernel = CopyKernel::select(&merged);
         TransferPlan {
             ty: ty.clone(),
             count,
@@ -95,6 +127,10 @@ impl TransferPlan {
             inst_prefix,
             max_burst: stats.max,
             merged,
+            merged_prefix,
+            kernel,
+            min_off,
+            max_end,
             stats,
         }
     }
@@ -237,6 +273,31 @@ impl TransferPlan {
         b - a
     }
 
+    /// The copy kernel classified from the merged block list at
+    /// compile time.
+    pub fn kernel(&self) -> CopyKernel {
+        self.kernel
+    }
+
+    /// Smallest `[lo, hi)` window of the user buffer, relative to the
+    /// datatype origin, covering every merged block. Lets callers hand
+    /// [`Self::pack`]/[`Self::unpack`] a view no wider than the bytes
+    /// actually touched (e.g. so address-space dirty tracking stays
+    /// tight) instead of a whole-memory slice.
+    pub fn envelope(&self) -> (i128, i128) {
+        (self.min_off, self.max_end)
+    }
+
+
+    /// True when every merged block of the whole message lands inside
+    /// a buffer of `buf_len` bytes with datatype origin at `base` —
+    /// the single upfront check that licenses the unchecked kernels.
+    fn bounds_ok(&self, buf_len: usize, base: usize) -> bool {
+        base <= i64::MAX as usize
+            && base as i128 + self.min_off >= 0
+            && base as i128 + self.max_end <= buf_len as i128
+    }
+
     /// Packs stream range `[lo, hi)` from the user buffer into `out`.
     /// Same contract as [`Segment::pack`](crate::Segment::pack).
     pub fn pack(
@@ -253,6 +314,38 @@ impl TransferPlan {
                 got: out.len(),
             });
         }
+        if hi > self.total_bytes || lo > hi {
+            return Err(SegmentError::RangeOutOfBounds {
+                hi,
+                size: self.total_bytes,
+            });
+        }
+        if lo == hi {
+            return Ok(());
+        }
+        if self.bounds_ok(buf.len(), buf_base) {
+            // Every block of the whole message is in bounds, so the
+            // kernels can run without per-block checks.
+            unsafe {
+                self.exec::<true>(lo, hi, buf.as_ptr() as *mut u8, buf_base as i64, out.as_mut_ptr())
+            };
+            return Ok(());
+        }
+        self.pack_checked(lo, hi, buf, buf_base, out)
+    }
+
+    /// Per-block checked pack — the pre-kernel path, kept for buffers
+    /// where some block of the *whole message* is out of bounds even
+    /// though the requested range may not be. Error reporting is
+    /// bit-identical to [`Segment::pack`](crate::Segment::pack).
+    fn pack_checked(
+        &self,
+        lo: u64,
+        hi: u64,
+        buf: &[u8],
+        buf_base: usize,
+        out: &mut [u8],
+    ) -> Result<(), SegmentError> {
         let mut cursor = 0usize;
         let mut err = None;
         self.for_each_block(lo, hi, |off, len| {
@@ -286,6 +379,39 @@ impl TransferPlan {
                 got: input.len(),
             });
         }
+        if hi > self.total_bytes || lo > hi {
+            return Err(SegmentError::RangeOutOfBounds {
+                hi,
+                size: self.total_bytes,
+            });
+        }
+        if lo == hi {
+            return Ok(());
+        }
+        if self.bounds_ok(buf.len(), buf_base) {
+            unsafe {
+                self.exec::<false>(
+                    lo,
+                    hi,
+                    buf.as_mut_ptr(),
+                    buf_base as i64,
+                    input.as_ptr() as *mut u8,
+                )
+            };
+            return Ok(());
+        }
+        self.unpack_checked(lo, hi, input, buf, buf_base)
+    }
+
+    /// Per-block checked unpack; see [`Self::pack_checked`].
+    fn unpack_checked(
+        &self,
+        lo: u64,
+        hi: u64,
+        input: &[u8],
+        buf: &mut [u8],
+        buf_base: usize,
+    ) -> Result<(), SegmentError> {
         let mut cursor = 0usize;
         let mut err = None;
         self.for_each_block(lo, hi, |off, len| {
@@ -301,6 +427,144 @@ impl TransferPlan {
             }
         })?;
         err.map_or(Ok(()), Err)
+    }
+
+    /// Runs the compiled kernel over stream range `[lo, hi)` of the
+    /// merged block list. `PACK` copies user → stream; `!PACK` copies
+    /// stream → user. The stream cursor starts at `stream` (i.e. the
+    /// caller already sliced the stream to the range).
+    ///
+    /// # Safety
+    /// Caller must guarantee `bounds_ok(user_len, base)`, that `user`
+    /// points at that buffer, that `stream` is valid for `hi - lo`
+    /// bytes, and that `lo < hi <= total_bytes`. The stream and user
+    /// buffers must not overlap.
+    unsafe fn exec<const PACK: bool>(
+        &self,
+        lo: u64,
+        hi: u64,
+        user: *mut u8,
+        base: i64,
+        stream: *mut u8,
+    ) {
+        #[inline(always)]
+        unsafe fn mov<const PACK: bool>(user: *mut u8, stream: *mut u8, len: usize) {
+            if PACK {
+                copy_block(user as *const u8, stream, len);
+            } else {
+                copy_block(stream as *const u8, user, len);
+            }
+        }
+        if lo == 0 && hi == self.total_bytes {
+            // Whole message: shape-specialized loops.
+            match self.kernel {
+                CopyKernel::Contig => {
+                    let (off, len) = self.merged[0];
+                    mov::<PACK>(user.add((base + off) as usize), stream, len as usize);
+                }
+                CopyKernel::ConstStride { block, stride } => {
+                    let b = block as usize;
+                    let mut uoff = base + self.merged[0].0;
+                    let mut s = stream;
+                    // Wide blocks go through the AVX2 strided loop:
+                    // `memcpy` dispatch per block and split-line wide
+                    // stores are what make strided unpack ~2× slower
+                    // than pack otherwise.
+                    #[cfg(target_arch = "x86_64")]
+                    if copy_strided_simd::<PACK>(
+                        user.offset(uoff as isize),
+                        s,
+                        b,
+                        stride,
+                        self.merged.len(),
+                    ) {
+                        return;
+                    }
+                    // Prefetch whole blocks a few strides ahead:
+                    // wide-stride blocks miss cache on every iteration
+                    // otherwise, and the strided side is the
+                    // bottleneck in both directions (with write intent
+                    // on unpack, where the miss is a store RFO).
+                    let pf = 4 * stride;
+                    for _ in 0..self.merged.len() {
+                        prefetch_block::<PACK>(user.wrapping_offset((uoff + pf) as isize), b);
+                        mov::<PACK>(user.add(uoff as usize), s, b);
+                        uoff += stride;
+                        s = s.add(b);
+                    }
+                }
+                CopyKernel::TwoLevel {
+                    block,
+                    inner_n,
+                    inner_stride,
+                    outer_stride,
+                } => {
+                    let b = block as usize;
+                    let outer_n = self.merged.len() / inner_n as usize;
+                    let mut goff = base + self.merged[0].0;
+                    let mut s = stream;
+                    // Each outer group is a constant-stride run; reuse
+                    // the AVX2 strided loop per group.
+                    #[cfg(target_arch = "x86_64")]
+                    if simd_strided_ok(b) {
+                        for _ in 0..outer_n {
+                            copy_strided_simd::<PACK>(
+                                user.offset(goff as isize),
+                                s,
+                                b,
+                                inner_stride,
+                                inner_n as usize,
+                            );
+                            goff += outer_stride;
+                            s = s.add(inner_n as usize * b);
+                        }
+                        return;
+                    }
+                    let pf = 4 * inner_stride;
+                    for _ in 0..outer_n {
+                        let mut uoff = goff;
+                        for _ in 0..inner_n {
+                            prefetch_block::<PACK>(
+                                user.wrapping_offset((uoff + pf) as isize),
+                                b,
+                            );
+                            mov::<PACK>(user.add(uoff as usize), s, b);
+                            uoff += inner_stride;
+                            s = s.add(b);
+                        }
+                        goff += outer_stride;
+                    }
+                }
+                CopyKernel::Generic => {
+                    let mut s = stream;
+                    for &(off, len) in &self.merged {
+                        mov::<PACK>(user.add((base + off) as usize), s, len as usize);
+                        s = s.add(len as usize);
+                    }
+                }
+            }
+            return;
+        }
+        // Partial range: resume mid-list by prefix search, clip the
+        // first and last blocks. Still the merged layout — the same
+        // blocks a descriptor build would enumerate.
+        let n = self.merged.len();
+        let mut i = self.merged_prefix[1..=n].partition_point(|&end| end <= lo);
+        let mut s = stream;
+        while i < n {
+            let ps = self.merged_prefix[i];
+            if ps >= hi {
+                break;
+            }
+            let pe = self.merged_prefix[i + 1];
+            let off = self.merged[i].0;
+            let a = lo.max(ps);
+            let e = hi.min(pe);
+            let len = (e - a) as usize;
+            mov::<PACK>(user.add((base + off + (a - ps) as i64) as usize), s, len);
+            s = s.add(len);
+            i += 1;
+        }
     }
 }
 

@@ -336,6 +336,76 @@ fn coalesced_and_naive_blocks_cover_identical_bytes() {
 }
 
 #[test]
+fn wide_block_kernels_equal_naive_walk() {
+    cases(0xD7A0_000C, 192, |rng| {
+        // Shapes wide enough to engage the vectorized strided kernels
+        // (blocks past the 32-byte SIMD threshold), with bases that
+        // sweep every destination alignment class including odd ones.
+        // The small trees in `model()` never reach these paths.
+        let rows = rng.range_u64(1, 12);
+        let cols = rng.range_u64(1, 40); // ×4 B → blocks up to 160 B
+        let stride = (cols + rng.range_u64(0, 40)) as i64;
+        let v = Datatype::vector(rows, cols, stride, &Datatype::int()).unwrap();
+        let (ty, count) = match rng.range_u64(0, 3) {
+            // Plain vector: ConstStride (or Contig when stride==cols).
+            0 => (v, rng.range_u64(1, 3)),
+            // Padded extent + repetition: TwoLevel.
+            1 => {
+                let pad = rng.range_i64(0, 64) * 4;
+                let ty = Datatype::resized(&v, 0, v.extent() + pad).unwrap();
+                (ty, rng.range_u64(2, 4))
+            }
+            // Vector-of-vector with its own outer stride: TwoLevel or
+            // Generic depending on seam adjacency.
+            _ => {
+                let outer = v.extent() + rng.range_i64(0, 48) * 4;
+                let ty = Datatype::hvector(rng.range_u64(1, 3), 1, outer, &v).unwrap();
+                (ty, 1)
+            }
+        };
+        let seg = Segment::new(&ty, count);
+        let plan = TransferPlan::compile(&ty, count);
+        let n = plan.total_bytes();
+        let base = rng.range_usize(0, 65);
+        let (_, max_end) = plan.envelope();
+        let len = base + max_end as usize + 7;
+        let buf: Vec<u8> = (0..len).map(|i| (i % 241) as u8).collect();
+
+        // Pack: plan kernels must match the naive segment walk bit for
+        // bit, whole-message and on partial ranges.
+        let mut sa = vec![0u8; n as usize];
+        let mut pa = vec![0u8; n as usize];
+        seg.pack(0, n, &buf, base, &mut sa).unwrap();
+        plan.pack(0, n, &buf, base, &mut pa).unwrap();
+        assert_eq!(pa, sa, "pack diverged (kernel {:?})", plan.kernel());
+
+        // Unpack: scatter the stream into two independent buffers; the
+        // kernel path must leave them identical, gaps included.
+        let mut ua = vec![0xEEu8; len];
+        let mut ub = vec![0xEEu8; len];
+        seg.unpack(0, n, &sa, &mut ua, base).unwrap();
+        plan.unpack(0, n, &sa, &mut ub, base).unwrap();
+        assert_eq!(ub, ua, "unpack diverged (kernel {:?})", plan.kernel());
+
+        // Partial ranges resume mid-block and clip first/last blocks.
+        for _ in 0..3 {
+            let lo = rng.range_u64(0, n + 1);
+            let hi = rng.range_u64(lo, n + 1);
+            let mut sp = vec![0u8; (hi - lo) as usize];
+            let mut pp = vec![0u8; (hi - lo) as usize];
+            seg.pack(lo, hi, &buf, base, &mut sp).unwrap();
+            plan.pack(lo, hi, &buf, base, &mut pp).unwrap();
+            assert_eq!(pp, sp, "partial pack [{lo},{hi})");
+            let mut up = vec![0xEEu8; len];
+            let mut uq = vec![0xEEu8; len];
+            seg.unpack(lo, hi, &sp, &mut up, base).unwrap();
+            plan.unpack(lo, hi, &sp, &mut uq, base).unwrap();
+            assert_eq!(uq, up, "partial unpack [{lo},{hi})");
+        }
+    });
+}
+
+#[test]
 fn transfer_plan_equals_segment_on_random_schedules() {
     cases(0xD7A0_000B, 256, |rng| {
         let m = model(rng);

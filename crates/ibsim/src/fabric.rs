@@ -58,6 +58,7 @@
 
 use crate::fault::{Fate, FaultPlan, FaultState};
 use crate::model::NetConfig;
+use crate::payload::Payload;
 use crate::wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge};
 use ibdt_memreg::{AddressSpace, MemError, RegTable};
 use ibdt_simcore::resource::SerialResource;
@@ -199,7 +200,7 @@ enum TransferKind {
     /// Channel-semantics send payload.
     Send {
         wr_id: u64,
-        data: Vec<u8>,
+        data: Payload,
         signaled: bool,
     },
     /// RDMA write payload (optionally with immediate data).
@@ -207,7 +208,7 @@ enum TransferKind {
         wr_id: u64,
         addr: u64,
         rkey: u32,
-        data: Vec<u8>,
+        data: Payload,
         imm: Option<u32>,
         signaled: bool,
     },
@@ -223,7 +224,7 @@ enum TransferKind {
     /// RDMA read response carrying the data back.
     ReadResponse {
         wr_id: u64,
-        data: Vec<u8>,
+        data: Payload,
         scatter: Vec<Sge>,
         signaled: bool,
     },
@@ -620,17 +621,20 @@ impl Fabric {
         Ok(())
     }
 
-    fn gather(sges: &[Sge], space: &AddressSpace) -> Vec<u8> {
+    /// Gathers an SGE list into a pooled payload slab — the single
+    /// allocation (usually a pool reuse) that the transfer, its
+    /// retransmissions, and its delivery all share.
+    fn gather(sges: &[Sge], space: &AddressSpace) -> Payload {
         let total: usize = sges.iter().map(|s| s.len as usize).sum();
-        let mut data = Vec::with_capacity(total);
-        for s in sges {
-            data.extend_from_slice(
-                space
-                    .slice(s.addr, s.len)
-                    .expect("sge validated against a live registration"),
-            );
-        }
-        data
+        Payload::build(total, |data| {
+            for s in sges {
+                data.extend_from_slice(
+                    space
+                        .slice(s.addr, s.len)
+                        .expect("sge validated against a live registration"),
+                );
+            }
+        })
     }
 
     fn alloc_id(&mut self) -> u64 {
@@ -1357,7 +1361,7 @@ impl Fabric {
                     );
                 }
                 ConsumeOutcome::Ok(rwr) => {
-                    Self::scatter(&rwr.sges, &data, &mut mems[dst as usize].space);
+                    Self::scatter(&rwr.sges, data.as_slice(), &mut mems[dst as usize].space);
                     self.stats.cqes += 1;
                     out.push((
                         dst,
@@ -1450,7 +1454,7 @@ impl Fabric {
                     }
                     Ok(()) => {
                         mem.space
-                            .write(addr, &data)
+                            .write(addr, data.as_slice())
                             .expect("rkey check guarantees bounds");
                         if let Some(v) = imm {
                             let rwr = self.nodes[dst as usize]
@@ -1518,10 +1522,13 @@ impl Fabric {
                         self.fail_qp(now, src, dst, sink);
                     }
                     Ok(()) => {
-                        let data = mem
-                            .space
-                            .read(addr, len)
-                            .expect("rkey check guarantees bounds");
+                        let data = Payload::build(len as usize, |v| {
+                            v.extend_from_slice(
+                                mem.space
+                                    .slice(addr, len)
+                                    .expect("rkey check guarantees bounds"),
+                            )
+                        });
                         // The response occupies the responder's transmit
                         // engine for its serialization time (and is
                         // itself subject to fault injection).
@@ -1552,7 +1559,7 @@ impl Fabric {
                 scatter,
                 signaled,
             } => {
-                Self::scatter(&scatter, &data, &mut mems[dst as usize].space);
+                Self::scatter(&scatter, data.as_slice(), &mut mems[dst as usize].space);
                 if signaled {
                     self.stats.cqes += 1;
                     out.push((

@@ -32,9 +32,11 @@
 pub mod fabric;
 pub mod fault;
 pub mod model;
+pub mod payload;
 pub mod wr;
 
 pub use fabric::{Fabric, FabricStats, NicEvent, NodeMem, QpState, QpTransitionError};
+pub use payload::Payload;
 pub use fault::{FaultPlan, LinkFault};
 pub use model::{HostConfig, NetConfig, RNR_RETRY_INFINITE};
 pub use wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge};

@@ -1,0 +1,227 @@
+//! Reference-counted payload slabs.
+//!
+//! Every in-flight [`Transfer`](crate::fabric::Transfer) used to carry a
+//! fresh `Vec<u8>`, allocated at post time and freed at delivery — one
+//! malloc/free round trip per work request, plus full copies anywhere a
+//! payload had to be shared. A [`Payload`] replaces that with a slab
+//! handle:
+//!
+//! * the backing buffer is **pooled**: freed slabs return to a
+//!   thread-local free list and are handed back to the next gather, so
+//!   steady-state traffic allocates nothing;
+//! * the handle is **cheaply cloneable** (`Arc` inside) with byte-range
+//!   *views* ([`Payload::view`]), so retransmit queues, NAK replay, and
+//!   multi-hop forwarding share one allocation instead of cloning bytes;
+//! * scatter reads straight from the slab into the destination
+//!   [`AddressSpace`](ibdt_memreg::AddressSpace) — no intermediate
+//!   buffer.
+//!
+//! The pool is deliberately thread-local and unsynchronized: the
+//! simulator is single-threaded per world, and tests that run many
+//! worlds in parallel each get their own pool. Pool occupancy is
+//! bounded ([`MAX_POOLED`]) so pathological bursts don't pin memory.
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+/// Maximum number of idle slabs kept per thread.
+const MAX_POOLED: usize = 64;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static REUSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Takes a buffer with at least `cap` capacity from the pool, or
+/// allocates one.
+fn take_buf(cap: usize) -> Vec<u8> {
+    let pooled = POOL
+        .try_with(|p| p.borrow_mut().pop())
+        .ok()
+        .flatten();
+    match pooled {
+        Some(mut v) => {
+            REUSES.with(|c| c.set(c.get() + 1));
+            v.clear();
+            v.reserve(cap);
+            v
+        }
+        None => {
+            ALLOCS.with(|c| c.set(c.get() + 1));
+            Vec::with_capacity(cap)
+        }
+    }
+}
+
+/// Backing slab; returns its buffer to the thread pool when the last
+/// [`Payload`] handle drops.
+#[derive(Debug)]
+struct Slab(Vec<u8>);
+
+impl Drop for Slab {
+    fn drop(&mut self) {
+        let v = std::mem::take(&mut self.0);
+        // try_with: thread teardown may have destroyed the pool.
+        let _ = POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < MAX_POOLED {
+                p.push(v);
+            }
+        });
+    }
+}
+
+/// A reference-counted, pooled payload buffer with an offset/len view.
+///
+/// Cloning shares the backing slab; [`Payload::view`] narrows the
+/// window without copying. The bytes are immutable once built — the
+/// same discipline verbs imposes on a posted buffer.
+#[derive(Debug, Clone)]
+pub struct Payload {
+    buf: Arc<Slab>,
+    off: usize,
+    len: usize,
+}
+
+impl Payload {
+    /// Builds a payload by filling a pooled slab through `fill`, which
+    /// appends exactly the payload bytes to the provided buffer.
+    pub fn build<F: FnOnce(&mut Vec<u8>)>(cap: usize, fill: F) -> Payload {
+        let mut v = take_buf(cap);
+        fill(&mut v);
+        let len = v.len();
+        Payload {
+            buf: Arc::new(Slab(v)),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Wraps an existing vector (no pooling on the way in; the buffer
+    /// still returns to the pool when the last handle drops).
+    pub fn from_vec(v: Vec<u8>) -> Payload {
+        let len = v.len();
+        Payload {
+            buf: Arc::new(Slab(v)),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Copies a byte slice into a pooled slab.
+    pub fn copy_from_slice(bytes: &[u8]) -> Payload {
+        Payload::build(bytes.len(), |v| v.extend_from_slice(bytes))
+    }
+
+    /// A sub-range view sharing this payload's slab. `off + len` must
+    /// be within `self.len()`.
+    pub fn view(&self, off: usize, len: usize) -> Payload {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= self.len),
+            "payload view [{off}, {off}+{len}) out of range 0..{}",
+            self.len
+        );
+        Payload {
+            buf: Arc::clone(&self.buf),
+            off: self.off + off,
+            len,
+        }
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf.0[self.off..self.off + self.len]
+    }
+
+    /// Bytes in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `(allocations, pool reuses)` performed by this thread's slab
+    /// pool since the last [`Payload::reset_pool_stats`].
+    pub fn pool_stats() -> (u64, u64) {
+        (ALLOCS.with(Cell::get), REUSES.with(Cell::get))
+    }
+
+    /// Zeroes this thread's slab pool counters (bench/test harness).
+    pub fn reset_pool_stats() {
+        ALLOCS.with(|c| c.set(0));
+        REUSES.with(|c| c.set(0));
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Payload {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_read_back() {
+        let p = Payload::build(16, |v| v.extend_from_slice(b"hello slab"));
+        assert_eq!(p.as_slice(), b"hello slab");
+        assert_eq!(p.len(), 10);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn views_share_without_copying() {
+        let p = Payload::copy_from_slice(b"0123456789");
+        let v = p.view(2, 5);
+        assert_eq!(v.as_slice(), b"23456");
+        let vv = v.view(1, 3);
+        assert_eq!(vv.as_slice(), b"345");
+        // Clones and views point at the same slab.
+        let c = p.clone();
+        assert_eq!(c.as_slice().as_ptr(), p.as_slice().as_ptr());
+        assert_eq!(v.as_slice().as_ptr(), unsafe { p.as_slice().as_ptr().add(2) });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_view_panics() {
+        let p = Payload::copy_from_slice(b"abc");
+        let _ = p.view(1, 3);
+    }
+
+    #[test]
+    fn slabs_recycle_through_the_pool() {
+        Payload::reset_pool_stats();
+        for _ in 0..10 {
+            let p = Payload::build(256, |v| v.extend_from_slice(&[7; 100]));
+            drop(p);
+        }
+        let (allocs, reuses) = Payload::pool_stats();
+        assert_eq!(allocs + reuses, 10);
+        assert!(
+            reuses >= 9,
+            "expected near-total reuse, got allocs={allocs} reuses={reuses}"
+        );
+    }
+
+    #[test]
+    fn view_keeps_slab_alive_after_parent_drop() {
+        let p = Payload::copy_from_slice(b"keepalive");
+        let v = p.view(4, 5);
+        drop(p);
+        assert_eq!(v.as_slice(), b"alive");
+    }
+}

@@ -8,11 +8,49 @@
 //!
 //! Allocation is a bump allocator with alignment; benchmarks that model
 //! "a fresh buffer every iteration" (Fig. 14) simply keep allocating.
+//!
+//! # Backing-store recycling
+//!
+//! Spaces are hundreds of megabytes of *virtual* memory but touch only
+//! a sliver of it. A fresh `vec![0; cap]` is a lazy `mmap`, so every
+//! byte the simulation writes pays a first-touch page fault — and a
+//! short-lived space (one per rank per benchmark iteration) pays the
+//! whole fault bill again each time, dwarfing the simulated work.
+//! Dropped spaces therefore park their backing buffer in a
+//! thread-local pool together with a **dirty page bitmap** (one bit
+//! per 4 KiB page, maintained by every mutable access); `new` with a
+//! matching capacity re-zeros exactly the dirty pages and hands the
+//! warm, already faulted-in buffer back. Observable behaviour is
+//! identical to a fresh zeroed allocation — the bitmap is exactly the
+//! set of pages that can differ from zero.
 
 use crate::error::MemError;
+use std::cell::{Cell, RefCell};
 
 /// A virtual address inside one rank's [`AddressSpace`].
 pub type Va = u64;
+
+/// Dirty-tracking granularity (one page).
+const PAGE: u64 = 4096;
+/// Maximum retired backing buffers kept per thread.
+const MAX_POOLED_SPACES: usize = 8;
+/// Retired buffers dirtier than this are not pooled: re-zeroing that
+/// much memory costs more than a fresh lazily-mapped `calloc`.
+const MAX_RECYCLE_DIRTY: u64 = 32 << 20;
+
+/// A retired backing buffer: the bytes plus the bitmap of pages that
+/// may be non-zero.
+struct Retired {
+    mem: Vec<u8>,
+    dirty: Vec<u64>,
+}
+
+thread_local! {
+    static SPACE_POOL: RefCell<Vec<Retired>> = const { RefCell::new(Vec::new()) };
+    static SP_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static SP_REUSES: Cell<u64> = const { Cell::new(0) };
+    static SP_ZEROED: Cell<u64> = const { Cell::new(0) };
+}
 
 /// Flat byte memory for one simulated rank.
 #[derive(Debug)]
@@ -20,6 +58,15 @@ pub struct AddressSpace {
     mem: Vec<u8>,
     brk: u64,
     allocs: u64,
+    /// One bit per page; set when a mutable access may have written
+    /// the page. Exact (no over-approximation), so recycling re-zeros
+    /// only bytes that were really reachable by a write.
+    dirty: Vec<u64>,
+}
+
+/// Bitmap words needed for `capacity` bytes of pages.
+fn bitmap_words(capacity: u64) -> usize {
+    (capacity.div_ceil(PAGE) as usize).div_ceil(64)
 }
 
 impl AddressSpace {
@@ -27,11 +74,91 @@ impl AddressSpace {
     ///
     /// Address 0 is reserved (never returned by [`Self::alloc`]) so that
     /// 0 can be used as a null address in protocol messages.
+    ///
+    /// Reuses a recycled backing buffer of the same capacity when one
+    /// is pooled (see the module docs); the observable contents are
+    /// all-zero either way.
     pub fn new(capacity: u64) -> Self {
+        let recycled = SPACE_POOL
+            .try_with(|p| {
+                let mut p = p.borrow_mut();
+                p.iter()
+                    .position(|r| r.mem.len() as u64 == capacity)
+                    .map(|i| p.swap_remove(i))
+            })
+            .ok()
+            .flatten();
+        let (mem, dirty) = match recycled {
+            Some(Retired { mut mem, mut dirty }) => {
+                let mut zeroed = 0u64;
+                for (w, slot) in dirty.iter_mut().enumerate() {
+                    let mut word = std::mem::take(slot);
+                    while word != 0 {
+                        let page = (w as u64) * 64 + word.trailing_zeros() as u64;
+                        let lo = page * PAGE;
+                        let hi = (lo + PAGE).min(capacity);
+                        mem[lo as usize..hi as usize].fill(0);
+                        zeroed += hi - lo;
+                        word &= word - 1;
+                    }
+                }
+                SP_REUSES.with(|c| c.set(c.get() + 1));
+                SP_ZEROED.with(|c| c.set(c.get() + zeroed));
+                (mem, dirty)
+            }
+            None => {
+                SP_ALLOCS.with(|c| c.set(c.get() + 1));
+                (
+                    vec![0u8; capacity as usize],
+                    vec![0u64; bitmap_words(capacity)],
+                )
+            }
+        };
         Self {
-            mem: vec![0u8; capacity as usize],
+            mem,
             brk: 64, // reserve a null guard region
             allocs: 0,
+            dirty,
+        }
+    }
+
+    /// `(fresh allocations, pool reuses, bytes re-zeroed)` by this
+    /// thread's backing-store pool since the last
+    /// [`AddressSpace::reset_pool_stats`].
+    pub fn pool_stats() -> (u64, u64, u64) {
+        (
+            SP_ALLOCS.with(Cell::get),
+            SP_REUSES.with(Cell::get),
+            SP_ZEROED.with(Cell::get),
+        )
+    }
+
+    /// Zeroes this thread's backing-store pool counters.
+    pub fn reset_pool_stats() {
+        SP_ALLOCS.with(|c| c.set(0));
+        SP_REUSES.with(|c| c.set(0));
+        SP_ZEROED.with(|c| c.set(0));
+    }
+
+    /// Records that `[addr, addr+len)` may have been written by
+    /// setting the covered pages' bits. Bounds were validated by the
+    /// caller.
+    fn mark_dirty(&mut self, addr: Va, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / PAGE;
+        let last = (addr + len - 1) / PAGE;
+        let (fw, fb) = ((first / 64) as usize, first % 64);
+        let (lw, lb) = ((last / 64) as usize, last % 64);
+        if fw == lw {
+            self.dirty[fw] |= (!0u64 << fb) & (!0u64 >> (63 - lb));
+        } else {
+            self.dirty[fw] |= !0u64 << fb;
+            for w in &mut self.dirty[fw + 1..lw] {
+                *w = !0;
+            }
+            self.dirty[lw] |= !0u64 >> (63 - lb);
         }
     }
 
@@ -97,8 +224,13 @@ impl AddressSpace {
     }
 
     /// Mutable view of `[addr, addr+len)`.
+    ///
+    /// Conservatively marks the whole range dirty — keep views as
+    /// narrow as the write actually needs, or recycled spaces pay to
+    /// re-zero bytes that were never touched.
     pub fn slice_mut(&mut self, addr: Va, len: u64) -> Result<&mut [u8], MemError> {
         self.check(addr, len)?;
+        self.mark_dirty(addr, len);
         Ok(&mut self.mem[addr as usize..(addr + len) as usize])
     }
 
@@ -124,6 +256,7 @@ impl AddressSpace {
             src + len <= dst || dst + len <= src || src == dst,
             "overlapping copy_within"
         );
+        self.mark_dirty(dst, len);
         self.mem
             .copy_within(src as usize..(src + len) as usize, dst as usize);
         Ok(())
@@ -133,6 +266,31 @@ impl AddressSpace {
     pub fn fill(&mut self, addr: Va, len: u64, byte: u8) -> Result<(), MemError> {
         self.slice_mut(addr, len)?.fill(byte);
         Ok(())
+    }
+}
+
+impl Drop for AddressSpace {
+    /// Retires the backing buffer (with its dirty list) to the
+    /// thread-local pool so the next same-capacity space can reuse the
+    /// already faulted-in pages.
+    fn drop(&mut self) {
+        if self.mem.is_empty() {
+            return;
+        }
+        let dirty_total: u64 =
+            self.dirty.iter().map(|w| u64::from(w.count_ones())).sum::<u64>() * PAGE;
+        if dirty_total > MAX_RECYCLE_DIRTY {
+            return;
+        }
+        let mem = std::mem::take(&mut self.mem);
+        let dirty = std::mem::take(&mut self.dirty);
+        // try_with: thread teardown may have destroyed the pool.
+        let _ = SPACE_POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < MAX_POOLED_SPACES {
+                p.push(Retired { mem, dirty });
+            }
+        });
     }
 }
 
@@ -219,5 +377,61 @@ mod tests {
         let p = a.alloc(32, 8).unwrap();
         a.fill(p, 32, 0xAB).unwrap();
         assert_eq!(a.read(p, 32).unwrap(), vec![0xAB; 32]);
+    }
+
+    /// A recycled backing store must be indistinguishable from a fresh
+    /// zeroed allocation, whatever the previous tenant wrote through
+    /// (write, fill, copy_within, raw slice_mut).
+    #[test]
+    fn recycled_space_reads_all_zero() {
+        let cap = 1u64 << 20;
+        {
+            let mut a = AddressSpace::new(cap);
+            a.write(100, &[0xFF; 64]).unwrap();
+            a.fill(8192, 4096, 0xEE).unwrap();
+            a.copy_within(100, cap - 200, 64).unwrap();
+            a.slice_mut(500_000, 10).unwrap().fill(0xDD);
+        }
+        let b = AddressSpace::new(cap);
+        assert!(
+            b.slice(0, cap).unwrap().iter().all(|&x| x == 0),
+            "recycled space leaked previous contents"
+        );
+    }
+
+    #[test]
+    fn recycling_reuses_buffers_and_zeroes_only_dirty_pages() {
+        // Distinctive capacity so parallel tests' pools don't interfere
+        // with the counters we assert on.
+        let cap = (1u64 << 20) + 12_288;
+        AddressSpace::reset_pool_stats();
+        for i in 0..5u64 {
+            let mut a = AddressSpace::new(cap);
+            a.write(4096 * i, &[1; 100]).unwrap();
+        }
+        let (allocs, reuses, zeroed) = AddressSpace::pool_stats();
+        assert_eq!(allocs, 1, "same-capacity spaces should share a buffer");
+        assert_eq!(reuses, 4);
+        // Each reuse re-zeroed one dirty page, not the whole megabyte.
+        assert_eq!(zeroed, 4 * PAGE);
+    }
+
+    #[test]
+    fn scattered_writes_recycle_to_all_zero() {
+        let cap = 64u64 * 1024 * 1024;
+        {
+            let mut a = AddressSpace::new(cap);
+            // Scattered writes, including page- and word-boundary
+            // straddles, across the whole space.
+            for i in 0..500u64 {
+                let addr = (i * 97_003) % (cap - 8);
+                a.write(addr, &[0xA5; 8]).unwrap();
+            }
+        }
+        let b = AddressSpace::new(cap);
+        assert!(
+            b.slice(0, cap).unwrap().iter().all(|&x| x == 0),
+            "dirty bitmap missed a written page"
+        );
     }
 }

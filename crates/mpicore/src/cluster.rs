@@ -11,8 +11,8 @@ use crate::progress::{self, ActiveMsgs, Ctx, Ev};
 use crate::rank::RankState;
 use crate::stats::RunStats;
 use ibdt_datatype::Datatype;
-use ibdt_ibsim::{Fabric, FaultPlan, HostConfig, NetConfig, NodeMem, RecvWr, Sge};
-use ibdt_memreg::Va;
+use ibdt_ibsim::{Fabric, FaultPlan, HostConfig, NetConfig, NodeMem, Payload, RecvWr, Sge};
+use ibdt_memreg::{AddressSpace, Va};
 use ibdt_simcore::engine::{Engine, Scheduler, World};
 use ibdt_simcore::time::Time;
 use std::collections::VecDeque;
@@ -311,11 +311,19 @@ pub struct Cluster {
     /// One-sided windows: `(win id, rank)` -> entry.
     windows: std::collections::HashMap<(u32, u32), crate::rma::WinEntry>,
     ran: bool,
+    /// Thread-local pool counter baselines captured at construction,
+    /// so [`RunStats`] reports this cluster's pool activity as deltas.
+    payload_pool_base: (u64, u64),
+    space_pool_base: (u64, u64, u64),
 }
 
 impl Cluster {
     /// Builds a cluster: memories, MPI state, eager receive rings.
     pub fn new(spec: ClusterSpec) -> Self {
+        // Captured before the address spaces are built so the spaces'
+        // own pool hits/misses are attributed to this cluster.
+        let payload_pool_base = Payload::pool_stats();
+        let space_pool_base = AddressSpace::pool_stats();
         let n = spec.nprocs as usize;
         let mut fabric = Fabric::new(n, spec.net.clone());
         fabric.set_fault_plan(spec.faults.clone());
@@ -375,6 +383,8 @@ impl Cluster {
             ranks,
             windows: std::collections::HashMap::new(),
             ran: false,
+            payload_pool_base,
+            space_pool_base,
         }
     }
 
@@ -493,12 +503,14 @@ impl Cluster {
                 "rank {r} finished with in-flight rendezvous state"
             );
         }
-        self.collect_stats(finish)
+        self.collect_stats(finish, engine.events_scheduled())
     }
 
-    fn collect_stats(&self, finish: Time) -> RunStats {
+    fn collect_stats(&self, finish: Time, events_scheduled: u64) -> RunStats {
         let n = self.spec.nprocs as usize;
         let fstats = self.fabric.stats();
+        let (pa, pr) = Payload::pool_stats();
+        let (sa, sr, sz) = AddressSpace::pool_stats();
         RunStats {
             finish_ns: finish,
             rank_finish_ns: self
@@ -548,6 +560,21 @@ impl Cluster {
                     cpu_trace.overlap_with("pack", tx_trace, "wire")
                 })
                 .collect(),
+            bytes_copied: self
+                .ranks
+                .iter()
+                .map(|r| r.counters.bytes_packed + r.counters.bytes_unpacked)
+                .sum(),
+            payload_pool: (
+                pa.saturating_sub(self.payload_pool_base.0),
+                pr.saturating_sub(self.payload_pool_base.1),
+            ),
+            space_pool: (
+                sa.saturating_sub(self.space_pool_base.0),
+                sr.saturating_sub(self.space_pool_base.1),
+                sz.saturating_sub(self.space_pool_base.2),
+            ),
+            events_scheduled,
         }
     }
 
@@ -631,9 +658,19 @@ impl Cluster {
                 (o, p) => panic!("reduction {o:?} unsupported for {p:?}"),
             }
         }
+        // Narrow the mutable view to the blocks' envelope so dirty
+        // tracking (backing-store recycling) stays proportional to the
+        // destination buffer, not the whole space.
+        let (env_lo, env_hi) = seg.blocks().iter().fold((0i128, 0i128), |(lo, hi), &(o, l)| {
+            (lo.min(o as i128), hi.max(o as i128 + l as i128))
+        });
         let space = &mut self.mems[r].space;
-        let mem = space.slice_mut(0, cap).expect("whole space view");
-        seg.unpack(0, n, &a, mem, dst as usize)
+        let vstart = ((dst as i128 + env_lo).clamp(0, cap as i128) as u64).min(dst.min(cap));
+        let vend = (dst as i128 + env_hi).clamp(vstart as i128, cap as i128) as u64;
+        let mem = space
+            .slice_mut(vstart, vend - vstart)
+            .expect("envelope view in range");
+        seg.unpack(0, n, &a, mem, (dst - vstart) as usize)
             .expect("dst covers the datatype");
         // Cost: read both operands, write one, ~1 ns/element ALU.
         let cost =

@@ -166,8 +166,8 @@ const B_MULTIW: u8 = 3;
 const B_READGO: u8 = 4;
 const B_HYBRID: u8 = 5;
 
-struct W(Vec<u8>);
-impl W {
+struct W<'a>(&'a mut Vec<u8>);
+impl W<'_> {
     fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
@@ -212,7 +212,16 @@ impl CtrlMsg {
     /// Serializes the header. For [`CtrlMsg::EagerData`], append the
     /// packed payload to the returned vector.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = W(Vec::with_capacity(64));
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes the header by *appending* to `out` — the
+    /// allocation-free twin of [`Self::encode`] for callers that keep
+    /// a reusable per-rank encode buffer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = W(out);
         match self {
             CtrlMsg::EagerData { tag, seq, size } => {
                 w.u8(K_EAGER);
@@ -348,7 +357,6 @@ impl CtrlMsg {
                 w.u8(u8::from(*done));
             }
         }
-        w.0
     }
 
     /// Parses a header, returning the message and the header length

@@ -417,7 +417,7 @@ pub fn isend(
         blk_min: stats.min,
         blk_median: stats.median,
     };
-    send_ctrl(rs, ctx, peer, start.encode(), 0);
+    send_ctrl_msg(rs, ctx, peer, &start, 0);
 
     let mut msg = SendMsg {
         req,
@@ -845,7 +845,7 @@ pub fn on_cpu(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, ac
             }
             msg.rerequests += 1;
             rs.counters.rndv_rerequests += 1;
-            send_ctrl(rs, ctx, peer, CtrlMsg::RndvProbe { seq }.encode(), 0);
+            send_ctrl_msg(rs, ctx, peer, &CtrlMsg::RndvProbe { seq }, 0);
             let at = ctx.now() + ctx.cfg.rndv_reply_timeout_ns;
             ctx.cpu_event(at, rs.rank, CpuAct::ReplyTimeout { peer, seq });
             am.sends.insert((peer, seq), msg);
@@ -915,8 +915,8 @@ fn eager_send(
     rs.counters.packs += 1;
     rs.counters.bytes_packed += size;
 
-    let hdr = CtrlMsg::EagerData { tag, seq, size }.encode();
-    let mut bytes = hdr;
+    let mut bytes = take_ctrl_buf(rs);
+    CtrlMsg::EagerData { tag, seq, size }.encode_into(&mut bytes);
     bytes.extend_from_slice(&payload);
     rs.scratch.put_bytes(payload);
     send_ctrl(rs, ctx, peer, bytes, cost);
@@ -987,6 +987,35 @@ fn self_send(
 
 /// Sends a control/eager message, taking a ring buffer or queueing.
 /// `extra_cpu_ns` is work (e.g. packing) that precedes the post.
+/// Encodes `msg` into a recycled per-rank buffer (no allocation in
+/// steady state) and sends it as a control message.
+fn send_ctrl_msg(
+    rs: &mut RankState,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    msg: &CtrlMsg,
+    extra_cpu_ns: Time,
+) {
+    let mut bytes = take_ctrl_buf(rs);
+    msg.encode_into(&mut bytes);
+    send_ctrl(rs, ctx, peer, bytes, extra_cpu_ns);
+}
+
+/// Pops a cleared encode buffer from the rank's free-list.
+fn take_ctrl_buf(rs: &mut RankState) -> Vec<u8> {
+    let mut v = rs.ctrl_enc.pop().unwrap_or_default();
+    v.clear();
+    v
+}
+
+/// Returns an encode buffer whose bytes have been copied out (into a
+/// ring slot) to the rank's free-list.
+fn recycle_ctrl_buf(rs: &mut RankState, buf: Vec<u8>) {
+    if rs.ctrl_enc.len() < 16 {
+        rs.ctrl_enc.push(buf);
+    }
+}
+
 fn send_ctrl(
     rs: &mut RankState,
     ctx: &mut Ctx<'_, '_>,
@@ -1038,6 +1067,7 @@ fn send_ctrl(
                 rs.counters.post_errors += 1;
                 rs.errors.push(MpiError::Post { peer, err: e });
             }
+            recycle_ctrl_buf(rs, bytes);
         }
         None => {
             rs.eager_pending
@@ -1089,6 +1119,7 @@ fn drain_pending_eager(rs: &mut RankState, ctx: &mut Ctx<'_, '_>) {
                 err: e,
             });
         }
+        recycle_ctrl_buf(rs, p.bytes);
     }
 }
 
@@ -1252,7 +1283,7 @@ fn on_resume_request(
             from_k,
             done: false,
         };
-        send_ctrl(rs, ctx, peer, ack.encode(), 0);
+        send_ctrl_msg(rs, ctx, peer, &ack, 0);
         return;
     }
     if rs.done_seqs.contains(&(peer, seq)) {
@@ -1261,7 +1292,7 @@ fn on_resume_request(
             from_k: 0,
             done: true,
         };
-        send_ctrl(rs, ctx, peer, ack.encode(), 0);
+        send_ctrl_msg(rs, ctx, peer, &ack, 0);
         return;
     }
     if am.sends.contains_key(&(peer, seq)) {
@@ -1994,7 +2025,7 @@ fn receiver_complete(
     receiver_release(rs, ctx, &mut msg);
     if msg.scheme == Scheme::PRrs {
         // Tell the sender its pack buffers are free.
-        send_ctrl(rs, ctx, peer, CtrlMsg::Fin { seq }.encode(), 0);
+        send_ctrl_msg(rs, ctx, peer, &CtrlMsg::Fin { seq }, 0);
     }
     rs.complete_req(msg.req);
 }
@@ -2678,7 +2709,7 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                     rkey,
                     len,
                 };
-                send_ctrl(rs, ctx, msg.peer, ready.encode(), 0);
+                send_ctrl_msg(rs, ctx, msg.peer, &ready, 0);
             }
             msg.posted_segs = msg.nsegs;
         }
@@ -2693,7 +2724,7 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                     rkey: sb.rkey,
                     len: seg_len(msg, k),
                 };
-                send_ctrl(rs, ctx, msg.peer, ready.encode(), 0);
+                send_ctrl_msg(rs, ctx, msg.peer, &ready, 0);
                 msg.posted_segs += 1;
             }
         }
@@ -3255,6 +3286,10 @@ fn pack_to_vec(
 
 /// Functional unpack of a stream range from a slice into the user
 /// buffer.
+///
+/// The mutable view is narrowed to the plan's block envelope so the
+/// address space's dirty tracking (backing-store recycling) covers
+/// only the user buffer, not the whole memory.
 fn unpack_from_slice(
     ctx: &mut Ctx<'_, '_>,
     rank: u32,
@@ -3266,8 +3301,13 @@ fn unpack_from_slice(
 ) {
     let space = &mut ctx.mems[rank as usize].space;
     let cap = space.capacity();
-    let mem = space.slice_mut(0, cap).expect("whole space view");
-    plan.unpack(lo, hi, data, mem, buf as usize)
+    let (env_lo, env_hi) = plan.envelope();
+    let vstart = ((buf as i128 + env_lo).clamp(0, cap as i128) as u64).min(buf.min(cap));
+    let vend = ((buf as i128 + env_hi).clamp(vstart as i128, cap as i128)) as u64;
+    let mem = space
+        .slice_mut(vstart, vend - vstart)
+        .expect("envelope view in range");
+    plan.unpack(lo, hi, data, mem, (buf - vstart) as usize)
         .expect("user buffer covers the datatype");
 }
 
@@ -3450,7 +3490,7 @@ fn resume_send(
             // was re-posted from its ring slot just before this call);
             // probe so the receiver resends a reply that crossed the
             // failure.
-            send_ctrl(rs, ctx, peer, CtrlMsg::RndvProbe { seq }.encode(), 0);
+            send_ctrl_msg(rs, ctx, peer, &CtrlMsg::RndvProbe { seq }, 0);
         }
         Some(SendTargets::ReadGo) => {
             // P-RRS: re-announce every packed segment; the recovering
@@ -3469,7 +3509,7 @@ fn resume_send(
         Some(_) => {
             // Data-bearing schemes restart from the receiver's
             // acknowledged chunk boundary — ask where that is.
-            send_ctrl(rs, ctx, peer, CtrlMsg::RndvResume { seq }.encode(), 0);
+            send_ctrl_msg(rs, ctx, peer, &CtrlMsg::RndvResume { seq }, 0);
         }
     }
 }
@@ -3493,7 +3533,7 @@ fn resume_recv(
     msg.reads_outstanding = 0;
     msg.segs_announced = 0;
     msg.segs_seen.clear();
-    send_ctrl(rs, ctx, peer, CtrlMsg::RndvResume { seq }.encode(), 0);
+    send_ctrl_msg(rs, ctx, peer, &CtrlMsg::RndvResume { seq }, 0);
 }
 
 /// §5.4.2 protection fault: the receiver's pinned region vanished under
@@ -3541,7 +3581,7 @@ fn renegotiate_send(
         blk_min: stats.min,
         blk_median: stats.median,
     };
-    send_ctrl(rs, ctx, peer, start.encode(), 0);
+    send_ctrl_msg(rs, ctx, peer, &start, 0);
     assign_pack_bufs(rs, ctx, &mut msg);
     start_pack_chain(rs, ctx, &mut msg);
     am.sends.insert((peer, seq), msg);

@@ -226,6 +226,10 @@ pub struct RankState {
     pub plans: PlanCache,
     /// Reusable host-side scratch buffers (pack staging, SGE lists).
     pub scratch: ScratchPool,
+    /// Free-list of control-message encode buffers — `send_ctrl`
+    /// recycles them once the bytes land in a ring slot, so encoding
+    /// allocates nothing in steady state.
+    pub ctrl_enc: Vec<Vec<u8>>,
     /// `(peer, index, version)` layouts this rank has already shipped.
     pub sent_layouts: HashSet<(u32, u32, u32)>,
     /// Internal dynamic buffer freelist (Generic scheme).
@@ -312,6 +316,7 @@ impl RankState {
             layout_cache: LayoutCache::new(),
             plans: PlanCache::new(cfg.plan_cache, cfg.plan_cache_entries),
             scratch: ScratchPool::new(),
+            ctrl_enc: Vec::new(),
             sent_layouts: HashSet::new(),
             internal: InternalBufs::default(),
             rma_outstanding: 0,

@@ -61,6 +61,17 @@ pub struct RunStats {
     /// Per-rank typed protocol errors (request failures and rank-level
     /// errors). Empty vectors everywhere on a clean run.
     pub errors: Vec<Vec<MpiError>>,
+    /// Total bytes moved by the pack/unpack copy kernels, all ranks.
+    pub bytes_copied: u64,
+    /// Payload slab pool activity over this cluster's lifetime:
+    /// `(fresh allocations, reuses)` — reuses are allocations avoided.
+    pub payload_pool: (u64, u64),
+    /// Address-space backing-store pool activity over this cluster's
+    /// lifetime: `(fresh allocations, reuses, bytes re-zeroed)`.
+    pub space_pool: (u64, u64, u64),
+    /// Total events scheduled on the simulation queue (seeded plus
+    /// in-world).
+    pub events_scheduled: u64,
 }
 
 impl RunStats {

@@ -76,6 +76,11 @@ impl<W: World> Engine<W> {
         self.handled
     }
 
+    /// Total events ever scheduled on the queue (seeded + in-world).
+    pub fn events_scheduled(&self) -> u64 {
+        self.queue.total_scheduled()
+    }
+
     /// Schedules an initial event from outside the world.
     pub fn seed(&mut self, at: Time, payload: W::Event) {
         debug_assert!(at >= self.now);

@@ -25,7 +25,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, World};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, HeapQueue};
 pub use resource::SerialResource;
 pub use time::{Time, GIGA, KILO, MEGA};
 pub use trace::{Span, Trace};

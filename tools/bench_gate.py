@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh BENCH_hotpath.json against the
+committed baseline and fail on a >15% regression of any gated metric.
+
+Usage: bench_gate.py <baseline.json> <fresh.json>
+
+Gated metrics are the end-to-end ones (plan-level pack/unpack, the
+simulated sweeps, and the repeated-send speedup). Raw microbench
+entries (kernel/*, queue/*, plan_compile/*) stay informational:
+single-digit-ns loops swing past 15% on a shared host without any code
+change.
+"""
+
+import json
+import sys
+
+GATED_PREFIXES = ("pack/plan/", "unpack/plan/", "pack/segment/", "sweep_x1/")
+TOLERANCE = 1.15
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    base = json.load(open(sys.argv[1]))
+    new = json.load(open(sys.argv[2]))
+
+    failures = []
+    gated = 0
+    for name, v in base.items():
+        if name == "repeated_send/speedup":
+            # Stored as a ratio; higher is better.
+            gated += 1
+            got = new.get(name, {}).get("ns_per_op")
+            if got is None or got < v["ns_per_op"] / TOLERANCE:
+                failures.append(
+                    f"{name}: speedup {got} < {v['ns_per_op']:.2f}/{TOLERANCE}"
+                )
+            continue
+        if not name.startswith(GATED_PREFIXES):
+            continue
+        gated += 1
+        got = new.get(name, {}).get("ns_per_op")
+        if got is None:
+            failures.append(f"{name}: missing from fresh run")
+        elif got > v["ns_per_op"] * TOLERANCE:
+            failures.append(
+                f"{name}: {got:.1f} ns vs baseline {v['ns_per_op']:.1f} ns "
+                f"(+{(got / v['ns_per_op'] - 1) * 100:.0f}%)"
+            )
+
+    if failures:
+        print("bench gate FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"bench gate OK ({gated} metrics within {TOLERANCE}x of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
