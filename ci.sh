@@ -21,6 +21,19 @@ for arg in "$@"; do
   esac
 done
 
+echo "==> lint: no HashMap on the hot path"
+# The steady-state request path is dense-table/slab only (see DESIGN.md
+# §12); a HashMap reintroduces per-message hashing and rehash
+# allocation. Escape hatch for a justified exception: put the token
+# allow-hashmap in a comment on the same line.
+if grep -n "HashMap" crates/mpicore/src/progress.rs crates/ibsim/src/fabric.rs \
+    | grep -v "allow-hashmap"; then
+  echo "error: HashMap used in a hot-path module; use the dense tables" \
+       "in mpicore::table / a simcore::Slab, or annotate the line with" \
+       "an allow-hashmap comment explaining why." >&2
+  exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -37,9 +50,15 @@ import json
 d = json.load(open("BENCH_hotpath.json"))
 assert d, "BENCH_hotpath.json is empty"
 for name, v in d.items():
-    assert "ns_per_op" in v and "bytes_per_sec" in v, f"bad entry {name}"
+    assert "ns_per_op" in v and "bytes_per_sec" in v and "allocs_per_op" in v, \
+        f"bad entry {name}"
+steady = next(v for k, v in d.items()
+              if k.startswith("repeated_send/persistent_eager/"))
+assert steady["allocs_per_op"] == 0, \
+    f"steady-state sends allocate: {steady['allocs_per_op']}/op"
 print(f"BENCH_hotpath.json OK ({len(d)} entries, "
-      f"repeated-send speedup {d['repeated_send/speedup']['ns_per_op']:.2f}x)")
+      f"repeated-send speedup {d['repeated_send/speedup']['ns_per_op']:.2f}x, "
+      f"steady-state allocs/op 0)")
 EOF
 
 if [[ "$BENCH_GATE" == 1 ]]; then

@@ -6,18 +6,28 @@
 //! proven unaffected by `tests/plan_equivalence.rs`.
 //!
 //! Writes `BENCH_hotpath.json` in the current directory:
-//! `{ "<name>": { "ns_per_op": f64, "bytes_per_sec": f64 } }`
-//! (`bytes_per_sec` is 0 for benchmarks without a natural byte count).
+//! `{ "<name>": { "ns_per_op": f64, "bytes_per_sec": f64,
+//! "allocs_per_op": f64 } }` (`bytes_per_sec` is 0 for benchmarks
+//! without a natural byte count).
+//!
+//! The binary installs a counting global allocator, so every entry
+//! also reports heap allocations per operation — the steady-state
+//! entries are gated at **zero** by `tools/bench_gate.py`.
 
 use ibdt_datatype::{Datatype, Segment, TransferPlan, TypeRegistry};
+use ibdt_ibsim::Payload;
 use ibdt_mpicore::plan::{chunk_gather, PlanCache};
 use ibdt_mpicore::pool::ScratchPool;
 use ibdt_mpicore::{AppOp, Cluster, ClusterSpec, Scheme};
+use ibdt_testkit::CountingAlloc;
 use std::hint::black_box;
 use std::time::Instant;
 
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 struct Report {
-    entries: Vec<(String, f64, f64)>,
+    entries: Vec<(String, f64, f64, f64)>,
 }
 
 impl Report {
@@ -34,7 +44,9 @@ impl Report {
     /// minimum is the only robust location estimate (interference only
     /// ever adds time), and the committed JSON doubles as a CI
     /// regression gate, so a noise spike must not look like a
-    /// regression.
+    /// regression. Allocations are counted over the same passes and
+    /// reported per op, also as the minimum — pool warm-up in an early
+    /// pass must not mask a steady state that allocates nothing.
     fn bench(&mut self, name: &str, bytes: Option<u64>, mut f: impl FnMut()) -> f64 {
         for _ in 0..3 {
             f();
@@ -52,27 +64,34 @@ impl Report {
             iters *= 4;
         };
         let mut per = per_pass;
+        let mut allocs = f64::INFINITY;
         for _ in 0..4 {
+            let a0 = CountingAlloc::allocations();
             let t0 = Instant::now();
             for _ in 0..iters {
                 f();
             }
             per = per.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+            let da = CountingAlloc::allocations() - a0;
+            allocs = allocs.min(da as f64 / iters as f64);
         }
         let bps = bytes.map_or(0.0, |b| b as f64 / per * 1e9);
         match bytes {
-            Some(_) => println!("{name:<52} {per:>12.0} ns/op  {:>9.1} MB/s", bps / 1e6),
-            None => println!("{name:<52} {per:>12.0} ns/op"),
+            Some(_) => println!(
+                "{name:<52} {per:>12.0} ns/op  {:>9.1} MB/s  {allocs:>8.2} allocs/op",
+                bps / 1e6
+            ),
+            None => println!("{name:<52} {per:>12.0} ns/op  {allocs:>30.2} allocs/op"),
         }
-        self.entries.push((name.to_string(), per, bps));
+        self.entries.push((name.to_string(), per, bps, allocs));
         per
     }
 
     fn to_json(&self) -> String {
         let mut s = String::from("{\n");
-        for (i, (name, per, bps)) in self.entries.iter().enumerate() {
+        for (i, (name, per, bps, allocs)) in self.entries.iter().enumerate() {
             s.push_str(&format!(
-                "  \"{name}\": {{ \"ns_per_op\": {per:.1}, \"bytes_per_sec\": {bps:.1} }}"
+                "  \"{name}\": {{ \"ns_per_op\": {per:.1}, \"bytes_per_sec\": {bps:.1}, \"allocs_per_op\": {allocs:.3} }}"
             ));
             s.push_str(if i + 1 == self.entries.len() {
                 "\n"
@@ -369,6 +388,34 @@ fn bench_repeated_send(r: &mut Report) -> (f64, f64) {
     (old_pack + old_sge, new_pack + new_sge)
 }
 
+/// The allocation-free steady state, end to end on the host side: N
+/// repeated "persistent" eager sends of the same (datatype, count) —
+/// plan-cache hit, scratch-pool staging, pack, and a pooled payload
+/// slab (buffer + `Arc` control block both reused). After the warm-up
+/// passes this loop performs **zero** heap allocations per send;
+/// `tools/bench_gate.py` fails CI if `allocs_per_op` ever leaves 0.
+fn bench_persistent(r: &mut Report) {
+    let ty = vector_ty(2);
+    let n = ty.size();
+    let buf = vec![0x3Cu8; ty.true_ub() as usize + 64];
+    let mut registry = TypeRegistry::new();
+    let mut cache = PlanCache::new(true, 64);
+    let mut scratch = ScratchPool::new();
+    r.bench(
+        &format!("repeated_send/persistent_eager/bytes/{n}"),
+        Some(n),
+        || {
+            let plan = cache.lookup(&mut registry, black_box(&ty), 1);
+            let mut staging = scratch.take_bytes(n as usize);
+            plan.pack(0, n, &buf, 0, &mut staging).unwrap();
+            let payload = Payload::build(n as usize, |v| v.extend_from_slice(&staging));
+            black_box(payload.as_slice());
+            scratch.put_bytes(staging);
+            drop(payload);
+        },
+    );
+}
+
 /// x1-style sweep: wall-clock host time of a full simulated ping-pong
 /// per column count, plan cache on vs off. Virtual results are
 /// identical; only the host pays differently.
@@ -421,11 +468,12 @@ fn main() {
     bench_kernels(&mut r);
     bench_queue(&mut r);
     let (old, new) = bench_repeated_send(&mut r);
+    bench_persistent(&mut r);
     bench_sweep(&mut r);
     let speedup = old / new;
     println!("\nrepeated_send speedup (old/new): {speedup:.2}x");
     r.entries
-        .push(("repeated_send/speedup".into(), speedup, 0.0));
+        .push(("repeated_send/speedup".into(), speedup, 0.0, 0.0));
     std::fs::write("BENCH_hotpath.json", r.to_json()).expect("write BENCH_hotpath.json");
     println!("wrote BENCH_hotpath.json ({} entries)", r.entries.len());
 }

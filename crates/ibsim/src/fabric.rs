@@ -59,11 +59,12 @@
 use crate::fault::{Fate, FaultPlan, FaultState};
 use crate::model::NetConfig;
 use crate::payload::Payload;
-use crate::wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge};
+use crate::wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge, SgeList};
 use ibdt_memreg::{AddressSpace, MemError, RegTable};
 use ibdt_simcore::resource::SerialResource;
+use ibdt_simcore::slab::{Handle, Slab};
 use ibdt_simcore::time::Time;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 
 /// One rank's memory: address space + registration table.
@@ -114,7 +115,10 @@ pub enum NicEvent {
     /// The requester's transport timer fired for an unacknowledged
     /// transfer (dropped or NAKed): retransmit or give up.
     RetryTimeout {
-        /// Ticket of the transfer awaiting retransmission.
+        /// Generational slab handle ([`ibdt_simcore::slab::Handle`]
+        /// bits) of the transfer awaiting retransmission. A stale
+        /// handle (the transfer was flushed meanwhile) resolves to
+        /// nothing, exactly as the former hash-map ticket miss did.
         xfer_id: u64,
     },
     /// A timed RNR backoff retry for a parked transfer.
@@ -218,14 +222,14 @@ enum TransferKind {
         addr: u64,
         rkey: u32,
         len: u64,
-        scatter: Vec<Sge>,
+        scatter: SgeList,
         signaled: bool,
     },
     /// RDMA read response carrying the data back.
     ReadResponse {
         wr_id: u64,
         data: Payload,
-        scatter: Vec<Sge>,
+        scatter: SgeList,
         signaled: bool,
     },
 }
@@ -270,6 +274,11 @@ struct ParkedEntry {
 /// A transfer awaiting retransmission after a drop or NAK.
 #[derive(Debug)]
 struct PendingRetry {
+    /// Monotonic admission stamp. Slab iteration visits slots in index
+    /// order (which drifts from insertion order as slots recycle), so
+    /// flush paths sort on this stamp to reproduce the oldest-first
+    /// order the former sorted-ticket flush produced.
+    order: u64,
     dst: u32,
     tx_dur: Time,
     extra_delay: Time,
@@ -291,13 +300,14 @@ impl PendingRetry {
 #[derive(Debug)]
 struct Node {
     tx: SerialResource,
-    /// Receive queues, one per peer QP.
-    recvq: HashMap<u32, VecDeque<RecvWr>>,
-    /// Parked transfers awaiting a receive descriptor (RNR).
-    parked: HashMap<u32, VecDeque<ParkedEntry>>,
+    /// Receive queues, indexed by peer rank (dense: the peer space is
+    /// fixed at construction).
+    recvq: Vec<VecDeque<RecvWr>>,
+    /// Parked transfers awaiting a receive descriptor (RNR), by peer.
+    parked: Vec<VecDeque<ParkedEntry>>,
     /// Posted-but-unprocessed send WQEs per peer QP (send-queue
-    /// occupancy accounting + flush-with-error bookkeeping).
-    sq_busy: HashMap<u32, VecDeque<SqEntry>>,
+    /// occupancy accounting + flush-with-error bookkeeping), by peer.
+    sq_busy: Vec<VecDeque<SqEntry>>,
 }
 
 /// Fabric statistics.
@@ -331,6 +341,49 @@ pub struct FabricStats {
     pub migrations: u64,
 }
 
+/// Per-direction QP state, stored densely (one entry per ordered node
+/// pair, indexed `src * n + dst`). The rank space is small, dense and
+/// fixed at construction, so every lookup the per-message hot path
+/// used to hash is a single indexed load here. Defaults encode the
+/// former "absent entry" semantics: RTS state, epoch 0, path 0,
+/// sequence counters at 0.
+#[derive(Debug)]
+struct DirState {
+    /// Lifecycle state; fabrics start fully connected (RTS), matching
+    /// MVAPICH's connect-at-init.
+    state: QpState,
+    /// True when the direction errored (retry budget exhausted / dead
+    /// path); folded out of the old `qp_err` set.
+    err: bool,
+    /// Connection incarnation (bumped on reset).
+    epoch: u32,
+    /// Port carrying the current path.
+    path: u8,
+    /// Next sequence number to transmit.
+    tx_seq: u64,
+    /// Next expected sequence number (fault mode).
+    rx_expected: u64,
+    /// Reorder buffer (fault mode); empty maps hold no heap storage.
+    rx_ooo: BTreeMap<u64, Transfer>,
+    /// APM failover in progress: sends stall until this instant.
+    migrating_until: Option<Time>,
+}
+
+impl Default for DirState {
+    fn default() -> Self {
+        DirState {
+            state: QpState::Rts,
+            err: false,
+            epoch: 0,
+            path: 0,
+            tx_seq: 0,
+            rx_expected: 0,
+            rx_ooo: BTreeMap::new(),
+            migrating_until: None,
+        }
+    }
+}
+
 /// The simulated InfiniBand fabric.
 #[derive(Debug)]
 pub struct Fabric {
@@ -339,30 +392,24 @@ pub struct Fabric {
     stats: FabricStats,
     /// Fault-decision stream; `None` = lossless fabric, zero overhead.
     faults: Option<FaultState>,
-    /// Ticket counter for retransmit / park entries.
+    /// Ticket counter for park entries.
     next_id: u64,
-    /// Transfers awaiting retransmission, by ticket.
-    inflight: HashMap<u64, PendingRetry>,
-    /// Directional QPs in the error state `(requester, responder)`.
-    qp_err: HashSet<(u32, u32)>,
-    /// Next sequence number per QP direction `(src, dst)`.
-    tx_seq: HashMap<(u32, u32), u64>,
-    /// Next expected sequence number per QP direction (fault mode).
-    rx_expected: HashMap<(u32, u32), u64>,
-    /// Reorder buffer per QP direction (fault mode).
-    rx_ooo: HashMap<(u32, u32), BTreeMap<u64, Transfer>>,
-    /// Explicit QP lifecycle states; an absent entry means RTS (the
-    /// fabric connects every pair at creation, as MVAPICH does).
-    qp_state: HashMap<(u32, u32), QpState>,
-    /// Connection incarnation per QP direction (bumped on reset).
-    conn_epoch: HashMap<(u32, u32), u32>,
-    /// Ports currently down, as `(node, port)`.
-    ports_down: HashSet<(u32, u8)>,
-    /// Port carrying each QP direction's current path; absent = 0.
-    qp_path: HashMap<(u32, u32), u8>,
-    /// APM failover in progress: sends on the direction stall until
-    /// this instant.
-    migrating_until: HashMap<(u32, u32), Time>,
+    /// Monotonic admission counter for retransmit entries (flush-order
+    /// stamp; see [`PendingRetry::order`]).
+    next_order: u64,
+    /// Transfers awaiting retransmission. Slab handles travel through
+    /// [`NicEvent::RetryTimeout`] as `u64`s; stale handles (flushed
+    /// transfers) resolve to `None` on removal.
+    inflight: Slab<PendingRetry>,
+    /// Dense per-direction QP state, indexed `src * n + dst`.
+    dirs: Vec<DirState>,
+    /// Number of directions currently mid-migration (fast-path gate
+    /// standing in for the old map's `is_empty`).
+    migrating: usize,
+    /// Port liveness per node (`[primary, alternate]`).
+    ports_down: Vec<[bool; 2]>,
+    /// Number of `(node, port)` pairs currently down (fast-path gate).
+    ports_down_count: usize,
     /// Per-node reliability counters (retransmits, RNR backoff retries,
     /// QP errors, flushed WQEs, migrations, injected fates) attributed
     /// to the requester/transmitter.
@@ -375,9 +422,9 @@ impl Fabric {
         let nodes = (0..n)
             .map(|_| Node {
                 tx: SerialResource::new("nic-tx").with_trace(),
-                recvq: HashMap::new(),
-                parked: HashMap::new(),
-                sq_busy: HashMap::new(),
+                recvq: (0..n).map(|_| VecDeque::new()).collect(),
+                parked: (0..n).map(|_| VecDeque::new()).collect(),
+                sq_busy: (0..n).map(|_| VecDeque::new()).collect(),
             })
             .collect();
         Self {
@@ -386,18 +433,24 @@ impl Fabric {
             stats: FabricStats::default(),
             faults: None,
             next_id: 0,
-            inflight: HashMap::new(),
-            qp_err: HashSet::new(),
-            tx_seq: HashMap::new(),
-            rx_expected: HashMap::new(),
-            rx_ooo: HashMap::new(),
-            qp_state: HashMap::new(),
-            conn_epoch: HashMap::new(),
-            ports_down: HashSet::new(),
-            qp_path: HashMap::new(),
-            migrating_until: HashMap::new(),
+            next_order: 0,
+            inflight: Slab::new(),
+            dirs: (0..n * n).map(|_| DirState::default()).collect(),
+            migrating: 0,
+            ports_down: vec![[false; 2]; n],
+            ports_down_count: 0,
             node_stats: vec![FabricStats::default(); n],
         }
+    }
+
+    #[inline]
+    fn dir(&self, src: u32, dst: u32) -> &DirState {
+        &self.dirs[src as usize * self.nodes.len() + dst as usize]
+    }
+
+    #[inline]
+    fn dir_mut(&mut self, src: u32, dst: u32) -> &mut DirState {
+        &mut self.dirs[src as usize * self.nodes.len() + dst as usize]
     }
 
     /// Installs a fault plan. An inert plan (all rates zero) removes
@@ -419,15 +472,12 @@ impl Fabric {
     /// True when the directional QP `node -> peer` is in the error
     /// state (retry budget exhausted).
     pub fn qp_errored(&self, node: u32, peer: u32) -> bool {
-        self.qp_err.contains(&(node, peer))
+        self.dir(node, peer).err
     }
 
     /// Lifecycle state of the directional QP `node -> peer`.
     pub fn qp_state(&self, node: u32, peer: u32) -> QpState {
-        self.qp_state
-            .get(&(node, peer))
-            .copied()
-            .unwrap_or(QpState::Rts)
+        self.dir(node, peer).state
     }
 
     /// Connection incarnation of the directional QP `node -> peer`
@@ -438,13 +488,13 @@ impl Fabric {
 
     /// True when `port` of `node` is currently down.
     pub fn port_down(&self, node: u32, port: u8) -> bool {
-        self.ports_down.contains(&(node, port))
+        self.ports_down[node as usize][port as usize]
     }
 
     /// Port carrying the current path of the directional QP
     /// `node -> peer` (0 = primary until a migration happens).
     pub fn qp_port(&self, node: u32, peer: u32) -> u8 {
-        self.qp_path.get(&(node, peer)).copied().unwrap_or(0)
+        self.dir(node, peer).path
     }
 
     /// The installed fault plan, when fault injection is active.
@@ -511,7 +561,7 @@ impl Fabric {
             QpState::Err => self.fail_qp(now, node, peer, sink),
             QpState::Reset => self.reset_qp(node, peer),
             other => {
-                self.qp_state.insert((node, peer), other);
+                self.dir_mut(node, peer).state = other;
             }
         }
         Ok(())
@@ -527,34 +577,33 @@ impl Fabric {
     /// to the CM re-posting identical descriptors).
     pub fn reset_qp(&mut self, node: u32, peer: u32) {
         let dir = (node, peer);
-        self.qp_err.remove(&dir);
-        self.qp_state.insert(dir, QpState::Reset);
-        *self.conn_epoch.entry(dir).or_insert(0) += 1;
-        self.tx_seq.remove(&dir);
-        self.rx_expected.remove(&dir);
-        self.rx_ooo.remove(&dir);
-        self.migrating_until.remove(&dir);
-        self.nodes[node as usize].sq_busy.remove(&peer);
-        if let Some(q) = self.nodes[peer as usize].parked.get_mut(&node) {
-            q.clear();
-        }
-        let ids: Vec<u64> = self
-            .inflight
-            .iter()
-            .filter(|(_, p)| p.endpoints() == dir)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in ids {
-            self.inflight.remove(&id);
-        }
         // Prefer a path whose port is up at both ends.
         let port = [0u8, 1]
             .into_iter()
-            .find(|&p| {
-                !self.ports_down.contains(&(node, p)) && !self.ports_down.contains(&(peer, p))
-            })
+            .find(|&p| !self.port_down(node, p) && !self.port_down(peer, p))
             .unwrap_or(0);
-        self.qp_path.insert(dir, port);
+        let d = self.dir_mut(node, peer);
+        d.err = false;
+        d.state = QpState::Reset;
+        d.epoch += 1;
+        d.tx_seq = 0;
+        d.rx_expected = 0;
+        d.rx_ooo.clear();
+        d.path = port;
+        if d.migrating_until.take().is_some() {
+            self.migrating -= 1;
+        }
+        self.nodes[node as usize].sq_busy[peer as usize].clear();
+        self.nodes[peer as usize].parked[node as usize].clear();
+        let handles: Vec<Handle> = self
+            .inflight
+            .iter()
+            .filter(|(_, p)| p.endpoints() == dir)
+            .map(|(h, _)| h)
+            .collect();
+        for h in handles {
+            self.inflight.remove(h);
+        }
     }
 
     /// Convenience for the MPI connection manager: the full
@@ -563,8 +612,7 @@ impl Fabric {
     /// handshake latency on its own clock before invoking this).
     pub fn reestablish_qp(&mut self, node: u32, peer: u32) {
         self.reset_qp(node, peer);
-        let dir = (node, peer);
-        self.qp_state.insert(dir, QpState::Rts);
+        self.dir_mut(node, peer).state = QpState::Rts;
     }
 
     /// Per-node reliability counters, indexed by node id. Only the
@@ -577,7 +625,7 @@ impl Fabric {
     }
 
     fn epoch_of(&self, dir: (u32, u32)) -> u32 {
-        self.conn_epoch.get(&dir).copied().unwrap_or(0)
+        self.dir(dir.0, dir.1).epoch
     }
 
     /// Number of nodes.
@@ -642,8 +690,24 @@ impl Fabric {
         self.next_id
     }
 
+    /// Admits a transfer into the retransmit slab, returning the
+    /// handle its timer event carries.
+    fn admit_inflight(&mut self, dst: u32, tx_dur: Time, extra_delay: Time, xfer: Transfer) -> u64 {
+        let order = self.next_order;
+        self.next_order += 1;
+        self.inflight
+            .insert(PendingRetry {
+                order,
+                dst,
+                tx_dur,
+                extra_delay,
+                xfer,
+            })
+            .bits()
+    }
+
     fn alloc_seq(&mut self, src: u32, dst: u32) -> u64 {
-        let s = self.tx_seq.entry((src, dst)).or_insert(0);
+        let s = &mut self.dir_mut(src, dst).tx_seq;
         let seq = *s;
         *s += 1;
         seq
@@ -672,13 +736,16 @@ impl Fabric {
         }
         let mut start = ready_at;
         // An APM failover in progress stalls the direction's sends
-        // until the alternate path is validated.
-        if !self.migrating_until.is_empty() {
-            if let Some(&until) = self.migrating_until.get(&(src, dst)) {
+        // until the alternate path is validated. The count gates the
+        // per-direction read off the common (no-migration) path.
+        if self.migrating > 0 {
+            let d = self.dir_mut(src, dst);
+            if let Some(until) = d.migrating_until {
                 if until > start {
                     start = until;
                 } else {
-                    self.migrating_until.remove(&(src, dst));
+                    d.migrating_until = None;
+                    self.migrating -= 1;
                 }
             }
         }
@@ -712,16 +779,7 @@ impl Fabric {
             Fate::Drop => {
                 self.stats.drops_injected += 1;
                 self.node_stats[src as usize].drops_injected += 1;
-                let id = self.alloc_id();
-                self.inflight.insert(
-                    id,
-                    PendingRetry {
-                        dst,
-                        tx_dur,
-                        extra_delay,
-                        xfer,
-                    },
-                );
+                let id = self.admit_inflight(dst, tx_dur, extra_delay, xfer);
                 sink(
                     ser_done + self.cfg.transport_timeout_ns,
                     NicEvent::RetryTimeout { xfer_id: id },
@@ -730,16 +788,7 @@ impl Fabric {
             Fate::Corrupt => {
                 self.stats.corruptions_injected += 1;
                 self.node_stats[src as usize].corruptions_injected += 1;
-                let id = self.alloc_id();
-                self.inflight.insert(
-                    id,
-                    PendingRetry {
-                        dst,
-                        tx_dur,
-                        extra_delay,
-                        xfer,
-                    },
-                );
+                let id = self.admit_inflight(dst, tx_dur, extra_delay, xfer);
                 // Bad ICRC: the payload crossed the wire and the
                 // responder NAKs it; retransmission can start after the
                 // NAK returns.
@@ -783,13 +832,19 @@ impl Fabric {
         if peer as usize >= self.nodes.len() {
             return Err(PostError::NoSuchPeer { peer });
         }
-        if self.qp_err.contains(&(node, peer)) {
-            return Err(PostError::QpError { peer });
+        {
+            let d = self.dir(node, peer);
+            if d.err {
+                return Err(PostError::QpError { peer });
+            }
+            // The dense default is RTS (connect-at-init), so this one
+            // read covers both the former "any lifecycle entry exists"
+            // gate and the state check.
+            if !matches!(d.state, QpState::Rts) {
+                return Err(PostError::QpNotReady { peer });
+            }
         }
-        if !self.qp_state.is_empty() && !matches!(self.qp_state(node, peer), QpState::Rts) {
-            return Err(PostError::QpNotReady { peer });
-        }
-        if !self.ports_down.is_empty() && !self.ensure_path(ready_at, node, peer) {
+        if self.ports_down_count > 0 && !self.ensure_path(ready_at, node, peer) {
             // The current path's port is down and no alternate is
             // available: the send could only time out, so the QP errors
             // immediately (the transport retry budget would drain
@@ -820,7 +875,7 @@ impl Fabric {
         // Send-queue depth: WQEs occupy the queue from post until the
         // NIC finishes processing them.
         {
-            let q = self.nodes[node as usize].sq_busy.entry(peer).or_default();
+            let q = &mut self.nodes[node as usize].sq_busy[peer as usize];
             while q.front().is_some_and(|e| e.done <= ready_at) {
                 q.pop_front();
             }
@@ -880,14 +935,10 @@ impl Fabric {
         };
         let wr_id = wr.wr_id;
         let ser_done = self.launch(ready_at, peer, xfer, tx_dur, extra_delay, false, sink);
-        self.nodes[node as usize]
-            .sq_busy
-            .entry(peer)
-            .or_default()
-            .push_back(SqEntry {
-                done: ser_done,
-                wr_id,
-            });
+        self.nodes[node as usize].sq_busy[peer as usize].push_back(SqEntry {
+            done: ser_done,
+            wr_id,
+        });
         Ok(())
     }
 
@@ -925,42 +976,48 @@ impl Fabric {
         }
         self.validate_sges(node, &wr.sges, &mems[node as usize])?;
         let n = &mut self.nodes[node as usize];
-        n.recvq.entry(peer).or_default().push_back(wr);
-        if n.parked.get(&peer).is_some_and(|q| !q.is_empty()) {
+        n.recvq[peer as usize].push_back(wr);
+        if !n.parked[peer as usize].is_empty() {
             sink(now, NicEvent::RnrRetry { node, peer });
         }
         Ok(())
     }
 
-    /// Handles a fabric event, returning completions that become visible
-    /// to the MPI progress engines **now**.
+    /// Handles a fabric event, appending completions that become visible
+    /// to the MPI progress engines **now** onto `out`. The caller owns
+    /// (and typically reuses) the completion buffer, so steady-state
+    /// event handling allocates nothing. `out` is not cleared here;
+    /// entries are appended after whatever the caller left in it.
     pub fn handle<F: FnMut(Time, NicEvent)>(
         &mut self,
         now: Time,
         ev: NicEvent,
         mems: &mut [NodeMem],
         sink: &mut F,
-    ) -> Vec<(u32, Cqe)> {
+        out: &mut Vec<(u32, Cqe)>,
+    ) {
         match ev {
             NicEvent::LocalCqe { node, cqe } => {
                 self.stats.cqes += 1;
-                vec![(node, cqe)]
+                out.push((node, cqe));
             }
-            NicEvent::Arrive { dst, xfer } => self.arrive(now, dst, xfer, mems, sink),
-            NicEvent::RnrRetry { node, peer } => self.drain_parked(now, node, peer, mems, sink),
+            NicEvent::Arrive { dst, xfer } => self.arrive(now, dst, xfer, mems, sink, out),
+            NicEvent::RnrRetry { node, peer } => {
+                self.drain_parked(now, node, peer, mems, sink, out)
+            }
             NicEvent::RetryTimeout { xfer_id } => self.retry_timeout(now, xfer_id, sink),
             NicEvent::RnrTimedRetry {
                 node,
                 peer,
                 park_id,
-            } => self.rnr_timed_retry(now, node, peer, park_id, mems, sink),
-            NicEvent::PortDown { node, port } => {
-                self.handle_port_down(now, node, port, sink);
-                Vec::new()
-            }
+            } => self.rnr_timed_retry(now, node, peer, park_id, mems, sink, out),
+            NicEvent::PortDown { node, port } => self.handle_port_down(now, node, port, sink),
             NicEvent::PortUp { node, port } => {
-                self.ports_down.remove(&(node, port));
-                Vec::new()
+                let down = &mut self.ports_down[node as usize][port as usize];
+                if *down {
+                    *down = false;
+                    self.ports_down_count -= 1;
+                }
             }
         }
     }
@@ -974,23 +1031,29 @@ impl Fabric {
         port: u8,
         sink: &mut F,
     ) {
-        self.ports_down.insert((node, port));
+        {
+            let down = &mut self.ports_down[node as usize][port as usize];
+            if !*down {
+                *down = true;
+                self.ports_down_count += 1;
+            }
+        }
         let n = self.nodes.len() as u32;
         for other in 0..n {
             if other == node {
                 continue;
             }
             for dir in [(node, other), (other, node)] {
-                if self.qp_err.contains(&dir)
-                    || !matches!(self.qp_state(dir.0, dir.1), QpState::Rts)
-                    || self.qp_path.get(&dir).copied().unwrap_or(0) != port
                 {
-                    continue;
+                    let d = self.dir(dir.0, dir.1);
+                    if d.err || !matches!(d.state, QpState::Rts) || d.path != port {
+                        continue;
+                    }
                 }
                 let alt = 1 - port;
                 if self.cfg.apm_enabled
-                    && !self.ports_down.contains(&(dir.0, alt))
-                    && !self.ports_down.contains(&(dir.1, alt))
+                    && !self.port_down(dir.0, alt)
+                    && !self.port_down(dir.1, alt)
                 {
                     self.migrate(now, dir, alt);
                 } else {
@@ -1005,15 +1068,12 @@ impl Fabric {
     /// covers a QP re-established while its old port is still dark).
     fn ensure_path(&mut self, now: Time, node: u32, peer: u32) -> bool {
         let dir = (node, peer);
-        let port = self.qp_path.get(&dir).copied().unwrap_or(0);
-        if !self.ports_down.contains(&(node, port)) && !self.ports_down.contains(&(peer, port)) {
+        let port = self.dir(node, peer).path;
+        if !self.port_down(node, port) && !self.port_down(peer, port) {
             return true;
         }
         let alt = 1 - port;
-        if self.cfg.apm_enabled
-            && !self.ports_down.contains(&(node, alt))
-            && !self.ports_down.contains(&(peer, alt))
-        {
+        if self.cfg.apm_enabled && !self.port_down(node, alt) && !self.port_down(peer, alt) {
             self.migrate(now, dir, alt);
             return true;
         }
@@ -1021,24 +1081,23 @@ impl Fabric {
     }
 
     fn migrate(&mut self, now: Time, dir: (u32, u32), alt: u8) {
-        self.qp_path.insert(dir, alt);
-        self.migrating_until
-            .insert(dir, now + self.cfg.apm_migration_ns);
+        let until = now + self.cfg.apm_migration_ns;
+        let d = self.dir_mut(dir.0, dir.1);
+        d.path = alt;
+        if d.migrating_until.replace(until).is_none() {
+            self.migrating += 1;
+        }
         self.stats.migrations += 1;
         self.node_stats[dir.0 as usize].migrations += 1;
     }
 
     /// Transport timer: retransmit the pending transfer, or exhaust the
     /// retry budget and error the QP.
-    fn retry_timeout<F: FnMut(Time, NicEvent)>(
-        &mut self,
-        now: Time,
-        xfer_id: u64,
-        sink: &mut F,
-    ) -> Vec<(u32, Cqe)> {
-        let Some(mut p) = self.inflight.remove(&xfer_id) else {
-            // Flushed by a QP error transition in the meantime.
-            return Vec::new();
+    fn retry_timeout<F: FnMut(Time, NicEvent)>(&mut self, now: Time, xfer_id: u64, sink: &mut F) {
+        let Some(mut p) = self.inflight.remove(Handle::from_bits(xfer_id)) else {
+            // Flushed by a QP error transition in the meantime (the
+            // stale generation makes the removal a miss).
+            return;
         };
         let (requester, responder) = p.endpoints();
         p.xfer.attempt += 1;
@@ -1065,12 +1124,12 @@ impl Fabric {
             let dst = p.dst;
             self.launch(now, dst, p.xfer, p.tx_dur, p.extra_delay, true, sink);
         }
-        Vec::new()
     }
 
     /// Timed RNR backoff: try delivery again; burn a retry if the
     /// receiver still has no descriptor; exhaust the budget and error
     /// the sender's QP when it runs out.
+    #[allow(clippy::too_many_arguments)]
     fn rnr_timed_retry<F: FnMut(Time, NicEvent)>(
         &mut self,
         now: Time,
@@ -1079,14 +1138,13 @@ impl Fabric {
         park_id: u64,
         mems: &mut [NodeMem],
         sink: &mut F,
-    ) -> Vec<(u32, Cqe)> {
-        let out = self.drain_parked(now, node, peer, mems, sink);
-        let Some(q) = self.nodes[node as usize].parked.get_mut(&peer) else {
-            return out;
-        };
+        out: &mut Vec<(u32, Cqe)>,
+    ) {
+        self.drain_parked(now, node, peer, mems, sink, out);
+        let q = &mut self.nodes[node as usize].parked[peer as usize];
         let Some(pos) = q.iter().position(|p| p.id == park_id) else {
             // Delivered (or flushed) in the meantime.
-            return out;
+            return;
         };
         self.stats.rnr_backoff_retries += 1;
         self.node_stats[peer as usize].rnr_backoff_retries += 1;
@@ -1124,7 +1182,6 @@ impl Fabric {
                 },
             );
         }
-        out
     }
 
     /// Transitions the directional QP `requester -> responder` to the
@@ -1139,40 +1196,49 @@ impl Fabric {
         responder: u32,
         sink: &mut F,
     ) {
-        if !self.qp_err.insert((requester, responder)) {
-            return;
+        {
+            let d = self.dir_mut(requester, responder);
+            if d.err {
+                return;
+            }
+            d.err = true;
+            d.state = QpState::Err;
         }
-        self.qp_state.insert((requester, responder), QpState::Err);
         self.stats.qp_errors += 1;
         self.node_stats[requester as usize].qp_errors += 1;
         let mut flushed: HashSet<u64> = HashSet::new();
         let mut flush_wrs: Vec<u64> = Vec::new();
 
         // Send-queue slots whose NIC processing hasn't finished.
-        if let Some(q) = self.nodes[requester as usize].sq_busy.get_mut(&responder) {
+        {
+            let q = &mut self.nodes[requester as usize].sq_busy[responder as usize];
             for e in q.drain(..) {
                 if e.done > now && flushed.insert(e.wr_id) {
                     flush_wrs.push(e.wr_id);
                 }
             }
         }
-        // Transfers awaiting retransmission on this QP.
-        let mut ids: Vec<u64> = self
+        // Transfers awaiting retransmission on this QP, flushed in
+        // admission order: the slab iterates slots in index order, so
+        // sort on the monotonic admission stamp to reproduce the
+        // oldest-first order the former sorted-ticket flush produced.
+        let mut ids: Vec<(u64, Handle)> = self
             .inflight
             .iter()
             .filter(|(_, p)| p.endpoints() == (requester, responder))
-            .map(|(&id, _)| id)
+            .map(|(h, p)| (p.order, h))
             .collect();
         ids.sort_unstable();
-        for id in ids {
-            let p = self.inflight.remove(&id).expect("id collected above");
+        for (_, h) in ids {
+            let p = self.inflight.remove(h).expect("handle collected above");
             let wr = p.xfer.kind.wr_id();
             if flushed.insert(wr) {
                 flush_wrs.push(wr);
             }
         }
         // Transfers parked for RNR at the responder.
-        if let Some(q) = self.nodes[responder as usize].parked.get_mut(&requester) {
+        {
+            let q = &mut self.nodes[responder as usize].parked[requester as usize];
             for e in q.drain(..) {
                 let wr = e.xfer.kind.wr_id();
                 if flushed.insert(wr) {
@@ -1181,15 +1247,16 @@ impl Fabric {
             }
         }
         // Reorder-buffer residents that will never be released.
-        if let Some(buf) = self.rx_ooo.remove(&(requester, responder)) {
-            for (_, x) in buf {
+        {
+            let d = self.dir_mut(requester, responder);
+            for (_, x) in std::mem::take(&mut d.rx_ooo) {
                 let wr = x.kind.wr_id();
                 if flushed.insert(wr) {
                     flush_wrs.push(wr);
                 }
             }
+            d.rx_expected = 0;
         }
-        self.rx_expected.remove(&(requester, responder));
 
         self.stats.flushed_wqes += flush_wrs.len() as u64;
         self.node_stats[requester as usize].flushed_wqes += flush_wrs.len() as u64;
@@ -1220,21 +1287,18 @@ impl Fabric {
         peer: u32,
         mems: &mut [NodeMem],
         sink: &mut F,
-    ) -> Vec<(u32, Cqe)> {
-        let mut out = Vec::new();
+        out: &mut Vec<(u32, Cqe)>,
+    ) {
         loop {
             let node_st = &mut self.nodes[node as usize];
-            let has_recv = node_st.recvq.get(&peer).is_some_and(|q| !q.is_empty());
-            let Some(q) = node_st.parked.get_mut(&peer) else {
-                break;
-            };
-            if !has_recv || q.is_empty() {
+            if node_st.recvq[peer as usize].is_empty() {
                 break;
             }
-            let entry = q.pop_front().expect("checked non-empty");
-            out.extend(self.deliver(now, node, entry.xfer, mems, sink));
+            let Some(entry) = node_st.parked[peer as usize].pop_front() else {
+                break;
+            };
+            self.deliver(now, node, entry.xfer, mems, sink, out);
         }
-        out
     }
 
     /// Entry point for transfers reaching `dst`: discards traffic on
@@ -1247,45 +1311,46 @@ impl Fabric {
         xfer: Transfer,
         mems: &mut [NodeMem],
         sink: &mut F,
-    ) -> Vec<(u32, Cqe)> {
+        out: &mut Vec<(u32, Cqe)>,
+    ) {
         let dir = (xfer.src, dst);
-        if xfer.epoch != self.epoch_of(dir) {
-            // Launched by a previous incarnation of this QP (reset
-            // while the transfer was in flight): stale, discard.
-            self.stats.flushed_wqes += 1;
-            self.node_stats[xfer.src as usize].flushed_wqes += 1;
-            return Vec::new();
-        }
-        if self.qp_err.contains(&dir) {
-            // The QP died while this transfer was in flight: flush it.
-            self.stats.flushed_wqes += 1;
-            self.node_stats[xfer.src as usize].flushed_wqes += 1;
-            return Vec::new();
+        {
+            let d = self.dir(dir.0, dir.1);
+            if xfer.epoch != d.epoch {
+                // Launched by a previous incarnation of this QP (reset
+                // while the transfer was in flight): stale, discard.
+                self.stats.flushed_wqes += 1;
+                self.node_stats[xfer.src as usize].flushed_wqes += 1;
+                return;
+            }
+            if d.err {
+                // The QP died while this transfer was in flight: flush it.
+                self.stats.flushed_wqes += 1;
+                self.node_stats[xfer.src as usize].flushed_wqes += 1;
+                return;
+            }
         }
         if self.faults.is_none() {
-            return self.deliver(now, dst, xfer, mems, sink);
+            self.deliver(now, dst, xfer, mems, sink, out);
+            return;
         }
         {
-            let expected = self.rx_expected.entry(dir).or_insert(0);
-            if xfer.seq > *expected {
-                self.rx_ooo.entry(dir).or_default().insert(xfer.seq, xfer);
-                return Vec::new();
+            let d = self.dir_mut(dir.0, dir.1);
+            if xfer.seq > d.rx_expected {
+                d.rx_ooo.insert(xfer.seq, xfer);
+                return;
             }
-            debug_assert_eq!(xfer.seq, *expected, "duplicate delivery on RC QP");
+            debug_assert_eq!(xfer.seq, d.rx_expected, "duplicate delivery on RC QP");
         }
-        let mut out = self.deliver(now, dst, xfer, mems, sink);
+        self.deliver(now, dst, xfer, mems, sink, out);
         // Release consecutive reorder-buffer residents.
         loop {
-            let expected = self.rx_expected.entry(dir).or_insert(0);
-            *expected += 1;
-            let next = *expected;
-            let Some(buf) = self.rx_ooo.get_mut(&dir) else {
-                break;
-            };
-            let Some(x) = buf.remove(&next) else { break };
-            out.extend(self.deliver(now, dst, x, mems, sink));
+            let d = self.dir_mut(dir.0, dir.1);
+            d.rx_expected += 1;
+            let next = d.rx_expected;
+            let Some(x) = d.rx_ooo.remove(&next) else { break };
+            self.deliver(now, dst, x, mems, sink, out);
         }
-        out
     }
 
     fn deliver<F: FnMut(Time, NicEvent)>(
@@ -1295,12 +1360,12 @@ impl Fabric {
         xfer: Transfer,
         mems: &mut [NodeMem],
         sink: &mut F,
-    ) -> Vec<(u32, Cqe)> {
+        out: &mut Vec<(u32, Cqe)>,
+    ) {
         let src = xfer.src;
         let seq = xfer.seq;
         let attempt = xfer.attempt;
         let epoch = xfer.epoch;
-        let mut out = Vec::new();
         match xfer.kind {
             TransferKind::Send {
                 wr_id,
@@ -1401,12 +1466,7 @@ impl Fabric {
             } => {
                 // Write-with-immediate consumes a receive descriptor; if
                 // none is posted the transfer parks (RNR), data unplaced.
-                if imm.is_some()
-                    && self.nodes[dst as usize]
-                        .recvq
-                        .get(&src)
-                        .is_none_or(|q| q.is_empty())
-                {
+                if imm.is_some() && self.nodes[dst as usize].recvq[src as usize].is_empty() {
                     self.stats.rnr_events += 1;
                     self.park(
                         now,
@@ -1428,7 +1488,7 @@ impl Fabric {
                         },
                         sink,
                     );
-                    return out;
+                    return;
                 }
                 let mem = &mut mems[dst as usize];
                 match mem.regs.check(rkey, addr, data.len() as u64) {
@@ -1457,10 +1517,8 @@ impl Fabric {
                             .write(addr, data.as_slice())
                             .expect("rkey check guarantees bounds");
                         if let Some(v) = imm {
-                            let rwr = self.nodes[dst as usize]
-                                .recvq
-                                .get_mut(&src)
-                                .and_then(|q| q.pop_front())
+                            let rwr = self.nodes[dst as usize].recvq[src as usize]
+                                .pop_front()
                                 .expect("checked non-empty above");
                             self.stats.cqes += 1;
                             out.push((
@@ -1576,7 +1634,6 @@ impl Fabric {
                 }
             }
         }
-        out
     }
 
     fn sched_local<F: FnMut(Time, NicEvent)>(&self, sink: &mut F, node: u32, cqe: Cqe, now: Time) {
@@ -1601,15 +1658,11 @@ impl Fabric {
         sink: &mut F,
     ) {
         let id = self.alloc_id();
-        self.nodes[dst as usize]
-            .parked
-            .entry(src)
-            .or_default()
-            .push_back(ParkedEntry {
-                id,
-                attempt: 0,
-                xfer,
-            });
+        self.nodes[dst as usize].parked[src as usize].push_back(ParkedEntry {
+            id,
+            attempt: 0,
+            xfer,
+        });
         if !self.cfg.rnr_infinite() {
             sink(
                 now + self.cfg.rnr_backoff_ns(0),
@@ -1623,7 +1676,7 @@ impl Fabric {
     }
 
     fn consume_recv(&mut self, dst: u32, src: u32, len: u64) -> ConsumeOutcome {
-        let q = self.nodes[dst as usize].recvq.entry(src).or_default();
+        let q = &mut self.nodes[dst as usize].recvq[src as usize];
         match q.front() {
             None => ConsumeOutcome::NoDescriptor,
             Some(r) if r.capacity() < len => {

@@ -39,4 +39,4 @@ pub use fabric::{Fabric, FabricStats, NicEvent, NodeMem, QpState, QpTransitionEr
 pub use payload::Payload;
 pub use fault::{FaultPlan, LinkFault};
 pub use model::{HostConfig, NetConfig, RNR_RETRY_INFINITE};
-pub use wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge};
+pub use wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge, SgeList};

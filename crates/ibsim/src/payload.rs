@@ -6,8 +6,9 @@
 //! payload had to be shared. A [`Payload`] replaces that with a slab
 //! handle:
 //!
-//! * the backing buffer is **pooled**: freed slabs return to a
-//!   thread-local free list and are handed back to the next gather, so
+//! * the backing buffer is **pooled**: the last handle returns the
+//!   whole `Arc<Slab>` — buffer *and* refcount control block — to a
+//!   thread-local free list, and the next gather reuses both, so
 //!   steady-state traffic allocates nothing;
 //! * the handle is **cheaply cloneable** (`Arc` inside) with byte-range
 //!   *views* ([`Payload::view`]), so retransmit queues, NAK replay, and
@@ -28,45 +29,50 @@ use std::sync::Arc;
 const MAX_POOLED: usize = 64;
 
 thread_local! {
-    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+    static POOL: RefCell<Vec<Arc<Slab>>> = const { RefCell::new(Vec::new()) };
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
     static REUSES: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Takes a buffer with at least `cap` capacity from the pool, or
-/// allocates one.
-fn take_buf(cap: usize) -> Vec<u8> {
-    let pooled = POOL
-        .try_with(|p| p.borrow_mut().pop())
-        .ok()
-        .flatten();
+/// Takes a uniquely-owned slab with at least `cap` capacity from the
+/// pool, or allocates one. Pooling the whole `Arc` (not just the inner
+/// vector) means a steady-state build reuses the control block too —
+/// zero heap traffic per payload once the pool is warm.
+fn take_slab(cap: usize) -> Arc<Slab> {
+    let pooled = POOL.try_with(|p| p.borrow_mut().pop()).ok().flatten();
     match pooled {
-        Some(mut v) => {
+        Some(mut a) => {
             REUSES.with(|c| c.set(c.get() + 1));
-            v.clear();
-            v.reserve(cap);
-            v
+            // Pooled slabs are only admitted with strong_count == 1
+            // and no weak handles, so get_mut always succeeds.
+            let s = Arc::get_mut(&mut a).expect("pooled slab is uniquely owned");
+            s.0.clear();
+            s.0.reserve(cap);
+            a
         }
         None => {
             ALLOCS.with(|c| c.set(c.get() + 1));
-            Vec::with_capacity(cap)
+            Arc::new(Slab(Vec::with_capacity(cap)))
         }
     }
 }
 
-/// Backing slab; returns its buffer to the thread pool when the last
-/// [`Payload`] handle drops.
+/// Backing slab. The last [`Payload`] handle returns the whole
+/// `Arc<Slab>` to the thread pool from `Payload::drop`; this `Drop`
+/// only runs when the pool is full (or torn down) and the `Arc` truly
+/// dies.
 #[derive(Debug)]
 struct Slab(Vec<u8>);
 
-impl Drop for Slab {
-    fn drop(&mut self) {
-        let v = std::mem::take(&mut self.0);
+/// Recycles `a` if it is the sole owner and the pool has room;
+/// otherwise lets it drop normally.
+fn recycle(a: Arc<Slab>) {
+    if Arc::strong_count(&a) == 1 && Arc::weak_count(&a) == 0 {
         // try_with: thread teardown may have destroyed the pool.
         let _ = POOL.try_with(|p| {
             let mut p = p.borrow_mut();
             if p.len() < MAX_POOLED {
-                p.push(v);
+                p.push(a);
             }
         });
     }
@@ -77,36 +83,57 @@ impl Drop for Slab {
 /// Cloning shares the backing slab; [`Payload::view`] narrows the
 /// window without copying. The bytes are immutable once built — the
 /// same discipline verbs imposes on a posted buffer.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Payload {
-    buf: Arc<Slab>,
+    buf: std::mem::ManuallyDrop<Arc<Slab>>,
     off: usize,
     len: usize,
 }
 
+impl Clone for Payload {
+    fn clone(&self) -> Self {
+        Payload {
+            buf: std::mem::ManuallyDrop::new(Arc::clone(&self.buf)),
+            off: self.off,
+            len: self.len,
+        }
+    }
+}
+
+impl Drop for Payload {
+    fn drop(&mut self) {
+        // SAFETY: `buf` is taken exactly once, here, and never touched
+        // again. ManuallyDrop exists solely so the last handle can move
+        // the whole Arc into the slab pool instead of freeing it.
+        let a = unsafe { std::mem::ManuallyDrop::take(&mut self.buf) };
+        recycle(a);
+    }
+}
+
 impl Payload {
+    fn wrap(a: Arc<Slab>, off: usize, len: usize) -> Payload {
+        Payload {
+            buf: std::mem::ManuallyDrop::new(a),
+            off,
+            len,
+        }
+    }
+
     /// Builds a payload by filling a pooled slab through `fill`, which
     /// appends exactly the payload bytes to the provided buffer.
     pub fn build<F: FnOnce(&mut Vec<u8>)>(cap: usize, fill: F) -> Payload {
-        let mut v = take_buf(cap);
-        fill(&mut v);
-        let len = v.len();
-        Payload {
-            buf: Arc::new(Slab(v)),
-            off: 0,
-            len,
-        }
+        let mut a = take_slab(cap);
+        let s = Arc::get_mut(&mut a).expect("fresh slab is uniquely owned");
+        fill(&mut s.0);
+        let len = s.0.len();
+        Payload::wrap(a, 0, len)
     }
 
     /// Wraps an existing vector (no pooling on the way in; the buffer
     /// still returns to the pool when the last handle drops).
     pub fn from_vec(v: Vec<u8>) -> Payload {
         let len = v.len();
-        Payload {
-            buf: Arc::new(Slab(v)),
-            off: 0,
-            len,
-        }
+        Payload::wrap(Arc::new(Slab(v)), 0, len)
     }
 
     /// Copies a byte slice into a pooled slab.
@@ -122,11 +149,7 @@ impl Payload {
             "payload view [{off}, {off}+{len}) out of range 0..{}",
             self.len
         );
-        Payload {
-            buf: Arc::clone(&self.buf),
-            off: self.off + off,
-            len,
-        }
+        Payload::wrap(Arc::clone(&self.buf), self.off + off, len)
     }
 
     /// The viewed bytes.

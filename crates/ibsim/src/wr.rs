@@ -1,6 +1,7 @@
 //! Work requests, scatter/gather elements, and completions.
 
 use ibdt_memreg::{MemError, Va};
+use ibdt_simcore::inline::InlineVec;
 use std::fmt;
 
 /// One scatter/gather element: a registered local buffer range.
@@ -13,6 +14,12 @@ pub struct Sge {
     /// Local protection key of a registration covering the range.
     pub lkey: u32,
 }
+
+/// A gather/scatter list. Steady-state posts carry one SGE (wide
+/// zero-copy gathers are the exception), so up to four elements live
+/// inline in the work request and only longer lists touch the heap;
+/// the HCA's `max_sge` cap (checked at post) bounds the spill.
+pub type SgeList = InlineVec<Sge, 4>;
 
 /// Send-queue operation codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +45,7 @@ pub struct SendWr {
     /// Operation.
     pub opcode: Opcode,
     /// Local gather list (source for Send/Write, destination for Read).
-    pub sges: Vec<Sge>,
+    pub sges: SgeList,
     /// Remote address and rkey for RDMA operations.
     pub remote: Option<(Va, u32)>,
     /// Whether a local completion is generated.
@@ -58,7 +65,7 @@ pub struct RecvWr {
     /// Caller-chosen identifier, returned in the completion.
     pub wr_id: u64,
     /// Local scatter list.
-    pub sges: Vec<Sge>,
+    pub sges: SgeList,
 }
 
 impl RecvWr {
@@ -207,7 +214,8 @@ mod tests {
                     len: 22,
                     lkey: 1,
                 },
-            ],
+            ]
+            .into(),
             remote: None,
             signaled: true,
         };
@@ -218,11 +226,11 @@ mod tests {
     fn recv_capacity() {
         let wr = RecvWr {
             wr_id: 2,
-            sges: vec![Sge {
+            sges: SgeList::of(Sge {
                 addr: 0,
                 len: 128,
                 lkey: 3,
-            }],
+            }),
         };
         assert_eq!(wr.capacity(), 128);
     }

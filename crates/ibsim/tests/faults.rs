@@ -20,9 +20,9 @@ impl World for Harness {
     type Event = NicEvent;
     fn handle(&mut self, sched: &mut Scheduler<'_, NicEvent>, ev: NicEvent) {
         let now = sched.now();
-        let done = self
-            .fabric
-            .handle(now, ev, &mut self.mems, &mut |t, e| sched.at(t, e));
+        let mut done = Vec::new();
+        self.fabric
+            .handle(now, ev, &mut self.mems, &mut |t, e| sched.at(t, e), &mut done);
         for (node, cqe) in done {
             self.log.push((now, node, cqe));
         }
@@ -65,7 +65,7 @@ fn send_one(h: &mut Harness, eng: &mut Engine<Harness>, len: u64, wr_id: u64) ->
                     addr: dst,
                     len,
                     lkey: dst_key,
-                }],
+                }].into(),
             },
             &h.mems,
             &mut |t, e| sink.push((t, e)),
@@ -83,7 +83,7 @@ fn send_one(h: &mut Harness, eng: &mut Engine<Harness>, len: u64, wr_id: u64) ->
                     addr: src,
                     len,
                     lkey: src_key,
-                }],
+                }].into(),
                 remote: None,
                 signaled: true,
             },
@@ -220,7 +220,7 @@ fn certain_loss_exhausts_retry_and_flushes_the_qp() {
                     addr: dst,
                     len: 4096,
                     lkey: dst_key,
-                }],
+                }].into(),
             },
             &h.mems,
             &mut |t, e| sink.push((t, e)),
@@ -241,7 +241,7 @@ fn certain_loss_exhausts_retry_and_flushes_the_qp() {
                         addr: src,
                         len: 2048,
                         lkey: src_key,
-                    }],
+                    }].into(),
                     remote: None,
                     signaled: true,
                 },
@@ -291,7 +291,7 @@ fn certain_loss_exhausts_retry_and_flushes_the_qp() {
                 addr: src,
                 len: 64,
                 lkey: src_key,
-            }],
+            }].into(),
             remote: None,
             signaled: true,
         },
@@ -326,7 +326,7 @@ fn finite_rnr_budget_backs_off_then_errors() {
                     addr: src,
                     len: 1024,
                     lkey: src_key,
-                }],
+                }].into(),
                 remote: None,
                 signaled: true,
             },
@@ -374,7 +374,7 @@ fn rnr_backoff_delivers_once_receiver_catches_up() {
                     addr: src,
                     len: 512,
                     lkey: src_key,
-                }],
+                }].into(),
                 remote: None,
                 signaled: true,
             },
@@ -401,7 +401,7 @@ fn rnr_backoff_delivers_once_receiver_catches_up() {
                     addr: dst,
                     len: 512,
                     lkey: dst_key,
-                }],
+                }].into(),
             },
             &h.mems,
             &mut |t, e| sink.push((t, e)),
@@ -526,7 +526,7 @@ fn qp_state_machine_enforces_legal_transitions() {
                 addr: src,
                 len: 64,
                 lkey: src_key,
-            }],
+            }].into(),
             remote: None,
             signaled: true,
         },
@@ -663,7 +663,7 @@ fn stale_epoch_traffic_is_discarded_on_arrival() {
                     addr: dst,
                     len: 4096,
                     lkey: dst_key,
-                }],
+                }].into(),
             },
             &h.mems,
             &mut |t, e| sink.push((t, e)),
@@ -681,7 +681,7 @@ fn stale_epoch_traffic_is_discarded_on_arrival() {
                     addr: src,
                     len: 4096,
                     lkey: src_key,
-                }],
+                }].into(),
                 remote: None,
                 signaled: true,
             },

@@ -11,7 +11,9 @@ use crate::progress::{self, ActiveMsgs, Ctx, Ev};
 use crate::rank::RankState;
 use crate::stats::RunStats;
 use ibdt_datatype::Datatype;
-use ibdt_ibsim::{Fabric, FaultPlan, HostConfig, NetConfig, NodeMem, Payload, RecvWr, Sge};
+use ibdt_ibsim::{
+    Cqe, Fabric, FaultPlan, HostConfig, NetConfig, NodeMem, Payload, RecvWr, Sge, SgeList,
+};
 use ibdt_memreg::{AddressSpace, Va};
 use ibdt_simcore::engine::{Engine, Scheduler, World};
 use ibdt_simcore::time::Time;
@@ -311,6 +313,9 @@ pub struct Cluster {
     /// One-sided windows: `(win id, rank)` -> entry.
     windows: std::collections::HashMap<(u32, u32), crate::rma::WinEntry>,
     ran: bool,
+    /// Reused completion buffer handed to [`Fabric::handle`] each NIC
+    /// event, so steady-state event handling allocates nothing.
+    cqe_buf: Vec<(u32, Cqe)>,
     /// Thread-local pool counter baselines captured at construction,
     /// so [`RunStats`] reports this cluster's pool activity as deltas.
     payload_pool_base: (u64, u64),
@@ -360,11 +365,11 @@ impl Cluster {
                             peer,
                             RecvWr {
                                 wr_id: va,
-                                sges: vec![Sge {
+                                sges: SgeList::of(Sge {
                                     addr: va,
                                     len: spec.mpi.eager_buf_size,
                                     lkey,
-                                }],
+                                }),
                             },
                             &mems,
                             &mut noop,
@@ -374,7 +379,7 @@ impl Cluster {
             }
         }
         Self {
-            active: (0..n).map(|_| ActiveMsgs::default()).collect(),
+            active: (0..n).map(|_| ActiveMsgs::new(n)).collect(),
             interp: Vec::new(),
             marks: vec![Vec::new(); n],
             spec,
@@ -383,6 +388,7 @@ impl Cluster {
             ranks,
             windows: std::collections::HashMap::new(),
             ran: false,
+            cqe_buf: Vec::new(),
             payload_pool_base,
             space_pool_base,
         }
@@ -1078,11 +1084,19 @@ impl World for Cluster {
     fn handle(&mut self, sched: &mut Scheduler<'_, Ev>, ev: Ev) {
         match ev {
             Ev::Nic(e) => {
-                let completions = {
+                let mut completions = std::mem::take(&mut self.cqe_buf);
+                completions.clear();
+                {
                     let Cluster { fabric, mems, .. } = self;
-                    fabric.handle(sched.now(), e, mems, &mut |t, e| sched.at(t, Ev::Nic(e)))
-                };
-                for (node, cqe) in completions {
+                    fabric.handle(
+                        sched.now(),
+                        e,
+                        mems,
+                        &mut |t, e| sched.at(t, Ev::Nic(e)),
+                        &mut completions,
+                    );
+                }
+                for &(node, cqe) in &completions {
                     {
                         let Cluster {
                             fabric,
@@ -1109,6 +1123,7 @@ impl World for Cluster {
                     }
                     self.drain_completions(sched, node);
                 }
+                self.cqe_buf = completions;
             }
             Ev::Cpu { rank, act } => {
                 {

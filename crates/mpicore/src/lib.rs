@@ -38,6 +38,7 @@ pub mod progress;
 pub mod rank;
 pub mod rma;
 pub mod stats;
+pub mod table;
 
 pub use cluster::{AppOp, Cluster, ClusterSpec, Program, ReduceOp};
 pub use config::{MpiConfig, Scheme};

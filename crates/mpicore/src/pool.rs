@@ -123,15 +123,17 @@ impl SegmentPool {
 }
 
 /// Reusable host-side scratch buffers for the zero-allocation hot
-/// path: packed-byte staging (`Vec<u8>`) and block/SGE lists
-/// (`Vec<(Va, u64)>`). Buffers are taken, used, and returned; their
-/// capacity survives, so steady-state sends stop allocating after the
-/// first few messages. Purely host-side — no modelled cost, no effect
-/// on the virtual clock.
+/// path: packed-byte staging (`Vec<u8>`), block/SGE lists
+/// (`Vec<(Va, u64)>`), and block-length lists (`Vec<u64>`). Buffers
+/// are taken, used, and returned; their capacity survives, so
+/// steady-state sends stop allocating after the first few messages.
+/// Purely host-side — no modelled cost, no effect on the virtual
+/// clock.
 #[derive(Debug, Default)]
 pub struct ScratchPool {
     bytes: Vec<Vec<u8>>,
     blocks: Vec<Vec<(Va, u64)>>,
+    lens: Vec<Vec<u64>>,
     reuses: u64,
     allocs: u64,
 }
@@ -185,6 +187,28 @@ impl ScratchPool {
     pub fn put_blocks(&mut self, v: Vec<(Va, u64)>) {
         if v.capacity() > 0 {
             self.blocks.push(v);
+        }
+    }
+
+    /// Takes an empty block-length list, reusing returned capacity.
+    pub fn take_lens(&mut self) -> Vec<u64> {
+        match self.lens.pop() {
+            Some(mut v) => {
+                self.reuses += 1;
+                v.clear();
+                v
+            }
+            None => {
+                self.allocs += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a block-length list to the pool.
+    pub fn put_lens(&mut self, v: Vec<u64>) {
+        if v.capacity() > 0 {
+            self.lens.push(v);
         }
     }
 
@@ -299,10 +323,23 @@ mod scratch_tests {
     }
 
     #[test]
+    fn lens_round_trip() {
+        let mut p = ScratchPool::new();
+        let mut v = p.take_lens();
+        v.push(512);
+        p.put_lens(v);
+        let w = p.take_lens();
+        assert!(w.is_empty(), "reused list comes back cleared");
+        assert!(w.capacity() >= 1, "capacity survives the round trip");
+        assert_eq!((p.reuses(), p.allocs()), (1, 1));
+    }
+
+    #[test]
     fn empty_buffers_are_not_pooled() {
         let mut p = ScratchPool::new();
         p.put_bytes(Vec::new());
         p.put_blocks(Vec::new());
+        p.put_lens(Vec::new());
         let _ = p.take_bytes(1);
         assert_eq!((p.reuses(), p.allocs()), (0, 1));
     }

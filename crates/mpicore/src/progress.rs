@@ -22,14 +22,16 @@ use crate::plan::{
     chunk_gather, hybrid_partition, imm_of, imm_parse, plan_multi_w, substream_to_stream,
 };
 use crate::rank::{PostedRecv, RankState, ReqId, ReqKind, Unexpected};
+use crate::table::{ImmMap, MsgTable};
 use ibdt_datatype::{Datatype, FlatLayout, TransferPlan};
 use ibdt_ibsim::{
     Cqe, Fabric, HostConfig, NetConfig, NicEvent, NodeMem, Opcode, PostError, RecvWr, SendWr, Sge,
+    SgeList,
 };
 use ibdt_memreg::{ogr, Registration, Va};
 use ibdt_simcore::engine::Scheduler;
 use ibdt_simcore::time::Time;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Top-level simulation event for the MPI world.
@@ -344,16 +346,27 @@ struct RecvMsg {
     drop_unpacks: u32,
 }
 
-/// Active rendezvous messages of one rank.
-#[derive(Debug, Default)]
+/// Active rendezvous messages of one rank. Records live in slab-backed
+/// dense tables ([`MsgTable`]) keyed `(peer, seq)` — message lifecycle
+/// is index arithmetic, not hash insert/remove per message.
+#[derive(Debug)]
 pub struct ActiveMsgs {
-    sends: HashMap<(u32, u64), SendMsg>,
-    recvs: HashMap<(u32, u64), RecvMsg>,
+    sends: MsgTable<SendMsg>,
+    recvs: MsgTable<RecvMsg>,
     /// Immediate-data demux: `(peer, seq16)` → full sequence number.
-    imm_map: HashMap<(u32, u16), u64>,
+    imm_map: ImmMap,
 }
 
 impl ActiveMsgs {
+    /// Empty tables for a rank with `nprocs` peers.
+    pub fn new(nprocs: usize) -> Self {
+        ActiveMsgs {
+            sends: MsgTable::new(nprocs),
+            recvs: MsgTable::new(nprocs),
+            imm_map: ImmMap::new(nprocs),
+        }
+    }
+
     /// True when no rendezvous transfers are in flight.
     pub fn is_idle(&self) -> bool {
         self.sends.is_empty() && self.recvs.is_empty()
@@ -484,10 +497,9 @@ pub fn isend(
             // (symmetric types are the common case) and register those
             // blocks during the handshake; the reply-time registration
             // tops up any coverage the receiver's partition adds.
-            let own: Vec<(Va, u64)> = abs_blocks(&tplan, buf)
-                .into_iter()
-                .filter(|&(_, l)| l >= ctx.cfg.hybrid_block_threshold)
-                .collect();
+            let mut own = rs.scratch.take_blocks();
+            abs_blocks_into(&tplan, buf, &mut own);
+            own.retain(|&(_, l)| l >= ctx.cfg.hybrid_block_threshold);
             if !own.is_empty() {
                 let plan = ogr::plan(&own, &ctx.host.reg);
                 let mut cost = 0;
@@ -504,6 +516,7 @@ pub fn isend(
                 let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
                 ctx.cpu_event(done, rs.rank, CpuAct::SenderRegDone { peer, seq });
             }
+            rs.scratch.put_blocks(own);
         }
         Scheme::Adaptive => {
             // The receiver decides, but the sender predicts from its own
@@ -1041,11 +1054,11 @@ fn send_ctrl(
             let wr = SendWr {
                 wr_id: WR_EAGER | va,
                 opcode: Opcode::Send,
-                sges: vec![Sge {
+                sges: SgeList::of(Sge {
                     addr: va,
                     len: bytes.len() as u64,
                     lkey: rs.eager_lkey,
-                }],
+                }),
                 remote: None,
                 signaled: true,
             };
@@ -1092,11 +1105,11 @@ fn drain_pending_eager(rs: &mut RankState, ctx: &mut Ctx<'_, '_>) {
         let wr = SendWr {
             wr_id: WR_EAGER | va,
             opcode: Opcode::Send,
-            sges: vec![Sge {
+            sges: SgeList::of(Sge {
                 addr: va,
                 len: p.bytes.len() as u64,
                 lkey: rs.eager_lkey,
-            }],
+            }),
             remote: None,
             signaled: true,
         };
@@ -1128,11 +1141,11 @@ fn repost_eager_recv(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, va: V
         .reserve_labeled(ctx.now(), ctx.net.post_recv_ns, "post-recv");
     let wr = RecvWr {
         wr_id: va,
-        sges: vec![Sge {
+        sges: SgeList::of(Sge {
             addr: va,
             len: ctx.cfg.eager_buf_size,
             lkey: rs.eager_lkey,
-        }],
+        }),
     };
     let now = ctx.now();
     ctx.post_recv(now, rs.rank, peer, wr);
@@ -1657,8 +1670,12 @@ fn try_acquire_user_regs(
 /// returns the host cost, or `None` when the pinning budget is
 /// exhausted.
 fn receiver_reg_cost(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg) -> Option<Time> {
-    let blocks = abs_blocks(&rs.plan_for(&msg.ty, msg.count), msg.buf);
-    try_acquire_user_regs(rs, ctx, &blocks, &mut msg.user_regs, &mut msg.pinned_bytes)
+    let plan = rs.plan_for(&msg.ty, msg.count);
+    let mut blocks = rs.scratch.take_blocks();
+    abs_blocks_into(&plan, msg.buf, &mut blocks);
+    let cost = try_acquire_user_regs(rs, ctx, &blocks, &mut msg.user_regs, &mut msg.pinned_bytes);
+    rs.scratch.put_blocks(blocks);
+    cost
 }
 
 /// Builds the Multi-W reply, or `None` when it cannot fit an eager
@@ -1676,8 +1693,11 @@ fn build_multiw_reply(
         Some(msg.ty.flat().as_ref().clone())
     };
     // Probe size before committing registrations.
-    let blocks = abs_blocks(&rs.plan_for(&msg.ty, msg.count), msg.buf);
+    let tplan = rs.plan_for(&msg.ty, msg.count);
+    let mut blocks = rs.scratch.take_blocks();
+    abs_blocks_into(&tplan, msg.buf, &mut blocks);
     let plan = ogr::plan(&blocks, &ctx.host.reg);
+    rs.scratch.put_blocks(blocks);
     // Both this commit and the caller's receiver_reg_cost charge the
     // pinning budget (the pin-down cache refcounts the duplicate
     // acquire), so require headroom for twice the footprint.
@@ -1745,9 +1765,13 @@ fn build_hybrid_reply(
     msg: &mut RecvMsg,
 ) -> Option<Vec<u8>> {
     let threshold = ctx.cfg.hybrid_block_threshold;
-    let blocks = abs_blocks(&rs.plan_for(&msg.ty, msg.count), msg.buf);
-    let lens: Vec<u64> = blocks.iter().map(|&(_, l)| l).collect();
+    let tplan = rs.plan_for(&msg.ty, msg.count);
+    let mut blocks = rs.scratch.take_blocks();
+    abs_blocks_into(&tplan, msg.buf, &mut blocks);
+    let mut lens = rs.scratch.take_lens();
+    lens.extend(blocks.iter().map(|&(_, l)| l));
     let part = hybrid_partition(&lens, threshold);
+    rs.scratch.put_lens(lens);
     let (nsegs_p, seg_size_p) = if part.packed_bytes == 0 {
         (0u32, 1u64)
     } else {
@@ -1766,12 +1790,11 @@ fn build_hybrid_reply(
         Some(msg.ty.flat().as_ref().clone())
     };
     // Probe the reply size with placeholder keys before committing.
-    let direct_blocks: Vec<(Va, u64)> = blocks
-        .iter()
-        .copied()
-        .filter(|&(_, l)| l >= threshold)
-        .collect();
-    let plan = ogr::plan(&direct_blocks, &ctx.host.reg);
+    // The full block list is no longer needed, so narrow it to the
+    // direct part in place and hand the scratch vector back.
+    blocks.retain(|&(_, l)| l >= threshold);
+    let plan = ogr::plan(&blocks, &ctx.host.reg);
+    rs.scratch.put_blocks(blocks);
     let probe = CtrlMsg::RndvReply {
         seq: msg.seq,
         scheme: Scheme::Hybrid.to_wire(),
@@ -2261,8 +2284,10 @@ fn sender_on_reply(
                 .into_iter()
                 .map(|(o, l)| ((base as i64 + o) as u64, l))
                 .collect();
-            let lens: Vec<u64> = rcv_blocks.iter().map(|&(_, l)| l).collect();
+            let mut lens = rs.scratch.take_lens();
+            lens.extend(rcv_blocks.iter().map(|&(_, l)| l));
             let part = hybrid_partition(&lens, threshold);
+            rs.scratch.put_lens(lens);
             // Each direct interval corresponds to one receiver block;
             // pair them up by walking the blocks again.
             let mut direct = Vec::with_capacity(part.direct.len());
@@ -2436,10 +2461,12 @@ fn hybrid_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
 /// Returns `false` — acquiring nothing and scheduling nothing — when
 /// the pinning budget would be exceeded.
 fn sender_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) -> bool {
-    let blocks = abs_blocks(&rs.plan_for(&msg.ty, msg.count), msg.buf);
-    let Some(cost) =
-        try_acquire_user_regs(rs, ctx, &blocks, &mut msg.user_regs, &mut msg.pinned_bytes)
-    else {
+    let plan = rs.plan_for(&msg.ty, msg.count);
+    let mut blocks = rs.scratch.take_blocks();
+    abs_blocks_into(&plan, msg.buf, &mut blocks);
+    let acquired = try_acquire_user_regs(rs, ctx, &blocks, &mut msg.user_regs, &mut msg.pinned_bytes);
+    rs.scratch.put_blocks(blocks);
+    let Some(cost) = acquired else {
         return false;
     };
     let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
@@ -2573,11 +2600,11 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                 let wr = SendWr {
                     wr_id: WR_DATA | msg.seq,
                     opcode: Opcode::RdmaWriteImm(imm_of(msg.seq, 0)),
-                    sges: vec![Sge {
+                    sges: SgeList::of(Sge {
                         addr: sb.va,
                         len: msg.size,
                         lkey: sb.lkey,
-                    }],
+                    }),
                     remote: Some((*addr, *rkey)),
                     signaled: true,
                 };
@@ -2605,11 +2632,11 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                 let wr = SendWr {
                     wr_id: WR_DATA | msg.seq,
                     opcode: Opcode::RdmaWriteImm(imm_of(msg.seq, k)),
-                    sges: vec![Sge {
+                    sges: SgeList::of(Sge {
                         addr: sb.va,
                         len,
                         lkey: sb.lkey,
-                    }],
+                    }),
                     remote: Some((segs[k as usize].0, segs[k as usize].1)),
                     signaled: k == msg.nsegs - 1,
                 };
@@ -2753,11 +2780,11 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                     wrs.push(SendWr {
                         wr_id: WR_DATA | msg.seq,
                         opcode: Opcode::RdmaWrite,
-                        sges: vec![Sge {
+                        sges: SgeList::of(Sge {
                             addr: sb.va + in_seg,
                             len: n,
                             lkey: sb.lkey,
-                        }],
+                        }),
                         remote: Some((dst + off, rkey)),
                         signaled: false,
                     });
@@ -2811,8 +2838,11 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
             if !msg.reg_done || msg.posted_segs > 0 {
                 return;
             }
-            let snd_blocks = abs_blocks(&rs.plan_for(&msg.ty, msg.count), msg.buf);
+            let tplan = rs.plan_for(&msg.ty, msg.count);
+            let mut snd_blocks = rs.scratch.take_blocks();
+            abs_blocks_into(&tplan, msg.buf, &mut snd_blocks);
             let plan = plan_multi_w(&snd_blocks, rcv_blocks, ctx.net.max_sge);
+            rs.scratch.put_blocks(snd_blocks);
             let n = plan.len();
             assert!(n > 0, "rendezvous messages are never empty");
             let wrs: Vec<SendWr> = plan
@@ -2984,11 +3014,11 @@ fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
         let wr = SendWr {
             wr_id: WR_DATA | msg.seq,
             opcode: Opcode::RdmaWriteImm(imm_of(msg.seq, k)),
-            sges: vec![Sge {
+            sges: SgeList::of(Sge {
                 addr: sb.va,
                 len: hi - lo,
                 lkey: sb.lkey,
-            }],
+            }),
             remote: Some((hy.segs[k as usize].0, hy.segs[k as usize].1)),
             signaled: false,
         };
@@ -3029,7 +3059,7 @@ fn hybrid_try_post(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
         let wr = SendWr {
             wr_id: WR_DATA | msg.seq,
             opcode: Opcode::RdmaWriteImm(imm_of(msg.seq, MARKER_K)),
-            sges: Vec::new(),
+            sges: SgeList::new(),
             remote: Some((maddr, mrkey)),
             signaled: true,
         };
@@ -3226,12 +3256,17 @@ fn release_stage_bufs(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, bufs: &[StageBu
 // Shared helpers
 // ---------------------------------------------------------------------
 
-/// Absolute-address contiguous blocks of the plan's message at `buf`.
-fn abs_blocks(plan: &TransferPlan, buf: Va) -> Vec<(Va, u64)> {
-    plan.blocks()
-        .iter()
-        .map(|&(o, l)| ((buf as i64 + o) as u64, l))
-        .collect()
+/// Fills `out` with the absolute-address contiguous blocks of the
+/// plan's message at `buf`. `out` is cleared first so callers can pass
+/// a [`ScratchPool`](crate::pool::ScratchPool) vector and keep the
+/// steady-state path allocation-free.
+fn abs_blocks_into(plan: &TransferPlan, buf: Va, out: &mut Vec<(Va, u64)>) {
+    out.clear();
+    out.extend(
+        plan.blocks()
+            .iter()
+            .map(|&(o, l)| ((buf as i64 + o) as u64, l)),
+    );
 }
 
 /// Local key covering the range. A missing covering registration is a
@@ -3339,7 +3374,7 @@ fn recoverable(err: &MpiError) -> bool {
 fn ensure_reconnect(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32) -> bool {
     let rank = rs.rank;
     let at = ctx.now() + ctx.cfg.reconnect_ns;
-    let r = rs.reconn.entry(peer).or_default();
+    let r = rs.reconn.get_or_default(peer);
     if r.attempts >= ctx.cfg.max_reconnects {
         return false;
     }
@@ -3444,11 +3479,11 @@ fn resend_eager_slot(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, va: V
     let wr = SendWr {
         wr_id: WR_EAGER | va,
         opcode: Opcode::Send,
-        sges: vec![Sge {
+        sges: SgeList::of(Sge {
             addr: va,
             len,
             lkey: rs.eager_lkey,
-        }],
+        }),
         remote: None,
         signaled: true,
     };

@@ -246,11 +246,11 @@ pub struct RankState {
     /// registrations (RWG-UP / Multi-W / P-RRS).
     pub pinned_user_bytes: u64,
     /// Connection-manager state per peer with a dead/rebuilding QP.
-    pub reconn: HashMap<u32, ReconnState>,
+    pub reconn: crate::table::PeerMap<ReconnState>,
     /// `(peer, seq)` of rendezvous receives already fully delivered —
     /// consulted when a resumed sender asks about a transfer whose FIN
     /// was lost to the failure.
-    pub done_seqs: HashSet<(u32, u64)>,
+    pub done_seqs: crate::table::DoneSet,
     /// Rank-level errors not attributable to a single request (flushed
     /// control traffic, malformed messages, failed RMA).
     pub errors: Vec<MpiError>,
@@ -323,8 +323,8 @@ impl RankState {
             rma_regs: Vec::new(),
             rma_event: false,
             pinned_user_bytes: 0,
-            reconn: HashMap::new(),
-            done_seqs: HashSet::new(),
+            reconn: crate::table::PeerMap::new(nprocs as usize),
+            done_seqs: crate::table::DoneSet::new(nprocs as usize),
             errors: Vec::new(),
             counters: RankCounters::default(),
         }

@@ -1,0 +1,363 @@
+//! Inline small-vector storage: fixed capacity with heap spill.
+//!
+//! Work-request gather lists are tiny in steady state — the eager and
+//! data paths post one SGE per WR, and the HCA caps a list at
+//! `max_sge` (64) — yet `Vec<Sge>` paid a heap allocation for every
+//! posted descriptor. An [`InlineVec<T, N>`] stores up to `N` elements
+//! inline in the struct and only touches the heap when a list
+//! genuinely exceeds the inline capacity (wide zero-copy gathers),
+//! so the common single-SGE post allocates nothing.
+//!
+//! The API is the small slice-shaped subset the simulator needs:
+//! `push`, `Deref<Target = [T]>`, owned iteration, `FromIterator`,
+//! and `From<Vec<T>>`. Once a list spills it stays spilled; clearing
+//! releases the spill vector.
+
+use std::fmt;
+use std::mem::MaybeUninit;
+
+/// A vector storing up to `N` elements inline; longer contents spill
+/// to a heap `Vec`. See the module docs.
+pub struct InlineVec<T, const N: usize> {
+    /// Inline storage; the first `len` slots are initialized iff
+    /// `spill` is `None`.
+    inline: [MaybeUninit<T>; N],
+    /// Number of initialized inline slots (0 when spilled).
+    len: usize,
+    /// Heap storage holding *all* elements once capacity is exceeded.
+    spill: Option<Vec<T>>,
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// An empty list (no heap allocation).
+    pub fn new() -> Self {
+        InlineVec {
+            // SAFETY: an array of MaybeUninit is trivially valid
+            // uninitialized.
+            inline: unsafe { MaybeUninit::uninit().assume_init() },
+            len: 0,
+            spill: None,
+        }
+    }
+
+    /// A one-element list (the steady-state WR shape), inline.
+    pub fn of(value: T) -> Self {
+        let mut v = Self::new();
+        v.push(value);
+        v
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.spill {
+            Some(v) => v.len(),
+            None => self.len,
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends an element, spilling to the heap past `N` elements.
+    pub fn push(&mut self, value: T) {
+        if let Some(v) = &mut self.spill {
+            v.push(value);
+            return;
+        }
+        if self.len < N {
+            self.inline[self.len].write(value);
+            self.len += 1;
+            return;
+        }
+        let mut v = Vec::with_capacity(N * 2);
+        for slot in &mut self.inline[..self.len] {
+            // SAFETY: the first `len` inline slots are initialized and
+            // are moved out exactly once here (len is reset below).
+            v.push(unsafe { slot.assume_init_read() });
+        }
+        self.len = 0;
+        v.push(value);
+        self.spill = Some(v);
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.spill {
+            Some(v) => v.as_slice(),
+            // SAFETY: the first `len` inline slots are initialized.
+            None => unsafe {
+                std::slice::from_raw_parts(self.inline.as_ptr().cast::<T>(), self.len)
+            },
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match &mut self.spill {
+            Some(v) => v.as_mut_slice(),
+            // SAFETY: the first `len` inline slots are initialized.
+            None => unsafe {
+                std::slice::from_raw_parts_mut(self.inline.as_mut_ptr().cast::<T>(), self.len)
+            },
+        }
+    }
+
+    /// Removes all elements (releasing any spill storage).
+    pub fn clear(&mut self) {
+        if self.spill.take().is_none() {
+            let len = self.len;
+            self.len = 0;
+            for slot in &mut self.inline[..len] {
+                // SAFETY: slots below the old len are initialized; len
+                // was reset first so a panicking Drop can't double-run.
+                unsafe { slot.assume_init_drop() };
+            }
+        }
+    }
+
+    /// True when the contents live inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        self.spill.is_none()
+    }
+}
+
+impl<T, const N: usize> Drop for InlineVec<T, N> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+impl<T, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> std::ops::DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for InlineVec<T, N> {
+    fn clone(&self) -> Self {
+        self.as_slice().iter().cloned().collect()
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<T, const N: usize> From<Vec<T>> for InlineVec<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        // A vector that fits inline is copied in (freeing the heap
+        // buffer); a longer one is adopted as the spill as-is.
+        if v.len() <= N {
+            v.into_iter().collect()
+        } else {
+            InlineVec {
+                // SAFETY: as in `new`.
+                inline: unsafe { MaybeUninit::uninit().assume_init() },
+                len: 0,
+                spill: Some(v),
+            }
+        }
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Owned iterator over an [`InlineVec`].
+pub struct IntoIter<T, const N: usize> {
+    vec: InlineVec<T, N>,
+    pos: usize,
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        if let Some(v) = &mut self.vec.spill {
+            if self.pos < v.len() {
+                let item = unsafe { v.as_ptr().add(self.pos).read() };
+                self.pos += 1;
+                if self.pos == v.len() {
+                    // SAFETY: every element was moved out; forget them.
+                    unsafe { v.set_len(0) };
+                }
+                return Some(item);
+            }
+            return None;
+        }
+        if self.pos < self.vec.len {
+            // SAFETY: slots below len are initialized; each is read
+            // exactly once (pos advances monotonically) and the Drop
+            // impl skips already-consumed slots.
+            let item = unsafe { self.vec.inline[self.pos].assume_init_read() };
+            self.pos += 1;
+            return Some(item);
+        }
+        None
+    }
+}
+
+impl<T, const N: usize> Drop for IntoIter<T, N> {
+    fn drop(&mut self) {
+        if let Some(v) = &mut self.vec.spill {
+            // Drop only the not-yet-consumed tail.
+            let remaining = v.len().saturating_sub(self.pos);
+            if remaining > 0 {
+                let consumed = self.pos;
+                // SAFETY: elements [consumed, len) are still live; move
+                // them to the front so Vec's own Drop handles them.
+                unsafe {
+                    let p = v.as_mut_ptr();
+                    std::ptr::copy(p.add(consumed), p, remaining);
+                    v.set_len(remaining);
+                }
+            } else {
+                unsafe { v.set_len(0) };
+            }
+            self.vec.spill = None;
+        } else {
+            let (start, end) = (self.pos, self.vec.len);
+            self.vec.len = 0; // InlineVec::drop must not re-drop.
+            for slot in &mut self.vec.inline[start..end] {
+                // SAFETY: slots in [pos, len) were never consumed.
+                unsafe { slot.assume_init_drop() };
+            }
+        }
+    }
+}
+
+impl<T, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> Self::IntoIter {
+        IntoIter { vec: self, pos: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_within_capacity_stays_inline() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spill_past_capacity() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(!v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn of_and_deref() {
+        let v: InlineVec<&str, 4> = InlineVec::of("x");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0], "x");
+        assert_eq!(v.iter().count(), 1);
+    }
+
+    #[test]
+    fn from_iterator_and_from_vec() {
+        let v: InlineVec<u32, 4> = (0..3).collect();
+        assert!(v.is_inline());
+        assert_eq!(&v[..], &[0, 1, 2]);
+        let w: InlineVec<u32, 4> = vec![9, 8, 7, 6, 5].into();
+        assert!(!w.is_inline());
+        assert_eq!(&w[..], &[9, 8, 7, 6, 5]);
+        let x: InlineVec<u32, 4> = vec![1, 2].into();
+        assert!(x.is_inline());
+    }
+
+    #[test]
+    fn owned_iteration_inline_and_spilled() {
+        let v: InlineVec<String, 2> = vec!["a".to_string(), "b".to_string()].into();
+        let got: Vec<String> = v.into_iter().collect();
+        assert_eq!(got, vec!["a", "b"]);
+        let w: InlineVec<String, 2> = (0..5).map(|i| i.to_string()).collect();
+        let got: Vec<String> = w.into_iter().collect();
+        assert_eq!(got, vec!["0", "1", "2", "3", "4"]);
+    }
+
+    #[test]
+    fn partial_owned_iteration_drops_rest() {
+        // Drop correctness exercised under Miri-style scrutiny: consume
+        // one element, drop the iterator with live remainder.
+        let v: InlineVec<String, 4> = (0..3).map(|i| i.to_string()).collect();
+        let mut it = v.into_iter();
+        assert_eq!(it.next().as_deref(), Some("0"));
+        drop(it);
+        let w: InlineVec<String, 2> = (0..4).map(|i| i.to_string()).collect();
+        let mut it = w.into_iter();
+        assert_eq!(it.next().as_deref(), Some("0"));
+        drop(it);
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let v: InlineVec<u32, 4> = (0..3).collect();
+        let w = v.clone();
+        assert_eq!(v, w);
+        let u: InlineVec<u32, 4> = (0..4).collect();
+        assert_ne!(v, u);
+    }
+
+    #[test]
+    fn clear_releases_and_reuses() {
+        let mut v: InlineVec<String, 2> = (0..4).map(|i| i.to_string()).collect();
+        v.clear();
+        assert!(v.is_empty());
+        assert!(v.is_inline());
+        v.push("z".to_string());
+        assert_eq!(&v[0], "z");
+    }
+}

@@ -12,20 +12,28 @@
 //!   CPU, a NIC processing engine, or a network link,
 //! * [`trace`] — span recording for resources, used to *prove* overlap
 //!   (e.g. that BC-SPUP really pipelines packing against the wire),
-//! * [`engine`] — a small driver loop tying a user "world" to the queue.
+//! * [`engine`] — a small driver loop tying a user "world" to the queue,
+//! * [`slab`] — a generational slab arena giving in-flight records
+//!   stable handles without per-message hashing or allocation,
+//! * [`inline`] — inline small-vector storage (fixed cap, heap spill)
+//!   for the short gather lists the hot paths build per descriptor.
 //!
 //! The design goal is reproducibility: a simulation is a pure function of
 //! its inputs. There is no wall-clock, no global state and no
 //! nondeterministic iteration order anywhere in this crate.
 
 pub mod engine;
+pub mod inline;
 pub mod queue;
 pub mod resource;
+pub mod slab;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, World};
+pub use inline::InlineVec;
 pub use queue::{EventQueue, HeapQueue};
+pub use slab::{Handle, Slab};
 pub use resource::SerialResource;
 pub use time::{Time, GIGA, KILO, MEGA};
 pub use trace::{Span, Trace};

@@ -169,6 +169,60 @@ pub fn seed_for(base_seed: u64, case: u32) -> u64 {
     Rng::new(base_seed ^ ((case as u64) << 32 | 0x5EED)).next_u64()
 }
 
+/// A counting wrapper around the system allocator.
+///
+/// Install it as the global allocator in a bench or test binary to
+/// measure heap traffic:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: ibdt_testkit::CountingAlloc = ibdt_testkit::CountingAlloc;
+/// ```
+///
+/// [`CountingAlloc::allocations`] returns the number of allocation
+/// events (alloc, alloc_zeroed, and growing reallocs) since process
+/// start; diff two readings around a region to count its allocations.
+/// The counter is a single relaxed atomic — cheap enough to leave on
+/// for every benchmark run, and exact because the simulator's hot
+/// paths are single-threaded.
+pub struct CountingAlloc;
+
+static ALLOCATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl CountingAlloc {
+    /// Allocation events since process start.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+// SAFETY: defers entirely to `System`; the count is side-band.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::alloc::System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::alloc::System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(
+        &self,
+        ptr: *mut u8,
+        layout: std::alloc::Layout,
+        new_size: usize,
+    ) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::alloc::System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

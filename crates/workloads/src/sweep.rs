@@ -12,6 +12,12 @@ use std::sync::Mutex;
 /// Runs `f` over every input, in parallel, returning results in input
 /// order. `f` must be deterministic per input (it is in this codebase:
 /// simulations take no ambient state).
+///
+/// Workers claim items through an atomic cursor and write each result
+/// through that item's own slot, so there is no lock shared across
+/// items to contend on — or to poison. If a worker panics, the
+/// original panic propagates to the caller unchanged rather than
+/// surfacing as a poisoned-lock error from an unrelated worker.
 pub fn run_sweep<I, R, F>(inputs: Vec<I>, f: F) -> Vec<R>
 where
     I: Sync,
@@ -30,24 +36,44 @@ where
         return inputs.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&inputs[i]);
-                results.lock().expect("sweep worker panicked")[i] = Some(r);
-            });
+    // One slot per item. A slot's lock is only ever taken by the one
+    // worker that claimed its index, and never across a call to `f`,
+    // so the locks are uncontended and cannot cross-poison.
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panic_payload = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&inputs[i]);
+                    *slots[i].lock().expect("slot lock never held across f") = Some(r);
+                })
+            })
+            .collect();
+        // Join explicitly and keep the first panic payload; consuming
+        // the Err here stops the scope from re-panicking with its own
+        // generic message.
+        let mut payload = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                payload.get_or_insert(p);
+            }
         }
+        payload
     });
-    results
-        .into_inner()
-        .expect("all workers joined")
+    if let Some(p) = panic_payload {
+        std::panic::resume_unwind(p);
+    }
+    slots
         .into_iter()
-        .map(|r| r.expect("every slot filled"))
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock unpoisoned")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
@@ -86,5 +112,27 @@ mod tests {
         let inputs: Vec<u64> = (0..64).collect();
         let serial: Vec<u64> = inputs.iter().map(f).collect();
         assert_eq!(run_sweep(inputs, f), serial);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_original_message() {
+        let inputs: Vec<u32> = (0..32).collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_sweep(inputs, |&x| {
+                if x == 13 {
+                    panic!("boom at 13");
+                }
+                x
+            })
+        }))
+        .expect_err("sweep must propagate the worker panic");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .expect("payload is a string");
+        assert!(msg.contains("boom at 13"), "got: {msg}");
+        assert!(!msg.contains("poisoned"), "got: {msg}");
     }
 }

@@ -4,18 +4,27 @@ committed baseline and fail on a >15% regression of any gated metric.
 
 Usage: bench_gate.py <baseline.json> <fresh.json>
 
-Gated metrics are the end-to-end ones (plan-level pack/unpack, the
-simulated sweeps, and the repeated-send speedup). Raw microbench
-entries (kernel/*, queue/*, plan_compile/*) stay informational:
-single-digit-ns loops swing past 15% on a shared host without any code
-change.
+Two kinds of gate:
+
+* **Time** — the end-to-end metrics (plan-level pack/unpack, the
+  simulated sweeps, and the repeated-send speedup) must stay within
+  TOLERANCE of the baseline. Raw microbench entries (kernel/*,
+  queue/*, plan_compile/*) stay informational: single-digit-ns loops
+  swing past 15% on a shared host without any code change.
+* **Allocations** — `allocs_per_op` is deterministic (no host noise),
+  so it gates strictly: the steady-state entries under
+  ZERO_ALLOC_PREFIXES must report exactly 0, and every other gated
+  entry must not allocate more than its baseline (+ half an alloc of
+  float slack).
 """
 
 import json
 import sys
 
 GATED_PREFIXES = ("pack/plan/", "unpack/plan/", "pack/segment/", "sweep_x1/")
+ZERO_ALLOC_PREFIXES = ("repeated_send/persistent_eager/", "repeated_send/pack_eager/new/")
 TOLERANCE = 1.15
+ALLOC_SLACK = 0.5
 
 
 def main() -> int:
@@ -37,17 +46,34 @@ def main() -> int:
                     f"{name}: speedup {got} < {v['ns_per_op']:.2f}/{TOLERANCE}"
                 )
             continue
+        if name.startswith(ZERO_ALLOC_PREFIXES):
+            gated += 1
+            allocs = new.get(name, {}).get("allocs_per_op")
+            if allocs is None:
+                failures.append(f"{name}: missing from fresh run")
+            elif allocs != 0:
+                failures.append(
+                    f"{name}: {allocs} allocs/op, steady state must be 0"
+                )
         if not name.startswith(GATED_PREFIXES):
             continue
         gated += 1
         got = new.get(name, {}).get("ns_per_op")
         if got is None:
             failures.append(f"{name}: missing from fresh run")
-        elif got > v["ns_per_op"] * TOLERANCE:
+            continue
+        if got > v["ns_per_op"] * TOLERANCE:
             failures.append(
                 f"{name}: {got:.1f} ns vs baseline {v['ns_per_op']:.1f} ns "
                 f"(+{(got / v['ns_per_op'] - 1) * 100:.0f}%)"
             )
+        base_allocs = v.get("allocs_per_op")
+        new_allocs = new.get(name, {}).get("allocs_per_op")
+        if base_allocs is not None and new_allocs is not None:
+            if new_allocs > base_allocs + ALLOC_SLACK:
+                failures.append(
+                    f"{name}: {new_allocs} allocs/op vs baseline {base_allocs}"
+                )
 
     if failures:
         print("bench gate FAILED:")
