@@ -8,16 +8,22 @@
 # `./ci.sh --bench-gate` compares a fresh hotpath run against the
 # committed BENCH_hotpath.json and fails on a >15% regression of any
 # gated metric (the `bench-gate` job in CI).
+#
+# `./ci.sh --soak` replays the incast/oversubscription soak suite
+# (64→1 fan-in and 8×8 all-to-all, flow-control invariant auditor on)
+# under the same fixed seed matrix (the `soak` job in CI).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 CHAOS=0
 BENCH_GATE=0
+SOAK=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
     --bench-gate) BENCH_GATE=1 ;;
-    *) echo "unknown argument: $arg (supported: --chaos, --bench-gate)" >&2; exit 2 ;;
+    --soak) SOAK=1 ;;
+    *) echo "unknown argument: $arg (supported: --chaos, --bench-gate, --soak)" >&2; exit 2 ;;
   esac
 done
 
@@ -77,6 +83,17 @@ if [[ "$CHAOS" == 1 ]]; then
   for seed in 0x1 0xBEEF 0xC4A0 0xFEED; do
     echo "==> chaos matrix: IBDT_CHAOS_SEED=$seed"
     IBDT_CHAOS_SEED=$seed cargo test -q --test chaos --test chaos_coll
+  done
+fi
+
+if [[ "$SOAK" == 1 ]]; then
+  # Incast soak matrix (the `soak` CI job): 64→1 eager incast and 8×8
+  # all-to-all oversubscription with credits, bounded CQs, and the
+  # flow-control invariant auditor enabled. Each seed re-derives the
+  # per-case credit budgets, message sizes, and jitter plans.
+  for seed in 0x1 0xBEEF 0xC4A0 0xFEED; do
+    echo "==> incast soak matrix: IBDT_CHAOS_SEED=$seed"
+    IBDT_CHAOS_SEED=$seed cargo test -q --test incast
   done
 fi
 

@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures as text tables (and optional CSV).
 //!
 //! ```text
-//! figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1|x2|x3|x4|x5|all]
+//! figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1..x10|x13|all]
 //!         [--csv DIR]
 //! ```
 //!
@@ -9,8 +9,8 @@
 
 use ibdt_bench::Table;
 use ibdt_bench::{
-    all_figures, fig11, fig12, fig13, fig14, fig2, fig8, fig9, x1, x10, x2, x3, x4, x5, x6, x7, x8,
-    x9,
+    all_figures, fig11, fig12, fig13, fig14, fig2, fig8, fig9, x1, x10, x13, x2, x3, x4, x5, x6,
+    x7, x8, x9,
 };
 use std::io::Write as _;
 
@@ -70,10 +70,11 @@ fn main() {
             "x8" => tables.push(("x8".into(), x8())),
             "x9" => tables.push(("x9".into(), x9())),
             "x10" => tables.push(("x10".into(), x10())),
+            "x13" => tables.push(("x13".into(), x13())),
             "all" => {
                 let names = [
                     "fig2", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "x1a", "x1b", "x2",
-                    "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10",
+                    "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x13",
                 ];
                 for (n, t) in names.iter().zip(all_figures()) {
                     tables.push(((*n).into(), t));
@@ -82,7 +83,7 @@ fn main() {
             other => {
                 eprintln!("unknown figure '{other}'");
                 eprintln!(
-                    "usage: figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1..x10|all] [--csv DIR]"
+                    "usage: figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1..x10|x13|all] [--csv DIR]"
                 );
                 std::process::exit(2);
             }

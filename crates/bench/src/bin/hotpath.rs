@@ -181,7 +181,11 @@ fn bench_pack(r: &mut Report) {
 /// classification regression shows up as a renamed metric.
 fn bench_kernels(r: &mut Report) {
     let shapes: Vec<(&str, Datatype, u64)> = vec![
-        ("contig", Datatype::contiguous(4096, &Datatype::byte()).unwrap(), 1),
+        (
+            "contig",
+            Datatype::contiguous(4096, &Datatype::byte()).unwrap(),
+            1,
+        ),
         ("const_stride", vector_ty(64), 1),
         // Pad the vector's extent so repetitions don't butt up against
         // the last row (adjacent seams would merge into unequal blocks
@@ -461,6 +465,23 @@ fn bench_sweep(r: &mut Report) {
     }
 }
 
+/// Incast overload: wall-clock host time of a full 8→1 eager incast
+/// simulation with the bounded CQ on, flow control off vs credits=32.
+/// This is the overload machinery's host-side cost — credit tables,
+/// piggyback encoding, CqAck events — gated in CI like the other
+/// simulation sweeps.
+fn bench_incast(r: &mut Report) {
+    use ibdt_workloads::{incast, incast_spec};
+    for credits in [0u32, 32] {
+        let label = format!("incast/fanin/8/credits/{credits}");
+        r.bench(&label, None, || {
+            let mut sp = incast_spec(9, credits);
+            sp.net.cq_depth = 256;
+            black_box(incast(&sp, 12, 512, 2_000));
+        });
+    }
+}
+
 fn main() {
     let mut r = Report::new();
     bench_plan_compile(&mut r);
@@ -470,6 +491,7 @@ fn main() {
     let (old, new) = bench_repeated_send(&mut r);
     bench_persistent(&mut r);
     bench_sweep(&mut r);
+    bench_incast(&mut r);
     let speedup = old / new;
     println!("\nrepeated_send speedup (old/new): {speedup:.2}x");
     r.entries

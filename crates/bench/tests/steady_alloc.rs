@@ -28,9 +28,7 @@ fn repeated_persistent_sends_allocate_nothing_after_warmup() {
     let mut cache = PlanCache::new(true, 64);
     let mut scratch = ScratchPool::new();
 
-    let send = |registry: &mut TypeRegistry,
-                    cache: &mut PlanCache,
-                    scratch: &mut ScratchPool| {
+    let send = |registry: &mut TypeRegistry, cache: &mut PlanCache, scratch: &mut ScratchPool| {
         let plan = cache.lookup(registry, black_box(&ty), 1);
         let mut staging = scratch.take_bytes(n as usize);
         plan.pack(0, n, &buf, 0, &mut staging).unwrap();

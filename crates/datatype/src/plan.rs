@@ -288,7 +288,6 @@ impl TransferPlan {
         (self.min_off, self.max_end)
     }
 
-
     /// True when every merged block of the whole message lands inside
     /// a buffer of `buf_len` bytes with datatype origin at `base` —
     /// the single upfront check that licenses the unchecked kernels.
@@ -327,7 +326,13 @@ impl TransferPlan {
             // Every block of the whole message is in bounds, so the
             // kernels can run without per-block checks.
             unsafe {
-                self.exec::<true>(lo, hi, buf.as_ptr() as *mut u8, buf_base as i64, out.as_mut_ptr())
+                self.exec::<true>(
+                    lo,
+                    hi,
+                    buf.as_ptr() as *mut u8,
+                    buf_base as i64,
+                    out.as_mut_ptr(),
+                )
             };
             return Ok(());
         }
@@ -524,10 +529,7 @@ impl TransferPlan {
                     for _ in 0..outer_n {
                         let mut uoff = goff;
                         for _ in 0..inner_n {
-                            prefetch_block::<PACK>(
-                                user.wrapping_offset((uoff + pf) as isize),
-                                b,
-                            );
+                            prefetch_block::<PACK>(user.wrapping_offset((uoff + pf) as isize), b);
                             mov::<PACK>(user.add(uoff as usize), s, b);
                             uoff += inner_stride;
                             s = s.add(b);

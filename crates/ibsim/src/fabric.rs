@@ -339,6 +339,13 @@ pub struct FabricStats {
     pub flushed_wqes: u64,
     /// Automatic Path Migration failovers performed.
     pub migrations: u64,
+    /// Completion-queue overflows: deliveries rejected because the
+    /// destination CQ held [`NetConfig::cq_depth`] unconsumed entries
+    /// (each one errors the offending queue pair).
+    pub cq_overflows: u64,
+    /// Times consuming a receive descriptor crossed below
+    /// [`NetConfig::recv_low_watermark`] (SRQ-limit-style event).
+    pub recv_low_water: u64,
 }
 
 /// Per-direction QP state, stored densely (one entry per ordered node
@@ -414,6 +421,13 @@ pub struct Fabric {
     /// QP errors, flushed WQEs, migrations, injected fates) attributed
     /// to the requester/transmitter.
     node_stats: Vec<FabricStats>,
+    /// Completion-queue occupancy per node: entries produced but not
+    /// yet acknowledged as consumed ([`Fabric::cq_consume`]). Only
+    /// maintained when [`NetConfig::cq_depth`] is bounded, so the
+    /// classic unbounded configuration pays nothing.
+    cq_used: Vec<usize>,
+    /// High-water mark of `cq_used` per node.
+    cq_peak: Vec<usize>,
 }
 
 impl Fabric {
@@ -440,7 +454,93 @@ impl Fabric {
             ports_down: vec![[false; 2]; n],
             ports_down_count: 0,
             node_stats: vec![FabricStats::default(); n],
+            cq_used: vec![0; n],
+            cq_peak: vec![0; n],
         }
+    }
+
+    /// True when the completion queues are bounded.
+    #[inline]
+    fn cq_bounded(&self) -> bool {
+        self.cfg.cq_depth != usize::MAX
+    }
+
+    /// Records one completion entering `node`'s CQ.
+    #[inline]
+    fn cq_admit(&mut self, node: u32) {
+        if self.cq_bounded() {
+            let used = &mut self.cq_used[node as usize];
+            *used += 1;
+            let peak = &mut self.cq_peak[node as usize];
+            if *used > *peak {
+                *peak = *used;
+            }
+        }
+    }
+
+    /// True when `node`'s CQ cannot accept another entry.
+    #[inline]
+    fn cq_full(&self, node: u32) -> bool {
+        self.cq_bounded() && self.cq_used[node as usize] >= self.cfg.cq_depth
+    }
+
+    /// Acknowledges that `node`'s consumer polled `n` completions off
+    /// its CQ, freeing their slots. The embedder calls this when the
+    /// host CPU actually catches up with the queue (not at delivery
+    /// time), so occupancy genuinely builds under incast.
+    pub fn cq_consume(&mut self, node: u32, n: usize) {
+        if self.cq_bounded() {
+            let used = &mut self.cq_used[node as usize];
+            *used = used.saturating_sub(n);
+        }
+    }
+
+    /// Current completion-queue occupancy of `node` (0 when unbounded).
+    pub fn cq_used(&self, node: u32) -> usize {
+        self.cq_used[node as usize]
+    }
+
+    /// High-water completion-queue occupancy of `node`.
+    pub fn cq_peak(&self, node: u32) -> usize {
+        self.cq_peak[node as usize]
+    }
+
+    /// Receive descriptors currently posted on the QP `node <- peer`
+    /// (the upper layer's low-watermark probe).
+    pub fn recvq_len(&self, node: u32, peer: u32) -> usize {
+        self.nodes[node as usize].recvq[peer as usize].len()
+    }
+
+    /// A delivery needed a CQ slot at `dst` and found none: the verbs
+    /// `IBV_EVENT_CQ_ERR` path. The offending QP errors; the requester
+    /// learns through a typed [`CqeStatus::CqOverflow`] completion
+    /// (error completions bypass the bound — they are the recovery
+    /// signal). The receive descriptor is left posted and the payload
+    /// is discarded, so the re-driven transfer finds the ring intact.
+    fn cq_overflow<F: FnMut(Time, NicEvent)>(
+        &mut self,
+        now: Time,
+        dst: u32,
+        src: u32,
+        wr_id: u64,
+        sink: &mut F,
+    ) {
+        self.stats.cq_overflows += 1;
+        self.node_stats[dst as usize].cq_overflows += 1;
+        self.sched_local(
+            sink,
+            src,
+            Cqe {
+                peer: dst,
+                wr_id,
+                is_recv: false,
+                byte_len: 0,
+                imm: None,
+                status: CqeStatus::CqOverflow,
+            },
+            now,
+        );
+        self.fail_qp(now, src, dst, sink);
     }
 
     #[inline]
@@ -999,6 +1099,7 @@ impl Fabric {
         match ev {
             NicEvent::LocalCqe { node, cqe } => {
                 self.stats.cqes += 1;
+                self.cq_admit(node);
                 out.push((node, cqe));
             }
             NicEvent::Arrive { dst, xfer } => self.arrive(now, dst, xfer, mems, sink, out),
@@ -1172,7 +1273,8 @@ impl Fabric {
             );
             self.fail_qp(now, peer, node, sink);
         } else {
-            let at = now + self.cfg.rnr_backoff_ns(entry.attempt);
+            let key = ((node as u64) << 48) ^ ((peer as u64) << 32) ^ park_id;
+            let at = now + self.cfg.rnr_backoff_jittered_ns(entry.attempt, key);
             sink(
                 at,
                 NicEvent::RnrTimedRetry {
@@ -1348,7 +1450,9 @@ impl Fabric {
             let d = self.dir_mut(dir.0, dir.1);
             d.rx_expected += 1;
             let next = d.rx_expected;
-            let Some(x) = d.rx_ooo.remove(&next) else { break };
+            let Some(x) = d.rx_ooo.remove(&next) else {
+                break;
+            };
             self.deliver(now, dst, x, mems, sink, out);
         }
     }
@@ -1371,75 +1475,48 @@ impl Fabric {
                 wr_id,
                 data,
                 signaled,
-            } => match self.consume_recv(dst, src, data.len() as u64) {
-                ConsumeOutcome::NoDescriptor => {
-                    self.stats.rnr_events += 1;
-                    self.park(
-                        now,
-                        dst,
-                        src,
-                        Transfer {
+            } => {
+                if self.cq_full(dst) {
+                    self.cq_overflow(now, dst, src, wr_id, sink);
+                    return;
+                }
+                match self.consume_recv(dst, src, data.len() as u64) {
+                    ConsumeOutcome::NoDescriptor => {
+                        self.stats.rnr_events += 1;
+                        self.park(
+                            now,
+                            dst,
                             src,
-                            seq,
-                            attempt,
-                            epoch,
-                            kind: TransferKind::Send {
-                                wr_id,
-                                data,
-                                signaled,
+                            Transfer {
+                                src,
+                                seq,
+                                attempt,
+                                epoch,
+                                kind: TransferKind::Send {
+                                    wr_id,
+                                    data,
+                                    signaled,
+                                },
                             },
-                        },
-                        sink,
-                    );
-                }
-                ConsumeOutcome::TooSmall(rwr) => {
-                    out.push((
-                        dst,
-                        Cqe {
-                            peer: src,
-                            wr_id: rwr.wr_id,
-                            is_recv: true,
-                            byte_len: 0,
-                            imm: None,
-                            status: CqeStatus::LocalLengthError {
-                                sent: data.len() as u64,
-                                capacity: rwr.capacity(),
+                            sink,
+                        );
+                    }
+                    ConsumeOutcome::TooSmall(rwr) => {
+                        self.cq_admit(dst);
+                        out.push((
+                            dst,
+                            Cqe {
+                                peer: src,
+                                wr_id: rwr.wr_id,
+                                is_recv: true,
+                                byte_len: 0,
+                                imm: None,
+                                status: CqeStatus::LocalLengthError {
+                                    sent: data.len() as u64,
+                                    capacity: rwr.capacity(),
+                                },
                             },
-                        },
-                    ));
-                    self.sched_local(
-                        sink,
-                        src,
-                        Cqe {
-                            peer: dst,
-                            wr_id,
-                            is_recv: false,
-                            byte_len: 0,
-                            imm: None,
-                            status: CqeStatus::RemoteAccess(MemError::OutOfBounds {
-                                addr: 0,
-                                len: data.len() as u64,
-                                capacity: rwr.capacity(),
-                            }),
-                        },
-                        now,
-                    );
-                }
-                ConsumeOutcome::Ok(rwr) => {
-                    Self::scatter(&rwr.sges, data.as_slice(), &mut mems[dst as usize].space);
-                    self.stats.cqes += 1;
-                    out.push((
-                        dst,
-                        Cqe {
-                            peer: src,
-                            wr_id: rwr.wr_id,
-                            is_recv: true,
-                            byte_len: data.len() as u64,
-                            imm: None,
-                            status: CqeStatus::Success,
-                        },
-                    ));
-                    if signaled {
+                        ));
                         self.sched_local(
                             sink,
                             src,
@@ -1447,15 +1524,50 @@ impl Fabric {
                                 peer: dst,
                                 wr_id,
                                 is_recv: false,
-                                byte_len: data.len() as u64,
+                                byte_len: 0,
                                 imm: None,
-                                status: CqeStatus::Success,
+                                status: CqeStatus::RemoteAccess(MemError::OutOfBounds {
+                                    addr: 0,
+                                    len: data.len() as u64,
+                                    capacity: rwr.capacity(),
+                                }),
                             },
                             now,
                         );
                     }
+                    ConsumeOutcome::Ok(rwr) => {
+                        Self::scatter(&rwr.sges, data.as_slice(), &mut mems[dst as usize].space);
+                        self.stats.cqes += 1;
+                        self.cq_admit(dst);
+                        out.push((
+                            dst,
+                            Cqe {
+                                peer: src,
+                                wr_id: rwr.wr_id,
+                                is_recv: true,
+                                byte_len: data.len() as u64,
+                                imm: None,
+                                status: CqeStatus::Success,
+                            },
+                        ));
+                        if signaled {
+                            self.sched_local(
+                                sink,
+                                src,
+                                Cqe {
+                                    peer: dst,
+                                    wr_id,
+                                    is_recv: false,
+                                    byte_len: data.len() as u64,
+                                    imm: None,
+                                    status: CqeStatus::Success,
+                                },
+                                now,
+                            );
+                        }
+                    }
                 }
-            },
+            }
             TransferKind::Write {
                 wr_id,
                 addr,
@@ -1464,6 +1576,12 @@ impl Fabric {
                 imm,
                 signaled,
             } => {
+                // A write-with-immediate needs a CQ slot at the target
+                // just like a send does.
+                if imm.is_some() && self.cq_full(dst) {
+                    self.cq_overflow(now, dst, src, wr_id, sink);
+                    return;
+                }
                 // Write-with-immediate consumes a receive descriptor; if
                 // none is posted the transfer parks (RNR), data unplaced.
                 if imm.is_some() && self.nodes[dst as usize].recvq[src as usize].is_empty() {
@@ -1521,6 +1639,7 @@ impl Fabric {
                                 .pop_front()
                                 .expect("checked non-empty above");
                             self.stats.cqes += 1;
+                            self.cq_admit(dst);
                             out.push((
                                 dst,
                                 Cqe {
@@ -1620,6 +1739,7 @@ impl Fabric {
                 Self::scatter(&scatter, data.as_slice(), &mut mems[dst as usize].space);
                 if signaled {
                     self.stats.cqes += 1;
+                    self.cq_admit(dst);
                     out.push((
                         dst,
                         Cqe {
@@ -1664,8 +1784,11 @@ impl Fabric {
             xfer,
         });
         if !self.cfg.rnr_infinite() {
+            // Jitter the backoff per parked transfer: an incast cohort
+            // parked in the same instant must not retry in lockstep.
+            let key = ((dst as u64) << 48) ^ ((src as u64) << 32) ^ id;
             sink(
-                now + self.cfg.rnr_backoff_ns(0),
+                now + self.cfg.rnr_backoff_jittered_ns(0, key),
                 NicEvent::RnrTimedRetry {
                     node: dst,
                     peer: src,
@@ -1676,15 +1799,24 @@ impl Fabric {
     }
 
     fn consume_recv(&mut self, dst: u32, src: u32, len: u64) -> ConsumeOutcome {
+        let wm = self.cfg.recv_low_watermark;
         let q = &mut self.nodes[dst as usize].recvq[src as usize];
-        match q.front() {
-            None => ConsumeOutcome::NoDescriptor,
+        let outcome = match q.front() {
+            None => return ConsumeOutcome::NoDescriptor,
             Some(r) if r.capacity() < len => {
                 let rwr = q.pop_front().expect("front exists");
                 ConsumeOutcome::TooSmall(rwr)
             }
             Some(_) => ConsumeOutcome::Ok(q.pop_front().expect("front exists")),
+        };
+        // SRQ-limit-style watermark: count the crossing (edge, not
+        // level) so the embedder sees one event per dip and can grant
+        // credits / repost before the queue empties into RNR.
+        if wm > 0 && q.len() + 1 == wm {
+            self.stats.recv_low_water += 1;
+            self.node_stats[dst as usize].recv_low_water += 1;
         }
+        outcome
     }
 
     fn scatter(sges: &[Sge], data: &[u8], space: &mut AddressSpace) {

@@ -82,6 +82,19 @@ pub struct NetConfig {
     /// Latency of an APM failover: the QP's sends stall this long while
     /// the HCA revalidates the alternate path, ns.
     pub apm_migration_ns: Time,
+    /// Completion-queue depth per node. A completion that would push
+    /// the outstanding (produced but not yet consumed) entry count past
+    /// this bound overflows the CQ: the queue pair transitions to error
+    /// and the triggering work request completes with
+    /// [`CqOverflow`](crate::CqeStatus::CqOverflow). `usize::MAX` (the
+    /// default) means unbounded, reproducing the classic behaviour.
+    pub cq_depth: usize,
+    /// SRQ-limit-style low watermark on the per-peer receive queues:
+    /// when consuming a receive descriptor leaves fewer than this many
+    /// posted, the fabric counts a `recv_low_water` event so the upper
+    /// layer can replenish credits/buffers before RNR stalls begin.
+    /// `0` (the default) disables the watermark.
+    pub recv_low_watermark: usize,
 }
 
 /// The `rnr_retry` value meaning "retry forever" (IB spec §9.7.5.2.8).
@@ -110,6 +123,8 @@ impl Default for NetConfig {
             rnr_backoff_max_ns: 640_000,
             apm_enabled: true,
             apm_migration_ns: 50_000,
+            cq_depth: usize::MAX,
+            recv_low_watermark: 0,
         }
     }
 }
@@ -163,6 +178,27 @@ impl NetConfig {
     /// True when `rnr_retry` means "retry forever".
     pub fn rnr_infinite(&self) -> bool {
         self.rnr_retry >= RNR_RETRY_INFINITE
+    }
+
+    /// [`rnr_backoff_ns`](Self::rnr_backoff_ns) with deterministic
+    /// seeded jitter: up to +50% of the undithered interval, derived
+    /// from `key` (QP/park identity) and `attempt` through a SplitMix64
+    /// finalizer. Without jitter every peer parked by the same incast
+    /// doubles in lockstep and the retries return as synchronized
+    /// storms; with it the retry times of distinct QPs de-correlate
+    /// while identical (key, attempt) pairs — and therefore replayed
+    /// runs — stay bit-identical.
+    pub fn rnr_backoff_jittered_ns(&self, attempt: u32, key: u64) -> Time {
+        let base = self.rnr_backoff_ns(attempt);
+        let mut z = key
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(attempt as u64 + 1);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Jitter in [0, base/2]: spreads a synchronized cohort across
+        // half an interval without ever shortening the backoff.
+        base + z % (base / 2 + 1)
     }
 }
 
@@ -270,6 +306,27 @@ mod tests {
         let mut f = c.clone();
         f.rnr_retry = 3;
         assert!(!f.rnr_infinite());
+    }
+
+    #[test]
+    fn rnr_jitter_is_deterministic_bounded_and_decorrelated() {
+        let c = NetConfig::default();
+        for attempt in [0u32, 1, 3, 9] {
+            let base = c.rnr_backoff_ns(attempt);
+            for key in [1u64, 7, 0xABCD, u64::MAX] {
+                let j = c.rnr_backoff_jittered_ns(attempt, key);
+                // Deterministic per (key, attempt), never below the
+                // undithered backoff, at most +50%.
+                assert_eq!(j, c.rnr_backoff_jittered_ns(attempt, key));
+                assert!(j >= base && j <= base + base / 2, "jitter {j} base {base}");
+            }
+        }
+        // Distinct QPs parked at the same attempt must not retry in
+        // lockstep: a cohort of 16 keys spreads over >1 distinct time.
+        let spread: std::collections::BTreeSet<_> = (0..16u64)
+            .map(|k| c.rnr_backoff_jittered_ns(0, k))
+            .collect();
+        assert!(spread.len() > 8, "cohort collapsed to {:?}", spread);
     }
 
     #[test]

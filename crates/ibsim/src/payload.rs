@@ -215,7 +215,9 @@ mod tests {
         // Clones and views point at the same slab.
         let c = p.clone();
         assert_eq!(c.as_slice().as_ptr(), p.as_slice().as_ptr());
-        assert_eq!(v.as_slice().as_ptr(), unsafe { p.as_slice().as_ptr().add(2) });
+        assert_eq!(v.as_slice().as_ptr(), unsafe {
+            p.as_slice().as_ptr().add(2)
+        });
     }
 
     #[test]

@@ -106,6 +106,12 @@ pub enum CqeStatus {
     /// The work request was flushed because its queue pair entered the
     /// error state before the request completed.
     FlushErr,
+    /// The destination's completion queue was full
+    /// ([`cq_depth`](crate::NetConfig::cq_depth)): the completion that
+    /// this delivery would have produced could not be queued, so the
+    /// queue pair transitioned to the error state (the verbs
+    /// `IBV_EVENT_CQ_ERR` behaviour).
+    CqOverflow,
 }
 
 impl CqeStatus {

@@ -14,9 +14,7 @@
 //! pair must not bleed into a neighbor — the two bug classes a dense
 //! index layout can introduce that a keyed map cannot.
 
-use ibdt_ibsim::{
-    Fabric, FaultPlan, NetConfig, NicEvent, NodeMem, Opcode, QpState, SendWr, Sge,
-};
+use ibdt_ibsim::{Fabric, FaultPlan, NetConfig, NicEvent, NodeMem, Opcode, QpState, SendWr, Sge};
 use ibdt_simcore::engine::{Engine, Scheduler, World};
 use ibdt_simcore::time::Time;
 use ibdt_testkit::{cases, Rng};
@@ -35,8 +33,13 @@ impl World for Harness {
     fn handle(&mut self, sched: &mut Scheduler<'_, NicEvent>, ev: NicEvent) {
         let now = sched.now();
         let mut done = Vec::new();
-        self.fabric
-            .handle(now, ev, &mut self.mems, &mut |t, e| sched.at(t, e), &mut done);
+        self.fabric.handle(
+            now,
+            ev,
+            &mut self.mems,
+            &mut |t, e| sched.at(t, e),
+            &mut done,
+        );
         // Flush-with-error completions are expected under churn; only
         // count them.
         self.completions += done.len() as u64;

@@ -21,8 +21,13 @@ impl World for Harness {
     fn handle(&mut self, sched: &mut Scheduler<'_, NicEvent>, ev: NicEvent) {
         let now = sched.now();
         let mut done = Vec::new();
-        self.fabric
-            .handle(now, ev, &mut self.mems, &mut |t, e| sched.at(t, e), &mut done);
+        self.fabric.handle(
+            now,
+            ev,
+            &mut self.mems,
+            &mut |t, e| sched.at(t, e),
+            &mut done,
+        );
         for (node, cqe) in done {
             self.log.push((now, node, cqe));
         }
@@ -65,7 +70,8 @@ fn send_one(h: &mut Harness, eng: &mut Engine<Harness>, len: u64, wr_id: u64) ->
                     addr: dst,
                     len,
                     lkey: dst_key,
-                }].into(),
+                }]
+                .into(),
             },
             &h.mems,
             &mut |t, e| sink.push((t, e)),
@@ -83,7 +89,8 @@ fn send_one(h: &mut Harness, eng: &mut Engine<Harness>, len: u64, wr_id: u64) ->
                     addr: src,
                     len,
                     lkey: src_key,
-                }].into(),
+                }]
+                .into(),
                 remote: None,
                 signaled: true,
             },
@@ -220,7 +227,8 @@ fn certain_loss_exhausts_retry_and_flushes_the_qp() {
                     addr: dst,
                     len: 4096,
                     lkey: dst_key,
-                }].into(),
+                }]
+                .into(),
             },
             &h.mems,
             &mut |t, e| sink.push((t, e)),
@@ -241,7 +249,8 @@ fn certain_loss_exhausts_retry_and_flushes_the_qp() {
                         addr: src,
                         len: 2048,
                         lkey: src_key,
-                    }].into(),
+                    }]
+                    .into(),
                     remote: None,
                     signaled: true,
                 },
@@ -291,7 +300,8 @@ fn certain_loss_exhausts_retry_and_flushes_the_qp() {
                 addr: src,
                 len: 64,
                 lkey: src_key,
-            }].into(),
+            }]
+            .into(),
             remote: None,
             signaled: true,
         },
@@ -326,7 +336,8 @@ fn finite_rnr_budget_backs_off_then_errors() {
                     addr: src,
                     len: 1024,
                     lkey: src_key,
-                }].into(),
+                }]
+                .into(),
                 remote: None,
                 signaled: true,
             },
@@ -374,7 +385,8 @@ fn rnr_backoff_delivers_once_receiver_catches_up() {
                     addr: src,
                     len: 512,
                     lkey: src_key,
-                }].into(),
+                }]
+                .into(),
                 remote: None,
                 signaled: true,
             },
@@ -401,7 +413,8 @@ fn rnr_backoff_delivers_once_receiver_catches_up() {
                     addr: dst,
                     len: 512,
                     lkey: dst_key,
-                }].into(),
+                }]
+                .into(),
             },
             &h.mems,
             &mut |t, e| sink.push((t, e)),
@@ -526,7 +539,8 @@ fn qp_state_machine_enforces_legal_transitions() {
                 addr: src,
                 len: 64,
                 lkey: src_key,
-            }].into(),
+            }]
+            .into(),
             remote: None,
             signaled: true,
         },
@@ -663,7 +677,8 @@ fn stale_epoch_traffic_is_discarded_on_arrival() {
                     addr: dst,
                     len: 4096,
                     lkey: dst_key,
-                }].into(),
+                }]
+                .into(),
             },
             &h.mems,
             &mut |t, e| sink.push((t, e)),
@@ -681,7 +696,8 @@ fn stale_epoch_traffic_is_discarded_on_arrival() {
                     addr: src,
                     len: 4096,
                     lkey: src_key,
-                }].into(),
+                }]
+                .into(),
                 remote: None,
                 signaled: true,
             },

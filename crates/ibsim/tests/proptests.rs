@@ -18,8 +18,13 @@ impl World for Harness {
     fn handle(&mut self, sched: &mut Scheduler<'_, NicEvent>, ev: NicEvent) {
         let now = sched.now();
         let mut done = Vec::new();
-        self.fabric
-            .handle(now, ev, &mut self.mems, &mut |t, e| sched.at(t, e), &mut done);
+        self.fabric.handle(
+            now,
+            ev,
+            &mut self.mems,
+            &mut |t, e| sched.at(t, e),
+            &mut done,
+        );
         for (node, cqe) in done {
             assert!(cqe.status.is_ok(), "unexpected error completion");
             self.completions.push((now, node, cqe.wr_id));
@@ -82,7 +87,8 @@ fn writes_deliver_exactly_once_in_order() {
                         addr: src[s as usize].0,
                         len,
                         lkey: src[s as usize].1,
-                    }].into(),
+                    }]
+                    .into(),
                     remote: Some((target, dst[d as usize].1)),
                     signaled: true,
                 },

@@ -17,8 +17,13 @@ impl World for Harness {
     fn handle(&mut self, sched: &mut Scheduler<'_, NicEvent>, ev: NicEvent) {
         let now = sched.now();
         let mut done = Vec::new();
-        self.fabric
-            .handle(now, ev, &mut self.mems, &mut |t, e| sched.at(t, e), &mut done);
+        self.fabric.handle(
+            now,
+            ev,
+            &mut self.mems,
+            &mut |t, e| sched.at(t, e),
+            &mut done,
+        );
         for (node, cqe) in done {
             self.log.push((now, node, cqe));
         }
@@ -66,7 +71,8 @@ fn send_recv_moves_data() {
                     addr: dst,
                     len: 4096,
                     lkey: dst_key,
-                }].into(),
+                }]
+                .into(),
             },
             &h.mems,
             &mut |t, e| sink_events.push((t, e)),
@@ -84,7 +90,8 @@ fn send_recv_moves_data() {
                     addr: src,
                     len: 4096,
                     lkey: src_key,
-                }].into(),
+                }]
+                .into(),
                 remote: None,
                 signaled: true,
             },
@@ -134,7 +141,8 @@ fn send_without_recv_parks_until_posted() {
                     addr: src,
                     len: 64,
                     lkey: src_key,
-                }].into(),
+                }]
+                .into(),
                 remote: None,
                 signaled: true,
             },
@@ -165,7 +173,8 @@ fn send_without_recv_parks_until_posted() {
                     addr: dst,
                     len: 64,
                     lkey: dst_key,
-                }].into(),
+                }]
+                .into(),
             },
             &h.mems,
             &mut |t, e| evs.push((t, e)),
@@ -206,7 +215,8 @@ fn rdma_write_places_data_without_recv() {
                     addr: src,
                     len: 1024,
                     lkey: src_key,
-                }].into(),
+                }]
+                .into(),
                 remote: Some((dst, rkey)),
                 signaled: true,
             },
@@ -263,7 +273,8 @@ fn rdma_write_gather_concatenates_blocks() {
                         len: 16,
                         lkey: src_key,
                     },
-                ].into(),
+                ]
+                .into(),
                 remote: Some((dst, rkey)),
                 signaled: false,
             },
@@ -303,7 +314,8 @@ fn write_with_immediate_notifies_receiver() {
                     addr: dst,
                     len: 0,
                     lkey: dst_key,
-                }].into(),
+                }]
+                .into(),
             },
             &h.mems,
             &mut |t, e| evs.push((t, e)),
@@ -321,7 +333,8 @@ fn write_with_immediate_notifies_receiver() {
                     addr: src,
                     len: 128,
                     lkey: src_key,
-                }].into(),
+                }]
+                .into(),
                 remote: Some((dst, rkey)),
                 signaled: false,
             },
@@ -360,7 +373,8 @@ fn bad_rkey_is_a_remote_access_error() {
                     addr: src,
                     len: 64,
                     lkey: src_key,
-                }].into(),
+                }]
+                .into(),
                 remote: Some((dst, 0xDEAD)),
                 signaled: true,
             },
@@ -410,7 +424,8 @@ fn rdma_read_scatters_remote_data() {
                         len: 156,
                         lkey: local_key,
                     },
-                ].into(),
+                ]
+                .into(),
                 remote: Some((remote, rkey)),
                 signaled: true,
             },
@@ -453,7 +468,8 @@ fn rdma_read_slower_than_write() {
                         addr: a,
                         len: 8192,
                         lkey: ka,
-                    }].into(),
+                    }]
+                    .into(),
                     remote: Some((b, rkey)),
                     signaled: true,
                 },
@@ -494,7 +510,8 @@ fn tx_engine_serializes_back_to_back_messages() {
                         addr: src,
                         len: 1 << 20,
                         lkey: src_key,
-                    }].into(),
+                    }]
+                    .into(),
                     remote: Some((dst + i * (1 << 20), rkey)),
                     signaled: true,
                 },
@@ -534,7 +551,8 @@ fn post_errors_detected_synchronously() {
                 lkey: src_key
             };
             cfg.max_sge + 1
-        ].into(),
+        ]
+        .into(),
         remote: None,
         signaled: false,
     };
@@ -551,7 +569,8 @@ fn post_errors_detected_synchronously() {
             addr: src,
             len: 64,
             lkey: 0x999,
-        }].into(),
+        }]
+        .into(),
         remote: None,
         signaled: false,
     };
@@ -568,7 +587,8 @@ fn post_errors_detected_synchronously() {
             addr: src,
             len: 64,
             lkey: src_key,
-        }].into(),
+        }]
+        .into(),
         remote: None,
         signaled: false,
     };
@@ -585,7 +605,8 @@ fn post_errors_detected_synchronously() {
             addr: src,
             len: 64,
             lkey: src_key,
-        }].into(),
+        }]
+        .into(),
         remote: None,
         signaled: false,
     };
@@ -614,7 +635,8 @@ fn oversized_send_errors_both_sides() {
                     addr: dst,
                     len: 64,
                     lkey: dst_key,
-                }].into(),
+                }]
+                .into(),
             },
             &h.mems,
             &mut |t, e| evs.push((t, e)),
@@ -632,7 +654,8 @@ fn oversized_send_errors_both_sides() {
                     addr: src,
                     len: 256,
                     lkey: src_key,
-                }].into(),
+                }]
+                .into(),
                 remote: None,
                 signaled: true,
             },
@@ -678,7 +701,8 @@ fn list_post_functionally_identical_to_single() {
                     addr: src + i * 1024,
                     len: 1024,
                     lkey: src_key,
-                }].into(),
+                }]
+                .into(),
                 remote: Some((dst + i * 1024, rkey)),
                 signaled: i == 3,
             })
@@ -740,7 +764,8 @@ fn send_queue_depth_enforced() {
                     addr: src,
                     len: 4096,
                     lkey: src_key,
-                }].into(),
+                }]
+                .into(),
                 remote: Some((dst + i * 4096, rkey)),
                 signaled: false,
             },
@@ -770,7 +795,8 @@ fn send_queue_depth_enforced() {
                 addr: src,
                 len: 4096,
                 lkey: src_key,
-            }].into(),
+            }]
+            .into(),
             remote: Some((dst, rkey)),
             signaled: false,
         },

@@ -277,8 +277,12 @@ impl Drop for AddressSpace {
         if self.mem.is_empty() {
             return;
         }
-        let dirty_total: u64 =
-            self.dirty.iter().map(|w| u64::from(w.count_ones())).sum::<u64>() * PAGE;
+        let dirty_total: u64 = self
+            .dirty
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum::<u64>()
+            * PAGE;
         if dirty_total > MAX_RECYCLE_DIRTY {
             return;
         }

@@ -313,6 +313,9 @@ pub struct Cluster {
     /// One-sided windows: `(win id, rank)` -> entry.
     windows: std::collections::HashMap<(u32, u32), crate::rma::WinEntry>,
     ran: bool,
+    /// Events handled, counted only in audit mode to decimate the
+    /// invariant checks.
+    events_handled: u64,
     /// Reused completion buffer handed to [`Fabric::handle`] each NIC
     /// event, so steady-state event handling allocates nothing.
     cqe_buf: Vec<(u32, Cqe)>,
@@ -388,6 +391,7 @@ impl Cluster {
             ranks,
             windows: std::collections::HashMap::new(),
             ran: false,
+            events_handled: 0,
             cqe_buf: Vec::new(),
             payload_pool_base,
             space_pool_base,
@@ -509,7 +513,85 @@ impl Cluster {
                 "rank {r} finished with in-flight rendezvous state"
             );
         }
+        if self.spec.mpi.audit {
+            // Strict (quiescent) laws need a clean run with nothing
+            // unmatched; the base conservation laws hold regardless.
+            let clean = !had_errors
+                && (0..self.spec.nprocs as usize).all(|r| self.ranks[r].unexpected.is_empty());
+            self.audit_invariants(clean);
+        }
         self.collect_stats(finish, engine.events_scheduled())
+    }
+
+    /// Debug-mode invariant auditor (`MpiConfig::audit`): asserts the
+    /// flow-control conservation laws over every ordered rank pair.
+    /// With sender `a` and receiver `b` (all counters per peer):
+    ///
+    /// - credits never negative and never exceed the configured pool:
+    ///   `held(a→b) + sent(a→b) == eager_credits + received(a→b)`;
+    /// - every matched message is granted back or still owed:
+    ///   `granted(b←a) + owed(b←a) == matched(b←a)`;
+    /// - the monotone chain `received(a→b) ≤ granted(b←a)` and
+    ///   `matched(b←a) ≤ sent(a→b)` (grants/messages in flight);
+    /// - the payload-bearing unexpected occupancy counter agrees with a
+    ///   queue scan.
+    ///
+    /// At clean quiescence additionally `sent(a→b) == matched(b←a)` —
+    /// no message was lost or duplicated across any degradation
+    /// transition. Panics on violation; wired into the chaos and incast
+    /// soak suites, not production runs.
+    fn audit_invariants(&self, quiescent: bool) {
+        let n = self.spec.nprocs as usize;
+        let pool = u64::from(self.spec.mpi.eager_credits);
+        for a in 0..n {
+            let ra = &self.ranks[a];
+            let payload_entries = ra
+                .unexpected
+                .iter()
+                .filter(|u| {
+                    matches!(u, crate::rank::Unexpected::Eager { data, .. } if !data.is_empty())
+                })
+                .count();
+            assert_eq!(
+                ra.unexpected_eager, payload_entries,
+                "rank {a}: unexpected-queue occupancy counter out of sync"
+            );
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let rb = &self.ranks[b];
+                assert_eq!(
+                    u64::from(ra.fc_credits[b]) + ra.fc_sent[b],
+                    pool + ra.fc_received[b],
+                    "rank {a}→{b}: credit conservation violated"
+                );
+                assert!(
+                    u64::from(ra.fc_credits[b]) <= pool,
+                    "rank {a}→{b}: credits exceed the configured pool"
+                );
+                assert_eq!(
+                    rb.fc_granted[a] + u64::from(rb.fc_owed[a]),
+                    rb.fc_matched[a],
+                    "rank {b}←{a}: matched messages neither granted nor owed"
+                );
+                assert!(
+                    ra.fc_received[b] <= rb.fc_granted[a],
+                    "rank {a}→{b}: more credits received than ever granted"
+                );
+                assert!(
+                    rb.fc_matched[a] <= ra.fc_sent[b],
+                    "rank {b}←{a}: more messages matched than credits consumed"
+                );
+                if quiescent {
+                    assert_eq!(
+                        ra.fc_sent[b], rb.fc_matched[a],
+                        "rank {a}→{b}: eager message lost or duplicated \
+                         (sent ≠ matched at clean quiescence)"
+                    );
+                }
+            }
+        }
     }
 
     fn collect_stats(&self, finish: Time, events_scheduled: u64) -> RunStats {
@@ -546,6 +628,9 @@ impl Cluster {
             qp_errors: fstats.qp_errors,
             flushed_wqes: fstats.flushed_wqes,
             migrations: fstats.migrations,
+            cq_overflows: fstats.cq_overflows,
+            recv_low_water: fstats.recv_low_water,
+            cq_peak: (0..n).map(|r| self.fabric.cq_peak(r as u32)).collect(),
             fabric_per_rank: self.fabric.node_stats().to_vec(),
             errors: self
                 .ranks
@@ -621,7 +706,7 @@ impl Cluster {
         ty: &Datatype,
         op: ReduceOp,
     ) {
-        use ibdt_datatype::{Primitive, Segment};
+        use ibdt_datatype::Segment;
         let r = rank as usize;
         let prim = ty
             .uniform_primitive()
@@ -638,38 +723,30 @@ impl Cluster {
         seg.pack(0, n, mem, src as usize, &mut b)
             .expect("src covers the datatype");
         let w = prim.size() as usize;
+        let mut failed = None;
         for (da, db) in a.chunks_exact_mut(w).zip(b.chunks_exact(w)) {
-            match (op, prim) {
-                (ReduceOp::Replace, _) => da.copy_from_slice(db),
-                (ReduceOp::Sum, Primitive::Int) => {
-                    let v = i32::from_le_bytes(da.try_into().unwrap())
-                        .wrapping_add(i32::from_le_bytes(db.try_into().unwrap()));
-                    da.copy_from_slice(&v.to_le_bytes());
-                }
-                (ReduceOp::Max, Primitive::Int) => {
-                    let v = i32::from_le_bytes(da.try_into().unwrap())
-                        .max(i32::from_le_bytes(db.try_into().unwrap()));
-                    da.copy_from_slice(&v.to_le_bytes());
-                }
-                (ReduceOp::Sum, Primitive::Double) => {
-                    let v = f64::from_le_bytes(da.try_into().unwrap())
-                        + f64::from_le_bytes(db.try_into().unwrap());
-                    da.copy_from_slice(&v.to_le_bytes());
-                }
-                (ReduceOp::Max, Primitive::Double) => {
-                    let v = f64::from_le_bytes(da.try_into().unwrap())
-                        .max(f64::from_le_bytes(db.try_into().unwrap()));
-                    da.copy_from_slice(&v.to_le_bytes());
-                }
-                (o, p) => panic!("reduction {o:?} unsupported for {p:?}"),
+            if let Err(e) = combine_element(da, db, op, prim) {
+                failed = Some(e);
+                break;
             }
+        }
+        if let Some(e) = failed {
+            // A malformed operand or an unimplemented (operator,
+            // primitive) combination fails the reduction typed instead
+            // of tearing the simulation down; the accumulator is left
+            // untouched.
+            self.ranks[r].errors.push(e);
+            return;
         }
         // Narrow the mutable view to the blocks' envelope so dirty
         // tracking (backing-store recycling) stays proportional to the
         // destination buffer, not the whole space.
-        let (env_lo, env_hi) = seg.blocks().iter().fold((0i128, 0i128), |(lo, hi), &(o, l)| {
-            (lo.min(o as i128), hi.max(o as i128 + l as i128))
-        });
+        let (env_lo, env_hi) = seg
+            .blocks()
+            .iter()
+            .fold((0i128, 0i128), |(lo, hi), &(o, l)| {
+                (lo.min(o as i128), hi.max(o as i128 + l as i128))
+            });
         let space = &mut self.mems[r].space;
         let vstart = ((dst as i128 + env_lo).clamp(0, cap as i128) as u64).min(dst.min(cap));
         let vend = (dst as i128 + env_hi).clamp(vstart as i128, cap as i128) as u64;
@@ -1072,6 +1149,50 @@ impl Cluster {
     }
 }
 
+/// Decodes a fixed-width little-endian operand, failing typed
+/// ([`MpiError::Truncated`]) instead of panicking when the slice is
+/// short — a corrupted layout must not bring the whole simulation down.
+fn le_operand<const N: usize>(b: &[u8]) -> Result<[u8; N], MpiError> {
+    b.try_into().map_err(|_| MpiError::Truncated {
+        expected: N as u32,
+        got: b.len() as u32,
+    })
+}
+
+/// One element of [`Cluster::combine_buffers`]: `da = op(da, db)` over
+/// primitive `prim`, with typed errors for short operands and
+/// unimplemented combinations.
+fn combine_element(
+    da: &mut [u8],
+    db: &[u8],
+    op: ReduceOp,
+    prim: ibdt_datatype::Primitive,
+) -> Result<(), MpiError> {
+    use ibdt_datatype::Primitive;
+    match (op, prim) {
+        (ReduceOp::Replace, _) => da.copy_from_slice(db),
+        (ReduceOp::Sum, Primitive::Int) => {
+            let v = i32::from_le_bytes(le_operand(da)?)
+                .wrapping_add(i32::from_le_bytes(le_operand(db)?));
+            da.copy_from_slice(&v.to_le_bytes());
+        }
+        (ReduceOp::Max, Primitive::Int) => {
+            let v = i32::from_le_bytes(le_operand(da)?).max(i32::from_le_bytes(le_operand(db)?));
+            da.copy_from_slice(&v.to_le_bytes());
+        }
+        (ReduceOp::Sum, Primitive::Double) => {
+            let v = f64::from_le_bytes(le_operand(da)?) + f64::from_le_bytes(le_operand(db)?);
+            da.copy_from_slice(&v.to_le_bytes());
+        }
+        (ReduceOp::Max, Primitive::Double) => {
+            let v = f64::from_le_bytes(le_operand(da)?).max(f64::from_le_bytes(le_operand(db)?));
+            da.copy_from_slice(&v.to_le_bytes());
+        }
+        (_, _) => return Err(MpiError::UnsupportedReduction),
+    }
+    Ok(())
+}
+
 fn splice_front(prog: &mut VecDeque<AppOp>, ops: Vec<AppOp>) {
     for op in ops.into_iter().rev() {
         prog.push_front(op);
@@ -1122,6 +1243,19 @@ impl World for Cluster {
                         );
                     }
                     self.drain_completions(sched, node);
+                    // Bounded-CQ consumer model: the slot is returned
+                    // once the rank's CPU has drained the completion.
+                    // Unbounded (default) runs schedule no extra events,
+                    // keeping committed results bit-identical.
+                    if self.spec.net.cq_depth != usize::MAX {
+                        // The CPU may have been idle when the CQE landed,
+                        // leaving `available_at` behind the clock.
+                        let at = self.ranks[node as usize]
+                            .cpu
+                            .available_at()
+                            .max(sched.now());
+                        sched.at(at, Ev::CqAck { rank: node, n: 1 });
+                    }
                 }
                 self.cqe_buf = completions;
             }
@@ -1154,6 +1288,17 @@ impl World for Cluster {
             }
             Ev::Resume { rank } => {
                 self.interp_advance(sched, rank);
+            }
+            Ev::CqAck { rank, n } => {
+                self.fabric.cq_consume(rank, n as usize);
+            }
+        }
+        if self.spec.mpi.audit {
+            // Decimated: the full check is O(nprocs²), far too hot for
+            // every event of a 65-rank incast soak.
+            self.events_handled += 1;
+            if self.events_handled.is_multiple_of(64) {
+                self.audit_invariants(false);
             }
         }
     }

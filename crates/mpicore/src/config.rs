@@ -145,6 +145,39 @@ pub struct MpiConfig {
     /// Capacity of the transfer-plan cache in (datatype version, count)
     /// entries per rank; least-recently-used entries are evicted.
     pub plan_cache_entries: usize,
+    /// Enable per-peer credit-based eager flow control (the MVAPICH
+    /// RDMA-channel design, cs/0310059): each eager data message
+    /// consumes a credit; the receiver returns credits when messages
+    /// are *matched*, piggybacked on outgoing eager/ctrl traffic or via
+    /// an explicit `CreditUpdate` when a starved sender must be
+    /// unblocked. A sender out of credits (or past
+    /// [`pending_cap`](Self::pending_cap)) degrades the message to
+    /// rendezvous instead of buffering unboundedly. Off (the default)
+    /// reproduces the classic unthrottled behaviour bit-identically.
+    pub flow_control: bool,
+    /// Eager credits per peer direction when
+    /// [`flow_control`](Self::flow_control) is on. Bounds the
+    /// payload-bearing unexpected entries any one peer can park at a
+    /// receiver.
+    pub eager_credits: u32,
+    /// Bound on the sender-side pending-eager queue (control messages
+    /// waiting for a free send-ring slot) above which `isend`
+    /// backpressures new eager traffic down to rendezvous. 0 =
+    /// unbounded. Only enforced with flow control on.
+    pub pending_cap: usize,
+    /// Bound on payload-bearing unexpected-queue entries: at half this
+    /// occupancy the receiver stops granting credits (senders starve
+    /// and degrade to rendezvous, whose unexpected entries are
+    /// header-only); grants resume when matching drains the queue.
+    /// 0 = unbounded. Only enforced with flow control on.
+    pub unexpected_cap: usize,
+    /// Run the debug-mode invariant auditor: after events and at
+    /// quiescence, assert the flow-control conservation laws (credits
+    /// never negative, sent/matched/granted/received monotone and
+    /// consistent, occupancies within caps, nothing lost across a
+    /// degradation transition). Panics on violation — for test suites,
+    /// not production runs.
+    pub audit: bool,
 }
 
 impl Default for MpiConfig {
@@ -177,6 +210,11 @@ impl Default for MpiConfig {
             max_reconnects: 3,
             plan_cache: true,
             plan_cache_entries: 64,
+            flow_control: false,
+            eager_credits: 32,
+            pending_cap: 64,
+            unexpected_cap: 0,
+            audit: false,
         }
     }
 }

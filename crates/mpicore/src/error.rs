@@ -88,6 +88,24 @@ pub enum MpiError {
         /// Peer of the affected transfer.
         peer: u32,
     },
+    /// The peer's completion queue overflowed (`cq_depth` exceeded
+    /// under overload); the queue pair errored and the transfer must be
+    /// re-driven.
+    CqOverflow {
+        /// Rank whose completion queue overflowed.
+        peer: u32,
+    },
+    /// A protocol buffer was shorter than the fixed-width value being
+    /// decoded from it (reduction operand, header field).
+    Truncated {
+        /// Bytes the decode needed.
+        expected: u32,
+        /// Bytes actually available.
+        got: u32,
+    },
+    /// A reduction was requested for an (operator, primitive)
+    /// combination the runtime does not implement.
+    UnsupportedReduction,
     /// The rank's program could not finish after an earlier error left
     /// a transfer permanently incomplete.
     Incomplete,
@@ -102,6 +120,7 @@ impl MpiError {
                 MpiError::RnrRetryExceeded { peer, attempts }
             }
             CqeStatus::FlushErr => MpiError::Flushed { peer },
+            CqeStatus::CqOverflow => MpiError::CqOverflow { peer },
             CqeStatus::RemoteAccess(_) => MpiError::RemoteAccess { peer },
             CqeStatus::LocalProtection(_) | CqeStatus::LocalLengthError { .. } => {
                 MpiError::LengthError { peer }
@@ -167,6 +186,15 @@ impl fmt::Display for MpiError {
                     f,
                     "required registration missing/evicted on transfer with rank {peer}"
                 )
+            }
+            MpiError::CqOverflow { peer } => {
+                write!(f, "completion queue of rank {peer} overflowed")
+            }
+            MpiError::Truncated { expected, got } => {
+                write!(f, "buffer truncated: needed {expected} bytes, had {got}")
+            }
+            MpiError::UnsupportedReduction => {
+                write!(f, "unsupported reduction operator/primitive combination")
             }
             MpiError::Incomplete => {
                 write!(

@@ -97,6 +97,15 @@ pub enum CtrlMsg {
         /// connection died; the sender can complete immediately.
         done: bool,
     },
+    /// Eager flow-control credit grant (receiver → sender): the
+    /// receiver matched this many eager messages from the destination
+    /// peer, freeing their credits. Usually piggybacked in front of
+    /// another control message in the same eager buffer; travels alone
+    /// when a starved sender must be unblocked.
+    CreditUpdate {
+        /// Credits returned.
+        credits: u32,
+    },
 }
 
 /// Scheme-specific rendezvous reply payload.
@@ -159,6 +168,7 @@ const K_FIN: u8 = 5;
 const K_PROBE: u8 = 6;
 const K_RESUME: u8 = 7;
 const K_RESUME_ACK: u8 = 8;
+const K_CREDIT: u8 = 9;
 
 const B_BUFFER: u8 = 1;
 const B_SEGMENTS: u8 = 2;
@@ -356,6 +366,10 @@ impl CtrlMsg {
                 w.u32(*from_k);
                 w.u8(u8::from(*done));
             }
+            CtrlMsg::CreditUpdate { credits } => {
+                w.u8(K_CREDIT);
+                w.u32(*credits);
+            }
         }
     }
 
@@ -478,6 +492,7 @@ impl CtrlMsg {
                 from_k: r.u32()?,
                 done: r.u8()? != 0,
             },
+            K_CREDIT => CtrlMsg::CreditUpdate { credits: r.u32()? },
             _ => return None,
         };
         Some((msg, r.1))
@@ -658,6 +673,30 @@ mod tests {
                 threshold: 512,
             },
         });
+    }
+
+    #[test]
+    fn credit_update_roundtrip() {
+        roundtrip(CtrlMsg::CreditUpdate { credits: 17 });
+    }
+
+    #[test]
+    fn credit_update_piggybacks_before_eager() {
+        // The flow-control path prepends a grant in front of the real
+        // message inside one eager buffer; both decode in sequence.
+        let mut buf = CtrlMsg::CreditUpdate { credits: 3 }.encode();
+        let eager = CtrlMsg::EagerData {
+            tag: 1,
+            seq: 2,
+            size: 2,
+        };
+        eager.encode_into(&mut buf);
+        buf.extend_from_slice(&[7, 7]);
+        let (first, used) = CtrlMsg::decode(&buf).unwrap();
+        assert_eq!(first, CtrlMsg::CreditUpdate { credits: 3 });
+        let (second, used2) = CtrlMsg::decode(&buf[used..]).unwrap();
+        assert_eq!(second, eager);
+        assert_eq!(&buf[used + used2..], &[7, 7]);
     }
 
     #[test]

@@ -51,6 +51,15 @@ pub enum Ev {
         /// The rank to resume.
         rank: u32,
     },
+    /// The rank's CPU finished draining `n` entries from its completion
+    /// queue — returns that many slots to the bounded CQ. Scheduled only
+    /// when `cq_depth` is finite, so default runs see no new events.
+    CqAck {
+        /// The rank whose completion queue drained.
+        rank: u32,
+        /// Completion entries consumed.
+        n: u32,
+    },
 }
 
 /// Host-work completions that drive protocol state forward.
@@ -403,8 +412,29 @@ pub fn isend(
         return req;
     }
     if size <= ctx.cfg.eager_threshold {
-        eager_send(rs, ctx, req, peer, buf, count, ty, tag, size);
-        return req;
+        // Credit-based flow control (MVAPICH RDMA channel, cs/0310059):
+        // an eager data message needs a credit and a slot under the
+        // pending-queue bound. Without either, degrade the message to
+        // rendezvous — eager data and RndvStart share the same in-order
+        // control stream (ring + pending FIFO), so per-(peer, tag)
+        // matching order is preserved across the spill. Zero-size
+        // messages carry no payload worth bounding and stay eager.
+        if !ctx.cfg.flow_control || size == 0 {
+            eager_send(rs, ctx, req, peer, buf, count, ty, tag, size);
+            return req;
+        }
+        if ctx.cfg.pending_cap > 0 && rs.eager_pending.len() >= ctx.cfg.pending_cap {
+            // Rung 2 of the degradation ladder: throttled eager.
+            rs.counters.pending_spills += 1;
+        } else if rs.fc_credits[peer as usize] == 0 {
+            // Rung 3: the peer's receive resources are exhausted.
+            rs.counters.credit_spills += 1;
+        } else {
+            rs.fc_credits[peer as usize] -= 1;
+            rs.fc_sent[peer as usize] += 1;
+            eager_send(rs, ctx, req, peer, buf, count, ty, tag, size);
+            return req;
+        }
     }
 
     rs.counters.rndv_sends += 1;
@@ -568,7 +598,13 @@ pub fn irecv(
         .reserve_labeled(ctx.now(), ctx.cfg.call_overhead_ns, "call");
 
     match rs.match_unexpected(peer, tag) {
-        Some(Unexpected::Eager { data, .. }) => {
+        Some(Unexpected::Eager {
+            peer: src, data, ..
+        }) => {
+            if !data.is_empty() {
+                fc_unexpected_removed(rs, ctx);
+            }
+            fc_on_eager_matched(rs, ctx, src, data.len() as u64);
             eager_deliver(rs, ctx, req, buf, count, ty, &data);
         }
         Some(Unexpected::Rndv {
@@ -898,6 +934,85 @@ pub fn on_cpu(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, ac
 }
 
 // ---------------------------------------------------------------------
+// Credit-based eager flow control (MVAPICH RDMA channel, cs/0310059)
+// ---------------------------------------------------------------------
+
+/// True while the receiver withholds credit grants: the payload-bearing
+/// unexpected backlog reached half of `unexpected_cap`, so senders must
+/// starve and degrade to rendezvous (whose unexpected entries are
+/// header-only) instead of growing the queue further.
+fn fc_grants_blocked(rs: &RankState, cfg: &MpiConfig) -> bool {
+    cfg.unexpected_cap > 0 && rs.unexpected_eager * 2 >= cfg.unexpected_cap
+}
+
+/// Takes an encode buffer, prepending any credits owed to `peer` so
+/// they ride piggybacked in front of the message about to be encoded —
+/// zero extra wire traffic whenever there is reverse traffic to carry
+/// them.
+fn take_ctrl_buf_credits(rs: &mut RankState, cfg: &MpiConfig, peer: u32) -> Vec<u8> {
+    let mut bytes = take_ctrl_buf(rs);
+    if cfg.flow_control && peer != rs.rank && !fc_grants_blocked(rs, cfg) {
+        let owed = rs.fc_owed[peer as usize];
+        if owed > 0 {
+            CtrlMsg::CreditUpdate { credits: owed }.encode_into(&mut bytes);
+            rs.fc_owed[peer as usize] = 0;
+            rs.fc_granted[peer as usize] += owed as u64;
+            rs.counters.credits_piggybacked += owed as u64;
+        }
+    }
+    bytes
+}
+
+/// Accounts a matched eager payload from `peer`. The credit is returned
+/// at *match* time (not arrival): piggybacked on the next outgoing
+/// message to `peer`, or — when half the peer's credit pool is owed and
+/// no reverse traffic has carried it back — via an explicit
+/// `CreditUpdate`, so a starved sender is always unblocked eventually.
+fn fc_on_eager_matched(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, size: u64) {
+    if !ctx.cfg.flow_control || size == 0 || peer == rs.rank {
+        return;
+    }
+    rs.fc_matched[peer as usize] += 1;
+    rs.fc_owed[peer as usize] += 1;
+    if fc_grants_blocked(rs, ctx.cfg) {
+        rs.counters.grants_deferred += 1;
+        return;
+    }
+    if rs.fc_owed[peer as usize] >= (ctx.cfg.eager_credits / 2).max(1) {
+        fc_send_credits(rs, ctx, peer);
+    }
+}
+
+/// Sends an explicit `CreditUpdate` carrying everything owed to `peer`.
+fn fc_send_credits(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32) {
+    let owed = rs.fc_owed[peer as usize];
+    if owed == 0 {
+        return;
+    }
+    rs.fc_owed[peer as usize] = 0;
+    rs.fc_granted[peer as usize] += owed as u64;
+    rs.counters.credit_msgs += 1;
+    send_ctrl_msg(rs, ctx, peer, &CtrlMsg::CreditUpdate { credits: owed }, 0);
+}
+
+/// A payload-bearing unexpected entry was matched out of the queue:
+/// update occupancy, and when the backlog just dropped below the
+/// grant-withholding threshold, flush deferred grants to every peer so
+/// starved senders resume (degradation is graceful both ways).
+fn fc_unexpected_removed(rs: &mut RankState, ctx: &mut Ctx<'_, '_>) {
+    let was_blocked = fc_grants_blocked(rs, ctx.cfg);
+    debug_assert!(rs.unexpected_eager > 0, "occupancy tracking out of sync");
+    rs.unexpected_eager -= 1;
+    if was_blocked && !fc_grants_blocked(rs, ctx.cfg) {
+        for peer in 0..rs.nprocs {
+            if rs.fc_owed[peer as usize] > 0 {
+                fc_send_credits(rs, ctx, peer);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Eager path (§7.1)
 // ---------------------------------------------------------------------
 
@@ -928,7 +1043,7 @@ fn eager_send(
     rs.counters.packs += 1;
     rs.counters.bytes_packed += size;
 
-    let mut bytes = take_ctrl_buf(rs);
+    let mut bytes = take_ctrl_buf_credits(rs, ctx.cfg, peer);
     CtrlMsg::EagerData { tag, seq, size }.encode_into(&mut bytes);
     bytes.extend_from_slice(&payload);
     rs.scratch.put_bytes(payload);
@@ -989,12 +1104,18 @@ fn self_send(
     if let Some(p) = rs.match_posted(rs.rank, tag) {
         eager_deliver(rs, ctx, p.req, p.buf, p.count, &p.ty, &data);
     } else {
+        let payload_bearing = !data.is_empty();
         rs.unexpected.push_back(Unexpected::Eager {
             peer: rs.rank,
             tag,
             seq,
             data,
         });
+        if payload_bearing {
+            rs.unexpected_eager += 1;
+            rs.counters.peak_unexpected =
+                rs.counters.peak_unexpected.max(rs.unexpected_eager as u64);
+        }
     }
 }
 
@@ -1009,7 +1130,7 @@ fn send_ctrl_msg(
     msg: &CtrlMsg,
     extra_cpu_ns: Time,
 ) {
-    let mut bytes = take_ctrl_buf(rs);
+    let mut bytes = take_ctrl_buf_credits(rs, ctx.cfg, peer);
     msg.encode_into(&mut bytes);
     send_ctrl(rs, ctx, peer, bytes, extra_cpu_ns);
 }
@@ -1051,6 +1172,7 @@ fn send_ctrl(
                 .space
                 .write(va, &bytes)
                 .expect("eager ring buffer writable");
+            write_slot_terminator(rs, ctx, va, bytes.len());
             let wr = SendWr {
                 wr_id: WR_EAGER | va,
                 opcode: Opcode::Send,
@@ -1085,7 +1207,23 @@ fn send_ctrl(
         None => {
             rs.eager_pending
                 .push_back(crate::rank::PendingEager { peer, bytes });
+            rs.counters.peak_pending = rs.counters.peak_pending.max(rs.eager_pending.len() as u64);
         }
+    }
+}
+
+/// Writes one zero byte — an invalid message kind — after the encoded
+/// message in a send-ring slot. Slots are reused without clearing, so a
+/// recovery re-post must re-derive the wire length by decoding; with
+/// piggybacked credit prefixes the terminator is what makes the end of
+/// a slot (in particular a standalone `CreditUpdate`) unambiguous
+/// against stale bytes from the slot's previous occupant.
+fn write_slot_terminator(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, va: Va, len: usize) {
+    if (len as u64) < ctx.cfg.eager_buf_size {
+        ctx.mems[rs.rank as usize]
+            .space
+            .write(va + len as u64, &[0])
+            .expect("eager ring buffer writable");
     }
 }
 
@@ -1097,6 +1235,7 @@ fn drain_pending_eager(rs: &mut RankState, ctx: &mut Ctx<'_, '_>) {
             .space
             .write(va, &p.bytes)
             .expect("eager ring buffer writable");
+        write_slot_terminator(rs, ctx, va, p.bytes.len());
         let ready = rs.cpu.reserve_labeled(
             ctx.now(),
             ctx.cfg.ctrl_overhead_ns + ctx.net.post_single_ns,
@@ -1149,6 +1288,18 @@ fn repost_eager_recv(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, va: V
     };
     let now = ctx.now();
     ctx.post_recv(now, rs.rank, peer, wr);
+    // SRQ-limit-style reaction: the receive ring for this peer dipped to
+    // its low watermark before the repost — the receiver is falling
+    // behind. Flush any owed credits immediately so the peer learns the
+    // true resource state instead of stalling on a piggyback that may
+    // never come.
+    if ctx.cfg.flow_control
+        && ctx.net.recv_low_watermark > 0
+        && !fc_grants_blocked(rs, ctx.cfg)
+        && ctx.fabric.recvq_len(rs.rank, peer) <= ctx.net.recv_low_watermark
+    {
+        fc_send_credits(rs, ctx, peer);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1164,110 +1315,132 @@ fn on_ctrl(
 ) {
     rs.cpu
         .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
-    let Some((msg, hdr_len)) = CtrlMsg::decode(bytes) else {
-        rs.errors.push(MpiError::MalformedCtrl { peer });
-        return;
-    };
-    match msg {
-        CtrlMsg::EagerData { tag, seq, size } => {
-            let payload = &bytes[hdr_len..hdr_len + size as usize];
-            match rs.match_posted(peer, tag) {
-                Some(p) => {
-                    eager_deliver(rs, ctx, p.req, p.buf, p.count, &p.ty, payload);
+    // Piggybacked `CreditUpdate`s precede the carried message in the
+    // same buffer; consume that prefix, then dispatch the message.
+    let mut off = 0usize;
+    loop {
+        let Some((msg, hdr_len)) = CtrlMsg::decode(&bytes[off..]) else {
+            rs.errors.push(MpiError::MalformedCtrl { peer });
+            return;
+        };
+        off += hdr_len;
+        if let CtrlMsg::CreditUpdate { credits } = msg {
+            rs.fc_credits[peer as usize] += credits;
+            rs.fc_received[peer as usize] += u64::from(credits);
+            if off >= bytes.len() {
+                return; // standalone credit message
+            }
+            continue;
+        }
+        match msg {
+            CtrlMsg::EagerData { tag, seq, size } => {
+                let payload = &bytes[off..off + size as usize];
+                match rs.match_posted(peer, tag) {
+                    Some(p) => {
+                        fc_on_eager_matched(rs, ctx, peer, size);
+                        eager_deliver(rs, ctx, p.req, p.buf, p.count, &p.ty, payload);
+                    }
+                    None => {
+                        // Copy to a dynamic buffer (charged) and queue.
+                        rs.cpu.reserve_labeled(
+                            ctx.now(),
+                            ctx.host.malloc_ns + ctx.host.memcpy_ns(size),
+                            "unexpected",
+                        );
+                        rs.unexpected.push_back(Unexpected::Eager {
+                            peer,
+                            tag,
+                            seq,
+                            data: payload.to_vec(),
+                        });
+                        if size > 0 {
+                            rs.unexpected_eager += 1;
+                            rs.counters.peak_unexpected =
+                                rs.counters.peak_unexpected.max(rs.unexpected_eager as u64);
+                        }
+                    }
                 }
-                None => {
-                    // Copy to a dynamic buffer (charged) and queue.
-                    rs.cpu.reserve_labeled(
-                        ctx.now(),
-                        ctx.host.malloc_ns + ctx.host.memcpy_ns(size),
-                        "unexpected",
-                    );
-                    rs.unexpected.push_back(Unexpected::Eager {
+            }
+            CtrlMsg::RndvStart {
+                tag,
+                seq,
+                size,
+                scheme,
+                nsegs,
+                seg_size,
+                blk_min,
+                blk_median,
+            } => {
+                if am.recvs.contains_key(&(peer, seq)) {
+                    // A duplicate start for a live transfer: a flushed
+                    // original was never delivered (flush precludes
+                    // delivery), so this is exclusively the sender's
+                    // §5.4.2 protection-fault renegotiation.
+                    receiver_renegotiate(rs, am, ctx, peer, seq, size, nsegs, seg_size);
+                    return;
+                }
+                match rs.match_posted(peer, tag) {
+                    Some(mut p) => {
+                        // The posted receive may carry wildcards; the protocol
+                        // needs the concrete source.
+                        p.peer = peer;
+                        p.tag = tag;
+                        receiver_start(
+                            rs, am, ctx, p, seq, size, scheme, nsegs, seg_size, blk_min, blk_median,
+                        );
+                    }
+                    None => rs.unexpected.push_back(Unexpected::Rndv {
                         peer,
                         tag,
                         seq,
-                        data: payload.to_vec(),
-                    });
+                        size,
+                        scheme,
+                        nsegs,
+                        seg_size,
+                        blk_min,
+                        blk_median,
+                    }),
                 }
             }
-        }
-        CtrlMsg::RndvStart {
-            tag,
-            seq,
-            size,
-            scheme,
-            nsegs,
-            seg_size,
-            blk_min,
-            blk_median,
-        } => {
-            if am.recvs.contains_key(&(peer, seq)) {
-                // A duplicate start for a live transfer: a flushed
-                // original was never delivered (flush precludes
-                // delivery), so this is exclusively the sender's
-                // §5.4.2 protection-fault renegotiation.
-                receiver_renegotiate(rs, am, ctx, peer, seq, size, nsegs, seg_size);
-                return;
+            CtrlMsg::RndvReply { seq, scheme, body } => {
+                sender_on_reply(rs, am, ctx, peer, seq, scheme, body);
             }
-            match rs.match_posted(peer, tag) {
-                Some(mut p) => {
-                    // The posted receive may carry wildcards; the protocol
-                    // needs the concrete source.
-                    p.peer = peer;
-                    p.tag = tag;
-                    receiver_start(
-                        rs, am, ctx, p, seq, size, scheme, nsegs, seg_size, blk_min, blk_median,
-                    );
+            CtrlMsg::SegReady {
+                seq,
+                k,
+                addr,
+                rkey,
+                len,
+            } => {
+                receiver_on_seg_ready(rs, am, ctx, peer, seq, k, addr, rkey, len);
+            }
+            CtrlMsg::Fin { seq } => {
+                sender_on_fin(rs, am, ctx, peer, seq);
+            }
+            CtrlMsg::RndvProbe { seq } => {
+                // The sender suspects its RndvStart or our reply was lost.
+                // Resend the reply if it already went out; otherwise it is
+                // still pending and will go out on its own.
+                let resend = am.recvs.get(&(peer, seq)).and_then(|m| {
+                    if m.pending_reply.is_none() {
+                        m.reply_copy.clone()
+                    } else {
+                        None
+                    }
+                });
+                if let Some(r) = resend {
+                    send_ctrl(rs, ctx, peer, r, 0);
                 }
-                None => rs.unexpected.push_back(Unexpected::Rndv {
-                    peer,
-                    tag,
-                    seq,
-                    size,
-                    scheme,
-                    nsegs,
-                    seg_size,
-                    blk_min,
-                    blk_median,
-                }),
             }
-        }
-        CtrlMsg::RndvReply { seq, scheme, body } => {
-            sender_on_reply(rs, am, ctx, peer, seq, scheme, body);
-        }
-        CtrlMsg::SegReady {
-            seq,
-            k,
-            addr,
-            rkey,
-            len,
-        } => {
-            receiver_on_seg_ready(rs, am, ctx, peer, seq, k, addr, rkey, len);
-        }
-        CtrlMsg::Fin { seq } => {
-            sender_on_fin(rs, am, ctx, peer, seq);
-        }
-        CtrlMsg::RndvProbe { seq } => {
-            // The sender suspects its RndvStart or our reply was lost.
-            // Resend the reply if it already went out; otherwise it is
-            // still pending and will go out on its own.
-            let resend = am.recvs.get(&(peer, seq)).and_then(|m| {
-                if m.pending_reply.is_none() {
-                    m.reply_copy.clone()
-                } else {
-                    None
-                }
-            });
-            if let Some(r) = resend {
-                send_ctrl(rs, ctx, peer, r, 0);
+            CtrlMsg::RndvResume { seq } => {
+                on_resume_request(rs, am, ctx, peer, seq);
             }
+            CtrlMsg::RndvResumeAck { seq, from_k, done } => {
+                on_resume_ack(rs, am, ctx, peer, seq, from_k, done);
+            }
+            CtrlMsg::CreditUpdate { .. } => unreachable!("consumed by the prefix loop"),
         }
-        CtrlMsg::RndvResume { seq } => {
-            on_resume_request(rs, am, ctx, peer, seq);
-        }
-        CtrlMsg::RndvResumeAck { seq, from_k, done } => {
-            on_resume_ack(rs, am, ctx, peer, seq, from_k, done);
-        }
+        return;
     }
 }
 
@@ -2464,7 +2637,8 @@ fn sender_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
     let plan = rs.plan_for(&msg.ty, msg.count);
     let mut blocks = rs.scratch.take_blocks();
     abs_blocks_into(&plan, msg.buf, &mut blocks);
-    let acquired = try_acquire_user_regs(rs, ctx, &blocks, &mut msg.user_regs, &mut msg.pinned_bytes);
+    let acquired =
+        try_acquire_user_regs(rs, ctx, &blocks, &mut msg.user_regs, &mut msg.pinned_bytes);
     rs.scratch.put_blocks(blocks);
     let Some(cost) = acquired else {
         return false;
@@ -3359,6 +3533,7 @@ fn recoverable(err: &MpiError) -> bool {
         MpiError::Flushed { .. }
             | MpiError::RetryExceeded { .. }
             | MpiError::RnrRetryExceeded { .. }
+            | MpiError::CqOverflow { .. }
             | MpiError::Post {
                 err: PostError::QpError { .. } | PostError::QpNotReady { .. },
                 ..
@@ -3460,16 +3635,30 @@ fn resend_eager_slot(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, va: V
         .space
         .read(va, ctx.cfg.eager_buf_size)
         .expect("eager ring buffer readable");
-    let Some((m, hdr_len)) = CtrlMsg::decode(&bytes) else {
-        // Not a decodable message (protocol bug): return the slot to
-        // the ring rather than resending garbage.
-        rs.eager_send_free.push(va);
-        drain_pending_eager(rs, ctx);
-        return;
-    };
-    let len = match m {
-        CtrlMsg::EagerData { size, .. } => hdr_len as u64 + size,
-        _ => hdr_len as u64,
+    // The slot may open with piggybacked `CreditUpdate`s; the wire
+    // length covers the whole prefix plus the carried message. The zero
+    // terminator each slot write appends decodes to `None`, marking the
+    // end of a slot that carries only credits.
+    let mut off = 0usize;
+    let len = loop {
+        match CtrlMsg::decode(&bytes[off..]) {
+            None if off > 0 => break off as u64,
+            None => {
+                // Nothing decodable at all (protocol bug): return the
+                // slot to the ring rather than resending garbage.
+                rs.eager_send_free.push(va);
+                drain_pending_eager(rs, ctx);
+                return;
+            }
+            Some((m, hdr_len)) => {
+                off += hdr_len;
+                match m {
+                    CtrlMsg::CreditUpdate { .. } => continue,
+                    CtrlMsg::EagerData { size, .. } => break off as u64 + size,
+                    _ => break off as u64,
+                }
+            }
+        }
     };
     let ready = rs.cpu.reserve_labeled(
         ctx.now(),

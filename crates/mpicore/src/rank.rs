@@ -183,6 +183,26 @@ pub struct RankCounters {
     /// Zero-copy transfers renegotiated down to BC-SPUP after a remote
     /// protection fault (pin-down cache eviction race, §5.4.2).
     pub protection_fallbacks: u64,
+    /// Degradation-ladder rung 3: eager-sized messages forced down to
+    /// rendezvous because the per-peer credit pool ran dry.
+    pub credit_spills: u64,
+    /// Degradation-ladder rung 2: eager-sized messages forced down to
+    /// rendezvous because the pending-eager queue hit `pending_cap`
+    /// (throttled eager).
+    pub pending_spills: u64,
+    /// Explicit `CreditUpdate` control messages sent (starved-sender
+    /// unblocking; piggybacked grants are counted separately).
+    pub credit_msgs: u64,
+    /// Credits returned piggybacked in front of outgoing eager/ctrl
+    /// messages.
+    pub credits_piggybacked: u64,
+    /// Credit grants withheld because the unexpected queue was above
+    /// its pressure threshold (`unexpected_cap / 2`).
+    pub grants_deferred: u64,
+    /// High-water payload-bearing unexpected-queue occupancy.
+    pub peak_unexpected: u64,
+    /// High-water pending-eager queue occupancy.
+    pub peak_pending: u64,
 }
 
 /// All state of one rank's MPI library instance.
@@ -256,6 +276,27 @@ pub struct RankState {
     pub errors: Vec<MpiError>,
     /// Counters.
     pub counters: RankCounters,
+    /// Flow control: credits available for eager sends, per peer
+    /// (initialized to `eager_credits`; dense, allocated once).
+    pub fc_credits: Vec<u32>,
+    /// Flow control: credits owed back to each peer (their eager
+    /// messages matched here but the grant not yet transmitted).
+    pub fc_owed: Vec<u32>,
+    /// Auditor: eager sends that consumed a credit, per peer
+    /// (monotone).
+    pub fc_sent: Vec<u64>,
+    /// Auditor: eager payloads from each peer matched at this rank
+    /// (monotone).
+    pub fc_matched: Vec<u64>,
+    /// Auditor: credits granted back to each peer (monotone;
+    /// `fc_matched - fc_granted == fc_owed`).
+    pub fc_granted: Vec<u64>,
+    /// Auditor: credit grants received from each peer (monotone; lags
+    /// the peer's `fc_granted` by grants still in flight).
+    pub fc_received: Vec<u64>,
+    /// Payload-bearing (`Unexpected::Eager`) entries currently in the
+    /// unexpected queue — the occupancy the credit bound caps.
+    pub unexpected_eager: usize,
 }
 
 impl RankState {
@@ -327,6 +368,13 @@ impl RankState {
             done_seqs: crate::table::DoneSet::new(nprocs as usize),
             errors: Vec::new(),
             counters: RankCounters::default(),
+            fc_credits: vec![cfg.eager_credits; nprocs as usize],
+            fc_owed: vec![0; nprocs as usize],
+            fc_sent: vec![0; nprocs as usize],
+            fc_matched: vec![0; nprocs as usize],
+            fc_granted: vec![0; nprocs as usize],
+            fc_received: vec![0; nprocs as usize],
+            unexpected_eager: 0,
         }
     }
 
@@ -500,6 +548,76 @@ mod tests {
         assert_eq!(m2.buf, 1002);
         assert!(rs.match_posted(1, 5).is_none());
         assert!(rs.match_posted(2, 7).is_none(), "peer must match");
+    }
+
+    /// Property: under any interleaving of arrivals and matching calls,
+    /// `match_unexpected` returns messages of one `(peer, tag)` class in
+    /// exactly their arrival order — the FIFO guarantee the bounded
+    /// unexpected queue and spill-to-rendezvous policy must preserve.
+    #[test]
+    fn unexpected_matching_is_fifo_per_class_under_interleaving() {
+        ibdt_testkit::cases(0x5EED_F1F0, 32, |rng| {
+            let (_, mut rs, _) = rank_fixture();
+            // Arrival sequence number per (peer, tag) class, encoded in
+            // the message payload/seq so matches can be checked.
+            let mut arrived = std::collections::HashMap::new();
+            let mut matched = std::collections::HashMap::new();
+            for _ in 0..200 {
+                let peer = rng.range_u64(1, 4) as u32;
+                let tag = rng.range_u64(0, 3) as u32;
+                if rng.chance(0.5) {
+                    let n = arrived.entry((peer, tag)).or_insert(0u64);
+                    if rng.chance(0.5) {
+                        rs.unexpected.push_back(Unexpected::Eager {
+                            peer,
+                            tag,
+                            seq: *n,
+                            data: n.to_le_bytes().to_vec(),
+                        });
+                    } else {
+                        rs.unexpected.push_back(Unexpected::Rndv {
+                            peer,
+                            tag,
+                            seq: *n,
+                            size: 1 << 20,
+                            scheme: 1,
+                            nsegs: 8,
+                            seg_size: 128 * 1024,
+                            blk_min: 64,
+                            blk_median: 128,
+                        });
+                    }
+                    *n += 1;
+                } else {
+                    // Mix wildcard and exact receives.
+                    let (p, t) = match rng.range_u64(0, 3) {
+                        0 => (peer, tag),
+                        1 => (ANY_SOURCE, tag),
+                        _ => (peer, ANY_TAG),
+                    };
+                    if let Some(u) = rs.match_unexpected(p, t) {
+                        let (up, ut, useq) = match u {
+                            Unexpected::Eager { peer, tag, seq, .. } => (peer, tag, seq),
+                            Unexpected::Rndv { peer, tag, seq, .. } => (peer, tag, seq),
+                        };
+                        let next = matched.entry((up, ut)).or_insert(0u64);
+                        assert_eq!(useq, *next, "class ({up},{ut}) matched out of order");
+                        *next += 1;
+                    }
+                }
+            }
+            // Everything still queued must also be in order per class.
+            while let Some(u) = rs.match_unexpected(ANY_SOURCE, ANY_TAG) {
+                let (up, ut, useq) = match u {
+                    Unexpected::Eager { peer, tag, seq, .. } => (peer, tag, seq),
+                    Unexpected::Rndv { peer, tag, seq, .. } => (peer, tag, seq),
+                };
+                let next = matched.entry((up, ut)).or_insert(0u64);
+                assert_eq!(useq, *next, "drain out of order");
+                *next += 1;
+            }
+            assert_eq!(arrived, matched, "messages lost");
+        });
     }
 
     #[test]

@@ -54,6 +54,14 @@ pub struct RunStats {
     pub flushed_wqes: u64,
     /// Fabric: Automatic Path Migration failovers performed.
     pub migrations: u64,
+    /// Fabric: completion-queue overflows (bounded `cq_depth` runs).
+    pub cq_overflows: u64,
+    /// Fabric: receive-queue low-watermark crossings (SRQ-limit-style
+    /// events under a configured `recv_low_watermark`).
+    pub recv_low_water: u64,
+    /// Per-rank high-water completion-queue occupancy (0 everywhere
+    /// when `cq_depth` is unbounded).
+    pub cq_peak: Vec<usize>,
     /// Per-rank fabric reliability counters (retransmits, RNR backoff
     /// retries, QP errors, flushed WQEs, migrations, injected fates),
     /// attributed to the requester/transmitter node.

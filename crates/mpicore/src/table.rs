@@ -67,10 +67,7 @@ impl<T> MsgTable<T> {
     /// Removes and returns the record under `key`.
     pub fn remove(&mut self, key: &(u32, u64)) -> Option<T> {
         let (peer, seq) = *key;
-        let pos = self
-            .window(peer)
-            .binary_search_by_key(&seq, |e| e.0)
-            .ok()?;
+        let pos = self.window(peer).binary_search_by_key(&seq, |e| e.0).ok()?;
         let (_, h) = self.index[peer as usize].remove(pos);
         self.slab.remove(h)
     }
@@ -78,20 +75,14 @@ impl<T> MsgTable<T> {
     /// Shared access to the record under `key`.
     pub fn get(&self, key: &(u32, u64)) -> Option<&T> {
         let (peer, seq) = *key;
-        let pos = self
-            .window(peer)
-            .binary_search_by_key(&seq, |e| e.0)
-            .ok()?;
+        let pos = self.window(peer).binary_search_by_key(&seq, |e| e.0).ok()?;
         self.slab.get(self.index[peer as usize][pos].1)
     }
 
     /// Mutable access to the record under `key`.
     pub fn get_mut(&mut self, key: &(u32, u64)) -> Option<&mut T> {
         let (peer, seq) = *key;
-        let pos = self
-            .window(peer)
-            .binary_search_by_key(&seq, |e| e.0)
-            .ok()?;
+        let pos = self.window(peer).binary_search_by_key(&seq, |e| e.0).ok()?;
         let h = self.index[peer as usize][pos].1;
         self.slab.get_mut(h)
     }
@@ -99,7 +90,9 @@ impl<T> MsgTable<T> {
     /// True when a record exists under `key`.
     pub fn contains_key(&self, key: &(u32, u64)) -> bool {
         let (peer, seq) = *key;
-        self.window(peer).binary_search_by_key(&seq, |e| e.0).is_ok()
+        self.window(peer)
+            .binary_search_by_key(&seq, |e| e.0)
+            .is_ok()
     }
 
     /// True when no records are live.

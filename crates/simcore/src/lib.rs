@@ -33,7 +33,7 @@ pub mod trace;
 pub use engine::{Engine, World};
 pub use inline::InlineVec;
 pub use queue::{EventQueue, HeapQueue};
-pub use slab::{Handle, Slab};
 pub use resource::SerialResource;
+pub use slab::{Handle, Slab};
 pub use time::{Time, GIGA, KILO, MEGA};
 pub use trace::{Span, Trace};

@@ -178,9 +178,7 @@ impl<T> Slab<T> {
     /// not insertion order once slots recycle — see module docs).
     pub fn iter(&self) -> impl Iterator<Item = (Handle, &T)> {
         self.slots.iter().enumerate().filter_map(|(i, s)| match s {
-            Slot::Full { generation, value } => {
-                Some((Handle::new(i as u32, *generation), value))
-            }
+            Slot::Full { generation, value } => Some((Handle::new(i as u32, *generation), value)),
             Slot::Free { .. } => None,
         })
     }

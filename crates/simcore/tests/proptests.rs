@@ -74,9 +74,9 @@ fn timing_wheel_equals_heap_queue_on_random_churn() {
         for _ in 0..nops {
             if rng.chance(0.6) {
                 let dt = match rng.range_u64(0, 3) {
-                    0 => rng.range_u64(0, 8),           // same-tick burst
-                    1 => rng.range_u64(0, 4_096),       // near future
-                    _ => rng.range_u64(0, 40_000_000),  // far timer
+                    0 => rng.range_u64(0, 8),          // same-tick burst
+                    1 => rng.range_u64(0, 4_096),      // near future
+                    _ => rng.range_u64(0, 40_000_000), // far timer
                 };
                 wheel.schedule(clock + dt, seq);
                 heap.schedule(clock + dt, seq);

@@ -208,12 +208,7 @@ unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
         std::alloc::System.alloc_zeroed(layout)
     }
 
-    unsafe fn realloc(
-        &self,
-        ptr: *mut u8,
-        layout: std::alloc::Layout,
-        new_size: usize,
-    ) -> *mut u8 {
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         std::alloc::System.realloc(ptr, layout, new_size)
     }

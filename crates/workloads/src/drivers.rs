@@ -508,6 +508,226 @@ pub fn pingpong_contig(spec: &ClusterSpec, bytes: u64, warmup: u32, iters: u32) 
     pingpong(spec, &ty, 1, warmup, iters)
 }
 
+/// Result of an incast / oversubscription overload run.
+#[derive(Debug)]
+pub struct IncastResult {
+    /// Virtual time from the receiver's first instruction until every
+    /// message was matched (N→1 incast), or total run time (all-to-all
+    /// oversubscription).
+    pub completion_ns: Time,
+    /// High-water payload-bearing unexpected-queue occupancy across all
+    /// ranks.
+    pub peak_unexpected: u64,
+    /// Full run statistics.
+    pub stats: RunStats,
+}
+
+/// Cluster spec sized for many-rank overload runs: the per-peer eager
+/// rings shrink (8 slots of 2 KiB instead of 128 of 16 KiB) so a
+/// 65-rank incast fits in simulated memory, and `credits` eager credits
+/// per peer are applied with flow control on. `credits == 0` leaves
+/// flow control off — the classic unthrottled behaviour.
+pub fn incast_spec(nprocs: u32, credits: u32) -> ClusterSpec {
+    let mut s = ClusterSpec {
+        nprocs,
+        ..ClusterSpec::default()
+    };
+    s.mpi.eager_buf_size = 2048;
+    s.mpi.eager_bufs_per_peer = 8;
+    s.mpi.eager_send_bufs = 64;
+    if credits > 0 {
+        s.mpi.flow_control = true;
+        s.mpi.eager_credits = credits;
+        s.mpi.pending_cap = 64;
+        // Generous soft cap: grants already in flight when the blocking
+        // watermark is crossed can still land, so leave headroom above
+        // the theoretical fan_in * credits worst case.
+        s.mpi.unexpected_cap = 2 * nprocs as usize * credits as usize;
+    }
+    s
+}
+
+/// N→1 eager incast: every rank but 0 fires `msgs` eager messages of
+/// `msg_bytes` at rank 0 simultaneously, while the receiver is a slow
+/// consumer — it burns `recv_work_ns` of compute before each round of
+/// receives, so arrivals outpace matching and the unexpected queue
+/// takes the burst. Each (sender, message) payload carries its own
+/// pattern and lands in its own receive slot, so a lost, duplicated,
+/// or misrouted message fails the run.
+pub fn incast(spec: &ClusterSpec, msgs: u32, msg_bytes: u64, recv_work_ns: Time) -> IncastResult {
+    let n = spec.nprocs;
+    assert!(n >= 2, "incast needs at least one sender");
+    assert!(msgs > 0 && msg_bytes > 0);
+    let mut cluster = Cluster::new(spec.clone());
+    let ty = Datatype::contiguous(msg_bytes, &Datatype::byte()).expect("contig");
+    let stride = msg_bytes.max(8);
+    // Per-sender source region: one distinctly-patterned slot per
+    // message.
+    let mut sbufs = Vec::new();
+    for r in 1..n {
+        let sb = cluster.alloc(r, stride * msgs as u64, 4096);
+        for m in 0..msgs {
+            cluster.fill_pattern(
+                r,
+                sb + m as u64 * stride,
+                msg_bytes,
+                0xA11 + r as u64 * 1_000 + m as u64,
+            );
+        }
+        sbufs.push(sb);
+    }
+    let fan_in = (n - 1) as u64;
+    let rbuf = cluster.alloc(0, stride * fan_in * msgs as u64, 4096);
+    let rslot = |r: u32, m: u32| rbuf + (m as u64 * fan_in + (r - 1) as u64) * stride;
+
+    let mut p0: Program = vec![AppOp::MarkTime { slot: 0 }];
+    for m in 0..msgs {
+        if recv_work_ns > 0 {
+            p0.push(AppOp::Compute { ns: recv_work_ns });
+        }
+        for r in 1..n {
+            p0.push(AppOp::Irecv {
+                peer: r,
+                buf: rslot(r, m),
+                count: 1,
+                ty: ty.clone(),
+                tag: m,
+            });
+        }
+    }
+    p0.push(AppOp::WaitAll);
+    p0.push(AppOp::MarkTime { slot: 1 });
+    let mut progs = vec![p0];
+    for r in 1..n {
+        let mut p: Program = Vec::new();
+        for m in 0..msgs {
+            p.push(AppOp::Isend {
+                peer: 0,
+                buf: sbufs[(r - 1) as usize] + m as u64 * stride,
+                count: 1,
+                ty: ty.clone(),
+                tag: m,
+            });
+        }
+        p.push(AppOp::WaitAll);
+        progs.push(p);
+    }
+    let stats = cluster.run(progs);
+    for r in 1..n {
+        for m in 0..msgs {
+            let src = cluster.read_mem(r, sbufs[(r - 1) as usize] + m as u64 * stride, msg_bytes);
+            let dst = cluster.read_mem(0, rslot(r, m), msg_bytes);
+            assert_eq!(dst, src, "incast payload corrupt: sender {r} msg {m}");
+        }
+    }
+    let peak_unexpected = stats
+        .counters
+        .iter()
+        .map(|c| c.peak_unexpected)
+        .max()
+        .unwrap_or(0);
+    IncastResult {
+        completion_ns: stats.mark_interval(0, 0, 1),
+        peak_unexpected,
+        stats,
+    }
+}
+
+/// All-to-all eager oversubscription: every rank blasts `msgs` eager
+/// messages of `msg_bytes` at every other rank *before* posting any of
+/// its own receives, so each rank is simultaneously an incast victim
+/// and an incast source. Payloads are per-(sender, message) patterned
+/// and verified at every receiver.
+pub fn alltoall_oversub(spec: &ClusterSpec, msgs: u32, msg_bytes: u64) -> IncastResult {
+    let n = spec.nprocs;
+    assert!(n >= 2 && msgs > 0 && msg_bytes > 0);
+    let mut cluster = Cluster::new(spec.clone());
+    let ty = Datatype::contiguous(msg_bytes, &Datatype::byte()).expect("contig");
+    let stride = msg_bytes.max(8);
+    let peers = (n - 1) as u64;
+    let mut sbufs = Vec::new();
+    let mut rbufs = Vec::new();
+    for r in 0..n {
+        let sb = cluster.alloc(r, stride * msgs as u64, 4096);
+        for m in 0..msgs {
+            cluster.fill_pattern(
+                r,
+                sb + m as u64 * stride,
+                msg_bytes,
+                0xB22 + r as u64 * 1_000 + m as u64,
+            );
+        }
+        sbufs.push(sb);
+        rbufs.push(cluster.alloc(r, stride * peers * msgs as u64, 4096));
+    }
+    // Receive-slot index for (receiver r, sender s, message m): senders
+    // are packed densely, skipping r itself.
+    let sidx = |r: u32, s: u32| if s < r { s as u64 } else { (s - 1) as u64 };
+    let progs: Vec<Program> = (0..n)
+        .map(|r| {
+            let mut p: Program = Vec::new();
+            for m in 0..msgs {
+                for s in 0..n {
+                    if s == r {
+                        continue;
+                    }
+                    p.push(AppOp::Isend {
+                        peer: s,
+                        buf: sbufs[r as usize] + m as u64 * stride,
+                        count: 1,
+                        ty: ty.clone(),
+                        tag: m,
+                    });
+                }
+            }
+            for m in 0..msgs {
+                for s in 0..n {
+                    if s == r {
+                        continue;
+                    }
+                    p.push(AppOp::Irecv {
+                        peer: s,
+                        buf: rbufs[r as usize] + (m as u64 * peers + sidx(r, s)) * stride,
+                        count: 1,
+                        ty: ty.clone(),
+                        tag: m,
+                    });
+                }
+            }
+            p.push(AppOp::WaitAll);
+            p
+        })
+        .collect();
+    let stats = cluster.run(progs);
+    for r in 0..n {
+        for s in 0..n {
+            if s == r {
+                continue;
+            }
+            for m in 0..msgs {
+                let src = cluster.read_mem(s, sbufs[s as usize] + m as u64 * stride, msg_bytes);
+                let dst = cluster.read_mem(
+                    r,
+                    rbufs[r as usize] + (m as u64 * peers + sidx(r, s)) * stride,
+                    msg_bytes,
+                );
+                assert_eq!(dst, src, "oversub payload corrupt: {s}->{r} msg {m}");
+            }
+        }
+    }
+    let peak_unexpected = stats
+        .counters
+        .iter()
+        .map(|c| c.peak_unexpected)
+        .max()
+        .unwrap_or(0);
+    IncastResult {
+        completion_ns: stats.finish_ns,
+        peak_unexpected,
+        stats,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -587,6 +807,40 @@ mod tests {
             mult_large < dt_large,
             "multiple {mult_large} should win at 8 KiB blocks vs {dt_large}"
         );
+    }
+
+    #[test]
+    fn incast_small_fanin_verifies_with_credits() {
+        let mut s = incast_spec(5, 8);
+        s.mpi.audit = true;
+        let r = incast(&s, 6, 512, 2_000);
+        assert_eq!(r.stats.total_errors(), 0);
+        assert!(r.completion_ns > 0);
+        assert!(
+            r.peak_unexpected <= s.mpi.unexpected_cap as u64,
+            "peak {} above cap {}",
+            r.peak_unexpected,
+            s.mpi.unexpected_cap
+        );
+    }
+
+    #[test]
+    fn incast_without_flow_control_still_verifies() {
+        let s = incast_spec(5, 0);
+        let r = incast(&s, 6, 512, 2_000);
+        assert_eq!(r.stats.total_errors(), 0);
+        // No credits: nothing should have spilled for credit reasons.
+        let spills: u64 = r.stats.counters.iter().map(|c| c.credit_spills).sum();
+        assert_eq!(spills, 0);
+    }
+
+    #[test]
+    fn alltoall_oversub_verifies_with_credits() {
+        let mut s = incast_spec(4, 8);
+        s.mpi.audit = true;
+        let r = alltoall_oversub(&s, 4, 512);
+        assert_eq!(r.stats.total_errors(), 0);
+        assert!(r.completion_ns > 0);
     }
 
     #[test]

@@ -21,8 +21,9 @@ pub mod sweep;
 pub mod vector;
 
 pub use drivers::{
-    alltoall_time, bandwidth, pingpong, pingpong_asym, pingpong_contig, pingpong_manual,
-    pingpong_multiple, BandwidthResult, PingPongResult,
+    alltoall_oversub, alltoall_time, bandwidth, incast, incast_spec, pingpong, pingpong_asym,
+    pingpong_contig, pingpong_manual, pingpong_multiple, BandwidthResult, IncastResult,
+    PingPongResult,
 };
 pub use structdt::struct_datatype;
 pub use vector::{vector_datatype, VectorWorkload};

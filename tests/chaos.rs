@@ -124,6 +124,7 @@ fn recoverable_chaos_delivers_exactly_and_deterministically() {
         };
         let spec = || {
             let mut s = ClusterSpec::default();
+            s.mpi.audit = true;
             s.mpi.scheme = scheme;
             s.faults = faults.clone();
             s
@@ -161,6 +162,7 @@ fn unrecoverable_loss_fails_with_typed_errors() {
             return;
         }
         let mut spec = ClusterSpec::default();
+        spec.mpi.audit = true;
         spec.mpi.scheme = scheme;
         spec.net.retry_cnt = 1;
         spec.faults = FaultPlan {
@@ -199,6 +201,7 @@ fn registration_budget_forces_copy_fallback() {
     for scheme in [Scheme::RwgUp, Scheme::PRrs, Scheme::MultiW] {
         let ty = Datatype::hvector(64, 1024, 2048, &Datatype::byte()).unwrap();
         let mut spec = ClusterSpec::default();
+        spec.mpi.audit = true;
         spec.mpi.scheme = scheme;
         spec.mpi.reg_budget_bytes = 4096; // far below the 64 KiB payload
         let (stats, src, dst) = run_pair(spec, &ty, 1, 7);
@@ -224,6 +227,7 @@ fn ample_budget_never_falls_back() {
     for scheme in [Scheme::RwgUp, Scheme::PRrs, Scheme::MultiW] {
         let ty = Datatype::hvector(64, 1024, 2048, &Datatype::byte()).unwrap();
         let mut spec = ClusterSpec::default();
+        spec.mpi.audit = true;
         spec.mpi.scheme = scheme;
         let (stats, src, dst) = run_pair(spec, &ty, 1, 7);
         let fallbacks: u64 = stats.counters.iter().map(|c| c.scheme_fallbacks).sum();
@@ -243,6 +247,7 @@ fn ample_budget_never_falls_back() {
 fn slow_receiver_triggers_reply_probe_and_still_delivers() {
     let ty = Datatype::contiguous(256 * 1024, &Datatype::byte()).unwrap();
     let mut spec = ClusterSpec::default();
+    spec.mpi.audit = true;
     spec.mpi.scheme = Scheme::BcSpup;
     spec.mpi.rndv_reply_timeout_ns = 20_000;
     spec.mpi.rndv_max_rerequests = 100; // don't abort before the 300µs wake-up
@@ -308,6 +313,7 @@ fn link_failover_is_transparent_across_schemes() {
     ] {
         let spec = |faults: FaultPlan| {
             let mut s = ClusterSpec::default();
+            s.mpi.audit = true;
             s.mpi.scheme = scheme;
             s.faults = faults;
             s
@@ -363,6 +369,7 @@ fn link_down_without_apm_recovers_via_reconnect() {
         Scheme::Hybrid,
     ] {
         let mut spec = ClusterSpec::default();
+        spec.mpi.audit = true;
         spec.mpi.scheme = scheme;
         spec.net.apm_enabled = false;
         spec.faults = FaultPlan {
@@ -403,6 +410,7 @@ fn link_down_without_apm_recovers_via_reconnect() {
 fn reconnect_budget_exhaustion_fails_typed() {
     let ty = Datatype::hvector(64, 4096, 8192, &Datatype::byte()).unwrap();
     let mut spec = ClusterSpec::default();
+    spec.mpi.audit = true;
     spec.mpi.scheme = Scheme::BcSpup;
     spec.mpi.max_reconnects = 2;
     spec.net.apm_enabled = false;
@@ -450,6 +458,7 @@ fn protection_fault_renegotiates_to_copy_and_delivers() {
     let ty = Datatype::hvector(64, 4096, 8192, &Datatype::byte()).unwrap();
     for scheme in [Scheme::MultiW, Scheme::Hybrid] {
         let mut spec = ClusterSpec::default();
+        spec.mpi.audit = true;
         spec.mpi.scheme = scheme;
         spec.faults = FaultPlan {
             seed: 0xAB4E,
@@ -478,6 +487,7 @@ fn protection_fault_renegotiates_to_copy_and_delivers() {
 fn exhausted_probe_budget_aborts_with_reply_timeout() {
     let ty = Datatype::contiguous(64 * 1024, &Datatype::byte()).unwrap();
     let mut spec = ClusterSpec::default();
+    spec.mpi.audit = true;
     spec.mpi.scheme = Scheme::BcSpup;
     spec.mpi.rndv_reply_timeout_ns = 10_000;
     spec.mpi.rndv_max_rerequests = 2;

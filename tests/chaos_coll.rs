@@ -16,6 +16,7 @@ fn spec(scheme: Scheme, nprocs: u32, faults: FaultPlan) -> ClusterSpec {
         ..Default::default()
     };
     s.mpi.scheme = scheme;
+    s.mpi.audit = true;
     s.faults = faults;
     s
 }

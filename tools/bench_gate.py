@@ -21,7 +21,7 @@ Two kinds of gate:
 import json
 import sys
 
-GATED_PREFIXES = ("pack/plan/", "unpack/plan/", "pack/segment/", "sweep_x1/")
+GATED_PREFIXES = ("pack/plan/", "unpack/plan/", "pack/segment/", "sweep_x1/", "incast/")
 ZERO_ALLOC_PREFIXES = ("repeated_send/persistent_eager/", "repeated_send/pack_eager/new/")
 TOLERANCE = 1.15
 ALLOC_SLACK = 0.5
