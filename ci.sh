@@ -12,18 +12,25 @@
 # `./ci.sh --soak` replays the incast/oversubscription soak suite
 # (64→1 fan-in and 8×8 all-to-all, flow-control invariant auditor on)
 # under the same fixed seed matrix (the `soak` job in CI).
+#
+# `./ci.sh --scale` runs the sharded scale-driver smoke: a 1024-rank
+# vector Alltoall must finish inside its wall-clock and per-rank
+# state budgets, and the 8-shard run must be bit-identical to the
+# sequential reference (DESIGN.md §14, EXPERIMENTS.md X14).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 CHAOS=0
 BENCH_GATE=0
 SOAK=0
+SCALE=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
     --bench-gate) BENCH_GATE=1 ;;
     --soak) SOAK=1 ;;
-    *) echo "unknown argument: $arg (supported: --chaos, --bench-gate, --soak)" >&2; exit 2 ;;
+    --scale) SCALE=1 ;;
+    *) echo "unknown argument: $arg (supported: --chaos, --bench-gate, --soak, --scale)" >&2; exit 2 ;;
   esac
 done
 
@@ -95,6 +102,11 @@ if [[ "$SOAK" == 1 ]]; then
     echo "==> incast soak matrix: IBDT_CHAOS_SEED=$seed"
     IBDT_CHAOS_SEED=$seed cargo test -q --test incast
   done
+fi
+
+if [[ "$SCALE" == 1 ]]; then
+  echo "==> scale smoke (1024-rank Alltoall within budget, bit-identical shards)"
+  ./target/release/scale --smoke
 fi
 
 echo "CI OK"

@@ -1,0 +1,95 @@
+//! X14: sharded-scale driver measurements (DESIGN.md §14).
+//!
+//! Runs the lightweight scale model's vector Alltoall at growing rank
+//! counts and reports wall-clock time and resident model state, showing
+//! memory scales with active pairs (window-bounded) rather than n².
+//! Writes `results/x14.csv`.
+//!
+//! `--smoke` runs only the 1024-rank point and enforces the CI budget
+//! (wall time and per-rank state), exiting nonzero on a miss — the
+//! `ci.sh --scale` gate.
+
+use ibdt_workloads::{run_scale, ScaleConfig, ScaleReport};
+use std::time::Instant;
+
+/// CI budget for the 1024-rank smoke: wall-clock seconds.
+const SMOKE_WALL_BUDGET_S: f64 = 10.0;
+/// CI budget for the 1024-rank smoke: model state per rank, bytes.
+/// The per-rank footprint is O(window + shard overhead), not O(n);
+/// 4 KiB/rank is an order of magnitude above the measured value, so a
+/// regression back toward dense n² tables trips the gate loudly.
+const SMOKE_STATE_PER_RANK_B: usize = 4096;
+
+fn run_point(ranks: u32, shards: usize, threads: usize) -> (ScaleReport, f64) {
+    let cfg = ScaleConfig {
+        ranks,
+        shards,
+        threads,
+        ..ScaleConfig::default()
+    };
+    let t0 = Instant::now();
+    let rep = run_scale(&cfg);
+    (rep, t0.elapsed().as_secs_f64())
+}
+
+fn smoke() -> i32 {
+    let (rep, wall) = run_point(1024, 8, 8);
+    let per_rank = rep.state_bytes / rep.ranks as usize;
+    println!(
+        "scale smoke: 1024-rank vector Alltoall: {:.2}s wall, {} msgs, \
+         {} B state ({} B/rank), fingerprint {:#018x}",
+        wall, rep.msgs, rep.state_bytes, per_rank, rep.fingerprint
+    );
+    let mut ok = true;
+    if wall > SMOKE_WALL_BUDGET_S {
+        println!("FAIL: wall {wall:.2}s exceeds budget {SMOKE_WALL_BUDGET_S}s");
+        ok = false;
+    }
+    if per_rank > SMOKE_STATE_PER_RANK_B {
+        println!("FAIL: state {per_rank} B/rank exceeds budget {SMOKE_STATE_PER_RANK_B} B/rank");
+        ok = false;
+    }
+    // The sharded run must agree with the sequential reference —
+    // lookahead synchronization is only correct if it is bit-identical.
+    let (reference, _) = run_point(1024, 1, 1);
+    if reference.fingerprint != rep.fingerprint {
+        println!(
+            "FAIL: sharded fingerprint {:#018x} != sequential {:#018x}",
+            rep.fingerprint, reference.fingerprint
+        );
+        ok = false;
+    }
+    if ok {
+        println!("scale smoke OK");
+        0
+    } else {
+        1
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        std::process::exit(smoke());
+    }
+    let mut csv = String::from("ranks,shards,threads,msgs,finish_ns,wall_s,state_bytes\n");
+    println!(
+        "{:>6} {:>7} {:>8} {:>9} {:>14} {:>9} {:>12}",
+        "ranks", "shards", "threads", "msgs", "finish_ns", "wall_s", "state_bytes"
+    );
+    for ranks in [64u32, 256, 1024, 4096] {
+        for (shards, threads) in [(1usize, 1usize), (8, 8)] {
+            let (rep, wall) = run_point(ranks, shards, threads);
+            println!(
+                "{:>6} {:>7} {:>8} {:>9} {:>14} {:>9.3} {:>12}",
+                ranks, shards, threads, rep.msgs, rep.finish_ns, wall, rep.state_bytes
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{},{:.4},{}\n",
+                ranks, shards, threads, rep.msgs, rep.finish_ns, wall, rep.state_bytes
+            ));
+        }
+    }
+    std::fs::create_dir_all("results").expect("mkdir results");
+    std::fs::write("results/x14.csv", csv).expect("write results/x14.csv");
+    println!("\nwrote results/x14.csv");
+}

@@ -406,6 +406,34 @@ fn wide_block_kernels_equal_naive_walk() {
 }
 
 #[test]
+fn bench_shape_const_stride_equals_naive_walk() {
+    // The hotpath benchmark shape: vector(128, 64, 4096, int) — 128
+    // blocks of 256 B at a 16 KiB stride. Large enough that the AVX2
+    // kernel's software prefetch runs several blocks ahead of the
+    // copy; the walk must stay byte-identical to the naive segment
+    // path at every destination alignment class.
+    let ty = Datatype::vector(128, 64, 4096, &Datatype::int()).unwrap();
+    let seg = Segment::new(&ty, 1);
+    let plan = TransferPlan::compile(&ty, 1);
+    let n = plan.total_bytes();
+    let (_, max_end) = plan.envelope();
+    for base in [0usize, 1, 31, 63] {
+        let len = base + max_end as usize;
+        let buf: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let mut sa = vec![0u8; n as usize];
+        let mut pa = vec![0u8; n as usize];
+        seg.pack(0, n, &buf, base, &mut sa).unwrap();
+        plan.pack(0, n, &buf, base, &mut pa).unwrap();
+        assert_eq!(pa, sa, "pack diverged at base {base}");
+        let mut ua = vec![0xEEu8; len];
+        let mut ub = vec![0xEEu8; len];
+        seg.unpack(0, n, &sa, &mut ua, base).unwrap();
+        plan.unpack(0, n, &sa, &mut ub, base).unwrap();
+        assert_eq!(ub, ua, "unpack diverged at base {base}");
+    }
+}
+
+#[test]
 fn transfer_plan_equals_segment_on_random_schedules() {
     cases(0xD7A0_000B, 256, |rng| {
         let m = model(rng);

@@ -61,6 +61,7 @@ use crate::model::NetConfig;
 use crate::payload::Payload;
 use crate::wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge, SgeList};
 use ibdt_memreg::{AddressSpace, MemError, RegTable};
+use ibdt_simcore::paged::PagedTable;
 use ibdt_simcore::resource::SerialResource;
 use ibdt_simcore::slab::{Handle, Slab};
 use ibdt_simcore::time::Time;
@@ -300,14 +301,17 @@ impl PendingRetry {
 #[derive(Debug)]
 struct Node {
     tx: SerialResource,
-    /// Receive queues, indexed by peer rank (dense: the peer space is
-    /// fixed at construction).
-    recvq: Vec<VecDeque<RecvWr>>,
+    /// Receive queues, indexed by peer rank. Paged: a page of queues
+    /// materializes the first time a peer actually posts, so a node in
+    /// a large fabric that talks to few peers holds few pages. An
+    /// untouched entry reads as an empty queue — exactly the dense
+    /// table's initial state.
+    recvq: PagedTable<VecDeque<RecvWr>>,
     /// Parked transfers awaiting a receive descriptor (RNR), by peer.
-    parked: Vec<VecDeque<ParkedEntry>>,
+    parked: PagedTable<VecDeque<ParkedEntry>>,
     /// Posted-but-unprocessed send WQEs per peer QP (send-queue
     /// occupancy accounting + flush-with-error bookkeeping), by peer.
-    sq_busy: Vec<VecDeque<SqEntry>>,
+    sq_busy: PagedTable<VecDeque<SqEntry>>,
 }
 
 /// Fabric statistics.
@@ -348,12 +352,13 @@ pub struct FabricStats {
     pub recv_low_water: u64,
 }
 
-/// Per-direction QP state, stored densely (one entry per ordered node
-/// pair, indexed `src * n + dst`). The rank space is small, dense and
-/// fixed at construction, so every lookup the per-message hot path
-/// used to hash is a single indexed load here. Defaults encode the
-/// former "absent entry" semantics: RTS state, epoch 0, path 0,
-/// sequence counters at 0.
+/// Per-direction QP state, indexed `src * n + dst` through a paged
+/// sparse-dense table: memory scales with the directions actually
+/// exercised, not n², while every lookup the per-message hot path
+/// used to hash stays a couple of indexed loads. Defaults encode the
+/// "absent entry" semantics: RTS state, epoch 0, path 0, sequence
+/// counters at 0 — an untouched direction behaves exactly like a
+/// freshly constructed one, so reads never materialize pages.
 #[derive(Debug)]
 struct DirState {
     /// Lifecycle state; fabrics start fully connected (RTS), matching
@@ -391,6 +396,38 @@ impl Default for DirState {
     }
 }
 
+thread_local! {
+    /// Receive rings retired by dropped fabrics; a fresh fabric's first
+    /// posts adopt them, so a sweep building one short-lived cluster
+    /// per point pays the ring-growth allocations only once per thread.
+    static RECVQ_SPARE: std::cell::RefCell<Vec<VecDeque<RecvWr>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Cap on the retired receive-ring list.
+const RECVQ_SPARE_CAP: usize = 32;
+
+impl Drop for Fabric {
+    fn drop(&mut self) {
+        // try_with: thread teardown may have destroyed the spare list.
+        let _ = RECVQ_SPARE.try_with(|s| {
+            let mut s = s.borrow_mut();
+            for n in &mut self.nodes {
+                for (_, q) in n.recvq.iter_touched_mut() {
+                    if s.len() >= RECVQ_SPARE_CAP {
+                        return;
+                    }
+                    if q.capacity() > 0 {
+                        let mut q = std::mem::take(q);
+                        q.clear();
+                        s.push(q);
+                    }
+                }
+            }
+        });
+    }
+}
+
 /// The simulated InfiniBand fabric.
 #[derive(Debug)]
 pub struct Fabric {
@@ -408,8 +445,8 @@ pub struct Fabric {
     /// [`NicEvent::RetryTimeout`] as `u64`s; stale handles (flushed
     /// transfers) resolve to `None` on removal.
     inflight: Slab<PendingRetry>,
-    /// Dense per-direction QP state, indexed `src * n + dst`.
-    dirs: Vec<DirState>,
+    /// Paged per-direction QP state, indexed `src * n + dst`.
+    dirs: PagedTable<DirState>,
     /// Number of directions currently mid-migration (fast-path gate
     /// standing in for the old map's `is_empty`).
     migrating: usize,
@@ -436,9 +473,9 @@ impl Fabric {
         let nodes = (0..n)
             .map(|_| Node {
                 tx: SerialResource::new("nic-tx").with_trace(),
-                recvq: (0..n).map(|_| VecDeque::new()).collect(),
-                parked: (0..n).map(|_| VecDeque::new()).collect(),
-                sq_busy: (0..n).map(|_| VecDeque::new()).collect(),
+                recvq: PagedTable::new(n),
+                parked: PagedTable::new(n),
+                sq_busy: PagedTable::new(n),
             })
             .collect();
         Self {
@@ -449,7 +486,7 @@ impl Fabric {
             next_id: 0,
             next_order: 0,
             inflight: Slab::new(),
-            dirs: (0..n * n).map(|_| DirState::default()).collect(),
+            dirs: PagedTable::new(n * n),
             migrating: 0,
             ports_down: vec![[false; 2]; n],
             ports_down_count: 0,
@@ -693,8 +730,18 @@ impl Fabric {
         if d.migrating_until.take().is_some() {
             self.migrating -= 1;
         }
-        self.nodes[node as usize].sq_busy[peer as usize].clear();
-        self.nodes[peer as usize].parked[node as usize].clear();
+        if let Some(q) = self.nodes[node as usize]
+            .sq_busy
+            .get_mut_touched(peer as usize)
+        {
+            q.clear();
+        }
+        if let Some(q) = self.nodes[peer as usize]
+            .parked
+            .get_mut_touched(node as usize)
+        {
+            q.clear();
+        }
         let handles: Vec<Handle> = self
             .inflight
             .iter()
@@ -746,6 +793,25 @@ impl Fabric {
     /// Accumulated statistics.
     pub fn stats(&self) -> FabricStats {
         self.stats
+    }
+
+    /// Heap bytes held by the paged connection-state tables: the
+    /// per-direction QP table plus every node's receive/park/send-queue
+    /// tables. Scales with the communication pairs actually touched,
+    /// not n² — the quantity the rank-scaling experiment plots.
+    pub fn table_bytes(&self) -> usize {
+        self.dirs.heap_bytes()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.recvq.heap_bytes() + n.parked.heap_bytes() + n.sq_busy.heap_bytes())
+                .sum::<usize>()
+    }
+
+    /// Pages materialized in the per-direction QP table (each covering
+    /// [`ibdt_simcore::paged::PAGE`] ordered pairs).
+    pub fn dir_pages_touched(&self) -> usize {
+        self.dirs.pages_touched()
     }
 
     /// The transmit engine of `node` (utilization / trace inspection).
@@ -1076,7 +1142,21 @@ impl Fabric {
         }
         self.validate_sges(node, &wr.sges, &mems[node as usize])?;
         let n = &mut self.nodes[node as usize];
-        n.recvq[peer as usize].push_back(wr);
+        let q = &mut n.recvq[peer as usize];
+        if q.capacity() == 0 {
+            // First post on this direction: adopt a ring retired by a
+            // previous fabric on this thread, or size one in a single
+            // step instead of dribbling through doubling growth.
+            match RECVQ_SPARE
+                .try_with(|s| s.borrow_mut().pop())
+                .ok()
+                .flatten()
+            {
+                Some(spare) => *q = spare,
+                None => q.reserve(16),
+            }
+        }
+        q.push_back(wr);
         if !n.parked[peer as usize].is_empty() {
             sink(now, NicEvent::RnrRetry { node, peer });
         }
@@ -1242,7 +1322,12 @@ impl Fabric {
         out: &mut Vec<(u32, Cqe)>,
     ) {
         self.drain_parked(now, node, peer, mems, sink, out);
-        let q = &mut self.nodes[node as usize].parked[peer as usize];
+        let Some(q) = self.nodes[node as usize]
+            .parked
+            .get_mut_touched(peer as usize)
+        else {
+            return;
+        };
         let Some(pos) = q.iter().position(|p| p.id == park_id) else {
             // Delivered (or flushed) in the meantime.
             return;
@@ -1312,8 +1397,10 @@ impl Fabric {
         let mut flush_wrs: Vec<u64> = Vec::new();
 
         // Send-queue slots whose NIC processing hasn't finished.
+        if let Some(q) = self.nodes[requester as usize]
+            .sq_busy
+            .get_mut_touched(responder as usize)
         {
-            let q = &mut self.nodes[requester as usize].sq_busy[responder as usize];
             for e in q.drain(..) {
                 if e.done > now && flushed.insert(e.wr_id) {
                     flush_wrs.push(e.wr_id);
@@ -1339,8 +1426,10 @@ impl Fabric {
             }
         }
         // Transfers parked for RNR at the responder.
+        if let Some(q) = self.nodes[responder as usize]
+            .parked
+            .get_mut_touched(requester as usize)
         {
-            let q = &mut self.nodes[responder as usize].parked[requester as usize];
             for e in q.drain(..) {
                 let wr = e.xfer.kind.wr_id();
                 if flushed.insert(wr) {
@@ -1396,7 +1485,11 @@ impl Fabric {
             if node_st.recvq[peer as usize].is_empty() {
                 break;
             }
-            let Some(entry) = node_st.parked[peer as usize].pop_front() else {
+            let Some(entry) = node_st
+                .parked
+                .get_mut_touched(peer as usize)
+                .and_then(|q| q.pop_front())
+            else {
                 break;
             };
             self.deliver(now, node, entry.xfer, mems, sink, out);
@@ -1800,7 +1893,9 @@ impl Fabric {
 
     fn consume_recv(&mut self, dst: u32, src: u32, len: u64) -> ConsumeOutcome {
         let wm = self.cfg.recv_low_watermark;
-        let q = &mut self.nodes[dst as usize].recvq[src as usize];
+        let Some(q) = self.nodes[dst as usize].recvq.get_mut_touched(src as usize) else {
+            return ConsumeOutcome::NoDescriptor;
+        };
         let outcome = match q.front() {
             None => return ConsumeOutcome::NoDescriptor,
             Some(r) if r.capacity() < len => {

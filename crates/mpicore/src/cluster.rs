@@ -562,30 +562,30 @@ impl Cluster {
                 }
                 let rb = &self.ranks[b];
                 assert_eq!(
-                    u64::from(ra.fc_credits[b]) + ra.fc_sent[b],
-                    pool + ra.fc_received[b],
+                    u64::from(ra.fc[b].credits) + ra.fc[b].sent,
+                    pool + ra.fc[b].received,
                     "rank {a}→{b}: credit conservation violated"
                 );
                 assert!(
-                    u64::from(ra.fc_credits[b]) <= pool,
+                    u64::from(ra.fc[b].credits) <= pool,
                     "rank {a}→{b}: credits exceed the configured pool"
                 );
                 assert_eq!(
-                    rb.fc_granted[a] + u64::from(rb.fc_owed[a]),
-                    rb.fc_matched[a],
+                    rb.fc[a].granted + u64::from(rb.fc[a].owed),
+                    rb.fc[a].matched,
                     "rank {b}←{a}: matched messages neither granted nor owed"
                 );
                 assert!(
-                    ra.fc_received[b] <= rb.fc_granted[a],
+                    ra.fc[b].received <= rb.fc[a].granted,
                     "rank {a}→{b}: more credits received than ever granted"
                 );
                 assert!(
-                    rb.fc_matched[a] <= ra.fc_sent[b],
+                    rb.fc[a].matched <= ra.fc[b].sent,
                     "rank {b}←{a}: more messages matched than credits consumed"
                 );
                 if quiescent {
                     assert_eq!(
-                        ra.fc_sent[b], rb.fc_matched[a],
+                        ra.fc[b].sent, rb.fc[a].matched,
                         "rank {a}→{b}: eager message lost or duplicated \
                          (sent ≠ matched at clean quiescence)"
                     );

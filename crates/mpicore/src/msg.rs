@@ -8,6 +8,12 @@
 
 use ibdt_datatype::cache::TypeTag;
 use ibdt_datatype::FlatLayout;
+use ibdt_simcore::InlineVec;
+
+/// Per-segment `(addr, rkey)` reply targets. Inline up to 4 entries:
+/// steady-state rendezvous replies carry a handful of segments, so the
+/// common decode allocates nothing; wide replies spill to the heap.
+pub type SegList = InlineVec<(u64, u32), 4>;
 
 /// A control message.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,7 +127,7 @@ pub enum ReplyBody {
     /// BC-SPUP / RWG-UP: one unpack pool buffer per segment.
     Segments {
         /// `(addr, rkey)` per segment, in segment order.
-        segs: Vec<(u64, u32)>,
+        segs: SegList,
     },
     /// Multi-W: receiver buffer origin, datatype tag (with layout on
     /// cache miss), instance count, and the registered regions.
@@ -403,7 +409,7 @@ impl CtrlMsg {
                     },
                     B_SEGMENTS => {
                         let n = r.u32()? as usize;
-                        let mut segs = Vec::with_capacity(n);
+                        let mut segs = SegList::new();
                         for _ in 0..n {
                             segs.push((r.u64()?, r.u32()?));
                         }
@@ -567,7 +573,7 @@ mod tests {
             seq: 6,
             scheme: 1,
             body: ReplyBody::Segments {
-                segs: vec![(0x1000, 1), (0x2000, 2), (0x3000, 3)],
+                segs: vec![(0x1000, 1), (0x2000, 2), (0x3000, 3)].into(),
             },
         });
     }

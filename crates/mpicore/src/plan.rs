@@ -14,7 +14,7 @@
 use ibdt_datatype::{Datatype, TransferPlan, TypeRegistry};
 use ibdt_memreg::Va;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One planned RDMA write: gather `sges` (absolute addresses) into the
 /// contiguous destination `dst`.
@@ -171,6 +171,34 @@ pub fn imm_parse(imm: u32) -> (u16, u32) {
     ((imm >> 16) as u16, imm & 0xFFFF)
 }
 
+/// Process-wide pool of compiled plans, shared across ranks and
+/// cluster instances the way payload slabs and address-space backing
+/// stores are pooled: a parameter sweep builds a fresh cluster per
+/// point but keeps sending the *same* datatype, and recompiling the
+/// plan per cluster was the last fixed per-iteration allocation burst.
+/// Keyed by `(Datatype::id(), count)` — ids come from a process-global
+/// counter and are never reused, and a type's structure is immutable
+/// after construction, so a pooled plan can never go stale. Bounded;
+/// on overflow the pool is cleared (plans are cheap to recompile).
+type SharedPlanMap = HashMap<(u64, u64), Arc<TransferPlan>>;
+static SHARED_PLANS: Mutex<Option<SharedPlanMap>> = Mutex::new(None);
+const SHARED_PLAN_CAP: usize = 256;
+
+fn shared_plan_lookup(id: u64, count: u64) -> Option<Arc<TransferPlan>> {
+    let guard = SHARED_PLANS.lock().ok()?;
+    guard.as_ref()?.get(&(id, count)).cloned()
+}
+
+fn shared_plan_publish(id: u64, count: u64, plan: &Arc<TransferPlan>) {
+    if let Ok(mut guard) = SHARED_PLANS.lock() {
+        let map = guard.get_or_insert_with(HashMap::new);
+        if map.len() >= SHARED_PLAN_CAP {
+            map.clear();
+        }
+        map.insert((id, count), plan.clone());
+    }
+}
+
 /// Per-rank LRU cache of compiled [`TransferPlan`]s, keyed by the
 /// §5.4.2 datatype-cache version: `(type index, type version, count)`.
 /// The registry assigns the index/version, so a freed-and-reused type
@@ -229,7 +257,11 @@ impl PlanCache {
             return plan.clone();
         }
         self.misses += 1;
-        let plan = Arc::new(TransferPlan::compile(ty, count));
+        let plan = shared_plan_lookup(ty.id(), count).unwrap_or_else(|| {
+            let p = Arc::new(TransferPlan::compile(ty, count));
+            shared_plan_publish(ty.id(), count, &p);
+            p
+        });
         if self.map.len() >= self.cap {
             // Evict the least recently used entry. The cap is small, so
             // a linear scan beats maintaining an ordered structure.

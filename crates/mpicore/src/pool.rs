@@ -7,6 +7,18 @@
 //! allocation + on-the-fly registration, the second solution of §4.3.3.
 
 use ibdt_memreg::{AddressSpace, MemError, RegTable, Va};
+use std::collections::HashSet;
+
+/// A pack/unpack staging buffer (pool segment or dynamic fallback).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StageBuf {
+    pub va: Va,
+    pub len: u64,
+    pub lkey: u32,
+    pub rkey: u32,
+    /// True when allocated dynamically (fallback path, §4.3.3).
+    pub dynamic: bool,
+}
 
 /// A pool of equally sized, pre-registered segment buffers.
 #[derive(Debug)]
@@ -34,8 +46,16 @@ impl SegmentPool {
         let count = total_size / seg_size;
         let base = space.alloc_page_aligned(count * seg_size)?;
         let reg = regs.register(base, count * seg_size);
-        // LIFO with the lowest addresses on top.
-        let free = (0..count).rev().map(|i| base + i * seg_size).collect();
+        // LIFO with the lowest addresses on top. The list itself is
+        // recycled through the thread-local spare so sweeps that build
+        // one cluster per point stop paying for it after the first.
+        let mut free: Vec<Va> = SPARE
+            .try_with(|s| s.borrow_mut().vas.pop())
+            .ok()
+            .flatten()
+            .unwrap_or_default();
+        free.clear();
+        free.extend((0..count).rev().map(|i| base + i * seg_size));
         Ok(Self {
             seg_size,
             base,
@@ -122,6 +142,21 @@ impl SegmentPool {
     }
 }
 
+impl Drop for SegmentPool {
+    fn drop(&mut self) {
+        let _ = SPARE.try_with(|s| {
+            let mut s = s.borrow_mut();
+            if s.vas.len() < SPARE_CAP {
+                let mut v = std::mem::take(&mut self.free);
+                v.clear();
+                if v.capacity() > 0 {
+                    s.vas.push(v);
+                }
+            }
+        });
+    }
+}
+
 /// Reusable host-side scratch buffers for the zero-allocation hot
 /// path: packed-byte staging (`Vec<u8>`), block/SGE lists
 /// (`Vec<(Va, u64)>`), and block-length lists (`Vec<u64>`). Buffers
@@ -129,13 +164,88 @@ impl SegmentPool {
 /// steady-state sends stop allocating after the first few messages.
 /// Purely host-side — no modelled cost, no effect on the virtual
 /// clock.
+///
+/// When a pool is dropped its buffers spill to a bounded thread-local
+/// free-list, and a fresh pool's first takes refill from it — the same
+/// recycling the payload slabs use. A parameter sweep that builds one
+/// short-lived cluster per point therefore stops paying scratch
+/// warm-up allocations after its first iteration.
 #[derive(Debug, Default)]
 pub struct ScratchPool {
     bytes: Vec<Vec<u8>>,
     blocks: Vec<Vec<(Va, u64)>>,
     lens: Vec<Vec<u64>>,
+    stage: Vec<Vec<StageBuf>>,
+    sets: Vec<HashSet<u32>>,
     reuses: u64,
     allocs: u64,
+}
+
+thread_local! {
+    static SPARE: std::cell::RefCell<ScratchSpare> = const {
+        std::cell::RefCell::new(ScratchSpare {
+            bytes: Vec::new(),
+            blocks: Vec::new(),
+            lens: Vec::new(),
+            stage: Vec::new(),
+            vas: Vec::new(),
+            sets: Vec::new(),
+        })
+    };
+}
+
+struct ScratchSpare {
+    bytes: Vec<Vec<u8>>,
+    blocks: Vec<Vec<(Va, u64)>>,
+    lens: Vec<Vec<u64>>,
+    stage: Vec<Vec<StageBuf>>,
+    vas: Vec<Vec<Va>>,
+    sets: Vec<HashSet<u32>>,
+}
+
+/// Per-kind cap on the thread-local spare list.
+const SPARE_CAP: usize = 64;
+/// Minimum capacity of a pooled byte buffer (covers every control
+/// message wire size).
+const MIN_BYTES_CAP: usize = 64;
+
+impl Drop for ScratchPool {
+    fn drop(&mut self) {
+        // try_with: thread teardown may have destroyed the spare list.
+        let _ = SPARE.try_with(|s| {
+            let mut s = s.borrow_mut();
+            while s.bytes.len() < SPARE_CAP {
+                match self.bytes.pop() {
+                    Some(v) => s.bytes.push(v),
+                    None => break,
+                }
+            }
+            while s.blocks.len() < SPARE_CAP {
+                match self.blocks.pop() {
+                    Some(v) => s.blocks.push(v),
+                    None => break,
+                }
+            }
+            while s.lens.len() < SPARE_CAP {
+                match self.lens.pop() {
+                    Some(v) => s.lens.push(v),
+                    None => break,
+                }
+            }
+            while s.stage.len() < SPARE_CAP {
+                match self.stage.pop() {
+                    Some(v) => s.stage.push(v),
+                    None => break,
+                }
+            }
+            while s.sets.len() < SPARE_CAP {
+                match self.sets.pop() {
+                    Some(v) => s.sets.push(v),
+                    None => break,
+                }
+            }
+        });
+    }
 }
 
 impl ScratchPool {
@@ -147,16 +257,35 @@ impl ScratchPool {
     /// Takes a zeroed byte buffer of exactly `len` bytes, reusing a
     /// returned buffer's capacity when one is available.
     pub fn take_bytes(&mut self, len: usize) -> Vec<u8> {
+        let spare = |p: &mut Self| {
+            p.bytes.extend(
+                SPARE
+                    .try_with(|s| s.borrow_mut().bytes.pop())
+                    .ok()
+                    .flatten(),
+            )
+        };
+        if self.bytes.is_empty() {
+            spare(self);
+        }
         match self.bytes.pop() {
             Some(mut v) => {
                 self.reuses += 1;
                 v.clear();
+                if v.capacity() < len {
+                    // Round small buffers up so a 27-byte control
+                    // encode and a 36-byte control receive can share
+                    // one recycled buffer without regrowing it.
+                    v.reserve(len.max(MIN_BYTES_CAP));
+                }
                 v.resize(len, 0);
                 v
             }
             None => {
                 self.allocs += 1;
-                vec![0u8; len]
+                let mut v = Vec::with_capacity(len.max(MIN_BYTES_CAP));
+                v.resize(len, 0);
+                v
             }
         }
     }
@@ -170,6 +299,14 @@ impl ScratchPool {
 
     /// Takes an empty block/SGE list, reusing returned capacity.
     pub fn take_blocks(&mut self) -> Vec<(Va, u64)> {
+        if self.blocks.is_empty() {
+            self.blocks.extend(
+                SPARE
+                    .try_with(|s| s.borrow_mut().blocks.pop())
+                    .ok()
+                    .flatten(),
+            );
+        }
         match self.blocks.pop() {
             Some(mut v) => {
                 self.reuses += 1;
@@ -192,6 +329,10 @@ impl ScratchPool {
 
     /// Takes an empty block-length list, reusing returned capacity.
     pub fn take_lens(&mut self) -> Vec<u64> {
+        if self.lens.is_empty() {
+            self.lens
+                .extend(SPARE.try_with(|s| s.borrow_mut().lens.pop()).ok().flatten());
+        }
         match self.lens.pop() {
             Some(mut v) => {
                 self.reuses += 1;
@@ -209,6 +350,62 @@ impl ScratchPool {
     pub fn put_lens(&mut self, v: Vec<u64>) {
         if v.capacity() > 0 {
             self.lens.push(v);
+        }
+    }
+
+    /// Takes an empty stage-buffer list, reusing returned capacity.
+    pub(crate) fn take_stage(&mut self) -> Vec<StageBuf> {
+        if self.stage.is_empty() {
+            self.stage.extend(
+                SPARE
+                    .try_with(|s| s.borrow_mut().stage.pop())
+                    .ok()
+                    .flatten(),
+            );
+        }
+        match self.stage.pop() {
+            Some(mut v) => {
+                self.reuses += 1;
+                v.clear();
+                v
+            }
+            None => {
+                self.allocs += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a stage-buffer list for reuse.
+    pub(crate) fn put_stage(&mut self, v: Vec<StageBuf>) {
+        if v.capacity() > 0 {
+            self.stage.push(v);
+        }
+    }
+
+    /// Takes an empty index set, reusing a returned set's table.
+    pub(crate) fn take_set(&mut self) -> HashSet<u32> {
+        if self.sets.is_empty() {
+            self.sets
+                .extend(SPARE.try_with(|s| s.borrow_mut().sets.pop()).ok().flatten());
+        }
+        match self.sets.pop() {
+            Some(mut v) => {
+                self.reuses += 1;
+                v.clear();
+                v
+            }
+            None => {
+                self.allocs += 1;
+                HashSet::new()
+            }
+        }
+    }
+
+    /// Returns an index set for reuse.
+    pub(crate) fn put_set(&mut self, v: HashSet<u32>) {
+        if v.capacity() > 0 {
+            self.sets.push(v);
         }
     }
 

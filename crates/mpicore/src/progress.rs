@@ -227,7 +227,7 @@ enum SendTargets {
     /// Generic: one unpack buffer.
     Buffer { addr: Va, rkey: u32 },
     /// BC-SPUP / RWG-UP: per-segment unpack buffers.
-    Segments(Vec<(Va, u32)>),
+    Segments(crate::msg::SegList),
     /// Multi-W: receiver block list and covering regions.
     MultiW {
         rcv_blocks: Vec<(Va, u64)>,
@@ -239,16 +239,7 @@ enum SendTargets {
     HybridReady,
 }
 
-/// A pack/unpack staging buffer (pool segment or dynamic fallback).
-#[derive(Debug, Clone, Copy)]
-struct StageBuf {
-    va: Va,
-    len: u64,
-    lkey: u32,
-    rkey: u32,
-    /// True when allocated dynamically (fallback path, §4.3.3).
-    dynamic: bool,
-}
+pub(crate) use crate::pool::StageBuf;
 
 /// Sender-side Hybrid state (§10 future work): the partition of the
 /// stream into direct-write and packed parts, derived from the
@@ -426,12 +417,12 @@ pub fn isend(
         if ctx.cfg.pending_cap > 0 && rs.eager_pending.len() >= ctx.cfg.pending_cap {
             // Rung 2 of the degradation ladder: throttled eager.
             rs.counters.pending_spills += 1;
-        } else if rs.fc_credits[peer as usize] == 0 {
+        } else if rs.fc[peer as usize].credits == 0 {
             // Rung 3: the peer's receive resources are exhausted.
             rs.counters.credit_spills += 1;
         } else {
-            rs.fc_credits[peer as usize] -= 1;
-            rs.fc_sent[peer as usize] += 1;
+            rs.fc[peer as usize].credits -= 1;
+            rs.fc[peer as usize].sent += 1;
             eager_send(rs, ctx, req, peer, buf, count, ty, tag, size);
             return req;
         }
@@ -474,7 +465,7 @@ pub fn isend(
         scheme,
         nsegs,
         seg_size,
-        pack_bufs: Vec::new(),
+        pack_bufs: rs.scratch.take_stage(),
         packed: 0,
         posted_segs: 0,
         pack_chain_running: false,
@@ -655,13 +646,20 @@ pub fn on_cqe(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, cq
         rs.cpu.reserve_labeled(ctx.now(), ctx.net.cqe_ns, "cqe");
         match cqe.imm {
             None => {
+                // Copy the eager bytes out through a recycled scratch
+                // buffer (the ring slot is reposted before dispatch, so
+                // the bytes cannot be borrowed in place).
                 let va = cqe.wr_id;
-                let bytes = ctx.mems[rs.rank as usize]
-                    .space
-                    .read(va, cqe.byte_len)
-                    .expect("eager buffer readable");
+                let mut bytes = rs.scratch.take_bytes(cqe.byte_len as usize);
+                bytes.copy_from_slice(
+                    ctx.mems[rs.rank as usize]
+                        .space
+                        .slice(va, cqe.byte_len)
+                        .expect("eager buffer readable"),
+                );
                 repost_eager_recv(rs, ctx, cqe.peer, va);
                 on_ctrl(rs, am, ctx, cqe.peer, &bytes);
+                rs.scratch.put_bytes(bytes);
             }
             Some(imm) => {
                 // Segment arrival notification; the consumed descriptor
@@ -875,7 +873,9 @@ pub fn on_cpu(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, ac
                 return;
             };
             if let Some(reply) = msg.pending_reply.take() {
-                msg.reply_copy = Some(reply.clone());
+                let mut copy = take_ctrl_buf(rs);
+                copy.extend_from_slice(&reply);
+                msg.reply_copy = Some(copy);
                 send_ctrl(rs, ctx, peer, reply, 0);
             }
         }
@@ -952,11 +952,11 @@ fn fc_grants_blocked(rs: &RankState, cfg: &MpiConfig) -> bool {
 fn take_ctrl_buf_credits(rs: &mut RankState, cfg: &MpiConfig, peer: u32) -> Vec<u8> {
     let mut bytes = take_ctrl_buf(rs);
     if cfg.flow_control && peer != rs.rank && !fc_grants_blocked(rs, cfg) {
-        let owed = rs.fc_owed[peer as usize];
+        let owed = rs.fc[peer as usize].owed;
         if owed > 0 {
             CtrlMsg::CreditUpdate { credits: owed }.encode_into(&mut bytes);
-            rs.fc_owed[peer as usize] = 0;
-            rs.fc_granted[peer as usize] += owed as u64;
+            rs.fc[peer as usize].owed = 0;
+            rs.fc[peer as usize].granted += owed as u64;
             rs.counters.credits_piggybacked += owed as u64;
         }
     }
@@ -972,25 +972,25 @@ fn fc_on_eager_matched(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32, siz
     if !ctx.cfg.flow_control || size == 0 || peer == rs.rank {
         return;
     }
-    rs.fc_matched[peer as usize] += 1;
-    rs.fc_owed[peer as usize] += 1;
+    rs.fc[peer as usize].matched += 1;
+    rs.fc[peer as usize].owed += 1;
     if fc_grants_blocked(rs, ctx.cfg) {
         rs.counters.grants_deferred += 1;
         return;
     }
-    if rs.fc_owed[peer as usize] >= (ctx.cfg.eager_credits / 2).max(1) {
+    if rs.fc[peer as usize].owed >= (ctx.cfg.eager_credits / 2).max(1) {
         fc_send_credits(rs, ctx, peer);
     }
 }
 
 /// Sends an explicit `CreditUpdate` carrying everything owed to `peer`.
 fn fc_send_credits(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32) {
-    let owed = rs.fc_owed[peer as usize];
+    let owed = rs.fc[peer as usize].owed;
     if owed == 0 {
         return;
     }
-    rs.fc_owed[peer as usize] = 0;
-    rs.fc_granted[peer as usize] += owed as u64;
+    rs.fc[peer as usize].owed = 0;
+    rs.fc[peer as usize].granted += owed as u64;
     rs.counters.credit_msgs += 1;
     send_ctrl_msg(rs, ctx, peer, &CtrlMsg::CreditUpdate { credits: owed }, 0);
 }
@@ -1005,7 +1005,7 @@ fn fc_unexpected_removed(rs: &mut RankState, ctx: &mut Ctx<'_, '_>) {
     rs.unexpected_eager -= 1;
     if was_blocked && !fc_grants_blocked(rs, ctx.cfg) {
         for peer in 0..rs.nprocs {
-            if rs.fc_owed[peer as usize] > 0 {
+            if rs.fc[peer as usize].owed > 0 {
                 fc_send_credits(rs, ctx, peer);
             }
         }
@@ -1137,17 +1137,18 @@ fn send_ctrl_msg(
 
 /// Pops a cleared encode buffer from the rank's free-list.
 fn take_ctrl_buf(rs: &mut RankState) -> Vec<u8> {
-    let mut v = rs.ctrl_enc.pop().unwrap_or_default();
+    // Served from the scratch pool so encode buffers inherit its
+    // thread-local spill: a fresh cluster's first control messages
+    // reuse capacity retired by the previous one.
+    let mut v = rs.scratch.take_bytes(0);
     v.clear();
     v
 }
 
 /// Returns an encode buffer whose bytes have been copied out (into a
-/// ring slot) to the rank's free-list.
+/// ring slot) for reuse.
 fn recycle_ctrl_buf(rs: &mut RankState, buf: Vec<u8>) {
-    if rs.ctrl_enc.len() < 16 {
-        rs.ctrl_enc.push(buf);
-    }
+    rs.scratch.put_bytes(buf);
 }
 
 fn send_ctrl(
@@ -1325,8 +1326,8 @@ fn on_ctrl(
         };
         off += hdr_len;
         if let CtrlMsg::CreditUpdate { credits } = msg {
-            rs.fc_credits[peer as usize] += credits;
-            rs.fc_received[peer as usize] += u64::from(credits);
+            rs.fc[peer as usize].credits += credits;
+            rs.fc[peer as usize].received += u64::from(credits);
             if off >= bytes.len() {
                 return; // standalone credit message
             }
@@ -1648,7 +1649,7 @@ fn receiver_start(
         scheme,
         nsegs,
         seg_size,
-        unpack_bufs: Vec::new(),
+        unpack_bufs: rs.scratch.take_stage(),
         segs_arrived: 0,
         segs_unpacked: 0,
         user_regs: Vec::new(),
@@ -1660,7 +1661,7 @@ fn receiver_start(
         completed: false,
         pinned_bytes: 0,
         reply_copy: None,
-        segs_seen: HashSet::new(),
+        segs_seen: rs.scratch.take_set(),
         drop_unpacks: 0,
     };
     am.imm_map.insert((p.peer, (seq & 0xFFFF) as u16), seq);
@@ -1731,7 +1732,11 @@ fn receiver_start(
                     scheme: scheme.to_wire(),
                     body: ReplyBody::ReadGo,
                 };
-                msg.pending_reply = Some(reply.encode());
+                msg.pending_reply = Some({
+                    let mut buf = take_ctrl_buf(rs);
+                    reply.encode_into(&mut buf);
+                    buf
+                });
                 let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
                 ctx.cpu_event(
                     done,
@@ -1765,7 +1770,11 @@ fn receiver_start(
                 },
             };
             msg.unpack_bufs.push(sb);
-            msg.pending_reply = Some(reply.encode());
+            msg.pending_reply = Some({
+                let mut buf = take_ctrl_buf(rs);
+                reply.encode_into(&mut buf);
+                buf
+            });
             let done = rs
                 .cpu
                 .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
@@ -1779,7 +1788,7 @@ fn receiver_start(
             );
         }
         Scheme::BcSpup | Scheme::RwgUp => {
-            let mut segs = Vec::with_capacity(nsegs as usize);
+            let mut segs = crate::msg::SegList::new();
             for _ in 0..nsegs {
                 let sb = acquire_unpack_seg(rs, ctx);
                 segs.push((sb.va, sb.rkey));
@@ -1790,7 +1799,11 @@ fn receiver_start(
                 scheme: scheme.to_wire(),
                 body: ReplyBody::Segments { segs },
             };
-            msg.pending_reply = Some(reply.encode());
+            msg.pending_reply = Some({
+                let mut buf = take_ctrl_buf(rs);
+                reply.encode_into(&mut buf);
+                buf
+            });
             let done = rs
                 .cpu
                 .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");
@@ -2066,11 +2079,15 @@ fn on_segment_arrival(
         Scheme::Generic => {
             // Whole message in unpack_bufs[0]: unpack it all.
             let plan = rs.plan_for(&msg.ty, msg.count);
-            let data = ctx.mems[rs.rank as usize]
-                .space
-                .read(msg.unpack_bufs[0].va, msg.size)
-                .expect("unpack buffer readable");
+            let mut data = rs.scratch.take_bytes(msg.size as usize);
+            data.copy_from_slice(
+                ctx.mems[rs.rank as usize]
+                    .space
+                    .slice(msg.unpack_bufs[0].va, msg.size)
+                    .expect("unpack buffer readable"),
+            );
             unpack_from_slice(ctx, rs.rank, &plan, msg.buf, 0, msg.size, &data);
+            rs.scratch.put_bytes(data);
             let (blocks, _) = plan.block_count_in(0, msg.size).expect("range valid");
             let cost = ctx.host.copy_ns(blocks.max(1), msg.size);
             rs.counters.bytes_unpacked += msg.size;
@@ -2143,11 +2160,15 @@ fn unpack_segment_cost_and_do(
     let plan = rs.plan_for(&msg.ty, msg.count);
     let lo = k as u64 * msg.seg_size;
     let hi = (lo + msg.seg_size).min(msg.size);
-    let data = ctx.mems[rank as usize]
-        .space
-        .read(msg.unpack_bufs[k as usize].va, hi - lo)
-        .expect("unpack buffer readable");
+    let mut data = rs.scratch.take_bytes((hi - lo) as usize);
+    data.copy_from_slice(
+        ctx.mems[rank as usize]
+            .space
+            .slice(msg.unpack_bufs[k as usize].va, hi - lo)
+            .expect("unpack buffer readable"),
+    );
     unpack_from_slice(ctx, rank, &plan, msg.buf, lo, hi, &data);
+    rs.scratch.put_bytes(data);
     let (blocks, _) = plan.block_count_in(lo, hi).expect("range valid");
     ctx.host.copy_ns(blocks.max(1), hi - lo)
 }
@@ -2163,10 +2184,13 @@ fn hybrid_unpack_segment(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut Re
     let packed_bytes: u64 = msg.packed_intervals.iter().map(|&(a, b)| b - a).sum();
     let lo = k as u64 * msg.seg_size;
     let hi = (lo + msg.seg_size).min(packed_bytes);
-    let data = ctx.mems[rs.rank as usize]
-        .space
-        .read(msg.unpack_bufs[k as usize].va, hi - lo)
-        .expect("unpack buffer readable");
+    let mut data = rs.scratch.take_bytes((hi - lo) as usize);
+    data.copy_from_slice(
+        ctx.mems[rs.rank as usize]
+            .space
+            .slice(msg.unpack_bufs[k as usize].va, hi - lo)
+            .expect("unpack buffer readable"),
+    );
     let stream_ivs = substream_to_stream(&msg.packed_intervals, lo, hi);
     let plan = rs.plan_for(&msg.ty, msg.count);
     let mut cursor = 0usize;
@@ -2186,6 +2210,7 @@ fn hybrid_unpack_segment(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut Re
         let (nb, _) = plan.block_count_in(a, b).expect("range valid");
         blocks += nb;
     }
+    rs.scratch.put_bytes(data);
     rs.counters.bytes_unpacked += hi - lo;
     let cost = ctx.host.copy_ns(blocks.max(1), hi - lo);
     let done = rs.cpu.reserve_labeled(ctx.now(), cost, "unpack");
@@ -2230,6 +2255,16 @@ fn receiver_complete(
 /// and budget charge (shared by completion and abort).
 fn receiver_release(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg) {
     release_stage_bufs(rs, ctx, &msg.unpack_bufs, true);
+    let mut bufs = std::mem::take(&mut msg.unpack_bufs);
+    bufs.clear();
+    rs.scratch.put_stage(bufs);
+    if let Some(v) = msg.pending_reply.take() {
+        rs.scratch.put_bytes(v);
+    }
+    if let Some(v) = msg.reply_copy.take() {
+        rs.scratch.put_bytes(v);
+    }
+    rs.scratch.put_set(std::mem::take(&mut msg.segs_seen));
     let mut cost = 0;
     for r in &msg.user_regs {
         // `BadKey` = force-evicted under the transfer (§5.4.2).
@@ -2760,6 +2795,14 @@ fn seg_len(msg: &SendMsg, k: u32) -> u64 {
 
 /// Posts whatever data the current state allows.
 fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) {
+    // Reads one `(addr, rkey)` segment target by value; avoids cloning
+    // the whole target list per call just to appease the borrow checker.
+    fn seg_target(msg: &SendMsg, k: u32) -> (Va, u32) {
+        match &msg.targets {
+            Some(SendTargets::Segments(s)) => s[k as usize],
+            _ => unreachable!("segment schemes carry segment targets"),
+        }
+    }
     match (&msg.targets, msg.scheme) {
         (None, _) => {}
         (Some(SendTargets::Buffer { addr, rkey }), Scheme::Generic) => {
@@ -2794,10 +2837,10 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                 msg.posted_segs = 1;
             }
         }
-        (Some(SendTargets::Segments(segs)), Scheme::BcSpup) => {
-            let segs = segs.clone();
+        (Some(SendTargets::Segments(_)), Scheme::BcSpup) => {
             while msg.posted_segs < msg.packed {
                 let k = msg.posted_segs;
+                let (dst, dst_rkey) = seg_target(msg, k);
                 let sb = msg.pack_bufs[k as usize];
                 let len = seg_len(msg, k);
                 let ready = rs
@@ -2811,7 +2854,7 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                         len,
                         lkey: sb.lkey,
                     }),
-                    remote: Some((segs[k as usize].0, segs[k as usize].1)),
+                    remote: Some((dst, dst_rkey)),
                     signaled: k == msg.nsegs - 1,
                 };
                 rs.counters.data_wrs += 1;
@@ -2826,18 +2869,18 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                 msg.posted_segs += 1;
             }
         }
-        (Some(SendTargets::Segments(segs)), Scheme::RwgUp) => {
+        (Some(SendTargets::Segments(_)), Scheme::RwgUp) => {
             // Resume-aware: after a connection recovery `posted_segs`
             // holds the receiver-acknowledged prefix, and the gather
             // writes restart from that segment boundary.
             if !msg.reg_done || msg.posted_segs >= msg.nsegs {
                 return;
             }
-            let segs = segs.clone();
             let plan = rs.plan_for(&msg.ty, msg.count);
             let mbuf = msg.buf;
             let mut blocks = rs.scratch.take_blocks();
             for k in msg.posted_segs..msg.nsegs {
+                let (seg_dst, seg_rkey) = seg_target(msg, k);
                 let lo = k as u64 * msg.seg_size;
                 let hi = (lo + msg.seg_size).min(msg.size);
                 blocks.clear();
@@ -2866,7 +2909,7 @@ fn try_post_ready(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) 
                             Opcode::RdmaWrite
                         },
                         sges,
-                        remote: Some((segs[k as usize].0 + dst_off, segs[k as usize].1)),
+                        remote: Some((seg_dst + dst_off, seg_rkey)),
                         signaled: last_chunk && k == msg.nsegs - 1,
                     };
                     dst_off += clen;
@@ -3294,6 +3337,9 @@ fn sender_on_fin(
 
 fn sender_release(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg) {
     release_stage_bufs(rs, ctx, &msg.pack_bufs, false);
+    let mut bufs = std::mem::take(&mut msg.pack_bufs);
+    bufs.clear();
+    rs.scratch.put_stage(bufs);
     let mut cost = 0;
     for r in &msg.user_regs {
         // A `BadKey` means the pin-down cache force-evicted the region
@@ -3845,7 +3891,7 @@ fn receiver_renegotiate(
     msg.reads_outstanding = 0;
     msg.segs_announced = 0;
     msg.reply_copy = None;
-    let mut segs = Vec::with_capacity(nsegs as usize);
+    let mut segs = crate::msg::SegList::new();
     for _ in 0..nsegs {
         let sb = acquire_unpack_seg(rs, ctx);
         segs.push((sb.va, sb.rkey));
@@ -3856,7 +3902,11 @@ fn receiver_renegotiate(
         scheme: Scheme::BcSpup.to_wire(),
         body: ReplyBody::Segments { segs },
     };
-    msg.pending_reply = Some(reply.encode());
+    msg.pending_reply = Some({
+        let mut buf = take_ctrl_buf(rs);
+        reply.encode_into(&mut buf);
+        buf
+    });
     let done = rs
         .cpu
         .reserve_labeled(ctx.now(), ctx.cfg.ctrl_overhead_ns, "ctrl");

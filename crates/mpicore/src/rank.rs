@@ -18,6 +18,7 @@ pub const ANY_TAG: u32 = u32::MAX;
 use ibdt_datatype::{Datatype, LayoutCache, TransferPlan, TypeRegistry};
 use ibdt_ibsim::NodeMem;
 use ibdt_memreg::{PindownCache, Va};
+use ibdt_simcore::paged::PagedTable;
 use ibdt_simcore::resource::SerialResource;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
@@ -143,6 +144,27 @@ pub struct InternalBufs {
     pub free: HashMap<u64, Vec<Va>>,
 }
 
+/// Per-peer eager flow-control state and audit counters, stored as one
+/// paged-table entry per peer (see [`RankState::fc`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FcPeer {
+    /// Credits available for eager sends to this peer.
+    pub credits: u32,
+    /// Credits owed back to this peer (their eager messages matched
+    /// here but the grant not yet transmitted).
+    pub owed: u32,
+    /// Auditor: eager sends that consumed a credit (monotone).
+    pub sent: u64,
+    /// Auditor: this peer's eager payloads matched here (monotone).
+    pub matched: u64,
+    /// Auditor: credits granted back to this peer (monotone;
+    /// `matched - granted == owed`).
+    pub granted: u64,
+    /// Auditor: credit grants received from this peer (monotone; lags
+    /// the peer's `granted` by grants still in flight).
+    pub received: u64,
+}
+
 /// Counters the benchmarks report per rank.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RankCounters {
@@ -230,8 +252,9 @@ pub struct RankState {
     pub posted: VecDeque<PostedRecv>,
     /// Unexpected messages, in arrival order.
     pub unexpected: VecDeque<Unexpected>,
-    /// Next send sequence number per peer.
-    pub next_seq: Vec<u64>,
+    /// Next send sequence number per peer (paged; untouched peers
+    /// read 0).
+    pub next_seq: PagedTable<u64>,
     /// Request table.
     pub reqs: Vec<ReqState>,
     /// Requests completed since the interpreter last ran.
@@ -246,10 +269,6 @@ pub struct RankState {
     pub plans: PlanCache,
     /// Reusable host-side scratch buffers (pack staging, SGE lists).
     pub scratch: ScratchPool,
-    /// Free-list of control-message encode buffers — `send_ctrl`
-    /// recycles them once the bytes land in a ring slot, so encoding
-    /// allocates nothing in steady state.
-    pub ctrl_enc: Vec<Vec<u8>>,
     /// `(peer, index, version)` layouts this rank has already shipped.
     pub sent_layouts: HashSet<(u32, u32, u32)>,
     /// Internal dynamic buffer freelist (Generic scheme).
@@ -276,24 +295,12 @@ pub struct RankState {
     pub errors: Vec<MpiError>,
     /// Counters.
     pub counters: RankCounters,
-    /// Flow control: credits available for eager sends, per peer
-    /// (initialized to `eager_credits`; dense, allocated once).
-    pub fc_credits: Vec<u32>,
-    /// Flow control: credits owed back to each peer (their eager
-    /// messages matched here but the grant not yet transmitted).
-    pub fc_owed: Vec<u32>,
-    /// Auditor: eager sends that consumed a credit, per peer
-    /// (monotone).
-    pub fc_sent: Vec<u64>,
-    /// Auditor: eager payloads from each peer matched at this rank
-    /// (monotone).
-    pub fc_matched: Vec<u64>,
-    /// Auditor: credits granted back to each peer (monotone;
-    /// `fc_matched - fc_granted == fc_owed`).
-    pub fc_granted: Vec<u64>,
-    /// Auditor: credit grants received from each peer (monotone; lags
-    /// the peer's `fc_granted` by grants still in flight).
-    pub fc_received: Vec<u64>,
+    /// Flow-control state per peer, one paged entry each. The table's
+    /// fill value carries a full `eager_credits` budget and zeroed
+    /// counters, so a peer never sent to reads its full budget without
+    /// materializing storage — and a rank talking to k of n peers
+    /// touches O(k) pages, not six O(n) tables.
+    pub fc: PagedTable<FcPeer>,
     /// Payload-bearing (`Unexpected::Eager`) entries currently in the
     /// unexpected queue — the occupancy the credit bound caps.
     pub unexpected_eager: usize,
@@ -345,7 +352,7 @@ impl RankState {
             unpack_pool,
             posted: VecDeque::new(),
             unexpected: VecDeque::new(),
-            next_seq: vec![0; nprocs as usize],
+            next_seq: PagedTable::new(nprocs as usize),
             reqs: Vec::new(),
             newly_completed: Vec::new(),
             pindown: if cfg.pindown_cache {
@@ -357,7 +364,6 @@ impl RankState {
             layout_cache: LayoutCache::new(),
             plans: PlanCache::new(cfg.plan_cache, cfg.plan_cache_entries),
             scratch: ScratchPool::new(),
-            ctrl_enc: Vec::new(),
             sent_layouts: HashSet::new(),
             internal: InternalBufs::default(),
             rma_outstanding: 0,
@@ -368,12 +374,13 @@ impl RankState {
             done_seqs: crate::table::DoneSet::new(nprocs as usize),
             errors: Vec::new(),
             counters: RankCounters::default(),
-            fc_credits: vec![cfg.eager_credits; nprocs as usize],
-            fc_owed: vec![0; nprocs as usize],
-            fc_sent: vec![0; nprocs as usize],
-            fc_matched: vec![0; nprocs as usize],
-            fc_granted: vec![0; nprocs as usize],
-            fc_received: vec![0; nprocs as usize],
+            fc: PagedTable::with_fill(
+                nprocs as usize,
+                FcPeer {
+                    credits: cfg.eager_credits,
+                    ..FcPeer::default()
+                },
+            ),
             unexpected_eager: 0,
         }
     }

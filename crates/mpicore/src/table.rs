@@ -1,4 +1,4 @@
-//! Dense, allocation-free lookup tables for in-flight message records.
+//! Paged, allocation-free lookup tables for in-flight message records.
 //!
 //! The progress engine used to key active rendezvous messages in
 //! `HashMap<(peer, seq), _>`, paying a SipHash round per protocol step
@@ -9,7 +9,9 @@
 //! records live in a generational [`Slab`] (slot reuse, stable
 //! handles), and a per-peer sorted `(seq, handle)` index — a `Vec`
 //! whose capacity is retained across messages — maps keys to slots
-//! with a binary search instead of a hash.
+//! with a binary search instead of a hash. The per-peer structures sit
+//! in [`PagedTable`]s, so a rank that talks to a handful of peers out
+//! of thousands holds per-peer state only for the pages it touches.
 //!
 //! The method names mirror `HashMap`'s (`insert` / `remove` / `get` /
 //! `get_mut` / `contains_key`), so the protocol code reads unchanged.
@@ -18,6 +20,7 @@
 //! (`(peer, seq16)` → full seq): a per-peer scan of the tiny in-flight
 //! window, no hashing, no steady-state allocation.
 
+use ibdt_simcore::paged::PagedTable;
 use ibdt_simcore::slab::{Handle, Slab};
 
 /// A `(peer, seq)`-keyed table of in-flight message records. See the
@@ -27,8 +30,10 @@ pub struct MsgTable<T> {
     slab: Slab<T>,
     /// Per-peer sorted `(seq, handle)` windows. Seqs are per-peer
     /// monotonic, so insertion is almost always a push at the tail;
-    /// the vectors keep their capacity as messages retire.
-    index: Vec<Vec<(u64, Handle)>>,
+    /// the vectors keep their capacity as messages retire. Paged: a
+    /// peer's window exists only once a message for it is inserted, so
+    /// the table's footprint follows the active peer set, not nprocs.
+    index: PagedTable<Vec<(u64, Handle)>>,
 }
 
 impl<T> MsgTable<T> {
@@ -36,12 +41,12 @@ impl<T> MsgTable<T> {
     pub fn new(nprocs: usize) -> Self {
         MsgTable {
             slab: Slab::new(),
-            index: (0..nprocs).map(|_| Vec::new()).collect(),
+            index: PagedTable::new(nprocs),
         }
     }
 
-    fn window(&self, peer: u32) -> &Vec<(u64, Handle)> {
-        &self.index[peer as usize]
+    fn window(&self, peer: u32) -> &[(u64, Handle)] {
+        self.index.get(peer as usize)
     }
 
     /// Inserts a record, returning the previous one under the same key
@@ -113,14 +118,14 @@ impl<T> MsgTable<T> {
 /// `swap_remove`.
 #[derive(Debug)]
 pub struct ImmMap {
-    slots: Vec<Vec<(u16, u64)>>,
+    slots: PagedTable<Vec<(u16, u64)>>,
 }
 
 impl ImmMap {
     /// An empty demux table for `nprocs` peers.
     pub fn new(nprocs: usize) -> Self {
         ImmMap {
-            slots: (0..nprocs).map(|_| Vec::new()).collect(),
+            slots: PagedTable::new(nprocs),
         }
     }
 
@@ -153,30 +158,34 @@ impl ImmMap {
     }
 }
 
-/// Dense per-peer optional state: a rank-indexed `Vec<Option<T>>`
+/// Per-peer optional state: a rank-indexed paged table of `Option<T>`
 /// standing in for a `HashMap<u32, T>` whose key space is the fixed
-/// peer set. Lookups are one indexed load; no hashing anywhere.
+/// peer set. Lookups are a couple of indexed loads; no hashing
+/// anywhere, and slots materialize (in pages) only for peers actually
+/// inserted.
 #[derive(Debug)]
 pub struct PeerMap<T> {
-    slots: Vec<Option<T>>,
+    slots: PagedTable<Option<T>>,
 }
 
 impl<T> PeerMap<T> {
     /// An empty map for `nprocs` peers.
     pub fn new(nprocs: usize) -> Self {
         PeerMap {
-            slots: (0..nprocs).map(|_| None).collect(),
+            slots: PagedTable::new(nprocs),
         }
     }
 
     /// Shared access to `peer`'s entry.
     pub fn get(&self, peer: &u32) -> Option<&T> {
-        self.slots[*peer as usize].as_ref()
+        self.slots.get(*peer as usize).as_ref()
     }
 
     /// Mutable access to `peer`'s entry.
     pub fn get_mut(&mut self, peer: &u32) -> Option<&mut T> {
-        self.slots[*peer as usize].as_mut()
+        self.slots
+            .get_mut_touched(*peer as usize)
+            .and_then(|o| o.as_mut())
     }
 
     /// Sets `peer`'s entry, returning the previous one.
@@ -186,7 +195,9 @@ impl<T> PeerMap<T> {
 
     /// Clears and returns `peer`'s entry.
     pub fn remove(&mut self, peer: &u32) -> Option<T> {
-        self.slots[*peer as usize].take()
+        self.slots
+            .get_mut_touched(*peer as usize)
+            .and_then(|o| o.take())
     }
 
     /// Mutable access to `peer`'s entry, default-constructing it first
@@ -210,7 +221,7 @@ impl<T> PeerMap<T> {
 /// probes allocation- and hash-free.
 #[derive(Debug)]
 pub struct DoneSet {
-    peers: Vec<DonePeer>,
+    peers: PagedTable<DonePeer>,
 }
 
 #[derive(Debug, Default)]
@@ -225,7 +236,7 @@ impl DoneSet {
     /// An empty set for `nprocs` peers.
     pub fn new(nprocs: usize) -> Self {
         DoneSet {
-            peers: (0..nprocs).map(|_| DonePeer::default()).collect(),
+            peers: PagedTable::new(nprocs),
         }
     }
 
@@ -255,7 +266,7 @@ impl DoneSet {
     /// True when `(peer, seq)` was recorded as done.
     pub fn contains(&self, key: &(u32, u64)) -> bool {
         let (peer, seq) = *key;
-        let p = &self.peers[peer as usize];
+        let p = self.peers.get(peer as usize);
         seq < p.watermark || p.above.binary_search(&seq).is_ok()
     }
 }

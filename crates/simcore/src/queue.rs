@@ -33,6 +33,17 @@
 //! implementation ([`HeapQueue`]) pins this order; the equivalence tests
 //! at the bottom of this file and in `tests/proptests.rs` compare the
 //! two on random schedules.
+//!
+//! # Storage
+//!
+//! Events live in one node arena recycled through an intrusive free
+//! list; a slot is the head index of a singly-linked node list. This
+//! shape is what makes the queue allocation-free once warm: per-slot
+//! `Vec` buckets were measured re-growing forever (capacity left a slot
+//! whenever its bucket was drained, so ~3 allocations per churn op),
+//! whereas the arena grows to the pending-event high-water once and
+//! then every schedule is a free-list pop and every cascade is an O(1)
+//! relink that never moves a payload.
 
 use crate::time::Time;
 use std::cmp::Reverse;
@@ -45,6 +56,18 @@ const LEVELS: usize = 11;
 /// Slots per level.
 const SLOTS: usize = 1 << GROUP_BITS;
 
+/// Sentinel "no node" index for the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// One arena node: an event linked into a wheel slot, or a member of
+/// the free list (payload `None`, `next` chaining free nodes).
+struct Node<E> {
+    time: Time,
+    seq: u64,
+    next: u32,
+    payload: Option<E>,
+}
+
 /// A deterministic event queue (hierarchical timing wheel).
 ///
 /// `E` is the caller-defined event payload. The queue never inspects it.
@@ -52,16 +75,22 @@ const SLOTS: usize = 1 << GROUP_BITS;
 /// event) clamps to the clock, matching the engine's release-mode
 /// behaviour.
 pub struct EventQueue<E> {
-    /// `LEVELS * SLOTS` buckets; bucket `g * SLOTS + s` is slot `s` of
-    /// level `g`. Entries are `(time, seq, payload)`.
-    slots: Vec<Vec<(Time, u64, E)>>,
+    /// Node arena; freed nodes are recycled through `free`, so the
+    /// arena only grows to the pending-event high-water mark.
+    nodes: Vec<Node<E>>,
+    /// Head of the intrusive free list (`NIL` when empty).
+    free: u32,
+    /// `LEVELS * SLOTS` list heads; head `g * SLOTS + s` is slot `s`
+    /// of level `g`.
+    heads: Vec<u32>,
     /// Per-level occupancy bitmap; bit `s` set iff slot `s` non-empty.
     occ: [u64; LEVELS],
     /// Current clock: time of the most recently popped event (or the
     /// base of the most recently cascaded window).
     cur: Time,
     /// Batch of same-timestamp events being drained, sorted by `seq`
-    /// descending so `pop()` pops ascending from the back.
+    /// descending so `pop()` pops ascending from the back. Persistent
+    /// scratch — its capacity converges to the largest batch.
     drain: Vec<(Time, u64, E)>,
     len: usize,
     next_seq: u64,
@@ -78,7 +107,9 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self {
-            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            nodes: Vec::new(),
+            free: NIL,
+            heads: vec![NIL; LEVELS * SLOTS],
             occ: [0; LEVELS],
             cur: 0,
             drain: Vec::new(),
@@ -114,7 +145,33 @@ impl<E> EventQueue<E> {
         self.len += 1;
         let g = self.level_of(t);
         let b = Self::bucket(g, t);
-        self.slots[b].push((t, seq, payload));
+        let head = self.heads[b];
+        let idx = if self.free != NIL {
+            let i = self.free;
+            let n = &mut self.nodes[i as usize];
+            self.free = n.next;
+            n.time = t;
+            n.seq = seq;
+            n.next = head;
+            n.payload = Some(payload);
+            i
+        } else {
+            let i = self.nodes.len();
+            assert!(i < NIL as usize, "event arena exceeds u32 indices");
+            if self.nodes.capacity() == 0 {
+                // One up-front arena block instead of doubling through
+                // the first few schedules.
+                self.nodes.reserve(64);
+            }
+            self.nodes.push(Node {
+                time: t,
+                seq,
+                next: head,
+                payload: Some(payload),
+            });
+            i as u32
+        };
+        self.heads[b] = idx;
         self.occ[g] |= 1 << (b - g * SLOTS);
     }
 
@@ -129,33 +186,51 @@ impl<E> EventQueue<E> {
             // Occupied slots never sit "behind" the clock's digit at
             // their level, so the lowest set bit is the earliest slot.
             let s = self.occ[g].trailing_zeros() as usize;
-            let bucket = std::mem::take(&mut self.slots[g * SLOTS + s]);
             self.occ[g] &= !(1u64 << s);
+            let mut idx = std::mem::replace(&mut self.heads[g * SLOTS + s], NIL);
             if g == 0 {
                 // Level-0 slot: every entry shares one absolute time —
-                // this is the batch pop. Sort by seq to restore FIFO
-                // across direct-insert and cascade arrival paths.
-                let mut batch = bucket;
-                batch.sort_unstable_by_key(|e| std::cmp::Reverse(e.1));
-                self.cur = batch.last().expect("occupied slot").0;
-                self.drain = batch;
+                // this is the batch pop. Unlink each node into the
+                // persistent drain buffer (returning it to the free
+                // list), then sort by seq to restore FIFO across
+                // direct-insert and cascade arrival paths.
+                debug_assert!(self.drain.is_empty());
+                if self.drain.capacity() == 0 {
+                    self.drain.reserve(64);
+                }
+                while idx != NIL {
+                    let n = &mut self.nodes[idx as usize];
+                    let e = n.payload.take().expect("linked node has payload");
+                    self.drain.push((n.time, n.seq, e));
+                    let next = n.next;
+                    n.next = self.free;
+                    self.free = idx;
+                    idx = next;
+                }
+                self.drain.sort_unstable_by_key(|e| std::cmp::Reverse(e.1));
+                self.cur = self.drain[0].0;
                 let (t, _, e) = self.drain.pop().expect("non-empty batch");
                 self.len -= 1;
                 return Some((t, e));
             }
             // Cascade: advance the clock to the window base (nothing
-            // can exist before it) and redistribute to lower levels.
+            // can exist before it) and redistribute to lower levels —
+            // an O(1) relink per node, payloads never move.
             let shift = GROUP_BITS * g as u32;
             // u128 intermediate: shift + GROUP_BITS reaches 66 at the
             // top level, past u64.
             let prefix_mask = !(((1u128 << (shift + GROUP_BITS)) - 1) as u64);
             self.cur = (self.cur & prefix_mask) | ((s as u64) << shift);
-            for (t, seq, e) in bucket {
+            while idx != NIL {
+                let t = self.nodes[idx as usize].time;
+                let next = self.nodes[idx as usize].next;
                 let ng = self.level_of(t);
                 debug_assert!(ng < g, "cascade must strictly descend");
                 let b = Self::bucket(ng, t);
-                self.slots[b].push((t, seq, e));
+                self.nodes[idx as usize].next = self.heads[b];
+                self.heads[b] = idx;
                 self.occ[ng] |= 1 << (b - ng * SLOTS);
+                idx = next;
             }
         }
     }
@@ -167,9 +242,15 @@ impl<E> EventQueue<E> {
         }
         let g = (0..LEVELS).find(|&g| self.occ[g] != 0)?;
         let s = self.occ[g].trailing_zeros() as usize;
-        let bucket = &self.slots[g * SLOTS + s];
-        // Level 0: single timestamp. Higher levels: min over the slot.
-        bucket.iter().map(|&(t, _, _)| t).min()
+        // Level 0: single timestamp. Higher levels: min over the list.
+        let mut idx = self.heads[g * SLOTS + s];
+        let mut min = None;
+        while idx != NIL {
+            let n = &self.nodes[idx as usize];
+            min = Some(min.map_or(n.time, |m: Time| m.min(n.time)));
+            idx = n.next;
+        }
+        min
     }
 
     /// Number of pending events.

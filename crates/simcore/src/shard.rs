@@ -1,0 +1,446 @@
+//! Deterministic sharded execution of one large simulation.
+//!
+//! The sweep machinery in `ibdt-workloads` fans *independent*
+//! simulations across cores. This module parallelizes *inside* a
+//! single simulation, which determinism normally rules out — unless
+//! the partition is conservative:
+//!
+//! * ranks are partitioned into **shards**, each owning its ranks'
+//!   event state;
+//! * execution proceeds in **windows** `[B, B + L)` where `B` is the
+//!   global minimum pending event time and `L` is the **lookahead**:
+//!   a lower bound on the latency of any cross-rank interaction (link
+//!   propagation + first byte on the wire — see DESIGN.md §14 for the
+//!   proof sketch);
+//! * within a window every shard runs its local events independently
+//!   — safe because a message sent at `t ≥ B` cannot take effect
+//!   before `t + L ≥ B + L`, i.e. outside the window;
+//! * at the window barrier all cross-shard messages are exchanged,
+//!   merged in fixed shard order, and the next window begins.
+//!
+//! Results are **bit-identical across shard and thread counts** under
+//! two obligations the [`ShardWorld`] implementor carries:
+//!
+//! 1. events must be ordered by a partition-independent key —
+//!    `(time, src_rank, per-source seq)` — never by a shard-local
+//!    insertion counter, so the local order each shard computes is a
+//!    restriction of one global total order;
+//! 2. *every* cross-rank interaction is charged the lookahead, even
+//!    when both ranks share a shard — shard-locality must not be
+//!    observable.
+//!
+//! Thread count then only changes which worker advances which shard;
+//! each shard's window is a pure function of its state and the merged
+//! inbox, so the outcome is the sequential outcome.
+
+use crate::time::Time;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Runs `f(0..n)` across `threads` workers, returning results in index
+/// order. Workers claim indices through an atomic cursor and write
+/// each result through that index's own slot — the per-slot-lock
+/// idiom of `workloads::run_sweep`, extracted so the shard driver and
+/// the sweep share one implementation. A worker panic propagates to
+/// the caller unchanged.
+pub fn run_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    // A slot's lock is only taken by the worker that claimed its
+    // index, never across a call to `f`: uncontended, cannot
+    // cross-poison.
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panic_payload = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i);
+                    *slots[i].lock().expect("slot lock never held across f") = Some(r);
+                })
+            })
+            .collect();
+        // Join explicitly, keeping the first panic payload so the
+        // original panic (not a scope-generated one) reaches the
+        // caller.
+        let mut payload = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                payload.get_or_insert(p);
+            }
+        }
+        payload
+    });
+    if let Some(p) = panic_payload {
+        std::panic::resume_unwind(p);
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock unpoisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+/// One shard of a partitioned simulation: owns the event state of its
+/// ranks and exchanges cross-shard messages at window barriers.
+pub trait ShardWorld: Send {
+    /// Cross-shard message payload. Must carry enough key material
+    /// (arrival time, source rank, per-source sequence) for the
+    /// receiving shard to order it into its partition-independent
+    /// total order.
+    type Msg: Send;
+
+    /// Earliest pending local event time, or `None` when the shard is
+    /// quiescent (pending messages in flight at a barrier do not
+    /// count — they are delivered before the next call).
+    fn next_time(&self) -> Option<Time>;
+
+    /// Runs every local event with `time < horizon`, in
+    /// partition-independent key order. Cross-shard sends go through
+    /// `send(dst_shard, msg)`; each such message's effect time must be
+    /// `≥ event_time + lookahead` (the conservative contract).
+    fn advance(&mut self, horizon: Time, send: &mut dyn FnMut(usize, Self::Msg));
+
+    /// Accepts one message exchanged at a window barrier. Called only
+    /// between `advance` windows; delivery order across sources is
+    /// not specified — ordering is the receiver's job (obligation 1
+    /// in the module docs).
+    fn deliver(&mut self, msg: Self::Msg);
+}
+
+/// Drives a set of [`ShardWorld`]s to quiescence in conservative
+/// lookahead windows, using `threads` persistent workers.
+pub struct ShardSim<W: ShardWorld> {
+    shards: Vec<W>,
+    lookahead: Time,
+    threads: usize,
+    rounds: u64,
+}
+
+impl<W: ShardWorld> ShardSim<W> {
+    /// `lookahead` is the minimum cross-rank latency in virtual ns
+    /// (clamped to ≥ 1: a zero lookahead would make every window
+    /// empty). `threads` is the worker count; 1 runs sequentially.
+    pub fn new(shards: Vec<W>, lookahead: Time, threads: usize) -> Self {
+        Self {
+            shards,
+            lookahead: lookahead.max(1),
+            threads: threads.max(1),
+            rounds: 0,
+        }
+    }
+
+    /// Barrier rounds (windows) executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Consumes the driver, returning the shards for result
+    /// extraction.
+    pub fn into_shards(self) -> Vec<W> {
+        self.shards
+    }
+
+    /// Runs to global quiescence; returns the number of windows.
+    pub fn run(&mut self) -> u64 {
+        let n = self.shards.len();
+        if n == 0 {
+            return 0;
+        }
+        let threads = self.threads.min(n);
+        if threads == 1 {
+            self.run_sequential()
+        } else {
+            self.run_parallel(threads)
+        }
+    }
+
+    /// The reference order: same windows, same merge, one thread.
+    fn run_sequential(&mut self) -> u64 {
+        let mut outbox: Vec<(usize, W::Msg)> = Vec::new();
+        while let Some(base) = self.shards.iter().filter_map(|s| s.next_time()).min() {
+            let horizon = base.saturating_add(self.lookahead);
+            for shard in &mut self.shards {
+                shard.advance(horizon, &mut |dst, msg| outbox.push((dst, msg)));
+            }
+            for (dst, msg) in outbox.drain(..) {
+                self.shards[dst].deliver(msg);
+            }
+            self.rounds += 1;
+        }
+        self.rounds
+    }
+
+    /// Persistent-worker loop: the coordinator (this thread) computes
+    /// each window and merges outboxes; workers claim shards through
+    /// an atomic cursor between two barriers per round. Workers are
+    /// spawned once, not per window — windows are short and numerous.
+    fn run_parallel(&mut self, threads: usize) -> u64 {
+        let n = self.shards.len();
+        let lookahead = self.lookahead;
+        // Coordinator + workers meet at each barrier.
+        let barrier = Barrier::new(threads + 1);
+        let cursor = AtomicUsize::new(0);
+        let horizon = AtomicU64::new(0);
+        // u64::MAX horizon = shutdown signal.
+        const STOP: u64 = u64::MAX;
+        let cells: Vec<Mutex<&mut W>> = self.shards.iter_mut().map(Mutex::new).collect();
+        type Outbox<M> = Mutex<Vec<(usize, M)>>;
+        let outboxes: Vec<Outbox<W::Msg>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let mut rounds = 0u64;
+        let panic_payload = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        barrier.wait(); // window opens
+                        let h = horizon.load(Ordering::Acquire);
+                        if h == STOP {
+                            break;
+                        }
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            // Claimed exactly once per window:
+                            // uncontended locks.
+                            let mut shard = cells[i].lock().expect("shard lock");
+                            let mut ob = outboxes[i].lock().expect("outbox lock");
+                            shard.advance(h, &mut |dst, msg| ob.push((dst, msg)));
+                        }
+                        barrier.wait(); // window closes
+                    })
+                })
+                .collect();
+            loop {
+                // Between barriers the coordinator is the only thread
+                // touching shard state — locks are uncontended.
+                let base = cells
+                    .iter()
+                    .filter_map(|c| c.lock().expect("shard lock").next_time())
+                    .min();
+                let Some(base) = base else {
+                    horizon.store(STOP, Ordering::Release);
+                    barrier.wait();
+                    break;
+                };
+                // STOP is unreachable as a real horizon: it would
+                // need a pending event at u64::MAX - lookahead + 1.
+                let h = base.saturating_add(lookahead).min(STOP - 1);
+                cursor.store(0, Ordering::Relaxed);
+                horizon.store(h, Ordering::Release);
+                barrier.wait(); // open window: workers advance shards
+                barrier.wait(); // close window: outboxes complete
+                                // Merge in fixed shard order. Receivers re-key, so
+                                // only the *set* delivered before the next window
+                                // matters, but a fixed order keeps this auditable.
+                for ob in &outboxes {
+                    let mut ob = ob.lock().expect("outbox lock");
+                    for (dst, msg) in ob.drain(..) {
+                        cells[dst].lock().expect("shard lock").deliver(msg);
+                    }
+                }
+                rounds += 1;
+            }
+            let mut payload = None;
+            for h in handles {
+                if let Err(p) = h.join() {
+                    payload.get_or_insert(p);
+                }
+            }
+            payload
+        });
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+        self.rounds += rounds;
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn run_indexed_matches_serial_and_orders_results() {
+        let f = |i: usize| -> u64 {
+            let mut acc = i as u64;
+            for _ in 0..500 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let serial: Vec<u64> = (0..64).map(f).collect();
+        assert_eq!(run_indexed(64, 8, f), serial);
+        assert_eq!(run_indexed(64, 1, f), serial);
+        assert!(run_indexed(0, 8, |_| 0u8).is_empty());
+    }
+
+    #[test]
+    fn run_indexed_propagates_worker_panic() {
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_indexed(32, 4, |i| {
+                if i == 13 {
+                    panic!("boom at 13");
+                }
+                i
+            })
+        }))
+        .expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .expect("payload is a string");
+        assert!(msg.contains("boom at 13"), "got: {msg}");
+    }
+
+    /// A toy conservative world: each shard owns a set of ranks; each
+    /// rank relays a token around the full rank ring `hops` times.
+    /// Event key is (time, src_rank, seq) — partition-independent —
+    /// and every cross-rank hop is charged `LOOKAHEAD`.
+    const LOOKAHEAD: Time = 100;
+
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Ev {
+        time: Time,
+        src: u32,
+        seq: u64,
+        hops_left: u32,
+    }
+
+    struct RingShard {
+        ranks: Vec<u32>,
+        nranks: u32,
+        nshards: usize,
+        // Min-heap via Reverse on the full partition-independent key.
+        pending: BinaryHeap<std::cmp::Reverse<Ev>>,
+        log: Vec<(Time, u32, u64)>,
+    }
+
+    impl RingShard {
+        fn owner(&self, rank: u32) -> usize {
+            rank as usize % self.nshards
+        }
+    }
+
+    impl ShardWorld for RingShard {
+        type Msg = Ev;
+
+        fn next_time(&self) -> Option<Time> {
+            self.pending.peek().map(|e| e.0.time)
+        }
+
+        fn advance(&mut self, horizon: Time, send: &mut dyn FnMut(usize, Ev)) {
+            while let Some(e) = self.pending.peek() {
+                if e.0.time >= horizon {
+                    break;
+                }
+                let Ev {
+                    time,
+                    src,
+                    seq,
+                    hops_left,
+                } = self.pending.pop().unwrap().0;
+                self.log.push((time, src, seq));
+                if hops_left > 0 {
+                    let next = (src + 1) % self.nranks;
+                    let msg = Ev {
+                        time: time + LOOKAHEAD,
+                        src: next,
+                        seq: seq + 1,
+                        hops_left: hops_left - 1,
+                    };
+                    let dst = self.owner(next);
+                    // Shard-locality must be unobservable: even a
+                    // same-shard hop goes through the outbox with
+                    // full lookahead when it leaves this window.
+                    if dst == self.owner(src) && msg.time < horizon {
+                        self.pending.push(std::cmp::Reverse(msg));
+                    } else {
+                        send(dst, msg);
+                    }
+                }
+            }
+        }
+
+        fn deliver(&mut self, msg: Ev) {
+            self.pending.push(std::cmp::Reverse(msg));
+        }
+    }
+
+    fn run_ring(nranks: u32, nshards: usize, threads: usize) -> Vec<(Time, u32, u64)> {
+        let mut shards: Vec<RingShard> = (0..nshards)
+            .map(|s| RingShard {
+                ranks: (0..nranks).filter(|r| *r as usize % nshards == s).collect(),
+                nranks,
+                nshards,
+                pending: BinaryHeap::new(),
+                log: Vec::new(),
+            })
+            .collect();
+        // Every rank starts one token at t = rank (distinct times so
+        // the merged log order is fully determined).
+        for r in 0..nranks {
+            let s = r as usize % nshards;
+            shards[s].pending.push(std::cmp::Reverse(Ev {
+                time: r as Time,
+                src: r,
+                seq: 0,
+                hops_left: 12,
+            }));
+        }
+        let mut sim = ShardSim::new(shards, LOOKAHEAD, threads);
+        sim.run();
+        // Merge per-shard logs into the global (time, src, seq) order.
+        let mut all: Vec<(Time, u32, u64)> = sim
+            .into_shards()
+            .into_iter()
+            .flat_map(|s| {
+                assert_eq!(s.ranks.len(), s.log.len() / 13);
+                s.log
+            })
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn ring_identical_across_shard_and_thread_counts() {
+        let reference = run_ring(16, 1, 1);
+        assert_eq!(reference.len(), 16 * 13);
+        for (shards, threads) in [(2, 1), (2, 2), (4, 2), (4, 8), (8, 8), (16, 3)] {
+            assert_eq!(
+                run_ring(16, shards, threads),
+                reference,
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sim_quiesces_immediately() {
+        let shards: Vec<RingShard> = Vec::new();
+        let mut sim = ShardSim::new(shards, LOOKAHEAD, 8);
+        assert_eq!(sim.run(), 0);
+    }
+}

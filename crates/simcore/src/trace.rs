@@ -50,9 +50,15 @@ impl Trace {
         Self::default()
     }
 
-    /// Appends a span.
+    /// Appends a span. The first record reserves a block of capacity
+    /// up front: traces sit on simulation hot paths (every resource
+    /// reservation lands here), so growth must not dribble out one
+    /// doubling at a time.
     pub fn record(&mut self, start: Time, end: Time, label: &'static str) {
         debug_assert!(start <= end, "span must not be inverted");
+        if self.spans.capacity() == 0 {
+            self.spans.reserve(64);
+        }
         self.spans.push(Span { start, end, label });
     }
 
@@ -62,8 +68,7 @@ impl Trace {
     }
 
     /// Spans whose label equals `label`.
-    pub fn with_label<'a>(&'a self, label: &str) -> impl Iterator<Item = &'a Span> + 'a {
-        let label = label.to_owned();
+    pub fn with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Span> + 'a {
         self.spans.iter().filter(move |s| s.label == label)
     }
 

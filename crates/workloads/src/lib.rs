@@ -13,9 +13,13 @@
 //!   built-in data verification,
 //! * [`sweep`] — a parallel parameter-sweep runner: independent
 //!   deterministic simulations fan out across OS threads and results
-//!   return in input order.
+//!   return in input order,
+//! * [`scale`] — a sharded large-rank collective driver: thousands of
+//!   ranks priced by the calibrated cost models, bit-identical across
+//!   shard and thread counts.
 
 pub mod drivers;
+pub mod scale;
 pub mod structdt;
 pub mod sweep;
 pub mod vector;
@@ -25,5 +29,6 @@ pub use drivers::{
     pingpong_contig, pingpong_manual, pingpong_multiple, BandwidthResult, IncastResult,
     PingPongResult,
 };
+pub use scale::{run_scale, run_scale_with, ScaleConfig, ScalePattern, ScaleReport};
 pub use structdt::struct_datatype;
 pub use vector::{vector_datatype, VectorWorkload};

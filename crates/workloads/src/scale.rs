@@ -1,0 +1,492 @@
+//! Large-rank collective driver on the sharded simulator.
+//!
+//! The full [`ibdt_mpicore`] cluster carries per-pair protocol state
+//! and per-peer eager buffers — exactly what you want for protocol
+//! fidelity at 4–64 ranks, and exactly what you cannot afford at 4096.
+//! This module models the *timing* of a large collective with a
+//! lightweight per-rank state machine (serial CPU, serial NIC transmit
+//! engine, windowed injection) whose per-message costs come from the
+//! same calibrated models the cluster uses: [`HostConfig::copy_ns`]
+//! over the compiled [`TransferPlan`]'s block list for pack/unpack,
+//! and [`NetConfig`]'s transmit/propagation terms for the wire.
+//!
+//! Ranks are partitioned across [`ShardSim`] shards and advance in
+//! conservative windows of one link propagation delay (the lookahead).
+//! Every cross-rank event — a message arrival, a completion ack — is
+//! charged at least that delay, and every event is keyed by the
+//! partition-independent `(time, kind, rank, msg-id)` tuple, so the
+//! run is **bit-identical across shard and thread counts** (asserted
+//! in tests and by `ci.sh --scale`). The per-rank result digest is an
+//! FNV-1a fold of each completion, combined in rank order.
+
+use ibdt_datatype::TransferPlan;
+use ibdt_ibsim::{HostConfig, NetConfig};
+use ibdt_simcore::shard::{ShardSim, ShardWorld};
+use ibdt_simcore::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::vector::VectorWorkload;
+
+/// Communication pattern of the scaled run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalePattern {
+    /// Every rank sends one message to every other rank, starting with
+    /// its right neighbor (the classic shifted all-to-all schedule).
+    Alltoall,
+    /// Every rank sends one message to its right neighbor.
+    Ring,
+}
+
+/// Parameters of one scaled run.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// World size.
+    pub ranks: u32,
+    /// Shard count (1 = sequential reference execution).
+    pub shards: usize,
+    /// Worker threads driving the shards.
+    pub threads: usize,
+    /// Vector-datatype columns per message (the §3.2 shape).
+    pub columns: u64,
+    /// Per-rank injection window: sends in flight before the next
+    /// message waits for a completion ack.
+    pub window: u32,
+    /// Traffic pattern.
+    pub pattern: ScalePattern,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            ranks: 64,
+            shards: 1,
+            threads: 1,
+            columns: 4,
+            window: 4,
+            pattern: ScalePattern::Alltoall,
+        }
+    }
+}
+
+/// Result of one scaled run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleReport {
+    /// World size.
+    pub ranks: u32,
+    /// Messages delivered (must equal the pattern's expectation).
+    pub msgs: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Virtual time at which the last unpack finished.
+    pub finish_ns: Time,
+    /// Conservative windows executed.
+    pub rounds: u64,
+    /// Order-independent digest of every completion: FNV-1a per rank,
+    /// folded in rank order. Identical across shard/thread counts.
+    pub fingerprint: u64,
+    /// Resident bytes of simulation state at the end of the run
+    /// (rank models + event-heap capacity) — the memory the driver
+    /// needs per run, which the rank-scaling figure plots.
+    pub state_bytes: usize,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Event kinds, in tie-break order at equal times: injections first
+/// (they only touch their own rank's clocks), then arrivals, then
+/// acks. Any fixed order works — it must merely be partition-free.
+const K_INJECT: u8 = 0;
+const K_ARRIVE: u8 = 1;
+const K_ACK: u8 = 2;
+
+/// One simulation event. The derived order on `(time, kind, rank, id)`
+/// is the partition-independent total order; `peer` is routing payload
+/// (the destination rank for arrivals, the original sender for acks)
+/// and never decides order — message ids are globally unique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Ev {
+    time: Time,
+    kind: u8,
+    rank: u32,
+    id: u64,
+    peer: u32,
+}
+
+/// Per-rank state: two serial resources and the injection window.
+#[derive(Debug, Clone, Default)]
+struct RankModel {
+    cpu_free: Time,
+    nic_free: Time,
+    in_flight: u32,
+    next_msg: u64,
+    recvd: u64,
+    fp: u64,
+}
+
+/// Shared per-message costs, identical at every rank.
+#[derive(Debug, Clone, Copy)]
+struct Costs {
+    post_ns: Time,
+    pack_ns: Time,
+    unpack_ns: Time,
+    tx_ns: Time,
+    prop_ns: Time,
+    bytes: u64,
+}
+
+struct ScaleShard {
+    cfg: ScaleConfig,
+    costs: Costs,
+    /// Ranks owned: global rank `r` with `r % shards == shard_id`,
+    /// stored at local index `r / shards`.
+    ranks: Vec<RankModel>,
+    shard_id: usize,
+    pending: BinaryHeap<Reverse<Ev>>,
+    finish_ns: Time,
+    msgs: u64,
+}
+
+impl ScaleShard {
+    fn msgs_per_rank(&self) -> u64 {
+        match self.cfg.pattern {
+            ScalePattern::Alltoall => self.cfg.ranks as u64 - 1,
+            ScalePattern::Ring => 1,
+        }
+    }
+
+    /// Destination of rank `r`'s `k`-th message (shifted schedule).
+    fn dest(&self, r: u32, k: u64) -> u32 {
+        ((r as u64 + 1 + k) % self.cfg.ranks as u64) as u32
+    }
+
+    #[inline]
+    fn local(&mut self, rank: u32) -> &mut RankModel {
+        let i = rank as usize / self.cfg.shards;
+        &mut self.ranks[i]
+    }
+
+    #[inline]
+    fn shard_of(&self, rank: u32) -> usize {
+        rank as usize % self.cfg.shards
+    }
+
+    /// Queues an injection for rank `r`'s message `k` at `t` (a
+    /// same-rank, hence same-shard, event: no lookahead required).
+    fn queue_inject(&mut self, t: Time, r: u32, k: u64) {
+        let mpr = self.msgs_per_rank();
+        let id = r as u64 * mpr + k;
+        let peer = self.dest(r, k);
+        self.pending.push(Reverse(Ev {
+            time: t,
+            kind: K_INJECT,
+            rank: r,
+            id,
+            peer,
+        }));
+        let m = self.local(r);
+        m.in_flight += 1;
+        m.next_msg = k + 1;
+    }
+
+    fn route(&mut self, ev: Ev, send: &mut dyn FnMut(usize, Ev)) {
+        let dst = self.shard_of(ev.rank);
+        if dst == self.shard_id {
+            self.pending.push(Reverse(ev));
+        } else {
+            send(dst, ev);
+        }
+    }
+
+    fn exec(&mut self, ev: Ev, send: &mut dyn FnMut(usize, Ev)) {
+        let c = self.costs;
+        match ev.kind {
+            K_INJECT => {
+                // Post + pack on the rank's serial CPU, then the
+                // message serializes onto its NIC transmit engine.
+                let m = self.local(ev.rank);
+                let pack_done = ev.time.max(m.cpu_free) + c.post_ns + c.pack_ns;
+                m.cpu_free = pack_done;
+                let tx_done = pack_done.max(m.nic_free) + c.tx_ns;
+                m.nic_free = tx_done;
+                let arrive = Ev {
+                    time: tx_done + c.prop_ns,
+                    kind: K_ARRIVE,
+                    rank: ev.peer,
+                    id: ev.id,
+                    peer: ev.rank,
+                };
+                self.route(arrive, send);
+            }
+            K_ARRIVE => {
+                // Unpack on the receiver's serial CPU; completion ack
+                // travels back one propagation delay.
+                let m = self.local(ev.rank);
+                let done = ev.time.max(m.cpu_free) + c.unpack_ns;
+                m.cpu_free = done;
+                m.recvd += 1;
+                m.fp = fnv(fnv(fnv(m.fp, ev.id), done), ev.peer as u64);
+                self.msgs += 1;
+                if done > self.finish_ns {
+                    self.finish_ns = done;
+                }
+                let ack = Ev {
+                    time: done + c.prop_ns,
+                    kind: K_ACK,
+                    rank: ev.peer,
+                    id: ev.id,
+                    peer: ev.rank,
+                };
+                self.route(ack, send);
+            }
+            _ => {
+                // A window slot frees; the sender folds the ack into
+                // its digest and injects its next message, if any.
+                let mpr = self.msgs_per_rank();
+                let m = self.local(ev.rank);
+                m.in_flight -= 1;
+                m.fp = fnv(fnv(m.fp, ev.id), ev.time);
+                let k = m.next_msg;
+                if k < mpr {
+                    self.queue_inject(ev.time, ev.rank, k);
+                }
+            }
+        }
+    }
+}
+
+impl ShardWorld for ScaleShard {
+    type Msg = Ev;
+
+    fn next_time(&self) -> Option<Time> {
+        self.pending.peek().map(|e| e.0.time)
+    }
+
+    fn advance(&mut self, horizon: Time, send: &mut dyn FnMut(usize, Ev)) {
+        while let Some(e) = self.pending.peek() {
+            if e.0.time >= horizon {
+                break;
+            }
+            let ev = self.pending.pop().expect("peeked").0;
+            self.exec(ev, send);
+        }
+    }
+
+    fn deliver(&mut self, msg: Ev) {
+        self.pending.push(Reverse(msg));
+    }
+}
+
+/// Runs the configured collective; see the module docs for the
+/// determinism contract. Cost models default when not supplied.
+pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
+    run_scale_with(cfg, &NetConfig::default(), &HostConfig::default())
+}
+
+/// [`run_scale`] with explicit network and host cost models.
+pub fn run_scale_with(cfg: &ScaleConfig, net: &NetConfig, host: &HostConfig) -> ScaleReport {
+    assert!(cfg.ranks >= 2, "a collective needs at least two ranks");
+    let mut cfg = cfg.clone();
+    cfg.shards = cfg.shards.clamp(1, cfg.ranks as usize);
+
+    // One compiled plan prices every message: the block list drives
+    // the host copy model exactly as the full cluster's pack path
+    // does.
+    let wl = VectorWorkload::new(cfg.columns);
+    let plan = TransferPlan::compile(&wl.ty, 1);
+    let bytes = plan.total_bytes();
+    let blocks = plan.blocks().len().max(1);
+    let costs = Costs {
+        post_ns: net.post_single_ns,
+        pack_ns: host.copy_ns(blocks, bytes),
+        unpack_ns: host.copy_ns(blocks, bytes),
+        tx_ns: net.tx_ns(1, bytes),
+        prop_ns: net.prop_delay_ns.max(1),
+        bytes,
+    };
+
+    let nshards = cfg.shards;
+    let mut shards: Vec<ScaleShard> = (0..nshards)
+        .map(|shard_id| {
+            let owned = (0..cfg.ranks).filter(|r| *r as usize % nshards == shard_id);
+            ScaleShard {
+                cfg: cfg.clone(),
+                costs,
+                ranks: owned.map(|_| RankModel::default()).collect(),
+                shard_id,
+                pending: BinaryHeap::new(),
+                finish_ns: 0,
+                msgs: 0,
+            }
+        })
+        .collect();
+
+    // Prime every rank's injection window at t = 0.
+    for s in shards.iter_mut() {
+        let mpr = s.msgs_per_rank();
+        let prime = (s.cfg.window as u64).min(mpr);
+        let (id, n) = (s.shard_id as u32, s.cfg.ranks);
+        for r in (0..n).filter(|r| *r % nshards as u32 == id) {
+            for k in 0..prime {
+                s.queue_inject(0, r, k);
+            }
+        }
+    }
+
+    let mut sim = ShardSim::new(shards, costs.prop_ns, cfg.threads);
+    let rounds = sim.run();
+    let shards = sim.into_shards();
+
+    // Fold per-rank digests in rank order; ranks interleave
+    // round-robin across shards, so walk global rank ids.
+    let mut fingerprint = FNV_OFFSET;
+    let mut msgs = 0u64;
+    let mut finish_ns = 0;
+    let mut state_bytes = 0usize;
+    for s in &shards {
+        msgs += s.msgs;
+        finish_ns = finish_ns.max(s.finish_ns);
+        state_bytes += s.ranks.capacity() * std::mem::size_of::<RankModel>()
+            + s.pending.capacity() * std::mem::size_of::<Reverse<Ev>>();
+    }
+    for r in 0..cfg.ranks {
+        let s = &shards[r as usize % nshards];
+        let m = &s.ranks[r as usize / nshards];
+        let expect = match cfg.pattern {
+            ScalePattern::Alltoall => cfg.ranks as u64 - 1,
+            ScalePattern::Ring => 1,
+        };
+        assert_eq!(
+            m.recvd, expect,
+            "rank {r} received {} of {expect} messages",
+            m.recvd
+        );
+        assert_eq!(m.in_flight, 0, "rank {r} finished with sends in flight");
+        fingerprint = fnv(fingerprint, m.fp);
+    }
+
+    ScaleReport {
+        ranks: cfg.ranks,
+        msgs,
+        bytes: msgs * costs.bytes,
+        finish_ns,
+        rounds,
+        fingerprint,
+        state_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alltoall_bit_identical_across_shard_and_thread_counts() {
+        let reference = run_scale(&ScaleConfig {
+            ranks: 48,
+            shards: 1,
+            threads: 1,
+            ..ScaleConfig::default()
+        });
+        assert_eq!(reference.msgs, 48 * 47);
+        for (shards, threads) in [(2, 1), (2, 2), (4, 2), (8, 8), (16, 3), (48, 8)] {
+            let r = run_scale(&ScaleConfig {
+                ranks: 48,
+                shards,
+                threads,
+                ..ScaleConfig::default()
+            });
+            assert_eq!(
+                (r.fingerprint, r.finish_ns, r.msgs, r.rounds),
+                (
+                    reference.fingerprint,
+                    reference.finish_ns,
+                    reference.msgs,
+                    reference.rounds
+                ),
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_bit_identical_across_shard_and_thread_counts() {
+        let cfg = ScaleConfig {
+            ranks: 96,
+            pattern: ScalePattern::Ring,
+            columns: 16,
+            ..ScaleConfig::default()
+        };
+        let reference = run_scale(&cfg);
+        assert_eq!(reference.msgs, 96);
+        for (shards, threads) in [(2, 2), (8, 4), (96, 8)] {
+            let r = run_scale(&ScaleConfig {
+                shards,
+                threads,
+                ..cfg.clone()
+            });
+            assert_eq!(
+                (r.fingerprint, r.finish_ns),
+                (reference.fingerprint, reference.finish_ns),
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_caps_concurrency_and_larger_messages_take_longer() {
+        let small = run_scale(&ScaleConfig {
+            ranks: 16,
+            columns: 1,
+            ..ScaleConfig::default()
+        });
+        let large = run_scale(&ScaleConfig {
+            ranks: 16,
+            columns: 64,
+            ..ScaleConfig::default()
+        });
+        assert!(large.finish_ns > small.finish_ns);
+        assert!(large.bytes > small.bytes);
+        // A wider window can only help (or tie) the finish time.
+        let wide = run_scale(&ScaleConfig {
+            ranks: 16,
+            columns: 1,
+            window: 15,
+            ..ScaleConfig::default()
+        });
+        assert!(wide.finish_ns <= small.finish_ns);
+    }
+
+    #[test]
+    fn state_scales_with_ranks_not_ranks_squared() {
+        // Ring traffic holds the window at 1 message per rank, so the
+        // driver's state must grow linearly with ranks.
+        let a = run_scale(&ScaleConfig {
+            ranks: 256,
+            pattern: ScalePattern::Ring,
+            ..ScaleConfig::default()
+        });
+        let b = run_scale(&ScaleConfig {
+            ranks: 1024,
+            pattern: ScalePattern::Ring,
+            ..ScaleConfig::default()
+        });
+        // 4× the ranks: well under 16× (quadratic) growth; heap
+        // capacity doubling makes exact linearity too strict.
+        assert!(
+            b.state_bytes < a.state_bytes * 8,
+            "state {} -> {}",
+            a.state_bytes,
+            b.state_bytes
+        );
+    }
+}

@@ -2,12 +2,10 @@
 //!
 //! Each simulation is deterministic and single-threaded, so a sweep
 //! over workload parameters is embarrassingly parallel: inputs fan out
-//! across OS threads, results come back in input order. This is the
-//! only place the crate uses real parallelism — inside a simulation
-//! determinism rules it out.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//! across OS threads, results come back in input order. The thread
+//! machinery lives in [`ibdt_simcore::shard::run_indexed`] (shared
+//! with the sharded large-run driver); this wrapper only picks the
+//! thread count and adapts the input-slice signature.
 
 /// Runs `f` over every input, in parallel, returning results in input
 /// order. `f` must be deterministic per input (it is in this codebase:
@@ -24,57 +22,10 @@ where
     R: Send,
     F: Fn(&I) -> R + Sync,
 {
-    let n = inputs.len();
-    if n == 0 {
-        return Vec::new();
-    }
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    if threads <= 1 {
-        return inputs.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    // One slot per item. A slot's lock is only ever taken by the one
-    // worker that claimed its index, and never across a call to `f`,
-    // so the locks are uncontended and cannot cross-poison.
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let panic_payload = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let r = f(&inputs[i]);
-                    *slots[i].lock().expect("slot lock never held across f") = Some(r);
-                })
-            })
-            .collect();
-        // Join explicitly and keep the first panic payload; consuming
-        // the Err here stops the scope from re-panicking with its own
-        // generic message.
-        let mut payload = None;
-        for h in handles {
-            if let Err(p) = h.join() {
-                payload.get_or_insert(p);
-            }
-        }
-        payload
-    });
-    if let Some(p) = panic_payload {
-        std::panic::resume_unwind(p);
-    }
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("slot lock unpoisoned")
-                .expect("every slot filled")
-        })
-        .collect()
+        .unwrap_or(4);
+    ibdt_simcore::shard::run_indexed(inputs.len(), threads, |i| f(&inputs[i]))
 }
 
 #[cfg(test)]

@@ -21,8 +21,27 @@ Two kinds of gate:
 import json
 import sys
 
-GATED_PREFIXES = ("pack/plan/", "unpack/plan/", "pack/segment/", "sweep_x1/", "incast/")
+GATED_PREFIXES = (
+    "pack/plan/",
+    "unpack/plan/",
+    "pack/segment/",
+    "sweep_x1/",
+    "incast/",
+    "scale/",
+)
 ZERO_ALLOC_PREFIXES = ("repeated_send/persistent_eager/", "repeated_send/pack_eager/new/")
+# Absolute allocation ceilings, independent of the baseline: a
+# cache-on sweep iteration is a full cluster build + 4-message
+# ping-pong + teardown, measured at 83 allocs/op after the lifecycle
+# pooling work (thread-local spares for scratch, control buffers,
+# segment free-lists, and receive rings). The ceiling holds the line
+# well under the historical ~300-570 while leaving headroom for
+# incidental first-touch variation.
+ABS_ALLOC_CAPS = {
+    "sweep_x1/pingpong_cols/4/cache_on": 120,
+    "sweep_x1/pingpong_cols/64/cache_on": 120,
+    "sweep_x1/pingpong_cols/512/cache_on": 120,
+}
 TOLERANCE = 1.15
 ALLOC_SLACK = 0.5
 
@@ -74,6 +93,17 @@ def main() -> int:
                 failures.append(
                     f"{name}: {new_allocs} allocs/op vs baseline {base_allocs}"
                 )
+    # Absolute ceilings bind on the fresh run alone, so they hold even
+    # for entries absent from (or regressed into) the baseline.
+    for name, cap in ABS_ALLOC_CAPS.items():
+        gated += 1
+        allocs = new.get(name, {}).get("allocs_per_op")
+        if allocs is None:
+            failures.append(f"{name}: missing from fresh run")
+        elif allocs > cap:
+            failures.append(
+                f"{name}: {allocs} allocs/op exceeds absolute cap {cap}"
+            )
 
     if failures:
         print("bench gate FAILED:")
