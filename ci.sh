@@ -17,6 +17,12 @@
 # vector Alltoall must finish inside its wall-clock and per-rank
 # state budgets, and the 8-shard run must be bit-identical to the
 # sequential reference (DESIGN.md §14, EXPERIMENTS.md X14).
+#
+# `./ci.sh --chaos-scale` runs the crash-stop chaos matrix (the
+# `chaos-scale` job in CI): the chaos_scale suite under the fixed seed
+# matrix, plus the 4096-rank chaos smoke — a seeded crash-stop run
+# must fingerprint bit-identically across 1/2/8 shards (DESIGN.md §15,
+# EXPERIMENTS.md X15).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,13 +30,15 @@ CHAOS=0
 BENCH_GATE=0
 SOAK=0
 SCALE=0
+CHAOS_SCALE=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
     --bench-gate) BENCH_GATE=1 ;;
     --soak) SOAK=1 ;;
     --scale) SCALE=1 ;;
-    *) echo "unknown argument: $arg (supported: --chaos, --bench-gate, --soak, --scale)" >&2; exit 2 ;;
+    --chaos-scale) CHAOS_SCALE=1 ;;
+    *) echo "unknown argument: $arg (supported: --chaos, --bench-gate, --soak, --scale, --chaos-scale)" >&2; exit 2 ;;
   esac
 done
 
@@ -107,6 +115,19 @@ fi
 if [[ "$SCALE" == 1 ]]; then
   echo "==> scale smoke (1024-rank Alltoall within budget, bit-identical shards)"
   ./target/release/scale --smoke
+fi
+
+if [[ "$CHAOS_SCALE" == 1 ]]; then
+  # Crash-stop chaos matrix (the `chaos-scale` CI job): each seed
+  # re-derives the node-failure plans in the chaos_scale suite
+  # (membership, drain/recover, shrinker) and the seeded plan of the
+  # 4096-rank chaos smoke.
+  for seed in 0x1 0xBEEF 0xC4A0 0xFEED; do
+    echo "==> chaos-scale matrix: IBDT_CHAOS_SEED=$seed"
+    IBDT_CHAOS_SEED=$seed cargo test -q --test chaos_scale
+  done
+  echo "==> chaos smoke (4096-rank crash-stop run bit-identical across shards)"
+  ./target/release/scale --chaos-smoke
 fi
 
 echo "CI OK"

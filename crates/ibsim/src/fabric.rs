@@ -147,6 +147,23 @@ pub enum NicEvent {
         /// Recovering port.
         port: u8,
     },
+    /// A node crashes ([`FaultPlan::node_faults`]): both of its ports
+    /// go down, every queue pair touching it — in either direction —
+    /// transitions to the error state, and in-flight traffic is flushed
+    /// with error completions. No APM migration is possible: the
+    /// alternate port died with the node.
+    NodeDown {
+        /// Node that crashes.
+        node: u32,
+    },
+    /// A crashed node restarts: both ports recover, but every errored
+    /// queue pair stays dead until the embedder re-establishes it
+    /// ([`Fabric::reestablish_qp`]) — exactly the contract after a
+    /// port-loss QP error.
+    NodeUp {
+        /// Node that restarts.
+        node: u32,
+    },
 }
 
 /// Queue-pair lifecycle states (IB spec §10.3.1).
@@ -350,6 +367,8 @@ pub struct FabricStats {
     /// Times consuming a receive descriptor crossed below
     /// [`NetConfig::recv_low_watermark`] (SRQ-limit-style event).
     pub recv_low_water: u64,
+    /// Crash-stop node failures realized ([`NicEvent::NodeDown`]).
+    pub node_crashes: u64,
 }
 
 /// Per-direction QP state, indexed `src * n + dst` through a paged
@@ -454,6 +473,12 @@ pub struct Fabric {
     ports_down: Vec<[bool; 2]>,
     /// Number of `(node, port)` pairs currently down (fast-path gate).
     ports_down_count: usize,
+    /// Crash-stop liveness per node ([`NicEvent::NodeDown`]). A down
+    /// node holds both ports down; the flag additionally answers the
+    /// membership query [`Fabric::node_down`] the MPI layer uses to
+    /// distinguish a dead peer from a flaky link. Materialized lazily
+    /// on the first crash so fault-free clusters never allocate it.
+    nodes_down: Vec<bool>,
     /// Per-node reliability counters (retransmits, RNR backoff retries,
     /// QP errors, flushed WQEs, migrations, injected fates) attributed
     /// to the requester/transmitter.
@@ -490,6 +515,7 @@ impl Fabric {
             migrating: 0,
             ports_down: vec![[false; 2]; n],
             ports_down_count: 0,
+            nodes_down: Vec::new(),
             node_stats: vec![FabricStats::default(); n],
             cq_used: vec![0; n],
             cq_peak: vec![0; n],
@@ -628,6 +654,37 @@ impl Fabric {
         self.ports_down[node as usize][port as usize]
     }
 
+    /// True when `node` is currently crashed ([`NicEvent::NodeDown`]
+    /// fired and no restart has happened yet). This is the membership
+    /// view a subnet-manager-style health service would export; the
+    /// MPI layer consults it to escalate a connection failure into a
+    /// peer-death diagnosis.
+    pub fn node_down(&self, node: u32) -> bool {
+        self.nodes_down.get(node as usize).copied().unwrap_or(false)
+    }
+
+    /// True when any node is currently crashed.
+    pub fn any_node_down(&self) -> bool {
+        self.nodes_down.iter().any(|&d| d)
+    }
+
+    /// True when every scheduled crash of `node` carries a restart
+    /// window — i.e. the installed plan never kills the node for good.
+    /// Mirrors the out-of-band knowledge a membership service
+    /// accumulates: a node with a pending restart is "suspected", one
+    /// crashed with no restart is "failed".
+    pub fn node_will_restart(&self, node: u32) -> bool {
+        match &self.faults {
+            None => true,
+            Some(fs) => fs
+                .plan()
+                .node_faults
+                .iter()
+                .filter(|nf| nf.node == node)
+                .all(|nf| nf.restart_after_ns.is_some()),
+        }
+    }
+
     /// Port carrying the current path of the directional QP
     /// `node -> peer` (0 = primary until a migration happens).
     pub fn qp_port(&self, node: u32, peer: u32) -> u8 {
@@ -640,8 +697,10 @@ impl Fabric {
     }
 
     /// The `(time, event)` pairs the embedder must seed into its engine
-    /// to realize the installed plan's [`FaultPlan::link_faults`].
-    pub fn link_fault_events(&self) -> Vec<(Time, NicEvent)> {
+    /// to realize the installed plan's scheduled faults: port failures
+    /// from [`FaultPlan::link_faults`] and crash-stop node failures
+    /// from [`FaultPlan::node_faults`].
+    pub fn fault_events(&self) -> Vec<(Time, NicEvent)> {
         let Some(fs) = &self.faults else {
             return Vec::new();
         };
@@ -661,6 +720,12 @@ impl Fabric {
                     port: lf.port,
                 },
             ));
+        }
+        for nf in &fs.plan().node_faults {
+            evs.push((nf.at_ns, NicEvent::NodeDown { node: nf.node }));
+            if let Some(after) = nf.restart_after_ns {
+                evs.push((nf.at_ns + after, NicEvent::NodeUp { node: nf.node }));
+            }
         }
         evs
     }
@@ -1199,6 +1264,56 @@ impl Fabric {
                     *down = false;
                     self.ports_down_count -= 1;
                 }
+            }
+            NicEvent::NodeDown { node } => self.handle_node_down(now, node, sink),
+            NicEvent::NodeUp { node } => {
+                if self.node_down(node) {
+                    self.nodes_down[node as usize] = false;
+                    for port in 0..2u8 {
+                        let down = &mut self.ports_down[node as usize][port as usize];
+                        if *down {
+                            *down = false;
+                            self.ports_down_count -= 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A node crashed: both ports die at once, so no QP touching it can
+    /// migrate — every live direction to or from the node transitions
+    /// to the error state and flushes its in-flight traffic. The ports
+    /// are marked down *before* the QP sweep so the APM check in any
+    /// concurrently delivered event sees a node with no usable path.
+    fn handle_node_down<F: FnMut(Time, NicEvent)>(&mut self, now: Time, node: u32, sink: &mut F) {
+        if self.node_down(node) {
+            return;
+        }
+        if self.nodes_down.is_empty() {
+            self.nodes_down = vec![false; self.nodes.len()];
+        }
+        self.nodes_down[node as usize] = true;
+        self.stats.node_crashes += 1;
+        self.node_stats[node as usize].node_crashes += 1;
+        for port in 0..2u8 {
+            let down = &mut self.ports_down[node as usize][port as usize];
+            if !*down {
+                *down = true;
+                self.ports_down_count += 1;
+            }
+        }
+        let n = self.nodes.len() as u32;
+        for other in 0..n {
+            if other == node {
+                continue;
+            }
+            for dir in [(node, other), (other, node)] {
+                let d = self.dir(dir.0, dir.1);
+                if d.err || matches!(d.state, QpState::Reset) {
+                    continue;
+                }
+                self.fail_qp(now, dir.0, dir.1, sink);
             }
         }
     }

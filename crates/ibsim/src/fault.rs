@@ -27,7 +27,7 @@ use ibdt_simcore::time::Time;
 /// Unlike the per-packet rates, link faults are *scheduled events*: the
 /// embedder seeds [`PortDown`](crate::fabric::NicEvent::PortDown) /
 /// [`PortUp`](crate::fabric::NicEvent::PortUp) events obtained from
-/// [`Fabric::link_fault_events`](crate::fabric::Fabric::link_fault_events)
+/// [`Fabric::fault_events`](crate::fabric::Fabric::fault_events)
 /// into its engine. When the port carrying a queue pair's current path
 /// goes down, the QP either migrates to its alternate path (APM, if
 /// [`NetConfig::apm_enabled`](crate::model::NetConfig::apm_enabled)) or
@@ -43,6 +43,47 @@ pub struct LinkFault {
     /// How long the port stays down.
     pub down_ns: Time,
 }
+
+/// A scheduled crash-stop node failure: `node` dies at `at_ns` — both
+/// of its ports go down, every queue pair touching it transitions to
+/// the error state, and its in-flight traffic is flushed with error
+/// completions.
+///
+/// With `restart_after_ns` set, the node comes back that much later
+/// ([`NodeUp`](crate::fabric::NicEvent::NodeUp)): its ports recover,
+/// but errored queue pairs stay dead until the embedder re-establishes
+/// them (the MPI connection manager's job). Without it the failure is
+/// permanent — the crash-stop model proper — and peers must eventually
+/// diagnose the node as failed rather than retry forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFault {
+    /// Virtual time the node crashes.
+    pub at_ns: Time,
+    /// Node that crashes.
+    pub node: u32,
+    /// Restart delay after the crash, or `None` for a permanent
+    /// crash-stop failure.
+    pub restart_after_ns: Option<Time>,
+}
+
+/// A rejected fault-plan parameter: a probability outside `[0, 1]`.
+///
+/// Out-of-range rates used to be silently clamped by the decision
+/// stream (negative acted as 0, >1 as certainty), which hides typos
+/// like a rate given in percent. Constructors validate instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRateError {
+    /// The offending value.
+    pub rate: f64,
+}
+
+impl core::fmt::Display for FaultRateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "fault rate {} is outside [0, 1]", self.rate)
+    }
+}
+
+impl std::error::Error for FaultRateError {}
 
 /// What can go wrong on the wire, with what probability.
 ///
@@ -72,6 +113,8 @@ pub struct FaultPlan {
     pub stall_ns: Time,
     /// Scheduled port failures (link-down fault events).
     pub link_faults: Vec<LinkFault>,
+    /// Scheduled crash-stop node failures.
+    pub node_faults: Vec<NodeFault>,
     /// Probability that a freshly exchanged zero-copy registration is
     /// evicted before the remote writes land (the §5.4.2 pin-down-cache
     /// race). Consumed deterministically by the MPI layer, not by the
@@ -97,14 +140,22 @@ impl FaultPlan {
             stall_rate: 0.0,
             stall_ns: 0,
             link_faults: Vec::new(),
+            node_faults: Vec::new(),
             evict_rate: 0.0,
         }
     }
 
     /// A plan dropping/corrupting/delaying each transfer with the same
     /// `rate`, with representative jitter and stall magnitudes.
-    pub fn uniform(seed: u64, rate: f64) -> Self {
-        Self {
+    ///
+    /// Fails typed when `rate` is not a probability (outside `[0, 1]`
+    /// or NaN) — a rate given in percent would otherwise silently act
+    /// as certainty.
+    pub fn uniform(seed: u64, rate: f64) -> Result<Self, FaultRateError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(FaultRateError { rate });
+        }
+        Ok(Self {
             seed,
             drop_rate: rate,
             corrupt_rate: rate,
@@ -113,8 +164,9 @@ impl FaultPlan {
             stall_rate: rate,
             stall_ns: 20_000,
             link_faults: Vec::new(),
+            node_faults: Vec::new(),
             evict_rate: 0.0,
-        }
+        })
     }
 
     /// True when no fault can ever fire.
@@ -124,6 +176,7 @@ impl FaultPlan {
             && (self.delay_rate <= 0.0 || self.max_delay_ns == 0)
             && (self.stall_rate <= 0.0 || self.stall_ns == 0)
             && self.link_faults.is_empty()
+            && self.node_faults.is_empty()
             && self.evict_rate <= 0.0
     }
 }
@@ -238,12 +291,37 @@ mod tests {
             assert_eq!(st.stall(), None);
         }
         assert!(FaultPlan::none().is_inert());
-        assert!(!FaultPlan::uniform(1, 0.1).is_inert());
+        assert!(!FaultPlan::uniform(1, 0.1).unwrap().is_inert());
+    }
+
+    #[test]
+    fn uniform_rejects_out_of_range_rates() {
+        for rate in [-0.01, 1.01, 42.0, f64::NAN, f64::INFINITY] {
+            let err = FaultPlan::uniform(9, rate).expect_err("rate must be rejected");
+            if !rate.is_nan() {
+                assert_eq!(err, FaultRateError { rate });
+            }
+            assert!(format!("{err}").contains("outside [0, 1]"));
+        }
+        for rate in [0.0, 0.5, 1.0] {
+            assert!(FaultPlan::uniform(9, rate).is_ok(), "rate {rate} is legal");
+        }
+    }
+
+    #[test]
+    fn node_faults_make_a_plan_active() {
+        let mut plan = FaultPlan::none();
+        plan.node_faults.push(NodeFault {
+            at_ns: 1_000,
+            node: 2,
+            restart_after_ns: None,
+        });
+        assert!(!plan.is_inert());
     }
 
     #[test]
     fn same_seed_same_decisions() {
-        let plan = FaultPlan::uniform(0xFA17, 0.3);
+        let plan = FaultPlan::uniform(0xFA17, 0.3).unwrap();
         let mut a = FaultState::new(plan.clone());
         let mut b = FaultState::new(plan);
         for _ in 0..1000 {

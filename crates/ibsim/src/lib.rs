@@ -36,7 +36,7 @@ pub mod payload;
 pub mod wr;
 
 pub use fabric::{Fabric, FabricStats, NicEvent, NodeMem, QpState, QpTransitionError};
-pub use fault::{FaultPlan, LinkFault};
+pub use fault::{FaultPlan, FaultRateError, LinkFault, NodeFault};
 pub use model::{HostConfig, NetConfig, RNR_RETRY_INFINITE};
 pub use payload::Payload;
 pub use wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge, SgeList};

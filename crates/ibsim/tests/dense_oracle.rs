@@ -214,7 +214,7 @@ fn dense_tables_match_hashmap_oracle_under_churn() {
             mems: (0..N).map(|_| NodeMem::new(16 << 20)).collect(),
             completions: 0,
         };
-        let mut plan = FaultPlan::uniform(rng.next_u64(), 0.1);
+        let mut plan = FaultPlan::uniform(rng.next_u64(), 0.1).unwrap();
         plan.evict_rate = 0.0;
         h.fabric.set_fault_plan(plan);
         let mut o = Oracle::new(apm);

@@ -4,8 +4,8 @@
 //! completions plus a flushed queue pair — never as silent corruption.
 
 use ibdt_ibsim::{
-    Cqe, CqeStatus, Fabric, FaultPlan, LinkFault, NetConfig, NicEvent, NodeMem, Opcode, PostError,
-    QpState, RecvWr, SendWr, Sge,
+    Cqe, CqeStatus, Fabric, FaultPlan, LinkFault, NetConfig, NicEvent, NodeFault, NodeMem, Opcode,
+    PostError, QpState, RecvWr, SendWr, Sge,
 };
 use ibdt_simcore::engine::{Engine, Scheduler, World};
 use ibdt_simcore::time::Time;
@@ -592,7 +592,7 @@ fn apm_migrates_on_port_down_and_delivery_continues() {
     };
     let mut h = harness(2, NetConfig::default(), faults);
     let mut eng = Engine::new();
-    for (t, e) in h.fabric.link_fault_events() {
+    for (t, e) in h.fabric.fault_events() {
         eng.seed(t, e);
     }
     for i in 0..6 {
@@ -729,4 +729,94 @@ fn stale_epoch_traffic_is_discarded_on_arrival() {
         h.fabric.stats().flushed_wqes >= 1,
         "the discard is accounted"
     );
+}
+
+#[test]
+fn node_crash_kills_both_ports_and_errors_every_touching_qp() {
+    // 3-node fabric, node 1 crash-stops with no restart while a send
+    // 0 -> 1 is in flight: both of node 1's ports die, every QP that
+    // touches it (in either direction) errors, the in-flight transfer
+    // flushes typed, and pairs not involving node 1 stay healthy.
+    let faults = FaultPlan {
+        seed: 5,
+        node_faults: vec![NodeFault {
+            at_ns: 5_000,
+            node: 1,
+            restart_after_ns: None,
+        }],
+        ..FaultPlan::none()
+    };
+    let mut h = harness(3, NetConfig::default(), faults);
+    let mut eng = Engine::new();
+    for (t, e) in h.fabric.fault_events() {
+        eng.seed(t, e);
+    }
+    // A large send that cannot finish before the crash at t=5000.
+    let (_src, dst) = send_one(&mut h, &mut eng, 1 << 20, 42);
+
+    assert!(h.fabric.node_down(1), "membership must report node 1 dead");
+    assert!(h.fabric.any_node_down());
+    assert!(
+        !h.fabric.node_will_restart(1),
+        "no restart window was scheduled"
+    );
+    assert!(h.fabric.port_down(1, 0) && h.fabric.port_down(1, 1));
+    assert_eq!(h.fabric.stats().node_crashes, 1);
+    for (a, b) in [(0, 1), (1, 0), (1, 2), (2, 1)] {
+        assert!(h.fabric.qp_errored(a, b), "QP {a}->{b} must error");
+    }
+    assert!(
+        !h.fabric.qp_errored(0, 2) && !h.fabric.qp_errored(2, 0),
+        "pairs not touching the dead node must stay healthy"
+    );
+    // The in-flight send surfaced as a typed failure, never success.
+    assert!(
+        h.log
+            .iter()
+            .any(|(_, n, c)| *n == 0 && c.wr_id == 42 && !c.status.is_ok()),
+        "in-flight send must flush with error: {:?}",
+        h.log
+    );
+    assert_ne!(
+        h.mems[1].space.read(dst, 1 << 20).unwrap(),
+        vec![0x5A; 1 << 20],
+        "the crashed receiver must not have the full payload"
+    );
+}
+
+#[test]
+fn node_restart_recovers_ports_and_reestablished_qps_deliver() {
+    // Crash with a restart window: during the window the membership
+    // view says "will restart" (suspected, not failed); after it the
+    // ports are back and a re-established QP moves data again.
+    let faults = FaultPlan {
+        seed: 6,
+        node_faults: vec![NodeFault {
+            at_ns: 1_000,
+            node: 1,
+            restart_after_ns: Some(50_000),
+        }],
+        ..FaultPlan::none()
+    };
+    let mut h = harness(2, NetConfig::default(), faults);
+    assert!(
+        h.fabric.node_will_restart(1),
+        "a restart-windowed fault is suspected, not failed"
+    );
+    let mut eng = Engine::new();
+    for (t, e) in h.fabric.fault_events() {
+        eng.seed(t, e);
+    }
+    eng.run_to_quiescence(&mut h, 100_000);
+    assert!(!h.fabric.node_down(1), "node 1 restarted");
+    assert!(!h.fabric.port_down(1, 0) && !h.fabric.port_down(1, 1));
+    assert_eq!(h.fabric.stats().node_crashes, 1);
+    // QPs stay errored until the connection manager re-establishes.
+    assert!(h.fabric.qp_errored(0, 1));
+    h.fabric.reestablish_qp(0, 1);
+    h.fabric.reestablish_qp(1, 0);
+    let (src, dst) = send_one(&mut h, &mut eng, 4096, 7);
+    let a = h.mems[0].space.read(src, 4096).unwrap();
+    let b = h.mems[1].space.read(dst, 4096).unwrap();
+    assert_eq!(a, b, "post-restart QP must deliver");
 }

@@ -468,7 +468,7 @@ impl Cluster {
         }
         // Realize the fault plan's scheduled link failures as engine
         // events (port down / port up at their virtual instants).
-        for (t, e) in self.fabric.link_fault_events() {
+        for (t, e) in self.fabric.fault_events() {
             engine.seed(t, Ev::Nic(e));
         }
         // Budget: generous runaway guard proportional to work. With
@@ -488,7 +488,13 @@ impl Cluster {
         // typed error or tripped the watchdog, in which case an
         // incomplete program is the expected degraded outcome and is
         // recorded as such.
+        // A node still down at quiescence crash-stopped for good: its
+        // own program cannot have finished, and peers that never
+        // exchanged traffic with it after the crash may have observed
+        // nothing — the crash itself is the error condition.
+        let crashed = (0..self.spec.nprocs).any(|r| self.fabric.node_down(r));
         let had_errors = exhausted
+            || crashed
             || (0..self.spec.nprocs as usize).any(|r| {
                 !self.ranks[r].errors.is_empty()
                     || self.ranks[r].reqs.iter().any(|q| q.error.is_some())
@@ -540,6 +546,18 @@ impl Cluster {
     /// no message was lost or duplicated across any degradation
     /// transition. Panics on violation; wired into the chaos and incast
     /// soak suites, not production runs.
+    ///
+    /// **Crash-stop failures.** When a peer dies, the quiescent law
+    /// legitimately breaks: credits held by the dead rank never return
+    /// and messages sent to it are never matched, so `sent > matched`
+    /// is the *correct* end state — which is why the quiescent check
+    /// is gated on a clean (error-free, crash-free) run. The base
+    /// conservation laws above survive a crash untouched: each one
+    /// reads either a single rank's own counters (which freeze at the
+    /// instant its host halts) or a monotone cross-pair inequality
+    /// (`received ≤ granted`, `matched ≤ sent`) that a frozen side can
+    /// only leave slack in, never violate. The crash-stop chaos suite
+    /// runs with the auditor on to hold exactly this line.
     fn audit_invariants(&self, quiescent: bool) {
         let n = self.spec.nprocs as usize;
         let pool = u64::from(self.spec.mpi.eager_credits);
@@ -630,6 +648,7 @@ impl Cluster {
             migrations: fstats.migrations,
             cq_overflows: fstats.cq_overflows,
             recv_low_water: fstats.recv_low_water,
+            node_crashes: fstats.node_crashes,
             cq_peak: (0..n).map(|r| self.fabric.cq_peak(r as u32)).collect(),
             fabric_per_rank: self.fabric.node_stats().to_vec(),
             errors: self
@@ -1137,6 +1156,18 @@ impl Cluster {
         }
     }
 
+    /// True when `rank`'s host has crash-stopped for good: its node is
+    /// down ([`NicEvent::NodeDown`]) with no restart pending. A halted
+    /// rank's CPU and completion events are discarded — the process is
+    /// gone. A *restartable* down window deliberately leaves the
+    /// program running against the dead fabric: its posts fail into
+    /// the connection manager, which bridges the window and re-drives
+    /// everything once the node returns (checkpoint-restore
+    /// semantics; see DESIGN.md §15).
+    fn rank_halted(&self, rank: u32) -> bool {
+        self.fabric.node_down(rank) && !self.fabric.node_will_restart(rank)
+    }
+
     /// Schedules interpreter resumption for ranks with fresh
     /// completions.
     fn drain_completions(&mut self, sched: &mut Scheduler<'_, Ev>, rank: u32) {
@@ -1218,6 +1249,16 @@ impl World for Cluster {
                     );
                 }
                 for &(node, cqe) in &completions {
+                    if self.rank_halted(node) {
+                        // The rank crash-stopped: its CPU never sees
+                        // the completion. The CQ-consumer ack below
+                        // still runs so the fabric's occupancy
+                        // accounting stays balanced.
+                        if self.spec.net.cq_depth != usize::MAX {
+                            sched.at(sched.now(), Ev::CqAck { rank: node, n: 1 });
+                        }
+                        continue;
+                    }
                     {
                         let Cluster {
                             fabric,
@@ -1260,6 +1301,9 @@ impl World for Cluster {
                 self.cqe_buf = completions;
             }
             Ev::Cpu { rank, act } => {
+                if self.rank_halted(rank) {
+                    return;
+                }
                 {
                     let Cluster {
                         fabric,
@@ -1287,6 +1331,9 @@ impl World for Cluster {
                 self.drain_completions(sched, rank);
             }
             Ev::Resume { rank } => {
+                if self.rank_halted(rank) {
+                    return;
+                }
                 self.interp_advance(sched, rank);
             }
             Ev::CqAck { rank, n } => {

@@ -73,6 +73,16 @@ pub enum MpiError {
         /// Referenced sequence number (or 16-bit imm tag).
         seq: u64,
     },
+    /// The peer's node suffered a crash-stop failure: transport
+    /// failures to it escalated through the connection manager while
+    /// the membership view reports the node dead with no restart
+    /// pending. Distinct from the transient [`MpiError::ConnectionLost`]
+    /// — a `PeerFailed` connection is never coming back, so callers
+    /// should drain (fail dependent work typed) rather than retry.
+    PeerFailed {
+        /// The crashed rank.
+        peer: u32,
+    },
     /// The connection manager exhausted its re-establishment budget:
     /// the queue pair to `peer` kept dying faster than it could be
     /// recovered.
@@ -174,6 +184,9 @@ impl fmt::Display for MpiError {
                     f,
                     "message from rank {peer} references unknown transfer {seq}"
                 )
+            }
+            MpiError::PeerFailed { peer } => {
+                write!(f, "peer rank {peer} failed (crash-stop, no restart pending)")
             }
             MpiError::ConnectionLost { peer, attempts } => {
                 write!(

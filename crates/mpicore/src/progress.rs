@@ -740,8 +740,8 @@ fn on_cqe_error(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, 
             }
             return;
         }
-        let attempts = rs.reconn.get(&peer).map_or(0, |r| r.attempts);
-        err = MpiError::ConnectionLost { peer, attempts };
+        err = give_up_error(rs, ctx, peer);
+        drain_suspended(rs, am, ctx, peer, err);
     }
     match kind {
         WR_EAGER => {
@@ -3587,12 +3587,77 @@ fn recoverable(err: &MpiError) -> bool {
     )
 }
 
+/// True when the membership view has declared `peer` dead for good:
+/// its node suffered a crash-stop failure and no restart is pending.
+/// Mirrors the out-of-band health service (subnet manager) a real
+/// connection manager consults — a node that will restart is merely
+/// *suspected* and stays worth reconnect attempts; one that will not
+/// is *failed* and every retry toward it is wasted work.
+fn peer_failed(ctx: &Ctx<'_, '_>, peer: u32) -> bool {
+    ctx.fabric.node_down(peer) && !ctx.fabric.node_will_restart(peer)
+}
+
+/// The terminal error once the connection manager gives up on `peer`:
+/// the crash-stop diagnosis [`MpiError::PeerFailed`] when the
+/// membership view reports the node dead, the transient
+/// [`MpiError::ConnectionLost`] otherwise.
+fn give_up_error(rs: &RankState, ctx: &Ctx<'_, '_>, peer: u32) -> MpiError {
+    if peer_failed(ctx, peer) {
+        MpiError::PeerFailed { peer }
+    } else {
+        let attempts = rs.reconn.get(&peer).map_or(0, |r| r.attempts);
+        MpiError::ConnectionLost { peer, attempts }
+    }
+}
+
+/// Drains everything the connection manager had suspended toward
+/// `peer`: eager ring slots return to the free list (re-driving sends
+/// queued behind them), suspended rendezvous sends and receives fail
+/// with `err`. Called at give-up time so no request stays parked on a
+/// connection that is never coming back — the "complete what is
+/// completable, fail the rest typed, never hang" half of the failure
+/// contract.
+fn drain_suspended(
+    rs: &mut RankState,
+    am: &mut ActiveMsgs,
+    ctx: &mut Ctx<'_, '_>,
+    peer: u32,
+    err: MpiError,
+) {
+    let Some(r) = rs.reconn.get_mut(&peer) else {
+        return;
+    };
+    r.active = false;
+    let eager_slots = std::mem::take(&mut r.eager_slots);
+    let sends: Vec<u64> = r.sends.iter().copied().collect();
+    let recvs: Vec<u64> = r.recvs.iter().copied().collect();
+    r.sends.clear();
+    r.recvs.clear();
+    r.pending_ctrl.clear();
+    for va in eager_slots {
+        rs.eager_send_free.push(va);
+        rs.errors.push(err);
+    }
+    drain_pending_eager(rs, ctx);
+    for seq in sends {
+        if let Some(msg) = am.sends.remove(&(peer, seq)) {
+            abort_send(rs, ctx, msg, err);
+        }
+    }
+    for seq in recvs {
+        abort_recv(rs, am, ctx, peer, seq, err);
+    }
+}
+
 /// Ensures a reconnect handshake to `peer` is scheduled, modelling the
 /// connection manager's out-of-band exchange with `reconnect_ns`
 /// latency. Returns `false` when the re-establishment budget is
-/// exhausted — the caller then fails the traffic with
-/// [`MpiError::ConnectionLost`].
+/// exhausted or the peer is diagnosed as failed — the caller then
+/// fails the traffic with [`give_up_error`].
 fn ensure_reconnect(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, peer: u32) -> bool {
+    if peer_failed(ctx, peer) {
+        return false;
+    }
     let rank = rs.rank;
     let at = ctx.now() + ctx.cfg.reconnect_ns;
     let r = rs.reconn.get_or_default(peer);
@@ -3626,8 +3691,9 @@ fn resolve_send_failure(
             am.sends.insert((peer, msg.seq), msg);
             return;
         }
-        let attempts = rs.reconn.get(&peer).map_or(0, |r| r.attempts);
-        abort_send(rs, ctx, msg, MpiError::ConnectionLost { peer, attempts });
+        let err = give_up_error(rs, ctx, peer);
+        drain_suspended(rs, am, ctx, peer, err);
+        abort_send(rs, ctx, msg, err);
         return;
     }
     abort_send(rs, ctx, msg, err);
@@ -3637,6 +3703,14 @@ fn resolve_send_failure(
 /// QP directions and re-drive everything the failure suspended, in
 /// deterministic order (ring slots, queued control, sends, receives).
 fn do_reconnect(rs: &mut RankState, am: &mut ActiveMsgs, ctx: &mut Ctx<'_, '_>, peer: u32) {
+    if peer_failed(ctx, peer) {
+        // The handshake raced a crash-stop diagnosis: the peer is dead
+        // for good, so re-establishing its QPs would only feed more
+        // traffic into a black hole. Drain instead.
+        let err = MpiError::PeerFailed { peer };
+        drain_suspended(rs, am, ctx, peer, err);
+        return;
+    }
     let Some(mut r) = rs.reconn.remove(&peer) else {
         return;
     };

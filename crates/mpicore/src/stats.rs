@@ -59,6 +59,8 @@ pub struct RunStats {
     /// Fabric: receive-queue low-watermark crossings (SRQ-limit-style
     /// events under a configured `recv_low_watermark`).
     pub recv_low_water: u64,
+    /// Fabric: crash-stop node failures realized from the fault plan.
+    pub node_crashes: u64,
     /// Per-rank high-water completion-queue occupancy (0 everywhere
     /// when `cq_depth` is unbounded).
     pub cq_peak: Vec<usize>,

@@ -12,6 +12,11 @@
 //! - [`cases`]: a seeded-case harness that runs a closure over `n`
 //!   derived seeds and reports the failing seed, so a failure is
 //!   reproducible with a one-line unit test.
+//! - [`shrink`] / [`shrink_report`]: a delta-debugging minimizer for
+//!   failing event lists (fault plans, operation sequences): halving
+//!   passes followed by single-event removal, repeated to a fixed
+//!   point, so a chaos failure is reported as the smallest event list
+//!   that still reproduces it.
 
 /// Seeded deterministic random generator (SplitMix64).
 ///
@@ -169,6 +174,92 @@ pub fn seed_for(base_seed: u64, case: u32) -> u64 {
     Rng::new(base_seed ^ ((case as u64) << 32 | 0x5EED)).next_u64()
 }
 
+/// Result of a [`shrink_report`] run.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport<T> {
+    /// The minimal failing event list: removing any single remaining
+    /// event makes the predicate pass (1-minimality).
+    pub minimal: Vec<T>,
+    /// Events in the original failing list.
+    pub initial: usize,
+    /// Predicate evaluations spent, including the initial check.
+    pub probes: u64,
+}
+
+impl<T> ShrinkReport<T> {
+    /// One-line human summary for failure messages.
+    pub fn summary(&self) -> String {
+        format!(
+            "shrunk {} -> {} events in {} probes",
+            self.initial,
+            self.minimal.len(),
+            self.probes
+        )
+    }
+}
+
+/// Minimizes a failing event list: returns the smallest sublist (in
+/// original order) on which `fails` still returns `true`.
+///
+/// `fails` must be deterministic — it is the reproducer (typically
+/// "rerun the simulation with this fault plan and check the bad
+/// outcome still happens"). The input itself must fail; this is
+/// asserted, because "minimize a passing input" is always a bug in
+/// the harness.
+///
+/// The strategy is greedy delta debugging: try to delete chunks of
+/// half the list, then quarters, and so on down to single events,
+/// repeating the single-event pass until no event can be removed. The
+/// result is 1-minimal; like all ddmin variants it can miss smaller
+/// non-contiguous subsets, which is the standard trade for a probe
+/// count linear-ish in the list length rather than exponential.
+pub fn shrink<T: Clone>(input: &[T], fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    shrink_report(input, fails).minimal
+}
+
+/// [`shrink`], also reporting probe-count statistics for harness logs.
+pub fn shrink_report<T: Clone>(
+    input: &[T],
+    mut fails: impl FnMut(&[T]) -> bool,
+) -> ShrinkReport<T> {
+    let mut probes = 1u64;
+    assert!(
+        fails(input),
+        "shrink needs a failing input (the full list must reproduce)"
+    );
+    let mut cur = input.to_vec();
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let end = (i + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (end - i));
+            cand.extend_from_slice(&cur[..i]);
+            cand.extend_from_slice(&cur[end..]);
+            probes += 1;
+            if fails(&cand) {
+                // The chunk was irrelevant; drop it and retry the same
+                // position, which now holds the next chunk.
+                cur = cand;
+                shrunk = true;
+            } else {
+                i = end;
+            }
+        }
+        if chunk > 1 {
+            chunk /= 2;
+        } else if !shrunk {
+            break;
+        }
+    }
+    ShrinkReport {
+        minimal: cur,
+        initial: input.len(),
+        probes,
+    }
+}
+
 /// A counting wrapper around the system allocator.
 ///
 /// Install it as the global allocator in a bench or test binary to
@@ -321,5 +412,57 @@ mod tests {
         for (i, &v) in first.iter().enumerate() {
             assert_eq!(Rng::new(seed_for(77, i as u32)).next_u64(), v);
         }
+    }
+
+    #[test]
+    fn shrink_finds_conjunctive_minimum() {
+        // Fails iff both 3 and 7 are present: the minimal reproducer
+        // is exactly [3, 7], whatever noise surrounds them.
+        let noisy: Vec<u32> = vec![9, 1, 3, 4, 4, 2, 7, 8, 0, 5, 6, 12, 11];
+        let report = shrink_report(&noisy, |s| s.contains(&3) && s.contains(&7));
+        assert_eq!(report.minimal, vec![3, 7]);
+        assert_eq!(report.initial, noisy.len());
+        assert!(report.probes > 1);
+        assert!(report.summary().contains("-> 2 events"));
+    }
+
+    #[test]
+    fn shrink_finds_single_culprit() {
+        let noisy: Vec<u32> = (0..100).collect();
+        let minimal = shrink(&noisy, |s| s.contains(&83));
+        assert_eq!(minimal, vec![83]);
+    }
+
+    #[test]
+    fn shrink_keeps_order_and_is_one_minimal() {
+        // Fails iff it contains at least 3 even numbers; the minimum
+        // is any 3 evens, in their original relative order.
+        let noisy: Vec<u32> = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let minimal = shrink(&noisy, |s| s.iter().filter(|v| *v % 2 == 0).count() >= 3);
+        assert_eq!(minimal.len(), 3);
+        assert!(minimal.iter().all(|v| v % 2 == 0));
+        let mut sorted = minimal.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, minimal, "original order must be preserved");
+        // 1-minimality: removing any remaining event must pass.
+        for i in 0..minimal.len() {
+            let mut cand = minimal.clone();
+            cand.remove(i);
+            assert!(cand.iter().filter(|v| *v % 2 == 0).count() < 3);
+        }
+    }
+
+    #[test]
+    fn shrink_can_reach_empty() {
+        // A predicate that always fails shrinks to the empty list —
+        // the failure was never input-dependent.
+        let minimal = shrink(&[1, 2, 3], |_| true);
+        assert!(minimal.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "failing input")]
+    fn shrink_rejects_passing_input() {
+        shrink(&[1, 2, 3], |_| false);
     }
 }

@@ -29,6 +29,8 @@ pub use drivers::{
     pingpong_contig, pingpong_manual, pingpong_multiple, BandwidthResult, IncastResult,
     PingPongResult,
 };
-pub use scale::{run_scale, run_scale_with, ScaleConfig, ScalePattern, ScaleReport};
+pub use scale::{
+    run_scale, run_scale_with, ScaleConfig, ScaleFault, ScaleFaultPlan, ScalePattern, ScaleReport,
+};
 pub use structdt::struct_datatype;
 pub use vector::{vector_datatype, VectorWorkload};

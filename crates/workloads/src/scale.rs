@@ -28,6 +28,144 @@ use std::collections::BinaryHeap;
 
 use crate::vector::VectorWorkload;
 
+/// One scheduled fault in a scaled run.
+///
+/// Faults are *events*, not rates: an explicit `(time, kind, rank)`
+/// list is what keeps a chaotic 4096-rank run bit-identical across
+/// shard and thread counts (each fault becomes an event in the same
+/// partition-independent total order as the traffic), and what the
+/// testkit shrinker can delta-minimize when a chaos suite fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ScaleFault {
+    /// Crash-stop: `rank` halts at `at_ns`. It stops injecting,
+    /// receiving, and acking; messages already on the wire toward it
+    /// are lost on arrival, and its peers observe permanently stuck
+    /// window slots.
+    Crash {
+        /// Virtual time of the crash.
+        at_ns: Time,
+        /// Rank that halts.
+        rank: u32,
+    },
+    /// `rank`'s NIC transmit engine stalls for `stall_ns` starting at
+    /// `at_ns` (the scale-tier analogue of [`FaultPlan::stall_rate`]
+    /// doorbell/PCI-X stalls).
+    ///
+    /// [`FaultPlan::stall_rate`]: ibdt_ibsim::FaultPlan::stall_rate
+    Stall {
+        /// Virtual time the stall begins.
+        at_ns: Time,
+        /// Rank whose transmit engine stalls.
+        rank: u32,
+        /// Stall duration.
+        stall_ns: Time,
+    },
+}
+
+impl ScaleFault {
+    /// The rank the fault targets.
+    pub fn rank(&self) -> u32 {
+        match *self {
+            ScaleFault::Crash { rank, .. } | ScaleFault::Stall { rank, .. } => rank,
+        }
+    }
+
+    /// The virtual time the fault fires.
+    pub fn at_ns(&self) -> Time {
+        match *self {
+            ScaleFault::Crash { at_ns, .. } | ScaleFault::Stall { at_ns, .. } => at_ns,
+        }
+    }
+}
+
+/// Deterministic chaos plan for the sharded scale driver: a seed (kept
+/// for replay diagnostics) plus the explicit fault-event list derived
+/// from it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScaleFaultPlan {
+    /// Seed the event list was derived from (0 for hand-built plans).
+    pub seed: u64,
+    /// Scheduled fault events. Order is irrelevant — events are keyed
+    /// into the simulation's total order by `(time, kind, rank)`.
+    pub events: Vec<ScaleFault>,
+}
+
+impl ScaleFaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan schedules no faults.
+    pub fn is_inert(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Derives an explicit fault-event list from `seed`: `crashes`
+    /// distinct ranks crash-stop and `stalls` transmit-engine stalls
+    /// fire, all at times uniform in `[1, horizon_ns]` (stall
+    /// durations uniform up to `horizon_ns / 8`). Identical arguments
+    /// yield an identical list on every platform.
+    pub fn seeded(seed: u64, ranks: u32, crashes: u32, stalls: u32, horizon_ns: Time) -> Self {
+        assert!(ranks >= 2, "a scaled run needs at least two ranks");
+        assert!(
+            crashes < ranks,
+            "crashing every rank leaves nothing to observe the failure"
+        );
+        assert!(horizon_ns > 0, "faults need a nonzero horizon");
+        let mut rng = SplitMix64::new(seed);
+        let mut events = Vec::with_capacity((crashes + stalls) as usize);
+        let mut crashed = vec![false; ranks as usize];
+        for _ in 0..crashes {
+            let rank = loop {
+                let r = (rng.next_u64() % ranks as u64) as u32;
+                if !crashed[r as usize] {
+                    crashed[r as usize] = true;
+                    break r;
+                }
+            };
+            events.push(ScaleFault::Crash {
+                at_ns: 1 + rng.next_u64() % horizon_ns,
+                rank,
+            });
+        }
+        for _ in 0..stalls {
+            events.push(ScaleFault::Stall {
+                at_ns: 1 + rng.next_u64() % horizon_ns,
+                rank: (rng.next_u64() % ranks as u64) as u32,
+                stall_ns: 1 + rng.next_u64() % (horizon_ns / 8).max(1),
+            });
+        }
+        events.sort_unstable();
+        Self { seed, events }
+    }
+}
+
+/// Minimal SplitMix64, private to the driver: the chaos plan is a
+/// product feature of the workloads crate and must not depend on the
+/// dev-only `ibdt-testkit` (same policy as `ibsim::fault`).
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        let mut r = Self {
+            state: seed ^ 0x6A09_E667_F3BC_C909,
+        };
+        let _ = r.next_u64();
+        r
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
 /// Communication pattern of the scaled run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScalePattern {
@@ -54,6 +192,9 @@ pub struct ScaleConfig {
     pub window: u32,
     /// Traffic pattern.
     pub pattern: ScalePattern,
+    /// Scheduled chaos. [`ScaleFaultPlan::none`] (the default) costs
+    /// nothing and changes nothing.
+    pub faults: ScaleFaultPlan,
 }
 
 impl Default for ScaleConfig {
@@ -65,6 +206,7 @@ impl Default for ScaleConfig {
             columns: 4,
             window: 4,
             pattern: ScalePattern::Alltoall,
+            faults: ScaleFaultPlan::none(),
         }
     }
 }
@@ -82,9 +224,15 @@ pub struct ScaleReport {
     pub finish_ns: Time,
     /// Conservative windows executed.
     pub rounds: u64,
-    /// Order-independent digest of every completion: FNV-1a per rank,
-    /// folded in rank order. Identical across shard/thread counts.
+    /// Order-independent digest of every completion **and** every
+    /// per-rank failure observation (messages received, sends stuck in
+    /// flight, crashed-or-not): FNV-1a per rank, folded in rank order.
+    /// Identical across shard/thread counts, with or without faults.
     pub fingerprint: u64,
+    /// Ranks that crash-stopped during the run.
+    pub crashed: u32,
+    /// Messages lost on arrival at a crashed rank.
+    pub lost: u64,
     /// Resident bytes of simulation state at the end of the run
     /// (rank models + event-heap capacity) — the memory the driver
     /// needs per run, which the rank-scaling figure plots.
@@ -102,17 +250,24 @@ fn fnv(mut h: u64, v: u64) -> u64 {
     h
 }
 
-/// Event kinds, in tie-break order at equal times: injections first
-/// (they only touch their own rank's clocks), then arrivals, then
-/// acks. Any fixed order works — it must merely be partition-free.
-const K_INJECT: u8 = 0;
-const K_ARRIVE: u8 = 1;
-const K_ACK: u8 = 2;
+/// Event kinds, in tie-break order at equal times: faults first (a
+/// crash at time T preempts a same-instant arrival — the message is
+/// lost, on every partitioning), then injections (they only touch
+/// their own rank's clocks), then arrivals, then acks. The relative
+/// order of the traffic kinds is unchanged from the fault-free
+/// driver, so inert plans reproduce its schedules exactly. Any fixed
+/// order works — it must merely be partition-free.
+const K_CRASH: u8 = 0;
+const K_STALL: u8 = 1;
+const K_INJECT: u8 = 2;
+const K_ARRIVE: u8 = 3;
+const K_ACK: u8 = 4;
 
 /// One simulation event. The derived order on `(time, kind, rank, id)`
 /// is the partition-independent total order; `peer` is routing payload
-/// (the destination rank for arrivals, the original sender for acks)
-/// and never decides order — message ids are globally unique.
+/// (the destination rank for arrivals, the original sender for acks,
+/// the stall duration for stalls) and never decides order — message
+/// ids are globally unique, fault ids are plan indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Ev {
     time: Time,
@@ -122,7 +277,8 @@ struct Ev {
     peer: u32,
 }
 
-/// Per-rank state: two serial resources and the injection window.
+/// Per-rank state: two serial resources, the injection window, and
+/// the crash flag.
 #[derive(Debug, Clone, Default)]
 struct RankModel {
     cpu_free: Time,
@@ -131,6 +287,7 @@ struct RankModel {
     next_msg: u64,
     recvd: u64,
     fp: u64,
+    dead: bool,
 }
 
 /// Shared per-message costs, identical at every rank.
@@ -154,6 +311,8 @@ struct ScaleShard {
     pending: BinaryHeap<Reverse<Ev>>,
     finish_ns: Time,
     msgs: u64,
+    /// Messages that arrived at a crashed rank and were dropped.
+    lost: u64,
 }
 
 impl ScaleShard {
@@ -210,10 +369,32 @@ impl ScaleShard {
     fn exec(&mut self, ev: Ev, send: &mut dyn FnMut(usize, Ev)) {
         let c = self.costs;
         match ev.kind {
+            K_CRASH => {
+                // Crash-stop: the rank goes silent. Everything it
+                // would have done from here on — injections, unpacks,
+                // ack processing — is dropped when its events execute.
+                self.local(ev.rank).dead = true;
+            }
+            K_STALL => {
+                // The transmit engine is busy doing nothing for the
+                // duration carried in `peer`; queued sends serialize
+                // behind it. No effect on an already-crashed rank.
+                let m = self.local(ev.rank);
+                if !m.dead {
+                    m.nic_free = m.nic_free.max(ev.time) + ev.peer as Time;
+                }
+            }
             K_INJECT => {
                 // Post + pack on the rank's serial CPU, then the
                 // message serializes onto its NIC transmit engine.
                 let m = self.local(ev.rank);
+                if m.dead {
+                    // Queued before the crash, never posted. The slot
+                    // stays accounted in `in_flight`; the rank is dead
+                    // and its final (in_flight, dead) pair is part of
+                    // the fingerprint.
+                    return;
+                }
                 let pack_done = ev.time.max(m.cpu_free) + c.post_ns + c.pack_ns;
                 m.cpu_free = pack_done;
                 let tx_done = pack_done.max(m.nic_free) + c.tx_ns;
@@ -231,6 +412,14 @@ impl ScaleShard {
                 // Unpack on the receiver's serial CPU; completion ack
                 // travels back one propagation delay.
                 let m = self.local(ev.rank);
+                if m.dead {
+                    // Delivered to a crashed rank: the payload is lost
+                    // and no ack ever returns — the sender's window
+                    // slot is permanently stuck, exactly what its
+                    // fingerprint records.
+                    self.lost += 1;
+                    return;
+                }
                 let done = ev.time.max(m.cpu_free) + c.unpack_ns;
                 m.cpu_free = done;
                 m.recvd += 1;
@@ -253,6 +442,11 @@ impl ScaleShard {
                 // its digest and injects its next message, if any.
                 let mpr = self.msgs_per_rank();
                 let m = self.local(ev.rank);
+                if m.dead {
+                    // Ack for a message sent before the crash; nobody
+                    // is listening.
+                    return;
+                }
                 m.in_flight -= 1;
                 m.fp = fnv(fnv(m.fp, ev.id), ev.time);
                 let k = m.next_msg;
@@ -326,6 +520,7 @@ pub fn run_scale_with(cfg: &ScaleConfig, net: &NetConfig, host: &HostConfig) -> 
                 pending: BinaryHeap::new(),
                 finish_ns: 0,
                 msgs: 0,
+                lost: 0,
             }
         })
         .collect();
@@ -342,6 +537,32 @@ pub fn run_scale_with(cfg: &ScaleConfig, net: &NetConfig, host: &HostConfig) -> 
         }
     }
 
+    // Seed the chaos plan: each fault becomes an event in its target
+    // rank's owning shard, keyed `(time, kind, rank, plan-index)` —
+    // the same partition-free total order as the traffic, which is
+    // the whole determinism argument.
+    for (i, f) in cfg.faults.events.iter().enumerate() {
+        assert!(
+            f.rank() < cfg.ranks,
+            "fault targets rank {} of {}",
+            f.rank(),
+            cfg.ranks
+        );
+        let (kind, stall) = match *f {
+            ScaleFault::Crash { .. } => (K_CRASH, 0),
+            ScaleFault::Stall { stall_ns, .. } => {
+                (K_STALL, stall_ns.min(u32::MAX as Time) as u32)
+            }
+        };
+        shards[f.rank() as usize % nshards].pending.push(Reverse(Ev {
+            time: f.at_ns(),
+            kind,
+            rank: f.rank(),
+            id: i as u64,
+            peer: stall,
+        }));
+    }
+
     let mut sim = ShardSim::new(shards, costs.prop_ns, cfg.threads);
     let rounds = sim.run();
     let shards = sim.into_shards();
@@ -350,14 +571,18 @@ pub fn run_scale_with(cfg: &ScaleConfig, net: &NetConfig, host: &HostConfig) -> 
     // round-robin across shards, so walk global rank ids.
     let mut fingerprint = FNV_OFFSET;
     let mut msgs = 0u64;
+    let mut lost = 0u64;
+    let mut crashed = 0u32;
     let mut finish_ns = 0;
     let mut state_bytes = 0usize;
     for s in &shards {
         msgs += s.msgs;
+        lost += s.lost;
         finish_ns = finish_ns.max(s.finish_ns);
         state_bytes += s.ranks.capacity() * std::mem::size_of::<RankModel>()
             + s.pending.capacity() * std::mem::size_of::<Reverse<Ev>>();
     }
+    let inert = cfg.faults.is_inert();
     for r in 0..cfg.ranks {
         let s = &shards[r as usize % nshards];
         let m = &s.ranks[r as usize / nshards];
@@ -365,13 +590,25 @@ pub fn run_scale_with(cfg: &ScaleConfig, net: &NetConfig, host: &HostConfig) -> 
             ScalePattern::Alltoall => cfg.ranks as u64 - 1,
             ScalePattern::Ring => 1,
         };
-        assert_eq!(
-            m.recvd, expect,
-            "rank {r} received {} of {expect} messages",
-            m.recvd
+        if inert {
+            // Fault-free runs must complete exactly; chaotic runs
+            // legitimately strand messages (dead receivers) and window
+            // slots (acks that never came), all of it captured below.
+            assert_eq!(
+                m.recvd, expect,
+                "rank {r} received {} of {expect} messages",
+                m.recvd
+            );
+            assert_eq!(m.in_flight, 0, "rank {r} finished with sends in flight");
+        }
+        crashed += m.dead as u32;
+        // Per-rank failure observations are part of the digest: a run
+        // only fingerprints equal if every rank saw the same
+        // completions, the same stuck slots, and the same crash fate.
+        fingerprint = fnv(
+            fnv(fnv(fnv(fingerprint, m.fp), m.recvd), m.in_flight as u64),
+            m.dead as u64,
         );
-        assert_eq!(m.in_flight, 0, "rank {r} finished with sends in flight");
-        fingerprint = fnv(fingerprint, m.fp);
     }
 
     ScaleReport {
@@ -381,6 +618,8 @@ pub fn run_scale_with(cfg: &ScaleConfig, net: &NetConfig, host: &HostConfig) -> 
         finish_ns,
         rounds,
         fingerprint,
+        crashed,
+        lost,
         state_bytes,
     }
 }
@@ -464,6 +703,130 @@ mod tests {
             ..ScaleConfig::default()
         });
         assert!(wide.finish_ns <= small.finish_ns);
+    }
+
+    #[test]
+    fn seeded_plan_is_reproducible_and_inert_plan_changes_nothing() {
+        let a = ScaleFaultPlan::seeded(0xBEEF, 64, 3, 5, 1_000_000);
+        let b = ScaleFaultPlan::seeded(0xBEEF, 64, 3, 5, 1_000_000);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 8);
+        let crashes: Vec<u32> = a
+            .events
+            .iter()
+            .filter_map(|f| match f {
+                ScaleFault::Crash { rank, .. } => Some(*rank),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes.len(), 3);
+        let mut distinct = crashes.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3, "crashes must hit distinct ranks");
+        assert_ne!(
+            a,
+            ScaleFaultPlan::seeded(0xBEF0, 64, 3, 5, 1_000_000),
+            "different seeds should give different plans"
+        );
+
+        // An inert plan is byte-for-byte the fault-free driver.
+        let clean = run_scale(&ScaleConfig {
+            ranks: 32,
+            ..ScaleConfig::default()
+        });
+        let with_inert = run_scale(&ScaleConfig {
+            ranks: 32,
+            faults: ScaleFaultPlan::none(),
+            ..ScaleConfig::default()
+        });
+        assert_eq!(clean, with_inert);
+        assert_eq!(clean.crashed, 0);
+        assert_eq!(clean.lost, 0);
+    }
+
+    #[test]
+    fn chaotic_run_bit_identical_across_shard_and_thread_counts() {
+        let faults = ScaleFaultPlan::seeded(0xC4A0, 48, 4, 6, 2_000_000);
+        let cfg = ScaleConfig {
+            ranks: 48,
+            faults,
+            ..ScaleConfig::default()
+        };
+        let reference = run_scale(&cfg);
+        assert_eq!(reference.crashed, 4);
+        assert!(reference.msgs < 48 * 47, "crashes must strand traffic");
+        for (shards, threads) in [(2, 1), (2, 2), (8, 4), (16, 3), (48, 8)] {
+            let r = run_scale(&ScaleConfig {
+                shards,
+                threads,
+                ..cfg.clone()
+            });
+            assert_eq!(
+                (r.fingerprint, r.finish_ns, r.msgs, r.crashed, r.lost),
+                (
+                    reference.fingerprint,
+                    reference.finish_ns,
+                    reference.msgs,
+                    reference.crashed,
+                    reference.lost
+                ),
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn stalls_delay_but_lose_nothing() {
+        let clean = run_scale(&ScaleConfig {
+            ranks: 16,
+            ..ScaleConfig::default()
+        });
+        let stalled = run_scale(&ScaleConfig {
+            ranks: 16,
+            faults: ScaleFaultPlan {
+                seed: 0,
+                events: vec![
+                    ScaleFault::Stall {
+                        at_ns: 10,
+                        rank: 0,
+                        stall_ns: 500_000,
+                    },
+                    ScaleFault::Stall {
+                        at_ns: 10,
+                        rank: 7,
+                        stall_ns: 500_000,
+                    },
+                ],
+            },
+            ..ScaleConfig::default()
+        });
+        assert_eq!(stalled.msgs, clean.msgs, "stalls must not lose messages");
+        assert_eq!(stalled.crashed, 0);
+        assert_eq!(stalled.lost, 0);
+        assert!(
+            stalled.finish_ns > clean.finish_ns,
+            "a half-millisecond NIC stall must show up in the finish time"
+        );
+    }
+
+    #[test]
+    fn crash_strands_peers_and_loses_in_flight_messages() {
+        // Rank 1 dies early in a 8-rank alltoall: everyone else keeps
+        // going, traffic toward rank 1 is lost, and the run still
+        // quiesces (no hang) with the losses accounted.
+        let r = run_scale(&ScaleConfig {
+            ranks: 8,
+            faults: ScaleFaultPlan {
+                seed: 0,
+                events: vec![ScaleFault::Crash { at_ns: 1, rank: 1 }],
+            },
+            ..ScaleConfig::default()
+        });
+        assert_eq!(r.crashed, 1);
+        assert!(r.lost > 0, "peers keep sending to the dead rank");
+        assert!(r.msgs > 0, "survivors still exchange traffic");
+        assert!(r.msgs + r.lost < 8 * 7, "the dead rank stops sending");
     }
 
     #[test]

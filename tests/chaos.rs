@@ -119,8 +119,7 @@ fn recoverable_chaos_delivers_exactly_and_deterministically() {
             max_delay_ns: 30_000,
             stall_rate: rng.range_u64(0, 10) as f64 / 100.0,
             stall_ns: 5_000,
-            link_faults: Vec::new(),
-            evict_rate: 0.0,
+            ..FaultPlan::none()
         };
         let spec = || {
             let mut s = ClusterSpec::default();

@@ -207,8 +207,7 @@ fn plan_cache_equivalence_under_fault_injection() {
             max_delay_ns: 30_000,
             stall_rate: rng.range_u64(0, 10) as f64 / 100.0,
             stall_ns: 5_000,
-            link_faults: Vec::new(),
-            evict_rate: 0.0,
+            ..FaultPlan::none()
         };
         let spec = |cache: bool| {
             let mut s = ClusterSpec::default();
