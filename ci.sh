@@ -77,9 +77,15 @@ steady = next(v for k, v in d.items()
               if k.startswith("repeated_send/persistent_eager/"))
 assert steady["allocs_per_op"] == 0, \
     f"steady-state sends allocate: {steady['allocs_per_op']}/op"
+# The hotpath binary itself asserts 3 spellings -> 1 plan compile;
+# here we hold the canonical-hit lookup to its zero-alloc contract.
+canon = next(v for k, v in d.items()
+             if k.startswith("canon/respelled_lookup/"))
+assert canon["allocs_per_op"] == 0, \
+    f"canonical-hit lookup allocates: {canon['allocs_per_op']}/op"
 print(f"BENCH_hotpath.json OK ({len(d)} entries, "
       f"repeated-send speedup {d['repeated_send/speedup']['ns_per_op']:.2f}x, "
-      f"steady-state allocs/op 0)")
+      f"steady-state allocs/op 0, canonical-hit allocs/op 0)")
 EOF
 
 if [[ "$BENCH_GATE" == 1 ]]; then

@@ -434,6 +434,71 @@ fn bench_persistent(r: &mut Report) {
     );
 }
 
+/// Canonicalization benches. Asserts — in the binary, so the ci.sh
+/// bench smoke enforces it — that three spellings of one layout
+/// compile exactly one plan, then measures the steady-state respelled
+/// lookup (a canonical-hit: `OnceLock` read + LRU hit, zero allocs)
+/// and the full normalize-an-unseen-spelling path.
+fn bench_canon(r: &mut Report) -> (u64, u64) {
+    let int = Datatype::int();
+    // vector(128, 16, 4096): 128 blocks of 16 ints every 16384 bytes —
+    // under three spellings (hvector strides in bytes, hindexed
+    // displacements in bytes, block lengths in elements throughout).
+    let v = vector_ty(16);
+    let hv = Datatype::hvector(128, 16, 16384, &int).unwrap();
+    let entries: Vec<(u64, i64)> = (0..128).map(|i| (16, i * 16384)).collect();
+    let hx = Datatype::hindexed(&entries, &int).unwrap();
+
+    let mut registry = TypeRegistry::new();
+    let mut cache = PlanCache::new(true, 64).with_canonicalization(true);
+    cache.lookup(&mut registry, &v, 1);
+    cache.lookup(&mut registry, &hv, 1);
+    cache.lookup(&mut registry, &hx, 1);
+    let (_, misses, _) = cache.stats();
+    let (canon_hits, canonicalized) = cache.canon_stats();
+    assert_eq!(
+        misses, 1,
+        "three spellings of one layout must compile exactly one plan"
+    );
+    assert!(
+        canon_hits >= 2,
+        "respelled lookups must hit the canonical plan"
+    );
+
+    r.bench("canon/respelled_lookup/vector_cols/16", None, || {
+        black_box(cache.lookup(&mut registry, black_box(&hx), 1));
+    });
+    r.bench("canon/normalize_fresh/blocks/128", None, || {
+        // An unseen spelling every op: tree build + flatten + normal
+        // form + intern-table probe (hits the shared canonical node).
+        let t = Datatype::hindexed(black_box(&entries), &int).unwrap();
+        black_box(t.canonical());
+    });
+    (canon_hits, canonicalized)
+}
+
+/// Device-tier benches: wall-clock host cost of a full simulated
+/// bandwidth run with device-resident buffers — the staged bounce
+/// pipeline (explicit 8 KiB chunks vs the adaptive chunk model) on top
+/// of BC-SPUP. Returns the staging-chunk count for the summary line.
+fn bench_device(r: &mut Report) -> u64 {
+    use ibdt_workloads::bandwidth_device;
+    let ty = vector_ty(256);
+    let mut chunks = 0u64;
+    for (label, chunk) in [("chunk/8192", 8192u64), ("chunk/auto", 0)] {
+        r.bench(&format!("device/bandwidth_staged/{label}"), None, || {
+            let mut spec = ClusterSpec::default();
+            spec.mpi.scheme = Scheme::BcSpup;
+            spec.mpi.staging_chunk = chunk;
+            let res = bandwidth_device(&spec, &ty, 1, 4);
+            assert!(res.stats.staging_chunks > 0, "staged pipeline unused");
+            chunks = res.stats.staging_chunks;
+            black_box(res.bytes_per_sec);
+        });
+    }
+    chunks
+}
+
 /// x1-style sweep: wall-clock host time of a full simulated ping-pong
 /// per column count, plan cache on vs off. Virtual results are
 /// identical; only the host pays differently.
@@ -523,11 +588,18 @@ fn main() {
     bench_queue(&mut r);
     let (old, new) = bench_repeated_send(&mut r);
     bench_persistent(&mut r);
+    let (canon_hits, canonicalized) = bench_canon(&mut r);
+    let staging_chunks = bench_device(&mut r);
     bench_sweep(&mut r);
     bench_incast(&mut r);
     bench_scale(&mut r);
     let speedup = old / new;
     println!("\nrepeated_send speedup (old/new): {speedup:.2}x");
+    println!(
+        "canonicalization: {canonicalized} respelled types, {canon_hits} canonical plan hits \
+         (3 spellings -> 1 compile asserted)"
+    );
+    println!("device staging: {staging_chunks} bounce chunks per bandwidth run");
     r.entries
         .push(("repeated_send/speedup".into(), speedup, 0.0, 0.0));
     std::fs::write("BENCH_hotpath.json", r.to_json()).expect("write BENCH_hotpath.json");

@@ -11,8 +11,8 @@ use ibdt_datatype::Datatype;
 use ibdt_memreg::ogr;
 use ibdt_mpicore::{ClusterSpec, FaultPlan, LinkFault, Scheme};
 use ibdt_workloads::drivers::{
-    alltoall_time, bandwidth, incast, incast_spec, pingpong, pingpong_asym, pingpong_contig,
-    pingpong_manual, pingpong_multiple, PingPongResult,
+    alltoall_time, bandwidth, bandwidth_device, incast, incast_spec, pingpong, pingpong_asym,
+    pingpong_contig, pingpong_manual, pingpong_multiple, PingPongResult,
 };
 use ibdt_workloads::structdt::struct_datatype;
 use ibdt_workloads::sweep::run_sweep;
@@ -790,6 +790,59 @@ pub fn x13() -> Table {
     t
 }
 
+/// X16 — device-resident bandwidth vs bounce-chunk size (the staged
+/// pipeline of DESIGN §16, TEMPI's shape): both user buffers live in
+/// device memory, so every pack/unpack streams through the bounce ring.
+/// Series: double-buffered staging, single-buffer (serialized) staging,
+/// and the adaptive chunk model (`staging_chunk = 0`) as a reference
+/// line — flat, and tracking the best explicit chunk.
+pub fn x16() -> Table {
+    let mut t = Table::new(
+        "X16: Device-resident vector bandwidth vs staging chunk size",
+        "chunk_bytes",
+        "MB/s",
+        &["staged2", "staged1", "adaptive"],
+    );
+    // Chunks sweep past the 128 KiB segment size: beyond it one chunk
+    // covers a whole segment and the pipeline degenerates to serial.
+    let chunks: [u64; 7] = [
+        4 << 10,
+        8 << 10,
+        16 << 10,
+        32 << 10,
+        64 << 10,
+        128 << 10,
+        256 << 10,
+    ];
+    let cols = 1024u64; // 128 rows x 1024 ints = 512 KiB per message
+    let series = |bufs: usize, chunk_of: fn(u64) -> u64| {
+        let xs: Vec<u64> = chunks.to_vec();
+        run_sweep(xs, move |&c| {
+            let mut s = spec(Scheme::BcSpup);
+            s.mpi.staging_chunk = chunk_of(c);
+            s.mpi.staging_bufs = bufs;
+            let w = VectorWorkload::new(cols);
+            let r = bandwidth_device(&s, &w.ty, 1, BW_WINDOW);
+            assert!(r.stats.staging_chunks > 0, "staged pipeline unused");
+            mbs(r.bytes_per_sec)
+        })
+    };
+    let staged2 = series(2, |c| c);
+    let staged1 = series(1, |c| c);
+    let adaptive = series(2, |_| 0);
+    for (i, &c) in chunks.iter().enumerate() {
+        t.push(c, vec![staged2[i], staged1[i], adaptive[i]]);
+    }
+    t.notes.push(
+        "expected shape: staged2 rises with chunk size (DMA launch amortization), \
+         peaks below the segment size, then falls back toward staged1 as chunks \
+         stop overlapping; staged1 is flatter and never above staged2; adaptive is \
+         flat at (or above) the best explicit chunk"
+            .into(),
+    );
+    t
+}
+
 /// Every figure, in paper order (extensions last).
 pub fn all_figures() -> Vec<Table> {
     let (x1a, x1b) = x1();
@@ -813,5 +866,6 @@ pub fn all_figures() -> Vec<Table> {
         x9(),
         x10(),
         x13(),
+        x16(),
     ]
 }

@@ -30,6 +30,7 @@
 //! address names the element with offset 0.
 
 pub mod cache;
+pub mod canon;
 pub mod dataloop;
 pub mod flat;
 pub mod kernel;

@@ -81,6 +81,9 @@ pub(crate) struct TypeNode {
     depth: u32,
     loop_cache: OnceLock<Arc<Dataloop>>,
     flat_cache: OnceLock<Arc<FlatLayout>>,
+    /// Canonicalization result: `None` once computed means this type
+    /// *is* its canonical form (avoids an `Arc` self-cycle).
+    canon_cache: OnceLock<Option<Datatype>>,
 }
 
 impl fmt::Debug for TypeNode {
@@ -118,6 +121,7 @@ impl Datatype {
             depth,
             loop_cache: OnceLock::new(),
             flat_cache: OnceLock::new(),
+            canon_cache: OnceLock::new(),
         })))
     }
 
@@ -527,6 +531,23 @@ impl Datatype {
 
     pub(crate) fn kind(&self) -> &TypeKind {
         &self.0.kind
+    }
+
+    /// The canonical spelling of this layout (see [`crate::canon`]):
+    /// every type describing the same merged block list and `(lb, ub)`
+    /// bounds resolves to one shared handle, so plan caches keyed on
+    /// the canonical id hit across spellings. Returns `self` (same
+    /// id) when this type is the first spelling of its layout seen.
+    /// Computed once per node, then cached.
+    pub fn canonical(&self) -> Datatype {
+        match self
+            .0
+            .canon_cache
+            .get_or_init(|| crate::canon::canonical_of(self))
+        {
+            None => self.clone(),
+            Some(c) => c.clone(),
+        }
     }
 
     /// The single primitive this type is built from, when every leaf is

@@ -60,7 +60,7 @@ use crate::fault::{Fate, FaultPlan, FaultState};
 use crate::model::NetConfig;
 use crate::payload::Payload;
 use crate::wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge, SgeList};
-use ibdt_memreg::{AddressSpace, MemError, RegTable};
+use ibdt_memreg::{AddressSpace, MemError, RegTable, TierMap};
 use ibdt_simcore::paged::PagedTable;
 use ibdt_simcore::resource::SerialResource;
 use ibdt_simcore::slab::{Handle, Slab};
@@ -68,21 +68,25 @@ use ibdt_simcore::time::Time;
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 
-/// One rank's memory: address space + registration table.
+/// One rank's memory: address space + registration table + tier map.
 #[derive(Debug)]
 pub struct NodeMem {
     /// Flat memory.
     pub space: AddressSpace,
     /// Live registrations (lkey/rkey namespace).
     pub regs: RegTable,
+    /// Which ranges of the space are device-resident (all host by
+    /// default; see [`ibdt_memreg::TierMap`]).
+    pub tiers: TierMap,
 }
 
 impl NodeMem {
-    /// Creates a node memory of `capacity` bytes.
+    /// Creates a node memory of `capacity` bytes, all host-tier.
     pub fn new(capacity: u64) -> Self {
         Self {
             space: AddressSpace::new(capacity),
             regs: RegTable::new(),
+            tiers: TierMap::new(),
         }
     }
 }

@@ -37,6 +37,6 @@ pub mod wr;
 
 pub use fabric::{Fabric, FabricStats, NicEvent, NodeMem, QpState, QpTransitionError};
 pub use fault::{FaultPlan, FaultRateError, LinkFault, NodeFault};
-pub use model::{HostConfig, NetConfig, RNR_RETRY_INFINITE};
+pub use model::{DeviceConfig, HostConfig, HostConfigError, NetConfig, RNR_RETRY_INFINITE};
 pub use payload::Payload;
 pub use wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge, SgeList};

@@ -202,6 +202,81 @@ impl NetConfig {
     }
 }
 
+/// Device address-space timing parameters: the second memory tier of
+/// the TEMPI extension (arXiv:2012.14363). A buffer marked
+/// device-resident cannot be packed/unpacked element-wise by the CPU
+/// at host speed; it moves through DMA transfers whose bandwidth and
+/// launch overhead this struct models. Disabled (and absent from
+/// every cost) by default, so classic host-only runs stay
+/// bit-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Device tier participates in cost modelling. With this `false`
+    /// the tier map may still mark ranges, but every transfer is
+    /// charged at host rates (the classic paths).
+    pub enabled: bool,
+    /// Host→device DMA bandwidth, bytes per second.
+    pub h2d_bw_bps: u64,
+    /// Device→host DMA bandwidth, bytes per second.
+    pub d2h_bw_bps: u64,
+    /// Fixed cost per DMA launch (descriptor setup, doorbell,
+    /// completion), ns. Amortizing this is what makes larger staging
+    /// chunks faster until bandwidth saturates — TEMPI's curve shape.
+    pub launch_ns: Time,
+    /// Extra registration cost for device-resident memory (pinning
+    /// through the device driver on top of the host MMU work), ns.
+    pub reg_extra_ns: Time,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        // Paper-era PCI-ish DMA engine: faster than the host's 0.95
+        // GB/s element-wise copy, slow enough that overlap matters.
+        Self {
+            enabled: false,
+            h2d_bw_bps: 2_000_000_000,
+            d2h_bw_bps: 1_900_000_000,
+            launch_ns: 4_000,
+            reg_extra_ns: 15_000,
+        }
+    }
+}
+
+/// Typed [`HostConfig`] validation failure: rejected at cluster
+/// construction instead of surfacing as a division-by-zero (or an
+/// infinite virtual transfer) deep in the cost model. Bandwidth
+/// fields are `u64`, so negative rates are unrepresentable by
+/// construction; zero is the degenerate case this guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostConfigError {
+    /// `copy_bw_bps` is zero.
+    ZeroCopyBandwidth,
+    /// The device tier is enabled with a zero host→device bandwidth.
+    ZeroH2dBandwidth,
+    /// The device tier is enabled with a zero device→host bandwidth.
+    ZeroD2hBandwidth,
+}
+
+impl std::fmt::Display for HostConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostConfigError::ZeroCopyBandwidth => {
+                write!(f, "HostConfig.copy_bw_bps must be positive")
+            }
+            HostConfigError::ZeroH2dBandwidth => write!(
+                f,
+                "HostConfig.device.h2d_bw_bps must be positive when the device tier is enabled"
+            ),
+            HostConfigError::ZeroD2hBandwidth => write!(
+                f,
+                "HostConfig.device.d2h_bw_bps must be positive when the device tier is enabled"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HostConfigError {}
+
 /// Host-side timing parameters (copies, datatype processing, malloc).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HostConfig {
@@ -222,6 +297,8 @@ pub struct HostConfig {
     pub free_ns: Time,
     /// Registration cost model.
     pub reg: RegCostModel,
+    /// Device address-space tier (off by default).
+    pub device: DeviceConfig,
 }
 
 impl Default for HostConfig {
@@ -233,6 +310,7 @@ impl Default for HostConfig {
             malloc_ns: 3_000,
             free_ns: 1_000,
             reg: RegCostModel::default(),
+            device: DeviceConfig::default(),
         }
     }
 }
@@ -248,6 +326,35 @@ impl HostConfig {
     /// CPU time for a plain dense copy.
     pub fn memcpy_ns(&self, bytes: u64) -> Time {
         self.copy_ns(1, bytes)
+    }
+
+    /// One DMA transfer of `bytes` across the host↔device boundary
+    /// (`to_device` selects the direction's bandwidth), launch
+    /// overhead included. Only meaningful with the tier enabled and
+    /// validated.
+    pub fn dma_ns(&self, bytes: u64, to_device: bool) -> Time {
+        let bw = if to_device {
+            self.device.h2d_bw_bps
+        } else {
+            self.device.d2h_bw_bps
+        };
+        self.device.launch_ns + transfer_ns(bytes, bw)
+    }
+
+    /// Rejects configurations whose cost model would divide by zero.
+    pub fn validate(&self) -> Result<(), HostConfigError> {
+        if self.copy_bw_bps == 0 {
+            return Err(HostConfigError::ZeroCopyBandwidth);
+        }
+        if self.device.enabled {
+            if self.device.h2d_bw_bps == 0 {
+                return Err(HostConfigError::ZeroH2dBandwidth);
+            }
+            if self.device.d2h_bw_bps == 0 {
+                return Err(HostConfigError::ZeroD2hBandwidth);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -327,6 +434,40 @@ mod tests {
             .map(|k| c.rnr_backoff_jittered_ns(0, k))
             .collect();
         assert!(spread.len() > 8, "cohort collapsed to {:?}", spread);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_zero_bandwidth() {
+        assert_eq!(HostConfig::default().validate(), Ok(()));
+        let h = HostConfig {
+            copy_bw_bps: 0,
+            ..HostConfig::default()
+        };
+        assert_eq!(h.validate(), Err(HostConfigError::ZeroCopyBandwidth));
+        // Device bandwidths are only checked once the tier is enabled.
+        let mut h = HostConfig::default();
+        h.device.h2d_bw_bps = 0;
+        assert_eq!(h.validate(), Ok(()));
+        h.device.enabled = true;
+        assert_eq!(h.validate(), Err(HostConfigError::ZeroH2dBandwidth));
+        h.device.h2d_bw_bps = 1;
+        h.device.d2h_bw_bps = 0;
+        assert_eq!(h.validate(), Err(HostConfigError::ZeroD2hBandwidth));
+        h.device.d2h_bw_bps = 1;
+        assert_eq!(h.validate(), Ok(()));
+    }
+
+    #[test]
+    fn dma_amortizes_launch_overhead_with_chunk_size() {
+        let mut h = HostConfig::default();
+        h.device.enabled = true;
+        // ns-per-byte falls as chunks grow (launch amortization) and
+        // approaches the bandwidth floor.
+        let per_byte = |c: u64| h.dma_ns(c, true) as f64 / c as f64;
+        assert!(per_byte(4096) > per_byte(65536));
+        assert!(per_byte(65536) > per_byte(4 << 20));
+        let floor = 1e9 / h.device.h2d_bw_bps as f64;
+        assert!((per_byte(4 << 20) - floor) / floor < 0.02);
     }
 
     #[test]

@@ -26,9 +26,11 @@ pub mod cost;
 pub mod error;
 pub mod ogr;
 pub mod table;
+pub mod tier;
 
 pub use addr::{AddressSpace, Va};
 pub use cache::PindownCache;
 pub use cost::RegCostModel;
 pub use error::MemError;
 pub use table::{MrHandle, RegTable, Registration};
+pub use tier::{MemTier, TierMap};

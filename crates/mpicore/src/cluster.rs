@@ -283,6 +283,38 @@ impl Default for ClusterSpec {
     }
 }
 
+thread_local! {
+    /// Recycled simulation engines: [`Cluster::run`] returns its
+    /// engine here (reset, capacity retained) and the next run takes
+    /// it back, so a parameter sweep stops re-growing the event-wheel
+    /// arena after its first point. A reset engine is bit-identical in
+    /// behaviour to a fresh one (see [`Engine::reset`]).
+    static ENGINE_SPARE: std::cell::RefCell<Vec<Engine<Cluster>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Engine spare-list bound (an idle engine holds a few tens of KiB of
+/// arena capacity).
+const ENGINE_SPARE_CAP: usize = 8;
+
+fn take_engine() -> Engine<Cluster> {
+    ENGINE_SPARE
+        .try_with(|s| s.borrow_mut().pop())
+        .ok()
+        .flatten()
+        .unwrap_or_default()
+}
+
+fn recycle_engine(mut e: Engine<Cluster>) {
+    e.reset();
+    let _ = ENGINE_SPARE.try_with(|s| {
+        let mut s = s.borrow_mut();
+        if s.len() < ENGINE_SPARE_CAP {
+            s.push(e);
+        }
+    });
+}
+
 #[derive(Debug)]
 enum Blocked {
     No,
@@ -332,6 +364,9 @@ impl Cluster {
         // own pool hits/misses are attributed to this cluster.
         let payload_pool_base = Payload::pool_stats();
         let space_pool_base = AddressSpace::pool_stats();
+        if let Err(e) = spec.host.validate() {
+            panic!("invalid host configuration: {e}");
+        }
         let n = spec.nprocs as usize;
         let mut fabric = Fabric::new(n, spec.net.clone());
         fabric.set_fault_plan(spec.faults.clone());
@@ -411,6 +446,27 @@ impl Cluster {
             .expect("address space exhausted")
     }
 
+    /// Allocates `len` bytes of *device-resident* memory in `rank`'s
+    /// address space: the range is marked in the rank's
+    /// [`TierMap`](ibdt_memreg::TierMap), so pack/unpack touching it
+    /// routes through the DMA cost model (staged bounce pipeline for
+    /// segmented schemes, one synchronous gather/scatter DMA for eager
+    /// paths). Bytes still live in the same flat space — correctness
+    /// checking is tier-blind.
+    pub fn alloc_device(&mut self, rank: u32, len: u64, align: u64) -> Va {
+        // Allocating device memory implies the tier exists; flipping the
+        // flag here (rather than requiring callers to pre-enable it)
+        // means a cluster with no device allocations models exactly the
+        // host-only cost model regardless of configuration.
+        self.spec.host.device.enabled = true;
+        if let Err(e) = self.spec.host.validate() {
+            panic!("invalid host configuration: {e}");
+        }
+        let va = self.alloc(rank, len, align);
+        self.mems[rank as usize].tiers.mark_device(va, len);
+        va
+    }
+
     /// Writes bytes into a rank's memory (test/bench setup).
     pub fn write_mem(&mut self, rank: u32, addr: Va, data: &[u8]) {
         self.mems[rank as usize]
@@ -462,7 +518,7 @@ impl Cluster {
                 finished_at: None,
             })
             .collect();
-        let mut engine: Engine<Cluster> = Engine::new();
+        let mut engine: Engine<Cluster> = take_engine();
         for r in 0..self.spec.nprocs {
             engine.seed(0, Ev::Resume { rank: r });
         }
@@ -526,7 +582,9 @@ impl Cluster {
                 && (0..self.spec.nprocs as usize).all(|r| self.ranks[r].unexpected.is_empty());
             self.audit_invariants(clean);
         }
-        self.collect_stats(finish, engine.events_scheduled())
+        let events_scheduled = engine.events_scheduled();
+        recycle_engine(engine);
+        self.collect_stats(finish, events_scheduled)
     }
 
     /// Debug-mode invariant auditor (`MpiConfig::audit`): asserts the
@@ -685,6 +743,13 @@ impl Cluster {
                 sz.saturating_sub(self.space_pool_base.2),
             ),
             events_scheduled,
+            plan_cache_canonical_hits: self
+                .ranks
+                .iter()
+                .map(|r| r.plans.canon_stats().0)
+                .sum(),
+            canonicalized_types: self.ranks.iter().map(|r| r.plans.canon_stats().1).sum(),
+            staging_chunks: self.ranks.iter().map(|r| r.counters.staging_chunks).sum(),
         }
     }
 

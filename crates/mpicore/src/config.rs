@@ -145,6 +145,22 @@ pub struct MpiConfig {
     /// Capacity of the transfer-plan cache in (datatype version, count)
     /// entries per rank; least-recently-used entries are evicted.
     pub plan_cache_entries: usize,
+    /// Canonicalize datatypes before plan lookup/compilation
+    /// ([`ibdt_datatype::typ::Datatype::canonical`]): equivalent
+    /// constructor spellings resolve to one shared handle, so the plan
+    /// cache compiles each *layout* once instead of each *spelling*.
+    /// Off by default: canonical trees can regroup merged blocks, which
+    /// shifts modelled pack costs — committed figure CSVs are measured
+    /// with the classic per-spelling behaviour.
+    pub canonicalize: bool,
+    /// Staging chunk size (bytes) for device-resident non-contiguous
+    /// transfers. 0 (the default) lets the §6 adaptive model pick the
+    /// best chunk per message from the pipeline cost model.
+    pub staging_chunk: u64,
+    /// Bounce buffers in the device staging ring (clamped to
+    /// `1..=`[`ibdt_simcore::pipeline::MAX_PIPELINE_BUFS`] at use). 1
+    /// serializes pack and DMA; 2 is classic double-buffering.
+    pub staging_bufs: usize,
     /// Enable per-peer credit-based eager flow control (the MVAPICH
     /// RDMA-channel design, cs/0310059): each eager data message
     /// consumes a credit; the receiver returns credits when messages
@@ -210,6 +226,9 @@ impl Default for MpiConfig {
             max_reconnects: 3,
             plan_cache: true,
             plan_cache_entries: 64,
+            canonicalize: false,
+            staging_chunk: 0,
+            staging_bufs: 2,
             flow_control: false,
             eager_credits: 32,
             pending_cap: 64,

@@ -217,6 +217,11 @@ pub struct PlanCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    /// Canonicalize lookups (TEMPI dedup): off by default so identical
+    /// spellings keep their classic per-spelling slots.
+    canon: bool,
+    canonical_hits: u64,
+    canonicalized: u64,
 }
 
 impl PlanCache {
@@ -231,7 +236,19 @@ impl PlanCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            canon: false,
+            canonical_hits: 0,
+            canonicalized: 0,
         }
+    }
+
+    /// Canonicalizes every lookup first (see
+    /// [`MpiConfig::canonicalize`](crate::config::MpiConfig::canonicalize)):
+    /// equivalently-spelled types share one cache slot and one
+    /// compiled plan.
+    pub fn with_canonicalization(mut self, on: bool) -> Self {
+        self.canon = on;
+        self
     }
 
     /// Returns the plan for `count` instances of `ty`, compiling and
@@ -243,6 +260,22 @@ impl PlanCache {
         ty: &Datatype,
         count: u64,
     ) -> Arc<TransferPlan> {
+        // Canonicalize before both the enabled and disabled branches:
+        // the compiled plan must be the same object either way, which
+        // is what keeps cache-on/off observationally equivalent with
+        // canonicalization enabled.
+        let canon_ty;
+        let mut respelled = false;
+        let ty = if self.canon {
+            canon_ty = ty.canonical();
+            if canon_ty.id() != ty.id() {
+                self.canonicalized += 1;
+                respelled = true;
+            }
+            &canon_ty
+        } else {
+            ty
+        };
         if !self.enabled || self.cap == 0 {
             self.misses += 1;
             return Arc::new(TransferPlan::compile(ty, count));
@@ -253,6 +286,9 @@ impl PlanCache {
         let tick = self.tick;
         if let Some((plan, last)) = self.map.get_mut(&key) {
             self.hits += 1;
+            if respelled {
+                self.canonical_hits += 1;
+            }
             *last = tick;
             return plan.clone();
         }
@@ -282,6 +318,13 @@ impl PlanCache {
     /// `(hits, misses, evictions)` counters.
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.hits, self.misses, self.evictions)
+    }
+
+    /// `(canonical hits, types canonicalized)`: hits served because a
+    /// *respelled* type resolved to an already-cached canonical
+    /// layout, and lookups whose type was rewritten at all.
+    pub fn canon_stats(&self) -> (u64, u64) {
+        (self.canonical_hits, self.canonicalized)
     }
 
     /// Number of cached plans.

@@ -30,6 +30,7 @@ use ibdt_ibsim::{
 };
 use ibdt_memreg::{ogr, Registration, Va};
 use ibdt_simcore::engine::Scheduler;
+use ibdt_simcore::pipeline::{two_stage_finish_ns, MAX_PIPELINE_BUFS};
 use ibdt_simcore::time::Time;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -1013,6 +1014,149 @@ fn fc_unexpected_removed(rs: &mut RankState, ctx: &mut Ctx<'_, '_>) {
 }
 
 // ---------------------------------------------------------------------
+// Device tier: staged bounce-buffer pipeline (DESIGN §16, TEMPI)
+// ---------------------------------------------------------------------
+
+/// True when the user buffer at `buf` is device-resident on `rank`.
+/// The enabled-flag and empty-map checks keep this a two-branch
+/// predicate on the default (all-host) configuration, which is the
+/// bit-identity guarantee for the pre-device-tier cost model.
+fn buf_on_device(ctx: &Ctx<'_, '_>, rank: u32, buf: Va) -> bool {
+    if !ctx.host.device.enabled {
+        return false;
+    }
+    let tiers = &ctx.mems[rank as usize].tiers;
+    !tiers.is_empty() && tiers.is_device(buf)
+}
+
+/// Extra synchronous DMA charge for an unsegmented path (eager, self,
+/// batched unpack) touching a device-resident buffer. The whole packed
+/// image crosses the bus in one gather/scatter DMA — cost is modelled
+/// on packed bytes, not extent. Returns 0 for host buffers, so adding
+/// it is free on the classic paths.
+fn device_direct_ns(ctx: &Ctx<'_, '_>, rank: u32, buf: Va, bytes: u64, to_device: bool) -> Time {
+    if bytes == 0 || !buf_on_device(ctx, rank, buf) {
+        0
+    } else {
+        ctx.host.dma_ns(bytes, to_device)
+    }
+}
+
+/// Registration surcharge for pinning device-resident memory (the
+/// driver must translate and pin device pages for RDMA; one extra
+/// fixed-cost ioctl per registration batch).
+fn device_reg_extra(ctx: &Ctx<'_, '_>, rank: u32, buf: Va) -> Time {
+    if buf_on_device(ctx, rank, buf) {
+        ctx.host.device.reg_extra_ns
+    } else {
+        0
+    }
+}
+
+/// Picks the bounce-chunk size for a staged device transfer. An
+/// explicit [`MpiConfig::staging_chunk`] wins; otherwise the adaptive
+/// model (the §6 selector extended to the host↔device axis) evaluates
+/// the closed-form two-stage pipeline over power-of-two chunks from
+/// 4 KiB to 4 MiB and takes the argmin, ties to the smaller chunk.
+fn staging_chunk_for(
+    cfg: &MpiConfig,
+    host: &HostConfig,
+    bytes: u64,
+    blocks: usize,
+    to_device: bool,
+) -> u64 {
+    if cfg.staging_chunk != 0 {
+        return cfg.staging_chunk;
+    }
+    let bufs = cfg.staging_bufs.clamp(1, MAX_PIPELINE_BUFS);
+    let mut best_c = 4096u64;
+    let mut best_t = Time::MAX;
+    let mut c = 4096u64;
+    loop {
+        let n = bytes.div_ceil(c).max(1);
+        let chunk_bytes = |k: u64| (k * c + c).min(bytes) - k * c;
+        let cpu = |k: u64| {
+            let cb = chunk_bytes(k);
+            let cblocks = ((blocks as u64 * cb).div_ceil(bytes)).max(1) as usize;
+            host.copy_ns(cblocks, cb)
+        };
+        let dma = |k: u64| host.dma_ns(chunk_bytes(k), to_device);
+        // Unpack stages CPU-scatter before DMA-out; pack DMAs in before
+        // CPU-gather. The finish time is symmetric, but keep the order
+        // honest for when the stages' costs diverge.
+        let t = if to_device {
+            two_stage_finish_ns(n, bufs, cpu, dma)
+        } else {
+            two_stage_finish_ns(n, bufs, dma, cpu)
+        };
+        if t < best_t {
+            best_t = t;
+            best_c = c;
+        }
+        if c >= bytes || c >= (4 << 20) {
+            break;
+        }
+        c <<= 1;
+    }
+    best_c
+}
+
+/// Charges the modelled cost of one pack/unpack of `bytes` packed bytes
+/// (spanning `blocks` layout blocks) against the user buffer at `buf`,
+/// returning the finish time.
+///
+/// Host-resident buffers charge the classic element-wise copy on the
+/// rank's CPU — bit-identical to the pre-device-tier model. Device
+/// buffers stream through a bounded ring of bounce buffers: the CPU
+/// packs/unpacks chunk `k` while the DMA engine moves chunk `k-1`
+/// (TEMPI's staged pipeline, arXiv:2012.14363). Both stages reserve
+/// real serial resources, so the overlap is visible in the trace.
+fn charge_copy(
+    rs: &mut RankState,
+    ctx: &mut Ctx<'_, '_>,
+    buf: Va,
+    blocks: usize,
+    bytes: u64,
+    to_device: bool,
+    label: &'static str,
+) -> Time {
+    if bytes == 0 || !buf_on_device(ctx, rs.rank, buf) {
+        let cost = ctx.host.copy_ns(blocks.max(1), bytes);
+        return rs.cpu.reserve_labeled(ctx.now(), cost, label);
+    }
+    let chunk = staging_chunk_for(ctx.cfg, ctx.host, bytes, blocks, to_device);
+    let bufs = ctx.cfg.staging_bufs.clamp(1, MAX_PIPELINE_BUFS);
+    let n = bytes.div_ceil(chunk);
+    let now = ctx.now();
+    // Ring of bounce-buffer release times: chunk k may not start until
+    // chunk k-bufs has fully drained its slot.
+    let mut ring = [now; MAX_PIPELINE_BUFS];
+    let mut finish = now;
+    for k in 0..n {
+        let lo = k * chunk;
+        let cbytes = (lo + chunk).min(bytes) - lo;
+        let cblocks = ((blocks as u64 * cbytes).div_ceil(bytes)).max(1) as usize;
+        let cpu_cost = ctx.host.copy_ns(cblocks, cbytes);
+        let dma_cost = ctx.host.dma_ns(cbytes, to_device);
+        let slot = (k % bufs as u64) as usize;
+        let gate = ring[slot];
+        finish = if to_device {
+            // Unpack: CPU scatters the chunk into a bounce image, DMA
+            // pushes it to the device.
+            let cpu_done = rs.cpu.reserve_labeled(gate, cpu_cost, label);
+            rs.dma.reserve_labeled(cpu_done, dma_cost, "dma")
+        } else {
+            // Pack: DMA pulls the chunk down, CPU gathers it onward.
+            let dma_done = rs.dma.reserve_labeled(gate, dma_cost, "dma");
+            rs.cpu.reserve_labeled(dma_done, cpu_cost, label)
+        };
+        ring[slot] = finish;
+    }
+    rs.counters.staging_chunks += n;
+    finish
+}
+
+// ---------------------------------------------------------------------
 // Eager path (§7.1)
 // ---------------------------------------------------------------------
 
@@ -1040,6 +1184,9 @@ fn eager_send(
         // copy into the eager buffer.
         cost += ctx.host.malloc_ns + ctx.host.memcpy_ns(size) + ctx.host.free_ns;
     }
+    // Device-resident source: one synchronous gather-DMA down to the
+    // host before the pack (eager messages are too small to stage).
+    cost += device_direct_ns(ctx, rs.rank, buf, size, false);
     rs.counters.packs += 1;
     rs.counters.bytes_packed += size;
 
@@ -1075,6 +1222,8 @@ fn eager_deliver(
     if ctx.cfg.scheme == Scheme::Generic {
         cost += ctx.host.malloc_ns + ctx.host.memcpy_ns(size) + ctx.host.free_ns;
     }
+    // Device-resident destination: one synchronous scatter-DMA up.
+    cost += device_direct_ns(ctx, rs.rank, buf, size, true);
     rs.counters.unpacks += 1;
     rs.counters.bytes_unpacked += size;
     let done = rs.cpu.reserve_labeled(ctx.now(), cost, "unpack");
@@ -1096,7 +1245,8 @@ fn self_send(
     // the scratch pool.
     let data = pack_to_vec(ctx, rs.rank, &plan, buf, 0, size);
     let (blocks, _) = plan.block_count_in(0, size).expect("range valid");
-    let cost = ctx.host.copy_ns(blocks.max(1), size);
+    let cost = ctx.host.copy_ns(blocks.max(1), size)
+        + device_direct_ns(ctx, rs.rank, buf, size, false);
     let done = rs.cpu.reserve_labeled(ctx.now(), cost, "pack");
     ctx.cpu_event(done, rs.rank, CpuAct::SendDone { req });
 
@@ -1861,7 +2011,7 @@ fn receiver_reg_cost(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMs
     abs_blocks_into(&plan, msg.buf, &mut blocks);
     let cost = try_acquire_user_regs(rs, ctx, &blocks, &mut msg.user_regs, &mut msg.pinned_bytes);
     rs.scratch.put_blocks(blocks);
-    cost
+    cost.map(|c| c + device_reg_extra(ctx, rs.rank, msg.buf))
 }
 
 /// Builds the Multi-W reply, or `None` when it cannot fit an eager
@@ -2089,9 +2239,10 @@ fn on_segment_arrival(
             unpack_from_slice(ctx, rs.rank, &plan, msg.buf, 0, msg.size, &data);
             rs.scratch.put_bytes(data);
             let (blocks, _) = plan.block_count_in(0, msg.size).expect("range valid");
-            let cost = ctx.host.copy_ns(blocks.max(1), msg.size);
             rs.counters.bytes_unpacked += msg.size;
-            let done = rs.cpu.reserve_labeled(ctx.now(), cost, "unpack");
+            let buf = msg.buf;
+            let size = msg.size;
+            let done = charge_copy(rs, ctx, buf, blocks, size, true, "unpack");
             ctx.cpu_event(done, rs.rank, CpuAct::UnpackAll { peer, seq });
         }
         Scheme::BcSpup | Scheme::RwgUp => {
@@ -2099,11 +2250,17 @@ fn on_segment_arrival(
                 unpack_segment(rs, ctx, msg, k);
             } else if msg.segs_arrived == msg.nsegs {
                 // Fig. 12 ablation: unpack everything only after the
-                // last segment arrived.
+                // last segment arrived. Costs stay a per-segment
+                // `copy_ns` sum — ceil rounding makes that differ from
+                // one whole-message charge, and the figure measures it.
                 let mut total_cost = 0;
                 for kk in 0..msg.nsegs {
-                    total_cost += unpack_segment_cost_and_do(rs, ctx, msg, kk);
+                    let (blocks, len) = unpack_segment_do(rs, ctx, msg, kk);
+                    total_cost += ctx.host.copy_ns(blocks.max(1), len);
                 }
+                // Device destination: the batched image crosses in one
+                // scatter-DMA (nothing left to overlap with).
+                total_cost += device_direct_ns(ctx, rs.rank, msg.buf, msg.size, true);
                 rs.counters.bytes_unpacked += msg.size;
                 let done = rs.cpu.reserve_labeled(ctx.now(), total_cost, "unpack");
                 ctx.cpu_event(done, rs.rank, CpuAct::UnpackAll { peer, seq });
@@ -2134,10 +2291,10 @@ fn on_segment_arrival(
 
 /// Unpacks segment `k` (functional now) and schedules the completion.
 fn unpack_segment(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg, k: u32) {
-    let cost = unpack_segment_cost_and_do(rs, ctx, msg, k);
-    let len = seg_len_r(msg, k);
+    let (blocks, len) = unpack_segment_do(rs, ctx, msg, k);
     rs.counters.bytes_unpacked += len;
-    let done = rs.cpu.reserve_labeled(ctx.now(), cost, "unpack");
+    let buf = msg.buf;
+    let done = charge_copy(rs, ctx, buf, blocks, len, true, "unpack");
     ctx.cpu_event(
         done,
         rs.rank,
@@ -2149,13 +2306,16 @@ fn unpack_segment(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut RecvMsg, 
     );
 }
 
-/// Performs the functional unpack of segment `k`, returning its cost.
-fn unpack_segment_cost_and_do(
+/// Performs the functional unpack of segment `k`, returning the block
+/// and byte counts the caller charges costs on (segment-at-a-time paths
+/// route through [`charge_copy`]; the Fig. 12 batch ablation sums
+/// per-segment `copy_ns` itself so its ceil-rounded total is unchanged).
+fn unpack_segment_do(
     rs: &mut RankState,
     ctx: &mut Ctx<'_, '_>,
     msg: &mut RecvMsg,
     k: u32,
-) -> Time {
+) -> (usize, u64) {
     let rank = rs.rank;
     let plan = rs.plan_for(&msg.ty, msg.count);
     let lo = k as u64 * msg.seg_size;
@@ -2170,12 +2330,7 @@ fn unpack_segment_cost_and_do(
     unpack_from_slice(ctx, rank, &plan, msg.buf, lo, hi, &data);
     rs.scratch.put_bytes(data);
     let (blocks, _) = plan.block_count_in(lo, hi).expect("range valid");
-    ctx.host.copy_ns(blocks.max(1), hi - lo)
-}
-
-fn seg_len_r(msg: &RecvMsg, k: u32) -> u64 {
-    let lo = k as u64 * msg.seg_size;
-    ((lo + msg.seg_size).min(msg.size)) - lo
+    (blocks, hi - lo)
 }
 
 /// Unpacks Hybrid packed segment `k` from its pool buffer into the
@@ -2212,8 +2367,8 @@ fn hybrid_unpack_segment(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut Re
     }
     rs.scratch.put_bytes(data);
     rs.counters.bytes_unpacked += hi - lo;
-    let cost = ctx.host.copy_ns(blocks.max(1), hi - lo);
-    let done = rs.cpu.reserve_labeled(ctx.now(), cost, "unpack");
+    let buf = msg.buf;
+    let done = charge_copy(rs, ctx, buf, blocks, hi - lo, true, "unpack");
     ctx.cpu_event(
         done,
         rs.rank,
@@ -2675,9 +2830,10 @@ fn sender_register(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg)
     let acquired =
         try_acquire_user_regs(rs, ctx, &blocks, &mut msg.user_regs, &mut msg.pinned_bytes);
     rs.scratch.put_blocks(blocks);
-    let Some(cost) = acquired else {
+    let Some(mut cost) = acquired else {
         return false;
     };
+    cost += device_reg_extra(ctx, rs.rank, msg.buf);
     let done = rs.cpu.reserve_labeled(ctx.now(), cost, "reg");
     ctx.cpu_event(
         done,
@@ -2720,8 +2876,8 @@ fn start_pack_chain(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg
         .expect("pack buffer writable");
     rs.scratch.put_bytes(data);
     let (blocks, _) = plan.block_count_in(lo, hi).expect("range valid");
-    let cost = ctx.host.copy_ns(blocks.max(1), hi - lo);
-    let done = rs.cpu.reserve_labeled(ctx.now(), cost, "pack");
+    let buf = msg.buf;
+    let done = charge_copy(rs, ctx, buf, blocks, hi - lo, false, "pack");
     msg.pack_chain_running = true;
     ctx.cpu_event(
         done,
@@ -2774,8 +2930,8 @@ fn hybrid_pack_next(rs: &mut RankState, ctx: &mut Ctx<'_, '_>, msg: &mut SendMsg
         .write(msg.pack_bufs[k as usize].va, &data)
         .expect("pack buffer writable");
     rs.scratch.put_bytes(data);
-    let cost = ctx.host.copy_ns(blocks.max(1), hi - lo);
-    let done = rs.cpu.reserve_labeled(ctx.now(), cost, "pack");
+    let buf = msg.buf;
+    let done = charge_copy(rs, ctx, buf, blocks, hi - lo, false, "pack");
     msg.pack_chain_running = true;
     ctx.cpu_event(
         done,

@@ -225,6 +225,9 @@ pub struct RankCounters {
     pub peak_unexpected: u64,
     /// High-water pending-eager queue occupancy.
     pub peak_pending: u64,
+    /// Bounce-buffer chunks pushed through the staged device pipeline
+    /// (0 when no buffer is device-resident).
+    pub staging_chunks: u64,
 }
 
 /// All state of one rank's MPI library instance.
@@ -236,6 +239,11 @@ pub struct RankState {
     pub nprocs: u32,
     /// Host CPU executing the progress engine, pack/unpack, posts.
     pub cpu: SerialResource,
+    /// DMA engine moving bytes between host bounce buffers and device
+    /// memory. A separate serial resource so staged-pipeline overlap
+    /// (pack of chunk k against DMA of chunk k-1) is provable from the
+    /// trace, exactly like pack/wire overlap.
+    pub dma: SerialResource,
     /// Base address of the eager region (send ring + recv buffers).
     pub eager_region: Va,
     /// Eager/control send ring buffers (shared across peers).
@@ -344,6 +352,7 @@ impl RankState {
             rank,
             nprocs,
             cpu: SerialResource::new("cpu").with_trace(),
+            dma: SerialResource::new("dma").with_trace(),
             eager_region: region,
             eager_send_free,
             eager_pending: VecDeque::new(),
@@ -362,7 +371,8 @@ impl RankState {
             },
             registry: TypeRegistry::new(),
             layout_cache: LayoutCache::new(),
-            plans: PlanCache::new(cfg.plan_cache, cfg.plan_cache_entries),
+            plans: PlanCache::new(cfg.plan_cache, cfg.plan_cache_entries)
+                .with_canonicalization(cfg.canonicalize),
             scratch: ScratchPool::new(),
             sent_layouts: HashSet::new(),
             internal: InternalBufs::default(),

@@ -82,6 +82,17 @@ pub struct RunStats {
     /// Total events scheduled on the simulation queue (seeded plus
     /// in-world).
     pub events_scheduled: u64,
+    /// Plan-cache hits served because a *respelled* type canonicalized
+    /// onto an already-compiled layout (all ranks; 0 with
+    /// [`MpiConfig::canonicalize`](crate::config::MpiConfig::canonicalize)
+    /// off).
+    pub plan_cache_canonical_hits: u64,
+    /// Lookups whose type was rewritten to a different canonical
+    /// spelling before plan compilation (all ranks).
+    pub canonicalized_types: u64,
+    /// Bounce-buffer chunks pushed through the staged device pipeline
+    /// (all ranks; 0 when no buffer is device-resident).
+    pub staging_chunks: u64,
 }
 
 impl RunStats {

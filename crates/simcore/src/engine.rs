@@ -139,6 +139,17 @@ impl<W: World> Engine<W> {
     pub fn is_quiescent(&self) -> bool {
         self.queue.is_empty()
     }
+
+    /// Resets the engine to virtual time 0 with an empty queue,
+    /// retaining the queue's internal capacity. A reset engine is
+    /// indistinguishable from a fresh one, so embedders that run many
+    /// short simulations (parameter sweeps) can recycle one engine
+    /// instead of re-growing the event arena per run.
+    pub fn reset(&mut self) {
+        self.queue.reset();
+        self.now = 0;
+        self.handled = 0;
+    }
 }
 
 #[cfg(test)]

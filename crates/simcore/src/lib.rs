@@ -30,6 +30,7 @@
 pub mod engine;
 pub mod inline;
 pub mod paged;
+pub mod pipeline;
 pub mod queue;
 pub mod resource;
 pub mod shard;
@@ -40,6 +41,7 @@ pub mod trace;
 pub use engine::{Engine, World};
 pub use inline::InlineVec;
 pub use paged::{PagedTable, PAGE};
+pub use pipeline::{two_stage_finish_ns, MAX_PIPELINE_BUFS};
 pub use queue::{EventQueue, HeapQueue};
 pub use resource::SerialResource;
 pub use shard::{run_indexed, ShardSim, ShardWorld};

@@ -1,0 +1,99 @@
+//! Closed-form two-stage pipeline completion times.
+//!
+//! The staged device path overlaps pack-of-chunk-`k` against
+//! DMA-of-chunk-`k-1` through a bounded ring of bounce buffers. Both
+//! the progress engine (charging virtual time) and the §6 adaptive
+//! chunk selector (comparing candidate chunk sizes *before* charging
+//! anything) need the finish time of such a pipeline; this module
+//! computes it without allocating, from per-chunk stage costs.
+
+use crate::time::Time;
+
+/// Upper bound on the bounce-buffer ring depth (fixed-size scratch so
+/// the computation allocates nothing).
+pub const MAX_PIPELINE_BUFS: usize = 8;
+
+/// Finish time of an `n`-chunk two-stage pipeline started at 0, with
+/// `bufs` bounce buffers. Chunk `k` runs stage A (duration `a_ns(k)`)
+/// then stage B (duration `b_ns(k)`); each stage is a serial resource
+/// (chunks pass through in order), and chunk `k` cannot *start* stage
+/// A until chunk `k - bufs` has fully left stage B (its buffer is
+/// free again). `bufs` is clamped to `1..=MAX_PIPELINE_BUFS`; with
+/// `bufs == 1` the pipeline degenerates to strict serialization.
+pub fn two_stage_finish_ns(
+    n: u64,
+    bufs: usize,
+    mut a_ns: impl FnMut(u64) -> Time,
+    mut b_ns: impl FnMut(u64) -> Time,
+) -> Time {
+    let bufs = bufs.clamp(1, MAX_PIPELINE_BUFS);
+    // ring[k % bufs] = time chunk k-bufs freed its buffer.
+    let mut ring = [0 as Time; MAX_PIPELINE_BUFS];
+    let mut a_free: Time = 0;
+    let mut b_free: Time = 0;
+    for k in 0..n {
+        let slot = (k % bufs as u64) as usize;
+        let a_start = a_free.max(ring[slot]);
+        let a_done = a_start + a_ns(k);
+        let b_start = b_free.max(a_done);
+        let b_done = b_start + b_ns(k);
+        a_free = a_done;
+        b_free = b_done;
+        ring[slot] = b_done;
+    }
+    b_free
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_pipeline_finishes_immediately() {
+        assert_eq!(two_stage_finish_ns(0, 4, |_| 10, |_| 10), 0);
+    }
+
+    #[test]
+    fn single_buffer_serializes() {
+        // With one buffer chunk k+1 waits for chunk k's B: total is
+        // the plain sum of both stages.
+        let t = two_stage_finish_ns(5, 1, |_| 30, |_| 70);
+        assert_eq!(t, 5 * (30 + 70));
+    }
+
+    #[test]
+    fn two_buffers_overlap_to_the_bottleneck() {
+        // Equal stages, deep enough ring: steady state is bound by one
+        // stage; finish = a(0) + n * b.
+        let t = two_stage_finish_ns(10, 2, |_| 50, |_| 50);
+        assert_eq!(t, 50 + 10 * 50);
+        // Bottleneck B: fill once, then B back-to-back.
+        let t = two_stage_finish_ns(10, 2, |_| 10, |_| 100);
+        assert_eq!(t, 10 + 10 * 100);
+        // Bottleneck A: drain once after the last A.
+        let t = two_stage_finish_ns(10, 2, |_| 100, |_| 10);
+        assert_eq!(t, 10 * 100 + 10);
+    }
+
+    #[test]
+    fn more_buffers_never_slower() {
+        let cost_a = |k: u64| 20 + (k % 3) * 15;
+        let cost_b = |k: u64| 35 + (k % 5) * 9;
+        let mut prev = Time::MAX;
+        for bufs in 1..=MAX_PIPELINE_BUFS {
+            let t = two_stage_finish_ns(40, bufs, cost_a, cost_b);
+            assert!(t <= prev, "bufs {bufs}: {t} > {prev}");
+            prev = t;
+        }
+        // And pipelining strictly beats serialization here.
+        let serial = two_stage_finish_ns(40, 1, cost_a, cost_b);
+        assert!(prev < serial);
+    }
+
+    #[test]
+    fn oversized_bufs_clamp() {
+        let a = two_stage_finish_ns(12, 64, |_| 7, |_| 11);
+        let b = two_stage_finish_ns(12, MAX_PIPELINE_BUFS, |_| 7, |_| 11);
+        assert_eq!(a, b);
+    }
+}

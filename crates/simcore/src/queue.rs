@@ -267,6 +267,24 @@ impl<E> EventQueue<E> {
     pub fn total_scheduled(&self) -> u64 {
         self.scheduled
     }
+
+    /// Clears the queue back to its initial state — clock at 0, no
+    /// pending events, counters zeroed — while retaining the node
+    /// arena, slot-head table, and drain scratch capacity. A reset
+    /// queue is indistinguishable from a fresh one, so short-lived
+    /// simulations can recycle a warm queue without risking replay
+    /// divergence.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.free = NIL;
+        self.heads.fill(NIL);
+        self.occ = [0; LEVELS];
+        self.cur = 0;
+        self.drain.clear();
+        self.len = 0;
+        self.next_seq = 0;
+        self.scheduled = 0;
+    }
 }
 
 /// An entry in the reference heap queue. Ordering is `(time, seq)`; the

@@ -40,6 +40,16 @@ fn alloc_buffers(cluster: &mut Cluster, ty: &Datatype, count: u64) -> (u64, u64,
     (b0, b1, span)
 }
 
+/// Like [`alloc_buffers`], but both user buffers are device-resident:
+/// pack/unpack touching them routes through the DMA cost model.
+fn alloc_device_buffers(cluster: &mut Cluster, ty: &Datatype, count: u64) -> (u64, u64, u64) {
+    let span = ((count.saturating_sub(1)) as i64 * ty.extent() + ty.true_ub()).max(8) as u64 + 64;
+    let b0 = cluster.alloc_device(0, span, 4096);
+    let b1 = cluster.alloc_device(1, span, 4096);
+    cluster.fill_pattern(0, b0, span, 13);
+    (b0, b1, span)
+}
+
 fn verify(cluster: &Cluster, ty: &Datatype, count: u64, b0: u64, b1: u64, span: u64) {
     let src = cluster.read_mem(0, b0, span);
     let dst = cluster.read_mem(1, b1, span);
@@ -120,9 +130,36 @@ pub fn pingpong(
 /// all messages have been received." Sends are blocking (`MPI_Send`),
 /// matching the original benchmark.
 pub fn bandwidth(spec: &ClusterSpec, ty: &Datatype, count: u64, window: u32) -> BandwidthResult {
+    bandwidth_impl(spec, ty, count, window, false)
+}
+
+/// [`bandwidth`] with *device-resident* user buffers on both ends:
+/// every pack/unpack crosses the host↔device bus, so the measurement
+/// exposes the staged bounce pipeline (chunking, double-buffering) and
+/// its knobs `staging_chunk` / `staging_bufs` on the cluster spec.
+pub fn bandwidth_device(
+    spec: &ClusterSpec,
+    ty: &Datatype,
+    count: u64,
+    window: u32,
+) -> BandwidthResult {
+    bandwidth_impl(spec, ty, count, window, true)
+}
+
+fn bandwidth_impl(
+    spec: &ClusterSpec,
+    ty: &Datatype,
+    count: u64,
+    window: u32,
+    device: bool,
+) -> BandwidthResult {
     assert!(window > 0);
     let mut cluster = Cluster::new(spec.clone());
-    let (b0, b1, span) = alloc_buffers(&mut cluster, ty, count);
+    let (b0, b1, span) = if device {
+        alloc_device_buffers(&mut cluster, ty, count)
+    } else {
+        alloc_buffers(&mut cluster, ty, count)
+    };
     let reply = Datatype::int();
     let rbuf0 = cluster.alloc(0, 8, 8);
     let rbuf1 = cluster.alloc(1, 8, 8);

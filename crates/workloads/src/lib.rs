@@ -25,9 +25,9 @@ pub mod sweep;
 pub mod vector;
 
 pub use drivers::{
-    alltoall_oversub, alltoall_time, bandwidth, incast, incast_spec, pingpong, pingpong_asym,
-    pingpong_contig, pingpong_manual, pingpong_multiple, BandwidthResult, IncastResult,
-    PingPongResult,
+    alltoall_oversub, alltoall_time, bandwidth, bandwidth_device, incast, incast_spec, pingpong,
+    pingpong_asym, pingpong_contig, pingpong_manual, pingpong_multiple, BandwidthResult,
+    IncastResult, PingPongResult,
 };
 pub use scale::{
     run_scale, run_scale_with, ScaleConfig, ScaleFault, ScaleFaultPlan, ScalePattern, ScaleReport,

@@ -38,6 +38,55 @@ fn random_type(rng: &mut Rng) -> Datatype {
     }
 }
 
+/// Richer randomized constructor trees for the canonicalization tests:
+/// on top of the [`random_type`] shapes, these include the spellings
+/// the canonicalizer rewrites — nested contiguous, multi-field structs,
+/// and `resized` wrappers that pad the extent. Displacements stay
+/// non-negative so `run_pairs`' span arithmetic holds.
+fn random_spelled_type(rng: &mut Rng) -> Datatype {
+    let byte = Datatype::byte();
+    let base = match rng.range_u64(0, 5) {
+        0 => {
+            // Nested contiguous-of-hvector (collapses toward hvector).
+            let inner =
+                Datatype::hvector(rng.range_u64(1, 6), rng.range_u64(1, 48), 64, &byte).unwrap();
+            Datatype::contiguous(rng.range_u64(1, 8), &inner).unwrap()
+        }
+        1 => {
+            let n = rng.range_usize(1, 12);
+            let mut displ = 0i64;
+            let mut entries = Vec::new();
+            for _ in 0..n {
+                let len = rng.range_u64(1, 300);
+                entries.push((len, displ));
+                displ += (len + rng.range_u64(0, 400)) as i64;
+            }
+            Datatype::hindexed(&entries, &byte).unwrap()
+        }
+        2 => {
+            let blocklen = rng.range_u64(1, 256);
+            let stride = (blocklen + rng.range_u64(0, 256)) as i64;
+            Datatype::hvector(rng.range_u64(1, 40), blocklen, stride, &byte).unwrap()
+        }
+        3 => {
+            // Two-field struct with a gap; fields never overlap.
+            let a = Datatype::hvector(rng.range_u64(1, 4), rng.range_u64(1, 32), 48, &byte)
+                .unwrap();
+            let b = Datatype::contiguous(rng.range_u64(1, 64), &byte).unwrap();
+            let gap = a.ub() + rng.range_u64(0, 64) as i64;
+            Datatype::struct_(&[(1, 0, a), (rng.range_u64(1, 3), gap, b)]).unwrap()
+        }
+        _ => Datatype::contiguous(rng.range_u64(1, 4_000), &byte).unwrap(),
+    };
+    if rng.range_u64(0, 2) == 0 {
+        // Pad the extent so count > 1 strides past the data.
+        let pad = rng.range_u64(0, 128) as i64;
+        Datatype::resized(&base, base.lb().min(0), base.ub() - base.lb().min(0) + pad).unwrap()
+    } else {
+        base
+    }
+}
+
 fn scheme_of(i: u8) -> Scheme {
     match i % 7 {
         0 => Scheme::Generic,
@@ -59,10 +108,39 @@ fn run_pairs(
     nmsgs: u32,
     seed: u64,
 ) -> (RunStats, Vec<u8>, Vec<u8>) {
+    run_pairs_impl(spec, ty, count, nmsgs, seed, false)
+}
+
+/// [`run_pairs`] with both user buffers device-resident, so pack and
+/// unpack route through the host↔device staging pipeline.
+fn run_pairs_device(
+    spec: ClusterSpec,
+    ty: &Datatype,
+    count: u64,
+    nmsgs: u32,
+    seed: u64,
+) -> (RunStats, Vec<u8>, Vec<u8>) {
+    run_pairs_impl(spec, ty, count, nmsgs, seed, true)
+}
+
+fn run_pairs_impl(
+    spec: ClusterSpec,
+    ty: &Datatype,
+    count: u64,
+    nmsgs: u32,
+    seed: u64,
+    device: bool,
+) -> (RunStats, Vec<u8>, Vec<u8>) {
     let mut cluster = Cluster::new(spec);
     let span = ((count - 1) as i64 * ty.extent() + ty.true_ub()).max(8) as u64 + 64;
-    let sbuf = cluster.alloc(0, span, 4096);
-    let rbuf = cluster.alloc(1, span, 4096);
+    let (sbuf, rbuf) = if device {
+        (
+            cluster.alloc_device(0, span, 4096),
+            cluster.alloc_device(1, span, 4096),
+        )
+    } else {
+        (cluster.alloc(0, span, 4096), cluster.alloc(1, span, 4096))
+    };
     cluster.fill_pattern(0, sbuf, span, seed);
     cluster.fill_pattern(1, rbuf, span, seed ^ 0xFFFF);
     let mut p0 = Vec::new();
@@ -271,5 +349,206 @@ fn repeated_sends_hit_plan_cache_and_scratch_pool() {
                 "{scheme:?}: pack staging never reused scratch buffers"
             );
         }
+    }
+}
+
+/// A canonicalized type is observationally equivalent to its original
+/// spelling: identical size and bounds, an identical merged block
+/// stream at every count, and — through a full simulated transfer —
+/// byte-identical delivery. (Virtual *timing* may legitimately differ:
+/// the canonical tree can regroup blocks, which is exactly why
+/// `canonicalize` is an opt-in config knob.)
+#[test]
+fn canonical_form_is_pack_unpack_equivalent() {
+    cases(0x914A_0003, 16, |rng| {
+        let ty = random_spelled_type(rng);
+        let count = rng.range_u64(1, 3);
+        if ty.size() == 0 || ty.size() * count >= 2 << 20 {
+            return;
+        }
+        let canon = ty.canonical();
+        assert_eq!(canon.size(), ty.size(), "canonicalization changed size");
+        assert_eq!(canon.lb(), ty.lb(), "canonicalization changed lb");
+        assert_eq!(canon.ub(), ty.ub(), "canonicalization changed ub");
+        assert_eq!(
+            canon.canonical().id(),
+            canon.id(),
+            "canonical form must be a fixed point"
+        );
+        for c in [1, 2, count] {
+            assert_eq!(
+                ty.flat().repeat(c),
+                canon.flat().repeat(c),
+                "merged block stream diverged at count {c}"
+            );
+        }
+        let scheme = scheme_of(rng.next_u64() as u8);
+        let pattern_seed = rng.next_u64();
+        let spec = || {
+            let mut s = ClusterSpec::default();
+            s.mpi.scheme = scheme;
+            s
+        };
+        let (orig, src_o, dst_o) = run_pairs(spec(), &ty, count, 2, pattern_seed);
+        let (can, _, dst_c) = run_pairs(spec(), &canon, count, 2, pattern_seed);
+        assert_eq!(orig.total_errors(), 0, "original: {:?}", orig.errors);
+        assert_eq!(can.total_errors(), 0, "canonical: {:?}", can.errors);
+        assert_delivered(&ty, count, &src_o, &dst_o, "original spelling delivery");
+        assert_eq!(
+            dst_o, dst_c,
+            "canonical spelling changed the delivered bytes"
+        );
+    });
+}
+
+/// The cache-toggle equivalence must also hold with canonicalization
+/// enabled: the canonical rewrite happens at plan-lookup time whether
+/// or not the cache stores the result, so cache on, off, and thrashing
+/// still agree on every virtual-clock observable.
+#[test]
+fn cache_toggle_equivalent_with_canonicalization_enabled() {
+    cases(0x914A_0004, 14, |rng| {
+        let ty = random_spelled_type(rng);
+        let scheme = scheme_of(rng.next_u64() as u8);
+        let count = rng.range_u64(1, 3);
+        if ty.size() == 0 || ty.size() * count >= 2 << 20 {
+            return;
+        }
+        let nmsgs = rng.range_u64(1, 4) as u32;
+        let pattern_seed = rng.next_u64();
+        let spec = |cache: bool, entries: usize| {
+            let mut s = ClusterSpec::default();
+            s.mpi.scheme = scheme;
+            s.mpi.plan_cache = cache;
+            s.mpi.plan_cache_entries = entries;
+            s.mpi.canonicalize = true;
+            s
+        };
+        let (on, src_on, dst_on) = run_pairs(spec(true, 64), &ty, count, nmsgs, pattern_seed);
+        let (off, _, dst_off) = run_pairs(spec(false, 64), &ty, count, nmsgs, pattern_seed);
+        let (tiny, _, dst_tiny) = run_pairs(spec(true, 1), &ty, count, nmsgs, pattern_seed);
+        assert_eq!(on.total_errors(), 0, "{:?}", on.errors);
+        assert_delivered(&ty, count, &src_on, &dst_on, "canonicalized cache-on delivery");
+        assert_eq!(dst_on, dst_off, "cache off changed bytes under canonicalization");
+        assert_eq!(
+            dst_on, dst_tiny,
+            "thrashing cache changed bytes under canonicalization"
+        );
+        assert_same_observables(&on, &off, "canonicalized on vs off");
+        assert_same_observables(&on, &tiny, "canonicalized on vs capacity-1");
+    });
+}
+
+/// Three spellings of one layout — `hvector`, `hindexed`, and a
+/// two-field `struct` — must compile exactly ONE plan per rank with
+/// canonicalization on, and the canonical-hit counters must prove that
+/// every subsequent lookup was a respelling served from the cache.
+#[test]
+fn three_spellings_compile_one_plan_with_hit_counter() {
+    let byte = Datatype::byte();
+    // The same 4×(256 B @ stride 512) layout under three spellings.
+    let spellings = [
+        Datatype::hvector(4, 256, 512, &byte).unwrap(),
+        Datatype::hindexed(&[(256, 0), (256, 512), (256, 1024), (256, 1536)], &byte).unwrap(),
+        Datatype::struct_(&[
+            (1, 0, Datatype::hvector(2, 256, 512, &byte).unwrap()),
+            (1, 1024, Datatype::hvector(2, 256, 512, &byte).unwrap()),
+        ])
+        .unwrap(),
+    ];
+    let mut spec = ClusterSpec::default();
+    spec.mpi.scheme = Scheme::BcSpup;
+    spec.mpi.canonicalize = true;
+    let mut cluster = Cluster::new(spec);
+    let span = spellings[0].ub() as u64 + 64;
+    let sbuf = cluster.alloc(0, span, 4096);
+    let rbuf = cluster.alloc(1, span, 4096);
+    cluster.fill_pattern(0, sbuf, span, 77);
+    let mut p0 = Vec::new();
+    let mut p1 = Vec::new();
+    for (tag, ty) in spellings.iter().enumerate() {
+        p0.push(AppOp::Isend {
+            peer: 1,
+            buf: sbuf,
+            count: 1,
+            ty: ty.clone(),
+            tag: tag as u32,
+        });
+        p0.push(AppOp::WaitAll);
+        p1.push(AppOp::Irecv {
+            peer: 0,
+            buf: rbuf,
+            count: 1,
+            ty: ty.clone(),
+            tag: tag as u32,
+        });
+        p1.push(AppOp::WaitAll);
+    }
+    let stats = cluster.run(vec![p0, p1]);
+    assert_eq!(stats.total_errors(), 0, "{:?}", stats.errors);
+    let src = cluster.read_mem(0, sbuf, span);
+    let dst = cluster.read_mem(1, rbuf, span);
+    assert_delivered(&spellings[0], 1, &src, &dst, "respelled delivery");
+    // One compile per rank: every spelling resolves to the same
+    // canonical handle, so only the first lookup misses.
+    for (r, &(hits, misses, _)) in stats.plan_cache.iter().enumerate() {
+        assert_eq!(
+            misses, 1,
+            "rank {r}: three spellings must compile one plan (hits {hits}, misses {misses})"
+        );
+        assert!(hits >= 2, "rank {r}: respelled lookups must hit (hits {hits})");
+    }
+    // The hit-rate counters attribute the hits to canonicalization:
+    // every hit was a *respelled* type served by the canonical plan.
+    let hits: u64 = stats.plan_cache.iter().map(|&(h, _, _)| h).sum();
+    assert_eq!(
+        stats.plan_cache_canonical_hits, hits,
+        "every cache hit should have come from a respelled lookup"
+    );
+    assert!(
+        stats.plan_cache_canonical_hits >= 4,
+        "2 respelled spellings x 2 ranks must hit the canonical plan (got {})",
+        stats.plan_cache_canonical_hits
+    );
+    assert!(
+        stats.canonicalized_types >= 4,
+        "respelled lookups should have been rewritten (got {})",
+        stats.canonicalized_types
+    );
+}
+
+/// Device-resident user buffers route pack/unpack through the staged
+/// bounce pipeline; the plan cache must stay invisible there too, and
+/// the `staging_chunks` counter must show the pipeline actually ran.
+#[test]
+fn plan_cache_equivalence_on_device_buffers() {
+    let ty = Datatype::hvector(128, 512, 1024, &Datatype::byte()).unwrap();
+    for (staging_chunk, staging_bufs) in [(0u64, 2usize), (4096, 2), (16384, 1)] {
+        let spec = |cache: bool| {
+            let mut s = ClusterSpec::default();
+            s.mpi.scheme = Scheme::BcSpup;
+            s.mpi.plan_cache = cache;
+            s.mpi.staging_chunk = staging_chunk;
+            s.mpi.staging_bufs = staging_bufs;
+            s
+        };
+        let (on, src_on, dst_on) = run_pairs_device(spec(true), &ty, 2, 2, 31);
+        let (off, _, dst_off) = run_pairs_device(spec(false), &ty, 2, 2, 31);
+        assert_eq!(
+            on.total_errors(),
+            0,
+            "chunk {staging_chunk}: {:?}",
+            on.errors
+        );
+        assert_delivered(&ty, 2, &src_on, &dst_on, "device-staged delivery");
+        assert_eq!(
+            dst_on, dst_off,
+            "chunk {staging_chunk}: cache toggle changed device-staged bytes"
+        );
+        assert_same_observables(&on, &off, "device-staged on vs off");
+        assert!(
+            on.staging_chunks > 0,
+            "chunk {staging_chunk}: staged pipeline never ran"
+        );
     }
 }
