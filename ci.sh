@@ -23,6 +23,12 @@
 # matrix, plus the 4096-rank chaos smoke — a seeded crash-stop run
 # must fingerprint bit-identically across 1/2/8 shards (DESIGN.md §15,
 # EXPERIMENTS.md X15).
+#
+# `./ci.sh --shm` runs the shared-memory transport smoke: regenerates
+# figure x17 (DDT vs manual pack across transports) and enforces the
+# arXiv:1607.00178 guideline bounds — the datatype path must not lose
+# to pack+send from 32 KiB up on any transport, and must stay within
+# 1.2x below that (DESIGN.md §17, EXPERIMENTS.md X17).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -31,6 +37,7 @@ BENCH_GATE=0
 SOAK=0
 SCALE=0
 CHAOS_SCALE=0
+SHM=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
@@ -38,7 +45,8 @@ for arg in "$@"; do
     --soak) SOAK=1 ;;
     --scale) SCALE=1 ;;
     --chaos-scale) CHAOS_SCALE=1 ;;
-    *) echo "unknown argument: $arg (supported: --chaos, --bench-gate, --soak, --scale, --chaos-scale)" >&2; exit 2 ;;
+    --shm) SHM=1 ;;
+    *) echo "unknown argument: $arg (supported: --chaos, --bench-gate, --soak, --scale, --chaos-scale, --shm)" >&2; exit 2 ;;
   esac
 done
 
@@ -134,6 +142,13 @@ if [[ "$CHAOS_SCALE" == 1 ]]; then
   done
   echo "==> chaos smoke (4096-rank crash-stop run bit-identical across shards)"
   ./target/release/scale --chaos-smoke
+fi
+
+if [[ "$SHM" == 1 ]]; then
+  echo "==> shm transport smoke (x17 guideline bounds)"
+  mkdir -p target/shm_smoke
+  ./target/release/figures x17 --csv target/shm_smoke > /dev/null
+  python3 tools/x17_gate.py target/shm_smoke/x17.csv
 fi
 
 echo "CI OK"

@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures as text tables (and optional CSV).
 //!
 //! ```text
-//! figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1..x10|x13|x16|all]
+//! figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1..x10|x13|x16|x17|all]
 //!         [--csv DIR]
 //! ```
 //!
@@ -9,8 +9,8 @@
 
 use ibdt_bench::Table;
 use ibdt_bench::{
-    all_figures, fig11, fig12, fig13, fig14, fig2, fig8, fig9, x1, x10, x13, x16, x2, x3, x4, x5,
-    x6, x7, x8, x9,
+    all_figures, fig11, fig12, fig13, fig14, fig2, fig8, fig9, x1, x10, x13, x16, x17, x2, x3, x4,
+    x5, x6, x7, x8, x9,
 };
 use std::io::Write as _;
 
@@ -72,10 +72,11 @@ fn main() {
             "x10" => tables.push(("x10".into(), x10())),
             "x13" => tables.push(("x13".into(), x13())),
             "x16" => tables.push(("x16".into(), x16())),
+            "x17" => tables.push(("x17".into(), x17())),
             "all" => {
                 let names = [
                     "fig2", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "x1a", "x1b", "x2",
-                    "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x13", "x16",
+                    "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x13", "x16", "x17",
                 ];
                 for (n, t) in names.iter().zip(all_figures()) {
                     tables.push(((*n).into(), t));
@@ -84,7 +85,7 @@ fn main() {
             other => {
                 eprintln!("unknown figure '{other}'");
                 eprintln!(
-                    "usage: figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1..x10|x13|x16|all] [--csv DIR]"
+                    "usage: figures [fig2|fig8|fig9|fig11|fig12|fig13|fig14|x1..x10|x13|x16|x17|all] [--csv DIR]"
                 );
                 std::process::exit(2);
             }

@@ -539,8 +539,60 @@ fn bench_sweep(r: &mut Report) {
                     p1.push(AppOp::WaitAll);
                 }
                 black_box(cluster.run(vec![p0, p1]));
+                cluster.recycle();
             });
         }
+    }
+}
+
+/// Shared-memory transport sweep: wall-clock host cost of a full
+/// simulated ping-pong over the shm channel, one entry per copy mode.
+/// The double-copy run bounces every byte through the shared segment;
+/// the single-copy run issues per-block CMA copies — both exercise the
+/// transport's chunking/occupancy machinery end to end. Clusters
+/// recycle across iterations like the x1 sweep, so steady-state
+/// allocations gate at the same level.
+fn bench_shm(r: &mut Report) {
+    use ibdt_mpicore::{ShmConfig, ShmCopyMode, TransportConfig};
+    for (label, mode) in [
+        ("double", ShmCopyMode::Double),
+        ("single", ShmCopyMode::Single),
+    ] {
+        let ty = vector_ty(64);
+        r.bench(&format!("shm/pingpong_cols/64/{label}"), None, || {
+            let mut spec = ClusterSpec::default();
+            spec.mpi.scheme = Scheme::Adaptive;
+            spec.transport = TransportConfig::Shm(ShmConfig {
+                copy_mode: mode,
+                ..ShmConfig::default()
+            });
+            let mut cluster = Cluster::new(spec);
+            let span = ty.true_ub() as u64 + 64;
+            let sbuf = cluster.alloc(0, span, 4096);
+            let rbuf = cluster.alloc(1, span, 4096);
+            let mut p0 = Vec::new();
+            let mut p1 = Vec::new();
+            for tag in 0..4 {
+                p0.push(AppOp::Isend {
+                    peer: 1,
+                    buf: sbuf,
+                    count: 1,
+                    ty: ty.clone(),
+                    tag,
+                });
+                p0.push(AppOp::WaitAll);
+                p1.push(AppOp::Irecv {
+                    peer: 0,
+                    buf: rbuf,
+                    count: 1,
+                    ty: ty.clone(),
+                    tag,
+                });
+                p1.push(AppOp::WaitAll);
+            }
+            black_box(cluster.run(vec![p0, p1]));
+            cluster.recycle();
+        });
     }
 }
 
@@ -591,6 +643,7 @@ fn main() {
     let (canon_hits, canonicalized) = bench_canon(&mut r);
     let staging_chunks = bench_device(&mut r);
     bench_sweep(&mut r);
+    bench_shm(&mut r);
     bench_incast(&mut r);
     bench_scale(&mut r);
     let speedup = old / new;

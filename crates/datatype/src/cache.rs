@@ -97,6 +97,16 @@ impl TypeRegistry {
     pub fn live_count(&self) -> usize {
         self.by_type.len()
     }
+
+    /// Returns the registry to its just-constructed state, keeping
+    /// container capacity. Slots (and their versions) are discarded,
+    /// so the next registration starts from index 0, version 1 — tag
+    /// assignment after a reset is bit-identical to a fresh registry's.
+    pub fn reset(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.by_type.clear();
+    }
 }
 
 /// Sender-side cache of peers' flattened layouts.
@@ -141,6 +151,13 @@ impl LayoutCache {
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Empties the cache and zeroes its counters, keeping map capacity.
+    pub fn reset(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
     }
 
     /// Number of cached layouts.

@@ -168,6 +168,17 @@ pub enum NicEvent {
         /// Node that restarts.
         node: u32,
     },
+    /// A shared-memory transfer becomes visible at `dst`
+    /// ([`crate::shm::ShmChannel`] events share this enum so the
+    /// embedding world needs one event type per backend family).
+    /// `id` indexes the channel's in-flight slab. The IB fabric never
+    /// emits or receives one.
+    ShmArrive {
+        /// Destination rank.
+        dst: u32,
+        /// In-flight slab handle bits.
+        id: u64,
+    },
 }
 
 /// Queue-pair lifecycle states (IB spec §10.3.1).
@@ -373,6 +384,12 @@ pub struct FabricStats {
     pub recv_low_water: u64,
     /// Crash-stop node failures realized ([`NicEvent::NodeDown`]).
     pub node_crashes: u64,
+    /// Bounce-segment slots traversed (shared-memory double copy;
+    /// always zero on the IB fabric).
+    pub shm_bounce_chunks: u64,
+    /// CMA-style single-copy passes performed (shared-memory single
+    /// copy; always zero on the IB fabric).
+    pub shm_cma_ops: u64,
 }
 
 /// Per-direction QP state, indexed `src * n + dst` through a paged
@@ -629,6 +646,43 @@ impl Fabric {
         } else {
             Some(FaultState::new(plan))
         };
+    }
+
+    /// Returns the fabric to its just-constructed, fault-free state in
+    /// place, keeping every heap container's capacity: transmit engines
+    /// idle at t=0 with cleared traces, receive/park/send queues empty
+    /// but warm, per-direction QP state back at RTS/epoch 0, stats and
+    /// counters zeroed. A reset fabric behaves bit-identically to
+    /// `Fabric::new` — world recycling relies on this. Re-arm fault
+    /// injection afterwards with [`Fabric::set_fault_plan`] if needed.
+    pub fn reset(&mut self) {
+        for n in &mut self.nodes {
+            n.tx.reset();
+            n.recvq.reset_entries(|q| q.clear());
+            n.parked.reset_entries(|q| q.clear());
+            n.sq_busy.reset_entries(|q| q.clear());
+        }
+        self.stats = FabricStats::default();
+        self.faults = None;
+        self.next_id = 0;
+        self.next_order = 0;
+        self.inflight.clear();
+        self.dirs.reset_entries(|d| *d = DirState::default());
+        self.migrating = 0;
+        for p in &mut self.ports_down {
+            *p = [false; 2];
+        }
+        self.ports_down_count = 0;
+        self.nodes_down.clear();
+        for s in &mut self.node_stats {
+            *s = FabricStats::default();
+        }
+        for u in &mut self.cq_used {
+            *u = 0;
+        }
+        for p in &mut self.cq_peak {
+            *p = 0;
+        }
     }
 
     /// True when fault injection is active.
@@ -1270,6 +1324,9 @@ impl Fabric {
                 }
             }
             NicEvent::NodeDown { node } => self.handle_node_down(now, node, sink),
+            NicEvent::ShmArrive { .. } => {
+                unreachable!("shared-memory event delivered to the IB fabric")
+            }
             NicEvent::NodeUp { node } => {
                 if self.node_down(node) {
                     self.nodes_down[node as usize] = false;

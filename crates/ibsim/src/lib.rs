@@ -33,10 +33,14 @@ pub mod fabric;
 pub mod fault;
 pub mod model;
 pub mod payload;
+pub mod shm;
+pub mod transport;
 pub mod wr;
 
 pub use fabric::{Fabric, FabricStats, NicEvent, NodeMem, QpState, QpTransitionError};
 pub use fault::{FaultPlan, FaultRateError, LinkFault, NodeFault};
 pub use model::{DeviceConfig, HostConfig, HostConfigError, NetConfig, RNR_RETRY_INFINITE};
 pub use payload::Payload;
+pub use shm::{ShmChannel, ShmConfig, ShmConfigError, ShmCopyMode};
+pub use transport::{Transport, TransportClass, TransportConfig};
 pub use wr::{Cqe, CqeStatus, Opcode, PostError, RecvWr, SendWr, Sge, SgeList};

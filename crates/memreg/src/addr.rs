@@ -122,6 +122,34 @@ impl AddressSpace {
         }
     }
 
+    /// Returns the space to its just-constructed state in place:
+    /// dirty pages re-zeroed, bump pointer back at the null guard,
+    /// allocation count cleared. Semantically this is the drop→pool→
+    /// `new` round trip without the pool detour — the same buffer is
+    /// reused and exactly the dirty pages are re-zeroed — so it is
+    /// accounted identically in [`AddressSpace::pool_stats`] (one
+    /// reuse, the zeroed bytes). Observable contents afterwards are
+    /// all-zero, as from a fresh space.
+    pub fn reset(&mut self) {
+        let capacity = self.mem.len() as u64;
+        let mut zeroed = 0u64;
+        for (w, slot) in self.dirty.iter_mut().enumerate() {
+            let mut word = std::mem::take(slot);
+            while word != 0 {
+                let page = (w as u64) * 64 + word.trailing_zeros() as u64;
+                let lo = page * PAGE;
+                let hi = (lo + PAGE).min(capacity);
+                self.mem[lo as usize..hi as usize].fill(0);
+                zeroed += hi - lo;
+                word &= word - 1;
+            }
+        }
+        SP_REUSES.with(|c| c.set(c.get() + 1));
+        SP_ZEROED.with(|c| c.set(c.get() + zeroed));
+        self.brk = 64;
+        self.allocs = 0;
+    }
+
     /// `(fresh allocations, pool reuses, bytes re-zeroed)` by this
     /// thread's backing-store pool since the last
     /// [`AddressSpace::reset_pool_stats`].

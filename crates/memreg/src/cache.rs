@@ -75,6 +75,19 @@ impl PindownCache {
         self.enabled
     }
 
+    /// Empties the cache and zeroes its counters, keeping the entry
+    /// list's capacity and the configured byte bound. The caller is
+    /// responsible for the underlying [`RegTable`] — a recycled world
+    /// resets that table wholesale, so entries are not deregistered
+    /// one by one here.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
+
     /// Acquires a registration covering `[addr, addr+len)`, registering
     /// through `table` on a miss. The returned cost is the host time to
     /// charge (registration on a miss plus any eviction deregistrations).

@@ -57,6 +57,18 @@ impl RegTable {
         }
     }
 
+    /// Returns the table to its just-constructed state, keeping map
+    /// capacity: no live registrations, key counter back at 1, lifetime
+    /// counters zeroed. Used by world recycling; key assignment after a
+    /// reset is bit-identical to a fresh table's.
+    pub fn reset(&mut self) {
+        self.live.clear();
+        self.next_key = 1;
+        self.reg_ops = 0;
+        self.dereg_ops = 0;
+        self.bytes_registered = 0;
+    }
+
     /// Registers `[addr, addr+len)` and returns the region descriptor.
     /// Overlapping registrations are permitted, as in verbs.
     pub fn register(&mut self, addr: Va, len: u64) -> Registration {

@@ -13,6 +13,7 @@ use crate::stats::RunStats;
 use ibdt_datatype::Datatype;
 use ibdt_ibsim::{
     Cqe, Fabric, FaultPlan, HostConfig, NetConfig, NodeMem, Payload, RecvWr, Sge, SgeList,
+    ShmChannel, Transport, TransportConfig,
 };
 use ibdt_memreg::{AddressSpace, Va};
 use ibdt_simcore::engine::{Engine, Scheduler, World};
@@ -254,7 +255,11 @@ pub enum AppOp {
 pub type Program = Vec<AppOp>;
 
 /// Cluster construction parameters.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` keys the retired-cluster pool: [`Cluster::new`] reuses
+/// a [recycled](Cluster::recycle) cluster only when its spec equals
+/// the requested one field for field.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Number of ranks.
     pub nprocs: u32,
@@ -268,6 +273,10 @@ pub struct ClusterSpec {
     pub mem_capacity: u64,
     /// Seeded fault-injection plan for the fabric (inert by default).
     pub faults: FaultPlan,
+    /// Which transport backend moves the bytes (IB fabric by default;
+    /// selecting the shared-memory channel leaves every committed IB
+    /// result untouched).
+    pub transport: TransportConfig,
 }
 
 impl Default for ClusterSpec {
@@ -279,6 +288,38 @@ impl Default for ClusterSpec {
             mpi: MpiConfig::default(),
             mem_capacity: 256 << 20,
             faults: FaultPlan::none(),
+            transport: TransportConfig::Ib,
+        }
+    }
+}
+
+/// The cluster's byte-moving backend. An enum rather than a boxed
+/// trait object so the backend lives inline in the `Cluster` (no
+/// allocation, pooling-friendly) while every caller still drives it
+/// through `&mut dyn Transport`.
+#[derive(Debug)]
+// The size skew between the variants is the point: boxing the fabric
+// would reintroduce the allocation this enum exists to avoid.
+#[allow(clippy::large_enum_variant)]
+enum Backend {
+    /// The InfiniBand fabric.
+    Ib(Fabric),
+    /// The shared-memory channel.
+    Shm(ShmChannel),
+}
+
+impl Backend {
+    fn t(&self) -> &dyn Transport {
+        match self {
+            Backend::Ib(f) => f,
+            Backend::Shm(c) => c,
+        }
+    }
+
+    fn t_mut(&mut self) -> &mut dyn Transport {
+        match self {
+            Backend::Ib(f) => f,
+            Backend::Shm(c) => c,
         }
     }
 }
@@ -336,7 +377,7 @@ struct Interp {
 /// The simulated MPI cluster.
 pub struct Cluster {
     spec: ClusterSpec,
-    fabric: Fabric,
+    fabric: Backend,
     mems: Vec<NodeMem>,
     ranks: Vec<RankState>,
     active: Vec<ActiveMsgs>,
@@ -357,9 +398,45 @@ pub struct Cluster {
     space_pool_base: (u64, u64, u64),
 }
 
+thread_local! {
+    /// Retired clusters waiting for an identical spec to come around
+    /// again. A parameter sweep varies message geometry but rebuilds
+    /// the same cluster shape per point; recycling the whole `Cluster`
+    /// (fabric queues, address spaces, rank state, caches) removes the
+    /// per-point construction allocations that remain after the
+    /// engine/page/payload pools. A reset cluster is bit-identical in
+    /// behaviour to a fresh one built on a warm thread (see
+    /// [`Cluster::reset`]).
+    static CLUSTER_SPARE: std::cell::RefCell<Vec<Cluster>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Cluster spare-list bound. Sweeps alternate between at most a couple
+/// of shapes (e.g. cache-on/cache-off), so a small pool suffices; an
+/// idle cluster pins its address-space backing (MiBs), so the cap stays
+/// deliberately low.
+const CLUSTER_SPARE_CAP: usize = 4;
+
 impl Cluster {
     /// Builds a cluster: memories, MPI state, eager receive rings.
+    ///
+    /// If a [recycled](Cluster::recycle) cluster with an equal spec is
+    /// available on this thread it is reset and returned instead,
+    /// skipping construction entirely.
     pub fn new(spec: ClusterSpec) -> Self {
+        if let Some(mut c) = CLUSTER_SPARE
+            .try_with(|s| {
+                let mut s = s.borrow_mut();
+                s.iter()
+                    .position(|c| c.spec == spec)
+                    .map(|i| s.swap_remove(i))
+            })
+            .ok()
+            .flatten()
+        {
+            c.reset();
+            return c;
+        }
         // Captured before the address spaces are built so the spaces'
         // own pool hits/misses are attributed to this cluster.
         let payload_pool_base = Payload::pool_stats();
@@ -368,8 +445,23 @@ impl Cluster {
             panic!("invalid host configuration: {e}");
         }
         let n = spec.nprocs as usize;
-        let mut fabric = Fabric::new(n, spec.net.clone());
-        fabric.set_fault_plan(spec.faults.clone());
+        let mut fabric = match &spec.transport {
+            TransportConfig::Ib => {
+                let mut f = Fabric::new(n, spec.net.clone());
+                f.set_fault_plan(spec.faults.clone());
+                Backend::Ib(f)
+            }
+            TransportConfig::Shm(c) => {
+                if let Err(e) = c.validate() {
+                    panic!("invalid shm configuration: {e}");
+                }
+                assert!(
+                    spec.faults.is_inert(),
+                    "fault injection requires the IB transport"
+                );
+                Backend::Shm(ShmChannel::new(n, *c))
+            }
+        };
         let mut mems: Vec<NodeMem> = (0..n).map(|_| NodeMem::new(spec.mem_capacity)).collect();
         let mut ranks = Vec::with_capacity(n);
         for r in 0..n as u32 {
@@ -397,6 +489,7 @@ impl Cluster {
                     );
                     let lkey = ranks[r as usize].eager_lkey;
                     fabric
+                        .t_mut()
                         .post_recv(
                             0,
                             r,
@@ -510,21 +603,22 @@ impl Cluster {
             "one program per rank"
         );
         self.ran = true;
-        self.interp = programs
-            .into_iter()
-            .map(|p| Interp {
-                prog: p.into(),
-                blocked: Blocked::No,
-                finished_at: None,
-            })
-            .collect();
+        // Extend into the (possibly reset-and-retained) interp vector
+        // rather than reassigning, so a recycled cluster's run keeps
+        // its capacity.
+        self.interp.clear();
+        self.interp.extend(programs.into_iter().map(|p| Interp {
+            prog: p.into(),
+            blocked: Blocked::No,
+            finished_at: None,
+        }));
         let mut engine: Engine<Cluster> = take_engine();
         for r in 0..self.spec.nprocs {
             engine.seed(0, Ev::Resume { rank: r });
         }
         // Realize the fault plan's scheduled link failures as engine
         // events (port down / port up at their virtual instants).
-        for (t, e) in self.fabric.fault_events() {
+        for (t, e) in self.fabric.t().fault_events() {
             engine.seed(t, Ev::Nic(e));
         }
         // Budget: generous runaway guard proportional to work. With
@@ -532,7 +626,7 @@ impl Cluster {
         // exhausted budget becomes a typed `Incomplete` error on every
         // unfinished rank instead of a panic, so a chaos plan that
         // wedges the protocol still terminates with a diagnosis.
-        let faulty = self.fabric.faults_active();
+        let faulty = self.fabric.t().faults_active();
         let (finish, exhausted) = engine.run_bounded(self, 200_000_000);
         assert!(
             !exhausted || faulty,
@@ -548,7 +642,7 @@ impl Cluster {
         // own program cannot have finished, and peers that never
         // exchanged traffic with it after the crash may have observed
         // nothing — the crash itself is the error condition.
-        let crashed = (0..self.spec.nprocs).any(|r| self.fabric.node_down(r));
+        let crashed = (0..self.spec.nprocs).any(|r| self.fabric.t().node_down(r));
         let had_errors = exhausted
             || crashed
             || (0..self.spec.nprocs as usize).any(|r| {
@@ -585,6 +679,110 @@ impl Cluster {
         let events_scheduled = engine.events_scheduled();
         recycle_engine(engine);
         self.collect_stats(finish, events_scheduled)
+    }
+
+    /// Returns a finished cluster to the thread-local spare pool so a
+    /// later [`Cluster::new`] with an equal spec can reuse it instead
+    /// of rebuilding. Clusters with an active fault plan are dropped
+    /// instead: fault-injection state (the chaos RNG mid-stream) is
+    /// not recycled, so chaos runs stay single-shot.
+    pub fn recycle(self) {
+        if !self.spec.faults.is_inert() {
+            return;
+        }
+        let _ = CLUSTER_SPARE.try_with(|s| {
+            let mut s = s.borrow_mut();
+            // Evict the oldest entry rather than refusing when full: a
+            // sweep interleaved with other workloads must still find
+            // *its* cluster on the next point, so the most recent
+            // retiree always lands in the pool.
+            if s.len() >= CLUSTER_SPARE_CAP {
+                s.remove(0);
+            }
+            s.push(self);
+        });
+    }
+
+    /// Restores a retired cluster to its just-constructed state, in
+    /// place. The contract is exact: a reset cluster must behave
+    /// bit-identically to a fresh `Cluster::new` on a warm thread —
+    /// same virtual-time results *and* same `RunStats` down to cache
+    /// and pool counters. Every sub-reset below therefore mirrors the
+    /// corresponding construction step (eager ring layout, segment
+    /// pool carving, pool-counter baselines) rather than merely
+    /// clearing state.
+    fn reset(&mut self) {
+        // Baselines first: construction captures them before the
+        // address spaces are built, and `AddressSpace::reset` bumps the
+        // same reuse/zeroed counters the drop→pool→new round trip
+        // would.
+        self.payload_pool_base = Payload::pool_stats();
+        self.space_pool_base = AddressSpace::pool_stats();
+        match &mut self.fabric {
+            Backend::Ib(f) => {
+                f.reset();
+                f.set_fault_plan(self.spec.faults.clone());
+            }
+            Backend::Shm(c) => c.reset(),
+        }
+        for mem in &mut self.mems {
+            mem.space.reset();
+            mem.regs.reset();
+            mem.tiers.clear();
+        }
+        for r in 0..self.ranks.len() {
+            let (rs, mem) = (&mut self.ranks[r], &mut self.mems[r]);
+            rs.reset(&self.spec.mpi, mem);
+        }
+        // Re-post the eager receive rings exactly as construction does;
+        // the reset address spaces hand back the same deterministic
+        // layout, so ring addresses and keys match a fresh cluster's.
+        let mut noop = |_t: Time, _e: ibdt_ibsim::NicEvent| {};
+        for r in 0..self.spec.nprocs {
+            for peer in 0..self.spec.nprocs {
+                if peer == r {
+                    continue;
+                }
+                for i in 0..self.spec.mpi.eager_bufs_per_peer {
+                    let va = self.ranks[r as usize].recv_buf_addr(
+                        &self.spec.mpi,
+                        self.ranks[r as usize].eager_region,
+                        peer,
+                        i,
+                    );
+                    let lkey = self.ranks[r as usize].eager_lkey;
+                    self.fabric
+                        .t_mut()
+                        .post_recv(
+                            0,
+                            r,
+                            peer,
+                            RecvWr {
+                                wr_id: va,
+                                sges: SgeList::of(Sge {
+                                    addr: va,
+                                    len: self.spec.mpi.eager_buf_size,
+                                    lkey,
+                                }),
+                            },
+                            &self.mems,
+                            &mut noop,
+                        )
+                        .expect("eager ring repost on reset");
+                }
+            }
+        }
+        for a in &mut self.active {
+            a.reset();
+        }
+        for m in &mut self.marks {
+            m.clear();
+        }
+        self.interp.clear();
+        self.windows.clear();
+        self.ran = false;
+        self.events_handled = 0;
+        self.cqe_buf.clear();
     }
 
     /// Debug-mode invariant auditor (`MpiConfig::audit`): asserts the
@@ -672,7 +870,7 @@ impl Cluster {
 
     fn collect_stats(&self, finish: Time, events_scheduled: u64) -> RunStats {
         let n = self.spec.nprocs as usize;
-        let fstats = self.fabric.stats();
+        let fstats = self.fabric.t().stats();
         let (pa, pr) = Payload::pool_stats();
         let (sa, sr, sz) = AddressSpace::pool_stats();
         RunStats {
@@ -707,8 +905,8 @@ impl Cluster {
             cq_overflows: fstats.cq_overflows,
             recv_low_water: fstats.recv_low_water,
             node_crashes: fstats.node_crashes,
-            cq_peak: (0..n).map(|r| self.fabric.cq_peak(r as u32)).collect(),
-            fabric_per_rank: self.fabric.node_stats().to_vec(),
+            cq_peak: (0..n).map(|r| self.fabric.t().cq_peak(r as u32)).collect(),
+            fabric_per_rank: self.fabric.t().node_stats().to_vec(),
             errors: self
                 .ranks
                 .iter()
@@ -724,7 +922,7 @@ impl Cluster {
             pack_wire_overlap_ns: (0..n)
                 .map(|r| {
                     let cpu_trace = self.ranks[r].cpu.trace().expect("cpu traced");
-                    let tx_trace = self.fabric.tx_engine(r as u32).trace().expect("tx traced");
+                    let tx_trace = self.fabric.t().tx_engine(r as u32).trace().expect("tx traced");
                     cpu_trace.overlap_with("pack", tx_trace, "wire")
                 })
                 .collect(),
@@ -750,6 +948,8 @@ impl Cluster {
                 .sum(),
             canonicalized_types: self.ranks.iter().map(|r| r.plans.canon_stats().1).sum(),
             staging_chunks: self.ranks.iter().map(|r| r.counters.staging_chunks).sum(),
+            shm_bounce_chunks: fstats.shm_bounce_chunks,
+            shm_cma_ops: fstats.shm_cma_ops,
         }
     }
 
@@ -761,7 +961,7 @@ impl Cluster {
 
     /// Post-run access to a rank's NIC transmit-engine span trace.
     pub fn tx_trace(&self, rank: u32) -> &ibdt_simcore::trace::Trace {
-        self.fabric.tx_engine(rank).trace().expect("tx traced")
+        self.fabric.t().tx_engine(rank).trace().expect("tx traced")
     }
 
     /// Post-run access to a rank's pack/unpack pool statistics:
@@ -915,7 +1115,7 @@ impl Cluster {
                         ..
                     } = self;
                     let mut ctx = Ctx {
-                        fabric,
+                        fabric: fabric.t_mut(),
                         mems,
                         net: &spec.net,
                         host: &spec.host,
@@ -949,7 +1149,7 @@ impl Cluster {
                         ..
                     } = self;
                     let mut ctx = Ctx {
-                        fabric,
+                        fabric: fabric.t_mut(),
                         mems,
                         net: &spec.net,
                         host: &spec.host,
@@ -1130,7 +1330,7 @@ impl Cluster {
                         ..
                     } = self;
                     let mut ctx = Ctx {
-                        fabric,
+                        fabric: fabric.t_mut(),
                         mems,
                         net: &spec.net,
                         host: &spec.host,
@@ -1172,7 +1372,7 @@ impl Cluster {
                         ..
                     } = self;
                     let mut ctx = Ctx {
-                        fabric,
+                        fabric: fabric.t_mut(),
                         mems,
                         net: &spec.net,
                         host: &spec.host,
@@ -1230,7 +1430,7 @@ impl Cluster {
     /// everything once the node returns (checkpoint-restore
     /// semantics; see DESIGN.md §15).
     fn rank_halted(&self, rank: u32) -> bool {
-        self.fabric.node_down(rank) && !self.fabric.node_will_restart(rank)
+        self.fabric.t().node_down(rank) && !self.fabric.t().node_will_restart(rank)
     }
 
     /// Schedules interpreter resumption for ranks with fresh
@@ -1305,7 +1505,7 @@ impl World for Cluster {
                 completions.clear();
                 {
                     let Cluster { fabric, mems, .. } = self;
-                    fabric.handle(
+                    fabric.t_mut().handle(
                         sched.now(),
                         e,
                         mems,
@@ -1334,7 +1534,7 @@ impl World for Cluster {
                             ..
                         } = self;
                         let mut ctx = Ctx {
-                            fabric,
+                            fabric: fabric.t_mut(),
                             mems,
                             net: &spec.net,
                             host: &spec.host,
@@ -1379,7 +1579,7 @@ impl World for Cluster {
                         ..
                     } = self;
                     let mut ctx = Ctx {
-                        fabric,
+                        fabric: fabric.t_mut(),
                         mems,
                         net: &spec.net,
                         host: &spec.host,
@@ -1402,7 +1602,7 @@ impl World for Cluster {
                 self.interp_advance(sched, rank);
             }
             Ev::CqAck { rank, n } => {
-                self.fabric.cq_consume(rank, n as usize);
+                self.fabric.t_mut().cq_consume(rank, n as usize);
             }
         }
         if self.spec.mpi.audit {

@@ -105,6 +105,11 @@ pub struct MpiConfig {
     /// Adaptive: messages below this size with small blocks stay on the
     /// pack/unpack path.
     pub adaptive_copy_reduced_min: u64,
+    /// Adaptive, shared-memory single-copy transport: median block size
+    /// (bytes) at or above which Multi-W is chosen. Each work request
+    /// pays a CMA syscall setup there, so the crossover sits far above
+    /// the IB value of [`MpiConfig::adaptive_multiw_block`].
+    pub adaptive_shm_multiw_block: u64,
     /// Hybrid: receiver blocks at or above this size (bytes) are
     /// written directly (zero copy); smaller ones travel packed.
     pub hybrid_block_threshold: u64,
@@ -215,6 +220,7 @@ impl Default for MpiConfig {
             reuse_internal_bufs: true,
             adaptive_multiw_block: 512,
             adaptive_copy_reduced_min: 16 * 1024,
+            adaptive_shm_multiw_block: 8 * 1024,
             hybrid_block_threshold: 1024,
             call_overhead_ns: 150,
             ctrl_overhead_ns: 150,

@@ -43,5 +43,8 @@ pub mod table;
 pub use cluster::{AppOp, Cluster, ClusterSpec, Program, ReduceOp};
 pub use config::{MpiConfig, Scheme};
 pub use error::MpiError;
-pub use ibdt_ibsim::{FabricStats, FaultPlan, FaultRateError, LinkFault, NodeFault};
+pub use ibdt_ibsim::{
+    FabricStats, FaultPlan, FaultRateError, LinkFault, NodeFault, ShmConfig, ShmConfigError,
+    ShmCopyMode, TransportClass, TransportConfig,
+};
 pub use stats::RunStats;

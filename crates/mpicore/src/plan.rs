@@ -242,6 +242,20 @@ impl PlanCache {
         }
     }
 
+    /// Empties the cache and zeroes every counter, keeping map
+    /// capacity and configuration (enabled/capacity/canonicalization).
+    /// Lookups after a reset behave bit-identically to a fresh
+    /// cache's — world recycling relies on this.
+    pub fn reset(&mut self) {
+        self.map.clear();
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+        self.canonical_hits = 0;
+        self.canonicalized = 0;
+    }
+
     /// Canonicalizes every lookup first (see
     /// [`MpiConfig::canonicalize`](crate::config::MpiConfig::canonicalize)):
     /// equivalently-spelled types share one cache slot and one

@@ -68,6 +68,29 @@ impl SegmentPool {
         })
     }
 
+    /// Rebuilds the pool against a *reset* address space and
+    /// registration table (world recycling): re-allocates the backing
+    /// region, re-registers it, and refills the free list in place.
+    /// Deterministic allocation makes the base, keys, and free-list
+    /// order bit-identical to a freshly built pool's; reusing the free
+    /// list's capacity is exactly what `new` does when it draws a
+    /// retired list from the thread-local spare.
+    pub fn reset(&mut self, space: &mut AddressSpace, regs: &mut RegTable) {
+        let count = self.total as u64;
+        let base = space
+            .alloc_page_aligned(count * self.seg_size)
+            .expect("reset address space fits the original pool");
+        let reg = regs.register(base, count * self.seg_size);
+        self.base = base;
+        self.lkey = reg.lkey;
+        self.rkey = reg.rkey;
+        self.free.clear();
+        self.free
+            .extend((0..count).rev().map(|i| base + i * self.seg_size));
+        self.exhaustions = 0;
+        self.acquires = 0;
+    }
+
     /// Segment size in bytes.
     pub fn seg_size(&self) -> u64 {
         self.seg_size
@@ -252,6 +275,16 @@ impl ScratchPool {
     /// Creates an empty scratch pool.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Zeroes the reuse/alloc counters, keeping pooled buffers (world
+    /// recycling). Keeping them is observationally identical to the
+    /// drop→spare→take round trip a fresh pool on a warm thread
+    /// performs: either way the next take finds a recycled buffer and
+    /// counts a reuse.
+    pub fn reset_counters(&mut self) {
+        self.reuses = 0;
+        self.allocs = 0;
     }
 
     /// Takes a zeroed byte buffer of exactly `len` bytes, reusing a

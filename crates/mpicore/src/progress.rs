@@ -25,8 +25,8 @@ use crate::rank::{PostedRecv, RankState, ReqId, ReqKind, Unexpected};
 use crate::table::{ImmMap, MsgTable};
 use ibdt_datatype::{Datatype, FlatLayout, TransferPlan};
 use ibdt_ibsim::{
-    Cqe, Fabric, HostConfig, NetConfig, NicEvent, NodeMem, Opcode, PostError, RecvWr, SendWr, Sge,
-    SgeList,
+    Cqe, HostConfig, NetConfig, NicEvent, NodeMem, Opcode, PostError, RecvWr, SendWr, Sge,
+    SgeList, Transport, TransportClass,
 };
 use ibdt_memreg::{ogr, Registration, Va};
 use ibdt_simcore::engine::Scheduler;
@@ -135,8 +135,9 @@ pub enum CpuAct {
 
 /// Shared mutable context threaded through the protocol functions.
 pub struct Ctx<'a, 'b> {
-    /// The fabric.
-    pub fabric: &'a mut Fabric,
+    /// The transport backend (IB fabric or shared-memory channel),
+    /// driven through the [`Transport`] trait.
+    pub fabric: &'a mut dyn Transport,
     /// All ranks' memories.
     pub mems: &'a mut Vec<NodeMem>,
     /// Network cost model.
@@ -372,6 +373,13 @@ impl ActiveMsgs {
     pub fn is_idle(&self) -> bool {
         self.sends.is_empty() && self.recvs.is_empty()
     }
+
+    /// Empties all tables, keeping their capacity (world recycling).
+    pub fn reset(&mut self) {
+        self.sends.reset();
+        self.recvs.reset();
+        self.imm_map.reset();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -547,6 +555,7 @@ pub fn isend(
             // cached registration or an unused pool pack.
             let predicted = adaptive_choose(
                 ctx.cfg,
+                ctx.fabric.class(),
                 size,
                 stats.min,
                 stats.median,
@@ -1714,6 +1723,7 @@ fn on_resume_ack(
 /// block statistics are known.
 pub fn adaptive_choose(
     cfg: &MpiConfig,
+    transport: TransportClass,
     size: u64,
     snd_min: u64,
     snd_median: u64,
@@ -1721,26 +1731,57 @@ pub fn adaptive_choose(
     rcv_median: u64,
 ) -> Scheme {
     let _ = (snd_min, rcv_min);
-    if size < cfg.adaptive_copy_reduced_min {
-        return Scheme::BcSpup;
+    match transport {
+        TransportClass::Ib => {
+            if size < cfg.adaptive_copy_reduced_min {
+                return Scheme::BcSpup;
+            }
+            if snd_median >= cfg.adaptive_multiw_block && rcv_median >= cfg.adaptive_multiw_block {
+                return Scheme::MultiW;
+            }
+            // Asymmetric cases (§5.2): a contiguous sender favours
+            // receiver-driven reads; a contiguous receiver favours
+            // gather writes.
+            if snd_median >= size {
+                return Scheme::PRrs;
+            }
+            if rcv_median >= size {
+                return Scheme::RwgUp;
+            }
+            if rcv_median >= cfg.adaptive_multiw_block {
+                // Large receiver blocks: unpack is cheap, gather write
+                // wins.
+                return Scheme::RwgUp;
+            }
+            Scheme::BcSpup
+        }
+        TransportClass::ShmDouble => {
+            // Every byte bounces through the shared segment twice no
+            // matter the scheme: the zero-copy schemes' registration
+            // avoidance buys nothing, while BC-SPUP's packed pipeline
+            // feeds the segment slots perfectly.
+            Scheme::BcSpup
+        }
+        TransportClass::ShmSingle => {
+            // Direct cross-process copies exist, but every work
+            // request pays a syscall setup — per-block schemes need
+            // much larger blocks than on IB to amortize it.
+            if size < cfg.adaptive_copy_reduced_min {
+                return Scheme::BcSpup;
+            }
+            let blk = cfg.adaptive_shm_multiw_block;
+            if snd_median >= blk && rcv_median >= blk {
+                return Scheme::MultiW;
+            }
+            if snd_median >= size {
+                return Scheme::PRrs;
+            }
+            if rcv_median >= size {
+                return Scheme::RwgUp;
+            }
+            Scheme::BcSpup
+        }
     }
-    if snd_median >= cfg.adaptive_multiw_block && rcv_median >= cfg.adaptive_multiw_block {
-        return Scheme::MultiW;
-    }
-    // Asymmetric cases (§5.2): a contiguous sender favours
-    // receiver-driven reads; a contiguous receiver favours gather
-    // writes.
-    if snd_median >= size {
-        return Scheme::PRrs;
-    }
-    if rcv_median >= size {
-        return Scheme::RwgUp;
-    }
-    if rcv_median >= cfg.adaptive_multiw_block {
-        // Large receiver blocks: unpack is cheap, gather write wins.
-        return Scheme::RwgUp;
-    }
-    Scheme::BcSpup
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1773,6 +1814,7 @@ fn receiver_start(
         match proposal {
             Scheme::Adaptive => adaptive_choose(
                 ctx.cfg,
+                ctx.fabric.class(),
                 size,
                 blk_min,
                 blk_median,

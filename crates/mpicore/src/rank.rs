@@ -395,6 +395,65 @@ impl RankState {
         }
     }
 
+    /// Returns the rank state to its just-constructed state against a
+    /// *reset* `mem` (world recycling): the eager region and segment
+    /// pools are re-allocated and re-registered — deterministic
+    /// allocation reproduces the original addresses and keys — and
+    /// every queue, cache, table, and counter is emptied in place with
+    /// its heap capacity retained. Behaviour afterwards is
+    /// bit-identical to [`RankState::new`] with the same `cfg`.
+    pub fn reset(&mut self, cfg: &MpiConfig, mem: &mut NodeMem) {
+        let send_bytes = cfg.eager_send_bufs as u64 * cfg.eager_buf_size;
+        let recv_bytes =
+            (self.nprocs as u64 - 1) * cfg.eager_bufs_per_peer as u64 * cfg.eager_buf_size;
+        let region = mem
+            .space
+            .alloc_page_aligned(send_bytes + recv_bytes)
+            .expect("reset address space fits the eager region");
+        let reg = mem.regs.register(region, send_bytes + recv_bytes);
+        debug_assert_eq!(region, self.eager_region, "deterministic layout");
+        self.cpu.reset();
+        self.dma.reset();
+        self.eager_region = region;
+        self.eager_send_free.clear();
+        self.eager_send_free.extend(
+            (0..cfg.eager_send_bufs as u64)
+                .rev()
+                .map(|i| region + i * cfg.eager_buf_size),
+        );
+        self.eager_pending.clear();
+        self.eager_lkey = reg.lkey;
+        self.pack_pool.reset(&mut mem.space, &mut mem.regs);
+        self.unpack_pool.reset(&mut mem.space, &mut mem.regs);
+        self.posted.clear();
+        self.unexpected.clear();
+        self.next_seq.reset_entries(|s| *s = 0);
+        self.reqs.clear();
+        self.newly_completed.clear();
+        self.pindown.reset();
+        self.registry.reset();
+        self.layout_cache.reset();
+        self.plans.reset();
+        self.scratch.reset_counters();
+        self.sent_layouts.clear();
+        self.internal.free.clear();
+        self.rma_outstanding = 0;
+        self.rma_regs.clear();
+        self.rma_event = false;
+        self.pinned_user_bytes = 0;
+        self.reconn.reset();
+        self.done_seqs.reset();
+        self.errors.clear();
+        self.counters = RankCounters::default();
+        self.fc.reset_entries(|p| {
+            *p = FcPeer {
+                credits: cfg.eager_credits,
+                ..FcPeer::default()
+            }
+        });
+        self.unexpected_eager = 0;
+    }
+
     /// Start address of the `i`-th receive buffer for `peer`.
     ///
     /// Layout: send ring first, then blocks of `eager_bufs_per_peer`

@@ -93,6 +93,12 @@ pub struct RunStats {
     /// Bounce-buffer chunks pushed through the staged device pipeline
     /// (all ranks; 0 when no buffer is device-resident).
     pub staging_chunks: u64,
+    /// Shared-memory transport: bounce-segment slots filled (0 on the
+    /// IB transport and in single-copy mode).
+    pub shm_bounce_chunks: u64,
+    /// Shared-memory transport: CMA-style single-copy operations
+    /// performed (0 on the IB transport and in double-copy mode).
+    pub shm_cma_ops: u64,
 }
 
 impl RunStats {

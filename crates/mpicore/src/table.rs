@@ -49,6 +49,13 @@ impl<T> MsgTable<T> {
         self.index.get(peer as usize)
     }
 
+    /// Empties the table, keeping the slab's and the per-peer windows'
+    /// capacity (world recycling).
+    pub fn reset(&mut self) {
+        self.slab.clear();
+        self.index.reset_entries(|w| w.clear());
+    }
+
     /// Inserts a record, returning the previous one under the same key
     /// (the remove-mutate-reinsert pattern the protocol uses).
     pub fn insert(&mut self, key: (u32, u64), value: T) -> Option<T> {
@@ -129,6 +136,12 @@ impl ImmMap {
         }
     }
 
+    /// Empties the demux table, keeping window capacity (world
+    /// recycling).
+    pub fn reset(&mut self) {
+        self.slots.reset_entries(|w| w.clear());
+    }
+
     /// Registers `seq16 → seq` for `peer`.
     pub fn insert(&mut self, key: (u32, u16), seq: u64) {
         let (peer, seq16) = key;
@@ -174,6 +187,11 @@ impl<T> PeerMap<T> {
         PeerMap {
             slots: PagedTable::new(nprocs),
         }
+    }
+
+    /// Empties the map, keeping page storage (world recycling).
+    pub fn reset(&mut self) {
+        self.slots.reset_entries(|o| *o = None);
     }
 
     /// Shared access to `peer`'s entry.
@@ -238,6 +256,14 @@ impl DoneSet {
         DoneSet {
             peers: PagedTable::new(nprocs),
         }
+    }
+
+    /// Empties the set, keeping window capacity (world recycling).
+    pub fn reset(&mut self) {
+        self.peers.reset_entries(|p| {
+            p.watermark = 0;
+            p.above.clear();
+        });
     }
 
     /// Records `(peer, seq)` as done.

@@ -283,6 +283,21 @@ impl<T> PagedTable<T> {
             })
     }
 
+    /// Applies `f` to every entry of every materialized page, leaving
+    /// the pages in place. With `f` restoring entries to the table's
+    /// default value (possibly keeping their heap capacity — e.g.
+    /// clearing a queue rather than replacing it), the table afterwards
+    /// *reads* exactly like a fresh one: untouched keys still return
+    /// the shared default, and warm pages hand back default-valued
+    /// entries without allocating. Used by world recycling.
+    pub fn reset_entries(&mut self, mut f: impl FnMut(&mut T)) {
+        for page in self.pages.iter_mut().flatten() {
+            for e in page.iter_mut() {
+                f(e);
+            }
+        }
+    }
+
     /// Number of materialized pages.
     pub fn pages_touched(&self) -> usize {
         self.live_pages

@@ -59,6 +59,18 @@ impl SerialResource {
         self.reserve_labeled(now, dur, self.name)
     }
 
+    /// Returns the resource to its just-constructed state — idle at
+    /// t=0, zero accounting, trace cleared (capacity retained). A reset
+    /// resource schedules bit-identically to a fresh one.
+    pub fn reset(&mut self) {
+        self.busy_until = 0;
+        self.total_busy = 0;
+        self.jobs = 0;
+        if let Some(t) = &mut self.trace {
+            t.reset();
+        }
+    }
+
     /// Earliest time new work could start.
     pub fn available_at(&self) -> Time {
         self.busy_until

@@ -97,6 +97,14 @@ impl Trace {
         self.spans.push(Span { start, end, label });
     }
 
+    /// Clears recorded spans, keeping the buffer's capacity. A reset
+    /// trace records exactly like a fresh one — used by world recycling
+    /// (one cluster reused across sweep points) so re-tracing a run
+    /// allocates nothing.
+    pub fn reset(&mut self) {
+        self.spans.clear();
+    }
+
     /// All recorded spans.
     pub fn spans(&self) -> &[Span] {
         &self.spans

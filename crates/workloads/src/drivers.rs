@@ -9,7 +9,7 @@
 use crate::vector::VectorWorkload;
 use ibdt_datatype::Datatype;
 use ibdt_mpicore::{AppOp, Cluster, ClusterSpec, Program, RunStats};
-use ibdt_simcore::time::Time;
+use ibdt_simcore::time::{transfer_ns, Time};
 
 /// Result of a ping-pong latency measurement.
 #[derive(Debug)]
@@ -118,6 +118,7 @@ pub fn pingpong(
     p0.push(AppOp::MarkTime { slot: 1 });
     let stats = cluster.run(vec![p0, p1]);
     verify(&cluster, ty, count, b0, b1, span);
+    cluster.recycle();
     let round = stats.mark_interval(0, 0, 1);
     PingPongResult {
         one_way_ns: round / (2 * iters as u64),
@@ -154,7 +155,14 @@ fn bandwidth_impl(
     device: bool,
 ) -> BandwidthResult {
     assert!(window > 0);
-    let mut cluster = Cluster::new(spec.clone());
+    let mut spec = spec.clone();
+    if device {
+        // `alloc_device` would flip this anyway; setting it up front
+        // keeps the spec equal to a recycled device cluster's, so
+        // repeated device runs pool-hit like host runs do.
+        spec.host.device.enabled = true;
+    }
+    let mut cluster = Cluster::new(spec);
     let (b0, b1, span) = if device {
         alloc_device_buffers(&mut cluster, ty, count)
     } else {
@@ -223,6 +231,7 @@ fn bandwidth_impl(
 
     let stats = cluster.run(vec![p0, p1]);
     verify(&cluster, ty, count, b0, b1, span);
+    cluster.recycle();
     let interval = stats.mark_interval(0, 0, 1);
     let bytes = window as u64 * count * ty.size();
     BandwidthResult {
@@ -299,6 +308,7 @@ pub fn alltoall_time(
             }
         }
     }
+    cluster.recycle();
     let per_op = stats.mark_interval(0, 0, 1) / iters as u64;
     (per_op, stats)
 }
@@ -387,6 +397,7 @@ pub fn pingpong_asym(
         gather(rty, rcount, &dst),
         "asymmetric transfer stream mismatch"
     );
+    cluster.recycle();
     let round = stats.mark_interval(0, 0, 1);
     PingPongResult {
         one_way_ns: round / (2 * iters as u64),
@@ -403,12 +414,28 @@ pub fn pingpong_manual(
     warmup: u32,
     iters: u32,
 ) -> PingPongResult {
-    let copy_ns = w.manual_copy_ns(&spec.host);
-    let contig = Datatype::contiguous(w.size, &Datatype::byte()).expect("contig");
+    pingpong_manual_ty(spec, &w.ty, warmup, iters)
+}
+
+/// [`pingpong_manual`] for an arbitrary datatype: the manual copy cost
+/// is derived from the type's own block structure with the same model
+/// as [`VectorWorkload::manual_copy_ns`] (per-block overhead plus the
+/// bytes at the host copy bandwidth), so any x17 taxonomy class gets a
+/// fair pack+send baseline.
+pub fn pingpong_manual_ty(
+    spec: &ClusterSpec,
+    ty: &Datatype,
+    warmup: u32,
+    iters: u32,
+) -> PingPongResult {
+    let size = ty.size();
+    let copy_ns = spec.host.copy_block_overhead_ns * ty.num_blocks() as u64
+        + transfer_ns(size, spec.host.copy_bw_bps);
+    let contig = Datatype::contiguous(size, &Datatype::byte()).expect("contig");
     let mut cluster = Cluster::new(spec.clone());
-    let b0 = cluster.alloc(0, w.size + 64, 4096);
-    let b1 = cluster.alloc(1, w.size + 64, 4096);
-    cluster.fill_pattern(0, b0, w.size, 5);
+    let b0 = cluster.alloc(0, size + 64, 4096);
+    let b1 = cluster.alloc(1, size + 64, 4096);
+    cluster.fill_pattern(0, b0, size, 5);
     let mut p0: Program = Vec::new();
     let mut p1: Program = Vec::new();
     for i in 0..warmup + iters {
@@ -455,6 +482,7 @@ pub fn pingpong_manual(
     }
     p0.push(AppOp::MarkTime { slot: 1 });
     let stats = cluster.run(vec![p0, p1]);
+    cluster.recycle();
     let round = stats.mark_interval(0, 0, 1);
     PingPongResult {
         one_way_ns: round / (2 * iters as u64),
@@ -531,6 +559,7 @@ pub fn pingpong_multiple(
         let l = w.block_bytes as usize;
         assert_eq!(&dst[o..o + l], &src[o..o + l]);
     }
+    cluster.recycle();
     let round = stats.mark_interval(0, 0, 1);
     PingPongResult {
         one_way_ns: round / (2 * iters as u64),
@@ -657,6 +686,7 @@ pub fn incast(spec: &ClusterSpec, msgs: u32, msg_bytes: u64, recv_work_ns: Time)
             assert_eq!(dst, src, "incast payload corrupt: sender {r} msg {m}");
         }
     }
+    cluster.recycle();
     let peak_unexpected = stats
         .counters
         .iter()
@@ -752,6 +782,7 @@ pub fn alltoall_oversub(spec: &ClusterSpec, msgs: u32, msg_bytes: u64) -> Incast
             }
         }
     }
+    cluster.recycle();
     let peak_unexpected = stats
         .counters
         .iter()

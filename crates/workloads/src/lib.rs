@@ -22,6 +22,7 @@ pub mod drivers;
 pub mod scale;
 pub mod structdt;
 pub mod sweep;
+pub mod taxonomy;
 pub mod vector;
 
 pub use drivers::{

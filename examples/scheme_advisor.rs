@@ -8,7 +8,7 @@
 
 use ibdt::datatype::Datatype;
 use ibdt::mpicore::progress::adaptive_choose;
-use ibdt::mpicore::{ClusterSpec, MpiConfig, Scheme};
+use ibdt::mpicore::{ClusterSpec, MpiConfig, Scheme, TransportClass};
 use ibdt::workloads::drivers::pingpong;
 
 fn main() {
@@ -44,6 +44,7 @@ fn main() {
     let cfg = MpiConfig::default();
     let advice = adaptive_choose(
         &cfg,
+        TransportClass::Ib,
         ty.size(),
         stats.min,
         stats.median,

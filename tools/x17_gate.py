@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Enforce the x17 DDT-vs-manual-pack guideline bounds.
+
+Usage: x17_gate.py <x17.csv>
+
+Each column of x17 is a DDT/pack+send latency ratio for one
+(datatype class, transport) cell; <= 1.0 means the datatype path
+wins. The guideline (arXiv:1607.00178): a datatype implementation
+must never lose to manual pack+send once messages amortize the
+protocol setup — enforced here from 32 KiB up on every transport
+(IB, shm double-copy, shm single-copy), with the small-message
+penalty capped at 1.2x below that (see EXPERIMENTS.md X17).
+"""
+
+import csv
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    rows = list(csv.DictReader(open(sys.argv[1])))
+    if not rows:
+        print("x17 gate: CSV is empty", file=sys.stderr)
+        return 1
+    bad = []
+    for row in rows:
+        size = int(row["size_bytes"])
+        cap = 1.0 if size >= 32768 else 1.2
+        for col, v in row.items():
+            if col == "size_bytes":
+                continue
+            if float(v) > cap:
+                bad.append(f"{col}@{size}: ratio {v} > {cap}")
+    if bad:
+        print("DDT-vs-pack guideline violated:", file=sys.stderr)
+        for b in bad:
+            print(f"  {b}", file=sys.stderr)
+        return 1
+    ncells = sum(len(r) - 1 for r in rows)
+    print(
+        f"x17 guideline OK ({len(rows)} sizes x {len(rows[0]) - 1} "
+        f"transport/type cells, {ncells} ratios within bounds)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
